@@ -1,0 +1,112 @@
+//! Ablation: the Fourier–Motzkin solver's cost — the paper's stated first
+//! drawback of the Regions method ("Fourier-Motzkin linear system solver,
+//! which has worst case exponential time, is needed to compare Regions").
+//! We sweep variable count on dense random systems (pairing-heavy) and on
+//! equality-rich systems (substitution-friendly) to show the two regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use regions::constraint::{Constraint, ConstraintSystem};
+use regions::fourier_motzkin::{eliminate_all, is_satisfiable, FmStats};
+use regions::linexpr::LinExpr;
+use regions::space::VarId;
+use std::hint::black_box;
+
+/// A random dense inequality system: every constraint couples `nvars`
+/// variables with small coefficients and a box constraint per variable.
+fn dense_system(nvars: u32, ncons: usize, seed: u64) -> ConstraintSystem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cs = ConstraintSystem::new();
+    for v in 0..nvars {
+        cs.push(Constraint::ge(LinExpr::var(VarId(v)), LinExpr::constant(0)));
+        cs.push(Constraint::le(LinExpr::var(VarId(v)), LinExpr::constant(100)));
+    }
+    for _ in 0..ncons {
+        let mut e = LinExpr::constant(rng.gen_range(-50..50));
+        for v in 0..nvars {
+            e.add_term(VarId(v), rng.gen_range(-3..=3));
+        }
+        cs.push(Constraint::ge0(e));
+    }
+    cs
+}
+
+/// An equality-rich system (the common subscript shape): chains
+/// `x_{i+1} = x_i + c` plus one box.
+fn equality_system(nvars: u32) -> ConstraintSystem {
+    let mut cs = ConstraintSystem::new();
+    cs.push(Constraint::ge(LinExpr::var(VarId(0)), LinExpr::constant(1)));
+    cs.push(Constraint::le(LinExpr::var(VarId(0)), LinExpr::constant(100)));
+    for v in 1..nvars {
+        cs.push(Constraint::eq(
+            LinExpr::var(VarId(v)),
+            LinExpr::var(VarId(v - 1)).add(&LinExpr::constant(3)),
+        ));
+    }
+    cs
+}
+
+fn bench_dense_elimination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm/dense_eliminate_all");
+    group.sample_size(10);
+    for &nvars in &[2u32, 4, 6, 8, 10] {
+        let cs = dense_system(nvars, 12, 7);
+        let vars: Vec<VarId> = (0..nvars).map(VarId).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(nvars), &cs, |b, cs| {
+            b.iter(|| {
+                let mut stats = FmStats::default();
+                black_box(eliminate_all(black_box(cs), &vars, &mut stats))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_equality_elimination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm/equality_eliminate_all");
+    for &nvars in &[4u32, 16, 64] {
+        let cs = equality_system(nvars);
+        let vars: Vec<VarId> = (1..nvars).map(VarId).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(nvars), &cs, |b, cs| {
+            b.iter(|| {
+                let mut stats = FmStats::default();
+                black_box(eliminate_all(black_box(cs), &vars, &mut stats))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_satisfiability(c: &mut Criterion) {
+    let sat = dense_system(5, 10, 11);
+    c.bench_function("fm/is_satisfiable_dense5", |b| {
+        b.iter(|| black_box(is_satisfiable(black_box(&sat))))
+    });
+
+    // Report the growth statistics once: the "exponential worst case" axis.
+    let mut stats = FmStats::default();
+    let cs = dense_system(8, 12, 7);
+    let vars: Vec<VarId> = (0..8).map(VarId).collect();
+    let _ = eliminate_all(&cs, &vars, &mut stats);
+    println!(
+        "\nfm ablation: 8-var dense system — {} pairs combined, peak {} constraints, {} substitutions, {} inequalities widened away",
+        stats.pairs_combined, stats.peak_constraints, stats.substitutions, stats.widened
+    );
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core container: short windows keep the full suite fast
+    // while medians stay stable for these deterministic workloads.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets =
+    bench_dense_elimination,
+    bench_equality_elimination,
+    bench_satisfiability
+
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Ablation: the FM-based loop-carried dependence test that powers the
+//! `!$omp parallel do` advice — cost per loop as body size and nest depth
+//! grow, and on the LU procedures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn synth_loop(stmts: usize, carried: bool) -> String {
+    let mut s = String::from("subroutine s\n  real a(200)\n  integer i\n  do i = 1, 100\n");
+    for k in 0..stmts {
+        if carried && k == stmts - 1 {
+            s.push_str("    a(i + 1) = a(i)\n");
+        } else {
+            s.push_str(&format!("    a(i) = a(i) + {k}.0\n"));
+        }
+    }
+    s.push_str("  end do\nend\n");
+    s
+}
+
+fn program_of(src: &str) -> whirl::Program {
+    frontend::compile_to_h(
+        &[frontend::SourceFile::new("t.f", src, whirl::Lang::Fortran)],
+        frontend::DEFAULT_LAYOUT_BASE,
+    )
+    .unwrap()
+}
+
+fn bench_body_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loop_par/body_stmts");
+    for &stmts in &[2usize, 8, 16] {
+        let p = program_of(&synth_loop(stmts, false));
+        let id = p.find_procedure("s").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(stmts), &p, |b, p| {
+            b.iter(|| black_box(ipa::analyze_proc_loops(black_box(p), id)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_verdict_polarity(c: &mut Criterion) {
+    // Early-conflict loops may exit sooner than fully-independent ones
+    // (which must refute every pair).
+    let clean = program_of(&synth_loop(8, false));
+    let dirty = program_of(&synth_loop(8, true));
+    let clean_id = clean.find_procedure("s").unwrap();
+    let dirty_id = dirty.find_procedure("s").unwrap();
+    c.bench_function("loop_par/independent_8stmts", |b| {
+        b.iter(|| black_box(ipa::analyze_proc_loops(black_box(&clean), clean_id)))
+    });
+    c.bench_function("loop_par/carried_8stmts", |b| {
+        b.iter(|| black_box(ipa::analyze_proc_loops(black_box(&dirty), dirty_id)))
+    });
+}
+
+fn bench_lu_procedures(c: &mut Criterion) {
+    let srcs: Vec<frontend::SourceFile> = workloads::mini_lu::sources()
+        .iter()
+        .map(|g| frontend::SourceFile::new(&g.name, &g.text, whirl::Lang::Fortran))
+        .collect();
+    let p = frontend::compile_to_h(&srcs, frontend::DEFAULT_LAYOUT_BASE).unwrap();
+    let mut group = c.benchmark_group("loop_par/lu");
+    group.sample_size(10);
+    for name in ["rhs", "blts", "l2norm", "verify"] {
+        let id = p.find_procedure(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &id, |b, &id| {
+            b.iter(|| black_box(ipa::analyze_proc_loops(black_box(&p), id)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core container: short windows keep the full suite fast
+    // while medians stay stable for these deterministic workloads.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_body_size, bench_verdict_polarity, bench_lu_procedures
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation: the approximate convex union — the paper's second drawback of
+//! the Regions method ("the union of regions is approximated since in some
+//! cases, it does not form a convex hull"). We measure the cost of the
+//! union operation and print the precision loss it causes versus exact
+//! (reference-list) and sectioned (RSD) summaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regions::access::AccessMode;
+use regions::convex::box_region;
+use regions::methods::{
+    enumerate_region, false_positive_rate, ConvexMethod, RsdMethod, SummaryMethod,
+};
+use regions::{Triplet, TripletRegion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench_union_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union/hull_of_two_boxes");
+    for &dims in &[1usize, 2, 4] {
+        let a = box_region(&vec![(0i64, 10i64); dims]);
+        let b = box_region(&vec![(20i64, 30i64); dims]);
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |bch, _| {
+            bch.iter(|| black_box(a.union_hull(black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_chain(c: &mut Criterion) {
+    // Folding k disjoint boxes into one approximate union, as the
+    // ConvexMethod does beyond its piece budget.
+    let mut group = c.benchmark_group("union/fold_chain");
+    group.sample_size(10);
+    for &k in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut acc = box_region(&[(0, 2)]);
+                for i in 1..k {
+                    let next = box_region(&[(10 * i as i64, 10 * i as i64 + 2)]);
+                    acc = acc.union_hull(&next);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn report_precision_loss(_c: &mut Criterion) {
+    // Two distant blocks: exact set has 20 points; the folded union claims
+    // the whole bridge. Printed once as the precision axis of the ablation.
+    let refs = [
+        TripletRegion::new(vec![Triplet::constant(0, 9, 1)]),
+        TripletRegion::new(vec![Triplet::constant(90, 99, 1)]),
+    ];
+    let mut truth: BTreeSet<Vec<i64>> = BTreeSet::new();
+    for r in &refs {
+        enumerate_region(r, &mut |p| {
+            truth.insert(p.to_vec());
+        });
+    }
+    let extent = [(0i64, 99i64)];
+
+    let mut pieces = ConvexMethod::new(); // keeps both boxes exactly
+    let mut folded = ConvexMethod::with_fold_threshold(1);
+    let mut rsd = RsdMethod::new();
+    for r in &refs {
+        pieces.add_reference(AccessMode::Use, r);
+        folded.add_reference(AccessMode::Use, r);
+        rsd.add_reference(AccessMode::Use, r);
+    }
+    let fp_pieces = false_positive_rate(&pieces, AccessMode::Use, &truth, &extent);
+    let fp_folded = false_positive_rate(&folded, AccessMode::Use, &truth, &extent);
+    let fp_rsd = false_positive_rate(&rsd, AccessMode::Use, &truth, &extent);
+    println!(
+        "\nunion ablation (two distant blocks): FP exact-pieces={fp_pieces:.2} folded-union={fp_folded:.2} rsd-hull={fp_rsd:.2}"
+    );
+    assert!(fp_pieces < fp_folded, "folding loses precision");
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core container: short windows keep the full suite fast
+    // while medians stay stable for these deterministic workloads.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_union_cost, bench_union_chain, report_precision_loss
+}
+criterion_main!(benches);

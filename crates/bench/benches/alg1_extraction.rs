@@ -1,0 +1,86 @@
+//! Bench for Algorithm 1: extraction throughput as the program scales —
+//! procedures × loop depth sweeps over the synthetic family.
+
+use araa::{Analysis, AnalysisOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use workloads::synthetic::{generate, SynthConfig};
+
+fn bench_procedure_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/procedures");
+    group.sample_size(10);
+    for &n in &[4usize, 16, 64] {
+        let cfg = SynthConfig { procedures: n, ..Default::default() };
+        let src = generate(&cfg);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
+            b.iter(|| {
+                let a = Analysis::run_generated(
+                    std::slice::from_ref(black_box(src)),
+                    AnalysisOptions::default(),
+                )
+                .unwrap();
+                black_box(a.rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/loop_depth");
+    group.sample_size(10);
+    for &d in &[1usize, 2, 3] {
+        let cfg = SynthConfig { loop_depth: d, procedures: 8, ..Default::default() };
+        let src = generate(&cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &src, |b, src| {
+            b.iter(|| {
+                let a = Analysis::run_generated(
+                    std::slice::from_ref(black_box(src)),
+                    AnalysisOptions::default(),
+                )
+                .unwrap();
+                black_box(a.rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_extraction_stage_only(c: &mut Criterion) {
+    // Isolate Algorithm 1 itself (cg pre-order + row building) from the
+    // frontend and IPA phases.
+    let cfg = SynthConfig { procedures: 32, ..Default::default() };
+    let src = generate(&cfg);
+    let file = frontend::SourceFile::new(&src.name, &src.text, whirl::Lang::Fortran);
+    let program =
+        frontend::compile_to_h(std::slice::from_ref(&file), frontend::DEFAULT_LAYOUT_BASE)
+            .unwrap();
+    let (cg, result) = ipa::analyze(&program);
+    c.bench_function("alg1/extract_rows_only_32procs", |b| {
+        b.iter(|| {
+            black_box(araa::extract_rows(
+                &program,
+                &cg,
+                &result,
+                araa::ExtractOptions::default(),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core container: short windows keep the full suite fast
+    // while medians stay stable for these deterministic workloads.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets =
+    bench_procedure_scaling,
+    bench_depth_scaling,
+    bench_extraction_stage_only
+
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bench for Fig. 11: building and traversing the 24-procedure LU call
+//! graph, and rendering the Dragon views over it.
+
+use araa::{Analysis, AnalysisOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_callgraph(c: &mut Criterion) {
+    let srcs = workloads::mini_lu::sources();
+    let files: Vec<frontend::SourceFile> = srcs
+        .iter()
+        .map(|g| frontend::SourceFile::new(&g.name, &g.text, whirl::Lang::Fortran))
+        .collect();
+    let program = frontend::compile_to_h(&files, frontend::DEFAULT_LAYOUT_BASE).unwrap();
+
+    c.bench_function("fig11/build", |b| {
+        b.iter(|| black_box(ipa::CallGraph::build(black_box(&program))))
+    });
+
+    let cg = ipa::CallGraph::build(&program);
+    c.bench_function("fig11/pre_order", |b| {
+        b.iter(|| black_box(cg.pre_order()))
+    });
+    c.bench_function("fig11/bottom_up", |b| {
+        b.iter(|| black_box(cg.bottom_up()))
+    });
+    c.bench_function("fig11/to_dot", |b| {
+        b.iter(|| black_box(cg.to_dot(&program)))
+    });
+}
+
+fn bench_lu_full_analysis(c: &mut Criterion) {
+    let srcs = workloads::mini_lu::sources();
+    let mut group = c.benchmark_group("fig11/lu_pipeline");
+    group.sample_size(10);
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            let a = Analysis::run_generated(black_box(&srcs), AnalysisOptions::default())
+                .unwrap();
+            black_box(a.rows.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_cfg_export(c: &mut Criterion) {
+    let srcs = workloads::mini_lu::sources();
+    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    c.bench_function("fig11/cfg_document", |b| {
+        b.iter(|| black_box(analysis.cfg_document()))
+    });
+    c.bench_function("fig11/dgn_document", |b| {
+        b.iter(|| black_box(analysis.dgn_document()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core container: short windows keep the full suite fast
+    // while medians stay stable for these deterministic workloads.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_callgraph, bench_lu_full_analysis, bench_cfg_export
+}
+criterion_main!(benches);

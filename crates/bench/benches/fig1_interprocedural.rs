@@ -1,0 +1,74 @@
+//! Bench for Fig. 1: the interprocedural analysis pipeline on the paper's
+//! Add/P1/P2 example, plus the region-independence test in isolation.
+
+use araa::{Analysis, AnalysisOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let srcs = vec![workloads::fig1::source()];
+    c.bench_function("fig1/full_pipeline", |b| {
+        b.iter(|| {
+            let a = Analysis::run_generated(black_box(&srcs), AnalysisOptions::default())
+                .unwrap();
+            black_box(a.rows.len())
+        })
+    });
+}
+
+fn bench_independence_test(c: &mut Criterion) {
+    // The convex disjointness check behind "can safely be parallelized".
+    let def = regions::convex::box_region(&[(1, 100), (1, 100)]);
+    let use_r = regions::convex::box_region(&[(101, 200), (101, 200)]);
+    let overlap = regions::convex::box_region(&[(50, 150), (50, 150)]);
+    c.bench_function("fig1/convex_disjoint_true", |b| {
+        b.iter(|| black_box(def.disjoint_from(black_box(&use_r))))
+    });
+    c.bench_function("fig1/convex_disjoint_false", |b| {
+        b.iter(|| black_box(def.disjoint_from(black_box(&overlap))))
+    });
+
+    let t_def = regions::TripletRegion::new(vec![
+        regions::Triplet::constant(1, 100, 1),
+        regions::Triplet::constant(1, 100, 1),
+    ]);
+    let t_use = regions::TripletRegion::new(vec![
+        regions::Triplet::constant(101, 200, 1),
+        regions::Triplet::constant(101, 200, 1),
+    ]);
+    c.bench_function("fig1/triplet_disjoint", |b| {
+        b.iter(|| black_box(t_def.disjoint_from(black_box(&t_use))))
+    });
+}
+
+fn bench_propagation_only(c: &mut Criterion) {
+    let srcs = [workloads::fig1::source()];
+    let files: Vec<frontend::SourceFile> = srcs
+        .iter()
+        .map(|g| frontend::SourceFile::new(&g.name, &g.text, whirl::Lang::Fortran))
+        .collect();
+    let program = frontend::compile_to_h(&files, frontend::DEFAULT_LAYOUT_BASE).unwrap();
+    let cg = ipa::CallGraph::build(&program);
+    c.bench_function("fig1/ipl_plus_ipa", |b| {
+        b.iter(|| {
+            let local = ipa::local::summarize_all(black_box(&program));
+            black_box(ipa::propagate::propagate(&program, &cg, local))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core container: short windows keep the full suite fast
+    // while medians stay stable for these deterministic workloads.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets =
+    bench_full_pipeline,
+    bench_independence_test,
+    bench_propagation_only
+
+}
+criterion_main!(benches);

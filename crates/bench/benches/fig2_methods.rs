@@ -1,0 +1,118 @@
+//! Bench for Fig. 2: efficiency of the four array-analysis methods —
+//! summary-insertion throughput and membership-query cost, with the storage
+//! sizes printed once (the figure's other axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regions::access::AccessMode;
+use regions::methods::{
+    ClassicMethod, ConvexMethod, RefListMethod, RsdMethod, SummaryMethod,
+};
+use regions::{Triplet, TripletRegion};
+use std::hint::black_box;
+
+const EXTENT: i64 = 4096;
+
+fn references() -> Vec<TripletRegion> {
+    // 64 overlapping windows over a 4096-element array.
+    (0..64)
+        .map(|k| TripletRegion::new(vec![Triplet::constant(k * 32, k * 32 + 255, 1)]))
+        .collect()
+}
+
+fn bench_insertion(c: &mut Criterion) {
+    let refs = references();
+    let mut group = c.benchmark_group("fig2/insert_64_references");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("classic"), |b| {
+        b.iter(|| {
+            let mut m = ClassicMethod::new(vec![(0, EXTENT - 1)]);
+            for r in &refs {
+                m.add_reference(AccessMode::Use, black_box(r));
+            }
+            black_box(m.storage_bytes())
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("regular-sections"), |b| {
+        b.iter(|| {
+            let mut m = RsdMethod::new();
+            for r in &refs {
+                m.add_reference(AccessMode::Use, black_box(r));
+            }
+            black_box(m.storage_bytes())
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("convex-regions"), |b| {
+        b.iter(|| {
+            let mut m = ConvexMethod::new();
+            for r in &refs {
+                m.add_reference(AccessMode::Use, black_box(r));
+            }
+            black_box(m.storage_bytes())
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("reference-list"), |b| {
+        b.iter(|| {
+            let mut m = RefListMethod::new();
+            for r in &refs {
+                m.add_reference(AccessMode::Use, black_box(r));
+            }
+            black_box(m.storage_bytes())
+        })
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let refs = references();
+    let mut classic = ClassicMethod::new(vec![(0, EXTENT - 1)]);
+    let mut reflist = RefListMethod::new();
+    let mut rsd = RsdMethod::new();
+    let mut convex = ConvexMethod::new();
+    for r in &refs {
+        classic.add_reference(AccessMode::Use, r);
+        reflist.add_reference(AccessMode::Use, r);
+        rsd.add_reference(AccessMode::Use, r);
+        convex.add_reference(AccessMode::Use, r);
+    }
+    // Print the storage axis once — the Fig. 2 companion table.
+    println!(
+        "\nfig2 summary storage (bytes): classic={} rsd={} convex={} reflist={}",
+        classic.storage_bytes(),
+        rsd.storage_bytes(),
+        convex.storage_bytes(),
+        reflist.storage_bytes()
+    );
+
+    let points: Vec<Vec<i64>> = (0..EXTENT).step_by(17).map(|i| vec![i]).collect();
+    let mut group = c.benchmark_group("fig2/query_sweep");
+    let methods: Vec<(&str, &dyn SummaryMethod)> = vec![
+        ("classic", &classic),
+        ("reference-list", &reflist),
+        ("regular-sections", &rsd),
+        ("convex-regions", &convex),
+    ];
+    for (name, m) in methods {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in &points {
+                    hits += usize::from(m.may_access(AccessMode::Use, black_box(p)));
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core container: short windows keep the full suite fast
+    // while medians stay stable for these deterministic workloads.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_insertion, bench_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Bench for Figs. 9/10: the `matrix.c` example through each pipeline stage
+//! (lex+parse, lowering, IPA, extraction, `.rgn` emission, Dragon render).
+
+use araa::{Analysis, AnalysisOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dragon::view::{render_scope, ViewOptions};
+use dragon::Project;
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let src = workloads::fig10::source();
+    let file = frontend::SourceFile::new(&src.name, &src.text, whirl::Lang::C);
+
+    c.bench_function("fig9/parse_only", |b| {
+        b.iter(|| black_box(frontend::cparse::parse(&src.name, black_box(&src.text)).unwrap()))
+    });
+
+    c.bench_function("fig9/compile_to_h", |b| {
+        b.iter(|| {
+            black_box(
+                frontend::compile_to_h(
+                    std::slice::from_ref(&file),
+                    frontend::DEFAULT_LAYOUT_BASE,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    let program =
+        frontend::compile_to_h(std::slice::from_ref(&file), frontend::DEFAULT_LAYOUT_BASE)
+            .unwrap();
+    c.bench_function("fig9/ipa_analyze", |b| {
+        b.iter(|| black_box(ipa::analyze(black_box(&program))))
+    });
+
+    let (cg, result) = ipa::analyze(&program);
+    c.bench_function("fig9/extract_rows", |b| {
+        b.iter(|| {
+            black_box(araa::extract_rows(
+                &program,
+                &cg,
+                &result,
+                araa::ExtractOptions::default(),
+            ))
+        })
+    });
+}
+
+fn bench_tool_side(c: &mut Criterion) {
+    let srcs = vec![workloads::fig10::source()];
+    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+
+    c.bench_function("fig9/rgn_emit", |b| {
+        b.iter(|| black_box(analysis.rgn_document()))
+    });
+
+    let doc = analysis.rgn_document();
+    c.bench_function("fig9/rgn_parse", |b| {
+        b.iter(|| black_box(araa::rgn::read_rgn(black_box(&doc)).unwrap()))
+    });
+
+    let project = Project::from_generated(&analysis, &srcs);
+    let opts = ViewOptions { find: Some("aarr".into()), ..Default::default() };
+    c.bench_function("fig9/dragon_render", |b| {
+        b.iter(|| black_box(render_scope(&project, "@", black_box(&opts))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core container: short windows keep the full suite fast
+    // while medians stay stable for these deterministic workloads.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_stages, bench_tool_side
+}
+criterion_main!(benches);

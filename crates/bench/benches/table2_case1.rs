@@ -1,0 +1,92 @@
+//! Bench for Case 1 (Table II / Fig. 13): the analysis of `verify` and the
+//! cache-simulated payoff of the advised loop fusion across cache sizes.
+//! The qualitative result — fused ≤ split misses, strictly fewer under
+//! capacity pressure — is printed as a table alongside the timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memsim::{fusion_experiment, ArraySpec, Cache, CacheConfig};
+use std::hint::black_box;
+
+fn bench_fusion_experiment(c: &mut Criterion) {
+    let xcr = ArraySpec { base: 0xb79e_dfa0, elem_bytes: 8, len: 5 };
+
+    // The regenerated table (shape of the paper's Case 1 claim).
+    println!("\ncase1: split vs fused misses (wash = 4 KiB between loops)");
+    println!("{:<28} {:>6} {:>6} {:>6}", "cache", "split", "fused", "saved");
+    for (label, cfg) in [
+        ("tiny 256 B", CacheConfig::tiny(256)),
+        ("tiny 512 B", CacheConfig::tiny(512)),
+        ("tiny 2 KiB", CacheConfig::tiny(2048)),
+        ("L1 32 KiB", CacheConfig::l1()),
+    ] {
+        let r = fusion_experiment(cfg, xcr, 0x10_0000, 4096);
+        println!(
+            "{:<28} {:>6} {:>6} {:>6}",
+            label,
+            r.split.misses,
+            r.fused.misses,
+            r.misses_saved()
+        );
+        assert!(r.misses_saved() >= 0, "fusion never hurts in this model");
+    }
+
+    let mut group = c.benchmark_group("case1/fusion_experiment");
+    for (label, cap) in [("256B", 256u64), ("512B", 512), ("2KiB", 2048)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cap, |b, &cap| {
+            b.iter(|| {
+                black_box(fusion_experiment(
+                    CacheConfig::tiny(cap),
+                    xcr,
+                    0x10_0000,
+                    4096,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_throughput(c: &mut Criterion) {
+    // Raw simulator speed: accesses per second on a long strided stream.
+    let stream: Vec<u64> = (0..100_000u64).map(|i| (i * 72) % (1 << 20)).collect();
+    c.bench_function("case1/cache_100k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::l1());
+            cache.run(stream.iter().copied());
+            black_box(cache.stats())
+        })
+    });
+}
+
+fn bench_verify_analysis(c: &mut Criterion) {
+    // Analyzing just verify.f (the procedure the case study inspects).
+    let srcs = workloads::mini_lu::sources();
+    let verify = srcs.iter().find(|s| s.name == "verify.f").unwrap().clone();
+    // verify calls nothing, so it analyzes standalone.
+    c.bench_function("case1/analyze_verify_f", |b| {
+        b.iter(|| {
+            let a = araa::Analysis::run_generated(
+                std::slice::from_ref(black_box(&verify)),
+                araa::AnalysisOptions::default(),
+            )
+            .unwrap();
+            black_box(a.rows.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core container: short windows keep the full suite fast
+    // while medians stay stable for these deterministic workloads.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets =
+    bench_fusion_experiment,
+    bench_cache_throughput,
+    bench_verify_analysis
+
+}
+criterion_main!(benches);

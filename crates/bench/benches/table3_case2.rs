@@ -1,0 +1,81 @@
+//! Bench for Case 2 (Table III / Fig. 14): analyzing the 110-reference
+//! `rhs` loop nest and deriving the sub-array `copyin` advice.
+
+use araa::{Analysis, AnalysisOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dragon::{advisor, Project};
+use std::hint::black_box;
+
+fn bench_rhs_analysis(c: &mut Criterion) {
+    let srcs = workloads::mini_lu::sources();
+    let rhs = srcs.iter().find(|s| s.name == "rhs.f").unwrap().clone();
+    let mut group = c.benchmark_group("case2");
+    group.sample_size(10);
+    group.bench_function("analyze_rhs_f", |b| {
+        b.iter(|| {
+            let a = Analysis::run_generated(
+                std::slice::from_ref(black_box(&rhs)),
+                AnalysisOptions::default(),
+            )
+            .unwrap();
+            black_box(a.rows.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_advice_derivation(c: &mut Criterion) {
+    let srcs = workloads::mini_lu::sources();
+    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let project = Project::from_generated(&analysis, &srcs);
+
+    c.bench_function("case2/copyin_advice", |b| {
+        b.iter(|| black_box(advisor::copyin_advice(black_box(&project))))
+    });
+    c.bench_function("case2/fusion_advice", |b| {
+        b.iter(|| black_box(advisor::fusion_advice(black_box(&project))))
+    });
+    c.bench_function("case2/shrink_advice", |b| {
+        b.iter(|| {
+            black_box(advisor::shrink_advice(
+                black_box(&project),
+                advisor::ShrinkBasis::UseOnly,
+            ))
+        })
+    });
+
+    // Print the advised directive once (the regenerated artifact).
+    for a in advisor::copyin_advice(&project) {
+        if let advisor::Advice::SubArrayCopyin { array, proc, directive, .. } = &a {
+            if array == "u" && proc == "rhs" {
+                println!("\ncase2 directive: {directive}");
+            }
+        }
+    }
+}
+
+fn bench_expand_dims_view(c: &mut Criterion) {
+    let srcs = workloads::mini_lu::sources();
+    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let project = Project::from_generated(&analysis, &srcs);
+    let opts = dragon::ViewOptions { expand_dims: true, ..Default::default() };
+    c.bench_function("case2/fig14_expanded_render", |b| {
+        b.iter(|| black_box(dragon::render_scope(&project, "rhs", black_box(&opts))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core container: short windows keep the full suite fast
+    // while medians stay stable for these deterministic workloads.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets =
+    bench_rhs_analysis,
+    bench_advice_derivation,
+    bench_expand_dims_view
+
+}
+criterion_main!(benches);

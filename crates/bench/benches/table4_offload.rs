@@ -1,0 +1,67 @@
+//! Bench for Table IV: the whole-array vs sub-array offload model, printing
+//! the regenerated speedup table and timing the sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpusim::{offload_speedup, sweep_classes, LinkModel, OffloadCase};
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let link = LinkModel::pcie2();
+
+    // The regenerated Table IV (printed once; the paper's absolute numbers
+    // came from their 24-core/PGI testbed, so only the shape is compared).
+    println!("\nTable IV (modeled): sub-array vs whole-array copyin, 50 steps");
+    println!("{:<6} {:>12} {:>12} {:>9}", "class", "whole (ms)", "sub (ms)", "speedup");
+    for (class, r) in sweep_classes(link, 50) {
+        println!(
+            "{:<6} {:>12.2} {:>12.2} {:>8.1}x",
+            class,
+            r.whole_us / 1e3,
+            r.sub_us / 1e3,
+            r.speedup()
+        );
+        assert!(r.speedup() >= 1.0, "sub-array never loses");
+    }
+
+    c.bench_function("table4/sweep_classes", |b| {
+        b.iter(|| black_box(sweep_classes(black_box(link), 50)))
+    });
+
+    let mut group = c.benchmark_group("table4/single_case");
+    for &steps in &[1u64, 50, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            b.iter(|| {
+                black_box(offload_speedup(link, OffloadCase::lu_case2(black_box(steps))))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_sensitivity(c: &mut Criterion) {
+    // Vary link bandwidth: the crossover where transfers stop dominating.
+    let mut group = c.benchmark_group("table4/bandwidth_sweep");
+    for &gbs in &[1.0f64, 6.0, 16.0, 64.0] {
+        let link = LinkModel { latency_us: 25.0, bandwidth_gbs: gbs };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{gbs}GBs")),
+            &link,
+            |b, link| {
+                b.iter(|| black_box(offload_speedup(*link, OffloadCase::lu_case2(50))))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Single-core container: short windows keep the full suite fast
+    // while medians stay stable for these deterministic workloads.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_table4, bench_model_sensitivity
+}
+criterion_main!(benches);

@@ -1,0 +1,265 @@
+//! Per-procedure control-flow graphs (the `.cfg` export).
+//!
+//! Dragon's feature list includes "control flow graphs for each procedure";
+//! OpenUH's `CFG IPL` module "was previously added at the high levels of
+//! WHIRL ... to export control flow analysis results". We build a
+//! basic-block CFG from the structured H WHIRL tree: straight-line
+//! statements group into blocks, `DO_LOOP` contributes header/body/exit with
+//! a back edge, `IF` contributes a branch and a join.
+
+use support::idx::IndexVec;
+use whirl::{Opr, Procedure, WnId};
+
+support::define_idx! {
+    /// A basic block id.
+    pub struct BlockId;
+}
+
+/// One basic block.
+#[derive(Debug, Clone, Default)]
+pub struct BasicBlock {
+    /// Statement nodes in the block, in order.
+    pub stmts: Vec<WnId>,
+    /// Successor blocks.
+    pub succs: Vec<BlockId>,
+    /// A display label (`entry`, `loop hdr`, ...).
+    pub label: String,
+}
+
+/// A control-flow graph.
+#[derive(Debug)]
+pub struct Cfg {
+    blocks: IndexVec<BlockId, BasicBlock>,
+    entry: BlockId,
+    exit: BlockId,
+}
+
+impl Cfg {
+    /// Builds the CFG of one procedure.
+    pub fn build(proc: &Procedure) -> Cfg {
+        let mut b = Builder { tree: &proc.tree, blocks: IndexVec::new() };
+        let entry = b.new_block("entry");
+        let exit_placeholder = None::<BlockId>;
+        let mut last = entry;
+        if let Some(root) = proc.tree.root() {
+            if let Some(&body) = proc.tree.node(root).kids.last() {
+                last = b.walk_block(body, entry);
+            }
+        }
+        let exit = b.new_block("exit");
+        b.blocks[last].succs.push(exit);
+        let _ = exit_placeholder;
+        Cfg { blocks: b.blocks, entry, exit }
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// The exit block.
+    pub fn exit(&self) -> BlockId {
+        self.exit
+    }
+
+    /// Block lookup.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id]
+    }
+
+    /// All edges `(from, to)`.
+    pub fn edges(&self) -> Vec<(BlockId, BlockId)> {
+        let mut out = Vec::new();
+        for (id, blk) in self.blocks.iter_enumerated() {
+            for &s in &blk.succs {
+                out.push((id, s));
+            }
+        }
+        out
+    }
+
+    /// True when the graph contains a cycle (a loop).
+    pub fn has_cycle(&self) -> bool {
+        let n = self.blocks.len();
+        let mut state = vec![0u8; n];
+        fn dfs(cfg: &Cfg, id: BlockId, state: &mut [u8]) -> bool {
+            use support::idx::Idx;
+            match state[id.as_usize()] {
+                1 => return true,
+                2 => return false,
+                _ => {}
+            }
+            state[id.as_usize()] = 1;
+            for &s in &cfg.blocks[id].succs {
+                if dfs(cfg, s, state) {
+                    return true;
+                }
+            }
+            state[id.as_usize()] = 2;
+            false
+        }
+        dfs(self, self.entry, &mut state)
+    }
+
+    /// Graphviz DOT rendering.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = format!("digraph cfg_{name} {{\n  node [shape=box];\n");
+        for (id, blk) in self.blocks.iter_enumerated() {
+            out.push_str(&format!(
+                "  b{} [label=\"{} ({} stmts)\"];\n",
+                id.0,
+                blk.label,
+                blk.stmts.len()
+            ));
+        }
+        for (from, to) in self.edges() {
+            out.push_str(&format!("  b{} -> b{};\n", from.0, to.0));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+struct Builder<'a> {
+    tree: &'a whirl::WhirlTree,
+    blocks: IndexVec<BlockId, BasicBlock>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self, label: &str) -> BlockId {
+        self.blocks.push(BasicBlock { label: label.to_string(), ..Default::default() })
+    }
+
+    /// Walks the statements of a WHIRL `Block`, starting in `current`;
+    /// returns the block control falls out of.
+    fn walk_block(&mut self, block: WnId, mut current: BlockId) -> BlockId {
+        let kids = self.tree.node(block).kids.clone();
+        for stmt in kids {
+            current = self.walk_stmt(stmt, current);
+        }
+        current
+    }
+
+    fn walk_stmt(&mut self, stmt: WnId, current: BlockId) -> BlockId {
+        match self.tree.node(stmt).operator {
+            Opr::DoLoop => {
+                let header = self.new_block("loop hdr");
+                self.blocks[header].stmts.push(stmt);
+                self.blocks[current].succs.push(header);
+                let body_entry = self.new_block("loop body");
+                self.blocks[header].succs.push(body_entry);
+                let body = self.tree.node(stmt).kids[3];
+                let body_end = self.walk_block(body, body_entry);
+                // Back edge and exit.
+                self.blocks[body_end].succs.push(header);
+                let after = self.new_block("loop exit");
+                self.blocks[header].succs.push(after);
+                after
+            }
+            Opr::If => {
+                self.blocks[current].stmts.push(stmt);
+                let then_entry = self.new_block("then");
+                let else_entry = self.new_block("else");
+                self.blocks[current].succs.push(then_entry);
+                self.blocks[current].succs.push(else_entry);
+                let node = self.tree.node(stmt);
+                let (t, e) = (node.kids[1], node.kids[2]);
+                let t_end = self.walk_block(t, then_entry);
+                let e_end = self.walk_block(e, else_entry);
+                let join = self.new_block("join");
+                self.blocks[t_end].succs.push(join);
+                self.blocks[e_end].succs.push(join);
+                join
+            }
+            _ => {
+                self.blocks[current].stmts.push(stmt);
+                current
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frontend::{compile_to_h, SourceFile, DEFAULT_LAYOUT_BASE};
+    use whirl::Lang;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let p = compile_to_h(&[SourceFile::new("t.f", src, Lang::Fortran)], DEFAULT_LAYOUT_BASE)
+            .unwrap();
+        let id = p.find_procedure("s").unwrap();
+        Cfg::build(p.procedure(id))
+    }
+
+    #[test]
+    fn straight_line_is_two_blocks_one_edge() {
+        let cfg = cfg_of("subroutine s\n  integer i\n  i = 1\n  i = 2\nend\n");
+        assert_eq!(cfg.block_count(), 2); // entry + exit
+        assert_eq!(cfg.edges().len(), 1);
+        assert!(!cfg.has_cycle());
+        assert_eq!(cfg.block(cfg.entry()).stmts.len(), 2);
+    }
+
+    #[test]
+    fn loop_introduces_cycle() {
+        let cfg = cfg_of(
+            "subroutine s\n  real a(5)\n  integer i\n  do i = 1, 5\n    a(i) = 0.0\n  end do\nend\n",
+        );
+        assert!(cfg.has_cycle());
+        // entry, header, body, loop-exit, exit.
+        assert_eq!(cfg.block_count(), 5);
+    }
+
+    #[test]
+    fn if_produces_branch_and_join() {
+        let cfg = cfg_of(
+            "subroutine s\n  integer i\n  if (i .le. 2) then\n    i = 1\n  else\n    i = 2\n  end if\nend\n",
+        );
+        assert!(!cfg.has_cycle());
+        // entry, then, else, join, exit.
+        assert_eq!(cfg.block_count(), 5);
+        // The entry block branches two ways.
+        assert_eq!(cfg.block(cfg.entry()).succs.len(), 2);
+    }
+
+    #[test]
+    fn nested_loops_nest_cycles() {
+        let cfg = cfg_of(
+            "\
+subroutine s
+  real a(5, 5)
+  integer i, j
+  do i = 1, 5
+    do j = 1, 5
+      a(i, j) = 0.0
+    end do
+  end do
+end
+",
+        );
+        assert!(cfg.has_cycle());
+        assert!(cfg.block_count() >= 7);
+    }
+
+    #[test]
+    fn dot_render() {
+        let cfg = cfg_of("subroutine s\n  integer i\n  i = 1\nend\n");
+        let dot = cfg.to_dot("s");
+        assert!(dot.starts_with("digraph cfg_s {"));
+        assert!(dot.contains("entry"));
+        assert!(dot.contains("exit"));
+    }
+
+    #[test]
+    fn exit_is_reachable() {
+        let cfg = cfg_of("subroutine s\n  integer i\n  do i = 1, 3\n    i = i\n  end do\nend\n");
+        let edges = cfg.edges();
+        assert!(edges.iter().any(|&(_, to)| to == cfg.exit()));
+    }
+}

@@ -1,0 +1,301 @@
+//! End-to-end driver: sources → compiled program → IPA → `.rgn`/`.dgn`/`.cfg`.
+//!
+//! Mirrors the paper's usage recipe: "Modify the Makefile of the application
+//! to use the OpenUH compiler with interprocedural array analysis
+//! (-IPA:array_section:array_summary) ... as well as the (-dragon) flag.
+//! Compile the application. A bunch of files will be generated that includes
+//! .dgn, .cfg and .rgn files."
+
+use crate::cfg::Cfg;
+use crate::dgn::DgnProject;
+use crate::extract::{extract_rows, ExtractOptions};
+use crate::row::RgnRow;
+use frontend::{SourceFile, DEFAULT_LAYOUT_BASE};
+use ipa::{CallGraph, IpaResult};
+use support::{Error, Result};
+use whirl::Program;
+
+/// Analysis knobs — the `-IPA:array_section` / `-dragon` flag family.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisOptions {
+    /// Base address for the static data layout (`Mem_Loc` column).
+    pub layout_base: u64,
+    /// Include interprocedurally-propagated rows.
+    pub include_propagated: bool,
+    /// Worker threads for the IPL phase (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            layout_base: DEFAULT_LAYOUT_BASE,
+            include_propagated: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Everything the compiler side produces for Dragon.
+///
+/// ```
+/// use araa::{Analysis, AnalysisOptions};
+///
+/// // Analyze the paper's matrix.c and check a Fig. 9 row.
+/// let analysis = Analysis::run_generated(
+///     &[workloads::fig10::source()],
+///     AnalysisOptions::default(),
+/// )
+/// .unwrap();
+/// let strided = analysis
+///     .rows
+///     .iter()
+///     .find(|r| r.stride == "2")
+///     .expect("the strided USE row");
+/// assert_eq!((strided.lb.as_str(), strided.ub.as_str()), ("2", "6"));
+/// assert_eq!(strided.acc_density, 3);
+/// ```
+#[derive(Debug)]
+pub struct Analysis {
+    /// The compiled program (H WHIRL, laid out).
+    pub program: Program,
+    /// The call graph.
+    pub callgraph: CallGraph,
+    /// Per-procedure summaries after propagation.
+    pub ipa: IpaResult,
+    /// The extracted `.rgn` rows.
+    pub rows: Vec<RgnRow>,
+}
+
+impl Analysis {
+    /// Runs the whole pipeline on a set of sources.
+    pub fn run(sources: &[SourceFile], opts: AnalysisOptions) -> Result<Analysis> {
+        let program = frontend::compile_to_h(sources, opts.layout_base)?;
+        let (callgraph, ipa) = if opts.threads > 1 {
+            ipa::parallel::analyze_parallel(&program, opts.threads)
+        } else {
+            ipa::analyze(&program)
+        };
+        let rows = extract_rows(
+            &program,
+            &callgraph,
+            &ipa,
+            ExtractOptions { include_propagated: opts.include_propagated },
+        );
+        Ok(Analysis { program, callgraph, ipa, rows })
+    }
+
+    /// Convenience: analyze generated workloads.
+    pub fn run_generated(
+        sources: &[workloads::GenSource],
+        opts: AnalysisOptions,
+    ) -> Result<Analysis> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|g| {
+                SourceFile::new(
+                    &g.name,
+                    &g.text,
+                    if g.fortran { whirl::Lang::Fortran } else { whirl::Lang::C },
+                )
+            })
+            .collect();
+        Self::run(&files, opts)
+    }
+
+    /// The `.rgn` document.
+    pub fn rgn_document(&self) -> String {
+        crate::rgn::write_rgn(&self.rows)
+    }
+
+    /// The `.dgn` project document.
+    pub fn dgn_document(&self) -> String {
+        DgnProject::from_program(&self.program, &self.callgraph).write()
+    }
+
+    /// The `.cfg` document: concatenated DOT CFGs, one per procedure.
+    pub fn cfg_document(&self) -> String {
+        let mut out = String::new();
+        for proc in self.program.procedures.iter() {
+            let name = self.program.name_of(proc.name);
+            out.push_str(&Cfg::build(proc).to_dot(name));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<stem>.rgn`, `<stem>.dgn` and `<stem>.cfg` under `dir`.
+    pub fn write_project(&self, dir: &std::path::Path, stem: &str) -> Result<()> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::io(format!("creating {}", dir.display()), e))?;
+        for (ext, doc) in [
+            ("rgn", self.rgn_document()),
+            ("dgn", self.dgn_document()),
+            ("cfg", self.cfg_document()),
+        ] {
+            let path = dir.join(format!("{stem}.{ext}"));
+            std::fs::write(&path, doc)
+                .map_err(|e| Error::io(format!("writing {}", path.display()), e))?;
+        }
+        Ok(())
+    }
+
+    /// Rows for one procedure scope (by display name).
+    pub fn rows_for_proc(&self, display: &str) -> Vec<&RgnRow> {
+        self.rows.iter().filter(|r| r.proc == display).collect()
+    }
+
+    /// Rows for the `@` global scope.
+    pub fn global_rows(&self) -> Vec<&RgnRow> {
+        self.rows.iter().filter(|r| r.is_global).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regions::access::AccessMode;
+
+    fn analyze_mini_lu() -> Analysis {
+        Analysis::run_generated(&workloads::mini_lu::sources(), AnalysisOptions::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn mini_lu_compiles_and_has_24_procedures() {
+        let a = analyze_mini_lu();
+        assert_eq!(a.program.procedure_count(), 24);
+        assert_eq!(a.callgraph.size(), 24);
+    }
+
+    #[test]
+    fn table2_xcr_rows() {
+        let a = analyze_mini_lu();
+        let verify_rows = a.rows_for_proc("verify");
+        let xcr_use: Vec<_> = verify_rows
+            .iter()
+            .filter(|r| r.array == "xcr" && r.mode == AccessMode::Use)
+            .collect();
+        // Fig. 12: four USE rows, refs 4, region 1:5, 40 bytes, AD 10.
+        assert_eq!(xcr_use.len(), 4, "{xcr_use:#?}");
+        for r in &xcr_use {
+            assert_eq!(r.refs, 4);
+            assert_eq!((r.lb.as_str(), r.ub.as_str(), r.stride.as_str()), ("1", "5", "1"));
+            assert_eq!(r.elem_size, 8);
+            assert_eq!(r.data_type, "double");
+            assert_eq!(r.dim_size, "5");
+            assert_eq!(r.tot_size, 5);
+            assert_eq!(r.size_bytes, 40);
+            assert_eq!(r.acc_density, 10);
+            assert_eq!(r.file, "verify.o");
+        }
+        // Table II: the FORMAL row with AD 2.
+        let formal = verify_rows
+            .iter()
+            .find(|r| r.array == "xcr" && r.mode == AccessMode::Formal)
+            .unwrap();
+        assert_eq!(formal.refs, 1);
+        assert_eq!(formal.acc_density, 2);
+        assert_eq!((formal.lb.as_str(), formal.ub.as_str()), ("1", "5"));
+        // Both xcr and xce resolve to caller addresses; distinct arrays get
+        // distinct locations (b79edfa0 vs b79ef7e0 in the paper).
+        let xce_use = verify_rows
+            .iter()
+            .find(|r| r.array == "xce" && r.mode == AccessMode::Use)
+            .unwrap();
+        assert_ne!(xcr_use[0].mem_loc, "0");
+        assert_ne!(xce_use.mem_loc, "0");
+        assert_ne!(xcr_use[0].mem_loc, xce_use.mem_loc);
+    }
+
+    #[test]
+    fn table3_u_rows() {
+        let a = analyze_mini_lu();
+        let rhs_rows = a.rows_for_proc("rhs");
+        let u_use: Vec<_> = rhs_rows
+            .iter()
+            .filter(|r| r.array == "u" && r.mode == AccessMode::Use)
+            .collect();
+        assert_eq!(u_use.len(), workloads::mini_lu::U_USE_REFS);
+        for r in &u_use {
+            // Fig. 14 / Table III constants.
+            assert_eq!(r.refs, 110);
+            assert_eq!(r.dims, 4);
+            assert_eq!(r.elem_size, 8);
+            assert_eq!(r.data_type, "double");
+            assert_eq!(r.dim_size, "64|65|65|5");
+            assert_eq!(r.tot_size, 1_352_000);
+            assert_eq!(r.size_bytes, 10_816_000);
+            assert_eq!(r.acc_density, 0);
+            assert_eq!(r.file, "rhs.o");
+            assert!(r.is_global);
+            // Every row covers (1:3, 1:5, 1:10, c:c) with c in 1..=4.
+            assert!(r.lb.starts_with("1|1|1|"), "{r:?}");
+            assert!(r.ub.starts_with("3|5|10|"), "{r:?}");
+        }
+        // The separately-accessed last dimension spans 1..=4 overall.
+        let mut last_dims: Vec<&str> =
+            u_use.iter().map(|r| r.ub.rsplit('|').next().unwrap()).collect();
+        last_dims.sort_unstable();
+        last_dims.dedup();
+        assert_eq!(last_dims, ["1", "2", "3", "4"]);
+    }
+
+    #[test]
+    fn class_hotspot_row() {
+        let a = analyze_mini_lu();
+        let class_def = a
+            .rows
+            .iter()
+            .find(|r| r.array == "class" && r.mode == AccessMode::Def)
+            .unwrap();
+        // Fig. 12 row 9: char, elem 1, dims 1, 1:1, refs 9, AD 900.
+        assert_eq!(class_def.refs, 9);
+        assert_eq!(class_def.data_type, "char");
+        assert_eq!(class_def.elem_size, 1);
+        assert_eq!(class_def.size_bytes, 1);
+        assert_eq!(class_def.acc_density, 900);
+        assert_eq!((class_def.lb.as_str(), class_def.ub.as_str()), ("1", "1"));
+    }
+
+    #[test]
+    fn project_files_round_trip_on_disk() {
+        let a = Analysis::run_generated(
+            &[workloads::fig10::source()],
+            AnalysisOptions::default(),
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("araa_test_project");
+        a.write_project(&dir, "matrix").unwrap();
+        let rgn = std::fs::read_to_string(dir.join("matrix.rgn")).unwrap();
+        let rows = crate::rgn::read_rgn(&rgn).unwrap();
+        assert_eq!(rows.len(), a.rows.len());
+        let dgn = std::fs::read_to_string(dir.join("matrix.dgn")).unwrap();
+        assert!(DgnProject::read(&dgn).is_ok());
+        let cfg = std::fs::read_to_string(dir.join("matrix.cfg")).unwrap();
+        assert!(cfg.contains("digraph"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_threads_match_serial() {
+        let srcs = workloads::mini_lu::sources();
+        let serial = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        let parallel = Analysis::run_generated(
+            &srcs,
+            AnalysisOptions { threads: 4, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(serial.rows.len(), parallel.rows.len());
+        assert_eq!(serial.rows, parallel.rows);
+    }
+
+    #[test]
+    fn global_scope_filter() {
+        let a = analyze_mini_lu();
+        let globals = a.global_rows();
+        assert!(globals.iter().all(|r| r.is_global));
+        assert!(globals.iter().any(|r| r.array == "u"));
+        assert!(!globals.iter().any(|r| r.array == "xcr"), "xcr is a formal/local");
+    }
+}

@@ -1,0 +1,408 @@
+//! Dynamic array region information — the paper's future-work item, built
+//! on the WHIRL interpreter.
+//!
+//! "We also work on enhancing our tool and OpenUH to provide dynamic array
+//! region information, in order to better understand the actual array
+//! access patterns." Executing the program records, per
+//! (procedure, array, read/write), the hull of the *actually touched*
+//! region — and doubles as a whole-pipeline validator: every dynamic access
+//! must fall inside the statically reported regions.
+
+use ipa::AccessRecord;
+use regions::access::AccessMode;
+use regions::linexpr::gcd;
+use std::collections::BTreeMap;
+use support::idx::Idx;
+use support::Result;
+use whirl::interp::{AccessSink, DynMode, Interp, Limits};
+use whirl::{ProcId, Program, StIdx};
+
+/// The dynamic hull of one (procedure, array, mode) group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynRegion {
+    /// Per-dimension minimum touched index (zero-based H order).
+    pub min: Vec<i64>,
+    /// Per-dimension maximum touched index.
+    pub max: Vec<i64>,
+    /// Per-dimension gcd of offsets from `min` (0 ⇒ single value; the
+    /// dynamic stride estimate).
+    pub stride: Vec<i64>,
+    /// Number of element accesses folded in.
+    pub count: u64,
+}
+
+impl DynRegion {
+    fn new(idx: &[i64]) -> Self {
+        DynRegion {
+            min: idx.to_vec(),
+            max: idx.to_vec(),
+            stride: vec![0; idx.len()],
+            count: 1,
+        }
+    }
+
+    fn fold(&mut self, idx: &[i64]) {
+        self.count += 1;
+        let dims = self.min.len().min(idx.len());
+        for (d, &i) in idx.iter().enumerate().take(dims) {
+            if i < self.min[d] {
+                // Re-anchor: strides are offsets from the (new) min.
+                let shift = self.min[d] - i;
+                self.stride[d] = gcd(self.stride[d], shift);
+                self.min[d] = i;
+            } else {
+                self.stride[d] = gcd(self.stride[d], i - self.min[d]);
+            }
+            self.max[d] = self.max[d].max(i);
+        }
+    }
+
+    /// Renders like a triplet region (stride 0 prints as 1).
+    pub fn render(&self) -> String {
+        let parts: Vec<String> = (0..self.min.len())
+            .map(|d| {
+                format!("{}:{}:{}", self.min[d], self.max[d], self.stride[d].max(1))
+            })
+            .collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+/// The dynamic summary: an [`AccessSink`] that folds every event.
+#[derive(Debug, Default)]
+pub struct DynamicSummary {
+    groups: BTreeMap<(ProcId, StIdx, DynMode), DynRegion>,
+    /// Total element accesses observed.
+    pub total_accesses: u64,
+}
+
+impl AccessSink for DynamicSummary {
+    fn access(&mut self, proc: ProcId, array: StIdx, mode: DynMode, idx: &[i64], _line: u32) {
+        self.total_accesses += 1;
+        self.groups
+            .entry((proc, array, mode))
+            .and_modify(|r| r.fold(idx))
+            .or_insert_with(|| DynRegion::new(idx));
+    }
+}
+
+impl DynamicSummary {
+    /// All groups.
+    pub fn groups(&self) -> impl Iterator<Item = (&(ProcId, StIdx, DynMode), &DynRegion)> {
+        self.groups.iter()
+    }
+
+    /// Lookup.
+    pub fn get(&self, proc: ProcId, array: StIdx, mode: DynMode) -> Option<&DynRegion> {
+        self.groups.get(&(proc, array, mode))
+    }
+}
+
+/// Executes `entry` and returns the dynamic summary.
+pub fn run_dynamic(program: &Program, entry: &str, limits: Limits) -> Result<DynamicSummary> {
+    let mut interp = Interp::new(program, DynamicSummary::default(), limits);
+    interp.run(entry)?;
+    Ok(interp.into_sink())
+}
+
+/// One static-coverage violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The procedure whose summary failed to cover.
+    pub proc: ProcId,
+    /// The array.
+    pub array: StIdx,
+    /// Read or write.
+    pub mode: DynMode,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Checks that every dynamic hull lies inside the static summary of its
+/// procedure: for each dimension, the static records' combined bounds must
+/// enclose the dynamic min/max. Symbolic static bounds count as covering
+/// (the static analysis was conservative there).
+pub fn validate_against_static(
+    program: &Program,
+    ipa: &ipa::IpaResult,
+    dynamic: &DynamicSummary,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (&(proc, array, mode), dyn_region) in dynamic.groups() {
+        let want = match mode {
+            DynMode::Read => AccessMode::Use,
+            DynMode::Write => AccessMode::Def,
+        };
+        let summary = ipa.summary(proc);
+        let records: Vec<&AccessRecord> = summary
+            .accesses
+            .iter()
+            .filter(|r| r.array == array && r.mode == want && r.from_call.is_none())
+            .collect();
+        if records.is_empty() {
+            out.push(Violation {
+                proc,
+                array,
+                mode,
+                detail: format!(
+                    "dynamic {} of `{}` in `{}` has no static record at all",
+                    match mode {
+                        DynMode::Read => "read",
+                        DynMode::Write => "write",
+                    },
+                    program.name_of(program.symbols.get(array).name),
+                    program.name_of(program.procedure(proc).name),
+                ),
+            });
+            continue;
+        }
+        let ndims = dyn_region.min.len();
+        for d in 0..ndims {
+            // Static combined bounds for dimension d: None = unbounded
+            // (symbolic), covering everything.
+            let mut lo: Option<i64> = None;
+            let mut hi: Option<i64> = None;
+            let mut unbounded_lo = false;
+            let mut unbounded_hi = false;
+            for rec in &records {
+                let Some(t) = rec.region.dims.get(d) else { continue };
+                match t.lb.as_const() {
+                    Some(c) => lo = Some(lo.map_or(c, |x: i64| x.min(c))),
+                    None => unbounded_lo = true,
+                }
+                match t.ub.as_const() {
+                    Some(c) => hi = Some(hi.map_or(c, |x: i64| x.max(c))),
+                    None => unbounded_hi = true,
+                }
+            }
+            if !unbounded_lo {
+                if let Some(lo) = lo {
+                    if dyn_region.min[d] < lo {
+                        out.push(Violation {
+                            proc,
+                            array,
+                            mode,
+                            detail: format!(
+                                "dim {d}: dynamic min {} below static lb {}",
+                                dyn_region.min[d], lo
+                            ),
+                        });
+                    }
+                }
+            }
+            if !unbounded_hi {
+                if let Some(hi) = hi {
+                    if dyn_region.max[d] > hi {
+                        out.push(Violation {
+                            proc,
+                            array,
+                            mode,
+                            detail: format!(
+                                "dim {d}: dynamic max {} above static ub {}",
+                                dyn_region.max[d], hi
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A rendered dynamic-region report, in Dragon table spirit.
+pub fn render_report(program: &Program, dynamic: &DynamicSummary) -> String {
+    let mut out = String::from("proc | array | mode | region (dynamic) | accesses\n");
+    for (&(proc, array, mode), region) in dynamic.groups() {
+        out.push_str(&format!(
+            "{} | {} | {} | {} | {}\n",
+            program.name_of(program.procedure(proc).name),
+            program.name_of(program.symbols.get(array).name),
+            match mode {
+                DynMode::Read => "READ",
+                DynMode::Write => "WRITE",
+            },
+            region.render(),
+            region.count
+        ));
+    }
+    out
+}
+
+/// Convenience: execute + validate in one call, panicking on violations
+/// (used by tests and the validation example).
+pub fn check_analysis(analysis: &crate::Analysis, entry: &str, limits: Limits) -> Result<DynamicSummary> {
+    let dynamic = run_dynamic(&analysis.program, entry, limits)?;
+    let violations = validate_against_static(&analysis.program, &analysis.ipa, &dynamic);
+    if !violations.is_empty() {
+        let mut msg = String::from("static summary failed to cover dynamic accesses:\n");
+        for v in violations.iter().take(10) {
+            msg.push_str(&format!(
+                "  {} / {} ({:?}): {}\n",
+                v.proc.as_usize(),
+                program_name(analysis, v.array),
+                v.mode,
+                v.detail
+            ));
+        }
+        return Err(support::Error::Analysis(msg));
+    }
+    Ok(dynamic)
+}
+
+fn program_name(analysis: &crate::Analysis, st: StIdx) -> String {
+    analysis
+        .program
+        .name_of(analysis.program.symbols.get(st).name)
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Analysis, AnalysisOptions};
+
+    fn analyze(srcs: Vec<workloads::GenSource>) -> Analysis {
+        Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn matrix_dynamic_regions_match_fig9() {
+        let a = analyze(vec![workloads::fig10::source()]);
+        let dynamic =
+            run_dynamic(&a.program, "main", Limits::default()).unwrap();
+        let main = a.program.find_procedure("main").unwrap();
+        let aarr = a
+            .program
+            .symbols
+            .find(a.program.interner.get("aarr").unwrap())
+            .unwrap();
+        let writes = dynamic.get(main, aarr, DynMode::Write).unwrap();
+        // DEF hull: (0:7) ∪ (1:8) = 0..8, 16 writes.
+        assert_eq!((writes.min[0], writes.max[0]), (0, 8));
+        assert_eq!(writes.count, 16);
+        let reads = dynamic.get(main, aarr, DynMode::Read).unwrap();
+        // USE hull: two reads per i in 0..=7 plus the strided loop: 0..7.
+        assert_eq!((reads.min[0], reads.max[0]), (0, 7));
+        assert_eq!(reads.count, 16 + 3);
+    }
+
+    #[test]
+    fn matrix_execution_computes_correct_values() {
+        let a = analyze(vec![workloads::fig10::source()]);
+        let mut interp = whirl::interp::Interp::new(
+            &a.program,
+            whirl::interp::NullSink,
+            Limits::default(),
+        );
+        interp.run("main").unwrap();
+        let aarr = a
+            .program
+            .symbols
+            .find(a.program.interner.get("aarr").unwrap())
+            .unwrap();
+        // aarr[i] = i, then aarr[i+1] = 2*aarr[i]: 0,1,2,... then doubling
+        // cascade: aarr = [0, 0, 0, ...]? Walk it: loop1 sets aarr[i]=i for
+        // 0..=7. loop2: aarr[i+1] = aarr[i]+aarr[i] for i=0..=7:
+        // aarr[1]=0, aarr[2]=0, ... all zeros after the cascade.
+        for i in 1..=8 {
+            assert_eq!(interp.peek(aarr, &[i]), Some(0.0), "aarr[{i}]");
+        }
+        assert_eq!(interp.peek(aarr, &[0]), Some(0.0));
+        assert_eq!(interp.peek(aarr, &[9]), Some(0.0), "untouched tail");
+    }
+
+    #[test]
+    fn static_covers_dynamic_for_matrix() {
+        let a = analyze(vec![workloads::fig10::source()]);
+        let dynamic = check_analysis(&a, "main", Limits::default()).unwrap();
+        assert!(dynamic.total_accesses > 0);
+    }
+
+    #[test]
+    fn static_covers_dynamic_for_tiny_lu() {
+        let srcs =
+            workloads::mini_lu::sources_scaled(workloads::mini_lu::LuConfig::tiny());
+        let a = analyze(srcs);
+        let dynamic = check_analysis(&a, "applu", Limits::default()).unwrap();
+        assert!(dynamic.total_accesses > 1000, "{}", dynamic.total_accesses);
+    }
+
+    #[test]
+    fn rhs_dynamic_region_matches_static_shape() {
+        let srcs =
+            workloads::mini_lu::sources_scaled(workloads::mini_lu::LuConfig::tiny());
+        let a = analyze(srcs);
+        let dynamic = run_dynamic(&a.program, "applu", Limits::default()).unwrap();
+        let rhs = a.program.find_procedure("rhs").unwrap();
+        let u = a
+            .program
+            .symbols
+            .find(a.program.interner.get("u").unwrap())
+            .unwrap();
+        let reads = dynamic.get(rhs, u, DynMode::Read).unwrap();
+        // H order (reversed source dims): last-dim planes 0..3, k 0..9,
+        // j 0..4, i 0..2.
+        assert_eq!(reads.min, vec![0, 0, 0, 0]);
+        assert_eq!(reads.max, vec![3, 9, 4, 2]);
+    }
+
+    #[test]
+    fn dynamic_stride_detected() {
+        let a = analyze(vec![workloads::GenSource::fortran(
+            "s.f",
+            "program main\n  real a(20)\n  common /g/ a\n  integer i\n  do i = 2, 10, 2\n    a(i) = 1.0\n  end do\nend\n",
+        )]);
+        let dynamic = run_dynamic(&a.program, "main", Limits::default()).unwrap();
+        let main = a.program.find_procedure("main").unwrap();
+        let arr = a
+            .program
+            .symbols
+            .find(a.program.interner.get("a").unwrap())
+            .unwrap();
+        let writes = dynamic.get(main, arr, DynMode::Write).unwrap();
+        assert_eq!(writes.stride, vec![2], "dynamic stride gcd");
+        assert_eq!(writes.render(), "(1:9:2)");
+    }
+
+    #[test]
+    fn fuel_limit_aborts_runaway() {
+        let a = analyze(vec![workloads::GenSource::fortran(
+            "s.f",
+            "program main\n  integer i\n  do i = 1, 1000000\n    i = i\n  end do\nend\n",
+        )]);
+        let err = run_dynamic(&a.program, "main", Limits { fuel: 1000, max_depth: 8 });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn recursion_hits_depth_limit() {
+        let a = analyze(vec![workloads::GenSource::fortran(
+            "r.f",
+            "program main\n  call r\nend\nsubroutine r\n  call r\nend\n",
+        )]);
+        let err = run_dynamic(&a.program, "main", Limits { fuel: 1_000_000, max_depth: 16 })
+            .unwrap_err();
+        assert!(err.to_string().contains("call depth"), "{err}");
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let a = analyze(vec![workloads::GenSource::fortran(
+            "s.f",
+            "program main\n  real a(5)\n  common /g/ a\n  integer i\n  do i = 1, 9\n    a(i) = 1.0\n  end do\nend\n",
+        )]);
+        let err = run_dynamic(&a.program, "main", Limits::default()).unwrap_err();
+        assert!(err.to_string().contains("out-of-bounds"), "{err}");
+    }
+
+    #[test]
+    fn render_report_lists_groups() {
+        let a = analyze(vec![workloads::fig10::source()]);
+        let dynamic = run_dynamic(&a.program, "main", Limits::default()).unwrap();
+        let report = render_report(&a.program, &dynamic);
+        assert!(report.contains("aarr"));
+        assert!(report.contains("WRITE"));
+        assert!(report.contains("READ"));
+    }
+}

@@ -1,0 +1,119 @@
+//! `.rgn` file writing and parsing.
+//!
+//! The compiler side writes the comma-separated `.rgn` file; the Dragon side
+//! "will later [process it] by our array analysis graph". Files start with a
+//! header row so they are self-describing.
+
+use crate::row::RgnRow;
+use support::csv::{parse, CsvWriter};
+use support::Error;
+
+/// Serializes rows into a `.rgn` document (header + one row per region per
+/// access mode).
+pub fn write_rgn(rows: &[RgnRow]) -> String {
+    let mut w = CsvWriter::new();
+    w.write_row(RgnRow::HEADER);
+    for row in rows {
+        row.write_csv(&mut w);
+    }
+    w.finish()
+}
+
+/// Parses a `.rgn` document back into rows, verifying the header.
+pub fn read_rgn(doc: &str) -> Result<Vec<RgnRow>, Error> {
+    let records = parse(doc)?;
+    let mut it = records.into_iter();
+    let header = it
+        .next()
+        .ok_or_else(|| Error::Format("empty .rgn file".to_string()))?;
+    if header != RgnRow::HEADER {
+        return Err(Error::Format(format!(
+            "unexpected .rgn header: {header:?}"
+        )));
+    }
+    let mut rows = Vec::new();
+    for record in it {
+        if record.iter().all(String::is_empty) {
+            continue;
+        }
+        rows.push(RgnRow::parse_csv(&record)?);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regions::access::AccessMode;
+
+    fn sample_rows() -> Vec<RgnRow> {
+        vec![
+            RgnRow {
+                proc: "MAIN__".into(),
+                array: "aarr".into(),
+                file: "matrix.o".into(),
+                mode: AccessMode::Def,
+                refs: 2,
+                dims: 1,
+                lb: "0".into(),
+                ub: "7".into(),
+                stride: "1".into(),
+                elem_size: 4,
+                data_type: "int".into(),
+                dim_size: "20".into(),
+                tot_size: 20,
+                size_bytes: 80,
+                mem_loc: "55599870".into(),
+                acc_density: 2,
+                via: None,
+                line: 5,
+                is_global: true,
+                remote: false,
+            },
+            RgnRow {
+                proc: "add".into(),
+                array: "a".into(),
+                file: "fig1.o".into(),
+                mode: AccessMode::Use,
+                refs: 1,
+                dims: 2,
+                lb: "101|101".into(),
+                ub: "200|200".into(),
+                stride: "1|1".into(),
+                elem_size: 4,
+                data_type: "int".into(),
+                dim_size: "200|200".into(),
+                tot_size: 40_000,
+                size_bytes: 160_000,
+                mem_loc: "55599900".into(),
+                acc_density: 0,
+                via: Some("p2".into()),
+                line: 6,
+                is_global: true,
+                remote: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let rows = sample_rows();
+        let doc = write_rgn(&rows);
+        let back = read_rgn(&doc).unwrap();
+        assert_eq!(back, rows);
+        // Global rows carry the Dragon `@` marker in the serialized form.
+        assert!(doc.contains("@MAIN__"));
+    }
+
+    #[test]
+    fn header_is_checked() {
+        assert!(read_rgn("not,a,header\n1,2,3\n").is_err());
+        assert!(read_rgn("").is_err());
+    }
+
+    #[test]
+    fn header_only_file_is_empty() {
+        let doc = write_rgn(&[]);
+        assert_eq!(read_rgn(&doc).unwrap(), Vec::<RgnRow>::new());
+    }
+}

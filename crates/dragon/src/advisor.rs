@@ -1,0 +1,565 @@
+//! The advisor: turning analysis rows into the paper's three optimizations.
+//!
+//! 1. **Arrays defined inefficiently** — "our tool shows that the user can
+//!    redefine array aarr to be (int `aarr[8]`) instead of (int `aarr[20]`)
+//!    since the remaining elements have not been used anywhere";
+//! 2. **Reduce data movement** — "`#pragma acc region for copyin(aarr[2:7])`
+//!    can be inserted right before the last for loop" /
+//!    "`!$acc region copyin(u(1:3,1:5,1:10,1:4))` instead of
+//!    `!$acc region copyin(u)`";
+//! 3. **Auto-parallelization** — loop fusion with one `!$omp parallel do`
+//!    (Case 1) and independent call pairs (Fig. 1).
+
+use crate::project::Project;
+use araa::{Analysis, RgnRow};
+use regions::access::AccessMode;
+use std::collections::BTreeMap;
+
+/// Which modes the shrink advice considers "used".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShrinkBasis {
+    /// USE rows only — the paper's reading (`aarr[8]` despite the
+    /// `DEF (1:8)` row; the store to index 8 is dead).
+    UseOnly,
+    /// USE ∪ DEF — the conservative hull.
+    UseAndDef,
+}
+
+/// One recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Advice {
+    /// Re-declare an array with a smaller extent.
+    ShrinkArray {
+        /// Array name.
+        array: String,
+        /// Declared extents per dimension.
+        declared: Vec<i64>,
+        /// Accessed hull per dimension (inclusive source bounds).
+        used: Vec<(i64, i64)>,
+        /// The suggested declaration.
+        suggestion: String,
+    },
+    /// Insert a sub-array `copyin` before the accessing loop.
+    SubArrayCopyin {
+        /// Array name.
+        array: String,
+        /// Procedure scope.
+        proc: String,
+        /// The directive text.
+        directive: String,
+        /// Declared bytes.
+        whole_bytes: i64,
+        /// Bytes of the accessed region.
+        accessed_bytes: i64,
+    },
+    /// Merge loops re-reading the same region, under one `!$omp parallel do`.
+    LoopFusion {
+        /// Array name.
+        array: String,
+        /// Procedure scope.
+        proc: String,
+        /// The identical region re-read.
+        region: String,
+        /// Source lines of the repeated reads.
+        lines: Vec<u32>,
+    },
+    /// Two calls with disjoint side effects can run concurrently.
+    ParallelCalls {
+        /// The enclosing procedure.
+        caller: String,
+        /// First callee.
+        callee_a: String,
+        /// Second callee.
+        callee_b: String,
+    },
+    /// A loop with no loop-carried dependence: insert `!$omp parallel do`
+    /// (with the reduction/private clauses the scalar analysis derived).
+    OmpParallelDo {
+        /// Procedure containing the loop.
+        proc: String,
+        /// Loop-header source line.
+        line: u32,
+        /// The complete directive text.
+        directive: String,
+    },
+    /// Remote (coindexed) element accesses inside a loop: aggregate the
+    /// region into one bulk one-sided transfer — "the user \[can\] optimize
+    /// communication ... in PGAS context".
+    BulkCommunication {
+        /// The coarray.
+        array: String,
+        /// Procedure scope.
+        proc: String,
+        /// Direction: true = remote read (get), false = remote write (put).
+        get: bool,
+        /// The remotely accessed region (source bounds).
+        region: String,
+        /// Element accesses that would collapse into one transfer.
+        refs: u64,
+    },
+}
+
+/// Parses a `|`-joined bound column into per-dimension integers; `None`
+/// when any part is symbolic (`MESSY`, `$n`, ...).
+fn parse_bounds(s: &str) -> Option<Vec<i64>> {
+    s.split('|').map(|p| p.trim().parse::<i64>().ok()).collect()
+}
+
+fn parse_dim_sizes(s: &str) -> Option<Vec<i64>> {
+    parse_bounds(s)
+}
+
+/// Returns the per-dimension hull (lb, ub) over a set of rows, `None` when
+/// no row is fully constant.
+fn hull(rows: &[&RgnRow]) -> Option<Vec<(i64, i64)>> {
+    let mut acc: Option<Vec<(i64, i64)>> = None;
+    for row in rows {
+        let (Some(lbs), Some(ubs)) = (parse_bounds(&row.lb), parse_bounds(&row.ub)) else {
+            continue;
+        };
+        if lbs.len() != ubs.len() {
+            continue;
+        }
+        match &mut acc {
+            None => acc = Some(lbs.into_iter().zip(ubs).collect()),
+            Some(h) => {
+                if h.len() != lbs.len() {
+                    continue;
+                }
+                for (d, (lo, hi)) in h.iter_mut().enumerate() {
+                    *lo = (*lo).min(lbs[d]);
+                    *hi = (*hi).max(ubs[d]);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Language guess per procedure from the project's file names.
+fn proc_is_fortran(project: &Project, proc: &str) -> bool {
+    project
+        .dgn
+        .procs
+        .iter()
+        .find(|p| p.display == proc || p.name == proc)
+        .map(|p| !p.file.ends_with(".c"))
+        .unwrap_or(true)
+}
+
+/// Advice 1: arrays whose accessed hull is strictly smaller than their
+/// declaration.
+pub fn shrink_advice(project: &Project, basis: ShrinkBasis) -> Vec<Advice> {
+    let mut per_array: BTreeMap<String, Vec<&RgnRow>> = BTreeMap::new();
+    for row in &project.rows {
+        let counts = match basis {
+            ShrinkBasis::UseOnly => row.mode == AccessMode::Use,
+            ShrinkBasis::UseAndDef => row.mode.moves_data(),
+        };
+        // Propagated rows duplicate callee-local rows; keep them anyway —
+        // hulls are idempotent under duplicates.
+        if counts {
+            per_array.entry(row.array.clone()).or_default().push(row);
+        }
+    }
+    let mut out = Vec::new();
+    for (array, rows) in per_array {
+        let Some(used) = hull(&rows) else { continue };
+        let Some(declared) = parse_dim_sizes(&rows[0].dim_size) else { continue };
+        if declared.len() != used.len() {
+            continue;
+        }
+        // Declared source bounds: C arrays start at 0, Fortran at 1 — infer
+        // from the smallest possible lb across rows (a used lb of 0 means
+        // zero-based).
+        let zero_based = used.iter().any(|&(lo, _)| lo == 0);
+        let decl_lb = if zero_based { 0 } else { 1 };
+        let shrinkable = used
+            .iter()
+            .zip(&declared)
+            .any(|(&(_, hi), &ext)| hi < decl_lb + ext - 1);
+        if !shrinkable {
+            continue;
+        }
+        let suggestion = if zero_based {
+            let exts: Vec<String> =
+                used.iter().map(|&(_, hi)| format!("[{}]", hi + 1)).collect();
+            format!("{array}{}", exts.concat())
+        } else {
+            let dims: Vec<String> =
+                used.iter().map(|&(lo, hi)| format!("{lo}:{hi}")).collect();
+            format!("{array}({})", dims.join(", "))
+        };
+        out.push(Advice::ShrinkArray { array, declared, used, suggestion });
+    }
+    out
+}
+
+/// Maximum line gap between two USE rows considered part of the same loop
+/// for [`copyin_advice`]'s clustering.
+const CLUSTER_GAP: u32 = 2;
+
+/// Advice 2: sub-array `copyin` directives. The paper inserts the directive
+/// "right before the last for loop", i.e. the clause names the region of
+/// *that loop*, not the whole procedure — so USE rows are clustered by
+/// source-line proximity (one cluster ≈ one loop nest) and each cluster
+/// whose hull is smaller than the declaration yields a directive.
+pub fn copyin_advice(project: &Project) -> Vec<Advice> {
+    let mut per_scope: BTreeMap<(String, String), Vec<&RgnRow>> = BTreeMap::new();
+    for row in &project.rows {
+        if row.mode == AccessMode::Use && row.via.is_none() {
+            per_scope
+                .entry((row.proc.clone(), row.array.clone()))
+                .or_default()
+                .push(row);
+        }
+    }
+    let mut out = Vec::new();
+    for ((proc, array), mut rows) in per_scope {
+        rows.sort_by_key(|r| r.line);
+        let mut clusters: Vec<Vec<&RgnRow>> = Vec::new();
+        for row in rows {
+            match clusters.last_mut() {
+                Some(cluster)
+                    if row.line.saturating_sub(cluster.last().unwrap().line)
+                        <= CLUSTER_GAP =>
+                {
+                    cluster.push(row)
+                }
+                _ => clusters.push(vec![row]),
+            }
+        }
+        for cluster in clusters {
+            if let Some(advice) = cluster_copyin(project, &proc, &array, &cluster) {
+                if !out.contains(&advice) {
+                    out.push(advice);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn cluster_copyin(
+    project: &Project,
+    proc: &str,
+    array: &str,
+    rows: &[&RgnRow],
+) -> Option<Advice> {
+    let used = hull(rows)?;
+    let declared = parse_dim_sizes(&rows[0].dim_size)?;
+    if declared.len() != used.len() {
+        return None;
+    }
+    let accessed_elems: i64 = used.iter().map(|&(lo, hi)| hi - lo + 1).product();
+    let whole_elems: i64 = declared.iter().product();
+    if accessed_elems >= whole_elems || whole_elems == 0 {
+        return None;
+    }
+    let elem = rows[0].elem_size.abs();
+    let fortran = proc_is_fortran(project, proc);
+    let directive = if fortran {
+        let dims: Vec<String> = used.iter().map(|&(lo, hi)| format!("{lo}:{hi}")).collect();
+        format!("!$acc region copyin({array}({}))", dims.join(","))
+    } else {
+        // PGI C sub-array syntax with an exclusive upper bound — the
+        // paper's `copyin(aarr[2:7])` for the section {2,4,6}.
+        let dims: Vec<String> =
+            used.iter().map(|&(lo, hi)| format!("[{lo}:{}]", hi + 1)).collect();
+        format!("#pragma acc region for copyin({array}{})", dims.concat())
+    };
+    Some(Advice::SubArrayCopyin {
+        array: array.to_string(),
+        proc: proc.to_string(),
+        directive,
+        whole_bytes: whole_elems * elem,
+        accessed_bytes: accessed_elems * elem,
+    })
+}
+
+/// Advice 3a: loop fusion — an array re-read over the identical region at
+/// several source lines within one procedure (Case 1's `xcr`).
+pub fn fusion_advice(project: &Project) -> Vec<Advice> {
+    let mut groups: BTreeMap<(String, String, String), Vec<u32>> = BTreeMap::new();
+    for row in &project.rows {
+        if row.mode == AccessMode::Use && row.via.is_none() {
+            let region = format!("{}:{}:{}", row.lb, row.ub, row.stride);
+            groups
+                .entry((row.proc.clone(), row.array.clone(), region))
+                .or_default()
+                .push(row.line);
+        }
+    }
+    let mut out = Vec::new();
+    for ((proc, array, region), mut lines) in groups {
+        lines.sort_unstable();
+        lines.dedup();
+        if lines.len() >= 2 {
+            out.push(Advice::LoopFusion { array, proc, region, lines });
+        }
+    }
+    out
+}
+
+/// Advice 3c: loops with no loop-carried dependence — the auto-
+/// parallelization pillar ("identify auto-parallelization opportunities
+/// adeptly"). Each parallelizable top-level loop gets a ready-to-paste
+/// `!$omp parallel do` with the derived `reduction`/`private` clauses.
+pub fn omp_advice(analysis: &Analysis) -> Vec<Advice> {
+    let mut out = Vec::new();
+    for (proc_id, proc) in analysis.program.procedures.iter_enumerated() {
+        for verdict in ipa::analyze_proc_loops(&analysis.program, proc_id) {
+            if !verdict.parallelizable {
+                continue;
+            }
+            let mut clauses = String::new();
+            for (st, class) in &verdict.scalars {
+                let name = analysis
+                    .program
+                    .name_of(analysis.program.symbols.get(*st).name);
+                match class {
+                    ipa::ScalarUse::Reduction => {
+                        clauses.push_str(&format!(" reduction(+:{name})"))
+                    }
+                    ipa::ScalarUse::Privatizable => {
+                        clauses.push_str(&format!(" private({name})"))
+                    }
+                }
+            }
+            out.push(Advice::OmpParallelDo {
+                proc: analysis.program.name_of(proc.name).to_string(),
+                line: verdict.line,
+                directive: format!("!$omp parallel do{clauses}"),
+            });
+        }
+    }
+    out
+}
+
+/// Advice 4 (PGAS extension): element-wise remote accesses that should be
+/// aggregated into bulk one-sided transfers.
+pub fn communication_advice(project: &Project) -> Vec<Advice> {
+    let mut out = Vec::new();
+    for row in &project.rows {
+        if !row.remote || row.via.is_some() || !row.mode.moves_data() {
+            continue;
+        }
+        out.push(Advice::BulkCommunication {
+            array: row.array.clone(),
+            proc: row.proc.clone(),
+            get: row.mode == AccessMode::Use,
+            region: format!("{}:{}:{}", row.lb, row.ub, row.stride),
+            refs: row.refs,
+        });
+    }
+    out.dedup();
+    out
+}
+
+/// Advice 3b: independent call pairs (needs the full analysis, not just the
+/// project rows).
+pub fn parallel_call_advice(analysis: &Analysis) -> Vec<Advice> {
+    ipa::find_parallel_pairs(&analysis.program, &analysis.callgraph, &analysis.ipa)
+        .into_iter()
+        .map(|pair| {
+            let name = |id| {
+                analysis
+                    .program
+                    .name_of(analysis.program.procedure(id).name)
+                    .to_string()
+            };
+            Advice::ParallelCalls {
+                caller: name(pair.caller),
+                callee_a: name(pair.callee_a),
+                callee_b: name(pair.callee_b),
+            }
+        })
+        .collect()
+}
+
+/// Runs every advisor.
+pub fn advise(analysis: &Analysis, project: &Project) -> Vec<Advice> {
+    let mut out = shrink_advice(project, ShrinkBasis::UseOnly);
+    out.extend(copyin_advice(project));
+    out.extend(fusion_advice(project));
+    out.extend(parallel_call_advice(analysis));
+    out.extend(omp_advice(analysis));
+    out.extend(communication_advice(project));
+    out
+}
+
+/// Renders advice as human-readable lines.
+pub fn render(advice: &[Advice]) -> String {
+    let mut out = String::new();
+    for a in advice {
+        match a {
+            Advice::ShrinkArray { array, declared, used, suggestion } => {
+                out.push_str(&format!(
+                    "shrink: `{array}` declared {declared:?} but only {used:?} is used — redefine as `{suggestion}`\n"
+                ));
+            }
+            Advice::SubArrayCopyin { array, proc, directive, whole_bytes, accessed_bytes } => {
+                out.push_str(&format!(
+                    "offload: in `{proc}`, port {accessed_bytes} of {whole_bytes} bytes of `{array}`: insert `{directive}`\n"
+                ));
+            }
+            Advice::LoopFusion { array, proc, region, lines } => {
+                out.push_str(&format!(
+                    "fusion: in `{proc}`, `{array}` region {region} is re-read at lines {lines:?} — merge the loops under one `!$omp parallel do`\n"
+                ));
+            }
+            Advice::ParallelCalls { caller, callee_a, callee_b } => {
+                out.push_str(&format!(
+                    "parallel: in `{caller}`, calls to `{callee_a}` and `{callee_b}` touch disjoint regions and can run concurrently\n"
+                ));
+            }
+            Advice::OmpParallelDo { proc, line, directive } => {
+                out.push_str(&format!(
+                    "openmp: in `{proc}`, the loop at line {line} has no loop-carried dependence — insert `{directive}`\n"
+                ));
+            }
+            Advice::BulkCommunication { array, proc, get, region, refs } => {
+                let verb = if *get { "get" } else { "put" };
+                out.push_str(&format!(
+                    "communication: in `{proc}`, {refs} element-wise remote {verb}(s) on `{array}` cover region {region} — aggregate into one bulk {verb}\n"
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use araa::AnalysisOptions;
+
+    fn project_of(srcs: Vec<workloads::GenSource>) -> (Analysis, Project) {
+        let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        let project = Project::from_generated(&analysis, &srcs);
+        (analysis, project)
+    }
+
+    #[test]
+    fn fig10_shrink_matches_paper() {
+        let (_a, p) = project_of(vec![workloads::fig10::source()]);
+        let advice = shrink_advice(&p, ShrinkBasis::UseOnly);
+        assert_eq!(advice.len(), 1, "{advice:#?}");
+        match &advice[0] {
+            Advice::ShrinkArray { array, suggestion, used, .. } => {
+                assert_eq!(array, "aarr");
+                // Paper: "redefine aarr to be (int aarr[8])".
+                assert_eq!(suggestion, "aarr[8]");
+                assert_eq!(used, &vec![(0, 7)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn use_and_def_basis_is_conservative() {
+        let (_a, p) = project_of(vec![workloads::fig10::source()]);
+        let advice = shrink_advice(&p, ShrinkBasis::UseAndDef);
+        match &advice[0] {
+            Advice::ShrinkArray { suggestion, used, .. } => {
+                // DEF (1:8) extends the hull to index 8.
+                assert_eq!(used, &vec![(0, 8)]);
+                assert_eq!(suggestion, "aarr[9]");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig10_copyin_matches_paper() {
+        let (_a, p) = project_of(vec![workloads::fig10::source()]);
+        let advice = copyin_advice(&p);
+        let aarr: Vec<String> = advice
+            .iter()
+            .filter_map(|a| match a {
+                Advice::SubArrayCopyin { array, directive, .. } if array == "aarr" => {
+                    Some(directive.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        // The last loop's cluster yields the paper's exact directive:
+        // "#pragma acc region for copyin(aarr[2:7])".
+        assert!(
+            aarr.contains(&"#pragma acc region for copyin(aarr[2:7])".to_string()),
+            "{aarr:#?}"
+        );
+        // The earlier loops form their own cluster over 0..=7 / 1..=8.
+        assert!(aarr.iter().any(|d| d.contains("aarr[0:")), "{aarr:#?}");
+    }
+
+    #[test]
+    fn lu_copyin_matches_case2() {
+        let (_a, p) = project_of(workloads::mini_lu::sources());
+        let advice = copyin_advice(&p);
+        let u = advice
+            .iter()
+            .find_map(|a| match a {
+                Advice::SubArrayCopyin { array, proc, directive, whole_bytes, accessed_bytes }
+                    if array == "u" && proc == "rhs" =>
+                {
+                    Some((directive.clone(), *whole_bytes, *accessed_bytes))
+                }
+                _ => None,
+            })
+            .expect("copyin advice for u in rhs");
+        // Paper: "!$acc region copyin(U(1:3, 1:5, 1:10, 1:4))".
+        assert_eq!(u.0, "!$acc region copyin(u(1:3,1:5,1:10,1:4))");
+        assert_eq!(u.1, 10_816_000);
+        assert_eq!(u.2, 3 * 5 * 10 * 4 * 8);
+    }
+
+    #[test]
+    fn lu_fusion_detects_xcr_reuse() {
+        let (_a, p) = project_of(workloads::mini_lu::sources());
+        let advice = fusion_advice(&p);
+        let xcr = advice
+            .iter()
+            .find_map(|a| match a {
+                Advice::LoopFusion { array, proc, lines, .. }
+                    if array == "xcr" && proc == "verify" =>
+                {
+                    Some(lines.clone())
+                }
+                _ => None,
+            })
+            .expect("fusion advice for xcr");
+        assert_eq!(xcr.len(), 2, "two distinct loops re-read xcr: {xcr:?}");
+    }
+
+    #[test]
+    fn fig1_parallel_calls_detected() {
+        let (a, p) = project_of(vec![workloads::fig1::source()]);
+        let advice = parallel_call_advice(&a);
+        assert_eq!(advice.len(), 1);
+        match &advice[0] {
+            Advice::ParallelCalls { caller, callee_a, callee_b } => {
+                assert_eq!(caller, "add");
+                assert_eq!(callee_a, "p1");
+                assert_eq!(callee_b, "p2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = p;
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let (a, p) = project_of(vec![workloads::fig1::source()]);
+        let text = render(&advise(&a, &p));
+        assert!(text.contains("parallel: in `add`"), "{text}");
+    }
+
+    #[test]
+    fn bounds_parsing() {
+        assert_eq!(parse_bounds("1|2|3"), Some(vec![1, 2, 3]));
+        assert_eq!(parse_bounds("7"), Some(vec![7]));
+        assert_eq!(parse_bounds("1|MESSY"), None);
+        assert_eq!(parse_bounds("$n"), None);
+    }
+}

@@ -1,0 +1,178 @@
+//! Source browsing: highlighting and grep (Fig. 7).
+//!
+//! "This GUI provides features such as: syntax highlighting as well as find
+//! /UNIX-like grep feature. Moreover, the developer has the ability to
+//! distinctly visualize the source code in order to refer to any particular
+//! global array or an array parameter of a procedure."
+
+use crate::project::Project;
+
+/// One grep/browse hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceHit {
+    /// File name.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The line text.
+    pub text: String,
+}
+
+/// Greps every registered source for `pattern` (plain substring,
+/// case-insensitive) — the tool's "UNIX-like grep feature".
+pub fn grep(project: &Project, pattern: &str) -> Vec<SourceHit> {
+    let needle = pattern.to_lowercase();
+    let mut hits = Vec::new();
+    for (file, text) in &project.sources {
+        for (i, line) in text.lines().enumerate() {
+            if line.to_lowercase().contains(&needle) {
+                hits.push(SourceHit {
+                    file: file.clone(),
+                    line: (i + 1) as u32,
+                    text: line.to_string(),
+                });
+            }
+        }
+    }
+    hits
+}
+
+/// Greps for statements mentioning an array as an identifier (so `u` does
+/// not match `u000ijk`) — "the user can grep any array to display all the
+/// statements in which the array has been accessed".
+pub fn grep_array(project: &Project, array: &str) -> Vec<SourceHit> {
+    let needle = array.to_lowercase();
+    let mut hits = Vec::new();
+    for (file, text) in &project.sources {
+        for (i, line) in text.lines().enumerate() {
+            if line_mentions_ident(&line.to_lowercase(), &needle) {
+                hits.push(SourceHit {
+                    file: file.clone(),
+                    line: (i + 1) as u32,
+                    text: line.to_string(),
+                });
+            }
+        }
+    }
+    hits
+}
+
+fn line_mentions_ident(line: &str, ident: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(ident) {
+        let begin = start + pos;
+        let end = begin + ident.len();
+        let before_ok = begin == 0 || !is_ident_char(bytes[begin - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = begin + 1;
+    }
+    false
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Renders a source file with the lines that access `array` marked — the
+/// browse view behind Fig. 7/13. With `color`, markers are ANSI green;
+/// otherwise a `>` gutter is used.
+pub fn render_source_with_highlights(
+    project: &Project,
+    file: &str,
+    array: &str,
+    color: bool,
+) -> Option<String> {
+    const GREEN: &str = "\x1b[32m";
+    const RESET: &str = "\x1b[0m";
+    let text = project.sources.get(file)?;
+    let needle = array.to_lowercase();
+    let mut out = String::new();
+    for (i, line) in text.lines().enumerate() {
+        let hit = line_mentions_ident(&line.to_lowercase(), &needle);
+        if hit && color {
+            out.push_str(&format!("{GREEN}{:>5} | {line}{RESET}\n", i + 1));
+        } else if hit {
+            out.push_str(&format!(">{:>4} | {line}\n", i + 1));
+        } else {
+            out.push_str(&format!("{:>5} | {line}\n", i + 1));
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use araa::{Analysis, AnalysisOptions};
+    use crate::project::Project;
+
+    fn lu_project() -> Project {
+        let srcs = workloads::mini_lu::sources();
+        let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        Project::from_generated(&analysis, &srcs)
+    }
+
+    #[test]
+    fn grep_finds_substring_hits() {
+        let p = lu_project();
+        let hits = grep(&p, "xcrmax");
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.file == "verify.f"));
+        assert!(hits[0].line > 0);
+    }
+
+    #[test]
+    fn grep_array_respects_identifier_boundaries() {
+        let p = lu_project();
+        let hits = grep_array(&p, "u");
+        assert!(!hits.is_empty());
+        // `u000ijk(m)` lines in exact.f must not match bare `u`.
+        assert!(
+            hits.iter().all(|h| !h.text.contains("u000ijk") || h.text.contains("u(")),
+            "{hits:#?}"
+        );
+    }
+
+    #[test]
+    fn grep_is_case_insensitive() {
+        let p = lu_project();
+        let lower = grep(&p, "xcr");
+        let upper = grep(&p, "XCR");
+        assert_eq!(lower.len(), upper.len());
+    }
+
+    #[test]
+    fn highlight_marks_access_lines() {
+        let p = lu_project();
+        let out = render_source_with_highlights(&p, "verify.f", "xcr", false).unwrap();
+        assert!(out.contains(">"), "{out}");
+        let marked: Vec<&str> = out.lines().filter(|l| l.starts_with('>')).collect();
+        assert!(marked.iter().all(|l| l.to_lowercase().contains("xcr")));
+        assert!(marked.len() >= 3, "formal + uses: {marked:#?}");
+    }
+
+    #[test]
+    fn highlight_color_mode_uses_ansi() {
+        let p = lu_project();
+        let out = render_source_with_highlights(&p, "verify.f", "xcr", true).unwrap();
+        assert!(out.contains("\x1b[32m"));
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let p = lu_project();
+        assert!(render_source_with_highlights(&p, "nope.f", "u", false).is_none());
+    }
+
+    #[test]
+    fn ident_boundary_logic() {
+        assert!(line_mentions_ident("u(i, j) = 0", "u"));
+        assert!(!line_mentions_ident("u000ijk(m) = 0", "u"));
+        assert!(line_mentions_ident("call foo(u)", "u"));
+        assert!(!line_mentions_ident("sum = sum + 1", "u"));
+    }
+}

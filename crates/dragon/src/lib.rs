@@ -1,0 +1,26 @@
+//! Dragon — the interactive array-analysis tool, terminal edition.
+//!
+//! "Dragon is an updated OpenUH compiler-based software tool ... an
+//! interactive system with a powerful GUI providing a range of information
+//! about the structure of source program in a graphical browseable form."
+//! Our reproduction keeps every *information* feature — the array analysis
+//! graph with all its columns, the call graph, per-procedure control-flow
+//! graphs, source browsing with access highlighting, find and grep — and
+//! renders them as text/DOT instead of Qt widgets.
+//!
+//! - [`project`] — loading `.dgn`/`.rgn` bundles (or in-memory analyses);
+//! - [`view`] — the tabular array analysis graph (Figs. 6/12/14), find,
+//!   per-dimension expansion;
+//! - [`browse`] — source highlighting and grep (Figs. 7/13);
+//! - [`advisor`] — the paper's three optimization guides: array shrinking,
+//!   sub-array `copyin` directives, loop fusion, and parallelizable call
+//!   pairs.
+
+pub mod advisor;
+pub mod browse;
+pub mod project;
+pub mod view;
+
+pub use advisor::{advise, Advice, ShrinkBasis};
+pub use project::Project;
+pub use view::{render_procedure_list, render_scope, ViewOptions};

@@ -1,0 +1,229 @@
+//! The `dragon` command-line tool.
+//!
+//! ```text
+//! dragon analyze <src...> --out DIR --stem NAME   compile + write .rgn/.dgn/.cfg
+//! dragon view <scope> [--find ARRAY] <src...>     render the array analysis graph
+//! dragon callgraph <src...>                       DOT call graph (Fig. 11)
+//! dragon advise <src...>                          optimization advice
+//! dragon demo <fig1|matrix|lu>                    run a built-in paper workload
+//! dragon dynamic <entry> <src...>                 execute + dynamic region report
+//! dragon hotspots <src...> [--top N]              highest access densities
+//! ```
+//!
+//! Source language is inferred from the extension (`.c` → C, else Fortran).
+
+use araa::{Analysis, AnalysisOptions};
+use dragon::view::ViewOptions;
+use dragon::{advisor, render_procedure_list, render_scope, Project};
+use frontend::SourceFile;
+use whirl::Lang;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dragon <analyze|view|callgraph|advise|demo> [options] [sources...]\n\
+         \x20 analyze <src...> [--out DIR] [--stem NAME]\n\
+         \x20 view <scope> <src...> [--find ARRAY] [--expand-dims]\n\
+         \x20 callgraph <src...>\n\
+         \x20 advise <src...>\n\
+         \x20 demo <fig1|matrix|lu>\n\
+         \x20 dynamic <entry> <src...>\n\
+         \x20 hotspots <src...> [--top N]"
+    );
+    std::process::exit(2);
+}
+
+fn read_sources(paths: &[String]) -> Vec<(SourceFile, workloads::GenSource)> {
+    let mut out = Vec::new();
+    for p in paths {
+        let text = match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dragon: cannot read {p}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let lang = if p.ends_with(".c") { Lang::C } else { Lang::Fortran };
+        let name = std::path::Path::new(p)
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.clone());
+        out.push((
+            SourceFile::new(&name, &text, lang),
+            workloads::GenSource {
+                name,
+                text,
+                fortran: lang == Lang::Fortran,
+            },
+        ));
+    }
+    out
+}
+
+fn analyze(gens: &[workloads::GenSource]) -> (Analysis, Project) {
+    match Analysis::run_generated(gens, AnalysisOptions::default()) {
+        Ok(a) => {
+            let project = Project::from_generated(&a, gens);
+            (a, project)
+        }
+        Err(e) => {
+            // Point at the offending source line when the error carries a
+            // position (we do not know which file; show the first match).
+            if let Some(pos) = frontend::diag::error_pos(&e) {
+                for g in gens {
+                    if g.text.lines().nth(pos.line.saturating_sub(1) as usize).is_some() {
+                        eprint!("dragon: {}", frontend::diag::render(&g.name, &g.text, &e));
+                        std::process::exit(1);
+                    }
+                }
+            }
+            eprintln!("dragon: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn demo_sources(which: &str) -> Vec<workloads::GenSource> {
+    match which {
+        "fig1" => vec![workloads::fig1::source()],
+        "matrix" => vec![workloads::fig10::source()],
+        "lu" => workloads::mini_lu::sources(),
+        other => {
+            eprintln!("dragon: unknown demo `{other}` (try fig1, matrix, lu)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+
+    match cmd.as_str() {
+        "analyze" => {
+            let mut out_dir = ".".to_string();
+            let mut stem = "project".to_string();
+            let mut srcs = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--out" => out_dir = it.next().cloned().unwrap_or_else(|| usage()),
+                    "--stem" => stem = it.next().cloned().unwrap_or_else(|| usage()),
+                    other => srcs.push(other.to_string()),
+                }
+            }
+            if srcs.is_empty() {
+                usage();
+            }
+            let pairs = read_sources(&srcs);
+            let gens: Vec<_> = pairs.into_iter().map(|(_, g)| g).collect();
+            let (analysis, _) = analyze(&gens);
+            if let Err(e) =
+                analysis.write_project(std::path::Path::new(&out_dir), &stem)
+            {
+                eprintln!("dragon: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "wrote {out_dir}/{stem}.rgn, .dgn, .cfg ({} rows, {} procedures)",
+                analysis.rows.len(),
+                analysis.program.procedure_count()
+            );
+        }
+        "view" => {
+            let Some(scope) = args.get(1) else { usage() };
+            let mut find = None;
+            let mut expand = false;
+            let mut srcs = Vec::new();
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--find" => find = it.next().cloned(),
+                    "--expand-dims" => expand = true,
+                    other => srcs.push(other.to_string()),
+                }
+            }
+            let gens: Vec<_> =
+                read_sources(&srcs).into_iter().map(|(_, g)| g).collect();
+            let (_, project) = analyze(&gens);
+            print!("{}", render_procedure_list(&project));
+            let opts = ViewOptions { find, expand_dims: expand, color: true };
+            print!("{}", render_scope(&project, scope, &opts));
+        }
+        "callgraph" => {
+            let gens: Vec<_> =
+                read_sources(&args[1..]).into_iter().map(|(_, g)| g).collect();
+            let (analysis, _) = analyze(&gens);
+            print!("{}", analysis.callgraph.to_dot(&analysis.program));
+        }
+        "advise" => {
+            let gens: Vec<_> =
+                read_sources(&args[1..]).into_iter().map(|(_, g)| g).collect();
+            let (analysis, project) = analyze(&gens);
+            print!("{}", advisor::render(&advisor::advise(&analysis, &project)));
+        }
+        "demo" => {
+            let Some(which) = args.get(1) else { usage() };
+            let gens = demo_sources(which);
+            let (analysis, project) = analyze(&gens);
+            println!("== procedures ==");
+            print!("{}", render_procedure_list(&project));
+            println!("\n== array analysis graph (@ scope) ==");
+            print!("{}", render_scope(&project, "@", &ViewOptions::default()));
+            println!("\n== advice ==");
+            print!("{}", advisor::render(&advisor::advise(&analysis, &project)));
+        }
+        "hotspots" => {
+            let mut top = 10usize;
+            let mut srcs = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--top" => {
+                        top = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    other => srcs.push(other.to_string()),
+                }
+            }
+            let gens: Vec<_> =
+                read_sources(&srcs).into_iter().map(|(_, g)| g).collect();
+            let (_, project) = analyze(&gens);
+            print!("{}", dragon::view::render_hotspots(&project, top));
+        }
+        "dynamic" => {
+            let Some(entry) = args.get(1) else { usage() };
+            let gens: Vec<_> =
+                read_sources(&args[2..]).into_iter().map(|(_, g)| g).collect();
+            let (analysis, _) = analyze(&gens);
+            match araa::dynamic::run_dynamic(
+                &analysis.program,
+                entry,
+                whirl::interp::Limits::default(),
+            ) {
+                Ok(dynamic) => {
+                    print!("{}", araa::dynamic::render_report(&analysis.program, &dynamic));
+                    let violations = araa::dynamic::validate_against_static(
+                        &analysis.program,
+                        &analysis.ipa,
+                        &dynamic,
+                    );
+                    println!(
+                        "\n{} element accesses; static-covers-dynamic violations: {}",
+                        dynamic.total_accesses,
+                        violations.len()
+                    );
+                    for v in violations {
+                        println!("  VIOLATION: {}", v.detail);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("dragon: execution failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

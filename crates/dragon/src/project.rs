@@ -1,0 +1,156 @@
+//! Dragon projects: the `.dgn` + `.rgn` (+ sources) bundle the tool loads.
+//!
+//! "Invoke our Dragon tool and load the .dgn project." A [`Project`] can be
+//! built directly from an in-memory [`araa::Analysis`] (the common path in
+//! examples and tests) or loaded from the files a previous run wrote.
+
+use araa::dgn::DgnProject;
+use araa::{Analysis, RgnRow};
+use std::collections::BTreeMap;
+use std::path::Path;
+use support::{Error, Result};
+
+/// A loaded Dragon project.
+#[derive(Debug, Default)]
+pub struct Project {
+    /// Call-graph / procedure metadata.
+    pub dgn: DgnProject,
+    /// All analysis rows.
+    pub rows: Vec<RgnRow>,
+    /// Source texts by file name (for the browsing view).
+    pub sources: BTreeMap<String, String>,
+}
+
+impl Project {
+    /// Builds a project from a completed analysis plus the original sources.
+    pub fn from_analysis(analysis: &Analysis, sources: &[(String, String)]) -> Self {
+        let dgn = DgnProject::from_program(&analysis.program, &analysis.callgraph);
+        Project {
+            dgn,
+            rows: analysis.rows.clone(),
+            sources: sources.iter().cloned().collect(),
+        }
+    }
+
+    /// Convenience for generated workloads.
+    pub fn from_generated(
+        analysis: &Analysis,
+        sources: &[workloads::GenSource],
+    ) -> Self {
+        let srcs: Vec<(String, String)> =
+            sources.iter().map(|g| (g.name.clone(), g.text.clone())).collect();
+        Self::from_analysis(analysis, &srcs)
+    }
+
+    /// Loads `<stem>.dgn` and `<stem>.rgn` from a directory written by
+    /// [`araa::Analysis::write_project`].
+    pub fn load(dir: &Path, stem: &str) -> Result<Self> {
+        let read = |ext: &str| -> Result<String> {
+            let path = dir.join(format!("{stem}.{ext}"));
+            std::fs::read_to_string(&path)
+                .map_err(|e| Error::io(format!("reading {}", path.display()), e))
+        };
+        let dgn = DgnProject::read(&read("dgn")?)?;
+        let rows = araa::rgn::read_rgn(&read("rgn")?)?;
+        Ok(Project { dgn, rows, sources: BTreeMap::new() })
+    }
+
+    /// Registers a source text for browsing.
+    pub fn add_source(&mut self, file: impl Into<String>, text: impl Into<String>) {
+        self.sources.insert(file.into(), text.into());
+    }
+
+    /// The procedure list for the left column, pre-order, `@` first —
+    /// "For each program, a procedure list is generated and displayed in the
+    /// most-left column of the table. The @ symbol ... indicates global
+    /// arrays."
+    pub fn scopes(&self) -> Vec<String> {
+        let mut out = vec!["@".to_string()];
+        out.extend(self.dgn.procs.iter().map(|p| p.display.clone()));
+        out
+    }
+
+    /// Rows for a scope: `@` selects global-array rows program-wide; a
+    /// procedure name selects that procedure's rows.
+    pub fn rows_for_scope(&self, scope: &str) -> Vec<&RgnRow> {
+        if scope == "@" {
+            self.rows.iter().filter(|r| r.is_global).collect()
+        } else {
+            self.rows.iter().filter(|r| r.proc == scope).collect()
+        }
+    }
+
+    /// All distinct array names in the project.
+    pub fn array_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.rows.iter().map(|r| r.array.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use araa::AnalysisOptions;
+
+    fn fig10_project() -> Project {
+        let srcs = vec![workloads::fig10::source()];
+        let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        Project::from_generated(&analysis, &srcs)
+    }
+
+    #[test]
+    fn scopes_start_with_at() {
+        let p = fig10_project();
+        let scopes = p.scopes();
+        assert_eq!(scopes[0], "@");
+        assert!(scopes.contains(&"MAIN__".to_string()));
+    }
+
+    #[test]
+    fn at_scope_selects_globals() {
+        let p = fig10_project();
+        let rows = p.rows_for_scope("@");
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.is_global));
+        assert!(rows.iter().all(|r| r.array == "aarr"));
+    }
+
+    #[test]
+    fn proc_scope_selects_by_display_name() {
+        let p = fig10_project();
+        let rows = p.rows_for_scope("MAIN__");
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn sources_are_browsable() {
+        let p = fig10_project();
+        assert!(p.sources.contains_key("matrix.c"));
+    }
+
+    #[test]
+    fn array_names_deduplicated() {
+        let p = fig10_project();
+        assert_eq!(p.array_names(), vec!["aarr".to_string()]);
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let srcs = vec![workloads::fig10::source()];
+        let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        let dir = std::env::temp_dir().join("dragon_project_test");
+        analysis.write_project(&dir, "matrix").unwrap();
+        let p = Project::load(&dir, "matrix").unwrap();
+        assert_eq!(p.rows.len(), analysis.rows.len());
+        assert_eq!(p.dgn.procs.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_project_errors() {
+        let err = Project::load(Path::new("/nonexistent"), "x");
+        assert!(err.is_err());
+    }
+}

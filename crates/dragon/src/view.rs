@@ -1,0 +1,248 @@
+//! The array analysis graph view (Figs. 6, 12, 14).
+//!
+//! Renders the tabular structure Dragon displays: one row per region per
+//! access mode with the full column set, a find feature that highlights
+//! matches ("All accesses to Array aarr will be highlighted in green"), and
+//! the per-dimension expansion visible in Fig. 14 (multi-dimensional rows
+//! repeated once per dimension).
+
+use crate::project::Project;
+use araa::RgnRow;
+use support::table::Table;
+
+/// View options.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct ViewOptions {
+    /// Highlight rows whose array name equals this (the find box).
+    pub find: Option<String>,
+    /// Expand multi-dimensional rows into one display row per dimension
+    /// (Fig. 14's layout).
+    pub expand_dims: bool,
+    /// Emit ANSI color for highlights.
+    pub color: bool,
+}
+
+
+/// The column headers of the array analysis graph (Fig. 6's layout, plus
+/// the PGAS `Remote` extension column).
+pub const COLUMNS: [&str; 17] = [
+    "Array", "File", "Mode", "References", "Dimensions", "LB", "UB", "Stride",
+    "Element_Size", "Data_Type", "Dim_Size", "Tot_Size", "Size_bytes", "Mem_Loc",
+    "Acc_density", "Via", "Remote",
+];
+
+fn push_row(table: &mut Table, row: &RgnRow, lb: &str, ub: &str, stride: &str, hl: bool) {
+    let cells = [
+        row.array.clone(),
+        row.file.clone(),
+        row.display_mode(),
+        row.refs.to_string(),
+        row.dims.to_string(),
+        lb.to_string(),
+        ub.to_string(),
+        stride.to_string(),
+        row.elem_size.to_string(),
+        row.data_type.clone(),
+        row.dim_size.clone(),
+        row.tot_size.to_string(),
+        row.size_bytes.to_string(),
+        row.mem_loc.clone(),
+        row.acc_density.to_string(),
+        row.via.clone().unwrap_or_default(),
+        if row.remote { "yes".to_string() } else { String::new() },
+    ];
+    if hl {
+        table.add_highlighted_row(cells);
+    } else {
+        table.add_row(cells);
+    }
+}
+
+/// Builds the table for one scope.
+pub fn scope_table(project: &Project, scope: &str, opts: &ViewOptions) -> Table {
+    let mut table = Table::new(COLUMNS);
+    for row in project.rows_for_scope(scope) {
+        let hl = opts
+            .find
+            .as_deref()
+            .is_some_and(|f| row.array.eq_ignore_ascii_case(f));
+        if opts.expand_dims && row.dims > 1 {
+            let lbs: Vec<&str> = row.lb.split('|').collect();
+            let ubs: Vec<&str> = row.ub.split('|').collect();
+            let strides: Vec<&str> = row.stride.split('|').collect();
+            for d in 0..row.dims as usize {
+                push_row(
+                    &mut table,
+                    row,
+                    lbs.get(d).copied().unwrap_or(""),
+                    ubs.get(d).copied().unwrap_or(""),
+                    strides.get(d).copied().unwrap_or(""),
+                    hl,
+                );
+            }
+        } else {
+            push_row(&mut table, row, &row.lb, &row.ub, &row.stride, hl);
+        }
+    }
+    table
+}
+
+/// Renders the scope table as text.
+pub fn render_scope(project: &Project, scope: &str, opts: &ViewOptions) -> String {
+    let mut out = format!("Procedure/Scope: {scope}\n");
+    out.push_str(&scope_table(project, scope, opts).render(opts.color));
+    out
+}
+
+/// Renders the left-hand procedure list.
+pub fn render_procedure_list(project: &Project) -> String {
+    let mut out = String::new();
+    for scope in project.scopes() {
+        if scope == "@" {
+            out.push_str("@\n");
+        } else {
+            out.push_str(&format!("|-{scope}\n"));
+        }
+    }
+    out
+}
+
+/// The find feature: rows (any scope) whose array matches, with their scope.
+pub fn find_array<'p>(project: &'p Project, name: &str) -> Vec<&'p RgnRow> {
+    project
+        .rows
+        .iter()
+        .filter(|r| r.array.eq_ignore_ascii_case(name))
+        .collect()
+}
+
+/// The hotspot list: the paper defines access density precisely so the user
+/// can "identify the hotspot arrays in the program in terms of memory
+/// allocation and frequency of accesses". Returns the top `n` rows by
+/// access density (ties broken by reference count), deduplicated per
+/// (scope, array, mode, via).
+pub fn hotspots(project: &Project, n: usize) -> Vec<&RgnRow> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut rows: Vec<&RgnRow> = project
+        .rows
+        .iter()
+        .filter(|r| {
+            seen.insert((r.proc.clone(), r.array.clone(), r.mode, r.via.clone()))
+        })
+        .collect();
+    rows.sort_by_key(|r| (std::cmp::Reverse(r.acc_density), std::cmp::Reverse(r.refs)));
+    rows.truncate(n);
+    rows
+}
+
+/// Renders the hotspot list as a small table.
+pub fn render_hotspots(project: &Project, n: usize) -> String {
+    let mut table =
+        Table::new(["Array", "Scope", "Mode", "References", "Size_bytes", "Acc_density"]);
+    for r in hotspots(project, n) {
+        table.add_row([
+            r.array.clone(),
+            r.proc.clone(),
+            r.display_mode(),
+            r.refs.to_string(),
+            r.size_bytes.to_string(),
+            r.acc_density.to_string(),
+        ]);
+    }
+    table.render(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use araa::{Analysis, AnalysisOptions};
+
+    fn lu_project() -> Project {
+        let srcs = workloads::mini_lu::sources();
+        let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        Project::from_generated(&analysis, &srcs)
+    }
+
+    #[test]
+    fn verify_scope_shows_xcr_rows() {
+        let p = lu_project();
+        let out = render_scope(&p, "verify", &ViewOptions::default());
+        assert!(out.contains("xcr"), "{out}");
+        assert!(out.contains("FORMAL"), "{out}");
+        assert!(out.contains("verify.o"), "{out}");
+        assert!(out.contains("double"), "{out}");
+    }
+
+    #[test]
+    fn find_highlights_matches() {
+        let p = lu_project();
+        let opts = ViewOptions { find: Some("xcr".into()), ..Default::default() };
+        let out = render_scope(&p, "verify", &opts);
+        assert!(out.contains(">xcr"), "gutter marker expected:\n{out}");
+    }
+
+    #[test]
+    fn find_array_spans_scopes() {
+        let p = lu_project();
+        let hits = find_array(&p, "u");
+        assert!(!hits.is_empty());
+        let mut scopes: Vec<&str> = hits.iter().map(|r| r.proc.as_str()).collect();
+        scopes.sort();
+        scopes.dedup();
+        assert!(scopes.len() > 1, "u is accessed in several procedures");
+    }
+
+    #[test]
+    fn expand_dims_repeats_multidim_rows() {
+        let p = lu_project();
+        let base = scope_table(&p, "rhs", &ViewOptions::default());
+        let expanded = scope_table(
+            &p,
+            "rhs",
+            &ViewOptions { expand_dims: true, ..Default::default() },
+        );
+        assert!(expanded.row_count() > base.row_count());
+    }
+
+    #[test]
+    fn procedure_list_has_24_entries_plus_at() {
+        let p = lu_project();
+        let list = render_procedure_list(&p);
+        assert_eq!(list.lines().count(), 25);
+        assert!(list.starts_with("@\n"));
+        assert!(list.contains("|-MAIN__"));
+        assert!(list.contains("|-verify"));
+    }
+
+    #[test]
+    fn at_scope_renders_u() {
+        let p = lu_project();
+        let out = render_scope(&p, "@", &ViewOptions::default());
+        assert!(out.contains("10816000"), "u's Size_bytes column:\n{out}");
+    }
+
+    #[test]
+    fn hotspots_ranked_by_density() {
+        let p = lu_project();
+        let top = hotspots(&p, 3);
+        assert_eq!(top.len(), 3);
+        // Fig. 12's class row (AD 900) leads.
+        assert_eq!(top[0].array, "class");
+        assert_eq!(top[0].acc_density, 900);
+        // Densities are non-increasing.
+        assert!(top.windows(2).all(|w| w[0].acc_density >= w[1].acc_density));
+        let rendered = render_hotspots(&p, 3);
+        assert!(rendered.contains("class"), "{rendered}");
+    }
+
+    #[test]
+    fn propagated_rows_render_interprocedural_modes() {
+        let srcs = vec![workloads::fig1::source()];
+        let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        let p = Project::from_generated(&analysis, &srcs);
+        let out = render_scope(&p, "add", &ViewOptions::default());
+        assert!(out.contains("IDEF"), "{out}");
+        assert!(out.contains("IUSE"), "{out}");
+    }
+}

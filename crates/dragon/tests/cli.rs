@@ -1,0 +1,123 @@
+//! End-to-end tests of the `dragon` binary (the tool a user actually runs).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dragon() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dragon"))
+}
+
+fn write_temp(name: &str, text: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dragon_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn demo_matrix_prints_fig9_table() {
+    let out = dragon().args(["demo", "matrix"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("aarr"), "{stdout}");
+    assert!(stdout.contains("55599870"), "{stdout}");
+    assert!(stdout.contains("copyin(aarr[2:7])"), "{stdout}");
+    assert!(stdout.contains("aarr[8]"), "{stdout}");
+}
+
+#[test]
+fn demo_fig1_reports_parallel_pair() {
+    let out = dragon().args(["demo", "fig1"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("parallel: in `add`"), "{stdout}");
+}
+
+#[test]
+fn analyze_writes_project_files() {
+    let src = write_temp(
+        "small.f",
+        "program main\n  real a(5)\n  common /g/ a\n  integer i\n  do i = 1, 5\n    a(i) = 0.0\n  end do\nend\n",
+    );
+    let out_dir = std::env::temp_dir().join("dragon_cli_out");
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let out = dragon()
+        .args([
+            "analyze",
+            src.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--stem",
+            "small",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for ext in ["rgn", "dgn", "cfg"] {
+        assert!(out_dir.join(format!("small.{ext}")).exists());
+    }
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn callgraph_emits_dot() {
+    let src = write_temp(
+        "cg.f",
+        "program main\n  call leaf\nend\nsubroutine leaf\n  return\nend\n",
+    );
+    let out = dragon().args(["callgraph", src.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph callgraph {"), "{stdout}");
+    assert!(stdout.contains("->"), "{stdout}");
+}
+
+#[test]
+fn view_scope_with_find() {
+    let src = write_temp(
+        "v.f",
+        "program main\n  real xs(9)\n  common /g/ xs\n  integer i\n  do i = 1, 9\n    xs(i) = 1.0\n  end do\nend\n",
+    );
+    let out = dragon()
+        .args(["view", "@", src.to_str().unwrap(), "--find", "xs"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("xs"), "{stdout}");
+    assert!(stdout.contains("\u{1b}[32m"), "find matches render green: {stdout:?}");
+}
+
+#[test]
+fn dynamic_subcommand_reports_regions() {
+    let src = write_temp(
+        "d.f",
+        "program main\n  real a(9)\n  common /g/ a\n  integer i\n  do i = 1, 9\n    a(i) = 1.0\n  end do\nend\n",
+    );
+    let out = dragon()
+        .args(["dynamic", "main", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("WRITE"), "{stdout}");
+    assert!(stdout.contains("violations: 0"), "{stdout}");
+}
+
+#[test]
+fn bad_source_fails_cleanly() {
+    let src = write_temp("bad.f", "subroutine\n");
+    let out = dragon().args(["advise", src.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("dragon:"), "{stderr}");
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = dragon().output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}

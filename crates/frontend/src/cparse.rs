@@ -1,0 +1,471 @@
+//! C (subset) parser.
+//!
+//! Grammar covered — enough for the paper's `matrix.c` example (Fig. 10) and
+//! C-flavoured synthetic workloads:
+//!
+//! ```text
+//! file      := { global-decl | func }
+//! global-decl := type declarator {',' declarator} ';'
+//! declarator  := ['*'] name { '[' [INT] ']' }
+//! func      := ('void' | type) name '(' params ')' '{' { decl ';' } { stmt } '}'
+//! params    := [ param {',' param} ];  param := type ['*'] name { '[' [INT] ']' }
+//! stmt      := 'for' '(' name '=' expr ';' name ('<' | '<=') expr ';' incr ')' body
+//!            | 'if' '(' expr ')' body [ 'else' body ]
+//!            | 'return' [expr] ';'
+//!            | lvalue '=' expr ';'  |  name '(' args ')' ';'
+//! incr      := name '++' | name '+=' INT | name '=' name '+' INT
+//! body      := '{' { stmt } '}' | stmt
+//! ```
+
+use crate::ast::{AstDim, BinOp, Expr, LValue, Module, ProcDecl, Stmt, TypeName, VarDecl};
+use crate::lex::{lex, LexMode, Tok};
+use crate::parse::{arg_list, expr, Cursor, IndexStyle};
+use support::{Error, Pos, Result};
+
+/// Parses one C source file into a [`Module`].
+pub fn parse(file: &str, src: &str) -> Result<Module> {
+    let toks = lex(src, LexMode::C)?;
+    let mut c = Cursor::new(toks);
+    let mut module = Module::new(file);
+    while !c.at_eof() {
+        parse_top(&mut c, &mut module)?;
+    }
+    Ok(module)
+}
+
+fn type_name(c: &mut Cursor) -> Option<TypeName> {
+    let t = match c.peek() {
+        Tok::Ident(s) => match s.as_str() {
+            "int" => TypeName::Integer,
+            "long" => TypeName::Integer8,
+            "float" => TypeName::Real,
+            "double" => TypeName::Double,
+            "char" => TypeName::Character,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    c.bump();
+    Some(t)
+}
+
+fn parse_top(c: &mut Cursor, module: &mut Module) -> Result<()> {
+    let pos = c.pos();
+    let is_void = c.eat_kw("void");
+    let ty = if is_void {
+        None
+    } else {
+        match type_name(c) {
+            Some(t) => Some(t),
+            None => {
+                return Err(Error::parse(
+                    pos,
+                    format!("expected a type or `void`, found {:?}", c.peek()),
+                ))
+            }
+        }
+    };
+    let name = c.ident("declarator name")?;
+    if *c.peek() == Tok::LParen {
+        // Function definition.
+        c.bump();
+        let (formals, mut decls) = parse_params(c)?;
+        c.expect(&Tok::LBrace, "`{` starting function body")?;
+        parse_local_decls(c, &mut decls)?;
+        let body = parse_block_rest(c)?;
+        module.procs.push(ProcDecl {
+            is_entry: name == "main",
+            name,
+            formals,
+            decls,
+            body,
+            pos,
+        });
+        return Ok(());
+    }
+    // Global variable declaration(s).
+    let ty = ty.ok_or_else(|| Error::parse(pos, "`void` variable".to_string()))?;
+    let mut name = name;
+    loop {
+        let dims = parse_c_dims(c)?;
+        module.globals.push(VarDecl { name: name.clone(), ty, dims, coarray: false, pos });
+        if c.eat(&Tok::Comma) {
+            name = c.ident("declarator name")?;
+            continue;
+        }
+        c.expect(&Tok::Semi, "`;` after declaration")?;
+        return Ok(());
+    }
+}
+
+/// Parses `[n][m]...` suffixes into source-order dims (C arrays are 0-based).
+fn parse_c_dims(c: &mut Cursor) -> Result<Vec<AstDim>> {
+    let mut dims = Vec::new();
+    while c.eat(&Tok::LBracket) {
+        if c.eat(&Tok::RBracket) {
+            dims.push(AstDim::Unknown);
+        } else {
+            let n = c.int("array extent")?;
+            c.expect(&Tok::RBracket, "`]`")?;
+            dims.push(AstDim::Range(0, n - 1));
+        }
+    }
+    Ok(dims)
+}
+
+fn parse_params(c: &mut Cursor) -> Result<(Vec<String>, Vec<VarDecl>)> {
+    let mut formals = Vec::new();
+    let mut decls = Vec::new();
+    if c.eat(&Tok::RParen) {
+        return Ok((formals, decls));
+    }
+    if c.eat_kw("void") {
+        c.expect(&Tok::RParen, "`)` after void")?;
+        return Ok((formals, decls));
+    }
+    loop {
+        let pos = c.pos();
+        let ty = type_name(c)
+            .ok_or_else(|| Error::parse(pos, "expected parameter type".to_string()))?;
+        let is_ptr = c.eat(&Tok::Star);
+        let name = c.ident("parameter name")?;
+        let mut dims = parse_c_dims(c)?;
+        if is_ptr && dims.is_empty() {
+            dims.push(AstDim::Unknown); // `double *x` ≡ `double x[]`
+        }
+        formals.push(name.clone());
+        decls.push(VarDecl { name, ty, dims, coarray: false, pos });
+        if c.eat(&Tok::RParen) {
+            return Ok((formals, decls));
+        }
+        c.expect(&Tok::Comma, "`,` in parameter list")?;
+    }
+}
+
+fn parse_local_decls(c: &mut Cursor, decls: &mut Vec<VarDecl>) -> Result<()> {
+    loop {
+        // A declaration starts with a type keyword.
+        let save = matches!(c.peek(), Tok::Ident(s)
+            if matches!(s.as_str(), "int" | "long" | "float" | "double" | "char"));
+        if !save {
+            return Ok(());
+        }
+        let pos = c.pos();
+        let ty = type_name(c).unwrap();
+        loop {
+            let is_ptr = c.eat(&Tok::Star);
+            let name = c.ident("local name")?;
+            let mut dims = parse_c_dims(c)?;
+            if is_ptr && dims.is_empty() {
+                dims.push(AstDim::Unknown);
+            }
+            // Optional initializer: `int i = 0`.
+            if c.eat(&Tok::Assign) {
+                let _ = expr(c, IndexStyle::Bracket)?;
+            }
+            decls.push(VarDecl { name, ty, dims, coarray: false, pos });
+            if !c.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        c.expect(&Tok::Semi, "`;` after declaration")?;
+    }
+}
+
+/// Parses statements until the closing `}` (which is consumed).
+fn parse_block_rest(c: &mut Cursor) -> Result<Vec<Stmt>> {
+    let mut out = Vec::new();
+    loop {
+        if c.eat(&Tok::RBrace) {
+            return Ok(out);
+        }
+        if c.at_eof() {
+            return Err(Error::parse(c.pos(), "unexpected end of file in block".to_string()));
+        }
+        out.push(parse_stmt(c)?);
+    }
+}
+
+fn parse_body(c: &mut Cursor) -> Result<Vec<Stmt>> {
+    if c.eat(&Tok::LBrace) {
+        parse_block_rest(c)
+    } else {
+        Ok(vec![parse_stmt(c)?])
+    }
+}
+
+fn parse_stmt(c: &mut Cursor) -> Result<Stmt> {
+    let pos = c.pos();
+    if c.eat_kw("for") {
+        return parse_for(c, pos);
+    }
+    if c.eat_kw("if") {
+        c.expect(&Tok::LParen, "`(` after if")?;
+        let cond = expr(c, IndexStyle::Bracket)?;
+        c.expect(&Tok::RParen, "`)` after condition")?;
+        let then_body = parse_body(c)?;
+        let else_body = if c.eat_kw("else") { parse_body(c)? } else { Vec::new() };
+        return Ok(Stmt::If { cond, then_body, else_body, pos });
+    }
+    if c.eat_kw("return") {
+        if !c.eat(&Tok::Semi) {
+            let _ = expr(c, IndexStyle::Bracket)?;
+            c.expect(&Tok::Semi, "`;` after return value")?;
+        }
+        return Ok(Stmt::Return(pos));
+    }
+    // Assignment or call statement.
+    let name = c.ident("statement head")?;
+    if *c.peek() == Tok::LParen {
+        c.bump();
+        let args = arg_list(c, IndexStyle::Bracket)?;
+        c.expect(&Tok::Semi, "`;` after call")?;
+        return Ok(Stmt::Call(name, args, pos));
+    }
+    let lv = if *c.peek() == Tok::LBracket {
+        let mut subs = Vec::new();
+        while c.eat(&Tok::LBracket) {
+            subs.push(expr(c, IndexStyle::Bracket)?);
+            c.expect(&Tok::RBracket, "`]`")?;
+        }
+        LValue::Elem(name, subs, pos)
+    } else {
+        LValue::Var(name, pos)
+    };
+    // `x += e` sugar.
+    if c.eat(&Tok::PlusEq) {
+        let rhs = expr(c, IndexStyle::Bracket)?;
+        c.expect(&Tok::Semi, "`;` after assignment")?;
+        let read_back = lv_to_expr(&lv, pos);
+        return Ok(Stmt::Assign(
+            lv,
+            Expr::Bin(BinOp::Add, Box::new(read_back), Box::new(rhs), pos),
+            pos,
+        ));
+    }
+    if c.eat(&Tok::PlusPlus) {
+        c.expect(&Tok::Semi, "`;` after increment")?;
+        let read_back = lv_to_expr(&lv, pos);
+        return Ok(Stmt::Assign(
+            lv,
+            Expr::Bin(BinOp::Add, Box::new(read_back), Box::new(Expr::Int(1, pos)), pos),
+            pos,
+        ));
+    }
+    c.expect(&Tok::Assign, "`=` in assignment")?;
+    let rhs = expr(c, IndexStyle::Bracket)?;
+    c.expect(&Tok::Semi, "`;` after assignment")?;
+    Ok(Stmt::Assign(lv, rhs, pos))
+}
+
+fn lv_to_expr(lv: &LValue, pos: Pos) -> Expr {
+    match lv {
+        LValue::Var(n, _) => Expr::Var(n.clone(), pos),
+        LValue::Elem(n, subs, _) => Expr::Index(n.clone(), subs.clone(), pos),
+        // C has no coarrays; unreachable in this parser.
+        LValue::CoElem(n, subs, image, _) => {
+            Expr::CoIndex(n.clone(), subs.clone(), image.clone(), pos)
+        }
+    }
+}
+
+fn parse_for(c: &mut Cursor, pos: Pos) -> Result<Stmt> {
+    c.expect(&Tok::LParen, "`(` after for")?;
+    let var = c.ident("loop variable")?;
+    c.expect(&Tok::Assign, "`=` in for init")?;
+    let lo = expr(c, IndexStyle::Bracket)?;
+    c.expect(&Tok::Semi, "`;` after for init")?;
+    let var2 = c.ident("loop variable in test")?;
+    if var2 != var {
+        return Err(Error::parse(
+            pos,
+            format!("for-loop test must use `{var}`, found `{var2}`"),
+        ));
+    }
+    let strict = if c.eat(&Tok::Le) {
+        false
+    } else if c.eat(&Tok::Lt) {
+        true
+    } else {
+        return Err(Error::parse(c.pos(), "expected `<` or `<=` in for test".to_string()));
+    };
+    let mut hi = expr(c, IndexStyle::Bracket)?;
+    if strict {
+        // `i < n` ⇒ inclusive upper bound `n - 1` (folded when constant).
+        hi = match hi {
+            Expr::Int(v, p) => Expr::Int(v - 1, p),
+            e => {
+                let p = e.pos();
+                Expr::Bin(BinOp::Sub, Box::new(e), Box::new(Expr::Int(1, p)), p)
+            }
+        };
+    }
+    c.expect(&Tok::Semi, "`;` after for test")?;
+    let var3 = c.ident("loop variable in increment")?;
+    if var3 != var {
+        return Err(Error::parse(
+            pos,
+            format!("for-loop increment must use `{var}`, found `{var3}`"),
+        ));
+    }
+    let step = if c.eat(&Tok::PlusPlus) {
+        1
+    } else if c.eat(&Tok::PlusEq) {
+        c.int("step")?
+    } else if c.eat(&Tok::Assign) {
+        // `i = i + k`
+        let v = c.ident("loop variable")?;
+        if v != var {
+            return Err(Error::parse(pos, "unsupported for-loop increment".to_string()));
+        }
+        c.expect(&Tok::Plus, "`+` in increment")?;
+        c.int("step")?
+    } else {
+        return Err(Error::parse(c.pos(), "unsupported for-loop increment".to_string()));
+    };
+    c.expect(&Tok::RParen, "`)` closing for header")?;
+    let body = parse_body(c)?;
+    Ok(Stmt::Do { var, lo, hi, step, body, pos })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reconstruction of the paper's Fig. 10 `matrix.c`: aarr defined twice
+    /// (0..7 and 1..8) and used three times (0..7 twice, 2..6:2 once).
+    const MATRIX_C: &str = "\
+int aarr[20];
+
+void main() {
+    int i;
+    for (i = 0; i <= 7; i++)
+        aarr[i] = i;
+    for (i = 0; i < 8; i++)
+        aarr[i + 1] = aarr[i] + aarr[i];
+    for (i = 2; i <= 6; i += 2)
+        aarr[i] = aarr[i] + 1;
+}
+";
+
+    #[test]
+    fn parses_matrix_c() {
+        let m = parse("matrix.c", MATRIX_C).unwrap();
+        assert_eq!(m.globals.len(), 1);
+        assert_eq!(m.globals[0].name, "aarr");
+        assert_eq!(m.globals[0].dims, vec![AstDim::Range(0, 19)]);
+        let main = m.find_proc("main").unwrap();
+        assert!(main.is_entry);
+        assert_eq!(main.body.len(), 3);
+    }
+
+    #[test]
+    fn for_lt_normalizes_upper_bound() {
+        let m = parse("matrix.c", MATRIX_C).unwrap();
+        let main = m.find_proc("main").unwrap();
+        match &main.body[1] {
+            Stmt::Do { hi, .. } => assert_eq!(*hi, Expr::Int(7, hi.pos())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strided_for() {
+        let m = parse("matrix.c", MATRIX_C).unwrap();
+        let main = m.find_proc("main").unwrap();
+        match &main.body[2] {
+            Stmt::Do { lo, hi, step, .. } => {
+                assert_eq!(*lo, Expr::Int(2, lo.pos()));
+                assert_eq!(*hi, Expr::Int(6, hi.pos()));
+                assert_eq!(*step, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multidim_global() {
+        let src = "double u[64][65][65][5];\nvoid f() { int i; u[1][2][3][4] = 0.0; }\n";
+        let m = parse("rhs.c", src).unwrap();
+        assert_eq!(
+            m.globals[0].dims,
+            vec![
+                AstDim::Range(0, 63),
+                AstDim::Range(0, 64),
+                AstDim::Range(0, 64),
+                AstDim::Range(0, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn params_including_array_and_pointer() {
+        let src = "void f(double x[], double *y, int n) { x[0] = y[0]; }\n";
+        let m = parse("f.c", src).unwrap();
+        let f = m.find_proc("f").unwrap();
+        assert_eq!(f.formals, vec!["x", "y", "n"]);
+        assert_eq!(f.decls[0].dims, vec![AstDim::Unknown]);
+        assert_eq!(f.decls[1].dims, vec![AstDim::Unknown]);
+        assert!(f.decls[2].dims.is_empty());
+    }
+
+    #[test]
+    fn call_statement_passes_array() {
+        let src = "double a[10];\nvoid g(double x[]) { x[0] = 1.0; }\nvoid main() { g(a); }\n";
+        let m = parse("c.c", src).unwrap();
+        let main = m.find_proc("main").unwrap();
+        assert!(matches!(&main.body[0], Stmt::Call(n, args, _)
+            if n == "g" && matches!(&args[0], Expr::Var(v, _) if v == "a")));
+    }
+
+    #[test]
+    fn if_else_braces_and_single_statement() {
+        let src = "void f() { int i; if (i < 3) i = 1; else { i = 2; } }\n";
+        let m = parse("f.c", src).unwrap();
+        match &m.procs[0].body[0] {
+            Stmt::If { then_body, else_body, .. } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plus_eq_statement_sugar() {
+        let src = "void f() { int x; x += 3; }\n";
+        let m = parse("f.c", src).unwrap();
+        assert!(matches!(&m.procs[0].body[0], Stmt::Assign(_, Expr::Bin(BinOp::Add, _, _, _), _)));
+    }
+
+    #[test]
+    fn local_initializer_is_consumed() {
+        let src = "void f() { int i = 0; i = 1; }\n";
+        let m = parse("f.c", src).unwrap();
+        assert_eq!(m.procs[0].decls.len(), 1);
+        assert_eq!(m.procs[0].body.len(), 1);
+    }
+
+    #[test]
+    fn void_param_list() {
+        let src = "void f(void) { return; }\n";
+        let m = parse("f.c", src).unwrap();
+        assert!(m.procs[0].formals.is_empty());
+    }
+
+    #[test]
+    fn rejects_mismatched_loop_var() {
+        let src = "void f() { int i, j; for (i = 0; j < 3; i++) { i = 1; } }\n";
+        assert!(parse("f.c", src).is_err());
+    }
+
+    #[test]
+    fn increment_assignment_form() {
+        let src = "void f() { int i; double a[9]; for (i = 0; i <= 8; i = i + 3) a[i] = 0.0; }\n";
+        let m = parse("f.c", src).unwrap();
+        match &m.procs[0].body[0] {
+            Stmt::Do { step, .. } => assert_eq!(*step, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Human-readable diagnostics: the offending source line with a caret.
+//!
+//! The paper's tool is aimed at "programmers, professionals and even
+//! beginners"; when their source does not parse, the error should point at
+//! the exact character, not just name a line number.
+
+use support::{Error, Pos};
+
+/// Extracts the position carried by an error, when it has one.
+pub fn error_pos(err: &Error) -> Option<Pos> {
+    match err {
+        Error::Lex { pos, .. } | Error::Parse { pos, .. } => Some(*pos),
+        Error::Semantic { pos, .. } => *pos,
+        _ => None,
+    }
+}
+
+/// Renders an error against its source text:
+///
+/// ```text
+/// error: parse error at 3:9: expected `)`, found Newline
+///   --> bad.f:3:9
+///    |
+///  3 |   call p(x,
+///    |         ^
+/// ```
+pub fn render(file: &str, source: &str, err: &Error) -> String {
+    let mut out = format!("error: {err}\n");
+    let Some(pos) = error_pos(err) else { return out };
+    out.push_str(&format!("  --> {file}:{pos}\n"));
+    let Some(line_text) = source.lines().nth(pos.line.saturating_sub(1) as usize) else {
+        return out;
+    };
+    let gutter_width = pos.line.to_string().len().max(2);
+    let pad = " ".repeat(gutter_width);
+    out.push_str(&format!("{pad} |\n"));
+    out.push_str(&format!("{:>gutter_width$} | {line_text}\n", pos.line));
+    let caret_col = (pos.col.saturating_sub(1)) as usize;
+    // Tabs in the prefix keep their width in the caret line.
+    let prefix: String = line_text
+        .chars()
+        .take(caret_col)
+        .map(|c| if c == '\t' { '\t' } else { ' ' })
+        .collect();
+    out.push_str(&format!("{pad} | {prefix}^\n"));
+    out
+}
+
+/// Convenience: compile one source and render any failure against it.
+pub fn check_source(file: &str, source: &str, lang: whirl::Lang) -> Result<(), String> {
+    let sf = crate::SourceFile::new(file, source, lang);
+    match crate::compile(std::slice::from_ref(&sf)) {
+        Ok(_) => Ok(()),
+        Err(e) => Err(render(file, source, &e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirl::Lang;
+
+    #[test]
+    fn parse_error_points_at_the_character() {
+        let src = "subroutine s\n  integer a(5)\n  a(1 = 0\nend\n";
+        let err = check_source("bad.f", src, Lang::Fortran).unwrap_err();
+        assert!(err.starts_with("error: parse error"), "{err}");
+        assert!(err.contains("--> bad.f:3:"), "{err}");
+        assert!(err.contains("a(1 = 0"), "{err}");
+        assert!(err.lines().last().unwrap().trim_end().ends_with('^'), "{err}");
+    }
+
+    #[test]
+    fn lex_error_renders() {
+        let src = "void f() { int x; x = $; }\n";
+        let err = check_source("bad.c", src, Lang::C).unwrap_err();
+        assert!(err.contains("lex error"), "{err}");
+        assert!(err.contains("--> bad.c:1:23"), "{err}");
+        // Caret under the `$`: gutter "   | " is 5 chars, then col-1 spaces.
+        let caret_line = err.lines().last().unwrap();
+        assert_eq!(caret_line.find('^'), Some(5 + 22), "{err}");
+    }
+
+    #[test]
+    fn semantic_error_with_position_renders() {
+        let src = "subroutine s\n  integer x\n  x(1) = 0\nend\n";
+        let err = check_source("bad.f", src, Lang::Fortran).unwrap_err();
+        assert!(err.contains("semantic error"), "{err}");
+        assert!(err.contains("x(1) = 0"), "{err}");
+    }
+
+    #[test]
+    fn errors_without_position_render_message_only() {
+        let e = Error::Lower("boom".into());
+        let out = render("f.f", "text", &e);
+        assert_eq!(out, "error: lowering error: boom\n");
+    }
+
+    #[test]
+    fn ok_source_is_ok() {
+        assert!(check_source(
+            "ok.f",
+            "subroutine s\n  integer i\n  i = 1\nend\n",
+            Lang::Fortran
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn out_of_range_line_is_tolerated() {
+        let e = Error::parse(support::Pos::new(99, 1), "synthetic");
+        let out = render("f.f", "one line only", &e);
+        assert!(out.contains("--> f.f:99:1"));
+        assert!(!out.contains('^'));
+    }
+}

@@ -1,0 +1,586 @@
+//! Shared lexer for the Fortran and C subsets.
+//!
+//! One token stream feeds both parsers; the `LexMode` flag switches the few
+//! genuinely language-specific rules — Fortran's `!` comments, dotted
+//! operators (`.eq.`, `.and.`), `&` continuation lines, significant
+//! newlines, and `1.0d0` double literals versus C's `//` and `/* */`
+//! comments and compound operators (`++`, `+=`, `&&`).
+
+use support::{Error, Pos, Result};
+
+/// Lexer dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LexMode {
+    /// Fortran free-form: `!` comments, dotted operators, significant
+    /// newlines, `&` continuation.
+    Fortran,
+    /// C: `//` and `/* */` comments, newlines are whitespace.
+    C,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier (Fortran identifiers are lower-cased — the language is
+    /// case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal (including Fortran `d` exponents).
+    Real(f64),
+    /// String literal (either quote style).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<` / `.lt.`
+    Lt,
+    /// `<=` / `.le.`
+    Le,
+    /// `>` / `.gt.`
+    Gt,
+    /// `>=` / `.ge.`
+    Ge,
+    /// `==` / `.eq.`
+    EqEq,
+    /// `!=` / `.ne.`
+    Ne,
+    /// `&&` / `.and.`
+    AndAnd,
+    /// `||` / `.or.`
+    OrOr,
+    /// `!` / `.not.` (C only as operator; Fortran `!` starts a comment)
+    Not,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `&` (C address-of; in Fortran consumed as continuation)
+    Amp,
+    /// End of statement (Fortran newline / explicitly emitted)
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The kind and payload.
+    pub tok: Tok,
+    /// Position of the first character.
+    pub pos: Pos,
+}
+
+/// Lexes `src` completely. The stream always ends with a single `Eof` token;
+/// in Fortran mode, logical line ends appear as `Newline` tokens (with
+/// consecutive newlines collapsed).
+pub fn lex(src: &str, mode: LexMode) -> Result<Vec<Token>> {
+    Lexer { src: src.as_bytes(), i: 0, line: 1, col: 1, mode, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    mode: LexMode,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok, pos: Pos) {
+        self.out.push(Token { tok, pos });
+    }
+
+    fn push_newline(&mut self, pos: Pos) {
+        // Collapse consecutive newlines.
+        if !matches!(self.out.last().map(|t| &t.tok), Some(Tok::Newline) | None) {
+            self.push(Tok::Newline, pos);
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while let Some(c) = self.peek() {
+            let pos = self.pos();
+            match c {
+                b' ' | b'\t' | b'\r' => {
+                    self.bump();
+                }
+                b'\n' => {
+                    self.bump();
+                    if self.mode == LexMode::Fortran {
+                        self.push_newline(pos);
+                    }
+                }
+                b'&' if self.mode == LexMode::Fortran => {
+                    // Continuation: swallow `&`, trailing spaces, and the
+                    // newline so the logical line continues.
+                    self.bump();
+                    while matches!(self.peek(), Some(b' ' | b'\t' | b'\r')) {
+                        self.bump();
+                    }
+                    if self.peek() == Some(b'\n') {
+                        self.bump();
+                    }
+                }
+                b'&' => {
+                    self.bump();
+                    if self.peek() == Some(b'&') {
+                        self.bump();
+                        self.push(Tok::AndAnd, pos);
+                    } else {
+                        self.push(Tok::Amp, pos);
+                    }
+                }
+                b'!' if self.mode == LexMode::Fortran => {
+                    // Comment to end of line.
+                    while self.peek().is_some_and(|c| c != b'\n') {
+                        self.bump();
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(Tok::Ne, pos);
+                    } else {
+                        self.push(Tok::Not, pos);
+                    }
+                }
+                b'/' if self.mode == LexMode::C && self.peek2() == Some(b'/') => {
+                    while self.peek().is_some_and(|c| c != b'\n') {
+                        self.bump();
+                    }
+                }
+                b'/' if self.mode == LexMode::C && self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(Error::lex(pos, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                b'0'..=b'9' => self.number(pos)?,
+                b'.' if self.mode == LexMode::Fortran
+                    && self.peek2().is_some_and(|c| c.is_ascii_alphabetic()) =>
+                {
+                    self.dotted_op(pos)?
+                }
+                b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => {
+                    self.number(pos)?
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(pos),
+                b'\'' | b'"' => self.string(pos, c)?,
+                _ => self.punct(pos)?,
+            }
+        }
+        let pos = self.pos();
+        if self.mode == LexMode::Fortran {
+            self.push_newline(pos);
+        }
+        self.push(Tok::Eof, pos);
+        Ok(self.out)
+    }
+
+    fn ident(&mut self, pos: Pos) {
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.bump();
+        }
+        let mut s = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+        if self.mode == LexMode::Fortran {
+            s.make_ascii_lowercase();
+        }
+        self.push(Tok::Ident(s), pos);
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<()> {
+        let start = self.i;
+        let mut is_real = false;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        // Fraction — but not Fortran `1.eq.` style dotted operators.
+        if self.peek() == Some(b'.') {
+            let next = self.peek2();
+            let dotted_op = self.mode == LexMode::Fortran
+                && next.is_some_and(|c| c.is_ascii_alphabetic());
+            if !dotted_op {
+                is_real = true;
+                self.bump();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        // Exponent: e/E always, d/D in Fortran.
+        if let Some(e) = self.peek() {
+            let is_exp = matches!(e, b'e' | b'E')
+                || (self.mode == LexMode::Fortran && matches!(e, b'd' | b'D'));
+            let follows = self.peek2();
+            if is_exp
+                && follows
+                    .is_some_and(|c| c.is_ascii_digit() || c == b'+' || c == b'-')
+            {
+                is_real = true;
+                self.bump();
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+        if is_real {
+            let norm = text.replace(['d', 'D'], "e");
+            let v: f64 = norm
+                .parse()
+                .map_err(|_| Error::lex(pos, format!("bad real literal `{text}`")))?;
+            self.push(Tok::Real(v), pos);
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| Error::lex(pos, format!("bad integer literal `{text}`")))?;
+            self.push(Tok::Int(v), pos);
+        }
+        Ok(())
+    }
+
+    fn dotted_op(&mut self, pos: Pos) -> Result<()> {
+        self.bump(); // leading '.'
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+            self.bump();
+        }
+        let word = String::from_utf8_lossy(&self.src[start..self.i]).to_lowercase();
+        if self.peek() != Some(b'.') {
+            return Err(Error::lex(pos, format!("unterminated dotted operator `.{word}`")));
+        }
+        self.bump(); // trailing '.'
+        let tok = match word.as_str() {
+            "eq" => Tok::EqEq,
+            "ne" => Tok::Ne,
+            "lt" => Tok::Lt,
+            "le" => Tok::Le,
+            "gt" => Tok::Gt,
+            "ge" => Tok::Ge,
+            "and" => Tok::AndAnd,
+            "or" => Tok::OrOr,
+            "not" => Tok::Not,
+            "true" => Tok::Int(1),
+            "false" => Tok::Int(0),
+            other => {
+                return Err(Error::lex(pos, format!("unknown dotted operator `.{other}.`")))
+            }
+        };
+        self.push(tok, pos);
+        Ok(())
+    }
+
+    fn string(&mut self, pos: Pos, quote: u8) -> Result<()> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => break,
+                Some(b'\\') if self.mode == LexMode::C => {
+                    match self.bump() {
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(c) => s.push(c as char),
+                        None => return Err(Error::lex(pos, "unterminated string")),
+                    }
+                }
+                Some(c) => s.push(c as char),
+                None => return Err(Error::lex(pos, "unterminated string")),
+            }
+        }
+        self.push(Tok::Str(s), pos);
+        Ok(())
+    }
+
+    fn punct(&mut self, pos: Pos) -> Result<()> {
+        let c = self.bump().unwrap();
+        let tok = match c {
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b',' => Tok::Comma,
+            b';' => Tok::Semi,
+            b':' => Tok::Colon,
+            b'+' => match self.peek() {
+                Some(b'+') => {
+                    self.bump();
+                    Tok::PlusPlus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Tok::PlusEq
+                }
+                _ => Tok::Plus,
+            },
+            b'-' => match self.peek() {
+                Some(b'-') => {
+                    self.bump();
+                    Tok::MinusMinus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Tok::MinusEq
+                }
+                _ => Tok::Minus,
+            },
+            b'*' => Tok::Star,
+            b'/' => Tok::Slash,
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::EqEq
+                } else {
+                    Tok::Assign
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Tok::OrOr
+                } else {
+                    return Err(Error::lex(pos, "stray `|`"));
+                }
+            }
+            other => {
+                return Err(Error::lex(pos, format!("unexpected character `{}`", other as char)))
+            }
+        };
+        self.push(tok, pos);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str, mode: LexMode) -> Vec<Tok> {
+        lex(src, mode).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn fortran_idents_are_lowercased() {
+        let toks = kinds("Call P1(A, J)", LexMode::Fortran);
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("call".into()),
+                Tok::Ident("p1".into()),
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::Comma,
+                Tok::Ident("j".into()),
+                Tok::RParen,
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn c_idents_keep_case() {
+        let toks = kinds("Foo bar", LexMode::C);
+        assert_eq!(toks, vec![Tok::Ident("Foo".into()), Tok::Ident("bar".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn fortran_dotted_operators() {
+        let toks = kinds("a .eq. b .and. c .le. 5", LexMode::Fortran);
+        assert!(toks.contains(&Tok::EqEq));
+        assert!(toks.contains(&Tok::AndAnd));
+        assert!(toks.contains(&Tok::Le));
+    }
+
+    #[test]
+    fn fortran_comment_and_newline_collapse() {
+        let toks = kinds("x = 1 ! set x\n\n\ny = 2\n", LexMode::Fortran);
+        let newlines = toks.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn fortran_continuation_joins_lines() {
+        let toks = kinds("x = 1 + &\n    2\n", LexMode::Fortran);
+        // No newline between `+` and `2`.
+        let idx_plus = toks.iter().position(|t| *t == Tok::Plus).unwrap();
+        assert_eq!(toks[idx_plus + 1], Tok::Int(2));
+    }
+
+    #[test]
+    fn fortran_double_literal() {
+        let toks = kinds("x = 1.5d0", LexMode::Fortran);
+        assert!(toks.contains(&Tok::Real(1.5)));
+        let toks = kinds("x = 2.0e3", LexMode::Fortran);
+        assert!(toks.contains(&Tok::Real(2000.0)));
+    }
+
+    #[test]
+    fn number_then_dotted_op_disambiguates() {
+        let toks = kinds("if (i .eq. 1.and.j .eq. 2) then", LexMode::Fortran);
+        // `1.and.` must lex as Int(1), AndAnd — not Real(1.0).
+        assert!(toks.contains(&Tok::Int(1)));
+        assert!(toks.contains(&Tok::AndAnd));
+    }
+
+    #[test]
+    fn c_comments_are_skipped() {
+        let toks = kinds("int /* hi */ x; // tail\ny", LexMode::C);
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Semi,
+                Tok::Ident("y".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn c_compound_operators() {
+        let toks = kinds("i++ ; i += 2; a != b && c == d", LexMode::C);
+        assert!(toks.contains(&Tok::PlusPlus));
+        assert!(toks.contains(&Tok::PlusEq));
+        assert!(toks.contains(&Tok::Ne));
+        assert!(toks.contains(&Tok::AndAnd));
+        assert!(toks.contains(&Tok::EqEq));
+    }
+
+    #[test]
+    fn c_newlines_are_whitespace() {
+        let toks = kinds("a\nb\n", LexMode::C);
+        assert!(!toks.contains(&Tok::Newline));
+    }
+
+    #[test]
+    fn brackets_and_braces() {
+        let toks = kinds("a[3] = {1};", LexMode::C);
+        assert!(toks.contains(&Tok::LBracket));
+        assert!(toks.contains(&Tok::RBracket));
+        assert!(toks.contains(&Tok::LBrace));
+        assert!(toks.contains(&Tok::RBrace));
+    }
+
+    #[test]
+    fn string_literals() {
+        let toks = kinds("s = \"hi\\n\"", LexMode::C);
+        assert!(toks.contains(&Tok::Str("hi\n".into())));
+        let toks = kinds("print 'done'", LexMode::Fortran);
+        assert!(toks.contains(&Tok::Str("done".into())));
+    }
+
+    #[test]
+    fn errors_surface_position() {
+        let err = lex("x = $", LexMode::C).unwrap_err();
+        assert!(err.to_string().contains("1:5"), "{err}");
+        assert!(lex("\"open", LexMode::C).is_err());
+        assert!(lex(".bogus.", LexMode::Fortran).is_err());
+    }
+
+    #[test]
+    fn negative_numbers_lex_as_minus_int() {
+        let toks = kinds("x = -5", LexMode::C);
+        assert!(toks.contains(&Tok::Minus));
+        assert!(toks.contains(&Tok::Int(5)));
+    }
+
+    #[test]
+    fn leading_dot_real() {
+        let toks = kinds("x = .5", LexMode::C);
+        assert!(toks.contains(&Tok::Real(0.5)));
+    }
+}

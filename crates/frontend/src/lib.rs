@@ -1,0 +1,153 @@
+//! Front ends: Fortran and C subsets → VH WHIRL.
+//!
+//! "OpenUH front ends (FE) are based on GNU technology ... These front ends
+//! parse C/C++/Fortran programs ... and translate them into VHL WHIRL." This
+//! crate is our from-scratch substitute: a shared lexer ([`lex`]), the two
+//! parsers ([`fortran`], [`cparse`]) meeting at one AST ([`ast`]), semantic
+//! analysis ([`sema`]), and AST→WHIRL lowering ([`lower`]).
+//!
+//! The one-call entry point is [`compile`]:
+//!
+//! ```
+//! use frontend::{compile, SourceFile};
+//! use whirl::Lang;
+//!
+//! let program = compile(&[SourceFile {
+//!     name: "matrix.c".into(),
+//!     text: "int a[20];\nvoid main() { int i; for (i = 0; i <= 7; i++) a[i] = i; }\n".into(),
+//!     lang: Lang::C,
+//! }])
+//! .unwrap();
+//! assert_eq!(program.procedure_count(), 1);
+//! ```
+
+pub mod ast;
+pub mod cparse;
+pub mod diag;
+pub mod fortran;
+pub mod lex;
+pub mod lower;
+pub mod parse;
+pub mod sema;
+
+use support::Result;
+use whirl::{Lang, Program};
+
+/// One input source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// File name (drives the Dragon `File` column, e.g. `verify.f`).
+    pub name: String,
+    /// Full source text.
+    pub text: String,
+    /// Language.
+    pub lang: Lang,
+}
+
+impl SourceFile {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, text: impl Into<String>, lang: Lang) -> Self {
+        SourceFile { name: name.into(), text: text.into(), lang }
+    }
+}
+
+/// Parses, checks, and lowers a set of source files into one VH-level
+/// [`Program`]. Call [`whirl::lower::lower_program`] afterwards to reach the
+/// H level where the IPA-based analysis operates.
+pub fn compile(sources: &[SourceFile]) -> Result<Program> {
+    let mut modules = Vec::with_capacity(sources.len());
+    let mut langs = Vec::with_capacity(sources.len());
+    for s in sources {
+        let module = match s.lang {
+            Lang::Fortran => fortran::parse(&s.name, &s.text)?,
+            Lang::C => cparse::parse(&s.name, &s.text)?,
+        };
+        modules.push(module);
+        langs.push(s.lang);
+    }
+    let env = sema::analyze(&modules)?;
+    lower::lower_modules(&modules, &env, &langs)
+}
+
+/// Like [`compile`] but also lowers to H WHIRL and assigns the static data
+/// layout — the state the paper's IPA extension sees. `layout_base` seeds
+/// the `Mem_Loc` addresses (Fig. 9 shows `0x55599870`).
+pub fn compile_to_h(sources: &[SourceFile], layout_base: u64) -> Result<Program> {
+    let mut program = compile(sources)?;
+    whirl::lower::lower_program(&mut program);
+    program.assign_layout(layout_base);
+    Ok(program)
+}
+
+/// The layout base used throughout the examples/tests, matching the hex
+/// address shown for `aarr` in Fig. 9 of the paper.
+pub const DEFAULT_LAYOUT_BASE: u64 = 0x5559_9870;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whirl::{Level, Opr};
+
+    #[test]
+    fn compile_mixed_language_program() {
+        let program = compile(&[
+            SourceFile::new(
+                "driver.f",
+                "program main\n  real a(10)\n  common /c/ a\n  call fill\nend\n",
+                Lang::Fortran,
+            ),
+            SourceFile::new(
+                "fill.f",
+                "subroutine fill\n  real a(10)\n  common /c/ a\n  integer i\n  do i = 1, 10\n    a(i) = 0.0\n  end do\nend\n",
+                Lang::Fortran,
+            ),
+        ])
+        .unwrap();
+        assert_eq!(program.procedure_count(), 2);
+        assert!(program.find_procedure("main").is_some());
+        assert!(program.find_procedure("fill").is_some());
+    }
+
+    #[test]
+    fn compile_to_h_lowers_and_lays_out() {
+        let program = compile_to_h(
+            &[SourceFile::new(
+                "t.f",
+                "subroutine s\n  real a(5)\n  common /c/ a\n  a(3) = 1.0\nend\n",
+                Lang::Fortran,
+            )],
+            DEFAULT_LAYOUT_BASE,
+        )
+        .unwrap();
+        let id = program.find_procedure("s").unwrap();
+        let proc = program.procedure(id);
+        assert_eq!(proc.level, Level::High);
+        // Index shifted to zero-based: a(3) → 2.
+        let tree = &proc.tree;
+        let arr = tree
+            .iter()
+            .find(|&n| tree.node(n).operator == Opr::Array)
+            .unwrap();
+        assert_eq!(tree.eval_const(tree.node(arr).array_index_kid(0)), Some(2));
+        // The global got an address.
+        let sym = program.interner.get("a").unwrap();
+        let st = program.symbols.find(sym).unwrap();
+        assert_eq!(program.symbols.get(st).address, DEFAULT_LAYOUT_BASE);
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        let err = compile(&[SourceFile::new("bad.f", "subroutine\n", Lang::Fortran)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sema_error_propagates() {
+        let err = compile(&[SourceFile::new(
+            "bad.f",
+            "subroutine s\n  call nowhere\nend\n",
+            Lang::Fortran,
+        )]);
+        assert!(err.is_err());
+    }
+}

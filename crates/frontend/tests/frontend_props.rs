@@ -1,0 +1,164 @@
+//! Property tests for the front ends: lexer totality on generated programs,
+//! parse→emit→parse stability, and structural agreement between the Fortran
+//! and C paths for equivalent programs.
+
+use frontend::{compile_to_h, SourceFile, DEFAULT_LAYOUT_BASE};
+use proptest::prelude::*;
+use whirl::{Lang, Opr};
+
+/// A tiny structured program generator: `n` loops over one array with
+/// assorted offsets — always valid in both languages.
+#[derive(Debug, Clone)]
+struct MiniProgram {
+    loops: Vec<(i64, i64, i64, i64)>, // (lo, hi, step, offset)
+    extent: i64,
+}
+
+fn mini_program() -> impl Strategy<Value = MiniProgram> {
+    (
+        proptest::collection::vec((1i64..5, 5i64..12, 1i64..3, 0i64..3), 1..5),
+        30i64..60,
+    )
+        .prop_map(|(loops, extent)| MiniProgram { loops, extent })
+}
+
+impl MiniProgram {
+    fn fortran(&self) -> String {
+        let mut s = format!(
+            "subroutine s\n  double precision a({})\n  common /g/ a\n  integer i\n",
+            self.extent
+        );
+        for &(lo, hi, step, off) in &self.loops {
+            if step == 1 {
+                s.push_str(&format!("  do i = {lo}, {hi}\n"));
+            } else {
+                s.push_str(&format!("  do i = {lo}, {hi}, {step}\n"));
+            }
+            if off == 0 {
+                s.push_str("    a(i) = 1.0\n");
+            } else {
+                s.push_str(&format!("    a(i + {off}) = 1.0\n"));
+            }
+            s.push_str("  end do\n");
+        }
+        s.push_str("end\n");
+        s
+    }
+
+    fn c(&self) -> String {
+        // Same accesses, zero-based: a[i-1 (+off)] over 0..extent-1.
+        let mut s = format!("double a[{}];\nvoid s() {{\n    int i;\n", self.extent);
+        for &(lo, hi, step, off) in &self.loops {
+            s.push_str(&format!("    for (i = {lo}; i <= {hi}; i += {step})\n"));
+            let shift = off - 1; // one-based Fortran index i+off ↦ i+off-1
+            if shift == 0 {
+                s.push_str("        a[i] = 1.0;\n");
+            } else if shift > 0 {
+                s.push_str(&format!("        a[i + {shift}] = 1.0;\n"));
+            } else {
+                s.push_str(&format!("        a[i - {}] = 1.0;\n", -shift));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn count_ops(program: &whirl::Program, op: Opr) -> usize {
+    program
+        .procedures
+        .iter()
+        .map(|p| p.tree.iter().filter(|&n| p.tree.node(n).operator == op).count())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Both frontends accept their rendering of the same program and agree
+    /// on statement structure.
+    #[test]
+    fn fortran_and_c_agree_structurally(p in mini_program()) {
+        let f = compile_to_h(
+            &[SourceFile::new("p.f", p.fortran(), Lang::Fortran)],
+            DEFAULT_LAYOUT_BASE,
+        ).unwrap();
+        let c = compile_to_h(
+            &[SourceFile::new("p.c", p.c(), Lang::C)],
+            DEFAULT_LAYOUT_BASE,
+        ).unwrap();
+        prop_assert_eq!(count_ops(&f, Opr::DoLoop), p.loops.len());
+        prop_assert_eq!(count_ops(&c, Opr::DoLoop), p.loops.len());
+        prop_assert_eq!(count_ops(&f, Opr::Istore), count_ops(&c, Opr::Istore));
+        prop_assert_eq!(count_ops(&f, Opr::Array), count_ops(&c, Opr::Array));
+    }
+
+    /// Both paths produce identical zero-based H-level regions for the same
+    /// logical accesses.
+    #[test]
+    fn fortran_and_c_regions_coincide(p in mini_program()) {
+        let f = compile_to_h(
+            &[SourceFile::new("p.f", p.fortran(), Lang::Fortran)],
+            DEFAULT_LAYOUT_BASE,
+        ).unwrap();
+        let c = compile_to_h(
+            &[SourceFile::new("p.c", p.c(), Lang::C)],
+            DEFAULT_LAYOUT_BASE,
+        ).unwrap();
+        let summarize = |prog: &whirl::Program, name: &str| -> Vec<String> {
+            let id = prog.find_procedure(name).unwrap();
+            ipa::local::summarize_procedure(prog, id)
+                .accesses
+                .iter()
+                .map(|r| format!("{} {}", r.mode, r.region))
+                .collect()
+        };
+        prop_assert_eq!(summarize(&f, "s"), summarize(&c, "s"));
+    }
+
+    /// whirl2f output of a parsed Fortran program re-parses and re-lowers to
+    /// the same statement structure (the source-to-source property; "minor
+    /// loss of semantics" may rename, but structure is stable).
+    #[test]
+    fn whirl2f_round_trip_is_stable(p in mini_program()) {
+        let f = compile_to_h(
+            &[SourceFile::new("p.f", p.fortran(), Lang::Fortran)],
+            DEFAULT_LAYOUT_BASE,
+        ).unwrap();
+        let emitted = whirl::emit::emit_program(&f, whirl::emit::Dialect::Fortran);
+        // Re-wrap with the declarations the emitter omits.
+        let redecl = format!(
+            "subroutine s\n  double precision a({})\n  common /g/ a\n  integer i\n{}\nend\n",
+            p.extent,
+            emitted
+                .lines()
+                .filter(|l| !l.contains("subroutine"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        let f2 = compile_to_h(
+            &[SourceFile::new("p2.f", redecl, Lang::Fortran)],
+            DEFAULT_LAYOUT_BASE,
+        ).unwrap();
+        prop_assert_eq!(count_ops(&f, Opr::DoLoop), count_ops(&f2, Opr::DoLoop));
+        prop_assert_eq!(count_ops(&f, Opr::Istore), count_ops(&f2, Opr::Istore));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lexer never panics on arbitrary input (errors are values).
+    #[test]
+    fn lexer_is_total(input in "\\PC*") {
+        let _ = frontend::lex::lex(&input, frontend::lex::LexMode::Fortran);
+        let _ = frontend::lex::lex(&input, frontend::lex::LexMode::C);
+    }
+
+    /// The parsers never panic on arbitrary token-ish text.
+    #[test]
+    fn parsers_are_total(input in "[a-z0-9 ()=+,:\\n]*") {
+        let _ = frontend::fortran::parse("f.f", &input);
+        let _ = frontend::cparse::parse("f.c", &input);
+    }
+}

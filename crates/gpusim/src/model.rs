@@ -1,0 +1,77 @@
+//! The link and kernel cost model.
+
+/// A host↔device link: `time(bytes) = latency + bytes / bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Per-transfer fixed latency in microseconds.
+    pub latency_us: f64,
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl LinkModel {
+    /// A PCIe-2.0-era link (the paper is from 2012): ~25 µs launch latency,
+    /// ~6 GB/s sustained.
+    pub fn pcie2() -> Self {
+        LinkModel { latency_us: 25.0, bandwidth_gbs: 6.0 }
+    }
+
+    /// Transfer time for `bytes`, in microseconds. Zero bytes cost nothing
+    /// (no transfer is issued).
+    pub fn transfer_us(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency_us + bytes as f64 / (self.bandwidth_gbs * 1e3)
+    }
+}
+
+/// Which region a `copyin` clause names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferPolicy {
+    /// `copyin(u)` — the whole declared array.
+    WholeArray,
+    /// `copyin(u(lb:ub, ...))` — only the accessed region reported by the
+    /// analysis tool.
+    SubArray,
+}
+
+impl TransferPolicy {
+    /// Bytes moved per offload under this policy.
+    pub fn bytes(self, whole_bytes: u64, accessed_bytes: u64) -> u64 {
+        match self {
+            TransferPolicy::WholeArray => whole_bytes,
+            TransferPolicy::SubArray => accessed_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_latency_plus_volume() {
+        let link = LinkModel { latency_us: 10.0, bandwidth_gbs: 1.0 };
+        // 1 MB over 1 GB/s = 1000 µs + 10 µs latency.
+        assert!((link.transfer_us(1_000_000) - 1010.0).abs() < 1e-9);
+        assert_eq!(link.transfer_us(0), 0.0);
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes() {
+        let link = LinkModel::pcie2();
+        let mut prev = 0.0;
+        for bytes in [1u64, 10, 1_000, 1_000_000, 10_816_000] {
+            let t = link.transfer_us(bytes);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn policies_choose_bytes() {
+        assert_eq!(TransferPolicy::WholeArray.bytes(100, 7), 100);
+        assert_eq!(TransferPolicy::SubArray.bytes(100, 7), 7);
+    }
+}

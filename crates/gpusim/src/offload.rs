@@ -1,0 +1,170 @@
+//! The Table IV experiment: whole-array vs sub-array offload.
+
+use crate::model::{LinkModel, TransferPolicy};
+
+/// One offload scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffloadCase {
+    /// Declared array size in bytes (`Size_bytes` from the analysis row —
+    /// 10 816 000 for LU's `u`).
+    pub whole_bytes: u64,
+    /// Bytes of the accessed region the tool reports (`(1:3,1:5,1:10,1:4)`
+    /// of doubles = 3·5·10·4·8 = 4 800).
+    pub accessed_bytes: u64,
+    /// Kernel execution time per invocation, microseconds.
+    pub kernel_us: f64,
+    /// Number of offloaded invocations (LU's time steps).
+    pub invocations: u64,
+}
+
+impl OffloadCase {
+    /// The paper's Case 2 array with a given iteration count.
+    pub fn lu_case2(invocations: u64) -> Self {
+        OffloadCase {
+            whole_bytes: 10_816_000,
+            accessed_bytes: 3 * 5 * 10 * 4 * 8,
+            kernel_us: 50.0,
+            invocations,
+        }
+    }
+}
+
+/// The measured outcome of one scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffloadResult {
+    /// Total time with `copyin(u)`, microseconds.
+    pub whole_us: f64,
+    /// Total time with the sub-array clause, microseconds.
+    pub sub_us: f64,
+    /// Bytes moved by each policy, total.
+    pub whole_bytes_moved: u64,
+    /// Bytes moved by the sub-array policy, total.
+    pub sub_bytes_moved: u64,
+}
+
+impl OffloadResult {
+    /// The Table IV column: `speedup = whole / sub`.
+    pub fn speedup(&self) -> f64 {
+        if self.sub_us == 0.0 {
+            return 1.0;
+        }
+        self.whole_us / self.sub_us
+    }
+
+    /// Transfer-volume reduction factor.
+    pub fn volume_reduction(&self) -> f64 {
+        if self.sub_bytes_moved == 0 {
+            return 1.0;
+        }
+        self.whole_bytes_moved as f64 / self.sub_bytes_moved as f64
+    }
+}
+
+/// Evaluates both policies over a scenario.
+///
+/// ```
+/// use gpusim::{offload_speedup, LinkModel, OffloadCase};
+///
+/// // The paper's Case 2: copyin(u) vs copyin(u(1:3,1:5,1:10,1:4)).
+/// let r = offload_speedup(LinkModel::pcie2(), OffloadCase::lu_case2(50));
+/// assert!(r.speedup() > 5.0, "a huge speedup, as the paper promises");
+/// assert_eq!(r.volume_reduction().round() as u64, 2253);
+/// ```
+pub fn offload_speedup(link: LinkModel, case: OffloadCase) -> OffloadResult {
+    let per_invocation = |policy: TransferPolicy| -> f64 {
+        let bytes = policy.bytes(case.whole_bytes, case.accessed_bytes);
+        link.transfer_us(bytes) + case.kernel_us
+    };
+    let n = case.invocations as f64;
+    OffloadResult {
+        whole_us: per_invocation(TransferPolicy::WholeArray) * n,
+        sub_us: per_invocation(TransferPolicy::SubArray) * n,
+        whole_bytes_moved: case.whole_bytes * case.invocations,
+        sub_bytes_moved: case.accessed_bytes * case.invocations,
+    }
+}
+
+/// A problem-class sweep in the NAS spirit (S/W/A/B/C scale the grid).
+/// Returns `(class name, result)` rows — the regenerated Table IV.
+pub fn sweep_classes(link: LinkModel, invocations: u64) -> Vec<(&'static str, OffloadResult)> {
+    // Grid extents per class (nx = ny = nz), 5 components of doubles; the
+    // accessed region keeps the Case 2 shape (a fixed small sub-block).
+    let classes: [(&str, u64); 5] =
+        [("S", 12), ("W", 33), ("A", 64), ("B", 102), ("C", 162)];
+    classes
+        .iter()
+        .map(|&(name, n)| {
+            let whole = n * (n + 1) * (n + 1) * 5 * 8;
+            let case = OffloadCase {
+                whole_bytes: whole,
+                accessed_bytes: 3 * 5 * 10 * 4 * 8,
+                kernel_us: 50.0,
+                invocations,
+            };
+            (name, offload_speedup(link, case))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_array_wins_for_lu_case2() {
+        let r = offload_speedup(LinkModel::pcie2(), OffloadCase::lu_case2(50));
+        assert!(r.speedup() > 5.0, "huge speedup expected: {}", r.speedup());
+        assert!(r.volume_reduction() > 2000.0);
+        assert!(r.sub_us < r.whole_us);
+    }
+
+    #[test]
+    fn speedup_grows_with_array_size() {
+        let link = LinkModel::pcie2();
+        let rows = sweep_classes(link, 50);
+        assert_eq!(rows.len(), 5);
+        let speedups: Vec<f64> = rows.iter().map(|(_, r)| r.speedup()).collect();
+        for w in speedups.windows(2) {
+            assert!(w[1] > w[0], "larger classes benefit more: {speedups:?}");
+        }
+    }
+
+    #[test]
+    fn speedup_invariant_in_invocations() {
+        // Both policies scale linearly with invocations, so the ratio holds.
+        let link = LinkModel::pcie2();
+        let a = offload_speedup(link, OffloadCase::lu_case2(1)).speedup();
+        let b = offload_speedup(link, OffloadCase::lu_case2(500)).speedup();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_bound_cases_cap_the_benefit() {
+        // With an enormous kernel time, transfers stop mattering.
+        let link = LinkModel::pcie2();
+        let case = OffloadCase { kernel_us: 1e9, ..OffloadCase::lu_case2(10) };
+        let r = offload_speedup(link, case);
+        assert!(r.speedup() < 1.01);
+        assert!(r.speedup() >= 1.0);
+    }
+
+    #[test]
+    fn equal_regions_mean_no_speedup() {
+        let link = LinkModel::pcie2();
+        let case = OffloadCase {
+            whole_bytes: 4800,
+            accessed_bytes: 4800,
+            kernel_us: 50.0,
+            invocations: 3,
+        };
+        let r = offload_speedup(link, case);
+        assert!((r.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_moved_accounting() {
+        let r = offload_speedup(LinkModel::pcie2(), OffloadCase::lu_case2(2));
+        assert_eq!(r.whole_bytes_moved, 2 * 10_816_000);
+        assert_eq!(r.sub_bytes_moved, 2 * 4800);
+    }
+}

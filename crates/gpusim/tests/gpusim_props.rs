@@ -1,0 +1,76 @@
+//! Property tests for the transfer model: monotonicity and scaling laws
+//! that must hold for any physically-plausible link.
+
+use gpusim::{offload_speedup, LinkModel, OffloadCase, TransferPolicy};
+use proptest::prelude::*;
+
+fn link_strategy() -> impl Strategy<Value = LinkModel> {
+    (1.0f64..100.0, 0.5f64..64.0)
+        .prop_map(|(latency_us, bandwidth_gbs)| LinkModel { latency_us, bandwidth_gbs })
+}
+
+fn case_strategy() -> impl Strategy<Value = OffloadCase> {
+    (1u64..100_000_000, 1u64..100_000, 1.0f64..10_000.0, 1u64..1000).prop_map(
+        |(whole, accessed_raw, kernel_us, invocations)| OffloadCase {
+            whole_bytes: whole,
+            accessed_bytes: accessed_raw.min(whole),
+            kernel_us,
+            invocations,
+        },
+    )
+}
+
+proptest! {
+    /// Transfer time is strictly monotone in bytes (for nonzero sizes).
+    #[test]
+    fn transfer_monotone(link in link_strategy(), a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(link.transfer_us(lo) <= link.transfer_us(hi));
+        if lo < hi {
+            prop_assert!(link.transfer_us(lo) < link.transfer_us(hi));
+        }
+    }
+
+    /// Sub-array offload never loses (accessed ≤ whole by construction).
+    #[test]
+    fn subarray_never_loses(link in link_strategy(), case in case_strategy()) {
+        let r = offload_speedup(link, case);
+        prop_assert!(r.speedup() >= 1.0 - 1e-12, "speedup {}", r.speedup());
+        prop_assert!(r.sub_us <= r.whole_us + 1e-9);
+    }
+
+    /// Speedup is invariant in the number of invocations (both sides scale
+    /// linearly).
+    #[test]
+    fn speedup_invocation_invariant(link in link_strategy(), case in case_strategy()) {
+        let one = offload_speedup(link, OffloadCase { invocations: 1, ..case });
+        let many = offload_speedup(link, case);
+        prop_assert!((one.speedup() - many.speedup()).abs() < 1e-9);
+    }
+
+    /// Growing the kernel time strictly shrinks the advantage (when there
+    /// is one).
+    #[test]
+    fn kernel_time_dampens_speedup(link in link_strategy(), case in case_strategy()) {
+        let slow_kernel = OffloadCase { kernel_us: case.kernel_us * 10.0, ..case };
+        let fast = offload_speedup(link, case);
+        let slow = offload_speedup(link, slow_kernel);
+        prop_assert!(slow.speedup() <= fast.speedup() + 1e-9);
+    }
+
+    /// Bytes-moved accounting is exact.
+    #[test]
+    fn volume_accounting(link in link_strategy(), case in case_strategy()) {
+        let r = offload_speedup(link, case);
+        prop_assert_eq!(r.whole_bytes_moved, case.whole_bytes * case.invocations);
+        prop_assert_eq!(r.sub_bytes_moved, case.accessed_bytes * case.invocations);
+        prop_assert!(r.volume_reduction() >= 1.0);
+    }
+
+    /// Policy byte selection is what the names say.
+    #[test]
+    fn policy_selection(whole in 1u64..1_000_000, accessed in 0u64..1_000_000) {
+        prop_assert_eq!(TransferPolicy::WholeArray.bytes(whole, accessed), whole);
+        prop_assert_eq!(TransferPolicy::SubArray.bytes(whole, accessed), accessed);
+    }
+}

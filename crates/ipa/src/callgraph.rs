@@ -1,0 +1,398 @@
+//! The IPA call graph.
+//!
+//! "The call graph is generated at this level, where each node in this graph
+//! represents a procedure and the caller-callee relationships are expressed
+//! by the edges. This call graph should be traversed to extract the
+//! necessary array analysis information needed by our tool." We provide the
+//! same access paths the paper uses: total size, a node iterator, pre-order
+//! traversal from the entries (Algorithm 1's `while !cg.empty()`), a
+//! bottom-up order for summary propagation, and per-node call-site
+//! iteration.
+
+use support::idx::IndexVec;
+use whirl::{Opr, ProcId, Program, StIdx, WnId};
+
+/// One call site inside a caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The calling procedure.
+    pub caller: ProcId,
+    /// The called procedure.
+    pub callee: ProcId,
+    /// The `Call` node in the caller's tree.
+    pub wn: WnId,
+    /// Source line of the call.
+    pub line: u32,
+    /// Actual arguments: for each parameter position, the array symbol when
+    /// the actual is a whole-array (`PARM(LDA ...)`), else `None`.
+    pub array_actuals: Vec<Option<StIdx>>,
+}
+
+/// One call-graph node.
+#[derive(Debug, Clone, Default)]
+pub struct CgNode {
+    /// Outgoing call sites, in source order.
+    pub calls: Vec<CallSite>,
+    /// Procedures that call this one.
+    pub callers: Vec<ProcId>,
+}
+
+/// The call graph of a [`Program`].
+#[derive(Debug)]
+pub struct CallGraph {
+    nodes: IndexVec<ProcId, CgNode>,
+    entries: Vec<ProcId>,
+}
+
+impl CallGraph {
+    /// Builds the graph by scanning every procedure's WHIRL tree for `Call`
+    /// nodes. Calls to symbols with no matching procedure are ignored
+    /// (external library calls).
+    pub fn build(program: &Program) -> Self {
+        let mut nodes: IndexVec<ProcId, CgNode> =
+            (0..program.procedure_count()).map(|_| CgNode::default()).collect();
+
+        for (caller, proc) in program.procedures.iter_enumerated() {
+            for wn in proc.tree.iter() {
+                let node = proc.tree.node(wn);
+                if node.operator != Opr::Call {
+                    continue;
+                }
+                let Some(callee_st) = node.st_idx else { continue };
+                let callee_name = program.symbols.get(callee_st).name;
+                let Some(callee) = program.proc_by_symbol(callee_name) else {
+                    continue;
+                };
+                let array_actuals = node
+                    .kids
+                    .iter()
+                    .map(|&parm| {
+                        let v = proc.tree.node(parm).kids.first().copied()?;
+                        let vn = proc.tree.node(v);
+                        (vn.operator == Opr::Lda).then_some(vn.st_idx).flatten()
+                    })
+                    .collect();
+                nodes[caller].calls.push(CallSite {
+                    caller,
+                    callee,
+                    wn,
+                    line: node.linenum,
+                    array_actuals,
+                });
+                if !nodes[callee].callers.contains(&caller) {
+                    nodes[callee].callers.push(caller);
+                }
+            }
+        }
+
+        // Entries: explicit program entries, plus any procedure nobody calls.
+        let mut entries: Vec<ProcId> = Vec::new();
+        for (id, proc) in program.procedures.iter_enumerated() {
+            let uncalled = nodes[id].callers.is_empty();
+            let is_main = program.name_of(proc.name) == "main"
+                || program.name_of(proc.name) == "applu";
+            if (uncalled || is_main)
+                && !entries.contains(&id) {
+                    entries.push(id);
+                }
+        }
+        CallGraph { nodes, entries }
+    }
+
+    /// Total number of nodes — "The call graph structure retrieves the total
+    /// size of the graph which is useful while traversing."
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The entry procedures.
+    pub fn entries(&self) -> &[ProcId] {
+        &self.entries
+    }
+
+    /// The node for `id`.
+    pub fn node(&self, id: ProcId) -> &CgNode {
+        &self.nodes[id]
+    }
+
+    /// Call sites of `id`.
+    pub fn calls(&self, id: ProcId) -> &[CallSite] {
+        &self.nodes[id].calls
+    }
+
+    /// Direct callees of `id`, deduplicated, in first-call order.
+    pub fn callees(&self, id: ProcId) -> Vec<ProcId> {
+        let mut out = Vec::new();
+        for c in &self.nodes[id].calls {
+            if !out.contains(&c.callee) {
+                out.push(c.callee);
+            }
+        }
+        out
+    }
+
+    /// Pre-order traversal from the entries; unreachable nodes are appended
+    /// afterwards so every procedure is visited exactly once (Algorithm 1
+    /// iterates the whole graph).
+    pub fn pre_order(&self) -> Vec<ProcId> {
+        let mut order = Vec::with_capacity(self.size());
+        let mut seen = vec![false; self.size()];
+        let mut visit_stack: Vec<ProcId> = Vec::new();
+        for &e in self.entries.iter().rev() {
+            visit_stack.push(e);
+        }
+        while let Some(id) = visit_stack.pop() {
+            use support::idx::Idx;
+            if seen[id.as_usize()] {
+                continue;
+            }
+            seen[id.as_usize()] = true;
+            order.push(id);
+            for callee in self.callees(id).into_iter().rev() {
+                visit_stack.push(callee);
+            }
+        }
+        for id in self.nodes.indices() {
+            use support::idx::Idx;
+            if !seen[id.as_usize()] {
+                order.push(id);
+            }
+        }
+        order
+    }
+
+    /// Bottom-up order: every procedure appears after all procedures it
+    /// calls (ignoring back edges on recursive cycles, which are reported
+    /// separately via [`CallGraph::is_recursive`]).
+    pub fn bottom_up(&self) -> Vec<ProcId> {
+        let mut order = Vec::with_capacity(self.size());
+        let mut state = vec![0u8; self.size()]; // 0 new, 1 visiting, 2 done
+        for id in self.nodes.indices() {
+            self.post_order(id, &mut state, &mut order);
+        }
+        order
+    }
+
+    fn post_order(&self, id: ProcId, state: &mut [u8], order: &mut Vec<ProcId>) {
+        use support::idx::Idx;
+        if state[id.as_usize()] != 0 {
+            return;
+        }
+        state[id.as_usize()] = 1;
+        for callee in self.callees(id) {
+            if state[callee.as_usize()] == 0 {
+                self.post_order(callee, state, order);
+            }
+        }
+        state[id.as_usize()] = 2;
+        order.push(id);
+    }
+
+    /// True when the graph contains a call cycle.
+    pub fn is_recursive(&self) -> bool {
+        let mut state = vec![0u8; self.size()];
+        for id in self.nodes.indices() {
+            if self.cycle_from(id, &mut state) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn cycle_from(&self, id: ProcId, state: &mut [u8]) -> bool {
+        use support::idx::Idx;
+        match state[id.as_usize()] {
+            1 => return true,
+            2 => return false,
+            _ => {}
+        }
+        state[id.as_usize()] = 1;
+        for callee in self.callees(id) {
+            if self.cycle_from(callee, state) {
+                return true;
+            }
+        }
+        state[id.as_usize()] = 2;
+        false
+    }
+
+    /// Graphviz DOT rendering — the Dragon call graph view (Fig. 11).
+    pub fn to_dot(&self, program: &Program) -> String {
+        let mut out = String::from("digraph callgraph {\n  node [shape=box];\n");
+        for (id, proc) in program.procedures.iter_enumerated() {
+            let name = display_name(program, proc);
+            out.push_str(&format!("  p{} [label=\"{}\"];\n", id.0, name));
+        }
+        for node in self.nodes.iter() {
+            for c in &node.calls {
+                out.push_str(&format!("  p{} -> p{};\n", c.caller.0, c.callee.0));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Dragon's display name for a procedure: entry points show as `MAIN__`
+/// (the Fortran main convention visible in Fig. 11), everything else by
+/// source name.
+pub fn display_name(program: &Program, proc: &whirl::Procedure) -> String {
+    let raw = program.name_of(proc.name);
+    // Entry detection mirrors CallGraph::build.
+    if raw == "main" || raw == "applu" {
+        "MAIN__".to_string()
+    } else {
+        raw.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frontend::{compile_to_h, SourceFile, DEFAULT_LAYOUT_BASE};
+    use whirl::Lang;
+
+    fn program(src: &str) -> Program {
+        compile_to_h(
+            &[SourceFile::new("t.f", src, Lang::Fortran)],
+            DEFAULT_LAYOUT_BASE,
+        )
+        .unwrap()
+    }
+
+    const DIAMOND: &str = "\
+program main
+  call a
+  call b
+end
+subroutine a
+  call c
+end
+subroutine b
+  call c
+end
+subroutine c
+  return
+end
+";
+
+    #[test]
+    fn builds_diamond_graph() {
+        let p = program(DIAMOND);
+        let cg = CallGraph::build(&p);
+        assert_eq!(cg.size(), 4);
+        let main = p.find_procedure("main").unwrap();
+        let c = p.find_procedure("c").unwrap();
+        assert_eq!(cg.callees(main).len(), 2);
+        assert_eq!(cg.node(c).callers.len(), 2);
+        assert_eq!(cg.entries(), &[main]);
+    }
+
+    #[test]
+    fn pre_order_visits_all_once_parent_first() {
+        let p = program(DIAMOND);
+        let cg = CallGraph::build(&p);
+        let order = cg.pre_order();
+        assert_eq!(order.len(), 4);
+        let main = p.find_procedure("main").unwrap();
+        assert_eq!(order[0], main);
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn bottom_up_puts_callees_first() {
+        let p = program(DIAMOND);
+        let cg = CallGraph::build(&p);
+        let order = cg.bottom_up();
+        let posn = |name: &str| {
+            let id = p.find_procedure(name).unwrap();
+            order.iter().position(|&x| x == id).unwrap()
+        };
+        assert!(posn("c") < posn("a"));
+        assert!(posn("c") < posn("b"));
+        assert!(posn("a") < posn("main"));
+    }
+
+    #[test]
+    fn call_sites_carry_array_actuals() {
+        let p = program(
+            "\
+program main
+  real a(10)
+  common /g/ a
+  integer k
+  call f(a, k)
+end
+subroutine f(x, n)
+  real x(10)
+  integer n
+  x(1) = 0.0
+end
+",
+        );
+        let cg = CallGraph::build(&p);
+        let main = p.find_procedure("main").unwrap();
+        let site = &cg.calls(main)[0];
+        assert_eq!(site.array_actuals.len(), 2);
+        assert!(site.array_actuals[0].is_some(), "first actual is array a");
+        assert!(site.array_actuals[1].is_none(), "second actual is scalar");
+        let a_sym = p.interner.get("a").unwrap();
+        assert_eq!(
+            p.symbols.get(site.array_actuals[0].unwrap()).name,
+            a_sym
+        );
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let p = program("\
+subroutine r
+  call r
+end
+");
+        let cg = CallGraph::build(&p);
+        assert!(cg.is_recursive());
+        let p2 = program(DIAMOND);
+        assert!(!CallGraph::build(&p2).is_recursive());
+    }
+
+    #[test]
+    fn unreachable_procedures_still_traversed() {
+        let p = program("\
+program main
+  return
+end
+subroutine orphan_helper
+  call leaf
+end
+subroutine leaf
+  return
+end
+");
+        let cg = CallGraph::build(&p);
+        assert_eq!(cg.pre_order().len(), 3);
+        // orphan_helper is uncalled ⇒ also an entry.
+        assert!(cg.entries().len() >= 2);
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let p = program(DIAMOND);
+        let cg = CallGraph::build(&p);
+        let dot = cg.to_dot(&p);
+        assert!(dot.starts_with("digraph callgraph {"));
+        assert!(dot.contains("MAIN__"));
+        assert!(dot.contains("->"));
+        assert_eq!(dot.matches("->").count(), 4);
+    }
+
+    #[test]
+    fn bottom_up_handles_recursion_without_hanging() {
+        let p = program("subroutine r\n  call r\nend\n");
+        let cg = CallGraph::build(&p);
+        assert_eq!(cg.bottom_up().len(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Interprocedural analysis (the paper's IPL + IPA phases).
+//!
+//! "Interprocedural analysis consists of two phases: an information
+//! gathering phase (IPL) and the main optimization phase (IPA)."
+//!
+//! - [`callgraph`] — nodes = procedures, edges = call sites; pre-order and
+//!   bottom-up traversals, DOT export for the Dragon view (Fig. 11);
+//! - [`local`] — IPL: per-procedure array-access summaries built from the
+//!   H-level WHIRL tree (`DEF`/`USE`/`FORMAL`/`PASSED` records with triplet
+//!   and convex regions);
+//! - [`propagate`] — IPA: bottom-up summary propagation with formal→actual
+//!   translation;
+//! - [`sideeffect`] — call-site effect sets and the Fig. 1 parallelization
+//!   independence test;
+//! - [`parallel`] — crossbeam-parallel IPL driver.
+
+pub mod callgraph;
+pub mod local;
+pub mod loop_parallel;
+pub mod parallel;
+pub mod propagate;
+pub mod sideeffect;
+
+pub use callgraph::{CallGraph, CallSite};
+pub use local::{AccessRecord, ProcSummary};
+pub use loop_parallel::{analyze_proc_loops, LoopVerdict, ScalarUse};
+pub use propagate::{analyze, IpaResult};
+pub use sideeffect::{find_parallel_pairs, independent, CallEffects, ParallelPair};

@@ -1,0 +1,749 @@
+//! IPL: the local, per-procedure information-gathering phase.
+//!
+//! "IPL (the local interprocedural analysis part) first gathers data flow
+//! analysis and procedure summary information from each compilation unit,
+//! and the information is summarized for each procedure." For every
+//! procedure we walk the H-level WHIRL tree once, tracking the enclosing
+//! `DO_LOOP` nest, and record one [`AccessRecord`] per array reference:
+//! `DEF` for `ISTORE` targets, `USE` for `ILOAD`s, `FORMAL` for array
+//! formals, and `PASSED` for whole-array call arguments.
+
+use regions::access::AccessMode;
+use regions::linexpr::LinExpr;
+use regions::space::{Space, VarId};
+use regions::summarize::{summarize_reference, LoopInfo, LoopNest, Subscript};
+use regions::triplet::TripletRegion;
+use regions::ConvexRegion;
+use std::collections::BTreeMap;
+use whirl::{Opr, ProcId, Procedure, Program, StIdx, TyKind, WhirlTree, WnId};
+
+/// One summarized array reference.
+#[derive(Debug, Clone)]
+pub struct AccessRecord {
+    /// The accessed array's symbol.
+    pub array: StIdx,
+    /// Access mode.
+    pub mode: AccessMode,
+    /// The accessed region in H order (row-major dimensions, zero-based).
+    pub region: TripletRegion,
+    /// Convex companion for comparisons, when linearizable.
+    pub convex: Option<ConvexRegion>,
+    /// The variable space `region`'s symbolic bounds refer to.
+    pub space: Space,
+    /// Source line of the reference.
+    pub line: u32,
+    /// Set when this record was propagated from a callee by the IPA phase.
+    pub from_call: Option<ProcId>,
+    /// True for coindexed (remote, PGAS) accesses — `x(i)[p]`.
+    pub remote: bool,
+}
+
+/// The summary of one procedure.
+#[derive(Debug, Clone, Default)]
+pub struct ProcSummary {
+    /// All records, in visit order.
+    pub accesses: Vec<AccessRecord>,
+}
+
+impl ProcSummary {
+    /// Records touching `array`.
+    pub fn for_array(&self, array: StIdx) -> impl Iterator<Item = &AccessRecord> {
+        self.accesses.iter().filter(move |a| a.array == array)
+    }
+
+    /// Total references for `(array, mode)` — the Dragon `References`
+    /// column ("The number of region accesses for the selected array based
+    /// on the access mode").
+    pub fn ref_count(&self, array: StIdx, mode: AccessMode) -> u64 {
+        self.accesses
+            .iter()
+            .filter(|a| a.array == array && a.mode == mode)
+            .count() as u64
+    }
+}
+
+/// An affine expression over symbol-table entries — the bridge between
+/// WHIRL expression trees and the region machinery's [`LinExpr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AffExpr {
+    /// `constant + Σ coeff·st`.
+    Lin {
+        /// Constant term.
+        constant: i64,
+        /// Per-symbol coefficients (no zero entries).
+        terms: BTreeMap<StIdx, i64>,
+    },
+    /// Not affine (indirect loads, products of variables, division, ...).
+    Messy,
+}
+
+impl AffExpr {
+    /// The constant expression.
+    pub fn constant(c: i64) -> Self {
+        AffExpr::Lin { constant: c, terms: BTreeMap::new() }
+    }
+
+    /// The single-variable expression.
+    pub fn var(st: StIdx) -> Self {
+        AffExpr::Lin { constant: 0, terms: BTreeMap::from([(st, 1)]) }
+    }
+
+    fn add(&self, other: &AffExpr) -> AffExpr {
+        match (self, other) {
+            (
+                AffExpr::Lin { constant: c1, terms: t1 },
+                AffExpr::Lin { constant: c2, terms: t2 },
+            ) => {
+                let mut terms = t1.clone();
+                for (&st, &c) in t2 {
+                    let e = terms.entry(st).or_insert(0);
+                    *e += c;
+                    if *e == 0 {
+                        terms.remove(&st);
+                    }
+                }
+                AffExpr::Lin { constant: c1 + c2, terms }
+            }
+            _ => AffExpr::Messy,
+        }
+    }
+
+    fn scale(&self, k: i64) -> AffExpr {
+        match self {
+            AffExpr::Lin { constant, terms } => {
+                if k == 0 {
+                    return AffExpr::constant(0);
+                }
+                AffExpr::Lin {
+                    constant: constant * k,
+                    terms: terms.iter().map(|(&st, &c)| (st, c * k)).collect(),
+                }
+            }
+            AffExpr::Messy => AffExpr::Messy,
+        }
+    }
+
+    fn sub(&self, other: &AffExpr) -> AffExpr {
+        self.add(&other.scale(-1))
+    }
+
+    /// `Some(c)` when the expression is the constant `c`.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            AffExpr::Lin { constant, terms } if terms.is_empty() => Some(*constant),
+            _ => None,
+        }
+    }
+
+    /// Symbols mentioned.
+    pub fn symbols(&self) -> Vec<StIdx> {
+        match self {
+            AffExpr::Lin { terms, .. } => terms.keys().copied().collect(),
+            AffExpr::Messy => Vec::new(),
+        }
+    }
+}
+
+/// Converts a WHIRL expression subtree to an [`AffExpr`].
+pub fn whirl_to_affine(tree: &WhirlTree, id: WnId) -> AffExpr {
+    let n = tree.node(id);
+    match n.operator {
+        Opr::Intconst => AffExpr::constant(n.const_val),
+        Opr::Ldid => match n.st_idx {
+            Some(st) => AffExpr::var(st),
+            None => AffExpr::Messy,
+        },
+        Opr::Add => {
+            whirl_to_affine(tree, n.kids[0]).add(&whirl_to_affine(tree, n.kids[1]))
+        }
+        Opr::Sub => {
+            whirl_to_affine(tree, n.kids[0]).sub(&whirl_to_affine(tree, n.kids[1]))
+        }
+        Opr::Neg => whirl_to_affine(tree, n.kids[0]).scale(-1),
+        Opr::Mpy => {
+            let a = whirl_to_affine(tree, n.kids[0]);
+            let b = whirl_to_affine(tree, n.kids[1]);
+            match (a.as_const(), b.as_const()) {
+                (Some(k), _) => b.scale(k),
+                (_, Some(k)) => a.scale(k),
+                _ => AffExpr::Messy,
+            }
+        }
+        _ => AffExpr::Messy,
+    }
+}
+
+/// One enclosing loop while walking.
+#[derive(Debug, Clone)]
+struct LoopFrame {
+    ivar: StIdx,
+    lo: AffExpr,
+    hi: AffExpr,
+    step: i64,
+}
+
+struct Walker<'a> {
+    program: &'a Program,
+    proc: &'a Procedure,
+    proc_id: ProcId,
+    nest: Vec<LoopFrame>,
+    out: Vec<AccessRecord>,
+}
+
+/// Summarizes one procedure (must be at H level).
+pub fn summarize_procedure(program: &Program, proc_id: ProcId) -> ProcSummary {
+    let proc = program.procedure(proc_id);
+    debug_assert_eq!(proc.level, whirl::Level::High, "IPL runs on H WHIRL");
+    let mut w = Walker { program, proc, proc_id, nest: Vec::new(), out: Vec::new() };
+
+    // FORMAL records first: the array as found in the definition.
+    for &formal in &proc.formals {
+        let entry = program.symbols.get(formal);
+        if matches!(program.types.get(entry.ty).kind, TyKind::Array { .. }) {
+            w.record_whole_array(formal, AccessMode::Formal, proc.linenum);
+        }
+    }
+
+    if let Some(root) = proc.tree.root() {
+        if let Some(&body) = proc.tree.node(root).kids.last() {
+            w.walk_block(body);
+        }
+    }
+    ProcSummary { accesses: w.out }
+}
+
+/// Summarizes every procedure serially.
+pub fn summarize_all(program: &Program) -> Vec<ProcSummary> {
+    program
+        .procedures
+        .indices()
+        .map(|id| summarize_procedure(program, id))
+        .collect()
+}
+
+impl<'a> Walker<'a> {
+    fn walk_block(&mut self, block: WnId) {
+        debug_assert_eq!(self.proc.tree.node(block).operator, Opr::Block);
+        let kids = self.proc.tree.node(block).kids.clone();
+        for k in kids {
+            self.walk_stmt(k);
+        }
+    }
+
+    fn walk_stmt(&mut self, id: WnId) {
+        let tree = &self.proc.tree;
+        let node = tree.node(id);
+        match node.operator {
+            Opr::Stid => self.walk_expr_uses(node.kids[0]),
+            Opr::Istore => {
+                let value = node.kids[0];
+                let mut addr = node.kids[1];
+                self.walk_expr_uses(value);
+                let mut remote = false;
+                if tree.node(addr).operator == Opr::RemoteArray {
+                    remote = true;
+                    self.walk_expr_uses(tree.node(addr).kids[1]);
+                    addr = tree.node(addr).kids[0];
+                }
+                if tree.node(addr).operator == Opr::Array {
+                    // Subscript expressions are themselves uses.
+                    let n = tree.node(addr).num_dim();
+                    for d in 0..n {
+                        self.walk_expr_uses(tree.node(addr).array_index_kid(d));
+                    }
+                    self.record_array_ref(addr, AccessMode::Def, remote);
+                } else {
+                    self.walk_expr_uses(addr);
+                }
+            }
+            Opr::Call => {
+                let kids = node.kids.clone();
+                let line = node.linenum;
+                for parm in kids {
+                    let v = tree.node(parm).kids[0];
+                    let vn = tree.node(v);
+                    if vn.operator == Opr::Lda {
+                        if let Some(st) = vn.st_idx {
+                            let is_array = matches!(
+                                self.program.types.get(self.program.symbols.get(st).ty).kind,
+                                TyKind::Array { .. }
+                            );
+                            if is_array {
+                                self.record_whole_array(st, AccessMode::Passed, line);
+                                continue;
+                            }
+                        }
+                    }
+                    self.walk_expr_uses(v);
+                }
+            }
+            Opr::DoLoop => {
+                let ivar = node.st_idx.expect("DoLoop has an induction variable");
+                let init = tree.node(node.kids[0]).kids[0];
+                let bound = tree.node(node.kids[1]).kids[1];
+                let step = node.const_val;
+                // Loop bound expressions are scalar uses too, but of scalars
+                // — arrays inside bounds are walked for ILOADs.
+                self.walk_expr_uses(init);
+                self.walk_expr_uses(bound);
+                let lo_e = whirl_to_affine(tree, init);
+                let hi_e = whirl_to_affine(tree, bound);
+                // Normalize descending loops: iterate lo..hi regardless.
+                let (lo, hi) = if step < 0 { (hi_e, lo_e) } else { (lo_e, hi_e) };
+                self.nest.push(LoopFrame { ivar, lo, hi, step: step.abs().max(1) });
+                self.walk_block(node.kids[3]);
+                self.nest.pop();
+            }
+            Opr::If => {
+                self.walk_expr_uses(node.kids[0]);
+                self.walk_block(node.kids[1]);
+                self.walk_block(node.kids[2]);
+            }
+            Opr::Return => {
+                if let Some(&v) = node.kids.first() {
+                    self.walk_expr_uses(v);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Recursively records USE for every `ILOAD(ARRAY)` in an expression.
+    fn walk_expr_uses(&mut self, id: WnId) {
+        let tree = &self.proc.tree;
+        let node = tree.node(id);
+        if node.operator == Opr::Iload {
+            let mut addr = node.kids[0];
+            let mut remote = false;
+            if tree.node(addr).operator == Opr::RemoteArray {
+                remote = true;
+                self.walk_expr_uses(tree.node(addr).kids[1]);
+                addr = tree.node(addr).kids[0];
+            }
+            if tree.node(addr).operator == Opr::Array {
+                let n = tree.node(addr).num_dim();
+                for d in 0..n {
+                    self.walk_expr_uses(tree.node(addr).array_index_kid(d));
+                }
+                self.record_array_ref(addr, AccessMode::Use, remote);
+                return;
+            }
+        }
+        let kids = node.kids.clone();
+        for k in kids {
+            self.walk_expr_uses(k);
+        }
+    }
+
+    /// Builds the region for an `ARRAY` node under the current nest.
+    fn record_array_ref(&mut self, array_wn: WnId, mode: AccessMode, remote: bool) {
+        let tree = &self.proc.tree;
+        let node = tree.node(array_wn);
+        let base = tree.node(node.array_base_kid());
+        let Some(array_st) = base.st_idx else { return };
+        let ndims = node.num_dim();
+        let line = node.linenum;
+
+        // Collect subscripts as AffExprs first.
+        let subs_aff: Vec<AffExpr> = (0..ndims)
+            .map(|d| whirl_to_affine(tree, node.array_index_kid(d)))
+            .collect();
+
+        // Build the space: dims, then loop vars (outermost first), then the
+        // remaining symbols as symbolic parameters.
+        let mut space = Space::with_dims(ndims as u8);
+        let mut var_of: BTreeMap<StIdx, VarId> = BTreeMap::new();
+        // A loop frame participates only when both bounds are affine.
+        let mut frames: Vec<(usize, VarId)> = Vec::new();
+        for (i, f) in self.nest.iter().enumerate() {
+            if matches!(f.lo, AffExpr::Messy) || matches!(f.hi, AffExpr::Messy) {
+                continue;
+            }
+            let name = self.program.symbols.get(f.ivar).name;
+            let v = space.add_loop(name);
+            var_of.insert(f.ivar, v);
+            frames.push((i, v));
+        }
+        // Symbols from subscripts and loop bounds that are not loop vars.
+        let add_syms = |e: &AffExpr, space: &mut Space, var_of: &mut BTreeMap<StIdx, VarId>| {
+            for st in e.symbols() {
+                var_of.entry(st).or_insert_with(|| {
+                    let name = self.program.symbols.get(st).name;
+                    space.add_sym(name)
+                });
+            }
+        };
+        for e in &subs_aff {
+            add_syms(e, &mut space, &mut var_of);
+        }
+        for &(i, _) in &frames {
+            let f = &self.nest[i];
+            add_syms(&f.lo, &mut space, &mut var_of);
+            add_syms(&f.hi, &mut space, &mut var_of);
+        }
+
+        let to_lin = |e: &AffExpr, var_of: &BTreeMap<StIdx, VarId>| -> Option<LinExpr> {
+            match e {
+                AffExpr::Lin { constant, terms } => {
+                    let mut out = LinExpr::constant(*constant);
+                    for (&st, &c) in terms {
+                        out.add_term(*var_of.get(&st)?, c);
+                    }
+                    Some(out)
+                }
+                AffExpr::Messy => None,
+            }
+        };
+
+        let mut nest = LoopNest::new();
+        for &(i, v) in &frames {
+            let f = &self.nest[i];
+            let (Some(lb), Some(ub)) = (to_lin(&f.lo, &var_of), to_lin(&f.hi, &var_of))
+            else {
+                continue;
+            };
+            nest.push(LoopInfo { var: v, lb, ub, step: f.step });
+        }
+
+        let subs: Vec<Subscript> = subs_aff
+            .iter()
+            .map(|e| match to_lin(e, &var_of) {
+                Some(l) => Subscript::Lin(l),
+                None => Subscript::Messy,
+            })
+            .collect();
+
+        let (region, convex) = summarize_reference(&space, &nest, &subs);
+        self.out.push(AccessRecord {
+            array: array_st,
+            mode,
+            region,
+            convex,
+            space,
+            line,
+            from_call: None,
+            remote,
+        });
+        let _ = self.proc_id;
+    }
+
+    /// Records a whole-declared-array region (FORMAL / PASSED), expressed in
+    /// H order: zero-based extents, dimension order reversed for Fortran.
+    fn record_whole_array(&mut self, array_st: StIdx, mode: AccessMode, line: u32) {
+        let ty = self.program.symbols.get(array_st).ty;
+        let record = whole_array_record(self.program, self.proc, array_st, ty, mode, line);
+        self.out.push(record);
+    }
+}
+
+/// Builds the whole-array record used for FORMAL/PASSED modes.
+pub fn whole_array_record(
+    program: &Program,
+    proc: &Procedure,
+    array_st: StIdx,
+    ty: whirl::TyIdx,
+    mode: AccessMode,
+    line: u32,
+) -> AccessRecord {
+    let mut extents = program.types.dim_sizes(ty);
+    if proc.lang == whirl::Lang::Fortran {
+        extents.reverse(); // H order is row-major
+    }
+    let dims: Vec<regions::Triplet> = extents
+        .iter()
+        .map(|&e| {
+            if e > 0 {
+                regions::Triplet::constant(0, e - 1, 1)
+            } else {
+                regions::Triplet::messy() // runtime extent
+            }
+        })
+        .collect();
+    let bounds: Option<Vec<(i64, i64)>> =
+        extents.iter().map(|&e| (e > 0).then_some((0, e - 1))).collect();
+    let convex = bounds.map(|b| regions::convex::box_region(&b));
+    let ndims = extents.len() as u8;
+    AccessRecord {
+        array: array_st,
+        mode,
+        region: TripletRegion::new(dims),
+        convex,
+        space: Space::with_dims(ndims),
+        line,
+        from_call: None,
+        remote: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frontend::{compile_to_h, SourceFile, DEFAULT_LAYOUT_BASE};
+    use whirl::Lang;
+
+    fn program_f(src: &str) -> Program {
+        compile_to_h(&[SourceFile::new("t.f", src, Lang::Fortran)], DEFAULT_LAYOUT_BASE)
+            .unwrap()
+    }
+
+    fn program_c(src: &str) -> Program {
+        compile_to_h(&[SourceFile::new("t.c", src, Lang::C)], DEFAULT_LAYOUT_BASE)
+            .unwrap()
+    }
+
+    fn summary_of(p: &Program, name: &str) -> ProcSummary {
+        summarize_procedure(p, p.find_procedure(name).unwrap())
+    }
+
+    fn st_of(p: &Program, name: &str) -> StIdx {
+        p.symbols.find(p.interner.get(name).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn def_in_unit_stride_loop() {
+        let p = program_f(
+            "subroutine s\n  real a(10)\n  integer i\n  do i = 1, 10\n    a(i) = 0.0\n  end do\nend\n",
+        );
+        let s = summary_of(&p, "s");
+        let a = st_of(&p, "a");
+        let defs: Vec<_> = s
+            .for_array(a)
+            .filter(|r| r.mode == AccessMode::Def)
+            .collect();
+        assert_eq!(defs.len(), 1);
+        // Zero-based: a(1..10) → 0:9:1.
+        assert_eq!(defs[0].region.to_string(), "(0:9:1)");
+        assert_eq!(s.ref_count(a, AccessMode::Def), 1);
+    }
+
+    #[test]
+    fn fig9_matrix_c_records() {
+        let p = program_c(
+            "\
+int aarr[20];
+void main() {
+    int i, sum;
+    for (i = 0; i <= 7; i++)
+        aarr[i] = i;
+    for (i = 0; i < 8; i++)
+        aarr[i + 1] = aarr[i] + aarr[i];
+    sum = 0;
+    for (i = 2; i <= 6; i += 2)
+        sum = sum + aarr[i];
+}
+",
+        );
+        let s = summary_of(&p, "main");
+        let a = st_of(&p, "aarr");
+        // Paper: "array aarr has been defined twice and used three times".
+        assert_eq!(s.ref_count(a, AccessMode::Def), 2);
+        assert_eq!(s.ref_count(a, AccessMode::Use), 3);
+        let regions: Vec<String> = s
+            .for_array(a)
+            .map(|r| format!("{} {}", r.mode, r.region))
+            .collect();
+        assert!(regions.contains(&"DEF (0:7:1)".to_string()), "{regions:?}");
+        assert!(regions.contains(&"DEF (1:8:1)".to_string()), "{regions:?}");
+        assert!(regions.contains(&"USE (0:7:1)".to_string()), "{regions:?}");
+        assert!(regions.contains(&"USE (2:6:2)".to_string()), "{regions:?}");
+        let use07 = regions.iter().filter(|r| *r == "USE (0:7:1)").count();
+        assert_eq!(use07, 2, "a[i] read twice in the second loop");
+    }
+
+    #[test]
+    fn fortran_two_dim_region_is_row_major() {
+        // A(1:10, 1:20), A(i, j) with i=1..10, j=1..20:
+        // H order reverses dims ⇒ (j-region, i-region) = (0:19, 0:9).
+        let p = program_f(
+            "\
+subroutine s
+  real a(10, 20)
+  integer i, j
+  do i = 1, 10
+    do j = 1, 20
+      a(i, j) = 0.0
+    end do
+  end do
+end
+",
+        );
+        let s = summary_of(&p, "s");
+        let a = st_of(&p, "a");
+        let def = s.for_array(a).find(|r| r.mode == AccessMode::Def).unwrap();
+        assert_eq!(def.region.to_string(), "(0:19:1, 0:9:1)");
+    }
+
+    #[test]
+    fn strided_loop_stride_preserved() {
+        let p = program_f(
+            "subroutine s\n  real a(10)\n  integer i\n  do i = 2, 6, 2\n    a(i) = 1.0\n  end do\nend\n",
+        );
+        let s = summary_of(&p, "s");
+        let a = st_of(&p, "a");
+        let def = s.for_array(a).find(|r| r.mode == AccessMode::Def).unwrap();
+        // a(2:6:2) zero-based → 1:5:2.
+        assert_eq!(def.region.to_string(), "(1:5:2)");
+    }
+
+    #[test]
+    fn descending_loop_normalizes_bounds() {
+        let p = program_f(
+            "subroutine s\n  real a(10)\n  integer i\n  do i = 10, 1, -1\n    a(i) = 1.0\n  end do\nend\n",
+        );
+        let s = summary_of(&p, "s");
+        let a = st_of(&p, "a");
+        let def = s.for_array(a).find(|r| r.mode == AccessMode::Def).unwrap();
+        assert_eq!(def.region.to_string(), "(0:9:1)");
+    }
+
+    #[test]
+    fn formal_array_gets_formal_record() {
+        let p = program_f(
+            "\
+program main
+  real z(5)
+  common /g/ z
+  call q(z)
+end
+subroutine q(x)
+  real x(5)
+  x(1) = 0.0
+end
+",
+        );
+        let s = summary_of(&p, "q");
+        let x = s
+            .accesses
+            .iter()
+            .find(|r| r.mode == AccessMode::Formal)
+            .expect("formal record");
+        assert_eq!(x.region.to_string(), "(0:4:1)");
+    }
+
+    #[test]
+    fn passed_array_recorded_at_call_site() {
+        let p = program_f(
+            "\
+program main
+  real z(5)
+  common /g/ z
+  call q(z)
+end
+subroutine q(x)
+  real x(5)
+  x(1) = 0.0
+end
+",
+        );
+        let s = summary_of(&p, "main");
+        let z = st_of(&p, "z");
+        let passed: Vec<_> = s
+            .for_array(z)
+            .filter(|r| r.mode == AccessMode::Passed)
+            .collect();
+        assert_eq!(passed.len(), 1);
+        assert_eq!(passed[0].region.to_string(), "(0:4:1)");
+    }
+
+    #[test]
+    fn subscript_uses_inside_store_are_counted() {
+        // a(b(i)) = 0: b is USEd, a is DEFed with a messy region.
+        let p = program_f(
+            "\
+subroutine s
+  real a(10)
+  integer b(10)
+  integer i
+  do i = 1, 10
+    a(b(i)) = 0.0
+  end do
+end
+",
+        );
+        let s = summary_of(&p, "s");
+        let a = st_of(&p, "a");
+        let b = st_of(&p, "b");
+        assert_eq!(s.ref_count(b, AccessMode::Use), 1);
+        let def = s.for_array(a).find(|r| r.mode == AccessMode::Def).unwrap();
+        assert!(!def.region.is_const(), "indirect subscript must be messy");
+    }
+
+    #[test]
+    fn symbolic_bound_region() {
+        let p = program_f(
+            "\
+subroutine s(n)
+  real a(100)
+  common /g/ a
+  integer n, i
+  do i = 1, n
+    a(i) = 0.0
+  end do
+end
+",
+        );
+        let s = summary_of(&p, "s");
+        let a = st_of(&p, "a");
+        let def = s.for_array(a).find(|r| r.mode == AccessMode::Def).unwrap();
+        assert!(!def.region.is_const());
+        assert_eq!(def.region.dims[0].lb.as_const(), Some(0));
+        // Upper bound is `n - 1` (zero-based): an IVAR-class bound.
+        use regions::triplet::BoundClass;
+        assert_eq!(def.region.dims[0].ub.classify(&def.space), BoundClass::IVar);
+    }
+
+    #[test]
+    fn triangular_nest_summarized() {
+        let p = program_f(
+            "\
+subroutine s
+  real a(10)
+  integer i, j
+  do i = 1, 10
+    do j = 1, i
+      a(j) = 0.0
+    end do
+  end do
+end
+",
+        );
+        let s = summary_of(&p, "s");
+        let a = st_of(&p, "a");
+        let def = s.for_array(a).find(|r| r.mode == AccessMode::Def).unwrap();
+        assert_eq!(def.region.to_string(), "(0:9:1)");
+    }
+
+    #[test]
+    fn if_branches_both_walked() {
+        let p = program_f(
+            "\
+subroutine s
+  real a(10)
+  integer i
+  if (i .le. 5) then
+    a(1) = 0.0
+  else
+    a(2) = 0.0
+  end if
+end
+",
+        );
+        let s = summary_of(&p, "s");
+        let a = st_of(&p, "a");
+        assert_eq!(s.ref_count(a, AccessMode::Def), 2);
+    }
+
+    #[test]
+    fn affine_conversion_cases() {
+        let p = program_f("subroutine s\n  integer i\n  i = 1\nend\n");
+        let proc = p.procedure(p.find_procedure("s").unwrap());
+        // Find the Stid's rhs (Intconst 1).
+        let stid = proc
+            .tree
+            .iter()
+            .find(|&n| proc.tree.node(n).operator == Opr::Stid)
+            .unwrap();
+        let rhs = proc.tree.node(stid).kids[0];
+        assert_eq!(whirl_to_affine(&proc.tree, rhs).as_const(), Some(1));
+    }
+}

@@ -1,0 +1,411 @@
+//! IPA: the main interprocedural propagation phase.
+//!
+//! "Then, the main IPA module gathers all the IPL summary files to perform
+//! interprocedural analysis." We walk the call graph bottom-up; at every
+//! call site the callee's summary is *translated* into the caller:
+//!
+//! - records on **global** arrays copy through unchanged;
+//! - records on **formal** arrays map to the caller's actual array (the
+//!   Creusillet-style formal→actual mapping — our formals alias whole
+//!   arrays, so the element mapping is the identity and only the array's
+//!   identity and the symbolic parameters change);
+//! - symbolic bounds naming the callee's scalar formals are substituted with
+//!   the caller's actual argument expression when it is a constant,
+//!   otherwise the bound degrades to `MESSY` (the same conservative fallback
+//!   the paper documents for non-linearizable bounds).
+//!
+//! Translated records keep their original mode but carry `from_call`, which
+//! Dragon renders as the interprocedural `IDEF`/`IUSE` annotations of Fig. 1.
+
+use crate::callgraph::{CallGraph, CallSite};
+use crate::local::{AccessRecord, ProcSummary};
+use regions::space::{Space, VarKind};
+use regions::triplet::{Bound, Triplet, TripletRegion};
+use std::collections::BTreeMap;
+use support::idx::Idx;
+use whirl::{Opr, ProcId, Program, StClass, StIdx};
+
+/// The result of IPA: per-procedure summaries including propagated effects.
+#[derive(Debug)]
+pub struct IpaResult {
+    /// One summary per procedure (indexable by `ProcId`).
+    pub summaries: Vec<ProcSummary>,
+    /// True when the program was recursive and propagation stopped at one
+    /// level (records from recursive cycles are not fix-pointed).
+    pub recursion_cut: bool,
+}
+
+impl IpaResult {
+    /// The summary for `id`.
+    pub fn summary(&self, id: ProcId) -> &ProcSummary {
+        &self.summaries[id.as_usize()]
+    }
+}
+
+/// Runs propagation over already-computed local summaries.
+pub fn propagate(
+    program: &Program,
+    cg: &CallGraph,
+    local: Vec<ProcSummary>,
+) -> IpaResult {
+    let recursion_cut = cg.is_recursive();
+    let mut summaries = local;
+    for id in cg.bottom_up() {
+        // Collect translations first (the callee summaries are complete
+        // because of the bottom-up order, recursion aside).
+        let mut translated: Vec<AccessRecord> = Vec::new();
+        for site in cg.calls(id) {
+            if site.callee == id {
+                continue; // self-recursion: cut
+            }
+            let callee_sum = &summaries[site.callee.as_usize()];
+            let callee_proc = program.procedure(site.callee);
+            for rec in &callee_sum.accesses {
+                if !rec.mode.moves_data() {
+                    continue; // FORMAL/PASSED are per-procedure bookkeeping
+                }
+                if let Some(t) = translate_record(program, rec, site, &callee_proc.formals)
+                {
+                    translated.push(t);
+                }
+            }
+        }
+        summaries[id.as_usize()].accesses.extend(translated);
+    }
+    IpaResult { summaries, recursion_cut }
+}
+
+/// Translates one callee record to the caller's view at `site`.
+/// Returns `None` when the record concerns a callee-local array (invisible
+/// to the caller).
+fn translate_record(
+    program: &Program,
+    rec: &AccessRecord,
+    site: &CallSite,
+    callee_formals: &[StIdx],
+) -> Option<AccessRecord> {
+    let entry = program.symbols.get(rec.array);
+    let (target_array, set_from_call) = match entry.class {
+        StClass::Global => (rec.array, true),
+        StClass::Formal => {
+            // Which formal position?
+            let pos = callee_formals.iter().position(|&f| f == rec.array)?;
+            let actual = *site.array_actuals.get(pos)?;
+            (actual?, true)
+        }
+        _ => return None, // callee-local array: no caller-visible effect
+    };
+
+    // Substitute symbolic formal scalars with the caller's actual constants.
+    let subst = build_scalar_substitution(program, site, callee_formals);
+    let region = translate_region(&rec.region, &rec.space, &subst);
+    let convex = if region.is_const() {
+        let bounds: Option<Vec<(i64, i64)>> = region
+            .dims
+            .iter()
+            .map(|t| t.as_const().map(|(lo, hi, _)| (lo, hi)))
+            .collect();
+        bounds.map(|b| regions::convex::box_region(&b))
+    } else {
+        rec.convex.clone().filter(|_| subst.is_empty())
+    };
+
+    Some(AccessRecord {
+        array: target_array,
+        mode: rec.mode,
+        region,
+        convex,
+        space: rec.space.clone(),
+        line: site.line,
+        from_call: set_from_call.then_some(site.callee),
+        remote: rec.remote,
+    })
+}
+
+/// Maps callee scalar-formal *names* to constant actual values at `site`.
+fn build_scalar_substitution(
+    program: &Program,
+    site: &CallSite,
+    callee_formals: &[StIdx],
+) -> BTreeMap<support::Symbol, i64> {
+    let caller_proc = program.procedure(site.caller);
+    let call_node = caller_proc.tree.node(site.wn);
+    debug_assert_eq!(call_node.operator, Opr::Call);
+    let mut map = BTreeMap::new();
+    for (pos, &formal) in callee_formals.iter().enumerate() {
+        let Some(&parm) = call_node.kids.get(pos) else { continue };
+        let value = caller_proc.tree.node(parm).kids[0];
+        if let Some(c) = caller_proc.tree.eval_const(value) {
+            let name = program.symbols.get(formal).name;
+            map.insert(name, c);
+        }
+    }
+    map
+}
+
+/// Rewrites a region's symbolic bounds under a name→constant substitution;
+/// bounds that still mention unknown symbols become `MESSY`.
+fn translate_region(
+    region: &TripletRegion,
+    space: &Space,
+    subst: &BTreeMap<support::Symbol, i64>,
+) -> TripletRegion {
+    let translate_bound = |b: &Bound| -> Bound {
+        match b {
+            Bound::Const(c) => Bound::Const(*c),
+            Bound::Messy => Bound::Messy,
+            Bound::Unprojected => Bound::Unprojected,
+            Bound::Expr(e) => {
+                let mut acc = e.constant_term();
+                for (v, coeff) in e.terms() {
+                    match space.kind(v) {
+                        VarKind::Sym(name) => match subst.get(&name) {
+                            Some(&val) => acc += coeff * val,
+                            None => return Bound::Messy,
+                        },
+                        _ => return Bound::Messy,
+                    }
+                }
+                Bound::Const(acc)
+            }
+        }
+    };
+    TripletRegion::new(
+        region
+            .dims
+            .iter()
+            .map(|t| {
+                Triplet::new(
+                    translate_bound(&t.lb),
+                    translate_bound(&t.ub),
+                    translate_bound(&t.stride),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Convenience: IPL + IPA in one call (serial).
+pub fn analyze(program: &Program) -> (CallGraph, IpaResult) {
+    let cg = CallGraph::build(program);
+    let local = crate::local::summarize_all(program);
+    let result = propagate(program, &cg, local);
+    (cg, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frontend::{compile_to_h, SourceFile, DEFAULT_LAYOUT_BASE};
+    use regions::access::AccessMode;
+    use whirl::Lang;
+
+    fn build(src: &str) -> (Program, CallGraph, IpaResult) {
+        let p = compile_to_h(&[SourceFile::new("t.f", src, Lang::Fortran)], DEFAULT_LAYOUT_BASE)
+            .unwrap();
+        let (cg, r) = analyze(&p);
+        (p, cg, r)
+    }
+
+    /// The paper's Fig. 1 program.
+    const FIG1: &str = "\
+subroutine add(m)
+  integer, dimension(1:200, 1:200) :: a
+  common /g/ a
+  integer :: m, j
+  do j = 1, m
+    call p1(a, j)
+    call p2(a, j)
+  end do
+end
+subroutine p1(x, k)
+  integer, dimension(1:200, 1:200) :: x
+  integer :: k, i, j
+  do i = 1, 100
+    do j = 1, 100
+      x(i, j) = 0
+    end do
+  end do
+end
+subroutine p2(x, k)
+  integer, dimension(1:200, 1:200) :: x
+  integer :: k, i, j, t
+  do i = 101, 200
+    do j = 101, 200
+      t = x(i, j)
+    end do
+  end do
+end
+";
+
+    #[test]
+    fn fig1_regions_propagate_to_caller() {
+        let (p, _cg, r) = build(FIG1);
+        let add = p.find_procedure("add").unwrap();
+        let sum = r.summary(add);
+        let a_sym = p.interner.get("a").unwrap();
+        let a_st = p.symbols.find(a_sym).unwrap();
+        let p1 = p.find_procedure("p1").unwrap();
+        let p2 = p.find_procedure("p2").unwrap();
+
+        let idef: Vec<_> = sum
+            .for_array(a_st)
+            .filter(|rec| rec.mode == AccessMode::Def && rec.from_call == Some(p1))
+            .collect();
+        assert_eq!(idef.len(), 1, "one propagated DEF from p1");
+        // Zero-based: (1:100,1:100) → (0:99,0:99) in both (row-major) dims.
+        assert_eq!(idef[0].region.to_string(), "(0:99:1, 0:99:1)");
+
+        let iuse: Vec<_> = sum
+            .for_array(a_st)
+            .filter(|rec| rec.mode == AccessMode::Use && rec.from_call == Some(p2))
+            .collect();
+        assert_eq!(iuse.len(), 1);
+        assert_eq!(iuse[0].region.to_string(), "(100:199:1, 100:199:1)");
+    }
+
+    #[test]
+    fn fig1_propagated_regions_are_independent() {
+        let (p, _cg, r) = build(FIG1);
+        let add = p.find_procedure("add").unwrap();
+        let sum = r.summary(add);
+        let recs: Vec<_> = sum
+            .accesses
+            .iter()
+            .filter(|rec| rec.from_call.is_some())
+            .collect();
+        assert_eq!(recs.len(), 2);
+        let d = &recs[0];
+        let u = &recs[1];
+        assert_eq!(d.region.disjoint_from(&u.region), Some(true));
+    }
+
+    #[test]
+    fn callee_local_arrays_do_not_propagate() {
+        let (p, _cg, r) = build(
+            "\
+program main
+  call work
+end
+subroutine work
+  real tmp(10)
+  integer i
+  do i = 1, 10
+    tmp(i) = 0.0
+  end do
+end
+",
+        );
+        let main = p.find_procedure("main").unwrap();
+        assert!(
+            r.summary(main).accesses.iter().all(|rec| rec.from_call.is_none()),
+            "local tmp must stay inside work"
+        );
+    }
+
+    #[test]
+    fn constant_actual_substitutes_into_symbolic_bound() {
+        let (p, _cg, r) = build(
+            "\
+program main
+  real a(50)
+  common /g/ a
+  call fill(a, 7)
+end
+subroutine fill(x, n)
+  real x(50)
+  integer n, i
+  do i = 1, n
+    x(i) = 0.0
+  end do
+end
+",
+        );
+        let main = p.find_procedure("main").unwrap();
+        let sum = r.summary(main);
+        let a_st = p.symbols.find(p.interner.get("a").unwrap()).unwrap();
+        let def = sum
+            .for_array(a_st)
+            .find(|rec| rec.mode == AccessMode::Def && rec.from_call.is_some())
+            .expect("propagated DEF");
+        // x(1:n) with n=7 → zero-based 0:6.
+        assert_eq!(def.region.to_string(), "(0:6:1)");
+    }
+
+    #[test]
+    fn unknown_actual_degrades_to_messy() {
+        let (p, _cg, r) = build(
+            "\
+program main
+  real a(50)
+  common /g/ a
+  integer k
+  call fill(a, k)
+end
+subroutine fill(x, n)
+  real x(50)
+  integer n, i
+  do i = 1, n
+    x(i) = 0.0
+  end do
+end
+",
+        );
+        let main = p.find_procedure("main").unwrap();
+        let a_st = p.symbols.find(p.interner.get("a").unwrap()).unwrap();
+        let def = r
+            .summary(main)
+            .for_array(a_st)
+            .find(|rec| rec.mode == AccessMode::Def && rec.from_call.is_some())
+            .unwrap();
+        assert_eq!(def.region.dims[0].ub, Bound::Messy);
+        assert_eq!(def.region.dims[0].lb.as_const(), Some(0));
+    }
+
+    #[test]
+    fn transitive_propagation_two_levels() {
+        let (p, _cg, r) = build(
+            "\
+program main
+  call mid
+end
+subroutine mid
+  call leaf
+end
+subroutine leaf
+  real g(9)
+  common /c/ g
+  integer i
+  do i = 1, 9
+    g(i) = 1.0
+  end do
+end
+",
+        );
+        let main = p.find_procedure("main").unwrap();
+        let g_st = p.symbols.find(p.interner.get("g").unwrap()).unwrap();
+        let defs: Vec<_> = r
+            .summary(main)
+            .for_array(g_st)
+            .filter(|rec| rec.mode == AccessMode::Def)
+            .collect();
+        assert_eq!(defs.len(), 1, "leaf's DEF reaches main through mid");
+        assert_eq!(defs[0].region.to_string(), "(0:8:1)");
+    }
+
+    #[test]
+    fn recursion_is_cut_not_hung() {
+        let (_p, _cg, r) = build(
+            "\
+subroutine r(n)
+  integer n
+  real a(5)
+  common /c/ a
+  a(1) = 0.0
+  call r(n)
+end
+",
+        );
+        assert!(r.recursion_cut);
+    }
+}

@@ -1,0 +1,264 @@
+//! Procedure side effects and the parallelization-safety test.
+//!
+//! "Side effects of procedure calls can partially be handled by showing how
+//! the array parameters are being accessed. This necessity becomes critical
+//! when these procedures are invoked inside loops." Fig. 1's payoff: P1
+//! defines `A(1:100,1:100)`, P2 uses `A(101:200,101:200)`, the regions are
+//! disjoint, therefore "both procedures can concurrently and safely be
+//! parallelized".
+//!
+//! This module exposes that judgement: the *effect set* of a call site (the
+//! caller-visible DEF/USE regions of the callee, translated), and pairwise
+//! independence between call sites.
+
+use crate::callgraph::{CallGraph, CallSite};
+use crate::local::AccessRecord;
+use crate::propagate::IpaResult;
+use regions::access::AccessMode;
+use support::idx::Idx;
+use whirl::{ProcId, Program, StIdx};
+
+/// The caller-visible effects of one call site.
+#[derive(Debug)]
+pub struct CallEffects {
+    /// The call site.
+    pub callee: ProcId,
+    /// Translated DEF/USE records (caller array identities).
+    pub records: Vec<AccessRecord>,
+}
+
+/// Collects the effects of every call site in `caller`, using the propagated
+/// summary (records tagged `from_call`).
+pub fn call_effects(
+    _program: &Program,
+    cg: &CallGraph,
+    ipa: &IpaResult,
+    caller: ProcId,
+) -> Vec<CallEffects> {
+    let summary = ipa.summary(caller);
+    cg.calls(caller)
+        .iter()
+        .map(|site: &CallSite| CallEffects {
+            callee: site.callee,
+            records: summary
+                .accesses
+                .iter()
+                .filter(|r| r.from_call == Some(site.callee) && r.line == site.line)
+                .cloned()
+                .collect(),
+        })
+        .collect()
+}
+
+/// Why two call sites were judged dependent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conflict {
+    /// The array both sides touch.
+    pub array: StIdx,
+    /// Mode on the first site.
+    pub mode_a: AccessMode,
+    /// Mode on the second site.
+    pub mode_b: AccessMode,
+}
+
+/// Tests whether two effect sets are independent; returns the first conflict
+/// otherwise. Two records conflict when they touch the same array, at least
+/// one is a DEF, and their regions are not provably disjoint.
+pub fn independent(a: &CallEffects, b: &CallEffects) -> Result<(), Conflict> {
+    for ra in &a.records {
+        for rb in &b.records {
+            if ra.array != rb.array {
+                continue;
+            }
+            if !ra.mode.moves_data() || !rb.mode.moves_data() {
+                continue;
+            }
+            if ra.mode == AccessMode::Use && rb.mode == AccessMode::Use {
+                continue;
+            }
+            let disjoint = match (&ra.convex, &rb.convex) {
+                (Some(ca), Some(cb)) => ca.disjoint_from(cb),
+                _ => ra.region.disjoint_from(&rb.region) == Some(true),
+            };
+            if !disjoint {
+                return Err(Conflict {
+                    array: ra.array,
+                    mode_a: ra.mode,
+                    mode_b: rb.mode,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A parallelization opportunity the Dragon advisor reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelPair {
+    /// The enclosing (caller) procedure.
+    pub caller: ProcId,
+    /// First callee.
+    pub callee_a: ProcId,
+    /// Second callee.
+    pub callee_b: ProcId,
+    /// Line of the first call.
+    pub line_a: u32,
+    /// Line of the second call.
+    pub line_b: u32,
+}
+
+/// Scans every procedure for adjacent call pairs that can run concurrently —
+/// the "Visual feedback on procedures that can be executed in parallel"
+/// feature.
+pub fn find_parallel_pairs(
+    program: &Program,
+    cg: &CallGraph,
+    ipa: &IpaResult,
+) -> Vec<ParallelPair> {
+    let mut out = Vec::new();
+    for caller in (0..cg.size()).map(ProcId::from_usize) {
+        let effects = call_effects(program, cg, ipa, caller);
+        for i in 0..effects.len() {
+            for j in (i + 1)..effects.len() {
+                if effects[i].callee == effects[j].callee {
+                    continue;
+                }
+                if independent(&effects[i], &effects[j]).is_ok() {
+                    let sites = cg.calls(caller);
+                    out.push(ParallelPair {
+                        caller,
+                        callee_a: effects[i].callee,
+                        callee_b: effects[j].callee,
+                        line_a: sites[i].line,
+                        line_b: sites[j].line,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate::analyze;
+    use frontend::{compile_to_h, SourceFile, DEFAULT_LAYOUT_BASE};
+    use whirl::Lang;
+
+    fn build(src: &str) -> (Program, CallGraph, IpaResult) {
+        let p = compile_to_h(
+            &[SourceFile::new("t.f", src, Lang::Fortran)],
+            DEFAULT_LAYOUT_BASE,
+        )
+        .unwrap();
+        let (cg, r) = analyze(&p);
+        (p, cg, r)
+    }
+
+    fn fig1_like(p2_lo: i64, p2_hi: i64) -> String {
+        String::from(
+            "\
+subroutine add(m)
+  integer, dimension(1:200, 1:200) :: a
+  common /g/ a
+  integer :: m, j
+  do j = 1, m
+    call p1(a, j)
+    call p2(a, j)
+  end do
+end
+subroutine p1(x, k)
+  integer, dimension(1:200, 1:200) :: x
+  integer :: k, i, j
+  do i = 1, 100
+    do j = 1, 100
+      x(i, j) = 0
+    end do
+  end do
+end
+subroutine p2(x, k)
+  integer, dimension(1:200, 1:200) :: x
+  integer :: k, i, j, t
+  do i = {lo}, {hi}
+    do j = {lo}, {hi}
+      t = x(i, j)
+    end do
+  end do
+end
+",
+        )
+        .replace("{lo}", &p2_lo.to_string())
+        .replace("{hi}", &p2_hi.to_string())
+    }
+
+    #[test]
+    fn fig1_calls_are_parallelizable() {
+        let (p, cg, r) = build(&fig1_like(101, 200));
+        let pairs = find_parallel_pairs(&p, &cg, &r);
+        assert_eq!(pairs.len(), 1, "P1/P2 are independent");
+        let add = p.find_procedure("add").unwrap();
+        assert_eq!(pairs[0].caller, add);
+    }
+
+    #[test]
+    fn overlapping_regions_block_parallelization() {
+        let (p, cg, r) = build(&fig1_like(50, 150));
+        let pairs = find_parallel_pairs(&p, &cg, &r);
+        assert!(pairs.is_empty(), "P2 reads what P1 writes");
+    }
+
+    #[test]
+    fn use_use_pairs_are_parallel() {
+        let (p, cg, r) = build(
+            "\
+subroutine add
+  integer a(100)
+  common /g/ a
+  call r1
+  call r2
+end
+subroutine r1
+  integer a(100)
+  common /g/ a
+  integer i, t
+  do i = 1, 100
+    t = a(i)
+  end do
+end
+subroutine r2
+  integer a(100)
+  common /g/ a
+  integer i, t
+  do i = 1, 100
+    t = a(i)
+  end do
+end
+",
+        );
+        let pairs = find_parallel_pairs(&p, &cg, &r);
+        assert_eq!(pairs.len(), 1, "two readers never conflict");
+    }
+
+    #[test]
+    fn conflict_reports_array_and_modes() {
+        let (p, cg, r) = build(&fig1_like(1, 100));
+        let add = p.find_procedure("add").unwrap();
+        let effects = call_effects(&p, &cg, &r, add);
+        let err = independent(&effects[0], &effects[1]).unwrap_err();
+        assert_eq!(err.mode_a, AccessMode::Def);
+        assert_eq!(err.mode_b, AccessMode::Use);
+        let name = p.name_of(p.symbols.get(err.array).name);
+        assert_eq!(name, "a");
+    }
+
+    #[test]
+    fn effects_are_attached_to_sites() {
+        let (p, cg, r) = build(&fig1_like(101, 200));
+        let add = p.find_procedure("add").unwrap();
+        let effects = call_effects(&p, &cg, &r, add);
+        assert_eq!(effects.len(), 2);
+        assert_eq!(effects[0].records.len(), 1);
+        assert_eq!(effects[1].records.len(), 1);
+    }
+}

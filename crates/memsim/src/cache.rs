@@ -1,0 +1,229 @@
+//! Set-associative LRU cache model.
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set); lines/ways must divide evenly.
+    pub ways: u64,
+}
+
+impl CacheConfig {
+    /// A small L1-like default: 32 KiB, 64-byte lines, 8-way.
+    pub fn l1() -> Self {
+        CacheConfig { capacity_bytes: 32 * 1024, line_bytes: 64, ways: 8 }
+    }
+
+    /// A tiny cache for making capacity effects visible in tests.
+    pub fn tiny(capacity_bytes: u64) -> Self {
+        CacheConfig { capacity_bytes, line_bytes: 64, ways: 2 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        (self.capacity_bytes / self.line_bytes / self.ways).max(1)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 when no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// ```
+/// use memsim::{Cache, CacheConfig};
+///
+/// let mut cache = Cache::new(CacheConfig::l1());
+/// assert!(!cache.access(0x1000)); // cold miss
+/// assert!(cache.access(0x1000)); // hit
+/// assert!(cache.access(0x1008)); // same 64-byte line
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: (tag, last-use stamp) per way; `None` = invalid.
+    sets: Vec<Vec<Option<(u64, u64)>>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty (cold) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.ways >= 1);
+        let sets = config.sets();
+        Cache {
+            config,
+            sets: vec![vec![None; config.ways as usize]; sets as usize],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accesses one byte address; returns true on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = addr / self.config.line_bytes;
+        let set_idx = (line % self.config.sets()) as usize;
+        let tag = line / self.config.sets();
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set
+            .iter()
+            .position(|slot| matches!(slot, Some((t, _)) if *t == tag))
+        {
+            set[way] = Some((tag, self.clock));
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        // Fill: invalid way first, else evict the LRU way.
+        let victim = match set.iter().position(Option::is_none) {
+            Some(i) => i,
+            None => {
+                let (i, _) = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, slot)| slot.map(|(_, stamp)| stamp).unwrap_or(0))
+                    .unwrap();
+                i
+            }
+        };
+        set[victim] = Some((tag, self.clock));
+        false
+    }
+
+    /// Runs a whole address stream.
+    pub fn run(&mut self, addrs: impl IntoIterator<Item = u64>) {
+        for a in addrs {
+            self.access(a);
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.fill(None);
+        }
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::l1();
+        assert_eq!(c.sets(), 64);
+        let t = CacheConfig::tiny(1024);
+        assert_eq!(t.sets(), 8);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(CacheConfig::l1());
+        assert!(!c.access(0x1000), "cold miss");
+        assert!(c.access(0x1000), "second access hits");
+        assert!(c.access(0x1001), "same line hits");
+        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn spatial_locality_within_line() {
+        let mut c = Cache::new(CacheConfig::l1());
+        c.run((0..64).map(|i| 0x2000 + i));
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 63);
+    }
+
+    #[test]
+    fn capacity_eviction_under_lru() {
+        // 2-way tiny cache: three lines mapping to the same set evict LRU.
+        let cfg = CacheConfig { capacity_bytes: 128, line_bytes: 64, ways: 2 };
+        assert_eq!(cfg.sets(), 1);
+        let mut c = Cache::new(cfg);
+        c.access(0); // line A miss
+        c.access(64); // line B miss
+        c.access(0); // A hit (B is LRU)
+        c.access(128); // line C miss, evicts B
+        assert!(c.access(0), "A stayed");
+        assert!(!c.access(64), "B was evicted");
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn streaming_larger_than_cache_always_misses_lines() {
+        let cfg = CacheConfig::tiny(1024);
+        let mut c = Cache::new(cfg);
+        // Two sequential passes over 8 KiB (128 lines ≫ 16 lines capacity).
+        for _ in 0..2 {
+            c.run((0..8192u64).step_by(64));
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses(), 256);
+        assert_eq!(s.misses, 256, "thrashing: nothing survives a pass");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = Cache::new(CacheConfig::l1());
+        c.access(0);
+        c.reset();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(!c.access(0), "cold again after reset");
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_line_size() {
+        Cache::new(CacheConfig { capacity_bytes: 1024, line_bytes: 48, ways: 2 });
+    }
+}

@@ -1,0 +1,18 @@
+//! `memsim` — a set-associative cache simulator.
+//!
+//! Case 1 of the paper fuses the two `verify` loops that read `XCR` so the
+//! program can "optimize cache utilization and data locality by avoiding the
+//! delay resulting from fetching XCR from memory again". The paper asserts
+//! this qualitatively; this crate makes it measurable: build the address
+//! stream of the split and fused loop structures and count misses in a
+//! configurable LRU cache.
+//!
+//! - [`cache`] — the set-associative LRU cache with hit/miss statistics;
+//! - [`stream`] — address-stream builders from array regions and the
+//!   split-vs-fused loop experiment.
+
+pub mod cache;
+pub mod stream;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use stream::{fusion_experiment, region_stream, ArraySpec, FusionReport};

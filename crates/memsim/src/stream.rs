@@ -1,0 +1,160 @@
+//! Address-stream builders and the loop-fusion experiment (Case 1).
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+
+/// A placed array: base address plus element size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArraySpec {
+    /// Base byte address.
+    pub base: u64,
+    /// Element size in bytes.
+    pub elem_bytes: u64,
+    /// Number of elements.
+    pub len: u64,
+}
+
+impl ArraySpec {
+    /// Byte address of element `i` (zero-based).
+    pub fn addr(&self, i: u64) -> u64 {
+        debug_assert!(i < self.len);
+        self.base + i * self.elem_bytes
+    }
+
+    /// Addresses of a `lb..=ub : stride` section (zero-based, inclusive).
+    pub fn section(&self, lb: u64, ub: u64, stride: u64) -> Vec<u64> {
+        (lb..=ub).step_by(stride.max(1) as usize).map(|i| self.addr(i)).collect()
+    }
+}
+
+/// Builds the address stream of one region access: every element of the
+/// triplet section, visited once per `passes`.
+pub fn region_stream(spec: ArraySpec, lb: u64, ub: u64, stride: u64, passes: usize) -> Vec<u64> {
+    let one = spec.section(lb, ub, stride);
+    let mut out = Vec::with_capacity(one.len() * passes);
+    for _ in 0..passes {
+        out.extend_from_slice(&one);
+    }
+    out
+}
+
+/// Result of the split-vs-fused comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionReport {
+    /// Stats of the split (two separate loops) structure.
+    pub split: CacheStats,
+    /// Stats of the fused (single loop) structure.
+    pub fused: CacheStats,
+}
+
+impl FusionReport {
+    /// Misses avoided by fusing.
+    pub fn misses_saved(&self) -> i64 {
+        self.split.misses as i64 - self.fused.misses as i64
+    }
+}
+
+/// The Case 1 experiment. `verify` reads `xcr(1:5)` in a first loop, then
+/// three more times in a second loop; between the two loops other data
+/// (`wash_bytes` of it — `xcrref`, `xce`, `xceref`, ... in the real code)
+/// streams through the cache. Fusing the loops turns the second-loop reads
+/// into same-iteration hits.
+///
+/// Streams:
+/// - split: `[xcr pass] [wash] [xcr ×3 interleaved pass]`
+/// - fused: `[xcr ×4 interleaved pass] [wash]`
+pub fn fusion_experiment(
+    config: CacheConfig,
+    xcr: ArraySpec,
+    wash_base: u64,
+    wash_bytes: u64,
+) -> FusionReport {
+    let wash: Vec<u64> = (0..wash_bytes).step_by(8).map(|o| wash_base + o).collect();
+
+    // Split: loop 1 (one read per element), wash, loop 2 (three reads/elem).
+    let mut split_stream = Vec::new();
+    for i in 0..xcr.len {
+        split_stream.push(xcr.addr(i));
+    }
+    split_stream.extend_from_slice(&wash);
+    for i in 0..xcr.len {
+        for _ in 0..3 {
+            split_stream.push(xcr.addr(i));
+        }
+    }
+
+    // Fused: four reads per element in one pass, then the wash.
+    let mut fused_stream = Vec::new();
+    for i in 0..xcr.len {
+        for _ in 0..4 {
+            fused_stream.push(xcr.addr(i));
+        }
+    }
+    fused_stream.extend_from_slice(&wash);
+
+    let mut c1 = Cache::new(config);
+    c1.run(split_stream.iter().copied());
+    let mut c2 = Cache::new(config);
+    c2.run(fused_stream.iter().copied());
+    FusionReport { split: c1.stats(), fused: c2.stats() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xcr() -> ArraySpec {
+        ArraySpec { base: 0xb79e_dfa0, elem_bytes: 8, len: 5 }
+    }
+
+    #[test]
+    fn addresses_are_strided_by_element_size() {
+        let a = xcr();
+        assert_eq!(a.addr(0), 0xb79e_dfa0);
+        assert_eq!(a.addr(4), 0xb79e_dfa0 + 32);
+    }
+
+    #[test]
+    fn section_honours_stride() {
+        let a = ArraySpec { base: 0, elem_bytes: 4, len: 20 };
+        assert_eq!(a.section(2, 6, 2), vec![8, 16, 24]);
+    }
+
+    #[test]
+    fn region_stream_repeats_passes() {
+        let a = ArraySpec { base: 0, elem_bytes: 8, len: 4 };
+        let s = region_stream(a, 0, 3, 1, 2);
+        assert_eq!(s.len(), 8);
+        assert_eq!(&s[0..4], &s[4..8]);
+    }
+
+    #[test]
+    fn fusion_saves_misses_when_wash_evicts() {
+        // Cache small enough that the wash evicts xcr between the loops.
+        let cfg = CacheConfig::tiny(512); // 8 lines
+        let report = fusion_experiment(cfg, xcr(), 0x10_0000, 4096);
+        assert!(
+            report.misses_saved() > 0,
+            "fused must miss less: {report:?}"
+        );
+        // Same total access count in both structures.
+        assert_eq!(report.split.accesses(), report.fused.accesses());
+    }
+
+    #[test]
+    fn fusion_neutral_when_cache_holds_everything() {
+        // Large cache: the wash does not evict xcr, both structures miss
+        // only on the cold fills.
+        let cfg = CacheConfig { capacity_bytes: 1 << 20, line_bytes: 64, ways: 8 };
+        let report = fusion_experiment(cfg, xcr(), 0x10_0000, 4096);
+        assert_eq!(report.misses_saved(), 0);
+        assert_eq!(report.split.misses, report.fused.misses);
+    }
+
+    #[test]
+    fn fused_hits_dominate() {
+        let cfg = CacheConfig::tiny(512);
+        let report = fusion_experiment(cfg, xcr(), 0x10_0000, 4096);
+        // In the fused structure, 3 of every 4 xcr reads hit by construction.
+        assert!(report.fused.hits >= 15);
+    }
+}

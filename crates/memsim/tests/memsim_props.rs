@@ -1,0 +1,98 @@
+//! Property tests for the cache simulator: inclusion-style invariants that
+//! hold for any LRU set-associative cache.
+
+use memsim::{Cache, CacheConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn config_strategy() -> impl Strategy<Value = CacheConfig> {
+    (6u32..10, 1u64..5).prop_map(|(cap_pow, ways)| CacheConfig {
+        capacity_bytes: (1 << cap_pow) * ways,
+        line_bytes: 64,
+        ways,
+    })
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<u64>> {
+    (0u64..10_000, 1usize..400).prop_map(|(seed, len)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(0u64..8192)).collect()
+    })
+}
+
+proptest! {
+    /// Hits + misses equals accesses, and misses never exceed accesses.
+    #[test]
+    fn stats_are_consistent(cfg in config_strategy(), stream in stream_strategy()) {
+        let mut c = Cache::new(cfg);
+        c.run(stream.iter().copied());
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), stream.len() as u64);
+        prop_assert!(s.miss_ratio() >= 0.0 && s.miss_ratio() <= 1.0);
+    }
+
+    /// An immediately repeated access always hits (LRU keeps the MRU line).
+    #[test]
+    fn immediate_rereference_hits(cfg in config_strategy(), stream in stream_strategy()) {
+        let mut c = Cache::new(cfg);
+        for &a in &stream {
+            c.access(a);
+            prop_assert!(c.access(a), "immediate re-access of {a:#x} missed");
+        }
+    }
+
+    /// Cold misses: distinct lines in the stream lower-bound the misses of
+    /// a cold cache, and a cache can never miss more than once per access.
+    #[test]
+    fn cold_miss_lower_bound(cfg in config_strategy(), stream in stream_strategy()) {
+        let mut c = Cache::new(cfg);
+        c.run(stream.iter().copied());
+        let distinct_lines: std::collections::BTreeSet<u64> =
+            stream.iter().map(|a| a / cfg.line_bytes).collect();
+        prop_assert!(c.stats().misses >= distinct_lines.len() as u64
+            || c.stats().misses == stream.len() as u64);
+        // A cache at least as large as the distinct working set with full
+        // associativity misses exactly once per line.
+        // Fully associative, 256 lines — the stream spans at most 128.
+        let big = CacheConfig {
+            capacity_bytes: 256 * 64,
+            line_bytes: 64,
+            ways: 256,
+        };
+        let mut b = Cache::new(big);
+        b.run(stream.iter().copied());
+        prop_assert_eq!(b.stats().misses, distinct_lines.len() as u64);
+    }
+
+    /// More ways at equal capacity never increases misses for a repeated
+    /// small working set that fits (associativity relieves conflicts).
+    #[test]
+    fn associativity_helps_fitting_sets(seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // 8 lines, re-walked 4 times.
+        let lines: Vec<u64> = (0..8).map(|_| rng.gen_range(0u64..64) * 64).collect();
+        let stream: Vec<u64> = (0..4).flat_map(|_| lines.clone()).collect();
+        let direct = CacheConfig { capacity_bytes: 1024, line_bytes: 64, ways: 1 };
+        let full = CacheConfig { capacity_bytes: 1024, line_bytes: 64, ways: 16 };
+        let mut cd = Cache::new(direct);
+        cd.run(stream.iter().copied());
+        let mut cf = Cache::new(full);
+        cf.run(stream.iter().copied());
+        prop_assert!(cf.stats().misses <= cd.stats().misses);
+    }
+
+    /// Reset restores cold-cache behaviour exactly.
+    #[test]
+    fn reset_is_cold(cfg in config_strategy(), stream in stream_strategy()) {
+        let mut once = Cache::new(cfg);
+        once.run(stream.iter().copied());
+        let first = once.stats();
+
+        let mut twice = Cache::new(cfg);
+        twice.run(stream.iter().copied());
+        twice.reset();
+        twice.run(stream.iter().copied());
+        prop_assert_eq!(twice.stats(), first);
+    }
+}

@@ -1,0 +1,309 @@
+//! Linear (affine) expressions `c₀ + Σ cᵢ·vᵢ` over a [`Space`](crate::Space).
+//!
+//! Subscript expressions, loop bounds, and region constraints are all affine
+//! in practice for the programs the paper analyzes; anything non-affine is
+//! classified `MESSY` upstream and never reaches this module. Coefficients
+//! are `i64`; all arithmetic is checked in debug builds via the standard
+//! overflow traps.
+
+use crate::space::VarId;
+use std::collections::BTreeMap;
+use support::idx::Idx;
+
+/// An affine expression: constant term plus a sparse map of coefficients.
+/// Zero coefficients are never stored, so `==` is a semantic equality test.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinExpr {
+    constant: i64,
+    coeffs: BTreeMap<VarId, i64>,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: i64) -> Self {
+        LinExpr { constant: c, coeffs: BTreeMap::new() }
+    }
+
+    /// The expression `1·v`.
+    pub fn var(v: VarId) -> Self {
+        Self::term(v, 1)
+    }
+
+    /// The expression `coeff·v`.
+    pub fn term(v: VarId, coeff: i64) -> Self {
+        let mut coeffs = BTreeMap::new();
+        if coeff != 0 {
+            coeffs.insert(v, coeff);
+        }
+        LinExpr { constant: 0, coeffs }
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// The coefficient of `v` (0 when absent).
+    pub fn coeff(&self, v: VarId) -> i64 {
+        self.coeffs.get(&v).copied().unwrap_or(0)
+    }
+
+    /// True when the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// `Some(c)` when the expression is the constant `c`.
+    pub fn as_constant(&self) -> Option<i64> {
+        self.is_constant().then_some(self.constant)
+    }
+
+    /// True when the expression is exactly `1·v + 0`.
+    pub fn as_single_var(&self) -> Option<VarId> {
+        if self.constant == 0 && self.coeffs.len() == 1 {
+            let (&v, &c) = self.coeffs.iter().next().unwrap();
+            (c == 1).then_some(v)
+        } else {
+            None
+        }
+    }
+
+    /// `Some((v, a, b))` when the expression is `a·v + b` with `a ≠ 0`.
+    pub fn as_affine_in_one_var(&self) -> Option<(VarId, i64, i64)> {
+        if self.coeffs.len() == 1 {
+            let (&v, &a) = self.coeffs.iter().next().unwrap();
+            Some((v, a, self.constant))
+        } else {
+            None
+        }
+    }
+
+    /// Variables with nonzero coefficients, ascending.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.coeffs.keys().copied()
+    }
+
+    /// `(var, coeff)` pairs with nonzero coefficients, ascending by var.
+    pub fn terms(&self) -> impl Iterator<Item = (VarId, i64)> + '_ {
+        self.coeffs.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// True when `v` occurs with a nonzero coefficient.
+    pub fn mentions(&self, v: VarId) -> bool {
+        self.coeffs.contains_key(&v)
+    }
+
+    /// Adds `delta` to the coefficient of `v`, dropping it if it cancels.
+    pub fn add_term(&mut self, v: VarId, delta: i64) {
+        let entry = self.coeffs.entry(v).or_insert(0);
+        *entry += delta;
+        if *entry == 0 {
+            self.coeffs.remove(&v);
+        }
+    }
+
+    /// Adds `delta` to the constant term.
+    pub fn add_constant(&mut self, delta: i64) {
+        self.constant += delta;
+    }
+
+    /// Returns `self + other`.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.constant += other.constant;
+        for (&v, &c) in &other.coeffs {
+            out.add_term(v, c);
+        }
+        out
+    }
+
+    /// Returns `self - other`.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(-1))
+    }
+
+    /// Returns `k·self`.
+    pub fn scale(&self, k: i64) -> LinExpr {
+        if k == 0 {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            constant: self.constant * k,
+            coeffs: self.coeffs.iter().map(|(&v, &c)| (v, c * k)).collect(),
+        }
+    }
+
+    /// Returns `self` with every occurrence of `v` replaced by `repl`.
+    pub fn substitute(&self, v: VarId, repl: &LinExpr) -> LinExpr {
+        let c = self.coeff(v);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs.remove(&v);
+        out.add(&repl.scale(c))
+    }
+
+    /// Evaluates under an assignment; `None` if a variable is unassigned.
+    pub fn eval(&self, assign: &dyn Fn(VarId) -> Option<i64>) -> Option<i64> {
+        let mut total = self.constant;
+        for (&v, &c) in &self.coeffs {
+            total += c * assign(v)?;
+        }
+        Some(total)
+    }
+
+    /// Greatest common divisor of all variable coefficients (0 for constants).
+    pub fn coeff_gcd(&self) -> i64 {
+        self.coeffs.values().fold(0i64, |g, &c| gcd(g, c.abs()))
+    }
+
+    /// Renders against a name resolver, e.g. `2*i + j - 3`.
+    pub fn render(&self, name: &dyn Fn(VarId) -> String) -> String {
+        let mut out = String::new();
+        for (&v, &c) in &self.coeffs {
+            if out.is_empty() {
+                if c == 1 {
+                    out.push_str(&name(v));
+                } else if c == -1 {
+                    out.push('-');
+                    out.push_str(&name(v));
+                } else {
+                    out.push_str(&format!("{c}*{}", name(v)));
+                }
+            } else if c > 0 {
+                if c == 1 {
+                    out.push_str(&format!(" + {}", name(v)));
+                } else {
+                    out.push_str(&format!(" + {c}*{}", name(v)));
+                }
+            } else if c == -1 {
+                out.push_str(&format!(" - {}", name(v)));
+            } else {
+                out.push_str(&format!(" - {}*{}", -c, name(v)));
+            }
+        }
+        if out.is_empty() {
+            return self.constant.to_string();
+        }
+        match self.constant.cmp(&0) {
+            std::cmp::Ordering::Greater => out.push_str(&format!(" + {}", self.constant)),
+            std::cmp::Ordering::Less => out.push_str(&format!(" - {}", -self.constant)),
+            std::cmp::Ordering::Equal => {}
+        }
+        out
+    }
+
+    /// Renders with `v0, v1, …` variable names (debugging helper).
+    pub fn render_default(&self) -> String {
+        self.render(&|v: VarId| format!("v{}", v.as_usize()))
+    }
+}
+
+/// Euclid's gcd on non-negative inputs; `gcd(0, x) = x`.
+pub fn gcd(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let e = LinExpr::term(v(0), 3);
+        assert_eq!(e.coeff(v(0)), 3);
+        assert_eq!(e.coeff(v(1)), 0);
+        assert_eq!(e.constant_term(), 0);
+        assert!(LinExpr::constant(5).is_constant());
+        assert_eq!(LinExpr::constant(5).as_constant(), Some(5));
+        assert_eq!(LinExpr::var(v(2)).as_single_var(), Some(v(2)));
+    }
+
+    #[test]
+    fn zero_coefficients_are_normalized_away() {
+        let mut e = LinExpr::term(v(0), 3);
+        e.add_term(v(0), -3);
+        assert_eq!(e, LinExpr::zero());
+        assert_eq!(LinExpr::term(v(1), 0), LinExpr::zero());
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = LinExpr::term(v(0), 2).add(&LinExpr::constant(1)); // 2x + 1
+        let b = LinExpr::var(v(1)).add(&LinExpr::constant(4)); // y + 4
+        let sum = a.add(&b);
+        assert_eq!(sum.coeff(v(0)), 2);
+        assert_eq!(sum.coeff(v(1)), 1);
+        assert_eq!(sum.constant_term(), 5);
+        let diff = sum.sub(&b);
+        assert_eq!(diff, a);
+        let scaled = a.scale(-3);
+        assert_eq!(scaled.coeff(v(0)), -6);
+        assert_eq!(scaled.constant_term(), -3);
+        assert_eq!(a.scale(0), LinExpr::zero());
+    }
+
+    #[test]
+    fn substitute_replaces_variable() {
+        // e = 2x + y + 1; x := 3z - 2  →  6z + y - 3
+        let e = LinExpr::term(v(0), 2)
+            .add(&LinExpr::var(v(1)))
+            .add(&LinExpr::constant(1));
+        let repl = LinExpr::term(v(2), 3).add(&LinExpr::constant(-2));
+        let out = e.substitute(v(0), &repl);
+        assert_eq!(out.coeff(v(0)), 0);
+        assert_eq!(out.coeff(v(1)), 1);
+        assert_eq!(out.coeff(v(2)), 6);
+        assert_eq!(out.constant_term(), -3);
+    }
+
+    #[test]
+    fn eval_under_assignment() {
+        let e = LinExpr::term(v(0), 2).add(&LinExpr::constant(1));
+        assert_eq!(e.eval(&|var| (var == v(0)).then_some(10)), Some(21));
+        assert_eq!(e.eval(&|_| None), None);
+        assert_eq!(LinExpr::constant(9).eval(&|_| None), Some(9));
+    }
+
+    #[test]
+    fn affine_in_one_var() {
+        let e = LinExpr::term(v(3), -2).add(&LinExpr::constant(7));
+        assert_eq!(e.as_affine_in_one_var(), Some((v(3), -2, 7)));
+        assert!(LinExpr::constant(7).as_affine_in_one_var().is_none());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(-12, 18), 6);
+        let e = LinExpr::term(v(0), 4).add(&LinExpr::term(v(1), 6));
+        assert_eq!(e.coeff_gcd(), 2);
+    }
+
+    #[test]
+    fn render_is_human_readable() {
+        let e = LinExpr::term(v(0), 2)
+            .add(&LinExpr::term(v(1), -1))
+            .add(&LinExpr::constant(-3));
+        assert_eq!(e.render_default(), "2*v0 - v1 - 3");
+        assert_eq!(LinExpr::zero().render_default(), "0");
+        assert_eq!(LinExpr::var(v(1)).render_default(), "v1");
+        let neg = LinExpr::term(v(0), -1);
+        assert_eq!(neg.render_default(), "-v0");
+    }
+}

@@ -1,0 +1,470 @@
+//! The Fig. 2 taxonomy of array-analysis methods.
+//!
+//! "The different methods for analyzing array access patterns are based
+//! mainly on three approaches: reference-list-based, triplet-notation-based,
+//! and linear constraint-based ... these methods differ in terms of
+//! efficiency and accuracy." Plus the pre-region *classic* method that
+//! "just uses two bits to represent array summaries".
+//!
+//! Every method implements [`SummaryMethod`] so the Fig. 2 bench can sweep
+//! all four over the same access streams and report summary storage,
+//! insertion cost, and precision (false-positive rate of `may_access`
+//! against ground truth).
+
+use crate::access::AccessMode;
+use crate::convex::{box_region, ConvexRegion};
+use crate::triplet::TripletRegion;
+use std::collections::BTreeSet;
+
+/// A uniform interface over the four summarization approaches.
+pub trait SummaryMethod {
+    /// Method name for reports.
+    fn name(&self) -> &'static str;
+    /// Folds one summarized reference into the per-mode summary. Only
+    /// constant regions participate in the taxonomy comparison.
+    fn add_reference(&mut self, mode: AccessMode, region: &TripletRegion);
+    /// Conservative membership: may the summarized accesses of `mode` touch
+    /// `point`? Must never answer `false` for a truly-accessed point.
+    fn may_access(&self, mode: AccessMode, point: &[i64]) -> bool;
+    /// Approximate bytes the summary occupies.
+    fn storage_bytes(&self) -> usize;
+}
+
+fn mode_slot(mode: AccessMode) -> usize {
+    match mode {
+        AccessMode::Use => 0,
+        AccessMode::Def => 1,
+        AccessMode::Formal => 2,
+        AccessMode::Passed => 3,
+    }
+}
+
+/// Classic method: one bit per access mode — "it represents the array as a
+/// whole and not the portions of array elements".
+#[derive(Debug, Clone)]
+pub struct ClassicMethod {
+    extent: Vec<(i64, i64)>,
+    bits: [bool; 4],
+}
+
+impl ClassicMethod {
+    /// The array's declared extent per dimension (needed to answer
+    /// whole-array membership).
+    pub fn new(extent: Vec<(i64, i64)>) -> Self {
+        ClassicMethod { extent, bits: [false; 4] }
+    }
+}
+
+impl SummaryMethod for ClassicMethod {
+    fn name(&self) -> &'static str {
+        "classic"
+    }
+
+    fn add_reference(&mut self, mode: AccessMode, _region: &TripletRegion) {
+        self.bits[mode_slot(mode)] = true;
+    }
+
+    fn may_access(&self, mode: AccessMode, point: &[i64]) -> bool {
+        self.bits[mode_slot(mode)]
+            && point.len() == self.extent.len()
+            && point
+                .iter()
+                .zip(&self.extent)
+                .all(|(&p, &(lo, hi))| p >= lo && p <= hi)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        1 // four mode bits fit in one byte
+    }
+}
+
+/// Reference-list method (Linearization / Atom Images lineage): "maintain
+/// information about references of all the elements of the array and store
+/// them as a list ... a high degree of accuracy, \[but\] a significant storage
+/// space."
+#[derive(Debug, Clone, Default)]
+pub struct RefListMethod {
+    elements: [BTreeSet<Vec<i64>>; 4],
+}
+
+impl RefListMethod {
+    /// Creates an empty reference list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total elements recorded across modes.
+    pub fn total_elements(&self) -> usize {
+        self.elements.iter().map(BTreeSet::len).sum()
+    }
+}
+
+impl SummaryMethod for RefListMethod {
+    fn name(&self) -> &'static str {
+        "reference-list"
+    }
+
+    fn add_reference(&mut self, mode: AccessMode, region: &TripletRegion) {
+        let set = &mut self.elements[mode_slot(mode)];
+        enumerate_region(region, &mut |point| {
+            set.insert(point.to_vec());
+        });
+    }
+
+    fn may_access(&self, mode: AccessMode, point: &[i64]) -> bool {
+        self.elements[mode_slot(mode)].contains(point)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.elements
+            .iter()
+            .flat_map(|set| set.iter())
+            .map(|p| p.len() * std::mem::size_of::<i64>())
+            .sum()
+    }
+}
+
+/// Bounded regular sections (Havlak & Kennedy): one triplet region per mode,
+/// widened by hulling — "quite simple in contrast with linear
+/// constraint-based methods since complex arithmetic is not involved".
+#[derive(Debug, Clone, Default)]
+pub struct RsdMethod {
+    sections: [Option<TripletRegion>; 4],
+}
+
+impl RsdMethod {
+    /// Creates an empty section summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current section for `mode`.
+    pub fn section(&self, mode: AccessMode) -> Option<&TripletRegion> {
+        self.sections[mode_slot(mode)].as_ref()
+    }
+}
+
+impl SummaryMethod for RsdMethod {
+    fn name(&self) -> &'static str {
+        "regular-sections"
+    }
+
+    fn add_reference(&mut self, mode: AccessMode, region: &TripletRegion) {
+        let slot = &mut self.sections[mode_slot(mode)];
+        *slot = Some(match slot.take() {
+            Some(cur) => cur.hull(region),
+            None => region.clone(),
+        });
+    }
+
+    fn may_access(&self, mode: AccessMode, point: &[i64]) -> bool {
+        match &self.sections[mode_slot(mode)] {
+            Some(r) => r.contains(point).unwrap_or(true),
+            None => false,
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.sections
+            .iter()
+            .flatten()
+            .map(|r| r.ndims() * 3 * std::mem::size_of::<i64>())
+            .sum()
+    }
+}
+
+/// The linear-constraint Regions method: a list of convex regions per mode,
+/// folded with the approximate convex union once the list exceeds a budget.
+#[derive(Debug, Clone)]
+pub struct ConvexMethod {
+    regions: [Vec<ConvexRegion>; 4],
+    /// Regions kept exactly per mode before union-folding kicks in.
+    pub fold_threshold: usize,
+}
+
+impl Default for ConvexMethod {
+    fn default() -> Self {
+        ConvexMethod { regions: Default::default(), fold_threshold: 8 }
+    }
+}
+
+impl ConvexMethod {
+    /// Creates an empty summary with the default fold threshold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty summary keeping at most `fold_threshold` exact
+    /// pieces per mode before union-folding kicks in.
+    pub fn with_fold_threshold(fold_threshold: usize) -> Self {
+        ConvexMethod { fold_threshold, ..Default::default() }
+    }
+
+    /// Number of retained convex pieces for `mode`.
+    pub fn piece_count(&self, mode: AccessMode) -> usize {
+        self.regions[mode_slot(mode)].len()
+    }
+}
+
+impl SummaryMethod for ConvexMethod {
+    fn name(&self) -> &'static str {
+        "convex-regions"
+    }
+
+    fn add_reference(&mut self, mode: AccessMode, region: &TripletRegion) {
+        // Re-express the (constant) triplet region as a box; strided triplets
+        // lose their stride here, which is exactly the convex method's
+        // documented imprecision for non-dense sections.
+        let mut bounds = Vec::with_capacity(region.ndims());
+        for t in &region.dims {
+            match t.as_const() {
+                Some((lo, hi, _s)) => bounds.push((lo, hi)),
+                None => return, // symbolic regions don't join the comparison
+            }
+        }
+        let cx = box_region(&bounds);
+        let list = &mut self.regions[mode_slot(mode)];
+        list.push(cx);
+        if list.len() > self.fold_threshold {
+            // Fold the two oldest pieces into their approximate union.
+            let a = list.remove(0);
+            let b = list.remove(0);
+            list.insert(0, a.union_hull(&b));
+        }
+    }
+
+    fn may_access(&self, mode: AccessMode, point: &[i64]) -> bool {
+        self.regions[mode_slot(mode)]
+            .iter()
+            .any(|r| r.may_contain_point(point))
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.regions
+            .iter()
+            .flatten()
+            .map(|r| {
+                r.system()
+                    .constraints()
+                    .iter()
+                    .map(|c| (c.expr.terms().count() + 1) * std::mem::size_of::<i64>())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// Calls `f` for every element of a constant region (row-major order).
+pub fn enumerate_region(region: &TripletRegion, f: &mut dyn FnMut(&[i64])) {
+    let mut iters: Vec<Vec<i64>> = Vec::with_capacity(region.ndims());
+    for t in &region.dims {
+        match t.iter() {
+            Some(it) => iters.push(it.collect()),
+            None => return,
+        }
+    }
+    let mut point = vec![0i64; iters.len()];
+    enumerate_rec(&iters, 0, &mut point, f);
+}
+
+fn enumerate_rec(
+    iters: &[Vec<i64>],
+    d: usize,
+    point: &mut [i64],
+    f: &mut dyn FnMut(&[i64]),
+) {
+    if d == iters.len() {
+        f(point);
+        return;
+    }
+    for &v in &iters[d] {
+        point[d] = v;
+        enumerate_rec(iters, d + 1, point, f);
+    }
+}
+
+/// Precision report for one method against ground truth over an extent box:
+/// fraction of extent points the method wrongly claims may be accessed.
+pub fn false_positive_rate(
+    method: &dyn SummaryMethod,
+    mode: AccessMode,
+    truth: &BTreeSet<Vec<i64>>,
+    extent: &[(i64, i64)],
+) -> f64 {
+    let mut total = 0u64;
+    let mut wrong = 0u64;
+    let full = TripletRegion::new(
+        extent
+            .iter()
+            .map(|&(lo, hi)| crate::triplet::Triplet::constant(lo, hi, 1))
+            .collect(),
+    );
+    enumerate_region(&full, &mut |point| {
+        total += 1;
+        let claimed = method.may_access(mode, point);
+        let actual = truth.contains(point);
+        if claimed && !actual {
+            wrong += 1;
+        }
+        // Soundness is asserted, not scored: a miss is a bug.
+        debug_assert!(
+            claimed || !actual,
+            "method {} unsoundly denied {:?}",
+            method.name(),
+            point
+        );
+    });
+    if total == 0 {
+        0.0
+    } else {
+        wrong as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::Triplet;
+
+    fn strided() -> TripletRegion {
+        TripletRegion::new(vec![Triplet::constant(2, 6, 2)])
+    }
+
+    fn truth_of(regions: &[&TripletRegion]) -> BTreeSet<Vec<i64>> {
+        let mut t = BTreeSet::new();
+        for r in regions {
+            enumerate_region(r, &mut |p| {
+                t.insert(p.to_vec());
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn classic_is_whole_array() {
+        let mut m = ClassicMethod::new(vec![(0, 19)]);
+        m.add_reference(AccessMode::Use, &strided());
+        assert!(m.may_access(AccessMode::Use, &[0]));
+        assert!(m.may_access(AccessMode::Use, &[19]));
+        assert!(!m.may_access(AccessMode::Use, &[20]));
+        assert!(!m.may_access(AccessMode::Def, &[4]));
+        assert_eq!(m.storage_bytes(), 1);
+    }
+
+    #[test]
+    fn reference_list_is_exact() {
+        let mut m = RefListMethod::new();
+        m.add_reference(AccessMode::Use, &strided());
+        assert!(m.may_access(AccessMode::Use, &[2]));
+        assert!(m.may_access(AccessMode::Use, &[4]));
+        assert!(!m.may_access(AccessMode::Use, &[3]));
+        assert_eq!(m.total_elements(), 3);
+        assert_eq!(m.storage_bytes(), 3 * 8);
+    }
+
+    #[test]
+    fn rsd_keeps_stride_for_single_reference() {
+        let mut m = RsdMethod::new();
+        m.add_reference(AccessMode::Use, &strided());
+        assert!(m.may_access(AccessMode::Use, &[4]));
+        assert!(!m.may_access(AccessMode::Use, &[3]));
+    }
+
+    #[test]
+    fn rsd_hulls_multiple_references() {
+        let mut m = RsdMethod::new();
+        m.add_reference(AccessMode::Def, &TripletRegion::new(vec![Triplet::constant(0, 7, 1)]));
+        m.add_reference(AccessMode::Def, &TripletRegion::new(vec![Triplet::constant(1, 8, 1)]));
+        let s = m.section(AccessMode::Def).unwrap();
+        assert_eq!(s.dims[0].as_const(), Some((0, 8, 1)));
+    }
+
+    #[test]
+    fn convex_drops_stride_but_keeps_bounds() {
+        let mut m = ConvexMethod::new();
+        m.add_reference(AccessMode::Use, &strided());
+        assert!(m.may_access(AccessMode::Use, &[3])); // stride lost: box 2..=6
+        assert!(!m.may_access(AccessMode::Use, &[7]));
+        assert_eq!(m.piece_count(AccessMode::Use), 1);
+    }
+
+    #[test]
+    fn convex_folds_pieces_beyond_threshold() {
+        let mut m = ConvexMethod { fold_threshold: 2, ..Default::default() };
+        for k in 0..4 {
+            let r = TripletRegion::new(vec![Triplet::constant(k * 10, k * 10 + 2, 1)]);
+            m.add_reference(AccessMode::Use, &r);
+        }
+        assert!(m.piece_count(AccessMode::Use) <= 3);
+        // Soundness after folding: every original point still claimed.
+        for k in 0..4 {
+            assert!(m.may_access(AccessMode::Use, &[k * 10 + 1]));
+        }
+    }
+
+    #[test]
+    fn precision_ordering_matches_fig2() {
+        // Strided access over a 20-element array: accuracy should order
+        // reference-list ≥ RSD > convex ≥ classic.
+        let region = strided();
+        let truth = truth_of(&[&region]);
+        let extent = [(0i64, 19i64)];
+
+        let mut classic = ClassicMethod::new(extent.to_vec());
+        let mut reflist = RefListMethod::new();
+        let mut rsd = RsdMethod::new();
+        let mut convex = ConvexMethod::new();
+        for m in [
+            &mut classic as &mut dyn SummaryMethod,
+            &mut reflist,
+            &mut rsd,
+            &mut convex,
+        ] {
+            m.add_reference(AccessMode::Use, &region);
+        }
+
+        let fp = |m: &dyn SummaryMethod| {
+            false_positive_rate(m, AccessMode::Use, &truth, &extent)
+        };
+        let (c, r, s, x) = (fp(&classic), fp(&reflist), fp(&rsd), fp(&convex));
+        assert_eq!(r, 0.0);
+        assert!(s <= x, "rsd {s} should be at least as precise as convex {x}");
+        assert!(x <= c, "convex {x} should be at least as precise as classic {c}");
+        assert!(c > 0.0);
+    }
+
+    #[test]
+    fn storage_ordering_matches_fig2() {
+        // Storage: classic ≤ rsd ≤ convex ≤ reference-list on a large region.
+        let big = TripletRegion::new(vec![Triplet::constant(0, 999, 1)]);
+        let mut classic = ClassicMethod::new(vec![(0, 999)]);
+        let mut reflist = RefListMethod::new();
+        let mut rsd = RsdMethod::new();
+        let mut convex = ConvexMethod::new();
+        for m in [
+            &mut classic as &mut dyn SummaryMethod,
+            &mut reflist,
+            &mut rsd,
+            &mut convex,
+        ] {
+            m.add_reference(AccessMode::Def, &big);
+        }
+        assert!(classic.storage_bytes() <= rsd.storage_bytes());
+        assert!(rsd.storage_bytes() <= convex.storage_bytes());
+        assert!(convex.storage_bytes() < reflist.storage_bytes());
+    }
+
+    #[test]
+    fn enumerate_region_row_major() {
+        let r = TripletRegion::new(vec![
+            Triplet::constant(0, 1, 1),
+            Triplet::constant(5, 6, 1),
+        ]);
+        let mut seen = Vec::new();
+        enumerate_region(&r, &mut |p| seen.push(p.to_vec()));
+        assert_eq!(
+            seen,
+            vec![vec![0, 5], vec![0, 6], vec![1, 5], vec![1, 6]]
+        );
+    }
+}

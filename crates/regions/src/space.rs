@@ -1,0 +1,182 @@
+//! Variable spaces for region constraints.
+//!
+//! A region for a `d`-dimensional array lives in a space containing the `d`
+//! *dimension variables* (`x0..x{d-1}`, one per subscript position), the
+//! *loop variables* of the enclosing loop nest, and *symbolic variables* for
+//! formal parameters or globals whose value is unknown at compile time
+//! (e.g. the `m` bound in the paper's Fig. 1). The bound classification of
+//! the paper (`CONST`, `IVAR`, `LINDEX`, `SUBSCR`) falls directly out of
+//! which variable kinds a bound expression mentions.
+
+use support::define_idx;
+use support::intern::Symbol;
+
+define_idx! {
+    /// Index of a variable within a [`Space`].
+    pub struct VarId;
+}
+
+/// What a space variable stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// The `i`-th subscript dimension of the array under analysis.
+    Dim(u8),
+    /// A loop induction variable (named for diagnostics).
+    Loop(Symbol),
+    /// A symbolic parameter: formal argument, global scalar, etc.
+    Sym(Symbol),
+}
+
+impl VarKind {
+    /// True for dimension variables.
+    pub fn is_dim(self) -> bool {
+        matches!(self, VarKind::Dim(_))
+    }
+
+    /// True for loop induction variables.
+    pub fn is_loop(self) -> bool {
+        matches!(self, VarKind::Loop(_))
+    }
+
+    /// True for symbolic parameters.
+    pub fn is_sym(self) -> bool {
+        matches!(self, VarKind::Sym(_))
+    }
+}
+
+/// An ordered set of typed variables shared by the expressions and
+/// constraints of one region computation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Space {
+    vars: Vec<VarKind>,
+}
+
+impl Space {
+    /// Creates an empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a space with `ndims` dimension variables `x0..x{ndims-1}`.
+    pub fn with_dims(ndims: u8) -> Self {
+        Space { vars: (0..ndims).map(VarKind::Dim).collect() }
+    }
+
+    /// Adds a variable, returning its id. Dimension variables should be added
+    /// first so [`Space::dim_var`] stays an O(1) lookup.
+    pub fn add(&mut self, kind: VarKind) -> VarId {
+        use support::idx::Idx;
+        let id = VarId::from_usize(self.vars.len());
+        self.vars.push(kind);
+        id
+    }
+
+    /// Adds a loop variable.
+    pub fn add_loop(&mut self, name: Symbol) -> VarId {
+        self.add(VarKind::Loop(name))
+    }
+
+    /// Adds a symbolic parameter.
+    pub fn add_sym(&mut self, name: Symbol) -> VarId {
+        self.add(VarKind::Sym(name))
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when the space has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The kind of variable `v`.
+    pub fn kind(&self, v: VarId) -> VarKind {
+        use support::idx::Idx;
+        self.vars[v.as_usize()]
+    }
+
+    /// The variable for dimension `dim`, if present.
+    pub fn dim_var(&self, dim: u8) -> Option<VarId> {
+        use support::idx::Idx;
+        self.vars
+            .iter()
+            .position(|k| *k == VarKind::Dim(dim))
+            .map(VarId::from_usize)
+    }
+
+    /// Number of dimension variables.
+    pub fn ndims(&self) -> u8 {
+        self.vars.iter().filter(|k| k.is_dim()).count() as u8
+    }
+
+    /// Iterates `(id, kind)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, VarKind)> + '_ {
+        use support::idx::Idx;
+        self.vars.iter().enumerate().map(|(i, k)| (VarId::from_usize(i), *k))
+    }
+
+    /// Ids of all loop variables.
+    pub fn loop_vars(&self) -> Vec<VarId> {
+        self.iter().filter(|(_, k)| k.is_loop()).map(|(v, _)| v).collect()
+    }
+
+    /// Ids of all symbolic variables.
+    pub fn sym_vars(&self) -> Vec<VarId> {
+        self.iter().filter(|(_, k)| k.is_sym()).map(|(v, _)| v).collect()
+    }
+
+    /// A short printable name for `v` (`x0`, `i`, `$m`), resolved against the
+    /// interner that produced the symbols.
+    pub fn name(&self, v: VarId, interner: &support::Interner) -> String {
+        match self.kind(v) {
+            VarKind::Dim(d) => format!("x{d}"),
+            VarKind::Loop(s) => interner.resolve(s).to_string(),
+            VarKind::Sym(s) => format!("${}", interner.resolve(s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use support::Interner;
+
+    #[test]
+    fn with_dims_creates_dimension_vars() {
+        let s = Space::with_dims(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.ndims(), 3);
+        assert_eq!(s.kind(s.dim_var(2).unwrap()), VarKind::Dim(2));
+    }
+
+    #[test]
+    fn add_loop_and_sym_vars() {
+        let mut it = Interner::new();
+        let mut s = Space::with_dims(1);
+        let i = s.add_loop(it.intern("i"));
+        let m = s.add_sym(it.intern("m"));
+        assert!(s.kind(i).is_loop());
+        assert!(s.kind(m).is_sym());
+        assert_eq!(s.loop_vars(), vec![i]);
+        assert_eq!(s.sym_vars(), vec![m]);
+    }
+
+    #[test]
+    fn names_are_readable() {
+        let mut it = Interner::new();
+        let mut s = Space::with_dims(2);
+        let i = s.add_loop(it.intern("j"));
+        let m = s.add_sym(it.intern("m"));
+        assert_eq!(s.name(s.dim_var(0).unwrap(), &it), "x0");
+        assert_eq!(s.name(i, &it), "j");
+        assert_eq!(s.name(m, &it), "$m");
+    }
+
+    #[test]
+    fn dim_var_missing_dimension_is_none() {
+        let s = Space::with_dims(1);
+        assert!(s.dim_var(5).is_none());
+    }
+}

@@ -1,0 +1,190 @@
+//! Minimal CSV reader/writer for the `.rgn` exchange format.
+//!
+//! The paper's extended IPA phase writes "a comma separated plain file
+//! `.rgn`, where each row maintains information about each region per access
+//! mode", later consumed by the Dragon tool. This module implements the
+//! subset of RFC-4180 we need: comma separation, double-quote quoting when a
+//! field contains a comma/quote/newline, and `""` escaping inside quoted
+//! fields.
+
+use crate::error::Error;
+
+/// Writes rows of string fields into an in-memory CSV document.
+#[derive(Debug, Default)]
+pub struct CsvWriter {
+    buf: String,
+}
+
+impl CsvWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one row, quoting fields as needed.
+    pub fn write_row<I, S>(&mut self, fields: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut first = true;
+        for field in fields {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            self.push_field(field.as_ref());
+        }
+        self.buf.push('\n');
+    }
+
+    fn push_field(&mut self, field: &str) {
+        let needs_quote = field.contains([',', '"', '\n', '\r']);
+        if needs_quote {
+            self.buf.push('"');
+            for ch in field.chars() {
+                if ch == '"' {
+                    self.buf.push('"');
+                }
+                self.buf.push(ch);
+            }
+            self.buf.push('"');
+        } else {
+            self.buf.push_str(field);
+        }
+    }
+
+    /// Consumes the writer and returns the document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    /// Borrows the document built so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+}
+
+/// Parses a CSV document into rows of fields.
+///
+/// Handles quoted fields, escaped quotes, and both `\n` and `\r\n` line
+/// endings. Returns an error for an unterminated quoted field.
+pub fn parse(input: &str) -> Result<Vec<Vec<String>>, Error> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut saw_any = false;
+
+    while let Some(ch) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_quotes = true,
+            ',' => {
+                row.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                // Swallow the `\n` of a CRLF pair; bare `\r` also ends a row.
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            other => field.push(other),
+        }
+    }
+
+    if in_quotes {
+        return Err(Error::Format("unterminated quoted CSV field".into()));
+    }
+    // A final row without a trailing newline.
+    if saw_any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_simple_rows() {
+        let mut w = CsvWriter::new();
+        w.write_row(["aarr", "matrix.o", "DEF", "2"]);
+        w.write_row(["u", "rhs.o", "USE", "110"]);
+        assert_eq!(w.finish(), "aarr,matrix.o,DEF,2\nu,rhs.o,USE,110\n");
+    }
+
+    #[test]
+    fn quotes_fields_with_commas_and_quotes() {
+        let mut w = CsvWriter::new();
+        w.write_row(["64|65|65|5", "say \"hi\"", "a,b"]);
+        assert_eq!(w.finish(), "64|65|65|5,\"say \"\"hi\"\"\",\"a,b\"\n");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut w = CsvWriter::new();
+        w.write_row(["x", "with,comma", "with\"quote", "multi\nline"]);
+        let doc = w.finish();
+        let rows = parse(&doc).unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![
+                "x".to_string(),
+                "with,comma".to_string(),
+                "with\"quote".to_string(),
+                "multi\nline".to_string()
+            ]]
+        );
+    }
+
+    #[test]
+    fn parse_handles_crlf_and_missing_final_newline() {
+        let rows = parse("a,b\r\nc,d").unwrap();
+        assert_eq!(rows, vec![vec!["a".to_string(), "b".to_string()], vec![
+            "c".to_string(),
+            "d".to_string()
+        ]]);
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_quote() {
+        assert!(parse("\"oops").is_err());
+    }
+
+    #[test]
+    fn parse_empty_document_yields_no_rows() {
+        assert!(parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_fields_survive() {
+        let mut w = CsvWriter::new();
+        w.write_row(["", "x", ""]);
+        let rows = parse(w.as_str()).unwrap();
+        assert_eq!(rows, vec![vec!["".to_string(), "x".to_string(), "".to_string()]]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Workspace-wide error type.
+//!
+//! Every crate in the workspace reports failures through [`Error`]; the
+//! variants mirror the pipeline stages (lexing, parsing, semantic checking,
+//! lowering, analysis, I/O) so a driver can tell the user which stage
+//! rejected the input.
+
+use std::fmt;
+
+/// A source position carried by diagnostics: 1-based line and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Position of the very first character of a file.
+    pub const START: Pos = Pos { line: 1, col: 1 };
+
+    /// Builds a position; both coordinates are 1-based.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The error type shared by the whole workspace.
+#[derive(Debug)]
+pub enum Error {
+    /// Lexical error at a position (unknown character, bad literal, ...).
+    Lex { pos: Pos, msg: String },
+    /// Syntax error at a position.
+    Parse { pos: Pos, msg: String },
+    /// Semantic error (undeclared array, arity mismatch, ...).
+    Semantic { pos: Option<Pos>, msg: String },
+    /// AST → WHIRL lowering failure.
+    Lower(String),
+    /// Analysis-stage failure (malformed region, missing summary, ...).
+    Analysis(String),
+    /// Malformed input to a tool (bad `.rgn` row, unknown project file, ...).
+    Format(String),
+    /// Underlying I/O error with context.
+    Io { context: String, source: std::io::Error },
+}
+
+impl Error {
+    /// Convenience constructor for lexer errors.
+    pub fn lex(pos: Pos, msg: impl Into<String>) -> Self {
+        Error::Lex { pos, msg: msg.into() }
+    }
+
+    /// Convenience constructor for parser errors.
+    pub fn parse(pos: Pos, msg: impl Into<String>) -> Self {
+        Error::Parse { pos, msg: msg.into() }
+    }
+
+    /// Convenience constructor for semantic errors with a known position.
+    pub fn semantic_at(pos: Pos, msg: impl Into<String>) -> Self {
+        Error::Semantic { pos: Some(pos), msg: msg.into() }
+    }
+
+    /// Convenience constructor for semantic errors without a position.
+    pub fn semantic(msg: impl Into<String>) -> Self {
+        Error::Semantic { pos: None, msg: msg.into() }
+    }
+
+    /// Wraps an I/O error with a human-readable context string.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        Error::Io { context: context.into(), source }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { pos, msg } => write!(f, "lex error at {pos}: {msg}"),
+            Error::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            Error::Semantic { pos: Some(pos), msg } => {
+                write!(f, "semantic error at {pos}: {msg}")
+            }
+            Error::Semantic { pos: None, msg } => write!(f, "semantic error: {msg}"),
+            Error::Lower(msg) => write!(f, "lowering error: {msg}"),
+            Error::Analysis(msg) => write!(f, "analysis error: {msg}"),
+            Error::Format(msg) => write!(f, "format error: {msg}"),
+            Error::Io { context, source } => write!(f, "io error ({context}): {source}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_displays_line_colon_col() {
+        assert_eq!(Pos::new(12, 4).to_string(), "12:4");
+    }
+
+    #[test]
+    fn error_display_includes_stage_and_position() {
+        let e = Error::lex(Pos::new(3, 7), "unexpected `$`");
+        assert_eq!(e.to_string(), "lex error at 3:7: unexpected `$`");
+        let e = Error::parse(Pos::new(1, 1), "expected `)`");
+        assert!(e.to_string().starts_with("parse error at 1:1"));
+    }
+
+    #[test]
+    fn semantic_error_without_position() {
+        let e = Error::semantic("array `a` redeclared");
+        assert_eq!(e.to_string(), "semantic error: array `a` redeclared");
+    }
+
+    #[test]
+    fn io_error_chains_source() {
+        use std::error::Error as _;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = Error::io("reading project", inner);
+        assert!(e.to_string().contains("reading project"));
+        assert!(e.source().is_some());
+    }
+}

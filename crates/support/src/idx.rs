@@ -1,0 +1,195 @@
+//! Strongly-typed index newtypes and a dense map keyed by them.
+//!
+//! The compiler-shaped crates (whirl, ipa) are arena-based: nodes, symbols,
+//! types, procedures, and call sites all live in flat vectors and refer to
+//! each other by index. [`define_idx!`](crate::define_idx) stamps out a `u32` newtype per arena
+//! so indices from different arenas cannot be confused, and [`IndexVec`]
+//! provides the matching dense storage.
+
+use std::marker::PhantomData;
+
+/// Trait implemented by all index newtypes produced by
+/// [`define_idx!`](crate::define_idx).
+pub trait Idx: Copy + Eq + std::hash::Hash + std::fmt::Debug {
+    /// Builds the index from a raw `usize`.
+    fn from_usize(i: usize) -> Self;
+    /// Extracts the raw `usize`.
+    fn as_usize(self) -> usize;
+}
+
+/// Declares a `u32`-backed index newtype implementing [`Idx`].
+#[macro_export]
+macro_rules! define_idx {
+    ($(#[$meta:meta])* $vis:vis struct $name:ident;) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        $vis struct $name(pub u32);
+
+        impl $crate::idx::Idx for $name {
+            fn from_usize(i: usize) -> Self {
+                $name(u32::try_from(i).expect(concat!(stringify!($name), " overflow")))
+            }
+            fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+/// A vector indexed by a strongly-typed index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexVec<I: Idx, T> {
+    raw: Vec<T>,
+    _marker: PhantomData<fn(I)>,
+}
+
+impl<I: Idx, T> Default for IndexVec<I, T> {
+    fn default() -> Self {
+        Self { raw: Vec::new(), _marker: PhantomData }
+    }
+}
+
+impl<I: Idx, T> IndexVec<I, T> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty vector with room for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { raw: Vec::with_capacity(cap), _marker: PhantomData }
+    }
+
+    /// Appends `value` and returns its index.
+    pub fn push(&mut self, value: T) -> I {
+        let idx = I::from_usize(self.raw.len());
+        self.raw.push(value);
+        idx
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// True when no element is stored.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The index the next `push` will return.
+    pub fn next_idx(&self) -> I {
+        I::from_usize(self.raw.len())
+    }
+
+    /// Immutable iteration in index order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.raw.iter()
+    }
+
+    /// Mutable iteration in index order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.raw.iter_mut()
+    }
+
+    /// Iterates `(index, &element)` pairs.
+    pub fn iter_enumerated(&self) -> impl Iterator<Item = (I, &T)> {
+        self.raw.iter().enumerate().map(|(i, t)| (I::from_usize(i), t))
+    }
+
+    /// Returns `Some(&element)` when `idx` is in range.
+    pub fn get(&self, idx: I) -> Option<&T> {
+        self.raw.get(idx.as_usize())
+    }
+
+    /// Returns all indices in order.
+    pub fn indices(&self) -> impl Iterator<Item = I> + '_ {
+        (0..self.raw.len()).map(I::from_usize)
+    }
+
+    /// Borrows the raw backing slice.
+    pub fn raw(&self) -> &[T] {
+        &self.raw
+    }
+}
+
+impl<I: Idx, T> std::ops::Index<I> for IndexVec<I, T> {
+    type Output = T;
+    fn index(&self, idx: I) -> &T {
+        &self.raw[idx.as_usize()]
+    }
+}
+
+impl<I: Idx, T> std::ops::IndexMut<I> for IndexVec<I, T> {
+    fn index_mut(&mut self, idx: I) -> &mut T {
+        &mut self.raw[idx.as_usize()]
+    }
+}
+
+impl<I: Idx, T> FromIterator<T> for IndexVec<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        Self { raw: iter.into_iter().collect(), _marker: PhantomData }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    define_idx! {
+        /// Test index.
+        struct TestId;
+    }
+
+    #[test]
+    fn push_returns_sequential_indices() {
+        let mut v: IndexVec<TestId, &str> = IndexVec::new();
+        let a = v.push("a");
+        let b = v.push("b");
+        assert_eq!(a, TestId(0));
+        assert_eq!(b, TestId(1));
+        assert_eq!(v[a], "a");
+        assert_eq!(v[b], "b");
+    }
+
+    #[test]
+    fn get_is_checked() {
+        let mut v: IndexVec<TestId, i32> = IndexVec::new();
+        v.push(7);
+        assert_eq!(v.get(TestId(0)), Some(&7));
+        assert_eq!(v.get(TestId(9)), None);
+    }
+
+    #[test]
+    fn iter_enumerated_pairs_indices() {
+        let v: IndexVec<TestId, char> = ['x', 'y'].into_iter().collect();
+        let pairs: Vec<(TestId, char)> = v.iter_enumerated().map(|(i, &c)| (i, c)).collect();
+        assert_eq!(pairs, [(TestId(0), 'x'), (TestId(1), 'y')]);
+    }
+
+    #[test]
+    fn next_idx_matches_push() {
+        let mut v: IndexVec<TestId, u8> = IndexVec::new();
+        let predicted = v.next_idx();
+        let actual = v.push(0);
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn display_and_debug_formats() {
+        assert_eq!(TestId(3).to_string(), "3");
+        assert_eq!(format!("{:?}", TestId(3)), "TestId(3)");
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared infrastructure for the ARAA workspace.
+//!
+//! This crate hosts the small, dependency-free building blocks every other
+//! crate leans on: a string interner ([`intern::Interner`]), strongly-typed
+//! index newtypes ([`idx`]), a CSV reader/writer pair used for the `.rgn`
+//! exchange format ([`csv`]), an ASCII table renderer used by the Dragon
+//! text UI ([`table`]), and the workspace-wide error type ([`error`]).
+
+pub mod csv;
+pub mod error;
+pub mod idx;
+pub mod intern;
+pub mod table;
+
+pub use error::{Error, Pos, Result};
+pub use intern::{Interner, Symbol};

@@ -1,0 +1,228 @@
+//! ASCII table rendering for the Dragon text UI.
+//!
+//! The Dragon GUI displays "Array Regions analysis information ... in a
+//! tabular structure" (Fig. 6). Our terminal substitute renders the same
+//! columns with box-drawing borders, supports per-row highlighting (the
+//! paper highlights find-matches in green), and truncates overlong cells.
+
+/// One renderable table: a header row plus data rows.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Row>,
+    max_cell_width: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    cells: Vec<String>,
+    highlighted: bool,
+}
+
+/// ANSI escape that paints highlighted rows green, matching Dragon's
+/// find-highlighting.
+const GREEN: &str = "\x1b[32m";
+const RESET: &str = "\x1b[0m";
+
+impl Table {
+    /// Creates a table with the given header labels.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            max_cell_width: 24,
+        }
+    }
+
+    /// Caps cell width; longer content is truncated with `…`.
+    pub fn with_max_cell_width(mut self, w: usize) -> Self {
+        self.max_cell_width = w.max(4);
+        self
+    }
+
+    /// Appends an ordinary row. Rows shorter than the header are padded.
+    pub fn add_row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.push_row(cells, false);
+    }
+
+    /// Appends a highlighted (green) row — used for find matches.
+    pub fn add_highlighted_row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.push_row(cells, true);
+    }
+
+    fn push_row<I, S>(&mut self, cells: I, highlighted: bool)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        while cells.len() < self.header.len() {
+            cells.push(String::new());
+        }
+        self.rows.push(Row { cells, highlighted });
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn truncate(&self, s: &str) -> String {
+        if s.chars().count() <= self.max_cell_width {
+            s.to_string()
+        } else {
+            let mut out: String =
+                s.chars().take(self.max_cell_width.saturating_sub(1)).collect();
+            out.push('…');
+            out
+        }
+    }
+
+    fn widths(&self, cells: &[Vec<String>]) -> Vec<usize> {
+        let ncols = self.header.len();
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        w.resize(ncols, 0);
+        for row in cells {
+            for (i, c) in row.iter().take(ncols).enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Renders the table. When `color` is true, highlighted rows are wrapped
+    /// in ANSI green; otherwise they are prefixed with `>` in the left gutter.
+    pub fn render(&self, color: bool) -> String {
+        let truncated: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.cells.iter().map(|c| self.truncate(c)).collect())
+            .collect();
+        let widths = self.widths(&truncated);
+
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+
+        sep(&mut out);
+        out.push('|');
+        for (h, w) in self.header.iter().zip(&widths) {
+            out.push(' ');
+            out.push_str(h);
+            out.push_str(&" ".repeat(w - h.chars().count()));
+            out.push_str(" |");
+        }
+        out.push('\n');
+        sep(&mut out);
+
+        for (row, cells) in self.rows.iter().zip(&truncated) {
+            if row.highlighted && color {
+                out.push_str(GREEN);
+            }
+            out.push('|');
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let cell = if i == 0 && row.highlighted && !color {
+                    format!(">{cell}")
+                } else {
+                    cell.to_string()
+                };
+                let pad = (w + 1).saturating_sub(cell.chars().count());
+                out.push(' ');
+                out.push_str(&cell);
+                out.push_str(&" ".repeat(pad.saturating_sub(1)));
+                out.push_str(" |");
+            }
+            if row.highlighted && color {
+                out.push_str(RESET);
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["Array", "Mode", "Refs"]);
+        t.add_row(["xcr", "USE", "4"]);
+        t.add_highlighted_row(["u", "USE", "110"]);
+        t
+    }
+
+    #[test]
+    fn renders_header_and_rows() {
+        let out = sample().render(false);
+        assert!(out.contains("| Array |"));
+        assert!(out.contains("| xcr"));
+        assert!(out.contains("110"));
+    }
+
+    #[test]
+    fn highlight_without_color_uses_gutter_marker() {
+        let out = sample().render(false);
+        assert!(out.contains(">u"), "highlighted row should carry a marker:\n{out}");
+    }
+
+    #[test]
+    fn highlight_with_color_uses_ansi_green() {
+        let out = sample().render(true);
+        assert!(out.contains(GREEN));
+        assert!(out.contains(RESET));
+    }
+
+    #[test]
+    fn pads_short_rows_to_header_width() {
+        let mut t = Table::new(["A", "B", "C"]);
+        t.add_row(["only-one"]);
+        let out = t.render(false);
+        // Three column separators per data row (beyond the left border).
+        let data_line = out.lines().nth(3).unwrap();
+        assert_eq!(data_line.matches('|').count(), 4);
+    }
+
+    #[test]
+    fn truncates_long_cells() {
+        let mut t = Table::new(["X"]).with_max_cell_width(6);
+        t.add_row(["abcdefghij"]);
+        let out = t.render(false);
+        assert!(out.contains("abcde…"));
+        assert!(!out.contains("abcdefghij"));
+    }
+
+    #[test]
+    fn row_count_tracks_rows() {
+        assert_eq!(sample().row_count(), 2);
+    }
+
+    #[test]
+    fn column_widths_fit_widest_cell() {
+        let mut t = Table::new(["H"]);
+        t.add_row(["wide-cell-content"]);
+        let out = t.render(false);
+        let border = out.lines().next().unwrap();
+        assert!(border.len() >= "wide-cell-content".len() + 4);
+    }
+}

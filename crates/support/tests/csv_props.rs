@@ -1,0 +1,37 @@
+//! Property tests for the CSV layer: arbitrary field content must survive a
+//! write→parse round trip (the `.rgn` files depend on it).
+
+use proptest::prelude::*;
+use support::csv::{parse, CsvWriter};
+
+proptest! {
+    #[test]
+    fn round_trip_arbitrary_fields(rows in proptest::collection::vec(
+        proptest::collection::vec("[ -~\\n\"]*", 1..6), 1..8)
+    ) {
+        let mut w = CsvWriter::new();
+        for row in &rows {
+            w.write_row(row.iter().map(String::as_str));
+        }
+        let doc = w.finish();
+        let parsed = parse(&doc).unwrap();
+        prop_assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn parse_never_panics(doc in "\\PC*") {
+        let _ = parse(&doc);
+    }
+
+    #[test]
+    fn unicode_fields_round_trip(rows in proptest::collection::vec(
+        proptest::collection::vec("\\PC*", 1..4), 1..4)
+    ) {
+        let mut w = CsvWriter::new();
+        for row in &rows {
+            w.write_row(row.iter().map(String::as_str));
+        }
+        let parsed = parse(w.as_str()).unwrap();
+        prop_assert_eq!(parsed, rows);
+    }
+}

@@ -1,0 +1,363 @@
+//! Convenience constructors for WHIRL trees.
+//!
+//! The frontend's lowering and many tests build trees node-by-node; this
+//! builder wraps the raw arena with typed helpers that fill in the
+//! operator-specific fields (Table I) correctly — in particular the `ARRAY`
+//! kid layout `[base, h₁..hₙ, y₁..yₙ]` and the `elem_size` convention.
+
+use crate::node::{Opr, WhirlTree, WnId};
+use crate::symtab::{DataType, StIdx};
+
+/// A thin mutable wrapper over [`WhirlTree`] with typed node constructors.
+///
+/// ```
+/// use whirl::builder::TreeBuilder;
+///
+/// // Build the ARRAY node for a[7] over `int a[20]` and compute its
+/// // address with the paper's formula.
+/// let mut b = TreeBuilder::new();
+/// let base = b.intconst(0); // stand-in for an LDA in this snippet
+/// let dim = b.intconst(20);
+/// let idx = b.intconst(7);
+/// let arr = b.array(base, vec![dim], vec![idx], 4, 1);
+/// let tree = b.finish();
+/// assert_eq!(tree.node(arr).num_dim(), 1);
+/// let addr = tree.array_address(arr, 0x1000, &|id| tree.eval_const(id));
+/// assert_eq!(addr, Some(0x1000 + 7 * 4));
+/// ```
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    tree: WhirlTree,
+}
+
+impl TreeBuilder {
+    /// Starts an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes, returning the tree.
+    pub fn finish(self) -> WhirlTree {
+        self.tree
+    }
+
+    /// Read access to the tree under construction.
+    pub fn tree(&self) -> &WhirlTree {
+        &self.tree
+    }
+
+    /// Mutable access for post-construction tweaks.
+    pub fn tree_mut(&mut self) -> &mut WhirlTree {
+        &mut self.tree
+    }
+
+    /// Integer constant.
+    pub fn intconst(&mut self, v: i64) -> WnId {
+        let id = self.tree.alloc(Opr::Intconst);
+        let n = self.tree.node_mut(id);
+        n.const_val = v;
+        n.res = DataType::I8;
+        id
+    }
+
+    /// Floating constant (bits stowed in `const_val`).
+    pub fn fconst(&mut self, v: f64) -> WnId {
+        let id = self.tree.alloc(Opr::Fconst);
+        let n = self.tree.node_mut(id);
+        n.const_val = v.to_bits() as i64;
+        n.res = DataType::F8;
+        id
+    }
+
+    /// Scalar load.
+    pub fn ldid(&mut self, st: StIdx, res: DataType, line: u32) -> WnId {
+        let id = self.tree.alloc(Opr::Ldid);
+        let n = self.tree.node_mut(id);
+        n.st_idx = Some(st);
+        n.res = res;
+        n.linenum = line;
+        id
+    }
+
+    /// Scalar store `st := value`.
+    pub fn stid(&mut self, st: StIdx, value: WnId, line: u32) -> WnId {
+        let id = self.tree.alloc(Opr::Stid);
+        let n = self.tree.node_mut(id);
+        n.st_idx = Some(st);
+        n.kids = vec![value];
+        n.linenum = line;
+        id
+    }
+
+    /// Address of a symbol (array base).
+    pub fn lda(&mut self, st: StIdx, line: u32) -> WnId {
+        let id = self.tree.alloc(Opr::Lda);
+        let n = self.tree.node_mut(id);
+        n.st_idx = Some(st);
+        n.linenum = line;
+        id
+    }
+
+    /// Binary arithmetic/comparison node.
+    pub fn binary(&mut self, op: Opr, a: WnId, b: WnId) -> WnId {
+        let id = self.tree.alloc(op);
+        let n = self.tree.node_mut(id);
+        n.kids = vec![a, b];
+        n.res = DataType::I8;
+        id
+    }
+
+    /// Unary negation.
+    pub fn neg(&mut self, a: WnId) -> WnId {
+        let id = self.tree.alloc(Opr::Neg);
+        let n = self.tree.node_mut(id);
+        n.kids = vec![a];
+        n.res = DataType::I8;
+        id
+    }
+
+    /// The n-ary `ARRAY` operator: `base` kid 0, `dims` kids `1..=n`,
+    /// `indices` kids `n+1..=2n`. `elem_size` follows the negative-marks-
+    /// non-contiguous convention.
+    pub fn array(
+        &mut self,
+        base: WnId,
+        dims: Vec<WnId>,
+        indices: Vec<WnId>,
+        elem_size: i64,
+        line: u32,
+    ) -> WnId {
+        assert_eq!(dims.len(), indices.len(), "ARRAY needs one index per dimension");
+        let id = self.tree.alloc(Opr::Array);
+        let n = self.tree.node_mut(id);
+        n.kids = Vec::with_capacity(1 + 2 * dims.len());
+        n.kids.push(base);
+        n.kids.extend(dims);
+        n.kids.extend(indices);
+        n.elem_size = elem_size;
+        n.linenum = line;
+        id
+    }
+
+    /// Indirect load through an address (array element read).
+    pub fn iload(&mut self, addr: WnId, res: DataType, line: u32) -> WnId {
+        let id = self.tree.alloc(Opr::Iload);
+        let n = self.tree.node_mut(id);
+        n.kids = vec![addr];
+        n.res = res;
+        n.linenum = line;
+        id
+    }
+
+    /// Indirect store `*(addr) := value` (array element write).
+    pub fn istore(&mut self, addr: WnId, value: WnId, line: u32) -> WnId {
+        let id = self.tree.alloc(Opr::Istore);
+        let n = self.tree.node_mut(id);
+        n.kids = vec![value, addr];
+        n.linenum = line;
+        id
+    }
+
+    /// Call argument.
+    pub fn parm(&mut self, value: WnId) -> WnId {
+        let id = self.tree.alloc(Opr::Parm);
+        self.tree.node_mut(id).kids = vec![value];
+        id
+    }
+
+    /// Direct call to `callee` with `Parm` kids.
+    pub fn call(&mut self, callee: StIdx, parms: Vec<WnId>, line: u32) -> WnId {
+        let id = self.tree.alloc(Opr::Call);
+        let n = self.tree.node_mut(id);
+        n.st_idx = Some(callee);
+        n.kids = parms;
+        n.linenum = line;
+        id
+    }
+
+    /// Statement block.
+    pub fn block(&mut self) -> WnId {
+        self.tree.alloc(Opr::Block)
+    }
+
+    /// Appends a statement to a block (maintains prev/next links).
+    pub fn append(&mut self, block: WnId, stmt: WnId) {
+        self.tree.append_to_block(block, stmt);
+    }
+
+    /// Counted loop over induction variable `ivar`:
+    /// kids `[init (Stid ivar := start), end-test (cmp), incr (Stid), body]`.
+    /// `step` is stored in `const_val` for direct extraction.
+    pub fn do_loop(
+        &mut self,
+        ivar: StIdx,
+        start: WnId,
+        end: WnId,
+        step: i64,
+        body: WnId,
+        line: u32,
+    ) -> WnId {
+        let init = self.stid(ivar, start, line);
+        let iv_load = self.ldid(ivar, DataType::I8, line);
+        let test = self.binary(if step >= 0 { Opr::Le } else { Opr::Ge }, iv_load, end);
+        let iv_load2 = self.ldid(ivar, DataType::I8, line);
+        let step_c = self.intconst(step);
+        let inc_expr = self.binary(Opr::Add, iv_load2, step_c);
+        let incr = self.stid(ivar, inc_expr, line);
+        let id = self.tree.alloc(Opr::DoLoop);
+        let n = self.tree.node_mut(id);
+        n.st_idx = Some(ivar);
+        n.kids = vec![init, test, incr, body];
+        n.const_val = step;
+        n.linenum = line;
+        id
+    }
+
+    /// Conditional with optional else block.
+    pub fn if_stmt(&mut self, cond: WnId, then_blk: WnId, else_blk: WnId, line: u32) -> WnId {
+        let id = self.tree.alloc(Opr::If);
+        let n = self.tree.node_mut(id);
+        n.kids = vec![cond, then_blk, else_blk];
+        n.linenum = line;
+        id
+    }
+
+    /// Return statement, optionally with a value.
+    pub fn ret(&mut self, value: Option<WnId>, line: u32) -> WnId {
+        let id = self.tree.alloc(Opr::Return);
+        let n = self.tree.node_mut(id);
+        n.kids = value.into_iter().collect();
+        n.linenum = line;
+        id
+    }
+
+    /// Formal-parameter slot.
+    pub fn idname(&mut self, st: StIdx) -> WnId {
+        let id = self.tree.alloc(Opr::Idname);
+        self.tree.node_mut(id).st_idx = Some(st);
+        id
+    }
+
+    /// Procedure entry: formals then body; sets the tree root.
+    pub fn func_entry(&mut self, proc_st: StIdx, formals: Vec<WnId>, body: WnId) -> WnId {
+        let id = self.tree.alloc(Opr::FuncEntry);
+        let n = self.tree.node_mut(id);
+        n.st_idx = Some(proc_st);
+        n.kids = formals;
+        n.kids.push(body);
+        self.tree.set_root(id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symtab::{DataType, StClass, SymbolTable, TypeTable};
+    use support::Interner;
+
+    fn mini_symbols() -> (SymbolTable, StIdx, StIdx) {
+        let mut it = Interner::new();
+        let mut types = TypeTable::new();
+        let int = types.scalar(DataType::I4);
+        let mut st = SymbolTable::new();
+        let i = st.add(it.intern("i"), int, StClass::Local);
+        let p = st.add(it.intern("p"), int, StClass::Proc);
+        (st, i, p)
+    }
+
+    #[test]
+    fn do_loop_layout() {
+        let (_st, i, _) = mini_symbols();
+        let mut b = TreeBuilder::new();
+        let start = b.intconst(1);
+        let end = b.intconst(10);
+        let body = b.block();
+        let lp = b.do_loop(i, start, end, 2, body, 7);
+        let tree = b.finish();
+        let n = tree.node(lp);
+        assert_eq!(n.operator, Opr::DoLoop);
+        assert_eq!(n.kid_count(), 4);
+        assert_eq!(n.const_val, 2);
+        assert_eq!(n.st_idx, Some(i));
+        assert_eq!(tree.node(n.kids[0]).operator, Opr::Stid);
+        assert_eq!(tree.node(n.kids[1]).operator, Opr::Le);
+        assert_eq!(tree.node(n.kids[3]).operator, Opr::Block);
+    }
+
+    #[test]
+    fn negative_step_uses_ge_test() {
+        let (_st, i, _) = mini_symbols();
+        let mut b = TreeBuilder::new();
+        let start = b.intconst(10);
+        let end = b.intconst(1);
+        let body = b.block();
+        let lp = b.do_loop(i, start, end, -1, body, 1);
+        let tree = b.finish();
+        assert_eq!(tree.node(tree.node(lp).kids[1]).operator, Opr::Ge);
+    }
+
+    #[test]
+    fn array_kid_layout_via_builder() {
+        let (_st, i, _) = mini_symbols();
+        let mut b = TreeBuilder::new();
+        let base = b.lda(i, 3);
+        let h1 = b.intconst(20);
+        let y1 = b.intconst(7);
+        let arr = b.array(base, vec![h1], vec![y1], 4, 3);
+        let tree = b.finish();
+        let n = tree.node(arr);
+        assert_eq!(n.num_dim(), 1);
+        assert_eq!(n.elem_size, 4);
+        assert_eq!(n.linenum, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one index per dimension")]
+    fn array_dim_index_mismatch_panics() {
+        let (_st, i, _) = mini_symbols();
+        let mut b = TreeBuilder::new();
+        let base = b.lda(i, 1);
+        let h1 = b.intconst(20);
+        b.array(base, vec![h1], vec![], 4, 1);
+    }
+
+    #[test]
+    fn func_entry_sets_root() {
+        let (_st, i, p) = mini_symbols();
+        let mut b = TreeBuilder::new();
+        let f = b.idname(i);
+        let body = b.block();
+        let fe = b.func_entry(p, vec![f], body);
+        let tree = b.finish();
+        assert_eq!(tree.root(), Some(fe));
+        let n = tree.node(fe);
+        assert_eq!(n.kid_count(), 2);
+        assert_eq!(tree.node(n.kids[0]).operator, Opr::Idname);
+        assert_eq!(tree.node(n.kids[1]).operator, Opr::Block);
+    }
+
+    #[test]
+    fn istore_kid_order_value_then_address() {
+        let (_st, i, _) = mini_symbols();
+        let mut b = TreeBuilder::new();
+        let base = b.lda(i, 1);
+        let h = b.intconst(20);
+        let y = b.intconst(0);
+        let arr = b.array(base, vec![h], vec![y], 4, 1);
+        let val = b.intconst(42);
+        let st = b.istore(arr, val, 1);
+        let tree = b.finish();
+        let n = tree.node(st);
+        assert_eq!(n.kids[0], val);
+        assert_eq!(n.kids[1], arr);
+    }
+
+    #[test]
+    fn fconst_round_trips_bits() {
+        let mut b = TreeBuilder::new();
+        let f = b.fconst(2.5);
+        let tree = b.finish();
+        assert_eq!(f64::from_bits(tree.node(f).const_val as u64), 2.5);
+    }
+}

@@ -1,0 +1,371 @@
+//! `whirl2c` / `whirl2f`: translating WHIRL back to source.
+//!
+//! "Very high and high level WHIRL can be translated back to C and Fortran
+//! source codes via WHIRL2c, WHIRL2f and WHIRL2f90 tools. However, this
+//! could incur minor loss of semantics." Our emitters serve the same
+//! purposes the originals did for Dragon: debugging the lowering, and
+//! letting the tool display a readable rendition of each procedure.
+
+use crate::node::{Opr, WhirlTree, WnId};
+use crate::program::{Lang, Procedure, Program};
+
+/// Output dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dialect {
+    /// `whirl2c`.
+    C,
+    /// `whirl2f`.
+    Fortran,
+}
+
+/// Emits one procedure in the requested dialect.
+pub fn emit_procedure(program: &Program, proc: &Procedure, dialect: Dialect) -> String {
+    let mut e = Emitter { program, tree: &proc.tree, dialect, out: String::new(), indent: 0 };
+    let Some(root) = proc.tree.root() else {
+        return String::new();
+    };
+    let name = program.name_of(proc.name);
+    let formals: Vec<String> = proc
+        .formals
+        .iter()
+        .map(|&st| program.name_of(program.symbols.get(st).name).to_string())
+        .collect();
+    match dialect {
+        Dialect::C => {
+            e.line(&format!("void {name}({}) {{", formals.join(", ")));
+        }
+        Dialect::Fortran => {
+            e.line(&format!("subroutine {name}({})", formals.join(", ")));
+        }
+    }
+    e.indent += 1;
+    let body = *proc.tree.node(root).kids.last().expect("FuncEntry has a body");
+    e.stmt_block(body);
+    e.indent -= 1;
+    match dialect {
+        Dialect::C => e.line("}"),
+        Dialect::Fortran => e.line(&format!("end subroutine {name}")),
+    }
+    e.out
+}
+
+/// Emits the whole program (procedures in order).
+pub fn emit_program(program: &Program, dialect: Dialect) -> String {
+    let mut out = String::new();
+    for proc in program.procedures.iter() {
+        out.push_str(&emit_procedure(program, proc, dialect));
+        out.push('\n');
+    }
+    out
+}
+
+struct Emitter<'a> {
+    program: &'a Program,
+    tree: &'a WhirlTree,
+    dialect: Dialect,
+    out: String,
+    indent: usize,
+}
+
+impl<'a> Emitter<'a> {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn sym_name(&self, id: WnId) -> String {
+        match self.tree.node(id).st_idx {
+            Some(st) => self
+                .program
+                .name_of(self.program.symbols.get(st).name)
+                .to_string(),
+            None => "<anon>".into(),
+        }
+    }
+
+    fn stmt_block(&mut self, block: WnId) {
+        debug_assert_eq!(self.tree.node(block).operator, Opr::Block);
+        let kids = self.tree.node(block).kids.clone();
+        for k in kids {
+            self.stmt(k);
+        }
+    }
+
+    fn stmt(&mut self, id: WnId) {
+        let node = self.tree.node(id);
+        match node.operator {
+            Opr::Stid => {
+                let name = self.sym_name(id);
+                let rhs = self.expr(node.kids[0]);
+                match self.dialect {
+                    Dialect::C => self.line(&format!("{name} = {rhs};")),
+                    Dialect::Fortran => self.line(&format!("{name} = {rhs}")),
+                }
+            }
+            Opr::Istore => {
+                let lhs = self.expr(node.kids[1]);
+                let rhs = self.expr(node.kids[0]);
+                match self.dialect {
+                    Dialect::C => self.line(&format!("{lhs} = {rhs};")),
+                    Dialect::Fortran => self.line(&format!("{lhs} = {rhs}")),
+                }
+            }
+            Opr::Call => {
+                let callee = self.sym_name(id);
+                let args: Vec<String> =
+                    node.kids.iter().map(|&k| self.expr(k)).collect();
+                match self.dialect {
+                    Dialect::C => self.line(&format!("{callee}({});", args.join(", "))),
+                    Dialect::Fortran => {
+                        self.line(&format!("call {callee}({})", args.join(", ")))
+                    }
+                }
+            }
+            Opr::DoLoop => {
+                let iv = self.sym_name(id);
+                let init = self.expr(self.tree.node(node.kids[0]).kids[0]);
+                // The end test is `iv <= end` (or >=); kid 1 of the test is
+                // the bound expression.
+                let end = self.expr(self.tree.node(node.kids[1]).kids[1]);
+                let step = node.const_val;
+                let body = node.kids[3];
+                match self.dialect {
+                    Dialect::C => {
+                        let cmp = if step >= 0 { "<=" } else { ">=" };
+                        self.line(&format!(
+                            "for ({iv} = {init}; {iv} {cmp} {end}; {iv} += {step}) {{"
+                        ));
+                        self.indent += 1;
+                        self.stmt_block(body);
+                        self.indent -= 1;
+                        self.line("}");
+                    }
+                    Dialect::Fortran => {
+                        if step == 1 {
+                            self.line(&format!("do {iv} = {init}, {end}"));
+                        } else {
+                            self.line(&format!("do {iv} = {init}, {end}, {step}"));
+                        }
+                        self.indent += 1;
+                        self.stmt_block(body);
+                        self.indent -= 1;
+                        self.line("end do");
+                    }
+                }
+            }
+            Opr::If => {
+                let cond = self.expr(node.kids[0]);
+                let (t, f) = (node.kids[1], node.kids[2]);
+                match self.dialect {
+                    Dialect::C => {
+                        self.line(&format!("if ({cond}) {{"));
+                        self.indent += 1;
+                        self.stmt_block(t);
+                        self.indent -= 1;
+                        if !self.tree.node(f).kids.is_empty() {
+                            self.line("} else {");
+                            self.indent += 1;
+                            self.stmt_block(f);
+                            self.indent -= 1;
+                        }
+                        self.line("}");
+                    }
+                    Dialect::Fortran => {
+                        self.line(&format!("if ({cond}) then"));
+                        self.indent += 1;
+                        self.stmt_block(t);
+                        self.indent -= 1;
+                        if !self.tree.node(f).kids.is_empty() {
+                            self.line("else");
+                            self.indent += 1;
+                            self.stmt_block(f);
+                            self.indent -= 1;
+                        }
+                        self.line("end if");
+                    }
+                }
+            }
+            Opr::Return => {
+                if let Some(&v) = node.kids.first() {
+                    let v = self.expr(v);
+                    match self.dialect {
+                        Dialect::C => self.line(&format!("return {v};")),
+                        Dialect::Fortran => self.line("return"),
+                    }
+                } else {
+                    match self.dialect {
+                        Dialect::C => self.line("return;"),
+                        Dialect::Fortran => self.line("return"),
+                    }
+                }
+            }
+            _ => self.line(&format!("/* unhandled stmt {:?} */", node.operator)),
+        }
+    }
+
+    fn expr(&self, id: WnId) -> String {
+        let node = self.tree.node(id);
+        match node.operator {
+            Opr::Intconst => node.const_val.to_string(),
+            Opr::Fconst => format!("{}", f64::from_bits(node.const_val as u64)),
+            Opr::Ldid | Opr::Lda | Opr::Idname => self.sym_name(id),
+            Opr::Parm => self.expr(node.kids[0]),
+            Opr::Iload => self.expr(node.kids[0]),
+            Opr::Array => self.array_ref(id),
+            Opr::RemoteArray => {
+                format!("{}[{}]", self.expr(node.kids[0]), self.expr(node.kids[1]))
+            }
+            Opr::Add => self.binary(node.kids[0], "+", node.kids[1]),
+            Opr::Sub => self.binary(node.kids[0], "-", node.kids[1]),
+            Opr::Mpy => self.binary(node.kids[0], "*", node.kids[1]),
+            Opr::Div => self.binary(node.kids[0], "/", node.kids[1]),
+            Opr::Neg => format!("(-{})", self.expr(node.kids[0])),
+            Opr::Le => self.binary(node.kids[0], "<=", node.kids[1]),
+            Opr::Lt => self.binary(node.kids[0], "<", node.kids[1]),
+            Opr::Ge => self.binary(node.kids[0], ">=", node.kids[1]),
+            Opr::Gt => self.binary(node.kids[0], ">", node.kids[1]),
+            Opr::Eq => {
+                let op = if self.dialect == Dialect::Fortran { ".eq." } else { "==" };
+                self.binary(node.kids[0], op, node.kids[1])
+            }
+            Opr::Ne => {
+                let op = if self.dialect == Dialect::Fortran { ".ne." } else { "!=" };
+                self.binary(node.kids[0], op, node.kids[1])
+            }
+            Opr::Land => {
+                let op = if self.dialect == Dialect::Fortran { ".and." } else { "&&" };
+                self.binary(node.kids[0], op, node.kids[1])
+            }
+            Opr::Lior => {
+                let op = if self.dialect == Dialect::Fortran { ".or." } else { "||" };
+                self.binary(node.kids[0], op, node.kids[1])
+            }
+            other => format!("/* expr {other:?} */"),
+        }
+    }
+
+    fn binary(&self, a: WnId, op: &str, b: WnId) -> String {
+        format!("({} {op} {})", self.expr(a), self.expr(b))
+    }
+
+    fn array_ref(&self, id: WnId) -> String {
+        let node = self.tree.node(id);
+        let n = node.num_dim();
+        let base = self.expr(node.array_base_kid());
+        let idx: Vec<String> =
+            (0..n).map(|d| self.expr(node.array_index_kid(d))).collect();
+        match self.dialect {
+            Dialect::C => {
+                let mut s = base;
+                for i in idx {
+                    s.push('[');
+                    s.push_str(&i);
+                    s.push(']');
+                }
+                s
+            }
+            Dialect::Fortran => format!("{base}({})", idx.join(", ")),
+        }
+    }
+}
+
+/// Chooses the natural dialect for a procedure's source language.
+pub fn natural_dialect(lang: Lang) -> Dialect {
+    match lang {
+        Lang::C => Dialect::C,
+        Lang::Fortran => Dialect::Fortran,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use crate::program::{Lang, Level, Procedure};
+    use crate::symtab::{DataType, DimBound, StClass};
+
+    /// Program with `p(m)`: `do i = 1, m { a(i) = 0.0 }` plus `call q(a)`.
+    fn sample(lang: Lang) -> Program {
+        let mut p = Program::new();
+        let aty = p.types.array(DataType::F8, vec![DimBound::Const { lb: 1, ub: 5 }]);
+        let ity = p.types.scalar(DataType::I4);
+        let vty = p.types.scalar(DataType::Void);
+        let a = p.symbols.add(p.interner.intern("a"), aty, StClass::Global);
+        let i = p.symbols.add(p.interner.intern("i"), ity, StClass::Local);
+        let m = p.symbols.add(p.interner.intern("m"), ity, StClass::Formal);
+        let pp = p.symbols.add(p.interner.intern("p"), vty, StClass::Proc);
+        let q = p.symbols.add(p.interner.intern("q"), vty, StClass::Proc);
+
+        let mut b = TreeBuilder::new();
+        let inner = b.block();
+        let base = b.lda(a, 2);
+        let h = b.intconst(5);
+        let y = b.ldid(i, DataType::I4, 2);
+        let arr = b.array(base, vec![h], vec![y], 8, 2);
+        let zero = b.fconst(0.0);
+        let st = b.istore(arr, zero, 2);
+        b.append(inner, st);
+        let start = b.intconst(1);
+        let end = b.ldid(m, DataType::I4, 1);
+        let lp = b.do_loop(i, start, end, 1, inner, 1);
+        let body = b.block();
+        b.append(body, lp);
+        let base2 = b.lda(a, 4);
+        let parm = b.parm(base2);
+        let call = b.call(q, vec![parm], 4);
+        b.append(body, call);
+        let formal = b.idname(m);
+        b.func_entry(pp, vec![formal], body);
+
+        let name = p.interner.intern("p");
+        let file = p.interner.intern("t.f");
+        p.add_procedure(Procedure {
+            name,
+            st: pp,
+            file,
+            linenum: 1,
+            lang,
+            formals: vec![m],
+            tree: b.finish(),
+            level: Level::VeryHigh,
+        });
+        p
+    }
+
+    #[test]
+    fn fortran_emission_shape() {
+        let p = sample(Lang::Fortran);
+        let out = emit_procedure(&p, p.procedure(crate::program::ProcId(0)), Dialect::Fortran);
+        assert!(out.contains("subroutine p(m)"), "{out}");
+        assert!(out.contains("do i = 1, m"), "{out}");
+        assert!(out.contains("a(i) = 0"), "{out}");
+        assert!(out.contains("call q(a)"), "{out}");
+        assert!(out.contains("end subroutine p"), "{out}");
+    }
+
+    #[test]
+    fn c_emission_shape() {
+        let p = sample(Lang::C);
+        let out = emit_procedure(&p, p.procedure(crate::program::ProcId(0)), Dialect::C);
+        assert!(out.contains("void p(m)"), "{out}");
+        assert!(out.contains("for (i = 1; i <= m; i += 1) {"), "{out}");
+        assert!(out.contains("a[i] = 0"), "{out}");
+        assert!(out.contains("q(a);"), "{out}");
+    }
+
+    #[test]
+    fn emit_program_concatenates() {
+        let p = sample(Lang::Fortran);
+        let out = emit_program(&p, Dialect::Fortran);
+        assert!(out.contains("subroutine p"));
+    }
+
+    #[test]
+    fn natural_dialects() {
+        assert_eq!(natural_dialect(Lang::C), Dialect::C);
+        assert_eq!(natural_dialect(Lang::Fortran), Dialect::Fortran);
+    }
+}

@@ -1,0 +1,645 @@
+//! A WHIRL interpreter — the substrate for the paper's future-work item:
+//! "enhancing our tool and OpenUH to provide dynamic array region
+//! information, in order to better understand the actual array access
+//! patterns".
+//!
+//! The interpreter executes an H-level [`Program`] directly over the tree:
+//! scalars live in per-call frames, arrays in a global store keyed by their
+//! *root* symbol (formals alias the actual array passed at the call site,
+//! exactly like Fortran pass-by-reference). Every `ILOAD`/`ISTORE` through
+//! an `ARRAY` node reports the accessed element (zero-based, row-major H
+//! order) to an [`AccessSink`], which the dynamic-region analysis folds
+//! into per-(procedure, array, mode) summaries.
+
+use crate::node::{Opr, WnId};
+use crate::program::{ProcId, Program};
+use crate::symtab::{StIdx, TyKind};
+use std::collections::HashMap;
+use support::{Error, Result};
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl Value {
+    /// Integer view (floats truncate).
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(i) => i,
+            Value::Float(f) => f as i64,
+        }
+    }
+
+    /// Float view.
+    pub fn as_float(self) -> f64 {
+        match self {
+            Value::Int(i) => i as f64,
+            Value::Float(f) => f,
+        }
+    }
+
+    /// Truthiness (comparisons yield Int 0/1).
+    pub fn is_true(self) -> bool {
+        match self {
+            Value::Int(i) => i != 0,
+            Value::Float(f) => f != 0.0,
+        }
+    }
+}
+
+/// How an element was touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DynMode {
+    /// Element read.
+    Read,
+    /// Element written.
+    Write,
+}
+
+/// Receiver for dynamic access events.
+pub trait AccessSink {
+    /// One element access: executing `proc` touched `array[indices]`
+    /// (zero-based, row-major H order) at source `line`.
+    fn access(&mut self, proc: ProcId, array: StIdx, mode: DynMode, indices: &[i64], line: u32);
+}
+
+/// A sink that ignores everything (pure execution).
+pub struct NullSink;
+
+impl AccessSink for NullSink {
+    fn access(&mut self, _: ProcId, _: StIdx, _: DynMode, _: &[i64], _: u32) {}
+}
+
+/// One array's storage.
+#[derive(Debug)]
+struct ArrayStore {
+    dims: Vec<i64>,
+    data: Vec<f64>,
+}
+
+/// Interpreter limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum executed statements before aborting (runaway guard).
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { fuel: 200_000_000, max_depth: 256 }
+    }
+}
+
+/// The interpreter.
+pub struct Interp<'p, S: AccessSink> {
+    program: &'p Program,
+    arrays: HashMap<StIdx, ArrayStore>,
+    sink: S,
+    limits: Limits,
+    fuel_used: u64,
+    /// Statements executed (for reporting).
+    pub executed: u64,
+}
+
+/// A call frame: scalar values plus the formal→root-array aliasing map.
+struct Frame {
+    proc: ProcId,
+    scalars: HashMap<StIdx, Value>,
+    array_alias: HashMap<StIdx, StIdx>,
+}
+
+enum Flow {
+    Normal,
+    Return,
+}
+
+impl<'p, S: AccessSink> Interp<'p, S> {
+    /// Creates an interpreter; array storage is allocated lazily (zeroed).
+    pub fn new(program: &'p Program, sink: S, limits: Limits) -> Self {
+        Interp { program, arrays: HashMap::new(), sink, limits, fuel_used: 0, executed: 0 }
+    }
+
+    /// Runs a procedure by name with no arguments (the usual entry).
+    pub fn run(&mut self, entry: &str) -> Result<()> {
+        let id = self
+            .program
+            .find_procedure(entry)
+            .ok_or_else(|| Error::Analysis(format!("no procedure `{entry}`")))?;
+        self.call(id, Vec::new(), 0)
+    }
+
+    /// Consumes the interpreter, returning the sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Reads one element of an array (testing hook), zero-based H order.
+    pub fn peek(&self, array: StIdx, indices: &[i64]) -> Option<f64> {
+        let store = self.arrays.get(&array)?;
+        let flat = flat_index(&store.dims, indices)?;
+        store.data.get(flat).copied()
+    }
+
+    fn burn(&mut self, n: u64) -> Result<()> {
+        self.fuel_used += n;
+        if self.fuel_used > self.limits.fuel {
+            return Err(Error::Analysis("interpreter fuel exhausted".into()));
+        }
+        Ok(())
+    }
+
+    fn ensure_array(&mut self, root: StIdx) -> Result<()> {
+        if self.arrays.contains_key(&root) {
+            return Ok(());
+        }
+        let entry = self.program.symbols.get(root);
+        let TyKind::Array { dims, .. } = &self.program.types.get(entry.ty).kind else {
+            return Err(Error::Analysis(format!(
+                "`{}` is not an array",
+                self.program.name_of(entry.name)
+            )));
+        };
+        let extents: Vec<i64> = dims.iter().map(|d| d.extent().max(1)).collect();
+        // Storage shape follows the *source* dims; the H-level ARRAY node
+        // carries its own (possibly reversed) dim kids, so flat indexing is
+        // done against the node's dims. Keep total size only.
+        let total: i64 = extents.iter().product();
+        self.arrays.insert(
+            root,
+            ArrayStore { dims: extents, data: vec![0.0; total as usize] },
+        );
+        Ok(())
+    }
+
+    /// Resolves an array symbol through the frame's aliasing to its root.
+    fn root_of(&self, frame: &Frame, st: StIdx) -> StIdx {
+        let mut cur = st;
+        // Aliases never chain within one frame (the map stores roots), but a
+        // formal may alias the caller's formal; resolution happens at call
+        // time, so one hop suffices.
+        if let Some(&root) = frame.array_alias.get(&cur) {
+            cur = root;
+        }
+        cur
+    }
+
+    fn call(&mut self, proc_id: ProcId, args: Vec<CallArg>, depth: usize) -> Result<()> {
+        if depth > self.limits.max_depth {
+            return Err(Error::Analysis("call depth exceeded".into()));
+        }
+        let proc = self.program.procedure(proc_id);
+        let mut frame = Frame {
+            proc: proc_id,
+            scalars: HashMap::new(),
+            array_alias: HashMap::new(),
+        };
+        for (pos, &formal) in proc.formals.iter().enumerate() {
+            match args.get(pos) {
+                Some(CallArg::Array(root)) => {
+                    frame.array_alias.insert(formal, *root);
+                }
+                Some(CallArg::Scalar(v)) => {
+                    frame.scalars.insert(formal, *v);
+                }
+                Some(CallArg::ScalarRef(cell)) => {
+                    frame.scalars.insert(formal, cell.get());
+                }
+                None => {}
+            }
+        }
+        let Some(root) = proc.tree.root() else { return Ok(()) };
+        let body = *proc.tree.node(root).kids.last().expect("body block");
+        self.exec_block(&mut frame, body, depth)?;
+        // Out-parameters: scalar formals are pass-by-reference in Fortran;
+        // we approximate by copying back at return. The caller handles it.
+        self.writeback(proc_id, &frame, &args)?;
+        Ok(())
+    }
+
+    /// Copies scalar formal values back to caller variables (Fortran
+    /// by-reference semantics for scalars like `call elapsed_time(t)`).
+    fn writeback(&mut self, proc_id: ProcId, frame: &Frame, args: &[CallArg]) -> Result<()> {
+        let proc = self.program.procedure(proc_id);
+        for (pos, &formal) in proc.formals.iter().enumerate() {
+            if let Some(CallArg::ScalarRef(cell)) = args.get(pos) {
+                if let Some(&v) = frame.scalars.get(&formal) {
+                    cell.set(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_block(&mut self, frame: &mut Frame, block: WnId, depth: usize) -> Result<Flow> {
+        let kids = self.program.procedure(frame.proc).tree.node(block).kids.clone();
+        for stmt in kids {
+            match self.exec_stmt(frame, stmt, depth)? {
+                Flow::Return => return Ok(Flow::Return),
+                Flow::Normal => {}
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, frame: &mut Frame, stmt: WnId, depth: usize) -> Result<Flow> {
+        self.burn(1)?;
+        self.executed += 1;
+        let tree = &self.program.procedure(frame.proc).tree;
+        let node = tree.node(stmt);
+        let op = node.operator;
+        match op {
+            Opr::Stid => {
+                let st = node.st_idx.expect("stid target");
+                let kid = node.kids[0];
+                let v = self.eval(frame, kid)?;
+                frame.scalars.insert(st, v);
+                Ok(Flow::Normal)
+            }
+            Opr::Istore => {
+                let (value_kid, addr_kid, line) = (node.kids[0], node.kids[1], node.linenum);
+                let v = self.eval(frame, value_kid)?;
+                self.store_element(frame, addr_kid, v, line)?;
+                Ok(Flow::Normal)
+            }
+            Opr::Call => {
+                let callee_st = node.st_idx.expect("callee");
+                let parms = node.kids.clone();
+                let callee_name = self.program.symbols.get(callee_st).name;
+                let Some(callee) = self.program.proc_by_symbol(callee_name) else {
+                    return Ok(Flow::Normal); // external call: no-op
+                };
+                let mut args = Vec::with_capacity(parms.len());
+                // Scalar-variable actuals are passed by reference (Fortran):
+                // collect their StIdx so writeback can update them.
+                let mut ref_cells: Vec<(usize, StIdx)> = Vec::new();
+                for (pos, &parm) in parms.iter().enumerate() {
+                    let tree = &self.program.procedure(frame.proc).tree;
+                    let v = tree.node(parm).kids[0];
+                    let vn = tree.node(v);
+                    if vn.operator == Opr::Lda {
+                        let st = vn.st_idx.expect("lda symbol");
+                        let entry = self.program.symbols.get(st);
+                        if matches!(self.program.types.get(entry.ty).kind, TyKind::Array { .. })
+                        {
+                            let root = self.root_of(frame, st);
+                            self.ensure_array(root)?;
+                            args.push(CallArg::Array(root));
+                            continue;
+                        }
+                    }
+                    if vn.operator == Opr::Ldid {
+                        let st = vn.st_idx.expect("ldid symbol");
+                        let cell = ScalarCell::new(
+                            frame.scalars.get(&st).copied().unwrap_or(Value::Int(0)),
+                        );
+                        ref_cells.push((pos, st));
+                        args.push(CallArg::ScalarRef(cell));
+                        continue;
+                    }
+                    let v = self.eval(frame, v)?;
+                    args.push(CallArg::Scalar(v));
+                }
+                self.call(callee, args_clone_for_call(&args), depth + 1)?;
+                // The callee wrote through the cells; copy back.
+                for (pos, st) in ref_cells {
+                    if let Some(CallArg::ScalarRef(cell)) = args.get(pos) {
+                        frame.scalars.insert(st, cell.get());
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Opr::DoLoop => {
+                let ivar = node.st_idx.expect("induction var");
+                let init = node.kids[0];
+                let test = node.kids[1];
+                let incr = node.kids[2];
+                let body = node.kids[3];
+                // init is a Stid.
+                self.exec_stmt(frame, init, depth)?;
+                loop {
+                    self.burn(1)?;
+                    let cond = self.eval(frame, test)?;
+                    if !cond.is_true() {
+                        break;
+                    }
+                    if let Flow::Return = self.exec_block(frame, body, depth)? {
+                        return Ok(Flow::Return);
+                    }
+                    self.exec_stmt(frame, incr, depth)?;
+                    let _ = ivar;
+                }
+                Ok(Flow::Normal)
+            }
+            Opr::If => {
+                let cond = self.eval(frame, node.kids[0])?;
+                let branch = if cond.is_true() { node.kids[1] } else { node.kids[2] };
+                self.exec_block(frame, branch, depth)
+            }
+            Opr::Return => Ok(Flow::Return),
+            other => Err(Error::Analysis(format!("cannot execute {other:?}"))),
+        }
+    }
+
+    fn eval(&mut self, frame: &mut Frame, id: WnId) -> Result<Value> {
+        self.burn(1)?;
+        let tree = &self.program.procedure(frame.proc).tree;
+        let node = tree.node(id);
+        let kids = node.kids.clone();
+        let op = node.operator;
+        let const_val = node.const_val;
+        let st_idx = node.st_idx;
+        let line = node.linenum;
+        match op {
+            Opr::Intconst => Ok(Value::Int(const_val)),
+            Opr::Fconst => Ok(Value::Float(f64::from_bits(const_val as u64))),
+            Opr::Ldid => {
+                let st = st_idx.expect("ldid symbol");
+                Ok(frame.scalars.get(&st).copied().unwrap_or(Value::Int(0)))
+            }
+            Opr::Iload => self.load_element(frame, kids[0], line),
+            Opr::Add | Opr::Sub | Opr::Mpy | Opr::Div => {
+                let a = self.eval(frame, kids[0])?;
+                let b = self.eval(frame, kids[1])?;
+                Ok(arith(op, a, b)?)
+            }
+            Opr::Neg => {
+                let a = self.eval(frame, kids[0])?;
+                Ok(match a {
+                    Value::Int(i) => Value::Int(-i),
+                    Value::Float(f) => Value::Float(-f),
+                })
+            }
+            Opr::Le | Opr::Lt | Opr::Ge | Opr::Gt | Opr::Eq | Opr::Ne => {
+                let a = self.eval(frame, kids[0])?.as_float();
+                let b = self.eval(frame, kids[1])?.as_float();
+                let r = match op {
+                    Opr::Le => a <= b,
+                    Opr::Lt => a < b,
+                    Opr::Ge => a >= b,
+                    Opr::Gt => a > b,
+                    Opr::Eq => a == b,
+                    _ => a != b,
+                };
+                Ok(Value::Int(r as i64))
+            }
+            Opr::Land => {
+                let a = self.eval(frame, kids[0])?;
+                if !a.is_true() {
+                    return Ok(Value::Int(0));
+                }
+                let b = self.eval(frame, kids[1])?;
+                Ok(Value::Int(b.is_true() as i64))
+            }
+            Opr::Lior => {
+                let a = self.eval(frame, kids[0])?;
+                if a.is_true() {
+                    return Ok(Value::Int(1));
+                }
+                let b = self.eval(frame, kids[1])?;
+                Ok(Value::Int(b.is_true() as i64))
+            }
+            Opr::Lda => {
+                // Address-of in value position (string-ish args): opaque 0.
+                Ok(Value::Int(0))
+            }
+            other => Err(Error::Analysis(format!("cannot evaluate {other:?}"))),
+        }
+    }
+
+    /// Resolves an `ARRAY` node to `(local symbol, root array, H-order
+    /// indices, node dims)`. The *local* symbol (the formal, for parameter
+    /// arrays) is what access events are attributed to — matching the
+    /// static per-procedure summaries — while storage lives under the root.
+    fn resolve_element(
+        &mut self,
+        frame: &mut Frame,
+        array_wn: WnId,
+    ) -> Result<(StIdx, StIdx, Vec<i64>, Vec<i64>)> {
+        let tree = &self.program.procedure(frame.proc).tree;
+        let mut array_wn = array_wn;
+        if tree.node(array_wn).operator == Opr::RemoteArray {
+            // Single-image execution: the coindex selects this image's copy;
+            // evaluate the image expression for effect and unwrap.
+            let image_kid = tree.node(array_wn).kids[1];
+            let inner = tree.node(array_wn).kids[0];
+            let _ = self.eval(frame, image_kid)?;
+            array_wn = inner;
+        }
+        let tree = &self.program.procedure(frame.proc).tree;
+        let node = tree.node(array_wn);
+        if node.operator != Opr::Array {
+            return Err(Error::Analysis("indirect access through non-ARRAY address".into()));
+        }
+        let n = node.num_dim();
+        let base = tree.node(node.array_base_kid());
+        let st = base
+            .st_idx
+            .ok_or_else(|| Error::Analysis("ARRAY base without symbol".into()))?;
+        let dim_kids: Vec<WnId> = (0..n).map(|d| node.array_dim_kid(d)).collect();
+        let idx_kids: Vec<WnId> = (0..n).map(|d| node.array_index_kid(d)).collect();
+        let mut dims = Vec::with_capacity(n);
+        for k in dim_kids {
+            dims.push(self.eval(frame, k)?.as_int());
+        }
+        let mut idx = Vec::with_capacity(n);
+        for k in idx_kids {
+            idx.push(self.eval(frame, k)?.as_int());
+        }
+        let root = self.root_of(frame, st);
+        self.ensure_array(root)?;
+        // Canonicalize the stored shape to the H-order dims the program's
+        // ARRAY nodes actually use (declaration order may differ for
+        // Fortran); the total size is identical, only `peek`'s indexing
+        // changes.
+        if let Some(store) = self.arrays.get_mut(&root) {
+            if store.dims != dims
+                && dims.iter().product::<i64>() == store.data.len() as i64
+            {
+                store.dims = dims.clone();
+            }
+        }
+        Ok((st, root, idx, dims))
+    }
+
+    fn load_element(&mut self, frame: &mut Frame, array_wn: WnId, line: u32) -> Result<Value> {
+        let (local, root, idx, dims) = self.resolve_element(frame, array_wn)?;
+        let flat = flat_index(&dims, &idx).ok_or_else(|| {
+            Error::Analysis(format!(
+                "out-of-bounds read of `{}` at {:?} (dims {:?}) line {line}",
+                self.program.name_of(self.program.symbols.get(root).name),
+                idx,
+                dims
+            ))
+        })?;
+        self.sink.access(frame.proc, local, DynMode::Read, &idx, line);
+        let store = self.arrays.get(&root).expect("ensured");
+        let v = store.data.get(flat).copied().unwrap_or(0.0);
+        Ok(Value::Float(v))
+    }
+
+    fn store_element(
+        &mut self,
+        frame: &mut Frame,
+        array_wn: WnId,
+        value: Value,
+        line: u32,
+    ) -> Result<()> {
+        let (local, root, idx, dims) = self.resolve_element(frame, array_wn)?;
+        let flat = flat_index(&dims, &idx).ok_or_else(|| {
+            Error::Analysis(format!(
+                "out-of-bounds write of `{}` at {:?} (dims {:?}) line {line}",
+                self.program.name_of(self.program.symbols.get(root).name),
+                idx,
+                dims
+            ))
+        })?;
+        self.sink.access(frame.proc, local, DynMode::Write, &idx, line);
+        let store = self.arrays.get_mut(&root).expect("ensured");
+        if flat < store.data.len() {
+            store.data[flat] = value.as_float();
+        }
+        Ok(())
+    }
+}
+
+/// Row-major flattening with bounds check; dims of 0 (runtime) reject.
+fn flat_index(dims: &[i64], idx: &[i64]) -> Option<usize> {
+    if dims.len() != idx.len() {
+        return None;
+    }
+    let mut flat: i64 = 0;
+    for (&d, &i) in dims.iter().zip(idx) {
+        if d <= 0 || i < 0 || i >= d {
+            return None;
+        }
+        flat = flat * d + i;
+    }
+    Some(flat as usize)
+}
+
+/// A shared mutable scalar cell for by-reference scalar arguments.
+#[derive(Debug, Clone)]
+pub struct ScalarCell(std::rc::Rc<std::cell::Cell<Value>>);
+
+impl ScalarCell {
+    fn new(v: Value) -> Self {
+        ScalarCell(std::rc::Rc::new(std::cell::Cell::new(v)))
+    }
+
+    fn get(&self) -> Value {
+        self.0.get()
+    }
+
+    fn set(&self, v: Value) {
+        self.0.set(v);
+    }
+}
+
+/// One call argument.
+pub enum CallArg {
+    /// Whole array by reference (root symbol).
+    Array(StIdx),
+    /// Scalar by value.
+    Scalar(Value),
+    /// Scalar by reference (Fortran semantics).
+    ScalarRef(ScalarCell),
+}
+
+fn args_clone_for_call(args: &[CallArg]) -> Vec<CallArg> {
+    args.iter()
+        .map(|a| match a {
+            CallArg::Array(st) => CallArg::Array(*st),
+            CallArg::Scalar(v) => CallArg::Scalar(*v),
+            CallArg::ScalarRef(c) => CallArg::ScalarRef(c.clone()),
+        })
+        .collect()
+}
+
+fn arith(op: Opr, a: Value, b: Value) -> Result<Value> {
+    use Value::*;
+    Ok(match (a, b) {
+        (Int(x), Int(y)) => match op {
+            Opr::Add => Int(x.wrapping_add(y)),
+            Opr::Sub => Int(x.wrapping_sub(y)),
+            Opr::Mpy => Int(x.wrapping_mul(y)),
+            Opr::Div => {
+                if y == 0 {
+                    return Err(Error::Analysis("integer division by zero".into()));
+                }
+                Int(x / y)
+            }
+            _ => unreachable!(),
+        },
+        _ => {
+            let (x, y) = (a.as_float(), b.as_float());
+            match op {
+                Opr::Add => Float(x + y),
+                Opr::Sub => Float(x - y),
+                Opr::Mpy => Float(x * y),
+                Opr::Div => Float(x / y),
+                _ => unreachable!(),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_row_major() {
+        assert_eq!(flat_index(&[3, 4], &[0, 0]), Some(0));
+        assert_eq!(flat_index(&[3, 4], &[1, 2]), Some(6));
+        assert_eq!(flat_index(&[3, 4], &[2, 3]), Some(11));
+        assert_eq!(flat_index(&[3, 4], &[3, 0]), None, "row OOB");
+        assert_eq!(flat_index(&[3, 4], &[0, 4]), None, "col OOB");
+        assert_eq!(flat_index(&[3, 4], &[-1, 0]), None);
+        assert_eq!(flat_index(&[3], &[0, 0]), None, "rank mismatch");
+        assert_eq!(flat_index(&[0], &[0]), None, "runtime dim");
+    }
+
+    #[test]
+    fn value_coercions() {
+        assert_eq!(Value::Int(3).as_float(), 3.0);
+        assert_eq!(Value::Float(2.9).as_int(), 2);
+        assert!(Value::Int(1).is_true());
+        assert!(!Value::Int(0).is_true());
+        assert!(!Value::Float(0.0).is_true());
+    }
+
+    #[test]
+    fn arith_int_and_float() {
+        assert_eq!(arith(Opr::Add, Value::Int(2), Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            arith(Opr::Mpy, Value::Float(2.0), Value::Int(3)).unwrap(),
+            Value::Float(6.0)
+        );
+        assert!(arith(Opr::Div, Value::Int(1), Value::Int(0)).is_err());
+        assert_eq!(
+            arith(Opr::Div, Value::Float(1.0), Value::Float(2.0)).unwrap(),
+            Value::Float(0.5)
+        );
+    }
+
+    #[test]
+    fn scalar_cell_shares_state() {
+        let c = ScalarCell::new(Value::Int(1));
+        let c2 = c.clone();
+        c2.set(Value::Int(9));
+        assert_eq!(c.get(), Value::Int(9));
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut s = NullSink;
+        s.access(ProcId(0), StIdx(0), DynMode::Read, &[1, 2], 3);
+    }
+}

@@ -1,0 +1,25 @@
+//! WHIRL-like intermediate representation.
+//!
+//! "WHIRL is the intermediate language (IR) for OpenUH, which consists of
+//! five levels ... arrays keep their structures at the high level, and ...
+//! WHIRL is the common interface among the different phases of the
+//! compiler." This crate reproduces the two levels the paper's tool uses —
+//! Very High and High — together with the WN node structure of Table I, the
+//! ST/TY symbol tables, the VH→H lowering that normalizes `ARRAY` operators
+//! to row-major zero-based form, and `whirl2c`/`whirl2f` emitters.
+
+pub mod builder;
+pub mod emit;
+pub mod interp;
+pub mod lower;
+pub mod node;
+pub mod program;
+pub mod symtab;
+pub mod verify;
+
+pub use builder::TreeBuilder;
+pub use node::{Opr, WhirlNode, WhirlTree, WnId};
+pub use program::{Lang, Level, ProcId, Procedure, Program};
+pub use symtab::{
+    DataType, DimBound, StClass, StIdx, SymbolTable, TyIdx, TyKind, TypeTable,
+};

@@ -1,0 +1,72 @@
+//! The structural verifier over every workload the repo ships, at both IR
+//! levels — any frontend or lowering regression trips here first.
+
+use frontend::{compile, compile_to_h, SourceFile, DEFAULT_LAYOUT_BASE};
+use whirl::verify::verify_program;
+use whirl::Lang;
+
+fn sources(gens: Vec<workloads::GenSource>) -> Vec<SourceFile> {
+    gens.iter()
+        .map(|g| {
+            SourceFile::new(
+                &g.name,
+                &g.text,
+                if g.fortran { Lang::Fortran } else { Lang::C },
+            )
+        })
+        .collect()
+}
+
+fn assert_clean(gens: Vec<workloads::GenSource>, label: &str) {
+    let files = sources(gens);
+    // VH level.
+    let vh = compile(&files).unwrap();
+    let errors = verify_program(&vh);
+    assert!(errors.is_empty(), "{label} VH: {errors:#?}");
+    // H level.
+    let h = compile_to_h(&files, DEFAULT_LAYOUT_BASE).unwrap();
+    let errors = verify_program(&h);
+    assert!(errors.is_empty(), "{label} H: {errors:#?}");
+}
+
+#[test]
+fn fig1_verifies() {
+    assert_clean(vec![workloads::fig1::source()], "fig1");
+}
+
+#[test]
+fn matrix_c_verifies() {
+    assert_clean(vec![workloads::fig10::source()], "matrix.c");
+}
+
+#[test]
+fn mini_lu_verifies() {
+    assert_clean(workloads::mini_lu::sources(), "mini-LU");
+}
+
+#[test]
+fn caf_halo_verifies() {
+    assert_clean(vec![workloads::caf::source()], "caf halo");
+}
+
+#[test]
+fn stencil_verifies() {
+    assert_clean(vec![workloads::stencil::source()], "stencil.c");
+}
+
+#[test]
+fn synthetic_family_verifies() {
+    for seed in [1u64, 7, 42] {
+        let cfg = workloads::synthetic::SynthConfig {
+            procedures: 6,
+            arrays: 3,
+            loop_depth: 3,
+            stmts_per_loop: 5,
+            seed,
+        };
+        assert_clean(
+            vec![workloads::synthetic::generate(&cfg)],
+            &format!("synthetic seed {seed}"),
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! A Coarray Fortran (PGAS) workload — the paper's future-work target:
+//! "support for the Partitioned Global Address Space (PGAS) model has been
+//! incorporated into the OpenUH compiler via coarrays ... We plan to extend
+//! our array analysis tool to support the analysis and visualization of
+//! remote array accesses."
+//!
+//! The generated program performs a classic halo exchange: each image reads
+//! its left neighbour's boundary strip and writes its right neighbour's,
+//! plus purely local compute — so the analysis must separate remote from
+//! local regions.
+
+use crate::GenSource;
+
+/// The halo-exchange source.
+pub fn source() -> GenSource {
+    GenSource::fortran(
+        "halo.f",
+        "\
+program halo
+  double precision x(100)[*]
+  double precision halo_left(8), work(100)
+  common /cg/ halo_left, work
+  integer i, left, right
+  left = 1
+  right = 2
+  do i = 1, 8
+    halo_left(i) = x(i + 92)[left]
+  end do
+  do i = 1, 8
+    x(i)[right] = work(i + 92)
+  end do
+  do i = 9, 92
+    work(i) = x(i) + halo_left(1)
+  end do
+end program halo
+",
+    )
+}
+
+/// Width of the exchanged halo strips.
+pub const HALO_WIDTH: i64 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_a_coarray() {
+        let s = source();
+        assert!(s.text.contains("x(100)[*]"));
+    }
+
+    #[test]
+    fn has_remote_reads_and_writes() {
+        let s = source();
+        assert!(s.text.contains("x(i + 92)[left]"), "remote read");
+        assert!(s.text.contains("x(i)[right] ="), "remote write");
+        assert!(s.text.contains("work(i) = x(i)"), "local read");
+    }
+}

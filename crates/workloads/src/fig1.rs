@@ -1,0 +1,78 @@
+//! The paper's Fig. 1 example.
+//!
+//! "Once procedure P1 is invoked, the region of array A represented by the
+//! triplet notation format (1:100:1, 1:100:1) will be defined. Similarly, on
+//! invocation of procedure P2, the region ... (101:200:1, 101:200:1) will be
+//! used. ... This implies that both procedures can concurrently and safely
+//! be parallelized."
+
+use crate::GenSource;
+
+/// The Fig. 1 Fortran source: `Add` calls `P1` (defines the lower-left
+/// quadrant of `A`) and `P2` (uses the upper-right quadrant) inside a loop.
+pub fn source() -> GenSource {
+    GenSource::fortran(
+        "fig1.f",
+        "\
+subroutine add(m)
+  integer, dimension(1:200, 1:200) :: a
+  common /g/ a
+  integer :: m, j
+  do j = 1, m
+    call p1(a, j)
+    call p2(a, j)
+  end do
+end subroutine add
+
+subroutine p1(x, k)
+  integer, dimension(1:200, 1:200) :: x
+  integer :: k, i, j
+  do i = 1, 100
+    do j = 1, 100
+      x(i, j) = 0
+    end do
+  end do
+end subroutine p1
+
+subroutine p2(x, k)
+  integer, dimension(1:200, 1:200) :: x
+  integer :: k, i, j, t
+  do i = 101, 200
+    do j = 101, 200
+      t = x(i, j)
+    end do
+  end do
+end subroutine p2
+",
+    )
+}
+
+/// A variant whose P2 region overlaps P1's — the negative control for the
+/// parallelization test.
+pub fn overlapping_variant() -> GenSource {
+    let base = source();
+    GenSource::fortran(
+        "fig1_overlap.f",
+        base.text.replace("101, 200", "50, 150").replace("(101:200", "(50:150"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_mentions_both_quadrants() {
+        let s = source();
+        assert!(s.text.contains("do i = 1, 100"));
+        assert!(s.text.contains("do i = 101, 200"));
+        assert!(s.fortran);
+    }
+
+    #[test]
+    fn overlap_variant_differs() {
+        let o = overlapping_variant();
+        assert!(o.text.contains("do i = 50, 150"));
+        assert!(!o.text.contains("101, 200"));
+    }
+}

@@ -1,0 +1,51 @@
+//! The `matrix.c` example of Figs. 6/7/9/10.
+//!
+//! The paper's Fig. 9 output for `aarr` fixes the access pattern precisely:
+//! `DEF ×2` over `(0:7:1)` and `(1:8:1)`, `USE ×3` over `(0:7:1)` twice and
+//! `(2:6:2)` once — "array aarr has been defined twice and used three
+//! times"; element size 4, `int`, dim 20, tot 20, 80 bytes; access density
+//! 2 (DEF) and 3 (USE). The advisor consequences: shrink to `int aarr[8]`
+//! and insert `#pragma acc region for copyin(aarr[2:7])` before the last
+//! loop.
+
+use crate::GenSource;
+
+/// The reconstructed `matrix.c`.
+pub fn source() -> GenSource {
+    GenSource::c(
+        "matrix.c",
+        "\
+int aarr[20];
+
+void main() {
+    int i, sum;
+    for (i = 0; i <= 7; i++)
+        aarr[i] = i;
+    for (i = 0; i < 8; i++)
+        aarr[i + 1] = aarr[i] + aarr[i];
+    sum = 0;
+    for (i = 2; i <= 6; i += 2)
+        sum = sum + aarr[i];
+}
+",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_aarr_20() {
+        let s = source();
+        assert!(s.text.contains("int aarr[20];"));
+        assert!(!s.fortran);
+    }
+
+    #[test]
+    fn has_strided_read_only_loop() {
+        let s = source();
+        assert!(s.text.contains("i += 2"));
+        assert!(s.text.contains("sum + aarr[i]"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Workload generators: the exact sources behind every paper figure/table.
+//!
+//! - [`fig1`] — the interprocedural example of Fig. 1 (`Add`/`P1`/`P2`);
+//! - [`fig10`] — the `matrix.c` example of Figs. 6/7/9/10 (`aarr`);
+//! - [`mini_lu`] — a structurally-faithful miniature of NAS LU (serial):
+//!   the 24 procedures of Fig. 11, the `xcr`/`xce` arrays of Case 1
+//!   (Fig. 12/13, Table II) and the 4-D `u` array of Case 2 (Fig. 14,
+//!   Table III);
+//! - [`synthetic`] — seeded program families for the scaling benches.
+//!
+//! Generators return plain `(file name, source text)` pairs; callers wrap
+//! them in `frontend::SourceFile` with the right language tag.
+
+pub mod caf;
+pub mod fig1;
+pub mod fig10;
+pub mod mini_lu;
+pub mod stencil;
+pub mod synthetic;
+
+/// A generated source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenSource {
+    /// File name (e.g. `verify.f`).
+    pub name: String,
+    /// Source text.
+    pub text: String,
+    /// True for Fortran, false for C.
+    pub fortran: bool,
+}
+
+impl GenSource {
+    /// Fortran source.
+    pub fn fortran(name: impl Into<String>, text: impl Into<String>) -> Self {
+        GenSource { name: name.into(), text: text.into(), fortran: true }
+    }
+
+    /// C source.
+    pub fn c(name: impl Into<String>, text: impl Into<String>) -> Self {
+        GenSource { name: name.into(), text: text.into(), fortran: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gensource_constructors() {
+        let f = GenSource::fortran("a.f", "x");
+        assert!(f.fortran);
+        let c = GenSource::c("a.c", "x");
+        assert!(!c.fortran);
+        assert_eq!(c.name, "a.c");
+    }
+}

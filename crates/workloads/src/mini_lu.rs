@@ -1,0 +1,679 @@
+//! A structurally-faithful miniature of the NAS LU benchmark (serial).
+//!
+//! "The NAS Parallel Benchmarks (NPB 3.3) is a suite of eight codes ... We
+//! use the serial version of LU" — "the LU benchmark has 24 procedures"
+//! (Fig. 11). This generator reproduces the *analysis-relevant* structure:
+//!
+//! - the 24 procedures of Fig. 11 with the same names and caller/callee
+//!   wiring;
+//! - Case 1 (Fig. 12/13, Table II): `xcr`/`xce` are 5-element `double`
+//!   formals of `verify`, each **used 4 times** — once in a first loop over
+//!   `1:5` and three times in a second loop over the same region — so the
+//!   tool reports `USE refs 4, (1:5:1), 40 bytes, AD 10` and `FORMAL refs 1,
+//!   AD 2`, and the advisor proposes fusing the two loops;
+//! - Case 2 (Fig. 14, Table III): `u` is a global 4-D `double` array with
+//!   source dims `64|65|65|5` (1 352 000 elements, 10 816 000 bytes), **used
+//!   110 times** in one loop nest of `rhs` over the region
+//!   `(1:3, 1:5, 1:10, 1:4)` with the last dimension accessed separately —
+//!   so AD truncates to 0 and the advisor proposes
+//!   `!$acc region copyin(u(1:3,1:5,1:10,1:4))`;
+//! - the global `class` character cell defined 9 times in `verify`
+//!   (`AD 900`, the hotspot row of Fig. 12).
+
+use crate::GenSource;
+
+/// The 24 procedure names of Fig. 11, entry first.
+pub const PROC_NAMES: [&str; 24] = [
+    "applu",
+    "read_input",
+    "domain",
+    "setcoeff",
+    "setbv",
+    "setiv",
+    "erhs",
+    "ssor",
+    "rhs",
+    "jacld",
+    "blts",
+    "jacu",
+    "buts",
+    "l2norm",
+    "error",
+    "pintgr",
+    "verify",
+    "print_results",
+    "timer_clear",
+    "timer_start",
+    "timer_stop",
+    "timer_read",
+    "elapsed_time",
+    "exact",
+];
+
+/// Number of `u` USE references generated inside `rhs` (Table III / Fig. 14).
+pub const U_USE_REFS: usize = 110;
+
+/// Number of `xcr`/`xce` USE references inside `verify` (Table II / Fig. 12).
+pub const XCR_USE_REFS: usize = 4;
+
+/// Common-block declarations shared by the field procedures.
+fn field_commons() -> &'static str {
+    "  double precision u(64, 65, 65, 5)\n\
+     \x20 double precision rsd(64, 65, 65, 5)\n\
+     \x20 double precision frct(64, 65, 65, 5)\n\
+     \x20 common /cvar/ u, rsd, frct\n"
+}
+
+/// Workload scale: grid size (interior loops run `2..=grid-1`, boundary
+/// loops `1..=grid`) and SSOR time steps. Declarations stay at the paper's
+/// `64|65|65|5` shape regardless, so the Table III attributes are invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LuConfig {
+    /// Grid extent (≤ 33 so every loop stays inside the declarations).
+    pub grid: i64,
+    /// SSOR iterations.
+    pub steps: i64,
+}
+
+impl Default for LuConfig {
+    fn default() -> Self {
+        // The paper's class-W-like shape used in Figs. 11-14.
+        LuConfig { grid: 33, steps: 50 }
+    }
+}
+
+impl LuConfig {
+    /// A small configuration for the dynamic-execution tests.
+    pub fn tiny() -> Self {
+        LuConfig { grid: 6, steps: 2 }
+    }
+}
+
+/// Generates the full mini-LU source set at the default scale.
+pub fn sources() -> Vec<GenSource> {
+    sources_scaled(LuConfig::default())
+}
+
+/// Generates the full mini-LU source set at a chosen scale.
+pub fn sources_scaled(cfg: LuConfig) -> Vec<GenSource> {
+    assert!(cfg.grid >= 4 && cfg.grid <= 33, "grid must fit the declarations");
+    let out = vec![
+        lu_main(),
+        read_input(),
+        domain(),
+        setcoeff(),
+        setbv(),
+        setiv(),
+        erhs(),
+        ssor(),
+        rhs(),
+        jacld(),
+        blts(),
+        jacu(),
+        buts(),
+        l2norm(),
+        error_f(),
+        pintgr(),
+        verify(),
+        exact(),
+        print_results(),
+        timers(),
+    ];
+    let d = LuConfig::default();
+    if cfg == d {
+        return out;
+    }
+    // Rewrite the scale-bearing literals: interior bounds `2, 32`, boundary
+    // bounds `1, 33`, descending `32, 2, -1`, and the step count `1, 50`.
+    out.into_iter()
+        .map(|mut g| {
+            g.text = g
+                .text
+                .replace("do istep = 1, 50", &format!("do istep = 1, {}", cfg.steps))
+                .replace("2, 32", &format!("2, {}", cfg.grid - 1))
+                .replace("32, 2, -1", &format!("{}, 2, -1", cfg.grid - 1))
+                .replace("1, 33", &format!("1, {}", cfg.grid));
+            g
+        })
+        .collect()
+}
+
+fn lu_main() -> GenSource {
+    let mut s = String::from("program applu\n");
+    s.push_str(field_commons());
+    s.push_str(
+        "\
+  double precision xcr(5), xce(5)
+  double precision xci
+  integer i
+  call read_input
+  call domain
+  call setcoeff
+  call setbv
+  call setiv
+  call erhs
+  call ssor
+  do i = 1, 5
+    xcr(i) = 0.0
+    xce(i) = 0.0
+  end do
+  xci = 0.0
+  call error(xce)
+  call pintgr(xci)
+  call l2norm(rsd, xcr)
+  call verify(xcr, xce, xci)
+  call print_results
+end program applu
+",
+    );
+    GenSource::fortran("lu.f", s)
+}
+
+fn read_input() -> GenSource {
+    GenSource::fortran(
+        "read_input.f",
+        "\
+subroutine read_input
+  integer itmax, inorm
+  double precision dt
+  common /cprcon/ itmax, inorm, dt
+  itmax = 50
+  inorm = 50
+  dt = 0.5
+end subroutine read_input
+",
+    )
+}
+
+fn domain() -> GenSource {
+    GenSource::fortran(
+        "domain.f",
+        "\
+subroutine domain
+  integer nx, ny, nz
+  common /cgcon/ nx, ny, nz
+  nx = 33
+  ny = 33
+  nz = 33
+end subroutine domain
+",
+    )
+}
+
+fn setcoeff() -> GenSource {
+    GenSource::fortran(
+        "setcoeff.f",
+        "\
+subroutine setcoeff
+  double precision ce(5, 13)
+  common /cexact/ ce
+  integer i, j
+  do i = 1, 5
+    do j = 1, 13
+      ce(i, j) = 0.1
+    end do
+  end do
+end subroutine setcoeff
+",
+    )
+}
+
+fn setbv() -> GenSource {
+    let mut s = String::from("subroutine setbv\n");
+    s.push_str(field_commons());
+    s.push_str(
+        "\
+  double precision temp1(5)
+  integer i, j, k, m
+  do j = 1, 33
+    do k = 1, 33
+      call exact(1, j, k, temp1)
+      do m = 1, 5
+        u(1, j, k, m) = temp1(m)
+      end do
+    end do
+  end do
+end subroutine setbv
+",
+    );
+    GenSource::fortran("setbv.f", s)
+}
+
+fn setiv() -> GenSource {
+    let mut s = String::from("subroutine setiv\n");
+    s.push_str(field_commons());
+    s.push_str(
+        "\
+  double precision temp1(5)
+  integer i, j, k, m
+  do i = 2, 32
+    do j = 2, 32
+      do k = 2, 32
+        call exact(i, j, k, temp1)
+        do m = 1, 5
+          u(i, j, k, m) = temp1(m)
+        end do
+      end do
+    end do
+  end do
+end subroutine setiv
+",
+    );
+    GenSource::fortran("setiv.f", s)
+}
+
+fn erhs() -> GenSource {
+    let mut s = String::from("subroutine erhs\n");
+    s.push_str(field_commons());
+    s.push_str(
+        "\
+  integer i, j, k, m
+  do i = 1, 33
+    do j = 1, 33
+      do k = 1, 33
+        do m = 1, 5
+          frct(i, j, k, m) = 0.0
+        end do
+      end do
+    end do
+  end do
+end subroutine erhs
+",
+    );
+    GenSource::fortran("erhs.f", s)
+}
+
+fn ssor() -> GenSource {
+    let mut s = String::from("subroutine ssor\n");
+    s.push_str(field_commons());
+    s.push_str(
+        "\
+  double precision rsdnm(5)
+  double precision tv(64)
+  integer istep, itmax, inorm
+  double precision dt
+  common /cprcon/ itmax, inorm, dt
+  call timer_clear(1)
+  do istep = 1, 50
+    call timer_start(1)
+    call rhs
+    call jacld(istep)
+    call blts(istep)
+    call jacu(istep)
+    call buts(istep)
+    call l2norm(rsd, rsdnm)
+    call timer_stop(1)
+  end do
+  call timer_read(1, tv)
+end subroutine ssor
+",
+    );
+    GenSource::fortran("ssor.f", s)
+}
+
+/// `rhs` — Case 2's host. One loop nest over `(1:3, 1:5, 1:10)` whose body
+/// reads `u` exactly [`U_USE_REFS`] times, the last dimension accessed with
+/// separate constant subscripts `1..=4`.
+fn rhs() -> GenSource {
+    let mut s = String::from("subroutine rhs\n");
+    s.push_str(field_commons());
+    s.push_str("  integer i, j, k\n");
+    s.push_str("  do i = 1, 3\n    do j = 1, 5\n      do k = 1, 10\n");
+    // 27 statements of 4 uses + 1 statement of 2 uses = 110 uses.
+    for n in 0..27 {
+        let m = (n % 4) + 1;
+        s.push_str(&format!(
+            "        rsd(i, j, k, {m}) = u(i, j, k, 1) + u(i, j, k, 2) + u(i, j, k, 3) + u(i, j, k, 4)\n"
+        ));
+    }
+    s.push_str("        rsd(i, j, k, 5) = u(i, j, k, 1) - u(i, j, k, 4)\n");
+    s.push_str("      end do\n    end do\n  end do\nend subroutine rhs\n");
+    GenSource::fortran("rhs.f", s)
+}
+
+fn jacld() -> GenSource {
+    let mut s = String::from("subroutine jacld(k)\n");
+    s.push_str(field_commons());
+    s.push_str(
+        "\
+  double precision d(64, 64, 5, 5)
+  common /cjac/ d
+  integer k, i, j
+  do i = 2, 32
+    do j = 2, 32
+      d(i, j, 1, 1) = u(i, j, k, 1)
+      d(i, j, 2, 2) = u(i, j, k, 2)
+    end do
+  end do
+end subroutine jacld
+",
+    );
+    GenSource::fortran("jacld.f", s)
+}
+
+fn blts() -> GenSource {
+    let mut s = String::from("subroutine blts(k)\n");
+    s.push_str(field_commons());
+    s.push_str(
+        "\
+  double precision d(64, 64, 5, 5)
+  common /cjac/ d
+  integer k, i, j, m
+  do i = 2, 32
+    do j = 2, 32
+      do m = 1, 5
+        rsd(i, j, k, m) = rsd(i, j, k, m) - d(i, j, m, 1) * rsd(i - 1, j, k, m)
+      end do
+    end do
+  end do
+end subroutine blts
+",
+    );
+    GenSource::fortran("blts.f", s)
+}
+
+fn jacu() -> GenSource {
+    let mut s = String::from("subroutine jacu(k)\n");
+    s.push_str(field_commons());
+    s.push_str(
+        "\
+  double precision d(64, 64, 5, 5)
+  common /cjac/ d
+  integer k, i, j
+  do i = 2, 32
+    do j = 2, 32
+      d(i, j, 3, 3) = u(i, j, k, 3)
+      d(i, j, 4, 4) = u(i, j, k, 4)
+    end do
+  end do
+end subroutine jacu
+",
+    );
+    GenSource::fortran("jacu.f", s)
+}
+
+fn buts() -> GenSource {
+    let mut s = String::from("subroutine buts(k)\n");
+    s.push_str(field_commons());
+    s.push_str(
+        "\
+  double precision d(64, 64, 5, 5)
+  common /cjac/ d
+  integer k, i, j, m
+  do i = 32, 2, -1
+    do j = 32, 2, -1
+      do m = 1, 5
+        rsd(i, j, k, m) = rsd(i, j, k, m) - d(i, j, m, 2) * rsd(i + 1, j, k, m)
+      end do
+    end do
+  end do
+end subroutine buts
+",
+    );
+    GenSource::fortran("buts.f", s)
+}
+
+fn l2norm() -> GenSource {
+    GenSource::fortran(
+        "l2norm.f",
+        "\
+subroutine l2norm(v, sum)
+  double precision v(64, 65, 65, 5)
+  double precision sum(5)
+  integer i, j, k, m
+  do m = 1, 5
+    sum(m) = 0.0
+  end do
+  do i = 2, 32
+    do j = 2, 32
+      do k = 2, 32
+        do m = 1, 5
+          sum(m) = sum(m) + v(i, j, k, m) * v(i, j, k, m)
+        end do
+      end do
+    end do
+  end do
+end subroutine l2norm
+",
+    )
+}
+
+fn error_f() -> GenSource {
+    let mut s = String::from("subroutine error(errnm)\n");
+    s.push_str(field_commons());
+    s.push_str(
+        "\
+  double precision errnm(5)
+  double precision u000ijk(5)
+  integer i, j, k, m
+  do m = 1, 5
+    errnm(m) = 0.0
+  end do
+  do i = 2, 32
+    do j = 2, 32
+      do k = 2, 32
+        call exact(i, j, k, u000ijk)
+        do m = 1, 5
+          errnm(m) = errnm(m) + (u000ijk(m) - u(i, j, k, m)) * (u000ijk(m) - u(i, j, k, m))
+        end do
+      end do
+    end do
+  end do
+end subroutine error
+",
+    );
+    GenSource::fortran("error.f", s)
+}
+
+fn pintgr() -> GenSource {
+    let mut s = String::from("subroutine pintgr(frc)\n");
+    s.push_str(field_commons());
+    s.push_str(
+        "\
+  double precision frc
+  double precision phi1(35, 35)
+  integer i, j
+  frc = 0.0
+  do i = 1, 33
+    do j = 1, 33
+      phi1(i, j) = u(i, j, 2, 5)
+      frc = frc + phi1(i, j)
+    end do
+  end do
+end subroutine pintgr
+",
+    );
+    GenSource::fortran("pintgr.f", s)
+}
+
+/// `verify` — Case 1's host. `xcr` and `xce` are 5-element double formals;
+/// each is read once in a first `1:5` loop and three times in a second
+/// `1:5` loop (4 USE references over the identical region — the fusion
+/// opportunity of Fig. 13). `class` is a global one-byte character cell
+/// defined 9 times (AD 900).
+fn verify() -> GenSource {
+    GenSource::fortran(
+        "verify.f",
+        "\
+subroutine verify(xcr, xce, xci)
+  double precision xcr(5), xce(5)
+  double precision xci
+  character class(1)
+  common /cclass/ class
+  double precision xcrref(5), xceref(5)
+  double precision xcrmax, xcemax, xcrdif, xcedif
+  integer m
+  class(1) = 'u'
+  class(1) = 's'
+  class(1) = 'w'
+  class(1) = 'a'
+  class(1) = 'b'
+  class(1) = 'c'
+  class(1) = 'd'
+  class(1) = 'e'
+  class(1) = 'z'
+  do m = 1, 5
+    xcrref(m) = 1.0
+    xceref(m) = 1.0
+  end do
+  xcrmax = 0.0
+  xcemax = 0.0
+  do m = 1, 5
+    xcrmax = xcrmax + xcr(m)
+    xcemax = xcemax + xce(m)
+  end do
+  xcrdif = 0.0
+  xcedif = 0.0
+  do m = 1, 5
+    xcrdif = xcrdif + (xcr(m) - xcrref(m)) * (xcr(m) - xcrref(m)) / xcr(m)
+    xcedif = xcedif + (xce(m) - xceref(m)) * (xce(m) - xceref(m)) / xce(m)
+  end do
+  xcrmax = xcrmax + xci
+end subroutine verify
+",
+    )
+}
+
+fn exact() -> GenSource {
+    GenSource::fortran(
+        "exact.f",
+        "\
+subroutine exact(i, j, k, u000ijk)
+  double precision u000ijk(5)
+  double precision ce(5, 13)
+  common /cexact/ ce
+  integer i, j, k, m
+  do m = 1, 5
+    u000ijk(m) = ce(m, 1) + ce(m, 2) * i + ce(m, 3) * j + ce(m, 4) * k
+  end do
+end subroutine exact
+",
+    )
+}
+
+fn print_results() -> GenSource {
+    GenSource::fortran(
+        "print_results.f",
+        "\
+subroutine print_results
+  character class(1)
+  common /cclass/ class
+  double precision summary(8)
+  integer i
+  do i = 1, 8
+    summary(i) = 0.0
+  end do
+end subroutine print_results
+",
+    )
+}
+
+fn timers() -> GenSource {
+    GenSource::fortran(
+        "timers.f",
+        "\
+subroutine timer_clear(n)
+  double precision elapsed(64), start(64)
+  common /ctimer/ elapsed, start
+  integer n
+  elapsed(n) = 0.0
+end subroutine timer_clear
+
+subroutine timer_start(n)
+  double precision elapsed(64), start(64)
+  common /ctimer/ elapsed, start
+  integer n
+  double precision t
+  call elapsed_time(t)
+  start(n) = t
+end subroutine timer_start
+
+subroutine timer_stop(n)
+  double precision elapsed(64), start(64)
+  common /ctimer/ elapsed, start
+  integer n
+  double precision t, now
+  call elapsed_time(now)
+  t = now - start(n)
+  elapsed(n) = elapsed(n) + t
+end subroutine timer_stop
+
+subroutine timer_read(n, tv)
+  double precision elapsed(64), start(64)
+  common /ctimer/ elapsed, start
+  integer n
+  double precision tv(64)
+  tv(n) = elapsed(n)
+end subroutine timer_read
+
+subroutine elapsed_time(t)
+  double precision t
+  t = 0.0
+end subroutine elapsed_time
+",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_24_procedures() {
+        let srcs = sources();
+        let mut count = 0;
+        for s in &srcs {
+            count += s.text.matches("\nend subroutine").count()
+                + s.text.matches("\nend program").count();
+        }
+        assert_eq!(count, 24);
+    }
+
+    #[test]
+    fn every_fig11_name_appears() {
+        let all: String = sources().into_iter().map(|s| s.text).collect();
+        for name in PROC_NAMES {
+            let pat_sub = format!("subroutine {name}");
+            let pat_prog = format!("program {name}");
+            assert!(
+                all.contains(&pat_sub) || all.contains(&pat_prog),
+                "missing procedure {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn rhs_has_110_u_reads() {
+        let rhs = rhs();
+        assert_eq!(rhs.text.matches("u(i, j, k,").count(), U_USE_REFS);
+    }
+
+    #[test]
+    fn rhs_nest_matches_case2_region() {
+        let rhs = rhs();
+        assert!(rhs.text.contains("do i = 1, 3"));
+        assert!(rhs.text.contains("do j = 1, 5"));
+        assert!(rhs.text.contains("do k = 1, 10"));
+        for m in 1..=4 {
+            assert!(rhs.text.contains(&format!("u(i, j, k, {m})")));
+        }
+    }
+
+    #[test]
+    fn verify_has_4_xcr_reads_in_two_loops() {
+        let v = verify();
+        assert_eq!(v.text.matches("xcr(m)").count(), XCR_USE_REFS);
+        assert_eq!(v.text.matches("xce(m)").count(), XCR_USE_REFS);
+    }
+
+    #[test]
+    fn class_defined_nine_times() {
+        let v = verify();
+        assert_eq!(v.text.matches("class(1) = ").count(), 9);
+    }
+
+    #[test]
+    fn u_dimensions_match_table3() {
+        assert!(field_commons().contains("u(64, 65, 65, 5)"));
+    }
+}

@@ -1,0 +1,71 @@
+//! A 2-D Jacobi stencil in C — the second C-family workload.
+//!
+//! Exercises what `matrix.c` does not: multi-dimensional C arrays (row-major
+//! already, no reversal in lowering), cross-procedure regions over two
+//! arrays, interior-vs-halo bounds (`1..=n-2` accesses on an `n×n`
+//! declaration), and a loop nest whose parallelism the dependence test must
+//! prove (reads `grid`, writes `next` — no loop-carried dependence).
+
+use crate::GenSource;
+
+/// Grid extent (declared `N × N`).
+pub const N: i64 = 64;
+
+/// The stencil source: `sweep` + `copyback` called from `main`.
+pub fn source() -> GenSource {
+    let n = N;
+    let interior = N - 2;
+    GenSource::c(
+        "stencil.c",
+        format!(
+            "\
+double grid[{n}][{n}];
+double next[{n}][{n}];
+
+void sweep() {{
+    int i, j;
+    for (i = 1; i <= {interior}; i++)
+        for (j = 1; j <= {interior}; j++)
+            next[i][j] = (grid[i - 1][j] + grid[i + 1][j] + grid[i][j - 1] + grid[i][j + 1]) / 4.0;
+}}
+
+void copyback() {{
+    int i, j;
+    for (i = 1; i <= {interior}; i++)
+        for (j = 1; j <= {interior}; j++)
+            grid[i][j] = next[i][j];
+}}
+
+void main() {{
+    int step, i, j;
+    for (i = 0; i < {n}; i++)
+        for (j = 0; j < {n}; j++)
+            grid[i][j] = 1.0;
+    for (step = 1; step <= 4; step++) {{
+        sweep();
+        copyback();
+    }}
+}}
+"
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_two_grids() {
+        let s = source();
+        assert!(s.text.contains(&format!("double grid[{N}][{N}];")));
+        assert!(s.text.contains(&format!("double next[{N}][{N}];")));
+        assert!(!s.fortran);
+    }
+
+    #[test]
+    fn interior_bounds() {
+        let s = source();
+        assert!(s.text.contains(&format!("i <= {}", N - 2)));
+    }
+}

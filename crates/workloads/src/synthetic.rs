@@ -1,0 +1,166 @@
+//! Seeded synthetic program families for the scaling benches.
+//!
+//! The Algorithm 1 extraction bench (and the parallel-IPL ablation) need
+//! programs whose size is a controlled parameter: number of procedures,
+//! arrays per procedure, loop-nest depth, and statements per loop body.
+//! Generation is deterministic for a given [`SynthConfig`] (seeded
+//! `SmallRng`), so bench runs are reproducible.
+
+use crate::GenSource;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic program family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Number of worker procedures (total procedures = this + 1 for main).
+    pub procedures: usize,
+    /// Global arrays shared by the workers.
+    pub arrays: usize,
+    /// Loop-nest depth inside each worker (1..=3).
+    pub loop_depth: usize,
+    /// Array-access statements per innermost body.
+    pub stmts_per_loop: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig { procedures: 8, arrays: 4, loop_depth: 2, stmts_per_loop: 4, seed: 42 }
+    }
+}
+
+/// Extent of every synthetic array dimension.
+pub const EXTENT: i64 = 100;
+
+/// Generates one Fortran source implementing the family.
+pub fn generate(cfg: &SynthConfig) -> GenSource {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let depth = cfg.loop_depth.clamp(1, 3);
+    let mut s = String::new();
+
+    let commons = |s: &mut String| {
+        for a in 0..cfg.arrays {
+            match depth {
+                1 => s.push_str(&format!("  double precision g{a}({EXTENT})\n")),
+                2 => s.push_str(&format!("  double precision g{a}({EXTENT}, {EXTENT})\n")),
+                _ => s.push_str(&format!(
+                    "  double precision g{a}({EXTENT}, {EXTENT}, {EXTENT})\n"
+                )),
+            }
+        }
+        s.push('\n');
+        s.push_str("  common /gsyn/ ");
+        let names: Vec<String> = (0..cfg.arrays).map(|a| format!("g{a}")).collect();
+        s.push_str(&names.join(", "));
+        s.push('\n');
+    };
+
+    s.push_str("program main\n");
+    commons(&mut s);
+    for p in 0..cfg.procedures {
+        s.push_str(&format!("  call work{p}\n"));
+    }
+    s.push_str("end program main\n\n");
+
+    let ivars = ["i", "j", "k"];
+    for p in 0..cfg.procedures {
+        s.push_str(&format!("subroutine work{p}\n"));
+        commons(&mut s);
+        s.push_str("  integer i, j, k\n");
+        // Open the nest; vary bounds/strides deterministically.
+        for (d, iv) in ivars.iter().enumerate().take(depth) {
+            let lo = 1 + rng.gen_range(0..5) as i64;
+            let hi = EXTENT - rng.gen_range(0..5) as i64;
+            let step = [1, 1, 1, 2, 3][rng.gen_range(0..5)];
+            let indent = "  ".repeat(d + 1);
+            if step == 1 {
+                s.push_str(&format!("{indent}do {iv} = {lo}, {hi}\n"));
+            } else {
+                s.push_str(&format!("{indent}do {iv} = {lo}, {hi}, {step}\n"));
+            }
+        }
+        let body_indent = "  ".repeat(depth + 1);
+        for _ in 0..cfg.stmts_per_loop {
+            let dst = rng.gen_range(0..cfg.arrays);
+            let src = rng.gen_range(0..cfg.arrays);
+            let off = rng.gen_range(0..3);
+            let sub = |off: i64| -> String {
+                let parts: Vec<String> = (0..depth)
+                    .map(|d| {
+                        if off == 0 {
+                            ivars[d].to_string()
+                        } else {
+                            format!("{} - {off}", ivars[d])
+                        }
+                    })
+                    .collect();
+                parts.join(", ")
+            };
+            s.push_str(&format!(
+                "{body_indent}g{dst}({}) = g{src}({}) + 1.0\n",
+                sub(0),
+                sub(off)
+            ));
+        }
+        for d in (0..depth).rev() {
+            let indent = "  ".repeat(d + 1);
+            s.push_str(&format!("{indent}end do\n"));
+        }
+        s.push_str(&format!("end subroutine work{p}\n\n"));
+    }
+    GenSource::fortran(format!("synth_p{}.f", cfg.procedures), s)
+}
+
+/// A family sweep: one program per procedure count in `counts`.
+pub fn sweep_procedures(counts: &[usize], base: SynthConfig) -> Vec<(usize, GenSource)> {
+    counts
+        .iter()
+        .map(|&n| {
+            let cfg = SynthConfig { procedures: n, ..base };
+            (n, generate(&cfg))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig::default();
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SynthConfig { seed: 1, ..Default::default() });
+        let b = generate(&SynthConfig { seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn procedure_count_matches_config() {
+        let cfg = SynthConfig { procedures: 5, ..Default::default() };
+        let s = generate(&cfg);
+        assert_eq!(s.text.matches("subroutine work").count(), 2 * 5); // decl + end
+        assert_eq!(s.text.matches("  call work").count(), 5);
+    }
+
+    #[test]
+    fn depth_controls_dimensions() {
+        let one = generate(&SynthConfig { loop_depth: 1, ..Default::default() });
+        assert!(one.text.contains(&format!("g0({EXTENT})")));
+        let three = generate(&SynthConfig { loop_depth: 3, ..Default::default() });
+        assert!(three.text.contains(&format!("g0({EXTENT}, {EXTENT}, {EXTENT})")));
+    }
+
+    #[test]
+    fn sweep_produces_one_program_per_count() {
+        let out = sweep_procedures(&[1, 4, 8], SynthConfig::default());
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[1].0, 4);
+    }
+}

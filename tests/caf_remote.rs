@@ -1,0 +1,113 @@
+//! Integration test for the PGAS/coarray extension (the paper's future
+//! work): remote accesses are parsed, analyzed, displayed with a `Remote`
+//! marker, and drive bulk-communication advice — and the interpreter still
+//! executes the program (single-image semantics).
+
+use araa::{Analysis, AnalysisOptions};
+use dragon::view::{render_scope, ViewOptions};
+use dragon::{advisor, Project};
+use regions::access::AccessMode;
+
+fn analyze() -> (Analysis, Project) {
+    let srcs = vec![workloads::caf::source()];
+    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let project = Project::from_generated(&analysis, &srcs);
+    (analysis, project)
+}
+
+#[test]
+fn remote_reads_and_writes_are_flagged() {
+    let (analysis, _) = analyze();
+    let rows = analysis.rows_for_proc("halo");
+    let x_rows: Vec<_> = rows.iter().filter(|r| r.array == "x").collect();
+    let remote_use = x_rows
+        .iter()
+        .find(|r| r.mode == AccessMode::Use && r.remote)
+        .expect("remote read of x");
+    // x(i + 92)[left] for i = 1..8 → region 93:100.
+    assert_eq!((remote_use.lb.as_str(), remote_use.ub.as_str()), ("93", "100"));
+    let remote_def = x_rows
+        .iter()
+        .find(|r| r.mode == AccessMode::Def && r.remote)
+        .expect("remote write of x");
+    assert_eq!((remote_def.lb.as_str(), remote_def.ub.as_str()), ("1", "8"));
+    // The purely local read of x stays unflagged.
+    let local_use = x_rows
+        .iter()
+        .find(|r| r.mode == AccessMode::Use && !r.remote)
+        .expect("local read of x");
+    assert_eq!((local_use.lb.as_str(), local_use.ub.as_str()), ("9", "92"));
+}
+
+#[test]
+fn remote_column_renders_in_dragon() {
+    let (_, project) = analyze();
+    let out = render_scope(&project, "halo", &ViewOptions::default());
+    assert!(out.contains("Remote"), "{out}");
+    assert!(out.contains("yes"), "{out}");
+}
+
+#[test]
+fn bulk_communication_advice() {
+    let (_, project) = analyze();
+    let advice = advisor::communication_advice(&project);
+    assert_eq!(advice.len(), 2, "{advice:#?}");
+    let get = advice.iter().find_map(|a| match a {
+        advisor::Advice::BulkCommunication { get: true, region, refs, .. } => {
+            Some((region.clone(), *refs))
+        }
+        _ => None,
+    });
+    let (region, refs) = get.expect("a bulk get");
+    assert!(region.starts_with("93:100"), "{region}");
+    assert_eq!(refs, 1);
+    let text = advisor::render(&advice);
+    assert!(text.contains("aggregate into one bulk"), "{text}");
+}
+
+#[test]
+fn rgn_round_trip_preserves_remote_flag() {
+    let (analysis, _) = analyze();
+    let doc = analysis.rgn_document();
+    let rows = araa::rgn::read_rgn(&doc).unwrap();
+    assert_eq!(rows, analysis.rows);
+    assert!(rows.iter().any(|r| r.remote));
+}
+
+#[test]
+fn interpreter_executes_single_image() {
+    let (analysis, _) = analyze();
+    let dynamic = araa::dynamic::run_dynamic(
+        &analysis.program,
+        "halo",
+        whirl::interp::Limits::default(),
+    )
+    .unwrap();
+    assert!(dynamic.total_accesses > 100);
+    // Static covers dynamic on coarray programs too.
+    let violations = araa::dynamic::validate_against_static(
+        &analysis.program,
+        &analysis.ipa,
+        &dynamic,
+    );
+    assert!(violations.is_empty(), "{violations:#?}");
+}
+
+#[test]
+fn coindexing_non_coarray_is_rejected() {
+    let bad = workloads::GenSource::fortran(
+        "bad.f",
+        "program p\n  double precision y(10)\n  integer i\n  do i = 1, 10\n    y(i)[2] = 0.0\n  end do\nend\n",
+    );
+    let err = Analysis::run_generated(&[bad], AnalysisOptions::default());
+    assert!(err.is_err());
+    let msg = err.err().unwrap().to_string();
+    assert!(msg.contains("not declared as a coarray"), "{msg}");
+}
+
+#[test]
+fn whirl2f_renders_coindex() {
+    let (analysis, _) = analyze();
+    let out = whirl::emit::emit_program(&analysis.program, whirl::emit::Dialect::Fortran);
+    assert!(out.contains(")[left]") || out.contains(")[1]") || out.contains("]["), "{out}");
+}

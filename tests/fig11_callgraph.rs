@@ -1,0 +1,101 @@
+//! Integration test for Fig. 11: the Dragon call graph of NAS LU —
+//! "the LU benchmark has 24 procedures".
+
+use araa::{Analysis, AnalysisOptions};
+use dragon::Project;
+
+fn analyze_lu() -> Analysis {
+    Analysis::run_generated(&workloads::mini_lu::sources(), AnalysisOptions::default())
+        .unwrap()
+}
+
+#[test]
+fn lu_has_exactly_24_procedures() {
+    let a = analyze_lu();
+    assert_eq!(a.program.procedure_count(), 24);
+    assert_eq!(a.callgraph.size(), 24);
+}
+
+#[test]
+fn every_fig11_procedure_is_reachable_from_main() {
+    let a = analyze_lu();
+    let order = a.callgraph.pre_order();
+    assert_eq!(order.len(), 24, "pre-order covers the whole graph");
+    // MAIN__ first.
+    let first = a.program.procedure(order[0]);
+    assert_eq!(ipa::callgraph::display_name(&a.program, first), "MAIN__");
+    // No orphan entries besides main: everything hangs off applu.
+    assert_eq!(a.callgraph.entries().len(), 1);
+}
+
+#[test]
+fn caller_callee_wiring_matches_lu_structure() {
+    let a = analyze_lu();
+    let id = |name: &str| a.program.find_procedure(name).unwrap();
+    let callees = |name: &str| -> Vec<String> {
+        a.callgraph
+            .callees(id(name))
+            .into_iter()
+            .map(|c| a.program.name_of(a.program.procedure(c).name).to_string())
+            .collect()
+    };
+    let ssor = callees("ssor");
+    for expected in ["rhs", "jacld", "blts", "jacu", "buts", "l2norm", "timer_clear",
+        "timer_start", "timer_stop", "timer_read"]
+    {
+        assert!(ssor.contains(&expected.to_string()), "ssor must call {expected}: {ssor:?}");
+    }
+    let main = callees("applu");
+    for expected in ["read_input", "domain", "setcoeff", "setbv", "setiv", "erhs",
+        "ssor", "error", "pintgr", "verify", "print_results"]
+    {
+        assert!(main.contains(&expected.to_string()), "applu must call {expected}");
+    }
+    // exact is called from setbv, setiv and error.
+    let exact = id("exact");
+    assert!(a.callgraph.node(exact).callers.len() >= 3);
+}
+
+#[test]
+fn dot_export_renders_all_nodes_and_edges() {
+    let a = analyze_lu();
+    let dot = a.callgraph.to_dot(&a.program);
+    assert!(dot.contains("MAIN__"));
+    for name in workloads::mini_lu::PROC_NAMES.iter().skip(1) {
+        assert!(dot.contains(name), "DOT must include {name}");
+    }
+    let edge_count = dot.matches("->").count();
+    let site_count: usize =
+        (0..24).map(|i| a.callgraph.calls(whirl::ProcId(i)).len()).sum();
+    assert_eq!(edge_count, site_count);
+}
+
+#[test]
+fn graph_is_acyclic() {
+    let a = analyze_lu();
+    assert!(!a.callgraph.is_recursive());
+    assert!(!a.ipa.recursion_cut);
+}
+
+#[test]
+fn dgn_project_reconstructs_the_graph() {
+    let a = analyze_lu();
+    let doc = a.dgn_document();
+    let prj = araa::dgn::DgnProject::read(&doc).unwrap();
+    assert_eq!(prj.procs.len(), 24);
+    assert!(prj.procs[0].display == "MAIN__");
+    let loaded_dot = prj.to_dot();
+    assert!(loaded_dot.contains("verify"));
+    // The Dragon project view exposes the 24-procedure list plus `@`.
+    let project = Project { dgn: prj, rows: a.rows.clone(), sources: Default::default() };
+    assert_eq!(project.scopes().len(), 25);
+}
+
+#[test]
+fn cfg_export_covers_every_procedure() {
+    let a = analyze_lu();
+    let cfg = a.cfg_document();
+    assert_eq!(cfg.matches("digraph cfg_").count(), 24);
+    assert!(cfg.contains("digraph cfg_verify"));
+    assert!(cfg.contains("loop hdr"));
+}

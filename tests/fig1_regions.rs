@@ -1,0 +1,130 @@
+//! Integration test for the paper's Fig. 1: interprocedural access analysis.
+//!
+//! "Once procedure P1 is invoked, the region of array A represented by the
+//! triplet notation format (1:100:1, 1:100:1) will be defined. Similarly, on
+//! invocation of procedure P2, the region ... (101:200:1, 101:200:1) will be
+//! used. ... both procedures can concurrently and safely be parallelized."
+
+use araa::{Analysis, AnalysisOptions};
+use dragon::{advisor, Project};
+use regions::access::AccessMode;
+
+fn analyze() -> (Analysis, Project) {
+    let srcs = vec![workloads::fig1::source()];
+    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let project = Project::from_generated(&analysis, &srcs);
+    (analysis, project)
+}
+
+#[test]
+fn p1_defines_the_paper_region() {
+    let (analysis, _) = analyze();
+    let rows = analysis.rows_for_proc("p1");
+    let def = rows
+        .iter()
+        .find(|r| r.array == "x" && r.mode == AccessMode::Def)
+        .expect("p1 defines its formal x");
+    assert_eq!(def.lb, "1|1");
+    assert_eq!(def.ub, "100|100");
+    assert_eq!(def.stride, "1|1");
+    assert_eq!(def.dims, 2);
+}
+
+#[test]
+fn p2_uses_the_paper_region() {
+    let (analysis, _) = analyze();
+    let rows = analysis.rows_for_proc("p2");
+    let use_row = rows
+        .iter()
+        .find(|r| r.array == "x" && r.mode == AccessMode::Use)
+        .expect("p2 uses its formal x");
+    assert_eq!(use_row.lb, "101|101");
+    assert_eq!(use_row.ub, "200|200");
+}
+
+#[test]
+fn caller_sees_interprocedural_regions_on_a() {
+    let (analysis, _) = analyze();
+    let rows = analysis.rows_for_proc("add");
+    let idef = rows
+        .iter()
+        .find(|r| r.array == "a" && r.via.as_deref() == Some("p1"))
+        .expect("IDEF of A propagated to add");
+    assert_eq!(idef.display_mode(), "IDEF");
+    assert_eq!((idef.lb.as_str(), idef.ub.as_str()), ("1|1", "100|100"));
+    let iuse = rows
+        .iter()
+        .find(|r| r.array == "a" && r.via.as_deref() == Some("p2"))
+        .expect("IUSE of A propagated to add");
+    assert_eq!(iuse.display_mode(), "IUSE");
+    assert_eq!((iuse.lb.as_str(), iuse.ub.as_str()), ("101|101", "200|200"));
+}
+
+#[test]
+fn passed_rows_recorded_at_call_sites() {
+    let (analysis, _) = analyze();
+    let passed: Vec<_> = analysis
+        .rows_for_proc("add")
+        .into_iter()
+        .filter(|r| r.array == "a" && r.mode == AccessMode::Passed)
+        .collect();
+    // A is passed at two call sites inside the loop.
+    assert_eq!(passed.len(), 2);
+    for p in passed {
+        assert_eq!(p.refs, 2, "references count both PASSED sites");
+        assert_eq!((p.lb.as_str(), p.ub.as_str()), ("1|1", "200|200"));
+    }
+}
+
+#[test]
+fn advisor_declares_p1_p2_parallelizable() {
+    let (analysis, project) = analyze();
+    let advice = advisor::parallel_call_advice(&analysis);
+    assert!(advice.iter().any(|a| matches!(
+        a,
+        advisor::Advice::ParallelCalls { caller, callee_a, callee_b }
+            if caller == "add" && callee_a == "p1" && callee_b == "p2"
+    )));
+    let _ = project;
+}
+
+#[test]
+fn overlapping_variant_is_not_parallelizable() {
+    let srcs = vec![workloads::fig1::overlapping_variant()];
+    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let advice = advisor::parallel_call_advice(&analysis);
+    assert!(
+        advice.is_empty(),
+        "P2 reading (50:150) overlaps P1's DEF (1:100): {advice:?}"
+    );
+}
+
+#[test]
+fn fig1_project_round_trips_through_files() {
+    let (analysis, _) = analyze();
+    let dir = std::env::temp_dir().join("fig1_it_project");
+    analysis.write_project(&dir, "fig1").unwrap();
+    let loaded = Project::load(&dir, "fig1").unwrap();
+    assert_eq!(loaded.rows.len(), analysis.rows.len());
+    assert_eq!(loaded.dgn.procs.len(), 3);
+    assert_eq!(loaded.dgn.calls.len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn convex_independence_matches_triplet_verdict() {
+    // The Fig. 1 disjointness must hold under both representations.
+    let def_region = regions::convex::box_region(&[(1, 100), (1, 100)]);
+    let use_region = regions::convex::box_region(&[(101, 200), (101, 200)]);
+    assert!(def_region.disjoint_from(&use_region));
+
+    let t_def = regions::TripletRegion::new(vec![
+        regions::Triplet::constant(1, 100, 1),
+        regions::Triplet::constant(1, 100, 1),
+    ]);
+    let t_use = regions::TripletRegion::new(vec![
+        regions::Triplet::constant(101, 200, 1),
+        regions::Triplet::constant(101, 200, 1),
+    ]);
+    assert_eq!(t_def.disjoint_from(&t_use), Some(true));
+}

@@ -1,0 +1,155 @@
+//! Integration test for Fig. 2: the efficiency-vs-accuracy taxonomy of
+//! array-analysis methods (classic / reference-list / regular sections /
+//! convex regions), exercised on realistic access-pattern families.
+
+use regions::access::AccessMode;
+use regions::methods::{
+    enumerate_region, false_positive_rate, ClassicMethod, ConvexMethod, RefListMethod,
+    RsdMethod, SummaryMethod,
+};
+use regions::{Triplet, TripletRegion};
+use std::collections::BTreeSet;
+
+struct Workload {
+    name: &'static str,
+    extent: Vec<(i64, i64)>,
+    references: Vec<TripletRegion>,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "dense-1d",
+            extent: vec![(0, 99)],
+            references: vec![TripletRegion::new(vec![Triplet::constant(10, 59, 1)])],
+        },
+        Workload {
+            name: "strided-1d",
+            extent: vec![(0, 99)],
+            references: vec![TripletRegion::new(vec![Triplet::constant(0, 98, 7)])],
+        },
+        Workload {
+            name: "two-blocks",
+            extent: vec![(0, 99)],
+            references: vec![
+                TripletRegion::new(vec![Triplet::constant(0, 9, 1)]),
+                TripletRegion::new(vec![Triplet::constant(90, 99, 1)]),
+            ],
+        },
+        Workload {
+            name: "2d-subblock",
+            extent: vec![(0, 19), (0, 19)],
+            references: vec![TripletRegion::new(vec![
+                Triplet::constant(2, 6, 1),
+                Triplet::constant(3, 9, 2),
+            ])],
+        },
+    ]
+}
+
+fn truth(refs: &[TripletRegion]) -> BTreeSet<Vec<i64>> {
+    let mut t = BTreeSet::new();
+    for r in refs {
+        enumerate_region(r, &mut |p| {
+            t.insert(p.to_vec());
+        });
+    }
+    t
+}
+
+fn run_all(
+    w: &Workload,
+) -> Vec<(String, usize, f64)> {
+    let mut classic = ClassicMethod::new(w.extent.clone());
+    let mut reflist = RefListMethod::new();
+    let mut rsd = RsdMethod::new();
+    let mut convex = ConvexMethod::new();
+    let methods: Vec<&mut dyn SummaryMethod> =
+        vec![&mut classic, &mut reflist, &mut rsd, &mut convex];
+    let mut out = Vec::new();
+    for m in methods {
+        for r in &w.references {
+            m.add_reference(AccessMode::Use, r);
+        }
+        let t = truth(&w.references);
+        let fp = false_positive_rate(&*m, AccessMode::Use, &t, &w.extent);
+        out.push((m.name().to_string(), m.storage_bytes(), fp));
+    }
+    out
+}
+
+/// Soundness: no method may deny a truly-accessed element. (This is also
+/// debug-asserted inside `false_positive_rate`; here it runs explicitly.)
+#[test]
+fn all_methods_are_sound_on_all_workloads() {
+    for w in workloads() {
+        let mut classic = ClassicMethod::new(w.extent.clone());
+        let mut reflist = RefListMethod::new();
+        let mut rsd = RsdMethod::new();
+        let mut convex = ConvexMethod::new();
+        let methods: Vec<&mut dyn SummaryMethod> =
+            vec![&mut classic, &mut reflist, &mut rsd, &mut convex];
+        for m in methods {
+            for r in &w.references {
+                m.add_reference(AccessMode::Use, r);
+            }
+            for point in truth(&w.references) {
+                assert!(
+                    m.may_access(AccessMode::Use, &point),
+                    "{} unsound on {} at {:?}",
+                    m.name(),
+                    w.name,
+                    point
+                );
+            }
+        }
+    }
+}
+
+/// Fig. 2's accuracy axis: reference-list is exact; classic is the least
+/// precise on every workload where anything less than the whole array is
+/// touched.
+#[test]
+fn accuracy_ordering() {
+    for w in workloads() {
+        let results = run_all(&w);
+        let fp = |name: &str| results.iter().find(|(n, _, _)| n == name).unwrap().2;
+        assert_eq!(fp("reference-list"), 0.0, "{}", w.name);
+        assert!(fp("classic") >= fp("regular-sections"), "{}", w.name);
+        assert!(fp("classic") >= fp("convex-regions"), "{}", w.name);
+        assert!(fp("classic") > 0.0, "{}: partial access", w.name);
+    }
+}
+
+/// Fig. 2's efficiency axis: classic is the smallest summary; the
+/// reference list is the largest on dense workloads.
+#[test]
+fn storage_ordering() {
+    for w in workloads() {
+        let results = run_all(&w);
+        let bytes = |name: &str| results.iter().find(|(n, _, _)| n == name).unwrap().1;
+        assert_eq!(bytes("classic"), 1, "{}", w.name);
+        assert!(bytes("classic") <= bytes("regular-sections"));
+        assert!(bytes("regular-sections") <= bytes("reference-list"), "{}", w.name);
+    }
+}
+
+/// Strided access is where regular sections beat convex regions (the convex
+/// box must include the skipped elements).
+#[test]
+fn stride_precision_gap() {
+    let w = &workloads()[1]; // strided-1d
+    let results = run_all(w);
+    let fp = |name: &str| results.iter().find(|(n, _, _)| n == name).unwrap().2;
+    assert!(fp("regular-sections") < fp("convex-regions"), "{results:?}");
+}
+
+/// Two distant blocks are where convex pieces beat a single regular
+/// section (the RSD hull spans the gap; two convex pieces do not).
+#[test]
+fn union_precision_gap() {
+    let w = &workloads()[2]; // two-blocks
+    let results = run_all(w);
+    let fp = |name: &str| results.iter().find(|(n, _, _)| n == name).unwrap().2;
+    assert!(fp("convex-regions") < fp("regular-sections"), "{results:?}");
+}

@@ -1,0 +1,112 @@
+//! Integration test for Figs. 9/10: the `matrix.c` example, end-to-end
+//! (source text → frontend → IPA → extraction → `.rgn` → Dragon view).
+
+use araa::{Analysis, AnalysisOptions, RgnRow};
+use dragon::view::{render_scope, ViewOptions};
+use dragon::Project;
+use regions::access::AccessMode;
+
+fn rows() -> (Analysis, Vec<RgnRow>) {
+    let srcs = vec![workloads::fig10::source()];
+    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let rows = analysis.rows.clone();
+    (analysis, rows)
+}
+
+/// The five Fig. 9 rows, with every column the figure shows.
+#[test]
+fn fig9_rows_exact() {
+    let (_a, rows) = rows();
+    let aarr: Vec<&RgnRow> = rows.iter().filter(|r| r.array == "aarr").collect();
+    assert_eq!(aarr.len(), 5);
+
+    let check_common = |r: &RgnRow| {
+        assert_eq!(r.file, "matrix.o");
+        assert_eq!(r.dims, 1);
+        assert_eq!(r.elem_size, 4);
+        assert_eq!(r.data_type, "int");
+        assert_eq!(r.dim_size, "20");
+        assert_eq!(r.tot_size, 20);
+        assert_eq!(r.size_bytes, 80);
+        assert_eq!(r.mem_loc, "55599870");
+    };
+
+    let mut defs: Vec<(String, String, String)> = Vec::new();
+    let mut uses: Vec<(String, String, String)> = Vec::new();
+    for r in &aarr {
+        check_common(r);
+        let trip = (r.lb.clone(), r.ub.clone(), r.stride.clone());
+        match r.mode {
+            AccessMode::Def => {
+                assert_eq!(r.refs, 2);
+                assert_eq!(r.acc_density, 2);
+                defs.push(trip);
+            }
+            AccessMode::Use => {
+                assert_eq!(r.refs, 3);
+                assert_eq!(r.acc_density, 3);
+                uses.push(trip);
+            }
+            other => panic!("unexpected mode {other:?}"),
+        }
+    }
+    defs.sort();
+    uses.sort();
+    let t = |a: &str, b: &str, c: &str| (a.to_string(), b.to_string(), c.to_string());
+    assert_eq!(defs, vec![t("0", "7", "1"), t("1", "8", "1")]);
+    assert_eq!(uses, vec![t("0", "7", "1"), t("0", "7", "1"), t("2", "6", "2")]);
+}
+
+#[test]
+fn memory_location_matches_fig9_hex() {
+    // Fig. 9 shows 55599870 — our layout base reproduces it.
+    let (_a, rows) = rows();
+    assert!(rows.iter().all(|r| r.mem_loc == "55599870"));
+}
+
+#[test]
+fn rgn_file_round_trip_preserves_all_rows() {
+    let (analysis, rows) = rows();
+    let doc = analysis.rgn_document();
+    let parsed = araa::rgn::read_rgn(&doc).unwrap();
+    assert_eq!(parsed, rows);
+}
+
+#[test]
+fn dragon_find_highlights_aarr_rows() {
+    let srcs = vec![workloads::fig10::source()];
+    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let project = Project::from_generated(&analysis, &srcs);
+    let opts = ViewOptions { find: Some("aarr".into()), color: true, ..Default::default() };
+    let out = render_scope(&project, "@", &opts);
+    // All five rows are highlighted in (ANSI) green.
+    assert_eq!(out.matches("\x1b[32m").count(), 5, "{out}");
+}
+
+#[test]
+fn source_browse_marks_access_statements() {
+    let srcs = vec![workloads::fig10::source()];
+    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let project = Project::from_generated(&analysis, &srcs);
+    let out =
+        dragon::browse::render_source_with_highlights(&project, "matrix.c", "aarr", false)
+            .unwrap();
+    let marked = out.lines().filter(|l| l.starts_with('>')).count();
+    // Declaration + the three statements mentioning aarr.
+    assert_eq!(marked, 4, "{out}");
+}
+
+#[test]
+fn whirl2c_emission_round_readable() {
+    let srcs = vec![workloads::fig10::source()];
+    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let id = analysis.program.find_procedure("main").unwrap();
+    let out = whirl::emit::emit_procedure(
+        &analysis.program,
+        analysis.program.procedure(id),
+        whirl::emit::Dialect::C,
+    );
+    assert!(out.contains("void main()"), "{out}");
+    assert!(out.contains("for (i = 0; i <= 7; i += 1) {"), "{out}");
+    assert!(out.contains("aarr["), "{out}");
+}

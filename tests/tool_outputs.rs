@@ -1,0 +1,100 @@
+//! Integration tests for the tool-side artifacts: the usage recipe of
+//! Section V.B (compile → .dgn/.rgn/.cfg on disk → load in Dragon → view),
+//! plus whirl2c/whirl2f emission over the full LU workload.
+
+use araa::{Analysis, AnalysisOptions};
+use dragon::view::{render_procedure_list, render_scope, ViewOptions};
+use dragon::Project;
+
+fn lu() -> (Analysis, Vec<workloads::GenSource>) {
+    let srcs = workloads::mini_lu::sources();
+    let a = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    (a, srcs)
+}
+
+#[test]
+fn usage_recipe_end_to_end() {
+    // Step 1-2: compile with analysis on; files are generated.
+    let (analysis, srcs) = lu();
+    let dir = std::env::temp_dir().join("araa_usage_recipe");
+    analysis.write_project(&dir, "lu").unwrap();
+    for ext in ["rgn", "dgn", "cfg"] {
+        assert!(dir.join(format!("lu.{ext}")).exists(), "missing lu.{ext}");
+    }
+    // Step 3: invoke Dragon and load the project.
+    let mut project = Project::load(&dir, "lu").unwrap();
+    for s in &srcs {
+        project.add_source(&s.name, &s.text);
+    }
+    // Step 4: view the array region analysis data.
+    let list = render_procedure_list(&project);
+    assert_eq!(list.lines().count(), 25);
+    let view = render_scope(&project, "verify", &ViewOptions::default());
+    assert!(view.contains("xcr"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rgn_document_is_stable_across_runs() {
+    let (a1, _) = lu();
+    let (a2, _) = lu();
+    assert_eq!(a1.rgn_document(), a2.rgn_document());
+}
+
+#[test]
+fn whirl2f_emits_all_lu_procedures() {
+    let (analysis, _) = lu();
+    let out = whirl::emit::emit_program(&analysis.program, whirl::emit::Dialect::Fortran);
+    for name in workloads::mini_lu::PROC_NAMES {
+        assert!(
+            out.contains(&format!("subroutine {name}")),
+            "whirl2f missing {name}"
+        );
+    }
+    assert!(out.contains("do "), "loops survive round-trip");
+    assert!(out.contains("call rhs"), "calls survive round-trip");
+}
+
+#[test]
+fn whirl2c_emits_matrix_source() {
+    let srcs = vec![workloads::fig10::source()];
+    let a = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let out = whirl::emit::emit_program(&a.program, whirl::emit::Dialect::C);
+    assert!(out.contains("void main()"));
+    assert!(out.contains("aarr["));
+}
+
+#[test]
+fn grep_feature_finds_u_statements_across_files() {
+    let (analysis, srcs) = lu();
+    let project = Project::from_generated(&analysis, &srcs);
+    let hits = dragon::browse::grep_array(&project, "u");
+    let files: std::collections::BTreeSet<&str> =
+        hits.iter().map(|h| h.file.as_str()).collect();
+    assert!(files.contains("rhs.f"));
+    assert!(files.contains("setiv.f"));
+    assert!(files.len() >= 4, "{files:?}");
+}
+
+#[test]
+fn parallel_analysis_gives_identical_artifacts() {
+    let srcs = workloads::mini_lu::sources();
+    let serial = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let threaded = Analysis::run_generated(
+        &srcs,
+        AnalysisOptions { threads: 8, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(serial.rgn_document(), threaded.rgn_document());
+    assert_eq!(serial.dgn_document(), threaded.dgn_document());
+}
+
+#[test]
+fn view_renders_every_scope_without_panicking() {
+    let (analysis, srcs) = lu();
+    let project = Project::from_generated(&analysis, &srcs);
+    for scope in project.scopes() {
+        let out = render_scope(&project, &scope, &ViewOptions::default());
+        assert!(out.starts_with("Procedure/Scope:"), "{scope}");
+    }
+}
