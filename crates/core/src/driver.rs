@@ -8,10 +8,12 @@
 
 use crate::cfg::Cfg;
 use crate::dgn::DgnProject;
-use crate::extract::{extract_rows, ExtractOptions};
+use crate::extract::{extract_rows_isolated, ExtractOptions};
 use crate::row::RgnRow;
 use frontend::{SourceFile, DEFAULT_LAYOUT_BASE};
 use ipa::{CallGraph, IpaResult};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use support::budget::{self, BudgetConfig};
 use support::{Error, Result};
 use whirl::Program;
 
@@ -24,6 +26,9 @@ pub struct AnalysisOptions {
     pub include_propagated: bool,
     /// Worker threads for the IPL phase (1 = serial).
     pub threads: usize,
+    /// Resource budgets bounding each per-procedure analysis. Exhaustion
+    /// widens regions conservatively instead of failing.
+    pub budget: BudgetConfig,
 }
 
 impl Default for AnalysisOptions {
@@ -32,6 +37,50 @@ impl Default for AnalysisOptions {
             layout_base: DEFAULT_LAYOUT_BASE,
             include_propagated: true,
             threads: 1,
+            budget: BudgetConfig::default(),
+        }
+    }
+}
+
+/// One contained failure: a pipeline stage could not complete for one
+/// procedure (or one cross-cutting pass) and a conservative substitute was
+/// used instead. The analysis result is still sound — just less precise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The affected procedure's display name, or a `(...)`-wrapped pass
+    /// name for failures not attributable to one procedure.
+    pub proc: String,
+    /// The stage that degraded: `parse`, `sema`, `ipl`, `budget`, `ipa`, or
+    /// `extract`.
+    pub stage: String,
+    /// Human-readable cause.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.stage, self.proc, self.detail)
+    }
+}
+
+impl Degradation {
+    fn from_frontend(e: &Error) -> Degradation {
+        match e {
+            Error::Degraded { proc, stage, detail } => Degradation {
+                proc: proc.clone(),
+                stage: stage.clone(),
+                detail: detail.clone(),
+            },
+            Error::Lex { .. } | Error::Parse { .. } => Degradation {
+                proc: "(frontend)".to_string(),
+                stage: "parse".to_string(),
+                detail: e.to_string(),
+            },
+            _ => Degradation {
+                proc: "(frontend)".to_string(),
+                stage: "sema".to_string(),
+                detail: e.to_string(),
+            },
         }
     }
 }
@@ -65,24 +114,107 @@ pub struct Analysis {
     pub ipa: IpaResult,
     /// The extracted `.rgn` rows.
     pub rows: Vec<RgnRow>,
+    /// Every failure contained during the run, in pipeline order. Empty for
+    /// a clean run; non-empty means some results are conservative
+    /// approximations (see each entry's stage and detail).
+    pub degradations: Vec<Degradation>,
 }
 
 impl Analysis {
     /// Runs the whole pipeline on a set of sources.
+    ///
+    /// Every stage is fault-isolated per procedure: a parse error drops one
+    /// statement or unit, a panic or budget exhaustion in IPL degrades one
+    /// procedure's summary to a conservative whole-array approximation, a
+    /// propagation failure falls back to unpropagated local summaries, and
+    /// an extraction failure drops one procedure's rows. Each incident is
+    /// recorded in [`Analysis::degradations`]. `Err` is reserved for total
+    /// failures (nothing parseable at all).
     pub fn run(sources: &[SourceFile], opts: AnalysisOptions) -> Result<Analysis> {
-        let program = frontend::compile_to_h(sources, opts.layout_base)?;
-        let (callgraph, ipa) = if opts.threads > 1 {
-            ipa::parallel::analyze_parallel(&program, opts.threads)
+        let mut degradations = Vec::new();
+
+        // Front end with recovery: healthy procedures survive their broken
+        // neighbours.
+        let (program, diags) =
+            frontend::compile_to_h_with_recovery(sources, opts.layout_base)?;
+        degradations.extend(diags.iter().map(Degradation::from_frontend));
+
+        let callgraph = CallGraph::build(&program);
+
+        // IPL, one budget scope + panic guard per procedure.
+        let outcome = if opts.threads > 1 {
+            ipa::isolate::summarize_all_parallel_isolated(&program, opts.threads, opts.budget)
         } else {
-            ipa::analyze(&program)
+            ipa::isolate::summarize_all_isolated(&program, opts.budget)
         };
-        let rows = extract_rows(
+        degradations.extend(outcome.failures.iter().map(|f| Degradation {
+            proc: display_name(&program, f.proc),
+            stage: f.stage.to_string(),
+            detail: f.detail.clone(),
+        }));
+
+        // IPA propagation is a cross-procedure pass; a failure there keeps
+        // the (sound) unpropagated local summaries.
+        let local = outcome.summaries;
+        let scope = budget::enter(opts.budget);
+        let propagated = catch_unwind(AssertUnwindSafe(|| {
+            ipa::propagate::propagate(&program, &callgraph, local.clone())
+        }));
+        let exhausted = budget::exhaustion();
+        drop(scope);
+        let ipa = match propagated {
+            Ok(r) => {
+                if let Some(label) = exhausted {
+                    degradations.push(Degradation {
+                        proc: "(propagation)".to_string(),
+                        stage: "budget".to_string(),
+                        detail: format!("{label} budget exhausted; some propagated regions widened"),
+                    });
+                }
+                r
+            }
+            Err(payload) => {
+                degradations.push(Degradation {
+                    proc: "(propagation)".to_string(),
+                    stage: "ipa".to_string(),
+                    detail: ipa::isolate::panic_message(payload.as_ref()),
+                });
+                IpaResult { summaries: local, recursion_cut: callgraph.is_recursive() }
+            }
+        };
+
+        // Row extraction, guarded per procedure.
+        let (rows, failures) = extract_rows_isolated(
             &program,
             &callgraph,
             &ipa,
             ExtractOptions { include_propagated: opts.include_propagated },
         );
-        Ok(Analysis { program, callgraph, ipa, rows })
+        degradations.extend(failures.into_iter().map(|(proc, detail)| Degradation {
+            proc: proc
+                .map(|id| display_name(&program, id))
+                .unwrap_or_else(|| "(layout)".to_string()),
+            stage: "extract".to_string(),
+            detail,
+        }));
+
+        Ok(Analysis { program, callgraph, ipa, rows, degradations })
+    }
+
+    /// True when any stage degraded during the run.
+    pub fn degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+
+    /// A human-readable degradation report, one line per incident
+    /// (`[stage] proc: detail`). Empty string for a clean run.
+    pub fn degradation_report(&self) -> String {
+        let mut out = String::new();
+        for d in &self.degradations {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
     }
 
     /// Convenience: analyze generated workloads.
@@ -149,6 +281,10 @@ impl Analysis {
     pub fn global_rows(&self) -> Vec<&RgnRow> {
         self.rows.iter().filter(|r| r.is_global).collect()
     }
+}
+
+fn display_name(program: &Program, id: whirl::ProcId) -> String {
+    program.name_of(program.procedure(id).name).to_string()
 }
 
 #[cfg(test)]
@@ -288,6 +424,98 @@ mod tests {
         .unwrap();
         assert_eq!(serial.rows.len(), parallel.rows.len());
         assert_eq!(serial.rows, parallel.rows);
+    }
+
+    #[test]
+    fn clean_run_has_no_degradations() {
+        let a = analyze_mini_lu();
+        assert!(!a.degraded(), "{}", a.degradation_report());
+        assert!(a.degradation_report().is_empty());
+    }
+
+    #[test]
+    fn broken_procedure_degrades_not_fails() {
+        // One unit has a syntax error; the other two must still produce
+        // rows, and the incident must be reported.
+        let src = "\
+program main
+  real a(10)
+  common /c/ a
+  call fill
+end
+subroutine fill
+  real a(10)
+  common /c/ a
+  integer i
+  do i = 1, 10
+    a(i) = 0.0
+  end do
+end
+subroutine broken
+  integer i
+  i = = 1
+end
+";
+        let a = Analysis::run(
+            &[SourceFile::new("mix.f", src, whirl::Lang::Fortran)],
+            AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(a.degraded());
+        assert!(a.degradations.iter().any(|d| d.stage == "parse"), "{:?}", a.degradations);
+        assert!(a.rows.iter().any(|r| r.proc == "fill"), "fill still has rows");
+    }
+
+    #[test]
+    fn tiny_budget_degrades_not_fails() {
+        let a = Analysis::run_generated(
+            &workloads::mini_lu::sources(),
+            AnalysisOptions {
+                budget: support::budget::BudgetConfig::tiny(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Every procedure still has a summary and the run completes; any
+        // exhaustion shows up as budget degradations, never as an error.
+        assert_eq!(a.program.procedure_count(), 24);
+        assert!(a.degradations.iter().all(|d| d.stage == "budget"), "{:?}", a.degradations);
+    }
+
+    #[test]
+    fn totally_bad_source_still_fails() {
+        let err = Analysis::run(
+            &[SourceFile::new("bad.f", "subroutine\n", whirl::Lang::Fortran)],
+            AnalysisOptions::default(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn degradation_report_format() {
+        let d = Degradation {
+            proc: "lu_factor".to_string(),
+            stage: "ipl".to_string(),
+            detail: "worker panicked".to_string(),
+        };
+        assert_eq!(d.to_string(), "[ipl] lu_factor: worker panicked");
+    }
+
+    #[test]
+    fn write_project_reports_dir_creation_context() {
+        // Satellite: dir-creation failure surfaces the path in the error.
+        let a = Analysis::run_generated(
+            &[workloads::fig10::source()],
+            AnalysisOptions::default(),
+        )
+        .unwrap();
+        let file = std::env::temp_dir().join("araa_not_a_dir");
+        std::fs::write(&file, b"x").unwrap();
+        let err = a.write_project(&file.join("sub"), "matrix").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("creating"), "{msg}");
+        assert!(msg.contains("araa_not_a_dir"), "{msg}");
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]

@@ -49,24 +49,80 @@ pub fn extract_rows(
     let formal_addr = resolve_formal_addresses(program, cg);
     let mut rows = Vec::new();
     for proc_id in cg.pre_order() {
-        let summary = ipa.summary(proc_id);
-        // References column: total per (array, mode, via, locality) within
-        // this scope — remote (coindexed) accesses count separately from
-        // local ones so the PGAS view stays meaningful.
-        let mut ref_totals: BTreeMap<(StIdx, AccessMode, Option<ProcId>, bool), u64> =
-            BTreeMap::new();
-        for rec in &summary.accesses {
-            *ref_totals
-                .entry((rec.array, rec.mode, rec.from_call, rec.remote))
-                .or_insert(0) += 1;
+        rows.extend(extract_proc_rows(
+            program,
+            proc_id,
+            ipa.summary(proc_id),
+            opts,
+            &formal_addr,
+        ));
+    }
+    rows
+}
+
+/// Like [`extract_rows`], but with per-procedure panic containment: a
+/// failure while building one procedure's rows drops only that procedure
+/// (reported in the failure list), never the whole table.
+pub fn extract_rows_isolated(
+    program: &Program,
+    cg: &CallGraph,
+    ipa: &IpaResult,
+    opts: ExtractOptions,
+) -> (Vec<RgnRow>, Vec<(Option<ProcId>, String)>) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let mut failures: Vec<(Option<ProcId>, String)> = Vec::new();
+    let formal_addr = match catch_unwind(AssertUnwindSafe(|| {
+        resolve_formal_addresses(program, cg)
+    })) {
+        Ok(m) => m,
+        Err(payload) => {
+            // Addresses degrade to 0; the rows themselves are unaffected.
+            failures.push((None, ipa::isolate::panic_message(payload.as_ref())));
+            BTreeMap::new()
         }
-        for rec in &summary.accesses {
-            if rec.from_call.is_some() && !opts.include_propagated {
-                continue;
+    };
+    let mut rows = Vec::new();
+    for proc_id in cg.pre_order() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            extract_proc_rows(program, proc_id, ipa.summary(proc_id), opts, &formal_addr)
+        }));
+        match result {
+            Ok(proc_rows) => rows.extend(proc_rows),
+            Err(payload) => {
+                failures
+                    .push((Some(proc_id), ipa::isolate::panic_message(payload.as_ref())));
             }
-            let refs = ref_totals[&(rec.array, rec.mode, rec.from_call, rec.remote)];
-            rows.push(build_row(program, proc_id, rec, refs, &formal_addr));
         }
+    }
+    (rows, failures)
+}
+
+/// Builds the rows of one procedure's scope.
+fn extract_proc_rows(
+    program: &Program,
+    proc_id: ProcId,
+    summary: &ipa::ProcSummary,
+    opts: ExtractOptions,
+    formal_addr: &BTreeMap<StIdx, u64>,
+) -> Vec<RgnRow> {
+    support::faultpoint::hit("extract::rows");
+    // References column: total per (array, mode, via, locality) within
+    // this scope — remote (coindexed) accesses count separately from
+    // local ones so the PGAS view stays meaningful.
+    let mut ref_totals: BTreeMap<(StIdx, AccessMode, Option<ProcId>, bool), u64> =
+        BTreeMap::new();
+    for rec in &summary.accesses {
+        *ref_totals
+            .entry((rec.array, rec.mode, rec.from_call, rec.remote))
+            .or_insert(0) += 1;
+    }
+    let mut rows = Vec::new();
+    for rec in &summary.accesses {
+        if rec.from_call.is_some() && !opts.include_propagated {
+            continue;
+        }
+        let refs = ref_totals[&(rec.array, rec.mode, rec.from_call, rec.remote)];
+        rows.push(build_row(program, proc_id, rec, refs, formal_addr));
     }
     rows
 }

@@ -26,6 +26,6 @@ pub mod extract;
 pub mod rgn;
 pub mod row;
 
-pub use driver::{Analysis, AnalysisOptions};
-pub use extract::{extract_rows, ExtractOptions};
+pub use driver::{Analysis, AnalysisOptions, Degradation};
+pub use extract::{extract_rows, extract_rows_isolated, ExtractOptions};
 pub use row::RgnRow;

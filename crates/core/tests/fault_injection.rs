@@ -1,0 +1,116 @@
+//! Fault-injection tests of the pipeline's per-procedure isolation.
+//!
+//! Each test arms one named faultpoint (see `support::faultpoint`) so that
+//! a pipeline stage panics mid-analysis, then asserts the contract of the
+//! robustness work: the run still returns `Ok`, the failure shows up as a
+//! structured degradation, and every *other* procedure still produces rows.
+//!
+//! Run with `cargo test -p araa --features fault-injection`.
+#![cfg(feature = "fault-injection")]
+
+use araa::{Analysis, AnalysisOptions};
+use std::sync::Mutex;
+use support::faultpoint;
+
+/// The faultpoint registry is process-global and cargo runs tests on
+/// multiple threads, so each test holds this lock while a point is armed.
+static ARMED: Mutex<()> = Mutex::new(());
+
+fn run_with_fault(point: &str, nth: u64, opts: AnalysisOptions) -> Analysis {
+    let _guard = ARMED.lock().unwrap_or_else(|p| p.into_inner());
+    faultpoint::arm(point, nth);
+    let result = Analysis::run_generated(&workloads::mini_lu::sources(), opts);
+    faultpoint::disarm_all();
+    result.unwrap_or_else(|e| panic!("fault at {point} must degrade, not fail: {e}"))
+}
+
+/// Distinct procedures that produced at least one row.
+fn procs_with_rows(a: &Analysis) -> usize {
+    let mut names: Vec<&str> = a.rows.iter().map(|r| r.proc.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    names.len()
+}
+
+fn baseline() -> (usize, usize) {
+    let a = Analysis::run_generated(&workloads::mini_lu::sources(), AnalysisOptions::default())
+        .expect("clean baseline");
+    assert!(!a.degraded());
+    (a.rows.len(), procs_with_rows(&a))
+}
+
+#[test]
+fn panic_in_one_ipl_summary_spares_the_rest() {
+    let (_, baseline_procs) = baseline();
+    let a = run_with_fault("ipl::summarize", 1, AnalysisOptions::default());
+    assert!(a.degraded(), "injected panic must surface as a degradation");
+    assert!(
+        a.degradations.iter().any(|d| d.stage == "ipl"),
+        "expected an ipl-stage degradation: {:?}",
+        a.degradations
+    );
+    assert!(
+        a.degradations.iter().all(|d| d.detail.contains("fault injected")),
+        "degradation detail should carry the panic message: {:?}",
+        a.degradations
+    );
+    // The faulted procedure got a conservative summary, so rows survive for
+    // at least every other procedure.
+    assert!(
+        procs_with_rows(&a) >= baseline_procs - 1,
+        "one fault must not take out other procedures' rows"
+    );
+    assert!(!a.degradation_report().is_empty());
+}
+
+#[test]
+fn panic_in_parallel_ipl_is_contained_too() {
+    let (_, baseline_procs) = baseline();
+    let opts = AnalysisOptions { threads: 4, ..Default::default() };
+    let a = run_with_fault("ipl::summarize", 3, opts);
+    assert!(a.degradations.iter().any(|d| d.stage == "ipl"));
+    assert!(procs_with_rows(&a) >= baseline_procs - 1);
+}
+
+#[test]
+fn panic_during_propagation_falls_back_to_local_summaries() {
+    let a = run_with_fault("ipa::translate", 1, AnalysisOptions::default());
+    assert!(
+        a.degradations.iter().any(|d| d.stage == "ipa"),
+        "expected an ipa-stage degradation: {:?}",
+        a.degradations
+    );
+    // Local (non-propagated) summaries still yield rows for every procedure.
+    let (_, baseline_procs) = baseline();
+    assert_eq!(procs_with_rows(&a), baseline_procs);
+}
+
+#[test]
+fn panic_inside_fourier_motzkin_degrades_one_procedure() {
+    let (_, baseline_procs) = baseline();
+    let a = run_with_fault("fm::eliminate", 1, AnalysisOptions::default());
+    assert!(a.degraded());
+    assert!(procs_with_rows(&a) >= baseline_procs - 1);
+}
+
+#[test]
+fn panic_while_extracting_rows_keeps_other_procedures_rows() {
+    let (baseline_rows, _) = baseline();
+    let a = run_with_fault("extract::rows", 1, AnalysisOptions::default());
+    assert!(
+        a.degradations.iter().any(|d| d.stage == "extract"),
+        "expected an extract-stage degradation: {:?}",
+        a.degradations
+    );
+    assert!(!a.rows.is_empty(), "other procedures' rows must survive");
+    assert!(a.rows.len() < baseline_rows, "the faulted procedure's rows are gone");
+}
+
+#[test]
+fn unarmed_faultpoints_change_nothing() {
+    let _guard = ARMED.lock().unwrap_or_else(|p| p.into_inner());
+    faultpoint::disarm_all();
+    let a = Analysis::run_generated(&workloads::mini_lu::sources(), AnalysisOptions::default())
+        .expect("clean run");
+    assert!(!a.degraded());
+}

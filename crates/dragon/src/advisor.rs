@@ -221,8 +221,9 @@ pub fn copyin_advice(project: &Project) -> Vec<Advice> {
         for row in rows {
             match clusters.last_mut() {
                 Some(cluster)
-                    if row.line.saturating_sub(cluster.last().unwrap().line)
-                        <= CLUSTER_GAP =>
+                    if cluster.last().is_some_and(|prev| {
+                        row.line.saturating_sub(prev.line) <= CLUSTER_GAP
+                    }) =>
                 {
                     cluster.push(row)
                 }

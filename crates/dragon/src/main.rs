@@ -11,23 +11,33 @@
 //! ```
 //!
 //! Source language is inferred from the extension (`.c` → C, else Fortran).
+//!
+//! Exit codes: `0` — clean analysis; `1` — the analysis completed but some
+//! procedures degraded to conservative approximations (a report goes to
+//! stderr); `2` — the analysis failed outright or the invocation was bad.
+//! With `--strict`, degradation is promoted to failure (exit `2`).
 
 use araa::{Analysis, AnalysisOptions};
 use dragon::view::ViewOptions;
 use dragon::{advisor, render_procedure_list, render_scope, Project};
 use frontend::SourceFile;
+use std::sync::atomic::{AtomicBool, Ordering};
 use whirl::Lang;
+
+/// Set when the analysis degraded; turns exit 0 into exit 1.
+static DEGRADED: AtomicBool = AtomicBool::new(false);
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dragon <analyze|view|callgraph|advise|demo> [options] [sources...]\n\
+        "usage: dragon [--strict] <analyze|view|callgraph|advise|demo> [options] [sources...]\n\
          \x20 analyze <src...> [--out DIR] [--stem NAME]\n\
          \x20 view <scope> <src...> [--find ARRAY] [--expand-dims]\n\
          \x20 callgraph <src...>\n\
          \x20 advise <src...>\n\
          \x20 demo <fig1|matrix|lu>\n\
          \x20 dynamic <entry> <src...>\n\
-         \x20 hotspots <src...> [--top N]"
+         \x20 hotspots <src...> [--top N]\n\
+         \x20 --strict: treat degraded analysis as failure (exit 2)"
     );
     std::process::exit(2);
 }
@@ -39,7 +49,7 @@ fn read_sources(paths: &[String]) -> Vec<(SourceFile, workloads::GenSource)> {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("dragon: cannot read {p}: {e}");
-                std::process::exit(1);
+                std::process::exit(2);
             }
         };
         let lang = if p.ends_with(".c") { Lang::C } else { Lang::Fortran };
@@ -59,9 +69,23 @@ fn read_sources(paths: &[String]) -> Vec<(SourceFile, workloads::GenSource)> {
     out
 }
 
-fn analyze(gens: &[workloads::GenSource]) -> (Analysis, Project) {
+fn analyze(gens: &[workloads::GenSource], strict: bool) -> (Analysis, Project) {
     match Analysis::run_generated(gens, AnalysisOptions::default()) {
         Ok(a) => {
+            if a.degraded() {
+                eprintln!(
+                    "dragon: analysis degraded ({} issue(s)):",
+                    a.degradations.len()
+                );
+                for d in &a.degradations {
+                    eprintln!("  {d}");
+                }
+                if strict {
+                    eprintln!("dragon: --strict: treating degraded analysis as failure");
+                    std::process::exit(2);
+                }
+                DEGRADED.store(true, Ordering::Relaxed);
+            }
             let project = Project::from_generated(&a, gens);
             (a, project)
         }
@@ -72,12 +96,12 @@ fn analyze(gens: &[workloads::GenSource]) -> (Analysis, Project) {
                 for g in gens {
                     if g.text.lines().nth(pos.line.saturating_sub(1) as usize).is_some() {
                         eprint!("dragon: {}", frontend::diag::render(&g.name, &g.text, &e));
-                        std::process::exit(1);
+                        std::process::exit(2);
                     }
                 }
             }
             eprintln!("dragon: {e}");
-            std::process::exit(1);
+            std::process::exit(2);
         }
     }
 }
@@ -95,7 +119,9 @@ fn demo_sources(which: &str) -> Vec<workloads::GenSource> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let strict = args.iter().any(|a| a == "--strict");
+    args.retain(|a| a != "--strict");
     let Some(cmd) = args.first() else { usage() };
 
     match cmd.as_str() {
@@ -116,12 +142,12 @@ fn main() {
             }
             let pairs = read_sources(&srcs);
             let gens: Vec<_> = pairs.into_iter().map(|(_, g)| g).collect();
-            let (analysis, _) = analyze(&gens);
+            let (analysis, _) = analyze(&gens, strict);
             if let Err(e) =
                 analysis.write_project(std::path::Path::new(&out_dir), &stem)
             {
                 eprintln!("dragon: {e}");
-                std::process::exit(1);
+                std::process::exit(2);
             }
             println!(
                 "wrote {out_dir}/{stem}.rgn, .dgn, .cfg ({} rows, {} procedures)",
@@ -144,7 +170,7 @@ fn main() {
             }
             let gens: Vec<_> =
                 read_sources(&srcs).into_iter().map(|(_, g)| g).collect();
-            let (_, project) = analyze(&gens);
+            let (_, project) = analyze(&gens, strict);
             print!("{}", render_procedure_list(&project));
             let opts = ViewOptions { find, expand_dims: expand, color: true };
             print!("{}", render_scope(&project, scope, &opts));
@@ -152,19 +178,19 @@ fn main() {
         "callgraph" => {
             let gens: Vec<_> =
                 read_sources(&args[1..]).into_iter().map(|(_, g)| g).collect();
-            let (analysis, _) = analyze(&gens);
+            let (analysis, _) = analyze(&gens, strict);
             print!("{}", analysis.callgraph.to_dot(&analysis.program));
         }
         "advise" => {
             let gens: Vec<_> =
                 read_sources(&args[1..]).into_iter().map(|(_, g)| g).collect();
-            let (analysis, project) = analyze(&gens);
+            let (analysis, project) = analyze(&gens, strict);
             print!("{}", advisor::render(&advisor::advise(&analysis, &project)));
         }
         "demo" => {
             let Some(which) = args.get(1) else { usage() };
             let gens = demo_sources(which);
-            let (analysis, project) = analyze(&gens);
+            let (analysis, project) = analyze(&gens, strict);
             println!("== procedures ==");
             print!("{}", render_procedure_list(&project));
             println!("\n== array analysis graph (@ scope) ==");
@@ -189,14 +215,14 @@ fn main() {
             }
             let gens: Vec<_> =
                 read_sources(&srcs).into_iter().map(|(_, g)| g).collect();
-            let (_, project) = analyze(&gens);
+            let (_, project) = analyze(&gens, strict);
             print!("{}", dragon::view::render_hotspots(&project, top));
         }
         "dynamic" => {
             let Some(entry) = args.get(1) else { usage() };
             let gens: Vec<_> =
                 read_sources(&args[2..]).into_iter().map(|(_, g)| g).collect();
-            let (analysis, _) = analyze(&gens);
+            let (analysis, _) = analyze(&gens, strict);
             match araa::dynamic::run_dynamic(
                 &analysis.program,
                 entry,
@@ -220,10 +246,11 @@ fn main() {
                 }
                 Err(e) => {
                     eprintln!("dragon: execution failed: {e}");
-                    std::process::exit(1);
+                    std::process::exit(2);
                 }
             }
         }
         _ => usage(),
     }
+    std::process::exit(i32::from(DEGRADED.load(Ordering::Relaxed)));
 }

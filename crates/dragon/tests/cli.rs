@@ -109,9 +109,71 @@ fn dynamic_subcommand_reports_regions() {
 fn bad_source_fails_cleanly() {
     let src = write_temp("bad.f", "subroutine\n");
     let out = dragon().args(["advise", src.to_str().unwrap()]).output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("dragon:"), "{stderr}");
+}
+
+/// One broken procedure next to a healthy one: the analysis degrades rather
+/// than failing, the report lands on stderr, and the exit code is 1.
+const DEGRADED_SRC: &str = "program main\n  real a(5)\n  common /g/ a\n  integer i\n  do i = 1, 5\n    a(i) = 0.0\n  end do\nend\nsubroutine broken\n  integer i\n  i = = 1\nend\n";
+
+#[test]
+fn degraded_analysis_exits_one_with_report() {
+    let src = write_temp("degraded.f", DEGRADED_SRC);
+    let out = dragon().args(["callgraph", src.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("analysis degraded"), "{stderr}");
+    assert!(stderr.contains("[parse]"), "{stderr}");
+    // The healthy procedure still made it into the call graph.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MAIN__"), "{stdout}");
+}
+
+#[test]
+fn strict_promotes_degradation_to_failure() {
+    let src = write_temp("degraded_strict.f", DEGRADED_SRC);
+    let out = dragon()
+        .args(["--strict", "callgraph", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--strict"), "{stderr}");
+}
+
+/// End-to-end fault injection: a forced panic inside one procedure's IPL
+/// summary must leave the run degraded (exit 1) with rows for everyone
+/// else. Needs the binary built with the faultpoint registry:
+/// `cargo test -p dragon --features fault-injection`.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn injected_panic_degrades_to_exit_one() {
+    let out = dragon()
+        .args(["demo", "lu"])
+        .env("ARAA_FAULTPOINT", "ipl::summarize:3")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("analysis degraded"), "{stderr}");
+    assert!(stderr.contains("[ipl]"), "{stderr}");
+    assert!(stderr.contains("fault injected"), "{stderr}");
+    // The other 23 mini-LU procedures still render.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("blts"), "{stdout}");
+    assert!(stdout.contains("rhs"), "{stdout}");
+}
+
+#[test]
+fn clean_analysis_exits_zero() {
+    let src = write_temp(
+        "clean_exit.f",
+        "program main\n  real a(5)\n  common /g/ a\n  integer i\n  do i = 1, 5\n    a(i) = 0.0\n  end do\nend\n",
+    );
+    let out = dragon().args(["callgraph", src.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
 }
 
 #[test]

@@ -22,15 +22,103 @@ use crate::lex::{lex, LexMode, Tok};
 use crate::parse::{arg_list, expr, Cursor, IndexStyle};
 use support::{Error, Pos, Result};
 
-/// Parses one C source file into a [`Module`].
+/// Parses one C source file into a [`Module`], failing on the first
+/// diagnostic.
 pub fn parse(file: &str, src: &str) -> Result<Module> {
-    let toks = lex(src, LexMode::C)?;
-    let mut c = Cursor::new(toks);
-    let mut module = Module::new(file);
-    while !c.at_eof() {
-        parse_top(&mut c, &mut module)?;
+    let (module, mut diags) = parse_with_recovery(file, src);
+    if diags.is_empty() {
+        Ok(module)
+    } else {
+        Err(diags.remove(0))
     }
-    Ok(module)
+}
+
+/// Most diagnostics kept per file before recovery gives up collecting.
+pub const MAX_DIAGS: usize = 20;
+
+/// Error-recovering variant of [`parse`]. A syntax error inside a function
+/// body drops the offending statement and resynchronizes just past the next
+/// `;` at the same brace depth (statement-boundary sync); an error in a
+/// declaration or function header skips to the next plausible top-level
+/// start. Never fails — worst case is an empty module plus diagnostics.
+pub fn parse_with_recovery(file: &str, src: &str) -> (Module, Vec<Error>) {
+    let mut module = Module::new(file);
+    let toks = match lex(src, LexMode::C) {
+        Ok(t) => t,
+        // Lex errors poison the token stream wholesale; nothing to recover.
+        Err(e) => return (module, vec![e]),
+    };
+    let mut c = Cursor::new(toks);
+    let mut diags = Vec::new();
+    while !c.at_eof() {
+        match parse_top(&mut c, &mut module, &mut diags) {
+            Ok(()) => {}
+            Err(e) => {
+                if diags.len() >= MAX_DIAGS {
+                    break;
+                }
+                diags.push(e);
+                if diags.len() >= MAX_DIAGS {
+                    break;
+                }
+                sync_top(&mut c);
+            }
+        }
+    }
+    (module, diags)
+}
+
+/// Skips to the next plausible top-level construct: a type keyword or
+/// `void` at brace depth zero. A `}` seen at depth zero closes the body we
+/// were inside and is consumed.
+fn sync_top(c: &mut Cursor) {
+    let mut depth: u32 = 0;
+    while !c.at_eof() {
+        match c.peek() {
+            Tok::LBrace => depth += 1,
+            Tok::RBrace => depth = depth.saturating_sub(1),
+            Tok::Ident(s)
+                if depth == 0
+                    && matches!(
+                        s.as_str(),
+                        "void" | "int" | "long" | "float" | "double" | "char"
+                    ) =>
+            {
+                return;
+            }
+            _ => {}
+        }
+        c.bump();
+    }
+}
+
+/// Statement-boundary sync: skips to just past the next `;` at the current
+/// brace depth, or stops before the `}` that closes the enclosing block.
+fn sync_stmt(c: &mut Cursor) {
+    let mut depth: u32 = 0;
+    loop {
+        match c.peek() {
+            Tok::Eof => return,
+            Tok::Semi if depth == 0 => {
+                c.bump();
+                return;
+            }
+            Tok::RBrace => {
+                if depth == 0 {
+                    return; // leave it for the block close
+                }
+                depth -= 1;
+                c.bump();
+            }
+            Tok::LBrace => {
+                depth += 1;
+                c.bump();
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
 }
 
 fn type_name(c: &mut Cursor) -> Option<TypeName> {
@@ -49,7 +137,7 @@ fn type_name(c: &mut Cursor) -> Option<TypeName> {
     Some(t)
 }
 
-fn parse_top(c: &mut Cursor, module: &mut Module) -> Result<()> {
+fn parse_top(c: &mut Cursor, module: &mut Module, diags: &mut Vec<Error>) -> Result<()> {
     let pos = c.pos();
     let is_void = c.eat_kw("void");
     let ty = if is_void {
@@ -71,8 +159,14 @@ fn parse_top(c: &mut Cursor, module: &mut Module) -> Result<()> {
         c.bump();
         let (formals, mut decls) = parse_params(c)?;
         c.expect(&Tok::LBrace, "`{` starting function body")?;
-        parse_local_decls(c, &mut decls)?;
-        let body = parse_block_rest(c)?;
+        if let Err(e) = parse_local_decls(c, &mut decls) {
+            diags.push(e);
+            if diags.len() >= MAX_DIAGS {
+                return Err(Error::parse(c.pos(), "too many syntax errors"));
+            }
+            sync_stmt(c);
+        }
+        let body = parse_block_rest(c, diags)?;
         module.procs.push(ProcDecl {
             is_entry: name == "main",
             name,
@@ -151,7 +245,9 @@ fn parse_local_decls(c: &mut Cursor, decls: &mut Vec<VarDecl>) -> Result<()> {
             return Ok(());
         }
         let pos = c.pos();
-        let ty = type_name(c).unwrap();
+        let Some(ty) = type_name(c) else {
+            return Err(Error::parse(pos, "expected a type keyword".to_string()));
+        };
         loop {
             let is_ptr = c.eat(&Tok::Star);
             let name = c.ident("local name")?;
@@ -172,8 +268,9 @@ fn parse_local_decls(c: &mut Cursor, decls: &mut Vec<VarDecl>) -> Result<()> {
     }
 }
 
-/// Parses statements until the closing `}` (which is consumed).
-fn parse_block_rest(c: &mut Cursor) -> Result<Vec<Stmt>> {
+/// Parses statements until the closing `}` (which is consumed). A bad
+/// statement is dropped and recovery resumes at the next boundary.
+fn parse_block_rest(c: &mut Cursor, diags: &mut Vec<Error>) -> Result<Vec<Stmt>> {
     let mut out = Vec::new();
     loop {
         if c.eat(&Tok::RBrace) {
@@ -182,29 +279,38 @@ fn parse_block_rest(c: &mut Cursor) -> Result<Vec<Stmt>> {
         if c.at_eof() {
             return Err(Error::parse(c.pos(), "unexpected end of file in block".to_string()));
         }
-        out.push(parse_stmt(c)?);
+        match parse_stmt(c, diags) {
+            Ok(s) => out.push(s),
+            Err(e) => {
+                diags.push(e);
+                if diags.len() >= MAX_DIAGS {
+                    return Err(Error::parse(c.pos(), "too many syntax errors"));
+                }
+                sync_stmt(c);
+            }
+        }
     }
 }
 
-fn parse_body(c: &mut Cursor) -> Result<Vec<Stmt>> {
+fn parse_body(c: &mut Cursor, diags: &mut Vec<Error>) -> Result<Vec<Stmt>> {
     if c.eat(&Tok::LBrace) {
-        parse_block_rest(c)
+        parse_block_rest(c, diags)
     } else {
-        Ok(vec![parse_stmt(c)?])
+        Ok(vec![parse_stmt(c, diags)?])
     }
 }
 
-fn parse_stmt(c: &mut Cursor) -> Result<Stmt> {
+fn parse_stmt(c: &mut Cursor, diags: &mut Vec<Error>) -> Result<Stmt> {
     let pos = c.pos();
     if c.eat_kw("for") {
-        return parse_for(c, pos);
+        return parse_for(c, pos, diags);
     }
     if c.eat_kw("if") {
         c.expect(&Tok::LParen, "`(` after if")?;
         let cond = expr(c, IndexStyle::Bracket)?;
         c.expect(&Tok::RParen, "`)` after condition")?;
-        let then_body = parse_body(c)?;
-        let else_body = if c.eat_kw("else") { parse_body(c)? } else { Vec::new() };
+        let then_body = parse_body(c, diags)?;
+        let else_body = if c.eat_kw("else") { parse_body(c, diags)? } else { Vec::new() };
         return Ok(Stmt::If { cond, then_body, else_body, pos });
     }
     if c.eat_kw("return") {
@@ -269,7 +375,7 @@ fn lv_to_expr(lv: &LValue, pos: Pos) -> Expr {
     }
 }
 
-fn parse_for(c: &mut Cursor, pos: Pos) -> Result<Stmt> {
+fn parse_for(c: &mut Cursor, pos: Pos, diags: &mut Vec<Error>) -> Result<Stmt> {
     c.expect(&Tok::LParen, "`(` after for")?;
     let var = c.ident("loop variable")?;
     c.expect(&Tok::Assign, "`=` in for init")?;
@@ -324,7 +430,7 @@ fn parse_for(c: &mut Cursor, pos: Pos) -> Result<Stmt> {
         return Err(Error::parse(c.pos(), "unsupported for-loop increment".to_string()));
     };
     c.expect(&Tok::RParen, "`)` closing for header")?;
-    let body = parse_body(c)?;
+    let body = parse_body(c, diags)?;
     Ok(Stmt::Do { var, lo, hi, step, body, pos })
 }
 
@@ -457,6 +563,47 @@ void main() {
     fn rejects_mismatched_loop_var() {
         let src = "void f() { int i, j; for (i = 0; j < 3; i++) { i = 1; } }\n";
         assert!(parse("f.c", src).is_err());
+    }
+
+    #[test]
+    fn recovery_keeps_healthy_functions() {
+        // `g` has a broken statement; `f` and `h` must still parse, and the
+        // rest of `g` survives past the dropped line.
+        let src = "\
+void f() { int i; i = 1; }
+void g() { int i; i = = 2; i = 3; }
+void h() { int i; i = 4; }
+";
+        let (m, diags) = parse_with_recovery("r.c", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(m.procs.len(), 3);
+        let g = m.find_proc("g").unwrap();
+        assert_eq!(g.body.len(), 1, "statement after the bad one is kept");
+    }
+
+    #[test]
+    fn recovery_resyncs_at_next_top_level() {
+        let src = "int 5x;\nvoid ok() { int i; i = 1; }\n";
+        let (m, diags) = parse_with_recovery("r.c", src);
+        assert!(!diags.is_empty());
+        assert!(m.find_proc("ok").is_some());
+    }
+
+    #[test]
+    fn recovery_never_loses_everything_silently() {
+        let (m, diags) = parse_with_recovery("junk.c", "@#$");
+        assert!(m.procs.is_empty());
+        assert!(!diags.is_empty());
+    }
+
+    #[test]
+    fn recovery_caps_diagnostics() {
+        let mut src = String::new();
+        for _ in 0..100 {
+            src.push_str("int ;\n");
+        }
+        let (_, diags) = parse_with_recovery("caps.c", &src);
+        assert!(diags.len() <= MAX_DIAGS);
     }
 
     #[test]

@@ -23,21 +23,84 @@ use crate::lex::{lex, LexMode, Tok};
 use crate::parse::{arg_list, expr, Cursor, IndexStyle};
 use support::{Error, Result};
 
-/// Parses one free-form Fortran source file into a [`Module`].
+/// Parses one free-form Fortran source file into a [`Module`], failing on
+/// the first diagnostic.
 pub fn parse(file: &str, src: &str) -> Result<Module> {
-    let toks = lex(src, LexMode::Fortran)?;
-    let mut c = Cursor::new(toks);
-    let mut module = Module::new(file);
-    c.skip_newlines();
-    while !c.at_eof() {
-        let proc = parse_unit(&mut c, &mut module)?;
-        module.procs.push(proc);
-        c.skip_newlines();
+    let (module, mut diags) = parse_with_recovery(file, src);
+    if diags.is_empty() {
+        Ok(module)
+    } else {
+        Err(diags.remove(0))
     }
-    Ok(module)
 }
 
-fn parse_unit(c: &mut Cursor, module: &mut Module) -> Result<ProcDecl> {
+/// Most diagnostics kept per file before recovery gives up collecting.
+pub const MAX_DIAGS: usize = 20;
+
+/// Error-recovering variant of [`parse`]. A syntax error inside a
+/// declaration or statement drops that line and resynchronizes at the next
+/// newline (statement-boundary sync), keeping the rest of the unit; an
+/// error in a unit header drops the unit and resynchronizes at the next
+/// `program`/`subroutine` header. Never fails — worst case is an empty
+/// module plus diagnostics.
+pub fn parse_with_recovery(file: &str, src: &str) -> (Module, Vec<Error>) {
+    let mut module = Module::new(file);
+    let toks = match lex(src, LexMode::Fortran) {
+        Ok(t) => t,
+        // Lex errors poison the token stream wholesale; nothing to recover.
+        Err(e) => return (module, vec![e]),
+    };
+    let mut c = Cursor::new(toks);
+    let mut diags = Vec::new();
+    c.skip_newlines();
+    while !c.at_eof() {
+        match parse_unit(&mut c, &mut module, &mut diags) {
+            Ok(proc) => module.procs.push(proc),
+            Err(e) => {
+                if diags.len() >= MAX_DIAGS {
+                    break;
+                }
+                diags.push(e);
+                if diags.len() >= MAX_DIAGS {
+                    break;
+                }
+                sync_to_unit(&mut c);
+            }
+        }
+        c.skip_newlines();
+    }
+    (module, diags)
+}
+
+/// Records `e` and skips to the end of the current line. Returns `false`
+/// when the diagnostic budget is spent and the caller should bail out.
+fn recover_line(c: &mut Cursor, e: Error, diags: &mut Vec<Error>) -> bool {
+    diags.push(e);
+    if diags.len() >= MAX_DIAGS {
+        return false;
+    }
+    while !matches!(c.peek(), Tok::Newline | Tok::Eof) {
+        c.bump();
+    }
+    true
+}
+
+/// Skips forward to the start of the next program unit (a line beginning
+/// with `program` or `subroutine`) or to end of input.
+fn sync_to_unit(c: &mut Cursor) {
+    loop {
+        // Finish the current line, then look at the next line's first token.
+        while !matches!(c.peek(), Tok::Newline | Tok::Eof) {
+            c.bump();
+        }
+        c.skip_newlines();
+        if c.at_eof() || c.at_kw("program") || c.at_kw("subroutine") {
+            return;
+        }
+    }
+}
+
+fn parse_unit(c: &mut Cursor, module: &mut Module, diags: &mut Vec<Error>) -> Result<ProcDecl> {
     let pos = c.pos();
     let is_entry = if c.eat_kw("program") {
         true
@@ -72,10 +135,18 @@ fn parse_unit(c: &mut Cursor, module: &mut Module) -> Result<ProcDecl> {
             || c.at_kw("double")
             || c.at_kw("character")
         {
-            parse_type_decl(c, &mut decls)?;
+            if let Err(e) = parse_type_decl(c, &mut decls) {
+                if !recover_line(c, e, diags) {
+                    return Err(Error::parse(c.pos(), "too many syntax errors"));
+                }
+            }
             c.skip_newlines();
         } else if c.at_kw("common") {
-            parse_common(c, module, &decls)?;
+            if let Err(e) = parse_common(c, module, &decls) {
+                if !recover_line(c, e, diags) {
+                    return Err(Error::parse(c.pos(), "too many syntax errors"));
+                }
+            }
             c.skip_newlines();
         } else if c.at_kw("implicit") {
             // `implicit none` — accepted and ignored.
@@ -89,7 +160,7 @@ fn parse_unit(c: &mut Cursor, module: &mut Module) -> Result<ProcDecl> {
     }
 
     // Statements until the matching `end`.
-    let body = parse_stmts(c, &["end"])?;
+    let body = parse_stmts(c, &["end"], diags)?;
     c.expect_kw("end")?;
     // Optional `end program|subroutine [name]`.
     if c.eat_kw("program") || c.eat_kw("subroutine") {
@@ -224,18 +295,30 @@ fn parse_common(c: &mut Cursor, module: &mut Module, decls: &[VarDecl]) -> Resul
     Ok(())
 }
 
-fn parse_stmts(c: &mut Cursor, terminators: &[&str]) -> Result<Vec<Stmt>> {
+fn parse_stmts(
+    c: &mut Cursor,
+    terminators: &[&str],
+    diags: &mut Vec<Error>,
+) -> Result<Vec<Stmt>> {
     let mut out = Vec::new();
     loop {
         c.skip_newlines();
         if c.at_eof() || terminators.iter().any(|t| c.at_kw(t)) {
             return Ok(out);
         }
-        out.push(parse_stmt(c)?);
+        match parse_stmt(c, diags) {
+            Ok(s) => out.push(s),
+            // Statement-boundary sync: drop the bad line, keep the block.
+            Err(e) => {
+                if !recover_line(c, e, diags) {
+                    return Err(Error::parse(c.pos(), "too many syntax errors"));
+                }
+            }
+        }
     }
 }
 
-fn parse_stmt(c: &mut Cursor) -> Result<Stmt> {
+fn parse_stmt(c: &mut Cursor, diags: &mut Vec<Error>) -> Result<Stmt> {
     let pos = c.pos();
     if c.eat_kw("do") {
         let var = c.ident("loop variable")?;
@@ -245,7 +328,7 @@ fn parse_stmt(c: &mut Cursor) -> Result<Stmt> {
         let hi = expr(c, IndexStyle::Paren)?;
         let step = if c.eat(&Tok::Comma) { c.int("loop step")? } else { 1 };
         c.expect(&Tok::Newline, "newline after do header")?;
-        let body = parse_stmts(c, &["end"])?;
+        let body = parse_stmts(c, &["end"], diags)?;
         c.expect_kw("end")?;
         c.expect_kw("do")?;
         return Ok(Stmt::Do { var, lo, hi, step, body, pos });
@@ -256,10 +339,10 @@ fn parse_stmt(c: &mut Cursor) -> Result<Stmt> {
         c.expect(&Tok::RParen, "`)` after condition")?;
         c.expect_kw("then")?;
         c.expect(&Tok::Newline, "newline after then")?;
-        let then_body = parse_stmts(c, &["else", "end"])?;
+        let then_body = parse_stmts(c, &["else", "end"], diags)?;
         let else_body = if c.eat_kw("else") {
             c.expect(&Tok::Newline, "newline after else")?;
-            parse_stmts(c, &["end"])?
+            parse_stmts(c, &["end"], diags)?
         } else {
             Vec::new()
         };
@@ -515,5 +598,69 @@ end
     fn error_reports_position() {
         let err = parse("bad.f", "subroutine\n").unwrap_err();
         assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn recovery_keeps_statements_after_a_bad_line() {
+        let src = "\
+subroutine s
+  integer i
+  i = = 1
+  i = 2
+end
+";
+        let (m, diags) = parse_with_recovery("r.f", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(m.procs.len(), 1);
+        assert_eq!(m.procs[0].body.len(), 1, "good line after the bad one survives");
+    }
+
+    #[test]
+    fn recovery_resyncs_at_next_unit() {
+        let src = "\
+subroutine 5
+  integer i
+end
+subroutine ok
+  integer i
+  i = 1
+end
+";
+        let (m, diags) = parse_with_recovery("r.f", src);
+        assert!(!diags.is_empty());
+        assert!(m.find_proc("ok").is_some());
+    }
+
+    #[test]
+    fn recovery_keeps_unit_on_bad_declaration() {
+        let src = "\
+subroutine s
+  integer a(
+  integer i
+  i = 1
+end
+";
+        let (m, diags) = parse_with_recovery("r.f", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(m.procs.len(), 1);
+        assert_eq!(m.procs[0].decls.len(), 1, "second declaration survives");
+    }
+
+    #[test]
+    fn recovery_caps_diagnostics() {
+        let mut src = String::from("subroutine s\n");
+        for _ in 0..100 {
+            src.push_str("  i = = 1\n");
+        }
+        src.push_str("end\n");
+        let (_, diags) = parse_with_recovery("caps.f", &src);
+        assert!(diags.len() <= MAX_DIAGS);
+    }
+
+    #[test]
+    fn recovery_of_empty_garbage_yields_diags_not_procs() {
+        let (m, diags) = parse_with_recovery("bad.f", "subroutine\n");
+        assert!(m.procs.is_empty());
+        assert_eq!(diags.len(), 1);
     }
 }

@@ -367,7 +367,9 @@ impl<'a> Lexer<'a> {
     }
 
     fn punct(&mut self, pos: Pos) -> Result<()> {
-        let c = self.bump().unwrap();
+        let Some(c) = self.bump() else {
+            return Err(Error::lex(pos, "unexpected end of input"));
+        };
         let tok = match c {
             b'(' => Tok::LParen,
             b')' => Tok::RParen,

@@ -30,7 +30,9 @@ pub mod lower;
 pub mod parse;
 pub mod sema;
 
-use support::Result;
+use ast::{Module, ProcDecl, Stmt};
+use std::collections::BTreeSet;
+use support::{Error, Result};
 use whirl::{Lang, Program};
 
 /// One input source file.
@@ -77,6 +79,208 @@ pub fn compile_to_h(sources: &[SourceFile], layout_base: u64) -> Result<Program>
     whirl::lower::lower_program(&mut program);
     program.assign_layout(layout_base);
     Ok(program)
+}
+
+/// Like [`compile`], but degrades instead of failing wherever a failure can
+/// be contained: parser diagnostics drop only the offending statements or
+/// units, calls to procedures that did not survive parsing are satisfied by
+/// empty stub definitions, and a procedure whose body fails semantic
+/// checking is gutted to an empty shell. Returns the program plus every
+/// diagnostic describing what was lost. Fails only when no procedure at all
+/// survives, or on a structural error that cannot be pinned to one
+/// procedure.
+pub fn compile_with_recovery(sources: &[SourceFile]) -> Result<(Program, Vec<Error>)> {
+    let mut modules = Vec::with_capacity(sources.len());
+    let mut langs = Vec::with_capacity(sources.len());
+    let mut diags = Vec::new();
+    for s in sources {
+        let (m, file_diags) = match s.lang {
+            Lang::Fortran => fortran::parse_with_recovery(&s.name, &s.text),
+            Lang::C => cparse::parse_with_recovery(&s.name, &s.text),
+        };
+        diags.extend(file_diags);
+        modules.push(m);
+        langs.push(s.lang);
+    }
+    if modules.iter().all(|m| m.procs.is_empty()) {
+        // Nothing survived: degrading further would mean analyzing an empty
+        // program, which only hides the failure. Surface the first cause.
+        return Err(diags
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| Error::semantic("no procedures found in any source file")));
+    }
+    stub_undefined_callees(&mut modules, &mut diags);
+    let env = loop {
+        match sema::analyze(&modules) {
+            Ok(env) => break env,
+            Err(e) => {
+                if !degrade_offender(&mut modules, &e, &mut diags) {
+                    return Err(e);
+                }
+            }
+        }
+    };
+    let program = lower::lower_modules(&modules, &env, &langs)?;
+    Ok((program, diags))
+}
+
+/// Like [`compile_to_h`] with the recovery semantics of
+/// [`compile_with_recovery`].
+pub fn compile_to_h_with_recovery(
+    sources: &[SourceFile],
+    layout_base: u64,
+) -> Result<(Program, Vec<Error>)> {
+    let (mut program, diags) = compile_with_recovery(sources)?;
+    whirl::lower::lower_program(&mut program);
+    program.assign_layout(layout_base);
+    Ok((program, diags))
+}
+
+/// Satisfies calls to procedures lost during recovery (or simply never
+/// defined) with empty stub definitions, so one unparseable unit doesn't
+/// take every caller down with it. Stubs have no formals and no effects —
+/// [`ipa`] propagation treats them as pure no-ops.
+fn stub_undefined_callees(modules: &mut [Module], diags: &mut Vec<Error>) {
+    let defined: BTreeSet<String> = modules
+        .iter()
+        .flat_map(|m| m.procs.iter().map(|p| p.name.clone()))
+        .collect();
+    for mi in 0..modules.len() {
+        let mut missing: Vec<(String, support::Pos)> = Vec::new();
+        for p in &modules[mi].procs {
+            collect_missing_callees(&p.body, &defined, &mut missing);
+        }
+        for (name, pos) in missing {
+            if modules.iter().any(|m| m.procs.iter().any(|p| p.name == name)) {
+                continue; // already defined or stubbed by an earlier caller
+            }
+            diags.push(Error::semantic_at(
+                pos,
+                format!("call to undefined procedure `{name}`; replaced by an empty stub"),
+            ));
+            modules[mi].procs.push(ProcDecl {
+                name,
+                formals: Vec::new(),
+                decls: Vec::new(),
+                body: Vec::new(),
+                pos,
+                is_entry: false,
+            });
+        }
+    }
+}
+
+fn collect_missing_callees(
+    body: &[Stmt],
+    defined: &BTreeSet<String>,
+    missing: &mut Vec<(String, support::Pos)>,
+) {
+    for s in body {
+        match s {
+            Stmt::Call(name, _, pos) => {
+                if !defined.contains(name) && !missing.iter().any(|(n, _)| n == name) {
+                    missing.push((name.clone(), *pos));
+                }
+            }
+            Stmt::Do { body, .. } => collect_missing_callees(body, defined, missing),
+            Stmt::If { then_body, else_body, .. } => {
+                collect_missing_callees(then_body, defined, missing);
+                collect_missing_callees(else_body, defined, missing);
+            }
+            Stmt::Assign(..) | Stmt::Return(_) => {}
+        }
+    }
+}
+
+/// The first backtick-quoted name in a diagnostic message.
+fn quoted_name(msg: &str) -> Option<&str> {
+    let start = msg.find('`')? + 1;
+    let end = msg[start..].find('`')? + start;
+    Some(&msg[start..end])
+}
+
+/// Degrades whatever construct a semantic error points at: the second
+/// definition of a duplicated procedure is removed, a conflicting global
+/// redeclaration is dropped, and any other attributable error guts the
+/// enclosing procedure to an empty shell (kept so callers still resolve).
+/// Returns `false` when the error cannot be attributed — the caller then
+/// fails hard rather than looping.
+fn degrade_offender(modules: &mut [Module], e: &Error, diags: &mut Vec<Error>) -> bool {
+    let Some(pos) = e.pos() else { return false };
+    let msg = e.to_string();
+    let name = quoted_name(&msg).map(str::to_string);
+
+    // A duplicated procedure: remove the definition the error points at.
+    if msg.contains("more than once") {
+        if let Some(name) = &name {
+            for m in modules.iter_mut() {
+                if let Some(i) =
+                    m.procs.iter().position(|p| &p.name == name && p.pos == pos)
+                {
+                    m.procs.remove(i);
+                    diags.push(Error::degraded(
+                        name.clone(),
+                        "sema",
+                        format!("duplicate definition at {pos} dropped"),
+                    ));
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    // A conflicting global redeclaration: drop the redeclaration.
+    if msg.contains("conflicting dimensions") {
+        if let Some(name) = &name {
+            for m in modules.iter_mut() {
+                if let Some(i) =
+                    m.globals.iter().position(|g| &g.name == name && g.pos == pos)
+                {
+                    m.globals.remove(i);
+                    diags.push(Error::degraded(
+                        name.clone(),
+                        "sema",
+                        format!("conflicting redeclaration at {pos} dropped"),
+                    ));
+                    return true;
+                }
+            }
+        }
+        // The conflict may come from a unit-level declaration instead; fall
+        // through to gutting the enclosing procedure.
+    }
+
+    // Otherwise: gut the procedure enclosing the error position. Candidates
+    // are the procedures starting at or before the error line; the closest
+    // non-empty one across all modules is the best attribution we have.
+    let mut best: Option<(usize, usize, u32)> = None;
+    for (mi, m) in modules.iter().enumerate() {
+        for (pi, p) in m.procs.iter().enumerate() {
+            if p.pos.line > pos.line || (p.body.is_empty() && p.decls.is_empty()) {
+                continue;
+            }
+            let dist = pos.line - p.pos.line;
+            if best.is_none_or(|(_, _, d)| dist < d) {
+                best = Some((mi, pi, dist));
+            }
+        }
+    }
+    match best {
+        Some((mi, pi, _)) => {
+            let p = &mut modules[mi].procs[pi];
+            diags.push(Error::degraded(
+                p.name.clone(),
+                "sema",
+                format!("procedure emptied: {msg}"),
+            ));
+            p.body.clear();
+            p.decls.clear();
+            true
+        }
+        None => false,
+    }
 }
 
 /// The layout base used throughout the examples/tests, matching the hex
@@ -133,6 +337,104 @@ mod tests {
         let sym = program.interner.get("a").unwrap();
         let st = program.symbols.find(sym).unwrap();
         assert_eq!(program.symbols.get(st).address, DEFAULT_LAYOUT_BASE);
+    }
+
+    #[test]
+    fn recovery_compiles_healthy_units_past_a_broken_one() {
+        let (program, diags) = compile_with_recovery(&[SourceFile::new(
+            "mix.f",
+            "\
+program main
+  call good
+  call broken
+end
+subroutine good
+  real a(10)
+  common /c/ a
+  a(1) = 0.0
+end
+subroutine broken
+  integer i
+  i = = 1
+end
+",
+            Lang::Fortran,
+        )])
+        .unwrap();
+        assert_eq!(program.procedure_count(), 3);
+        assert!(program.find_procedure("good").is_some());
+        assert!(program.find_procedure("broken").is_some());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn recovery_stubs_callees_lost_to_parse_errors() {
+        // `helper` fails to parse entirely (bad header) — the call in main
+        // must still resolve via a stub.
+        let (program, diags) = compile_with_recovery(&[SourceFile::new(
+            "stub.f",
+            "\
+program main
+  call helper
+end
+subroutine 5helper
+  integer i
+end
+",
+            Lang::Fortran,
+        )])
+        .unwrap();
+        assert!(program.find_procedure("helper").is_some());
+        assert!(diags.iter().any(|d| d.to_string().contains("empty stub")), "{diags:?}");
+    }
+
+    #[test]
+    fn recovery_guts_a_semantically_broken_procedure() {
+        let (program, diags) = compile_with_recovery(&[SourceFile::new(
+            "sema.f",
+            "\
+subroutine fine
+  real a(10)
+  a(1) = 0.0
+end
+subroutine wrong
+  integer x
+  x(3) = 1
+end
+",
+            Lang::Fortran,
+        )])
+        .unwrap();
+        assert_eq!(program.procedure_count(), 2);
+        assert!(
+            diags.iter().any(|d| d.to_string().contains("wrong")),
+            "gutting must be reported: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_with_nothing_salvageable_fails() {
+        let err = compile_with_recovery(&[SourceFile::new(
+            "bad.f",
+            "subroutine\n",
+            Lang::Fortran,
+        )]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn recovery_on_clean_input_matches_strict_compile() {
+        let src = "subroutine s\n  real a(5)\n  common /c/ a\n  a(3) = 1.0\nend\n";
+        let strict =
+            compile_to_h(&[SourceFile::new("t.f", src, Lang::Fortran)], DEFAULT_LAYOUT_BASE)
+                .unwrap();
+        let (recovered, diags) = compile_to_h_with_recovery(
+            &[SourceFile::new("t.f", src, Lang::Fortran)],
+            DEFAULT_LAYOUT_BASE,
+        )
+        .unwrap();
+        assert!(diags.is_empty());
+        assert_eq!(strict.procedure_count(), recovered.procedure_count());
     }
 
     #[test]

@@ -168,6 +168,12 @@ pub fn expr(c: &mut Cursor, style: IndexStyle) -> Result<Expr> {
 }
 
 fn expr_prec(c: &mut Cursor, style: IndexStyle, min_prec: u8) -> Result<Expr> {
+    // Bound recursion depth: pathological nesting (thousands of parens or
+    // unary minuses) must surface as a parse error, not a stack overflow —
+    // overflow aborts the process and cannot be contained by catch_unwind.
+    let Some(_guard) = support::budget::recursion_guard() else {
+        return Err(Error::parse(c.pos(), "expression nesting too deep"));
+    };
     let mut lhs = unary(c, style)?;
     while let Some((op, prec)) = bin_prec(c.peek()) {
         if prec < min_prec {
@@ -182,6 +188,11 @@ fn expr_prec(c: &mut Cursor, style: IndexStyle, min_prec: u8) -> Result<Expr> {
 }
 
 fn unary(c: &mut Cursor, style: IndexStyle) -> Result<Expr> {
+    // `-`/`!`/`&` chains recurse without passing through `expr_prec`; bound
+    // them too.
+    let Some(_guard) = support::budget::recursion_guard() else {
+        return Err(Error::parse(c.pos(), "expression nesting too deep"));
+    };
     let pos = c.pos();
     if c.eat(&Tok::Minus) {
         let inner = unary(c, style)?;
@@ -221,8 +232,9 @@ fn primary(c: &mut Cursor, style: IndexStyle) -> Result<Expr> {
         }
         Tok::Amp => {
             // C address-of on an argument: transparent for our analysis.
+            // Route through `unary` so `&` chains hit the recursion guard.
             c.bump();
-            primary(c, style)
+            unary(c, style)
         }
         Tok::Ident(name) => {
             c.bump();
@@ -388,6 +400,25 @@ mod tests {
         assert_eq!(c.int("bound").unwrap(), 1);
         c.skip_newlines();
         assert!(c.at_eof());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let depth = 5000;
+        let src = format!("{}x{}", "(".repeat(depth), ")".repeat(depth));
+        let toks = lex(&src, LexMode::C).unwrap();
+        let mut c = Cursor::new(toks);
+        let err = expr(&mut c, IndexStyle::Bracket).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn deep_unary_chain_errors_instead_of_overflowing() {
+        let src = format!("{}x", "!".repeat(5000));
+        let toks = lex(&src, LexMode::C).unwrap();
+        let mut c = Cursor::new(toks);
+        let err = expr(&mut c, IndexStyle::Bracket).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Per-procedure fault isolation for the IPL phase.
+//!
+//! IPL summaries are mutually independent, so one procedure's failure never
+//! needs to take the analysis down: each summarization runs under its own
+//! [`budget`] scope and `catch_unwind`. A panicking procedure is replaced
+//! by a conservative summary (whole-array `DEF`+`USE` over every array it
+//! could possibly touch — globals and its array formals), a
+//! budget-exhausted procedure keeps its already-widened summary, and either
+//! way the incident is reported as an [`IplFailure`] so drivers can emit a
+//! degradation report instead of dying.
+
+use crate::local::{summarize_procedure, whole_array_record, ProcSummary};
+use parking_lot::Mutex;
+use regions::access::AccessMode;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use support::budget::{self, BudgetConfig};
+use support::idx::Idx;
+use whirl::{ProcId, Program, StClass, TyKind};
+
+/// One contained per-procedure failure.
+#[derive(Debug)]
+pub struct IplFailure {
+    /// The procedure whose summary degraded.
+    pub proc: ProcId,
+    /// `"ipl"` for a contained panic, `"budget"` for budget exhaustion.
+    pub stage: &'static str,
+    /// Human-readable cause (panic message or exhausted budget name).
+    pub detail: String,
+}
+
+/// All summaries plus the failures contained while computing them.
+#[derive(Debug)]
+pub struct IplOutcome {
+    /// One summary per procedure (indexable by `ProcId`), every entry
+    /// usable — failed procedures hold conservative fallbacks.
+    pub summaries: Vec<ProcSummary>,
+    /// Contained failures, in procedure order.
+    pub failures: Vec<IplFailure>,
+}
+
+/// Renders a `catch_unwind` payload as text.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Summarizes one procedure under a budget scope and panic isolation.
+pub fn summarize_proc_guarded(
+    program: &Program,
+    id: ProcId,
+    config: BudgetConfig,
+) -> (ProcSummary, Option<IplFailure>) {
+    let scope = budget::enter(config);
+    let result = catch_unwind(AssertUnwindSafe(|| summarize_procedure(program, id)));
+    let exhausted = budget::exhaustion();
+    drop(scope);
+    match result {
+        Ok(summary) => {
+            let failure = exhausted.map(|label| IplFailure {
+                proc: id,
+                stage: "budget",
+                detail: format!("{label} budget exhausted; regions widened"),
+            });
+            (summary, failure)
+        }
+        Err(payload) => {
+            let detail = panic_message(payload.as_ref());
+            let failure = IplFailure { proc: id, stage: "ipl", detail };
+            (conservative_summary(program, id), Some(failure))
+        }
+    }
+}
+
+/// The fallback summary for a procedure whose analysis panicked: it may
+/// define and use *every element* of every array visible to it (globals and
+/// its own array formals). Grossly imprecise, but sound — and it keeps the
+/// procedure's rows in the `.rgn` output.
+fn conservative_summary(program: &Program, id: ProcId) -> ProcSummary {
+    let proc = program.procedure(id);
+    let mut accesses = Vec::new();
+    for (st, entry) in program.symbols.iter() {
+        if !matches!(program.types.get(entry.ty).kind, TyKind::Array { .. }) {
+            continue;
+        }
+        let is_formal = proc.formals.contains(&st);
+        if entry.class != StClass::Global && !is_formal {
+            continue;
+        }
+        if is_formal {
+            let mut f = whole_array_record(
+                program,
+                proc,
+                st,
+                entry.ty,
+                AccessMode::Formal,
+                proc.linenum,
+            );
+            f.approx = true;
+            accesses.push(f);
+        }
+        for mode in [AccessMode::Def, AccessMode::Use] {
+            let mut rec =
+                whole_array_record(program, proc, st, entry.ty, mode, proc.linenum);
+            rec.approx = true;
+            accesses.push(rec);
+        }
+    }
+    ProcSummary { accesses }
+}
+
+/// Serial isolated IPL over every procedure.
+pub fn summarize_all_isolated(program: &Program, config: BudgetConfig) -> IplOutcome {
+    let mut summaries = Vec::with_capacity(program.procedure_count());
+    let mut failures = Vec::new();
+    for id in program.procedures.indices() {
+        let (s, f) = summarize_proc_guarded(program, id, config);
+        summaries.push(s);
+        failures.extend(f);
+    }
+    IplOutcome { summaries, failures }
+}
+
+/// Parallel isolated IPL: the worker structure of
+/// [`crate::parallel::summarize_all_parallel`] with per-procedure budget
+/// scopes (budgets are thread-local, so each worker enters its own) and
+/// panic containment.
+pub fn summarize_all_parallel_isolated(
+    program: &Program,
+    threads: usize,
+    config: BudgetConfig,
+) -> IplOutcome {
+    let n = program.procedure_count();
+    if threads <= 1 || n <= 1 {
+        return summarize_all_isolated(program, config);
+    }
+    let threads = threads.min(n);
+    let next = AtomicUsize::new(0);
+    type Slot = (usize, ProcSummary, Option<IplFailure>);
+    let merged: Mutex<Vec<Slot>> = Mutex::new(Vec::with_capacity(n));
+
+    let joined = crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut local: Vec<Slot> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let id = ProcId::from_usize(i);
+                    let (s, f) = summarize_proc_guarded(program, id, config);
+                    local.push((i, s, f));
+                }
+                merged.lock().extend(local);
+            });
+        }
+    });
+    if let Err(payload) = joined {
+        // Only infrastructure panics (not analysis ones — those are caught
+        // per procedure) can reach here; surface them unchanged.
+        std::panic::resume_unwind(payload);
+    }
+
+    let mut indexed = merged.into_inner();
+    indexed.sort_by_key(|(i, _, _)| *i);
+    let mut summaries = Vec::with_capacity(n);
+    let mut failures = Vec::new();
+    for (_, s, f) in indexed {
+        summaries.push(s);
+        failures.extend(f);
+    }
+    IplOutcome { summaries, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frontend::{compile_to_h, SourceFile, DEFAULT_LAYOUT_BASE};
+    use whirl::Lang;
+
+    fn program() -> Program {
+        let src = "\
+program main
+  real a(8)
+  common /g/ a
+  integer i
+  do i = 1, 8
+    a(i) = 0.0
+  end do
+  call q
+end
+subroutine q
+  real a(8)
+  common /g/ a
+  a(1) = 1.0
+end
+";
+        compile_to_h(&[SourceFile::new("t.f", src, Lang::Fortran)], DEFAULT_LAYOUT_BASE)
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_program_has_no_failures() {
+        let p = program();
+        let out = summarize_all_isolated(&p, BudgetConfig::default());
+        assert_eq!(out.summaries.len(), p.procedure_count());
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.summaries.iter().all(|s| s.accesses.iter().all(|r| !r.approx)));
+    }
+
+    #[test]
+    fn tiny_budget_reports_budget_failures_not_errors() {
+        let p = program();
+        let out = summarize_all_isolated(
+            &p,
+            BudgetConfig { fm_steps: 0, ..BudgetConfig::default() },
+        );
+        assert_eq!(out.summaries.len(), p.procedure_count());
+        // Summaries still exist for every procedure; any failure is a
+        // budget report, not a loss of coverage.
+        assert!(out.failures.iter().all(|f| f.stage == "budget"));
+    }
+
+    #[test]
+    fn parallel_isolated_matches_serial() {
+        let p = program();
+        let serial = summarize_all_isolated(&p, BudgetConfig::default());
+        let par = summarize_all_parallel_isolated(&p, 4, BudgetConfig::default());
+        assert_eq!(serial.summaries.len(), par.summaries.len());
+        for (a, b) in serial.summaries.iter().zip(&par.summaries) {
+            assert_eq!(a.accesses.len(), b.accesses.len());
+        }
+        assert_eq!(serial.failures.len(), par.failures.len());
+    }
+
+    #[test]
+    fn conservative_summary_claims_visible_arrays() {
+        let p = program();
+        let q = p.find_procedure("q").unwrap();
+        let s = conservative_summary(&p, q);
+        assert!(!s.accesses.is_empty(), "global `a` must be claimed");
+        assert!(s.accesses.iter().all(|r| r.approx));
+        assert!(s.accesses.iter().any(|r| r.mode == AccessMode::Def));
+        assert!(s.accesses.iter().any(|r| r.mode == AccessMode::Use));
+    }
+
+    #[test]
+    fn panic_message_renders_both_payload_kinds() {
+        let e = std::panic::catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(panic_message(e.as_ref()), "boom 7");
+        let e = std::panic::catch_unwind(|| panic!("static")).unwrap_err();
+        assert_eq!(panic_message(e.as_ref()), "static");
+    }
+}

@@ -12,9 +12,12 @@
 //!   translation;
 //! - [`sideeffect`] — call-site effect sets and the Fig. 1 parallelization
 //!   independence test;
-//! - [`parallel`] — crossbeam-parallel IPL driver.
+//! - [`parallel`] — crossbeam-parallel IPL driver;
+//! - [`isolate`] — budget-bounded, panic-contained IPL used by robust
+//!   drivers (one failure degrades one procedure, not the run).
 
 pub mod callgraph;
+pub mod isolate;
 pub mod local;
 pub mod loop_parallel;
 pub mod parallel;
@@ -22,6 +25,7 @@ pub mod propagate;
 pub mod sideeffect;
 
 pub use callgraph::{CallGraph, CallSite};
+pub use isolate::{IplFailure, IplOutcome};
 pub use local::{AccessRecord, ProcSummary};
 pub use loop_parallel::{analyze_proc_loops, LoopVerdict, ScalarUse};
 pub use propagate::{analyze, IpaResult};

@@ -36,6 +36,10 @@ pub struct AccessRecord {
     pub from_call: Option<ProcId>,
     /// True for coindexed (remote, PGAS) accesses — `x(i)[p]`.
     pub remote: bool,
+    /// True when the region is a budget-exhaustion fallback (whole declared
+    /// array or all-messy) rather than a computed summary. Still sound —
+    /// approximate records only over-state what is accessed.
+    pub approx: bool,
 }
 
 /// The summary of one procedure.
@@ -192,6 +196,7 @@ struct Walker<'a> {
 
 /// Summarizes one procedure (must be at H level).
 pub fn summarize_procedure(program: &Program, proc_id: ProcId) -> ProcSummary {
+    support::faultpoint::hit("ipl::summarize");
     let proc = program.procedure(proc_id);
     debug_assert_eq!(proc.level, whirl::Level::High, "IPL runs on H WHIRL");
     let mut w = Walker { program, proc, proc_id, nest: Vec::new(), out: Vec::new() };
@@ -278,7 +283,13 @@ impl<'a> Walker<'a> {
                 }
             }
             Opr::DoLoop => {
-                let ivar = node.st_idx.expect("DoLoop has an induction variable");
+                let Some(ivar) = node.st_idx else {
+                    // Malformed loop (no induction variable): walk the body
+                    // without a loop frame — subscripts that mention the
+                    // missing variable degrade to symbolic/messy regions.
+                    self.walk_block(node.kids[3]);
+                    return;
+                };
                 let init = tree.node(node.kids[0]).kids[0];
                 let bound = tree.node(node.kids[1]).kids[1];
                 let step = node.const_val;
@@ -343,6 +354,18 @@ impl<'a> Walker<'a> {
         let Some(array_st) = base.st_idx else { return };
         let ndims = node.num_dim();
         let line = node.linenum;
+
+        // Once the analysis budget is dry, stop summarizing subscripts and
+        // record the whole declared array instead — conservative and cheap.
+        if support::budget::exhausted() {
+            let ty = self.program.symbols.get(array_st).ty;
+            let mut record =
+                whole_array_record(self.program, self.proc, array_st, ty, mode, line);
+            record.remote = remote;
+            record.approx = true;
+            self.out.push(record);
+            return;
+        }
 
         // Collect subscripts as AffExprs first.
         let subs_aff: Vec<AffExpr> = (0..ndims)
@@ -423,6 +446,7 @@ impl<'a> Walker<'a> {
             line,
             from_call: None,
             remote,
+            approx: false,
         });
         let _ = self.proc_id;
     }
@@ -472,6 +496,7 @@ pub fn whole_array_record(
         line,
         from_call: None,
         remote: false,
+        approx: false,
     }
 }
 

@@ -135,7 +135,20 @@ pub fn analyze_loop(program: &Program, proc_id: ProcId, loop_wn: WnId) -> LoopVe
     let tree = &proc.tree;
     let node = tree.node(loop_wn);
     debug_assert_eq!(node.operator, Opr::DoLoop);
-    let ivar = node.st_idx.expect("loop has induction variable");
+    let Some(ivar) = node.st_idx else {
+        // Malformed loop: no induction variable to reason about. Reject
+        // conservatively instead of panicking.
+        return LoopVerdict {
+            ivar: StIdx(0),
+            line: node.linenum,
+            parallelizable: false,
+            scalars: Vec::new(),
+            conflicts: vec![LoopConflict {
+                array: StIdx(0),
+                reason: "malformed loop: missing induction variable".to_string(),
+            }],
+        };
+    };
     let line = node.linenum;
     let lo = whirl_to_affine(tree, tree.node(node.kids[0]).kids[0]);
     let hi = whirl_to_affine(tree, tree.node(node.kids[1]).kids[1]);
@@ -205,7 +218,10 @@ fn walk_body(
         let node = tree.node(stmt);
         match node.operator {
             Opr::Stid => {
-                let st = node.st_idx.expect("stid target");
+                let Some(st) = node.st_idx else {
+                    collect_expr_refs(program, tree, node.kids[0], inner, refs);
+                    continue;
+                };
                 let rhs = node.kids[0];
                 collect_expr_refs(program, tree, rhs, inner, refs);
                 let self_ref = mentions_scalar(tree, rhs, st);
@@ -252,7 +268,12 @@ fn walk_body(
                 }
             }
             Opr::DoLoop => {
-                let iv = node.st_idx.expect("inner ivar");
+                let Some(iv) = node.st_idx else {
+                    // No induction variable: walk the body without an inner
+                    // frame; its subscripts degrade to shared symbols.
+                    walk_body(program, tree, node.kids[3], inner, refs, scalars);
+                    continue;
+                };
                 let lo = whirl_to_affine(tree, tree.node(node.kids[0]).kids[0]);
                 let hi = whirl_to_affine(tree, tree.node(node.kids[1]).kids[1]);
                 inner.push((iv, lo, hi));

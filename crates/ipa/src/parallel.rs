@@ -25,7 +25,7 @@ pub fn summarize_all_parallel(program: &Program, threads: usize) -> Vec<ProcSumm
     // one merge at the end (no shared lock on the hot path).
     let merged: Mutex<Vec<(usize, ProcSummary)>> = Mutex::new(Vec::with_capacity(n));
 
-    crossbeam::thread::scope(|scope| {
+    let joined = crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
                 let mut local: Vec<(usize, ProcSummary)> = Vec::new();
@@ -39,8 +39,10 @@ pub fn summarize_all_parallel(program: &Program, threads: usize) -> Vec<ProcSumm
                 merged.lock().extend(local);
             });
         }
-    })
-    .expect("summarization worker panicked");
+    });
+    if let Err(payload) = joined {
+        std::panic::resume_unwind(payload);
+    }
 
     let mut indexed = merged.into_inner();
     indexed.sort_by_key(|(i, _)| *i);

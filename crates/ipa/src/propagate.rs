@@ -84,6 +84,7 @@ fn translate_record(
     site: &CallSite,
     callee_formals: &[StIdx],
 ) -> Option<AccessRecord> {
+    support::faultpoint::hit("ipa::translate");
     let entry = program.symbols.get(rec.array);
     let (target_array, set_from_call) = match entry.class {
         StClass::Global => (rec.array, true),
@@ -95,6 +96,24 @@ fn translate_record(
         }
         _ => return None, // callee-local array: no caller-visible effect
     };
+
+    // Once the translation budget is dry, keep the record (soundness needs
+    // the callee's effect to stay visible) but degrade every bound to MESSY
+    // instead of doing substitution work.
+    if !support::budget::charge_translation() {
+        let dims = rec.region.dims.iter().map(|_| Triplet::messy()).collect();
+        return Some(AccessRecord {
+            array: target_array,
+            mode: rec.mode,
+            region: TripletRegion::new(dims),
+            convex: None,
+            space: rec.space.clone(),
+            line: site.line,
+            from_call: set_from_call.then_some(site.callee),
+            remote: rec.remote,
+            approx: true,
+        });
+    }
 
     // Substitute symbolic formal scalars with the caller's actual constants.
     let subst = build_scalar_substitution(program, site, callee_formals);
@@ -119,6 +138,7 @@ fn translate_record(
         line: site.line,
         from_call: set_from_call.then_some(site.callee),
         remote: rec.remote,
+        approx: rec.approx,
     })
 }
 

@@ -109,17 +109,15 @@ impl Cache {
             return true;
         }
         self.stats.misses += 1;
-        // Fill: invalid way first, else evict the LRU way.
+        // Fill: invalid way first, else evict the LRU way (way 0 for the
+        // degenerate zero-way configuration).
         let victim = match set.iter().position(Option::is_none) {
             Some(i) => i,
-            None => {
-                let (i, _) = set
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, slot)| slot.map(|(_, stamp)| stamp).unwrap_or(0))
-                    .unwrap();
-                i
-            }
+            None => set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, slot)| slot.map(|(_, stamp)| stamp).unwrap_or(0))
+                .map_or(0, |(i, _)| i),
         };
         set[victim] = Some((tag, self.clock));
         false

@@ -224,7 +224,9 @@ pub fn box_region(bounds: &[(i64, i64)]) -> ConvexRegion {
     let space = Space::with_dims(bounds.len() as u8);
     let mut system = ConstraintSystem::new();
     for (d, &(lo, hi)) in bounds.iter().enumerate() {
-        let v = space.dim_var(d as u8).unwrap();
+        let Some(v) = space.dim_var(d as u8) else {
+            continue; // space was built from bounds.len(), so always present
+        };
         system.push(Constraint::ge(LinExpr::var(v), LinExpr::constant(lo)));
         system.push(Constraint::le(LinExpr::var(v), LinExpr::constant(hi)));
     }

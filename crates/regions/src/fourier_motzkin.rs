@@ -14,15 +14,19 @@
 
 use crate::constraint::{lcm, Constraint, ConstraintSystem, Rel};
 use crate::space::VarId;
+use support::{budget, faultpoint};
 
-/// Constraint budget per elimination step. Classic FM is doubly exponential
-/// on dense systems; beyond this many inequalities the *simplest* ones
-/// (fewest terms, smallest coefficients) are kept and the rest dropped.
-/// Dropping an inequality only enlarges the solution set, so every consumer
-/// stays sound: projections over-approximate the shadow, emptiness/
-/// disjointness are claimed less often (conservative for the paper's
-/// parallelization test), and `bounds_of` can only widen.
-pub const STEP_BUDGET: usize = 96;
+/// Default constraint budget per elimination step. Classic FM is doubly
+/// exponential on dense systems; beyond this many inequalities the
+/// *simplest* ones (fewest terms, smallest coefficients) are kept and the
+/// rest dropped. Dropping an inequality only enlarges the solution set, so
+/// every consumer stays sound: projections over-approximate the shadow,
+/// emptiness/disjointness are claimed less often (conservative for the
+/// paper's parallelization test), and `bounds_of` can only widen.
+///
+/// An active [`budget`] scope overrides this cap (and additionally bounds
+/// the total elimination work via its step budget).
+pub const STEP_BUDGET: usize = budget::DEFAULT_MAX_CONSTRAINTS;
 
 /// Statistics from one elimination run, used by the ablation bench.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,6 +75,7 @@ impl Projection {
 /// coefficient, scale-and-substitute (still exact for the rational shadow,
 /// conservative over ℤ); (3) otherwise pair lower × upper bounds.
 pub fn eliminate(system: &ConstraintSystem, v: VarId, stats: &mut FmStats) -> Projection {
+    faultpoint::hit("fm::eliminate");
     if system.has_contradiction() {
         return Projection::Empty;
     }
@@ -79,6 +84,19 @@ pub fn eliminate(system: &ConstraintSystem, v: VarId, stats: &mut FmStats) -> Pr
     }
 
     let (lower, upper, eqs, rest) = system.partition_on(v);
+
+    // Charge the work this elimination is about to do against the active
+    // budget scope. Once the budget is dry, fall back to the coarsest sound
+    // projection: drop every constraint mentioning `v` (the solution set
+    // only grows, so consumers stay conservative).
+    let cost = if eqs.is_empty() {
+        1 + (lower.len() * upper.len()) as u64
+    } else {
+        system.len() as u64
+    };
+    if !budget::charge_steps(cost) {
+        return Projection::Feasible(drop_mentions(system, v, stats));
+    }
 
     // Case 1 & 2: substitution through an equality.
     if let Some(eq) = eqs.iter().min_by_key(|c| c.expr.coeff(v).abs()) {
@@ -166,11 +184,28 @@ pub fn eliminate(system: &ConstraintSystem, v: VarId, stats: &mut FmStats) -> Pr
     Projection::Feasible(out)
 }
 
-/// Enforces [`STEP_BUDGET`] by dropping the most complex inequalities
-/// (a sound widening — see the constant's documentation). Equalities are
-/// always kept: they never multiply and carry exact information.
+/// Widening used once the step budget is exhausted: drops every constraint
+/// mentioning `v`, the coarsest sound projection (`v` becomes unbounded).
+fn drop_mentions(system: &ConstraintSystem, v: VarId, stats: &mut FmStats) -> ConstraintSystem {
+    let mut out = ConstraintSystem::new();
+    for c in system.constraints() {
+        if c.expr.coeff(v) == 0 {
+            out.push(c.clone());
+        }
+    }
+    stats.widened += system.len() - out.len();
+    stats.eliminated += 1;
+    out
+}
+
+/// Enforces the constraint cap ([`STEP_BUDGET`] by default, the active
+/// budget scope's `max_constraints` otherwise) by dropping the most complex
+/// inequalities (a sound widening — see the constant's documentation).
+/// Equalities are always kept: they never multiply and carry exact
+/// information.
 fn widen_to_budget(cs: &mut ConstraintSystem, stats: &mut FmStats) {
-    if cs.len() <= STEP_BUDGET {
+    let cap = budget::constraint_cap();
+    if cs.len() <= cap {
         return;
     }
     let mut constraints: Vec<Constraint> = cs.constraints().to_vec();
@@ -183,8 +218,8 @@ fn widen_to_budget(cs: &mut ConstraintSystem, stats: &mut FmStats) {
         let max_coeff = c.expr.terms().map(|(_, k)| k.abs()).max().unwrap_or(0);
         (!is_eq, terms, max_coeff)
     });
-    stats.widened += constraints.len() - STEP_BUDGET;
-    constraints.truncate(STEP_BUDGET);
+    stats.widened += constraints.len() - cap;
+    constraints.truncate(cap);
     *cs = constraints.into_iter().collect();
 }
 
@@ -198,13 +233,12 @@ pub fn eliminate_all(
 ) -> Projection {
     let mut current = system.clone();
     let mut remaining: Vec<VarId> = vars.to_vec();
-    while !remaining.is_empty() {
-        let (pos, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (i, elimination_cost(&current, v)))
-            .min_by_key(|&(_, cost)| cost)
-            .expect("non-empty");
+    while let Some((pos, _)) = remaining
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i, elimination_cost(&current, v)))
+        .min_by_key(|&(_, cost)| cost)
+    {
         let v = remaining.swap_remove(pos);
         match eliminate(&current, v, stats) {
             Projection::Feasible(next) => current = next,
@@ -455,6 +489,29 @@ mod tests {
         cs.push(Constraint::ge(LinExpr::var(v(0)), LinExpr::constant(5)));
         cs.push(Constraint::le(LinExpr::var(v(0)), LinExpr::constant(2)));
         assert!(bounds_of(&cs, v(0)).is_none());
+    }
+
+    #[test]
+    fn exhausted_budget_widens_to_unbounded() {
+        use support::budget::{self, BudgetConfig};
+        // Same system as `eliminate_via_pairing`, but with a dead budget:
+        // instead of pairing, every constraint on t is dropped, leaving x
+        // unbounded — a sound over-approximation, not an error.
+        let mut cs = ConstraintSystem::new();
+        for c in between(v(1), 1, 10) {
+            cs.push(c);
+        }
+        cs.push(Constraint::ge(LinExpr::var(v(0)), LinExpr::var(v(1))));
+        cs.push(Constraint::le(
+            LinExpr::var(v(0)),
+            LinExpr::var(v(1)).add(&LinExpr::constant(2)),
+        ));
+        let _scope = budget::enter(BudgetConfig { fm_steps: 0, ..Default::default() });
+        let mut stats = FmStats::default();
+        let out = eliminate(&cs, v(1), &mut stats).expect_feasible();
+        assert!(stats.widened > 0);
+        assert!(budget::exhausted());
+        assert_eq!(bounds_of(&out, v(0)).unwrap(), (None, None));
     }
 
     #[test]

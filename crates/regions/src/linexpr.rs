@@ -65,21 +65,20 @@ impl LinExpr {
 
     /// True when the expression is exactly `1·v + 0`.
     pub fn as_single_var(&self) -> Option<VarId> {
-        if self.constant == 0 && self.coeffs.len() == 1 {
-            let (&v, &c) = self.coeffs.iter().next().unwrap();
-            (c == 1).then_some(v)
-        } else {
-            None
+        if self.constant != 0 {
+            return None;
+        }
+        match self.coeffs.iter().next() {
+            Some((&v, &c)) if self.coeffs.len() == 1 && c == 1 => Some(v),
+            _ => None,
         }
     }
 
     /// `Some((v, a, b))` when the expression is `a·v + b` with `a ≠ 0`.
     pub fn as_affine_in_one_var(&self) -> Option<(VarId, i64, i64)> {
-        if self.coeffs.len() == 1 {
-            let (&v, &a) = self.coeffs.iter().next().unwrap();
-            Some((v, a, self.constant))
-        } else {
-            None
+        match self.coeffs.iter().next() {
+            Some((&v, &a)) if self.coeffs.len() == 1 => Some((v, a, self.constant)),
+            _ => None,
         }
     }
 

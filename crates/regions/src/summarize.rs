@@ -200,6 +200,12 @@ pub fn convex_for_reference(
     nest: &LoopNest,
     subs: &[Subscript],
 ) -> Option<ConvexRegion> {
+    // With the analysis budget already dry there is no point building a
+    // system whose projection would only drop constraints again; skip the
+    // convex companion entirely (triplets still summarize the reference).
+    if support::budget::exhausted() {
+        return None;
+    }
     let mut system = ConstraintSystem::new();
     let mut any_messy = false;
     for (d, sub) in subs.iter().enumerate() {

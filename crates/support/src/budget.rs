@@ -1,0 +1,296 @@
+//! Analysis budgets: hard ceilings that turn runaway computations into
+//! graceful precision loss.
+//!
+//! Fourier–Motzkin elimination is worst-case exponential and the parsers are
+//! recursive, so an adversarial (or merely broken) input could otherwise pin
+//! a core or blow the stack. Instead of failing, every expensive phase
+//! charges work against a thread-local [`BudgetScope`]; when a budget runs
+//! dry the phase *widens* — it returns a conservative over-approximation
+//! (ultimately the whole declared array, `[0:N-1:1]`) and records why. The
+//! result is still sound for every consumer: regions only grow.
+//!
+//! Usage:
+//!
+//! ```
+//! use support::budget::{self, BudgetConfig};
+//!
+//! let _scope = budget::enter(BudgetConfig { fm_steps: 10, ..Default::default() });
+//! assert!(budget::charge_steps(4));
+//! assert!(!budget::charge_steps(100), "budget exhausted");
+//! assert!(budget::exhausted());
+//! ```
+//!
+//! With no scope active every charge succeeds (unlimited), so library code
+//! can charge unconditionally.
+
+use std::cell::RefCell;
+
+/// Budget knobs. All limits are per [`enter`] scope (the driver opens one
+/// scope per analyzed procedure, so these are per-procedure ceilings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetConfig {
+    /// Fourier–Motzkin work steps (variable eliminations + constraint
+    /// pairings) before projections start dropping constraints.
+    pub fm_steps: u64,
+    /// Constraint-count cap per system during elimination; beyond it the
+    /// most complex inequalities are dropped (a sound widening).
+    pub max_constraints: usize,
+    /// Interprocedural record translations before propagation degrades the
+    /// remaining regions to `MESSY`.
+    pub translations: u64,
+    /// Recursion-depth ceiling for [`recursion_guard`] (parsers, tree
+    /// walks). Exceeding it is reported as an error, not a stack overflow.
+    pub recursion_limit: u32,
+}
+
+impl Default for BudgetConfig {
+    fn default() -> Self {
+        BudgetConfig {
+            fm_steps: 2_000_000,
+            max_constraints: DEFAULT_MAX_CONSTRAINTS,
+            translations: 5_000_000,
+            recursion_limit: DEFAULT_RECURSION_LIMIT,
+        }
+    }
+}
+
+impl BudgetConfig {
+    /// A deliberately tiny budget, useful for exercising degradation paths.
+    pub fn tiny() -> Self {
+        BudgetConfig {
+            fm_steps: 8,
+            max_constraints: 4,
+            translations: 4,
+            recursion_limit: 16,
+        }
+    }
+}
+
+/// Constraint cap used when no scope is active (the historical
+/// `STEP_BUDGET` of the Fourier–Motzkin module).
+pub const DEFAULT_MAX_CONSTRAINTS: usize = 96;
+
+/// Recursion ceiling used when no scope is active. Deep enough for any real
+/// source, shallow enough that a pathological input errors out long before
+/// the thread stack is at risk.
+pub const DEFAULT_RECURSION_LIMIT: u32 = 200;
+
+#[derive(Debug)]
+struct State {
+    config: BudgetConfig,
+    fm_steps_left: u64,
+    translations_left: u64,
+    /// Sticky description of the first budget that ran dry.
+    exhausted: Option<&'static str>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<State>> = const { RefCell::new(None) };
+    static DEPTH: RefCell<u32> = const { RefCell::new(0) };
+}
+
+/// An active budget scope; dropping it restores the previous scope (scopes
+/// nest, innermost wins).
+#[derive(Debug)]
+pub struct BudgetScope {
+    prev: Option<State>,
+}
+
+impl Drop for BudgetScope {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| *a.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Opens a budget scope on this thread.
+pub fn enter(config: BudgetConfig) -> BudgetScope {
+    let state = State {
+        config,
+        fm_steps_left: config.fm_steps,
+        translations_left: config.translations,
+        exhausted: None,
+    };
+    let prev = ACTIVE.with(|a| a.borrow_mut().replace(state));
+    BudgetScope { prev }
+}
+
+fn charge(n: u64, pick: impl Fn(&mut State) -> &mut u64, label: &'static str) -> bool {
+    ACTIVE.with(|a| {
+        let mut b = a.borrow_mut();
+        let Some(state) = b.as_mut() else { return true };
+        let left = pick(state);
+        if *left >= n {
+            *left -= n;
+            true
+        } else {
+            *left = 0;
+            if state.exhausted.is_none() {
+                state.exhausted = Some(label);
+            }
+            false
+        }
+    })
+}
+
+/// Charges `n` Fourier–Motzkin work steps; `false` once the budget is dry
+/// (callers must widen instead of continuing).
+pub fn charge_steps(n: u64) -> bool {
+    charge(n, |s| &mut s.fm_steps_left, "fm-steps")
+}
+
+/// Charges one interprocedural record translation.
+pub fn charge_translation() -> bool {
+    charge(1, |s| &mut s.translations_left, "translations")
+}
+
+/// The constraint-count cap of the active scope (or the default).
+pub fn constraint_cap() -> usize {
+    ACTIVE.with(|a| {
+        a.borrow()
+            .as_ref()
+            .map(|s| s.config.max_constraints)
+            .unwrap_or(DEFAULT_MAX_CONSTRAINTS)
+    })
+}
+
+/// True once any budget of the active scope has run dry (sticky).
+pub fn exhausted() -> bool {
+    ACTIVE.with(|a| a.borrow().as_ref().is_some_and(|s| s.exhausted.is_some()))
+}
+
+/// Which budget ran dry first, if any.
+pub fn exhaustion() -> Option<&'static str> {
+    ACTIVE.with(|a| a.borrow().as_ref().and_then(|s| s.exhausted))
+}
+
+/// Marks the active scope exhausted with an explicit label (used by phases
+/// that detect their own overrun conditions).
+pub fn note_exhausted(label: &'static str) {
+    ACTIVE.with(|a| {
+        if let Some(state) = a.borrow_mut().as_mut() {
+            if state.exhausted.is_none() {
+                state.exhausted = Some(label);
+            }
+        }
+    });
+}
+
+/// RAII token for one recursion level; see [`recursion_guard`].
+#[derive(Debug)]
+pub struct RecursionGuard {
+    _private: (),
+}
+
+impl Drop for RecursionGuard {
+    fn drop(&mut self) {
+        DEPTH.with(|d| {
+            let mut d = d.borrow_mut();
+            *d = d.saturating_sub(1);
+        });
+    }
+}
+
+/// Enters one recursion level. Returns `None` when the ceiling is reached —
+/// the caller should surface a "nesting too deep" error instead of
+/// recursing further (and risking an uncatchable stack overflow).
+pub fn recursion_guard() -> Option<RecursionGuard> {
+    let limit = ACTIVE.with(|a| {
+        a.borrow()
+            .as_ref()
+            .map(|s| s.config.recursion_limit)
+            .unwrap_or(DEFAULT_RECURSION_LIMIT)
+    });
+    DEPTH.with(|d| {
+        let mut d = d.borrow_mut();
+        if *d >= limit {
+            note_exhausted("recursion");
+            None
+        } else {
+            *d += 1;
+            Some(RecursionGuard { _private: () })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_without_scope() {
+        assert!(charge_steps(u64::MAX));
+        assert!(charge_translation());
+        assert!(!exhausted());
+        assert_eq!(constraint_cap(), DEFAULT_MAX_CONSTRAINTS);
+    }
+
+    #[test]
+    fn steps_run_dry_and_stick() {
+        let _s = enter(BudgetConfig { fm_steps: 5, ..Default::default() });
+        assert!(charge_steps(5));
+        assert!(!charge_steps(1));
+        assert!(exhausted());
+        assert_eq!(exhaustion(), Some("fm-steps"));
+        // Sticky: later small charges still fail.
+        assert!(!charge_steps(1));
+    }
+
+    #[test]
+    fn scope_restores_on_drop() {
+        {
+            let _s = enter(BudgetConfig { fm_steps: 0, ..Default::default() });
+            assert!(!charge_steps(1));
+        }
+        assert!(charge_steps(1), "no scope → unlimited again");
+        assert!(!exhausted());
+    }
+
+    #[test]
+    fn scopes_nest() {
+        let _outer = enter(BudgetConfig { fm_steps: 100, ..Default::default() });
+        {
+            let _inner = enter(BudgetConfig { fm_steps: 0, ..Default::default() });
+            assert!(!charge_steps(1));
+            assert!(exhausted());
+        }
+        assert!(!exhausted(), "outer scope untouched by inner exhaustion");
+        assert!(charge_steps(1));
+    }
+
+    #[test]
+    fn translation_budget_separate_from_steps() {
+        let _s = enter(BudgetConfig { translations: 1, ..Default::default() });
+        assert!(charge_translation());
+        assert!(!charge_translation());
+        assert_eq!(exhaustion(), Some("translations"));
+        assert!(charge_steps(1), "fm budget unaffected");
+    }
+
+    #[test]
+    fn recursion_guard_enforces_ceiling() {
+        let _s = enter(BudgetConfig { recursion_limit: 3, ..Default::default() });
+        let g1 = recursion_guard();
+        let g2 = recursion_guard();
+        let g3 = recursion_guard();
+        assert!(g1.is_some() && g2.is_some() && g3.is_some());
+        assert!(recursion_guard().is_none());
+        drop(g3);
+        assert!(recursion_guard().is_some(), "depth released on drop");
+        drop((g1, g2));
+    }
+
+    #[test]
+    fn note_exhausted_is_first_wins() {
+        let _s = enter(BudgetConfig::default());
+        note_exhausted("first");
+        note_exhausted("second");
+        assert_eq!(exhaustion(), Some("first"));
+    }
+
+    #[test]
+    fn tiny_config_is_tiny() {
+        let t = BudgetConfig::tiny();
+        assert!(t.fm_steps < BudgetConfig::default().fm_steps);
+        assert!(t.recursion_limit < BudgetConfig::default().recursion_limit);
+    }
+}

@@ -8,7 +8,7 @@
 use std::fmt;
 
 /// A source position carried by diagnostics: 1-based line and column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pos {
     /// 1-based line number.
     pub line: u32,
@@ -49,6 +49,11 @@ pub enum Error {
     Format(String),
     /// Underlying I/O error with context.
     Io { context: String, source: std::io::Error },
+    /// A pipeline stage failed for one procedure and its results were
+    /// replaced by a conservative approximation. Carries the procedure
+    /// name, the stage that degraded (`ipl`, `ipa`, `extract`, ...), and a
+    /// human-readable reason.
+    Degraded { proc: String, stage: String, detail: String },
 }
 
 impl Error {
@@ -76,6 +81,27 @@ impl Error {
     pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
         Error::Io { context: context.into(), source }
     }
+
+    /// The source position the diagnostic points at, when it has one.
+    /// Recovery passes use this to attribute a failure to the enclosing
+    /// procedure.
+    pub fn pos(&self) -> Option<Pos> {
+        match self {
+            Error::Lex { pos, .. } | Error::Parse { pos, .. } => Some(*pos),
+            Error::Semantic { pos, .. } => *pos,
+            _ => None,
+        }
+    }
+
+    /// Records a degraded procedure: `stage` failed for `proc` and a
+    /// conservative approximation was substituted.
+    pub fn degraded(
+        proc: impl Into<String>,
+        stage: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        Error::Degraded { proc: proc.into(), stage: stage.into(), detail: detail.into() }
+    }
 }
 
 impl fmt::Display for Error {
@@ -91,6 +117,9 @@ impl fmt::Display for Error {
             Error::Analysis(msg) => write!(f, "analysis error: {msg}"),
             Error::Format(msg) => write!(f, "format error: {msg}"),
             Error::Io { context, source } => write!(f, "io error ({context}): {source}"),
+            Error::Degraded { proc, stage, detail } => {
+                write!(f, "degraded [{stage}] {proc}: {detail}")
+            }
         }
     }
 }
@@ -137,5 +166,13 @@ mod tests {
         let e = Error::io("reading project", inner);
         assert!(e.to_string().contains("reading project"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn degraded_names_proc_and_stage() {
+        let e = Error::degraded("lu_factor", "ipl", "worker panicked");
+        assert_eq!(e.to_string(), "degraded [ipl] lu_factor: worker panicked");
+        use std::error::Error as _;
+        assert!(e.source().is_none());
     }
 }

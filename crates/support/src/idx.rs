@@ -27,7 +27,10 @@ macro_rules! define_idx {
 
         impl $crate::idx::Idx for $name {
             fn from_usize(i: usize) -> Self {
-                $name(u32::try_from(i).expect(concat!(stringify!($name), " overflow")))
+                let Ok(raw) = u32::try_from(i) else {
+                    panic!(concat!(stringify!($name), " overflow"));
+                };
+                $name(raw)
             }
             fn as_usize(self) -> usize {
                 self.0 as usize

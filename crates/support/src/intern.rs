@@ -45,7 +45,10 @@ impl Interner {
         if let Some(&sym) = self.map.get(s) {
             return sym;
         }
-        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        let Ok(raw) = u32::try_from(self.strings.len()) else {
+            panic!("interner overflow");
+        };
+        let sym = Symbol(raw);
         let boxed: Box<str> = s.into();
         self.strings.push(boxed.clone());
         self.map.insert(boxed, sym);

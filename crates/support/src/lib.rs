@@ -6,8 +6,10 @@
 //! exchange format ([`csv`]), an ASCII table renderer used by the Dragon
 //! text UI ([`table`]), and the workspace-wide error type ([`error`]).
 
+pub mod budget;
 pub mod csv;
 pub mod error;
+pub mod faultpoint;
 pub mod idx;
 pub mod intern;
 pub mod table;

@@ -39,8 +39,9 @@ pub fn emit_procedure(program: &Program, proc: &Procedure, dialect: Dialect) -> 
         }
     }
     e.indent += 1;
-    let body = *proc.tree.node(root).kids.last().expect("FuncEntry has a body");
-    e.stmt_block(body);
+    if let Some(&body) = proc.tree.node(root).kids.last() {
+        e.stmt_block(body);
+    }
     e.indent -= 1;
     match dialect {
         Dialect::C => e.line("}"),

@@ -215,8 +215,9 @@ impl<'p, S: AccessSink> Interp<'p, S> {
             }
         }
         let Some(root) = proc.tree.root() else { return Ok(()) };
-        let body = *proc.tree.node(root).kids.last().expect("body block");
-        self.exec_block(&mut frame, body, depth)?;
+        if let Some(&body) = proc.tree.node(root).kids.last() {
+            self.exec_block(&mut frame, body, depth)?;
+        }
         // Out-parameters: scalar formals are pass-by-reference in Fortran;
         // we approximate by copying back at return. The caller handles it.
         self.writeback(proc_id, &frame, &args)?;
@@ -256,7 +257,7 @@ impl<'p, S: AccessSink> Interp<'p, S> {
         let op = node.operator;
         match op {
             Opr::Stid => {
-                let st = node.st_idx.expect("stid target");
+                let st = require_st(node.st_idx, "STID")?;
                 let kid = node.kids[0];
                 let v = self.eval(frame, kid)?;
                 frame.scalars.insert(st, v);
@@ -269,7 +270,7 @@ impl<'p, S: AccessSink> Interp<'p, S> {
                 Ok(Flow::Normal)
             }
             Opr::Call => {
-                let callee_st = node.st_idx.expect("callee");
+                let callee_st = require_st(node.st_idx, "CALL")?;
                 let parms = node.kids.clone();
                 let callee_name = self.program.symbols.get(callee_st).name;
                 let Some(callee) = self.program.proc_by_symbol(callee_name) else {
@@ -284,7 +285,7 @@ impl<'p, S: AccessSink> Interp<'p, S> {
                     let v = tree.node(parm).kids[0];
                     let vn = tree.node(v);
                     if vn.operator == Opr::Lda {
-                        let st = vn.st_idx.expect("lda symbol");
+                        let st = require_st(vn.st_idx, "LDA")?;
                         let entry = self.program.symbols.get(st);
                         if matches!(self.program.types.get(entry.ty).kind, TyKind::Array { .. })
                         {
@@ -295,7 +296,7 @@ impl<'p, S: AccessSink> Interp<'p, S> {
                         }
                     }
                     if vn.operator == Opr::Ldid {
-                        let st = vn.st_idx.expect("ldid symbol");
+                        let st = require_st(vn.st_idx, "LDID")?;
                         let cell = ScalarCell::new(
                             frame.scalars.get(&st).copied().unwrap_or(Value::Int(0)),
                         );
@@ -316,7 +317,7 @@ impl<'p, S: AccessSink> Interp<'p, S> {
                 Ok(Flow::Normal)
             }
             Opr::DoLoop => {
-                let ivar = node.st_idx.expect("induction var");
+                let ivar = require_st(node.st_idx, "DO_LOOP")?;
                 let init = node.kids[0];
                 let test = node.kids[1];
                 let incr = node.kids[2];
@@ -360,7 +361,7 @@ impl<'p, S: AccessSink> Interp<'p, S> {
             Opr::Intconst => Ok(Value::Int(const_val)),
             Opr::Fconst => Ok(Value::Float(f64::from_bits(const_val as u64))),
             Opr::Ldid => {
-                let st = st_idx.expect("ldid symbol");
+                let st = require_st(st_idx, "LDID")?;
                 Ok(frame.scalars.get(&st).copied().unwrap_or(Value::Int(0)))
             }
             Opr::Iload => self.load_element(frame, kids[0], line),
@@ -479,7 +480,10 @@ impl<'p, S: AccessSink> Interp<'p, S> {
             ))
         })?;
         self.sink.access(frame.proc, local, DynMode::Read, &idx, line);
-        let store = self.arrays.get(&root).expect("ensured");
+        let store = self
+            .arrays
+            .get(&root)
+            .ok_or_else(|| Error::Analysis("array store missing after ensure".into()))?;
         let v = store.data.get(flat).copied().unwrap_or(0.0);
         Ok(Value::Float(v))
     }
@@ -501,7 +505,10 @@ impl<'p, S: AccessSink> Interp<'p, S> {
             ))
         })?;
         self.sink.access(frame.proc, local, DynMode::Write, &idx, line);
-        let store = self.arrays.get_mut(&root).expect("ensured");
+        let store = self
+            .arrays
+            .get_mut(&root)
+            .ok_or_else(|| Error::Analysis("array store missing after ensure".into()))?;
         if flat < store.data.len() {
             store.data[flat] = value.as_float();
         }
@@ -550,6 +557,13 @@ pub enum CallArg {
     Scalar(Value),
     /// Scalar by reference (Fortran semantics).
     ScalarRef(ScalarCell),
+}
+
+/// A node that should carry a symbol but does not (e.g. front-end output
+/// degraded by error recovery) must fail the run with a typed error, not
+/// panic it.
+fn require_st(st: Option<StIdx>, what: &str) -> Result<StIdx> {
+    st.ok_or_else(|| Error::Analysis(format!("malformed tree: {what} without a symbol")))
 }
 
 fn args_clone_for_call(args: &[CallArg]) -> Vec<CallArg> {

@@ -44,15 +44,16 @@ pub fn verify_procedure(program: &Program, proc: &Procedure) -> Vec<VerifyError>
         v.err(root, "root is not FUNC_ENTRY");
     }
     let kids = &proc.tree.node(root).kids;
-    if kids.is_empty() {
-        v.err(root, "FUNC_ENTRY has no body");
-    } else {
-        for &formal in &kids[..kids.len() - 1] {
-            if proc.tree.node(formal).operator != Opr::Idname {
-                v.err(formal, "FUNC_ENTRY leading kids must be IDNAMEs");
+    match kids.split_last() {
+        None => v.err(root, "FUNC_ENTRY has no body"),
+        Some((&body, formals)) => {
+            for &formal in formals {
+                if proc.tree.node(formal).operator != Opr::Idname {
+                    v.err(formal, "FUNC_ENTRY leading kids must be IDNAMEs");
+                }
             }
+            v.check_block(body);
         }
-        v.check_block(*kids.last().unwrap());
     }
     v.errors
 }

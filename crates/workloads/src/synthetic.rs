@@ -73,7 +73,7 @@ pub fn generate(cfg: &SynthConfig) -> GenSource {
         for (d, iv) in ivars.iter().enumerate().take(depth) {
             let lo = 1 + rng.gen_range(0..5) as i64;
             let hi = EXTENT - rng.gen_range(0..5) as i64;
-            let step = [1, 1, 1, 2, 3][rng.gen_range(0..5)];
+            let step = [1, 1, 1, 2, 3][rng.gen_range(0..5usize)];
             let indent = "  ".repeat(d + 1);
             if step == 1 {
                 s.push_str(&format!("{indent}do {iv} = {lo}, {hi}\n"));

@@ -1,0 +1,297 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the exact builder/macro surface the bench suite uses —
+//! `Criterion`, `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`, `criterion_main!` — with a minimal
+//! wall-clock harness behind it: each benchmark is warmed up briefly, then
+//! timed for `sample_size` batches inside the measurement window, and the
+//! per-iteration median is printed. No statistics, no plots; enough to run
+//! `cargo bench` offline and compare medians across commits.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value alone.
+    pub fn from_parameter<P: fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(name: S, p: P) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Throughput annotation (recorded, displayed alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, collecting one duration per sample batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up window elapses at least once.
+        let warm_start = Instant::now();
+        let mut iters_per_sample = 1u64;
+        loop {
+            std_black_box(f());
+            iters_per_sample += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = self.warm_up_time.as_nanos() as u64 / iters_per_sample.max(1);
+        // Pick a batch size that fits sample_size batches in the window.
+        let budget_ns =
+            (self.measurement_time.as_nanos() as u64 / self.sample_size.max(1) as u64).max(1);
+        let batch = (budget_ns / per_iter.max(1)).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The top-level harness object.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let config = self.config;
+        run_one(&id.into().to_string(), config, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.config, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &T),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.config, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    label: &str,
+    config: Config,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut samples = Vec::with_capacity(config.sample_size);
+    let mut b = Bencher {
+        samples: &mut samples,
+        sample_size: config.sample_size,
+        measurement_time: config.measurement_time,
+        warm_up_time: config.warm_up_time,
+    };
+    f(&mut b);
+    samples.sort_unstable();
+    let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+    match throughput {
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            let rate = n as f64 / median.as_secs_f64();
+            println!("{label:<50} median {median:?}  ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+            let rate = n as f64 / median.as_secs_f64() / 1e6;
+            println!("{label:<50} median {median:?}  ({rate:.1} MB/s)");
+        }
+        _ => println!("{label:<50} median {median:?}"),
+    }
+}
+
+/// Declares a benchmark group; both criterion forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_closure() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,66 @@
+//! Offline stand-in for the `crossbeam` scoped-thread API, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Only `crossbeam::thread::scope` + `Scope::spawn` are provided — the one
+//! shape the IPL parallel driver uses. Semantics match crossbeam: `scope`
+//! joins every spawned thread before returning and yields `Err` with the
+//! panic payload if any worker panicked.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle passed to the scope closure; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope again
+        /// (crossbeam's signature) so workers can spawn sub-workers.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; every spawned thread is joined before this
+    /// returns. A panicking worker surfaces as `Err(payload)`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        });
+        assert!(out.is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn worker_panic_is_err() {
+        let out = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(out.is_err());
+    }
+}

@@ -1,0 +1,376 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! miniature property-testing harness with the same *surface* as the subset
+//! of proptest the test suite uses:
+//!
+//! - the [`proptest!`] macro (with an optional `#![proptest_config(...)]`),
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! - integer/float range strategies, tuple strategies, `prop_map`,
+//! - `proptest::collection::vec`,
+//! - string strategies for the simple character-class regexes the suite
+//!   uses (`"[ -~\n\"]*"` and `"\PC*"`).
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed (per test name), and there is no shrinking — a failing
+//! case prints its inputs and panics. That trades minimal counterexamples
+//! for zero dependencies, which is the right trade inside this repo.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; honor PROPTEST_CASES like upstream.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for test `name`, case number `case`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        TestRng { state: h | 1 }
+    }
+
+    /// Next 64 random bits (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// A value generator, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// String strategies from simple character-class regexes.
+///
+/// Supported patterns: `<class>*` where `<class>` is either `[...]` (with
+/// `a-b` ranges and `\n`, `\t`, `\\`, `\"`, `\]` escapes) or `\PC`
+/// (any non-control character). Anything else panics loudly so a new test
+/// either extends this parser or picks a supported pattern.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let palette = parse_char_class(self);
+        let len = rng.below(9) as usize; // `*`: short strings, like proptest
+        (0..len)
+            .map(|_| palette[rng.below(palette.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_char_class(pattern: &str) -> Vec<char> {
+    if pattern == "\\PC*" {
+        // Any non-control character: ASCII printable plus a spread of
+        // multi-byte code points (the CSV tests want UTF-8 coverage).
+        let mut v: Vec<char> = (' '..='~').collect();
+        v.extend("éßπ中あ—→…𝄞🚀".chars());
+        return v;
+    }
+    let inner = pattern
+        .strip_prefix('[')
+        .and_then(|p| p.strip_suffix("]*"))
+        .unwrap_or_else(|| panic!("unsupported regex strategy `{pattern}`"));
+    let mut out = Vec::new();
+    let mut chars = inner.chars().peekable();
+    while let Some(c) = chars.next() {
+        let lo = match c {
+            '\\' => match chars.next() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some(e) => e,
+                None => panic!("dangling escape in `{pattern}`"),
+            },
+            other => other,
+        };
+        if chars.peek() == Some(&'-') {
+            chars.next();
+            let hi = chars.next().unwrap_or_else(|| {
+                panic!("dangling range in `{pattern}`")
+            });
+            out.extend(lo..=hi);
+        } else {
+            out.push(lo);
+        }
+    }
+    assert!(!out.is_empty(), "empty character class `{pattern}`");
+    out
+}
+
+pub mod collection {
+    //! `proptest::collection` — vector strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy generating `Vec`s with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range for collection::vec");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The test-declaration macro, mirroring `proptest::proptest!`.
+///
+/// Each declared function runs `config.cases` times with freshly generated
+/// inputs; a panicking case reports the generated inputs before unwinding.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    let mut __inputs: Vec<String> = Vec::new();
+                    $(
+                        let __value = $crate::Strategy::generate(&($strat), &mut __rng);
+                        __inputs.push(format!("{} = {:?}", stringify!($pat), __value));
+                        let $pat = __value;
+                    )*
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(payload) = __outcome {
+                        eprintln!(
+                            "proptest {} failed on case {}/{} with inputs:\n  {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __inputs.join("\n  "),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..500 {
+            let v = Strategy::generate(&(-3i64..=3), &mut rng);
+            assert!((-3..=3).contains(&v));
+            let u = Strategy::generate(&(1usize..8), &mut rng);
+            assert!((1..8).contains(&u));
+        }
+    }
+
+    #[test]
+    fn char_class_round_trip() {
+        let mut rng = TestRng::for_case("chars", 1);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[ -~\\n\"]*", &mut rng);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+            let u = Strategy::generate(&"\\PC*", &mut rng);
+            assert!(u.chars().all(|c| !c.is_control() || c == '\n'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_generates_and_binds(v in crate::collection::vec((0i64..5, 1u32..4), 1..4)) {
+            prop_assert!(!v.is_empty());
+            for (a, b) in v {
+                prop_assert!((0..5).contains(&a));
+                prop_assert_ne!(b, 0);
+            }
+        }
+    }
+}
