@@ -15,7 +15,7 @@ fn bench_procedure_scaling(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
             b.iter(|| {
-                let a = Analysis::run_generated(
+                let a = Analysis::analyze(
                     std::slice::from_ref(black_box(src)),
                     AnalysisOptions::default(),
                 )
@@ -35,7 +35,7 @@ fn bench_depth_scaling(c: &mut Criterion) {
         let src = generate(&cfg);
         group.bench_with_input(BenchmarkId::from_parameter(d), &src, |b, src| {
             b.iter(|| {
-                let a = Analysis::run_generated(
+                let a = Analysis::analyze(
                     std::slice::from_ref(black_box(src)),
                     AnalysisOptions::default(),
                 )

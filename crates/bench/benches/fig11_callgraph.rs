@@ -35,7 +35,7 @@ fn bench_lu_full_analysis(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("full", |b| {
         b.iter(|| {
-            let a = Analysis::run_generated(black_box(&srcs), AnalysisOptions::default())
+            let a = Analysis::analyze(black_box(&srcs), AnalysisOptions::default())
                 .unwrap();
             black_box(a.rows.len())
         })
@@ -45,7 +45,7 @@ fn bench_lu_full_analysis(c: &mut Criterion) {
 
 fn bench_cfg_export(c: &mut Criterion) {
     let srcs = workloads::mini_lu::sources();
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     c.bench_function("fig11/cfg_document", |b| {
         b.iter(|| black_box(analysis.cfg_document()))
     });

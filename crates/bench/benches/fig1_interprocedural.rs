@@ -9,7 +9,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
     let srcs = vec![workloads::fig1::source()];
     c.bench_function("fig1/full_pipeline", |b| {
         b.iter(|| {
-            let a = Analysis::run_generated(black_box(&srcs), AnalysisOptions::default())
+            let a = Analysis::analyze(black_box(&srcs), AnalysisOptions::default())
                 .unwrap();
             black_box(a.rows.len())
         })

@@ -49,7 +49,7 @@ fn bench_stages(c: &mut Criterion) {
 
 fn bench_tool_side(c: &mut Criterion) {
     let srcs = vec![workloads::fig10::source()];
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
 
     c.bench_function("fig9/rgn_emit", |b| {
         b.iter(|| black_box(analysis.rgn_document()))

@@ -65,7 +65,7 @@ fn bench_verify_analysis(c: &mut Criterion) {
     // verify calls nothing, so it analyzes standalone.
     c.bench_function("case1/analyze_verify_f", |b| {
         b.iter(|| {
-            let a = araa::Analysis::run_generated(
+            let a = araa::Analysis::analyze(
                 std::slice::from_ref(black_box(&verify)),
                 araa::AnalysisOptions::default(),
             )

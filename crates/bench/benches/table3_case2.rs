@@ -13,7 +13,7 @@ fn bench_rhs_analysis(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("analyze_rhs_f", |b| {
         b.iter(|| {
-            let a = Analysis::run_generated(
+            let a = Analysis::analyze(
                 std::slice::from_ref(black_box(&rhs)),
                 AnalysisOptions::default(),
             )
@@ -26,7 +26,7 @@ fn bench_rhs_analysis(c: &mut Criterion) {
 
 fn bench_advice_derivation(c: &mut Criterion) {
     let srcs = workloads::mini_lu::sources();
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let project = Project::from_generated(&analysis, &srcs);
 
     c.bench_function("case2/copyin_advice", |b| {
@@ -56,7 +56,7 @@ fn bench_advice_derivation(c: &mut Criterion) {
 
 fn bench_expand_dims_view(c: &mut Criterion) {
     let srcs = workloads::mini_lu::sources();
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let project = Project::from_generated(&analysis, &srcs);
     let opts = dragon::ViewOptions { expand_dims: true, ..Default::default() };
     c.bench_function("case2/fig14_expanded_render", |b| {

@@ -8,16 +8,31 @@
 
 use crate::cfg::Cfg;
 use crate::dgn::DgnProject;
-use crate::extract::{extract_rows_isolated, ExtractOptions};
 use crate::row::RgnRow;
+use crate::session::AnalysisSession;
 use frontend::{SourceFile, DEFAULT_LAYOUT_BASE};
 use ipa::{CallGraph, IpaResult};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use support::budget::{self, BudgetConfig};
+use support::budget::BudgetConfig;
 use support::{Error, Result};
 use whirl::Program;
 
 /// Analysis knobs — the `-IPA:array_section` / `-dragon` flag family.
+///
+/// Construct via [`AnalysisOptions::builder`] (or [`Default`]); the struct
+/// is `#[non_exhaustive]` so new knobs can be added without breaking
+/// downstream construction sites.
+///
+/// ```
+/// use araa::AnalysisOptions;
+///
+/// let opts = AnalysisOptions::builder()
+///     .threads(4)
+///     .include_propagated(false)
+///     .build();
+/// assert_eq!(opts.threads, 4);
+/// assert!(!opts.include_propagated);
+/// ```
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy)]
 pub struct AnalysisOptions {
     /// Base address for the static data layout (`Mem_Loc` column).
@@ -39,6 +54,51 @@ impl Default for AnalysisOptions {
             threads: 1,
             budget: BudgetConfig::default(),
         }
+    }
+}
+
+impl AnalysisOptions {
+    /// Starts a builder seeded with the defaults.
+    pub fn builder() -> AnalysisOptionsBuilder {
+        AnalysisOptionsBuilder { opts: AnalysisOptions::default() }
+    }
+}
+
+/// Builder for [`AnalysisOptions`]. Every knob defaults to
+/// [`AnalysisOptions::default`]; set only what you need and [`build`](Self::build).
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisOptionsBuilder {
+    opts: AnalysisOptions,
+}
+
+impl AnalysisOptionsBuilder {
+    /// Worker threads for the IPL phase (1 = serial).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.opts.threads = n;
+        self
+    }
+
+    /// Base address for the static data layout (`Mem_Loc` column).
+    pub fn layout_base(mut self, base: u64) -> Self {
+        self.opts.layout_base = base;
+        self
+    }
+
+    /// Whether interprocedurally-propagated rows are extracted.
+    pub fn include_propagated(mut self, yes: bool) -> Self {
+        self.opts.include_propagated = yes;
+        self
+    }
+
+    /// Resource budgets bounding each per-procedure analysis.
+    pub fn budget(mut self, budget: BudgetConfig) -> Self {
+        self.opts.budget = budget;
+        self
+    }
+
+    /// Finalizes the options.
+    pub fn build(self) -> AnalysisOptions {
+        self.opts
     }
 }
 
@@ -64,7 +124,7 @@ impl std::fmt::Display for Degradation {
 }
 
 impl Degradation {
-    fn from_frontend(e: &Error) -> Degradation {
+    pub(crate) fn from_frontend(e: &Error) -> Degradation {
         match e {
             Error::Degraded { proc, stage, detail } => Degradation {
                 proc: proc.clone(),
@@ -91,7 +151,7 @@ impl Degradation {
 /// use araa::{Analysis, AnalysisOptions};
 ///
 /// // Analyze the paper's matrix.c and check a Fig. 9 row.
-/// let analysis = Analysis::run_generated(
+/// let analysis = Analysis::analyze(
 ///     &[workloads::fig10::source()],
 ///     AnalysisOptions::default(),
 /// )
@@ -121,7 +181,9 @@ pub struct Analysis {
 }
 
 impl Analysis {
-    /// Runs the whole pipeline on a set of sources.
+    /// Runs the whole pipeline on any iterable of sources — owned or
+    /// borrowed [`SourceFile`]s, or generated workload sources
+    /// ([`workloads::GenSource`]).
     ///
     /// Every stage is fault-isolated per procedure: a parse error drops one
     /// statement or unit, a panic or budget exhaustion in IPL degrades one
@@ -130,75 +192,25 @@ impl Analysis {
     /// an extraction failure drops one procedure's rows. Each incident is
     /// recorded in [`Analysis::degradations`]. `Err` is reserved for total
     /// failures (nothing parseable at all).
+    ///
+    /// This is a one-shot cold start of an [`AnalysisSession`]; keep the
+    /// session itself when you expect to re-analyze edited sources.
+    pub fn analyze<I>(sources: I, opts: AnalysisOptions) -> Result<Analysis>
+    where
+        I: IntoIterator,
+        I::Item: Into<SourceFile>,
+    {
+        let mut session = AnalysisSession::new(opts);
+        session.update(sources)?;
+        session
+            .into_analysis()
+            .ok_or_else(|| Error::Analysis("analysis session kept no result".to_string()))
+    }
+
+    /// Runs the pipeline on a slice of source files.
+    #[deprecated(since = "0.2.0", note = "use `Analysis::analyze`")]
     pub fn run(sources: &[SourceFile], opts: AnalysisOptions) -> Result<Analysis> {
-        let mut degradations = Vec::new();
-
-        // Front end with recovery: healthy procedures survive their broken
-        // neighbours.
-        let (program, diags) =
-            frontend::compile_to_h_with_recovery(sources, opts.layout_base)?;
-        degradations.extend(diags.iter().map(Degradation::from_frontend));
-
-        let callgraph = CallGraph::build(&program);
-
-        // IPL, one budget scope + panic guard per procedure.
-        let outcome = if opts.threads > 1 {
-            ipa::isolate::summarize_all_parallel_isolated(&program, opts.threads, opts.budget)
-        } else {
-            ipa::isolate::summarize_all_isolated(&program, opts.budget)
-        };
-        degradations.extend(outcome.failures.iter().map(|f| Degradation {
-            proc: display_name(&program, f.proc),
-            stage: f.stage.to_string(),
-            detail: f.detail.clone(),
-        }));
-
-        // IPA propagation is a cross-procedure pass; a failure there keeps
-        // the (sound) unpropagated local summaries.
-        let local = outcome.summaries;
-        let scope = budget::enter(opts.budget);
-        let propagated = catch_unwind(AssertUnwindSafe(|| {
-            ipa::propagate::propagate(&program, &callgraph, local.clone())
-        }));
-        let exhausted = budget::exhaustion();
-        drop(scope);
-        let ipa = match propagated {
-            Ok(r) => {
-                if let Some(label) = exhausted {
-                    degradations.push(Degradation {
-                        proc: "(propagation)".to_string(),
-                        stage: "budget".to_string(),
-                        detail: format!("{label} budget exhausted; some propagated regions widened"),
-                    });
-                }
-                r
-            }
-            Err(payload) => {
-                degradations.push(Degradation {
-                    proc: "(propagation)".to_string(),
-                    stage: "ipa".to_string(),
-                    detail: ipa::isolate::panic_message(payload.as_ref()),
-                });
-                IpaResult { summaries: local, recursion_cut: callgraph.is_recursive() }
-            }
-        };
-
-        // Row extraction, guarded per procedure.
-        let (rows, failures) = extract_rows_isolated(
-            &program,
-            &callgraph,
-            &ipa,
-            ExtractOptions { include_propagated: opts.include_propagated },
-        );
-        degradations.extend(failures.into_iter().map(|(proc, detail)| Degradation {
-            proc: proc
-                .map(|id| display_name(&program, id))
-                .unwrap_or_else(|| "(layout)".to_string()),
-            stage: "extract".to_string(),
-            detail,
-        }));
-
-        Ok(Analysis { program, callgraph, ipa, rows, degradations })
+        Self::analyze(sources, opts)
     }
 
     /// True when any stage degraded during the run.
@@ -218,21 +230,12 @@ impl Analysis {
     }
 
     /// Convenience: analyze generated workloads.
+    #[deprecated(since = "0.2.0", note = "use `Analysis::analyze`")]
     pub fn run_generated(
         sources: &[workloads::GenSource],
         opts: AnalysisOptions,
     ) -> Result<Analysis> {
-        let files: Vec<SourceFile> = sources
-            .iter()
-            .map(|g| {
-                SourceFile::new(
-                    &g.name,
-                    &g.text,
-                    if g.fortran { whirl::Lang::Fortran } else { whirl::Lang::C },
-                )
-            })
-            .collect();
-        Self::run(&files, opts)
+        Self::analyze(sources, opts)
     }
 
     /// The `.rgn` document.
@@ -283,17 +286,13 @@ impl Analysis {
     }
 }
 
-fn display_name(program: &Program, id: whirl::ProcId) -> String {
-    program.name_of(program.procedure(id).name).to_string()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use regions::access::AccessMode;
 
     fn analyze_mini_lu() -> Analysis {
-        Analysis::run_generated(&workloads::mini_lu::sources(), AnalysisOptions::default())
+        Analysis::analyze(&workloads::mini_lu::sources(), AnalysisOptions::default())
             .unwrap()
     }
 
@@ -396,7 +395,7 @@ mod tests {
 
     #[test]
     fn project_files_round_trip_on_disk() {
-        let a = Analysis::run_generated(
+        let a = Analysis::analyze(
             &[workloads::fig10::source()],
             AnalysisOptions::default(),
         )
@@ -416,10 +415,10 @@ mod tests {
     #[test]
     fn parallel_threads_match_serial() {
         let srcs = workloads::mini_lu::sources();
-        let serial = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
-        let parallel = Analysis::run_generated(
+        let serial = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
+        let parallel = Analysis::analyze(
             &srcs,
-            AnalysisOptions { threads: 4, ..Default::default() },
+            AnalysisOptions::builder().threads(4).build(),
         )
         .unwrap();
         assert_eq!(serial.rows.len(), parallel.rows.len());
@@ -456,7 +455,7 @@ subroutine broken
   i = = 1
 end
 ";
-        let a = Analysis::run(
+        let a = Analysis::analyze(
             &[SourceFile::new("mix.f", src, whirl::Lang::Fortran)],
             AnalysisOptions::default(),
         )
@@ -468,12 +467,11 @@ end
 
     #[test]
     fn tiny_budget_degrades_not_fails() {
-        let a = Analysis::run_generated(
+        let a = Analysis::analyze(
             &workloads::mini_lu::sources(),
-            AnalysisOptions {
-                budget: support::budget::BudgetConfig::tiny(),
-                ..Default::default()
-            },
+            AnalysisOptions::builder()
+                .budget(support::budget::BudgetConfig::tiny())
+                .build(),
         )
         .unwrap();
         // Every procedure still has a summary and the run completes; any
@@ -484,11 +482,30 @@ end
 
     #[test]
     fn totally_bad_source_still_fails() {
-        let err = Analysis::run(
+        let err = Analysis::analyze(
             &[SourceFile::new("bad.f", "subroutine\n", whirl::Lang::Fortran)],
             AnalysisOptions::default(),
         );
         assert!(err.is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_analyze() {
+        let via_shim =
+            Analysis::run_generated(&[workloads::fig10::source()], AnalysisOptions::default())
+                .unwrap();
+        let direct =
+            Analysis::analyze(&[workloads::fig10::source()], AnalysisOptions::default())
+                .unwrap();
+        assert_eq!(via_shim.rows, direct.rows);
+        let files = [SourceFile::new(
+            "t.f",
+            "subroutine s\n  real a(5)\n  common /c/ a\n  a(3) = 1.0\nend\n",
+            whirl::Lang::Fortran,
+        )];
+        let a = Analysis::run(&files, AnalysisOptions::default()).unwrap();
+        assert!(!a.rows.is_empty());
     }
 
     #[test]
@@ -504,7 +521,7 @@ end
     #[test]
     fn write_project_reports_dir_creation_context() {
         // Satellite: dir-creation failure surfaces the path in the error.
-        let a = Analysis::run_generated(
+        let a = Analysis::analyze(
             &[workloads::fig10::source()],
             AnalysisOptions::default(),
         )

@@ -263,7 +263,7 @@ mod tests {
     use crate::{Analysis, AnalysisOptions};
 
     fn analyze(srcs: Vec<workloads::GenSource>) -> Analysis {
-        Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap()
+        Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap()
     }
 
     #[test]

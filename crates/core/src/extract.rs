@@ -97,8 +97,9 @@ pub fn extract_rows_isolated(
     (rows, failures)
 }
 
-/// Builds the rows of one procedure's scope.
-fn extract_proc_rows(
+/// Builds the rows of one procedure's scope. Crate-visible so the
+/// incremental session can re-extract exactly the affected procedures.
+pub(crate) fn extract_proc_rows(
     program: &Program,
     proc_id: ProcId,
     summary: &ipa::ProcSummary,
@@ -131,7 +132,10 @@ fn extract_proc_rows(
 /// binds the same actual array, the formal shows the actual's address (the
 /// paper's Fig. 12 shows `xcr`'s rows in `verify` carrying the caller
 /// array's address `b79edfa0`). Ambiguous or unbound formals show 0.
-fn resolve_formal_addresses(program: &Program, cg: &CallGraph) -> BTreeMap<StIdx, u64> {
+pub(crate) fn resolve_formal_addresses(
+    program: &Program,
+    cg: &CallGraph,
+) -> BTreeMap<StIdx, u64> {
     let mut bindings: BTreeMap<StIdx, Option<u64>> = BTreeMap::new();
     for caller in (0..cg.size()).map(ProcId::from_usize) {
         for site in cg.calls(caller) {

@@ -5,7 +5,8 @@
 //! array region analysis module with the WHIRL-Tree in order to extract the
 //! array information interprocedurally and store them in a plain file."
 //!
-//! Pipeline (see [`driver::Analysis::run`]):
+//! Pipeline (see [`driver::Analysis::analyze`] for one-shot runs and
+//! [`session::AnalysisSession`] for incremental re-analysis):
 //!
 //! 1. [`frontend`] compiles Fortran/C sources to H WHIRL with a static data
 //!    layout;
@@ -25,7 +26,9 @@ pub mod dynamic;
 pub mod extract;
 pub mod rgn;
 pub mod row;
+pub mod session;
 
-pub use driver::{Analysis, AnalysisOptions, Degradation};
+pub use driver::{Analysis, AnalysisOptions, AnalysisOptionsBuilder, Degradation};
 pub use extract::{extract_rows, extract_rows_isolated, ExtractOptions};
 pub use row::RgnRow;
+pub use session::{AnalysisDelta, AnalysisSession};

@@ -19,7 +19,7 @@ static ARMED: Mutex<()> = Mutex::new(());
 fn run_with_fault(point: &str, nth: u64, opts: AnalysisOptions) -> Analysis {
     let _guard = ARMED.lock().unwrap_or_else(|p| p.into_inner());
     faultpoint::arm(point, nth);
-    let result = Analysis::run_generated(&workloads::mini_lu::sources(), opts);
+    let result = Analysis::analyze(&workloads::mini_lu::sources(), opts);
     faultpoint::disarm_all();
     result.unwrap_or_else(|e| panic!("fault at {point} must degrade, not fail: {e}"))
 }
@@ -33,7 +33,7 @@ fn procs_with_rows(a: &Analysis) -> usize {
 }
 
 fn baseline() -> (usize, usize) {
-    let a = Analysis::run_generated(&workloads::mini_lu::sources(), AnalysisOptions::default())
+    let a = Analysis::analyze(&workloads::mini_lu::sources(), AnalysisOptions::default())
         .expect("clean baseline");
     assert!(!a.degraded());
     (a.rows.len(), procs_with_rows(&a))
@@ -66,7 +66,7 @@ fn panic_in_one_ipl_summary_spares_the_rest() {
 #[test]
 fn panic_in_parallel_ipl_is_contained_too() {
     let (_, baseline_procs) = baseline();
-    let opts = AnalysisOptions { threads: 4, ..Default::default() };
+    let opts = AnalysisOptions::builder().threads(4).build();
     let a = run_with_fault("ipl::summarize", 3, opts);
     assert!(a.degradations.iter().any(|d| d.stage == "ipl"));
     assert!(procs_with_rows(&a) >= baseline_procs - 1);
@@ -110,7 +110,104 @@ fn panic_while_extracting_rows_keeps_other_procedures_rows() {
 fn unarmed_faultpoints_change_nothing() {
     let _guard = ARMED.lock().unwrap_or_else(|p| p.into_inner());
     faultpoint::disarm_all();
-    let a = Analysis::run_generated(&workloads::mini_lu::sources(), AnalysisOptions::default())
+    let a = Analysis::analyze(&workloads::mini_lu::sources(), AnalysisOptions::default())
         .expect("clean run");
     assert!(!a.degraded());
+}
+
+/// Drives `ipa::parallel::summarize_all_parallel` directly: a worker panic
+/// must degrade exactly the faulted procedure's summary to the conservative
+/// whole-array fallback, leaving every other summary untouched.
+#[test]
+fn parallel_worker_panic_degrades_one_summary_in_place() {
+    use frontend::{compile_to_h, SourceFile, DEFAULT_LAYOUT_BASE};
+    let _guard = ARMED.lock().unwrap_or_else(|p| p.into_inner());
+    faultpoint::disarm_all();
+    let srcs: Vec<SourceFile> =
+        workloads::mini_lu::sources().iter().map(SourceFile::from).collect();
+    let program = compile_to_h(&srcs, DEFAULT_LAYOUT_BASE).expect("mini_lu compiles");
+    let clean = ipa::parallel::summarize_all_parallel(&program, 4);
+    faultpoint::arm("ipl::summarize", 2);
+    let faulted = ipa::parallel::summarize_all_parallel(&program, 4);
+    faultpoint::disarm_all();
+    assert_eq!(faulted.len(), program.procedure_count());
+    let differing: Vec<usize> = clean
+        .iter()
+        .zip(&faulted)
+        .enumerate()
+        .filter(|(_, (c, f))| {
+            c.accesses.len() != f.accesses.len()
+                || c.accesses.iter().zip(&f.accesses).any(|(a, b)| {
+                    a.array != b.array
+                        || a.mode != b.mode
+                        || a.region != b.region
+                        || a.approx != b.approx
+                })
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(differing.len(), 1, "exactly one summary degrades: {differing:?}");
+    assert!(
+        faulted[differing[0]].accesses.iter().all(|r| r.approx),
+        "the faulted summary is the approximate whole-array fallback"
+    );
+}
+
+const SESS_MAIN: &str = "\
+program main
+  real a(20)
+  common /g/ a
+  integer i
+  do i = 1, 10
+    a(i) = 0.0
+  end do
+  call leaf
+end
+";
+
+const SESS_LEAF: &str = "\
+subroutine leaf
+  real a(20)
+  common /g/ a
+  integer i
+  do i = 11, 20
+    a(i) = 2.0
+  end do
+end
+";
+
+/// A panic during a *warm* incremental update must degrade that update the
+/// same way a cold run would — and the session must recover on the next
+/// clean update instead of caching the contained failure forever.
+#[test]
+fn session_warm_update_contains_faults_and_recovers() {
+    use araa::AnalysisSession;
+    use frontend::SourceFile;
+    use whirl::Lang;
+    let _guard = ARMED.lock().unwrap_or_else(|p| p.into_inner());
+    faultpoint::disarm_all();
+    let files = |leaf: &str| {
+        vec![
+            SourceFile::new("main.f", SESS_MAIN, Lang::Fortran),
+            SourceFile::new("leaf.f", leaf, Lang::Fortran),
+        ]
+    };
+    let mut session = AnalysisSession::new(AnalysisOptions::default());
+    session.update(files(SESS_LEAF)).expect("cold update");
+    let edited = SESS_LEAF.replace("do i = 11, 20", "do i = 11, 18");
+    faultpoint::arm("ipl::summarize", 1);
+    let warm = session.update(files(&edited));
+    faultpoint::disarm_all();
+    let warm = warm.expect("faulted warm update must degrade, not fail");
+    assert!(
+        warm.degradations.iter().any(|d| d.stage == "ipl"),
+        "expected a contained ipl degradation: {:?}",
+        warm.degradations
+    );
+    assert!(session.analysis().is_some_and(Analysis::degraded));
+    // Reverting the edit dirties `leaf` again (its conservative summary was
+    // cached under the *edited* fingerprint), so it recomputes cleanly.
+    let recovered = session.update(files(SESS_LEAF)).expect("recovery update");
+    assert!(recovered.degradations.is_empty(), "{:?}", recovered.degradations);
+    assert!(session.analysis().is_some_and(|a| !a.degraded()));
 }

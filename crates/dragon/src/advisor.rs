@@ -436,7 +436,7 @@ mod tests {
     use araa::AnalysisOptions;
 
     fn project_of(srcs: Vec<workloads::GenSource>) -> (Analysis, Project) {
-        let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
         let project = Project::from_generated(&analysis, &srcs);
         (analysis, project)
     }

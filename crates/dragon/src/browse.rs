@@ -112,7 +112,7 @@ mod tests {
 
     fn lu_project() -> Project {
         let srcs = workloads::mini_lu::sources();
-        let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
         Project::from_generated(&analysis, &srcs)
     }
 

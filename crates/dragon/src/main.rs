@@ -70,7 +70,7 @@ fn read_sources(paths: &[String]) -> Vec<(SourceFile, workloads::GenSource)> {
 }
 
 fn analyze(gens: &[workloads::GenSource], strict: bool) -> (Analysis, Project) {
-    match Analysis::run_generated(gens, AnalysisOptions::default()) {
+    match Analysis::analyze(gens, AnalysisOptions::default()) {
         Ok(a) => {
             if a.degraded() {
                 eprintln!(

@@ -96,7 +96,7 @@ mod tests {
 
     fn fig10_project() -> Project {
         let srcs = vec![workloads::fig10::source()];
-        let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
         Project::from_generated(&analysis, &srcs)
     }
 
@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn disk_round_trip() {
         let srcs = vec![workloads::fig10::source()];
-        let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
         let dir = std::env::temp_dir().join("dragon_project_test");
         analysis.write_project(&dir, "matrix").unwrap();
         let p = Project::load(&dir, "matrix").unwrap();

@@ -160,7 +160,7 @@ mod tests {
 
     fn lu_project() -> Project {
         let srcs = workloads::mini_lu::sources();
-        let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
         Project::from_generated(&analysis, &srcs)
     }
 
@@ -239,7 +239,7 @@ mod tests {
     #[test]
     fn propagated_rows_render_interprocedural_modes() {
         let srcs = vec![workloads::fig1::source()];
-        let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+        let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
         let p = Project::from_generated(&analysis, &srcs);
         let out = render_scope(&p, "add", &ViewOptions::default());
         assert!(out.contains("IDEF"), "{out}");

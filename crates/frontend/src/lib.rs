@@ -53,6 +53,85 @@ impl SourceFile {
     }
 }
 
+impl From<&SourceFile> for SourceFile {
+    fn from(s: &SourceFile) -> Self {
+        s.clone()
+    }
+}
+
+/// One source file after recovering parsing but before cross-file assembly
+/// (stubbing, semantic analysis, lowering). This is the unit the incremental
+/// session caches per file: parsing depends only on the file itself, while
+/// everything downstream mixes files together.
+#[derive(Debug, Clone)]
+pub struct ParsedSource {
+    /// The (possibly partially recovered) module.
+    pub module: Module,
+    /// The language the file was parsed as.
+    pub lang: Lang,
+    /// Diagnostics describing anything the parser had to drop.
+    pub diags: Vec<Error>,
+}
+
+/// Parses one source file with recovery. Never fails: an unparseable file
+/// yields an empty module plus the diagnostics explaining what was lost.
+pub fn parse_source_with_recovery(s: &SourceFile) -> ParsedSource {
+    let (module, diags) = match s.lang {
+        Lang::Fortran => fortran::parse_with_recovery(&s.name, &s.text),
+        Lang::C => cparse::parse_with_recovery(&s.name, &s.text),
+    };
+    ParsedSource { module, lang: s.lang, diags }
+}
+
+/// Assembles pre-parsed modules into a program with the recovery semantics
+/// of [`compile_with_recovery`]: undefined callees are stubbed, procedures
+/// that fail semantic checking are gutted, and every incident is reported.
+/// Fails only when no procedure at all survived parsing, or on a structural
+/// error that cannot be pinned to one procedure.
+pub fn assemble_with_recovery(parsed: Vec<ParsedSource>) -> Result<(Program, Vec<Error>)> {
+    let mut modules = Vec::with_capacity(parsed.len());
+    let mut langs = Vec::with_capacity(parsed.len());
+    let mut diags = Vec::new();
+    for p in parsed {
+        diags.extend(p.diags);
+        modules.push(p.module);
+        langs.push(p.lang);
+    }
+    if modules.iter().all(|m| m.procs.is_empty()) {
+        // Nothing survived: degrading further would mean analyzing an empty
+        // program, which only hides the failure. Surface the first cause.
+        return Err(diags
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| Error::semantic("no procedures found in any source file")));
+    }
+    stub_undefined_callees(&mut modules, &mut diags);
+    let env = loop {
+        match sema::analyze(&modules) {
+            Ok(env) => break env,
+            Err(e) => {
+                if !degrade_offender(&mut modules, &e, &mut diags) {
+                    return Err(e);
+                }
+            }
+        }
+    };
+    let program = lower::lower_modules(&modules, &env, &langs)?;
+    Ok((program, diags))
+}
+
+/// Like [`assemble_with_recovery`] but also lowers to H WHIRL and assigns
+/// the static data layout.
+pub fn assemble_to_h_with_recovery(
+    parsed: Vec<ParsedSource>,
+    layout_base: u64,
+) -> Result<(Program, Vec<Error>)> {
+    let (mut program, diags) = assemble_with_recovery(parsed)?;
+    whirl::lower::lower_program(&mut program);
+    program.assign_layout(layout_base);
+    Ok((program, diags))
+}
+
 /// Parses, checks, and lowers a set of source files into one VH-level
 /// [`Program`]. Call [`whirl::lower::lower_program`] afterwards to reach the
 /// H level where the IPA-based analysis operates.
@@ -90,39 +169,7 @@ pub fn compile_to_h(sources: &[SourceFile], layout_base: u64) -> Result<Program>
 /// survives, or on a structural error that cannot be pinned to one
 /// procedure.
 pub fn compile_with_recovery(sources: &[SourceFile]) -> Result<(Program, Vec<Error>)> {
-    let mut modules = Vec::with_capacity(sources.len());
-    let mut langs = Vec::with_capacity(sources.len());
-    let mut diags = Vec::new();
-    for s in sources {
-        let (m, file_diags) = match s.lang {
-            Lang::Fortran => fortran::parse_with_recovery(&s.name, &s.text),
-            Lang::C => cparse::parse_with_recovery(&s.name, &s.text),
-        };
-        diags.extend(file_diags);
-        modules.push(m);
-        langs.push(s.lang);
-    }
-    if modules.iter().all(|m| m.procs.is_empty()) {
-        // Nothing survived: degrading further would mean analyzing an empty
-        // program, which only hides the failure. Surface the first cause.
-        return Err(diags
-            .into_iter()
-            .next()
-            .unwrap_or_else(|| Error::semantic("no procedures found in any source file")));
-    }
-    stub_undefined_callees(&mut modules, &mut diags);
-    let env = loop {
-        match sema::analyze(&modules) {
-            Ok(env) => break env,
-            Err(e) => {
-                if !degrade_offender(&mut modules, &e, &mut diags) {
-                    return Err(e);
-                }
-            }
-        }
-    };
-    let program = lower::lower_modules(&modules, &env, &langs)?;
-    Ok((program, diags))
+    assemble_with_recovery(sources.iter().map(parse_source_with_recovery).collect())
 }
 
 /// Like [`compile_to_h`] with the recovery semantics of
@@ -435,6 +482,29 @@ end
         .unwrap();
         assert!(diags.is_empty());
         assert_eq!(strict.procedure_count(), recovered.procedure_count());
+    }
+
+    #[test]
+    fn split_parse_then_assemble_matches_one_shot_recovery() {
+        let files = [
+            SourceFile::new(
+                "driver.f",
+                "program main\n  real a(10)\n  common /c/ a\n  call fill\nend\n",
+                Lang::Fortran,
+            ),
+            SourceFile::new(
+                "broken.f",
+                "subroutine fill\n  real a(10)\n  common /c/ a\n  a(1) = = 0.0\nend\n",
+                Lang::Fortran,
+            ),
+        ];
+        let (one_shot, d1) = compile_with_recovery(&files).unwrap();
+        let parsed: Vec<ParsedSource> =
+            files.iter().map(parse_source_with_recovery).collect();
+        assert!(parsed[1].diags.iter().any(|d| d.pos().is_some()));
+        let (split, d2) = assemble_with_recovery(parsed).unwrap();
+        assert_eq!(one_shot.procedure_count(), split.procedure_count());
+        assert_eq!(d1.len(), d2.len());
     }
 
     #[test]

@@ -188,6 +188,34 @@ impl CallGraph {
         order.push(id);
     }
 
+    /// The ancestor closure of `seeds`: the seeds themselves plus every
+    /// procedure that can reach a seed through call edges (direct and
+    /// transitive callers). This is the incremental-analysis invalidation
+    /// rule — a procedure's *propagated* summary depends exactly on the
+    /// summaries of its call-graph descendants, so when a procedure changes,
+    /// the procedures whose propagated summaries may change are its
+    /// ancestors. Returns a membership mask indexable by `ProcId`.
+    pub fn ancestor_closure(&self, seeds: impl IntoIterator<Item = ProcId>) -> Vec<bool> {
+        use support::idx::Idx;
+        let mut mask = vec![false; self.size()];
+        let mut stack: Vec<ProcId> = Vec::new();
+        for s in seeds {
+            if !mask[s.as_usize()] {
+                mask[s.as_usize()] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            for &caller in &self.nodes[id].callers {
+                if !mask[caller.as_usize()] {
+                    mask[caller.as_usize()] = true;
+                    stack.push(caller);
+                }
+            }
+        }
+        mask
+    }
+
     /// True when the graph contains a call cycle.
     pub fn is_recursive(&self) -> bool {
         let mut state = vec![0u8; self.size()];
@@ -387,6 +415,32 @@ end
         assert!(dot.contains("MAIN__"));
         assert!(dot.contains("->"));
         assert_eq!(dot.matches("->").count(), 4);
+    }
+
+    #[test]
+    fn ancestor_closure_walks_caller_edges_transitively() {
+        let p = program(DIAMOND);
+        let cg = CallGraph::build(&p);
+        let id = |n: &str| p.find_procedure(n).unwrap();
+        use support::idx::Idx;
+        let at = |mask: &[bool], n: &str| mask[id(n).as_usize()];
+
+        // c is called by a and b, both called by main: everything invalidates.
+        let mask = cg.ancestor_closure([id("c")]);
+        assert!(at(&mask, "c") && at(&mask, "a") && at(&mask, "b") && at(&mask, "main"));
+
+        // a's ancestors are just main; b and c stay clean.
+        let mask = cg.ancestor_closure([id("a")]);
+        assert!(at(&mask, "a") && at(&mask, "main"));
+        assert!(!at(&mask, "b") && !at(&mask, "c"));
+
+        // main has no callers: only itself.
+        let mask = cg.ancestor_closure([id("main")]);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 1);
+
+        // Empty seed set: nothing affected.
+        let mask = cg.ancestor_closure([]);
+        assert!(mask.iter().all(|&m| !m));
     }
 
     #[test]

@@ -15,7 +15,6 @@ use regions::access::AccessMode;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use support::budget::{self, BudgetConfig};
-use support::idx::Idx;
 use whirl::{ProcId, Program, StClass, TyKind};
 
 /// One contained per-procedure failure.
@@ -81,7 +80,7 @@ pub fn summarize_proc_guarded(
 /// define and use *every element* of every array visible to it (globals and
 /// its own array formals). Grossly imprecise, but sound — and it keeps the
 /// procedure's rows in the `.rgn` output.
-fn conservative_summary(program: &Program, id: ProcId) -> ProcSummary {
+pub fn conservative_summary(program: &Program, id: ProcId) -> ProcSummary {
     let proc = program.procedure(id);
     let mut accesses = Vec::new();
     for (st, entry) in program.symbols.iter() {
@@ -126,18 +125,25 @@ pub fn summarize_all_isolated(program: &Program, config: BudgetConfig) -> IplOut
     IplOutcome { summaries, failures }
 }
 
-/// Parallel isolated IPL: the worker structure of
-/// [`crate::parallel::summarize_all_parallel`] with per-procedure budget
-/// scopes (budgets are thread-local, so each worker enters its own) and
-/// panic containment.
-pub fn summarize_all_parallel_isolated(
+/// Isolated IPL over an arbitrary subset of procedures — the incremental
+/// session's dirty set. Results come back in `ids` order, one entry per
+/// requested procedure. Uses the same worker structure as the full parallel
+/// path; with one thread (or one id) it runs serially.
+pub fn summarize_subset_isolated(
     program: &Program,
+    ids: &[ProcId],
     threads: usize,
     config: BudgetConfig,
-) -> IplOutcome {
-    let n = program.procedure_count();
+) -> Vec<(ProcId, ProcSummary, Option<IplFailure>)> {
+    let n = ids.len();
     if threads <= 1 || n <= 1 {
-        return summarize_all_isolated(program, config);
+        return ids
+            .iter()
+            .map(|&id| {
+                let (s, f) = summarize_proc_guarded(program, id, config);
+                (id, s, f)
+            })
+            .collect();
     }
     let threads = threads.min(n);
     let next = AtomicUsize::new(0);
@@ -153,8 +159,7 @@ pub fn summarize_all_parallel_isolated(
                     if i >= n {
                         break;
                     }
-                    let id = ProcId::from_usize(i);
-                    let (s, f) = summarize_proc_guarded(program, id, config);
+                    let (s, f) = summarize_proc_guarded(program, ids[i], config);
                     local.push((i, s, f));
                 }
                 merged.lock().extend(local);
@@ -169,9 +174,29 @@ pub fn summarize_all_parallel_isolated(
 
     let mut indexed = merged.into_inner();
     indexed.sort_by_key(|(i, _, _)| *i);
+    indexed
+        .into_iter()
+        .map(|(i, s, f)| (ids[i], s, f))
+        .collect()
+}
+
+/// Parallel isolated IPL: the worker structure of
+/// [`crate::parallel::summarize_all_parallel`] with per-procedure budget
+/// scopes (budgets are thread-local, so each worker enters its own) and
+/// panic containment.
+pub fn summarize_all_parallel_isolated(
+    program: &Program,
+    threads: usize,
+    config: BudgetConfig,
+) -> IplOutcome {
+    let n = program.procedure_count();
+    if threads <= 1 || n <= 1 {
+        return summarize_all_isolated(program, config);
+    }
+    let ids: Vec<ProcId> = program.procedures.indices().collect();
     let mut summaries = Vec::with_capacity(n);
     let mut failures = Vec::new();
-    for (_, s, f) in indexed {
+    for (_, s, f) in summarize_subset_isolated(program, &ids, threads, config) {
         summaries.push(s);
         failures.extend(f);
     }

@@ -14,7 +14,9 @@
 //!   independence test;
 //! - [`parallel`] — crossbeam-parallel IPL driver;
 //! - [`isolate`] — budget-bounded, panic-contained IPL used by robust
-//!   drivers (one failure degrades one procedure, not the run).
+//!   drivers (one failure degrades one procedure, not the run);
+//! - [`rebase`] — rewrites cached summaries onto a re-parsed program (the
+//!   incremental session's cache-hit path).
 
 pub mod callgraph;
 pub mod isolate;
@@ -22,6 +24,7 @@ pub mod local;
 pub mod loop_parallel;
 pub mod parallel;
 pub mod propagate;
+pub mod rebase;
 pub mod sideeffect;
 
 pub use callgraph::{CallGraph, CallSite};

@@ -8,12 +8,20 @@
 
 use crate::local::{summarize_procedure, ProcSummary};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use support::idx::Idx;
 use whirl::{ProcId, Program};
 
 /// Summarizes every procedure using up to `threads` workers. With
 /// `threads <= 1` this degrades to the serial path.
+///
+/// A panic while summarizing one procedure is caught inside the worker loop
+/// and degrades *that one summary* to the conservative whole-array fallback
+/// ([`crate::isolate::conservative_summary`]); it neither kills the worker
+/// (which would silently drop every procedure still in its queue) nor
+/// re-panics out of the scope join, which used to bypass the per-procedure
+/// degradation containment entirely.
 pub fn summarize_all_parallel(program: &Program, threads: usize) -> Vec<ProcSummary> {
     let n = program.procedure_count();
     if threads <= 1 || n <= 1 {
@@ -25,7 +33,11 @@ pub fn summarize_all_parallel(program: &Program, threads: usize) -> Vec<ProcSumm
     // one merge at the end (no shared lock on the hot path).
     let merged: Mutex<Vec<(usize, ProcSummary)>> = Mutex::new(Vec::with_capacity(n));
 
-    let joined = crossbeam::thread::scope(|scope| {
+    // The scope join only errors if a worker died outside the per-procedure
+    // catch below (thread-spawn infrastructure); any procedure left without
+    // a result is filled conservatively afterwards, so ignore the join
+    // result instead of resuming the unwind.
+    let _ = crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
                 let mut local: Vec<(usize, ProcSummary)> = Vec::new();
@@ -34,19 +46,31 @@ pub fn summarize_all_parallel(program: &Program, threads: usize) -> Vec<ProcSumm
                     if i >= n {
                         break;
                     }
-                    local.push((i, summarize_procedure(program, ProcId::from_usize(i))));
+                    let id = ProcId::from_usize(i);
+                    let summary =
+                        catch_unwind(AssertUnwindSafe(|| summarize_procedure(program, id)))
+                            .unwrap_or_else(|_| crate::isolate::conservative_summary(program, id));
+                    local.push((i, summary));
                 }
                 merged.lock().extend(local);
             });
         }
     });
-    if let Err(payload) = joined {
-        std::panic::resume_unwind(payload);
-    }
 
     let mut indexed = merged.into_inner();
     indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, s)| s).collect()
+    let mut out: Vec<Option<ProcSummary>> = (0..n).map(|_| None).collect();
+    for (i, s) in indexed {
+        out[i] = Some(s);
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.unwrap_or_else(|| {
+                crate::isolate::conservative_summary(program, ProcId::from_usize(i))
+            })
+        })
+        .collect()
 }
 
 /// Parallel IPL followed by serial IPA propagation (propagation is a cheap

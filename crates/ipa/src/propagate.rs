@@ -48,9 +48,35 @@ pub fn propagate(
     cg: &CallGraph,
     local: Vec<ProcSummary>,
 ) -> IpaResult {
-    let recursion_cut = cg.is_recursive();
     let mut summaries = local;
+    let affected = vec![true; cg.size()];
+    let recursion_cut = propagate_subset(program, cg, &mut summaries, &affected);
+    IpaResult { summaries, recursion_cut }
+}
+
+/// Propagates callee effects into exactly the procedures marked in
+/// `affected` (a mask indexable by `ProcId`, typically from
+/// [`CallGraph::ancestor_closure`]).
+///
+/// On entry, every *affected* slot of `summaries` must hold that
+/// procedure's local-only summary, and every *unaffected* slot its full
+/// already-propagated summary. This is exactly the incremental contract:
+/// a clean procedure's propagated summary depends only on its descendants'
+/// summaries, which the ancestor closure guarantees are also clean.
+/// With an all-`true` mask this is a full cold propagation.
+///
+/// Returns the recursion-cut flag.
+pub fn propagate_subset(
+    program: &Program,
+    cg: &CallGraph,
+    summaries: &mut [ProcSummary],
+    affected: &[bool],
+) -> bool {
+    let recursion_cut = cg.is_recursive();
     for id in cg.bottom_up() {
+        if !affected[id.as_usize()] {
+            continue; // clean: its propagated summary is already in place
+        }
         // Collect translations first (the callee summaries are complete
         // because of the bottom-up order, recursion aside).
         let mut translated: Vec<AccessRecord> = Vec::new();
@@ -72,7 +98,7 @@ pub fn propagate(
         }
         summaries[id.as_usize()].accesses.extend(translated);
     }
-    IpaResult { summaries, recursion_cut }
+    recursion_cut
 }
 
 /// Translates one callee record to the caller's view at `site`.
@@ -411,6 +437,52 @@ end
             .collect();
         assert_eq!(defs.len(), 1, "leaf's DEF reaches main through mid");
         assert_eq!(defs[0].region.to_string(), "(0:8:1)");
+    }
+
+    #[test]
+    fn subset_propagation_matches_full_when_clean_slots_are_reused() {
+        let src = "\
+program main
+  call mid
+end
+subroutine mid
+  call leaf
+end
+subroutine leaf
+  real g(9)
+  common /c/ g
+  integer i
+  do i = 1, 9
+    g(i) = 1.0
+  end do
+end
+";
+        let p = compile_to_h(&[SourceFile::new("t.f", src, Lang::Fortran)], DEFAULT_LAYOUT_BASE)
+            .unwrap();
+        let cg = CallGraph::build(&p);
+        let local = crate::local::summarize_all(&p);
+        let cold = propagate(&p, &cg, local.clone());
+
+        // Warm path: pretend only `main` needs re-propagation. Its slot is
+        // reset to the local summary; mid/leaf keep their cold propagated
+        // summaries, as the session would reuse them from the cache.
+        let main = p.find_procedure("main").unwrap();
+        let mut warm: Vec<ProcSummary> = cold.summaries.clone();
+        warm[main.as_usize()] = local[main.as_usize()].clone();
+        let mut mask = vec![false; cg.size()];
+        mask[main.as_usize()] = true;
+        propagate_subset(&p, &cg, &mut warm, &mask);
+
+        for (a, b) in cold.summaries.iter().zip(&warm) {
+            assert_eq!(a.accesses.len(), b.accesses.len());
+            for (x, y) in a.accesses.iter().zip(&b.accesses) {
+                assert_eq!(x.array, y.array);
+                assert_eq!(x.mode, y.mode);
+                assert_eq!(x.region.to_string(), y.region.to_string());
+                assert_eq!(x.from_call, y.from_call);
+                assert_eq!(x.line, y.line);
+            }
+        }
     }
 
     #[test]

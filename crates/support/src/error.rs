@@ -104,6 +104,32 @@ impl Error {
     }
 }
 
+impl Clone for Error {
+    fn clone(&self) -> Self {
+        match self {
+            Error::Lex { pos, msg } => Error::Lex { pos: *pos, msg: msg.clone() },
+            Error::Parse { pos, msg } => Error::Parse { pos: *pos, msg: msg.clone() },
+            Error::Semantic { pos, msg } => {
+                Error::Semantic { pos: *pos, msg: msg.clone() }
+            }
+            Error::Lower(msg) => Error::Lower(msg.clone()),
+            Error::Analysis(msg) => Error::Analysis(msg.clone()),
+            Error::Format(msg) => Error::Format(msg.clone()),
+            // `std::io::Error` is not `Clone`; rebuild one with the same
+            // kind and rendered message — diagnostics only ever display it.
+            Error::Io { context, source } => Error::Io {
+                context: context.clone(),
+                source: std::io::Error::new(source.kind(), source.to_string()),
+            },
+            Error::Degraded { proc, stage, detail } => Error::Degraded {
+                proc: proc.clone(),
+                stage: stage.clone(),
+                detail: detail.clone(),
+            },
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -166,6 +192,16 @@ mod tests {
         let e = Error::io("reading project", inner);
         assert!(e.to_string().contains("reading project"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn clone_preserves_io_kind_and_message() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = Error::io("reading project", inner).clone();
+        let Error::Io { context, source } = &e else { panic!("wrong variant") };
+        assert_eq!(context, "reading project");
+        assert_eq!(source.kind(), std::io::ErrorKind::NotFound);
+        assert!(source.to_string().contains("gone"));
     }
 
     #[test]

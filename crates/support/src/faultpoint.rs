@@ -4,7 +4,8 @@
 //! Pipeline stages call [`hit`] with a stable point name. In normal builds
 //! that is a no-op compiled to nothing. Under the `fault-injection` cargo
 //! feature a test (or the `ARAA_FAULTPOINT` environment variable) can
-//! [`arm`] a point so that its Nth hit panics — which is exactly the kind
+//! `arm` a point (only compiled under that feature) so that its Nth hit
+//! panics — which is exactly the kind
 //! of unexpected failure the driver's per-procedure `catch_unwind`
 //! isolation must contain.
 //!

@@ -10,6 +10,7 @@ pub mod budget;
 pub mod csv;
 pub mod error;
 pub mod faultpoint;
+pub mod hash;
 pub mod idx;
 pub mod intern;
 pub mod table;

@@ -1,0 +1,307 @@
+//! Stable per-procedure structural fingerprints and cross-program
+//! correspondence.
+//!
+//! The incremental analysis session reuses a procedure's summary when the
+//! procedure is *content-identical* between two compilations. "Identical"
+//! must hold at the level the IPL phase consumes: the H WHIRL tree shape,
+//! every node field of Table I, and the *identity* (name, storage class,
+//! type structure) of every referenced symbol — but **not** raw `StIdx`
+//! values, which shift whenever an unrelated file adds a symbol, and
+//! **not** assigned addresses, which the layout pass may move without
+//! changing any summary.
+//!
+//! Two entry points:
+//!
+//! - [`proc_fingerprint`] — a stable 64-bit content hash, used as the cache
+//!   key;
+//! - [`procs_correspond`] — the verification walk run on every candidate
+//!   cache hit: it re-checks full structural equality node by node (so a
+//!   fingerprint collision degrades to a cache miss, never a wrong reuse)
+//!   and returns the `StIdx`/`Symbol` translation maps needed to *rebase*
+//!   a cached summary onto the new program's tables.
+
+use crate::node::{Opr, WhirlNode};
+use crate::program::{Lang, Level, ProcId, Program};
+use crate::symtab::{DimBound, StIdx, TyKind};
+use std::collections::BTreeMap;
+use support::hash::StableHasher;
+use support::intern::Symbol;
+
+/// Hashes everything the budget machinery lets influence a summary, so a
+/// budget change invalidates every cached entry.
+pub fn budget_salt(b: &support::budget::BudgetConfig) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(b.fm_steps);
+    h.write_usize(b.max_constraints);
+    h.write_u64(b.translations);
+    h.write_u32(b.recursion_limit);
+    h.finish()
+}
+
+/// A stable content hash of one procedure: metadata, formals, and the
+/// reachable WHIRL tree with symbols hashed by identity. `salt` folds in
+/// out-of-band inputs (the analysis [`BudgetConfig`](support::budget::BudgetConfig)).
+pub fn proc_fingerprint(program: &Program, id: ProcId, salt: u64) -> u64 {
+    let proc = program.procedure(id);
+    let mut h = StableHasher::new();
+    h.write_u64(salt);
+    h.write_str(program.name_of(proc.name));
+    h.write_str(program.interner.resolve(proc.file));
+    h.write_u32(proc.linenum);
+    h.write_u8(lang_tag(proc.lang));
+    h.write_u8(level_tag(proc.level));
+    h.write_usize(proc.formals.len());
+    for &f in &proc.formals {
+        hash_symbol(&mut h, program, f);
+    }
+    for wn in proc.tree.iter() {
+        let n = proc.tree.node(wn);
+        hash_node(&mut h, program, n);
+    }
+    h.finish()
+}
+
+fn hash_node(h: &mut StableHasher, program: &Program, n: &WhirlNode) {
+    h.write_u8(opr_tag(n.operator));
+    h.write_u32(n.linenum);
+    h.write_i64(n.offset);
+    h.write_i64(n.elem_size);
+    h.write_i64(n.const_val);
+    h.write_u8(n.res as u8);
+    h.write_usize(n.kids.len());
+    match n.st_idx {
+        Some(st) => {
+            h.write_u8(1);
+            hash_symbol(h, program, st);
+        }
+        None => h.write_u8(0),
+    }
+}
+
+fn hash_symbol(h: &mut StableHasher, program: &Program, st: StIdx) {
+    let entry = program.symbols.get(st);
+    h.write_str(program.name_of(entry.name));
+    h.write_u8(entry.class as u8);
+    hash_type(h, &program.types.get(entry.ty).kind);
+}
+
+fn hash_type(h: &mut StableHasher, kind: &TyKind) {
+    match kind {
+        TyKind::Scalar(dt) => {
+            h.write_u8(0);
+            h.write_u8(*dt as u8);
+        }
+        TyKind::Array { elem, dims, contiguous } => {
+            h.write_u8(1);
+            h.write_u8(*elem as u8);
+            h.write_u8(u8::from(*contiguous));
+            h.write_usize(dims.len());
+            for d in dims {
+                match d {
+                    DimBound::Const { lb, ub } => {
+                        h.write_u8(0);
+                        h.write_i64(*lb);
+                        h.write_i64(*ub);
+                    }
+                    DimBound::Runtime => h.write_u8(1),
+                }
+            }
+        }
+        TyKind::Proc(dt) => {
+            h.write_u8(2);
+            h.write_u8(*dt as u8);
+        }
+    }
+}
+
+fn opr_tag(op: Opr) -> u8 {
+    op as u8
+}
+
+fn lang_tag(l: Lang) -> u8 {
+    match l {
+        Lang::C => 0,
+        Lang::Fortran => 1,
+    }
+}
+
+fn level_tag(l: Level) -> u8 {
+    match l {
+        Level::VeryHigh => 0,
+        Level::High => 1,
+    }
+}
+
+/// Symbol translation maps produced by a verified correspondence: how to
+/// rewrite indices and interned names minted by the *old* program into the
+/// *new* program's tables.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolMaps {
+    /// Old `StIdx` → new `StIdx`, for every symbol the old tree references.
+    pub st: BTreeMap<StIdx, StIdx>,
+    /// Old interned name → new interned name, for the same symbols.
+    pub sym: BTreeMap<Symbol, Symbol>,
+}
+
+impl SymbolMaps {
+    /// Merges `other` into `self`. Returns `false` on a contradictory
+    /// mapping (the same old index bound to two different new indices) —
+    /// impossible for identity-verified maps of one program pair, but
+    /// callers treat it as a cache miss rather than trusting it.
+    pub fn merge(&mut self, other: &SymbolMaps) -> bool {
+        for (&o, &n) in &other.st {
+            if *self.st.entry(o).or_insert(n) != n {
+                return false;
+            }
+        }
+        for (&o, &n) in &other.sym {
+            if *self.sym.entry(o).or_insert(n) != n {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Verifies that procedure `old_id` of `old` and `new_id` of `new` are
+/// structurally identical (same metadata, formals, tree, node fields, and
+/// symbol identities) and, when they are, returns the symbol translation
+/// maps. Returns `None` on any mismatch.
+pub fn procs_correspond(
+    old: &Program,
+    old_id: ProcId,
+    new: &Program,
+    new_id: ProcId,
+) -> Option<SymbolMaps> {
+    let o = old.procedure(old_id);
+    let n = new.procedure(new_id);
+    if old.name_of(o.name) != new.name_of(n.name)
+        || old.interner.resolve(o.file) != new.interner.resolve(n.file)
+        || o.linenum != n.linenum
+        || o.lang != n.lang
+        || o.level != n.level
+        || o.formals.len() != n.formals.len()
+    {
+        return None;
+    }
+    let mut maps = SymbolMaps::default();
+    for (&of, &nf) in o.formals.iter().zip(&n.formals) {
+        bind_symbol(old, of, new, nf, &mut maps)?;
+    }
+    let mut old_walk = o.tree.iter();
+    let mut new_walk = n.tree.iter();
+    loop {
+        match (old_walk.next(), new_walk.next()) {
+            (None, None) => break,
+            (Some(ow), Some(nw)) => {
+                let on = o.tree.node(ow);
+                let nn = n.tree.node(nw);
+                if on.operator != nn.operator
+                    || on.linenum != nn.linenum
+                    || on.offset != nn.offset
+                    || on.elem_size != nn.elem_size
+                    || on.const_val != nn.const_val
+                    || on.res != nn.res
+                    || on.kids.len() != nn.kids.len()
+                {
+                    return None;
+                }
+                match (on.st_idx, nn.st_idx) {
+                    (None, None) => {}
+                    (Some(os), Some(ns)) => bind_symbol(old, os, new, ns, &mut maps)?,
+                    _ => return None,
+                }
+            }
+            _ => return None, // different node counts
+        }
+    }
+    Some(maps)
+}
+
+/// Maps every *global* symbol of `old` onto the structurally identical
+/// global of `new` with the same name, when one exists, and every old
+/// interned name onto the new program's symbol for the same string.
+///
+/// Globals live in one program-wide namespace, so name + class + type
+/// structure identifies them without any per-procedure walk. Interned
+/// [`Symbol`]s are pure names (one interner per program), so cross-program
+/// translation by string is exact. The incremental session merges this into
+/// a procedure's correspondence maps before rebasing *propagated* summaries,
+/// whose records may mention identities the procedure's own tree never
+/// touches — a callee's side effect on a common block, or a callee's loop
+/// variable carried into a translated region `Space`.
+pub fn global_symbol_map(old: &Program, new: &Program) -> SymbolMaps {
+    let mut by_name: BTreeMap<&str, StIdx> = BTreeMap::new();
+    for (st, entry) in new.symbols.iter() {
+        if entry.class == crate::symtab::StClass::Global {
+            by_name.insert(new.name_of(entry.name), st);
+        }
+    }
+    let mut maps = SymbolMaps::default();
+    for (st, entry) in old.symbols.iter() {
+        if entry.class != crate::symtab::StClass::Global {
+            continue;
+        }
+        let Some(&ns) = by_name.get(old.name_of(entry.name)) else { continue };
+        // `bind_symbol` re-checks class and type structure; an incompatible
+        // same-name global simply stays unmapped (rebase will then refuse).
+        let _ = bind_symbol(old, st, new, ns, &mut maps);
+    }
+    for (osym, name) in old.interner.iter() {
+        let Some(nsym) = new.interner.get(name) else { continue };
+        // Cannot contradict a `bind_symbol` entry: that path only binds
+        // equal-string names, and the new interner deduplicates, so the
+        // string lookup lands on the same new symbol. Names absent from the
+        // new interner stay unmapped and force recomputation.
+        maps.sym.entry(osym).or_insert(nsym);
+    }
+    maps
+}
+
+/// Checks that `os` (in `old`) and `ns` (in `new`) denote the same symbol
+/// identity and records the binding; `None` on identity mismatch or a
+/// contradiction with an earlier binding.
+fn bind_symbol(
+    old: &Program,
+    os: StIdx,
+    new: &Program,
+    ns: StIdx,
+    maps: &mut SymbolMaps,
+) -> Option<()> {
+    let oe = old.symbols.get(os);
+    let ne = new.symbols.get(ns);
+    if old.name_of(oe.name) != new.name_of(ne.name)
+        || oe.class != ne.class
+        || old.types.get(oe.ty).kind != new.types.get(ne.ty).kind
+    {
+        return None;
+    }
+    if *maps.st.entry(os).or_insert(ns) != ns {
+        return None;
+    }
+    if *maps.sym.entry(oe.name).or_insert(ne.name) != ne.name {
+        return None;
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Fingerprint/correspondence tests that need compiled programs live in
+    // `tests/hash_fingerprint.rs` — the frontend dev-dependency links a
+    // separate instance of this crate, so its `Program` type only unifies
+    // with ours in integration tests.
+
+    #[test]
+    fn merge_detects_contradictions() {
+        let mut a = SymbolMaps::default();
+        a.st.insert(StIdx(0), StIdx(1));
+        let mut b = SymbolMaps::default();
+        b.st.insert(StIdx(0), StIdx(2));
+        assert!(a.clone().merge(&SymbolMaps::default()), "empty merge is fine");
+        assert!(a.clone().merge(&a.clone()), "self merge is fine");
+        assert!(!a.merge(&b), "contradictory binding must be rejected");
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod builder;
 pub mod emit;
+pub mod hash;
 pub mod interp;
 pub mod lower;
 pub mod node;

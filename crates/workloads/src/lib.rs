@@ -39,6 +39,28 @@ impl GenSource {
     pub fn c(name: impl Into<String>, text: impl Into<String>) -> Self {
         GenSource { name: name.into(), text: text.into(), fortran: false }
     }
+
+    /// The language tag a front end expects.
+    pub fn lang(&self) -> whirl::Lang {
+        if self.fortran {
+            whirl::Lang::Fortran
+        } else {
+            whirl::Lang::C
+        }
+    }
+}
+
+impl From<GenSource> for frontend::SourceFile {
+    fn from(g: GenSource) -> Self {
+        let lang = g.lang();
+        frontend::SourceFile { name: g.name, text: g.text, lang }
+    }
+}
+
+impl From<&GenSource> for frontend::SourceFile {
+    fn from(g: &GenSource) -> Self {
+        frontend::SourceFile::new(&g.name, &g.text, g.lang())
+    }
 }
 
 #[cfg(test)]

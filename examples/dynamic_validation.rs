@@ -15,7 +15,7 @@ use whirl::interp::Limits;
 fn main() {
     // 1. The matrix.c example.
     let srcs = vec![workloads::fig10::source()];
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let dynamic = run_dynamic(&analysis.program, "main", Limits::default()).unwrap();
     println!("== dynamic regions: matrix.c ==");
     print!("{}", render_report(&analysis.program, &dynamic));
@@ -30,7 +30,7 @@ fn main() {
 
     // 2. The mini-LU benchmark at a small grid (6³, 2 SSOR steps).
     let lu = workloads::mini_lu::sources_scaled(workloads::mini_lu::LuConfig::tiny());
-    let analysis = Analysis::run_generated(&lu, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&lu, AnalysisOptions::default()).unwrap();
     let dynamic = run_dynamic(&analysis.program, "applu", Limits::default()).unwrap();
     println!("== dynamic regions: mini-LU (grid 6, 2 steps) ==");
     print!("{}", render_report(&analysis.program, &dynamic));

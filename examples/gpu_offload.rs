@@ -14,7 +14,7 @@ use regions::access::AccessMode;
 
 fn main() {
     let sources = workloads::mini_lu::sources();
-    let analysis = Analysis::run_generated(&sources, AnalysisOptions::default())
+    let analysis = Analysis::analyze(&sources, AnalysisOptions::default())
         .expect("mini-LU analyzes");
     let project = Project::from_generated(&analysis, &sources);
 

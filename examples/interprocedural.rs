@@ -14,7 +14,7 @@ fn main() {
     let sources = vec![workloads::fig1::source()];
     println!("== source (fig1.f) ==\n{}", sources[0].text);
 
-    let analysis = Analysis::run_generated(&sources, AnalysisOptions::default())
+    let analysis = Analysis::analyze(&sources, AnalysisOptions::default())
         .expect("fig1 analyzes");
     let project = Project::from_generated(&analysis, &sources);
 
@@ -45,7 +45,7 @@ fn main() {
 
     // Negative control: overlap the regions and watch the verdict flip.
     let overlap = vec![workloads::fig1::overlapping_variant()];
-    let analysis2 = Analysis::run_generated(&overlap, AnalysisOptions::default())
+    let analysis2 = Analysis::analyze(&overlap, AnalysisOptions::default())
         .expect("variant analyzes");
     let advice2 = advisor::parallel_call_advice(&analysis2);
     println!(

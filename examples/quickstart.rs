@@ -18,7 +18,7 @@ fn main() {
 
     // 2. Compile + analyze: frontend → H WHIRL → call graph → IPL/IPA →
     //    Algorithm 1 extraction.
-    let analysis = Analysis::run_generated(&sources, AnalysisOptions::default())
+    let analysis = Analysis::analyze(&sources, AnalysisOptions::default())
         .expect("matrix.c analyzes");
     println!(
         "analyzed {} procedure(s), extracted {} region rows",

@@ -10,7 +10,7 @@ use regions::access::AccessMode;
 
 fn analyze() -> (Analysis, Project) {
     let srcs = vec![workloads::caf::source()];
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let project = Project::from_generated(&analysis, &srcs);
     (analysis, project)
 }
@@ -101,7 +101,7 @@ fn coindexing_non_coarray_is_rejected() {
     );
     // Graceful degradation: the offending procedure is emptied rather than
     // failing the whole run, and the diagnostic survives in the report.
-    let a = Analysis::run_generated(&[bad], AnalysisOptions::default())
+    let a = Analysis::analyze(&[bad], AnalysisOptions::default())
         .expect("a sema error in one procedure degrades, not fails");
     assert!(a.degraded());
     let report = a.degradation_report();

@@ -1,0 +1,62 @@
+//! Thread-count determinism: the exported `.rgn`/`.dgn`/`.cfg` artifacts
+//! must be byte-identical whether the IPL phase runs serially or fanned out
+//! over worker threads, on every workload source in the repo. The parallel
+//! path merges per-worker results by procedure index, so any ordering leak
+//! shows up here as a diff.
+
+use araa::{Analysis, AnalysisOptions, AnalysisSession};
+use workloads::synthetic::SynthConfig;
+use workloads::GenSource;
+
+fn artifacts(sources: &[GenSource], threads: usize) -> (String, String, String) {
+    let a = Analysis::analyze(sources, AnalysisOptions::builder().threads(threads).build())
+        .expect("analysis succeeds");
+    (a.rgn_document(), a.dgn_document(), a.cfg_document())
+}
+
+fn assert_thread_invariant(label: &str, sources: &[GenSource]) {
+    let (rgn1, dgn1, cfg1) = artifacts(sources, 1);
+    let (rgn8, dgn8, cfg8) = artifacts(sources, 8);
+    assert_eq!(rgn1, rgn8, "{label}: .rgn differs between 1 and 8 threads");
+    assert_eq!(dgn1, dgn8, "{label}: .dgn differs between 1 and 8 threads");
+    assert_eq!(cfg1, cfg8, "{label}: .cfg differs between 1 and 8 threads");
+}
+
+#[test]
+fn mini_lu_artifacts_are_thread_invariant() {
+    assert_thread_invariant("mini_lu", &workloads::mini_lu::sources());
+}
+
+#[test]
+fn single_file_workloads_are_thread_invariant() {
+    assert_thread_invariant("fig1", &[workloads::fig1::source()]);
+    assert_thread_invariant("fig10", &[workloads::fig10::source()]);
+    assert_thread_invariant("caf", &[workloads::caf::source()]);
+    assert_thread_invariant("stencil", &[workloads::stencil::source()]);
+}
+
+#[test]
+fn synthetic_family_is_thread_invariant() {
+    let cfg = SynthConfig { procedures: 24, ..SynthConfig::default() };
+    assert_thread_invariant("synthetic", &[workloads::synthetic::generate(&cfg)]);
+}
+
+#[test]
+fn warm_session_updates_are_thread_invariant() {
+    let run = |threads: usize| {
+        let mut sources = workloads::mini_lu::sources();
+        let opts = AnalysisOptions::builder().threads(threads).build();
+        let mut session = AnalysisSession::new(opts);
+        session.update(sources.clone()).expect("cold update");
+        let rhs = sources.iter_mut().find(|s| s.name == "rhs.f").expect("rhs.f");
+        rhs.text = rhs.text.replace("do k = 1, 10", "do k = 1, 7");
+        session.update(sources).expect("warm update");
+        let a = session.analysis().expect("analysis kept");
+        (a.rgn_document(), a.dgn_document(), a.cfg_document())
+    };
+    let serial = run(1);
+    let threaded = run(8);
+    assert_eq!(serial.0, threaded.0, "warm .rgn differs between 1 and 8 threads");
+    assert_eq!(serial.1, threaded.1, "warm .dgn differs between 1 and 8 threads");
+    assert_eq!(serial.2, threaded.2, "warm .cfg differs between 1 and 8 threads");
+}

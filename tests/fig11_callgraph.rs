@@ -5,7 +5,7 @@ use araa::{Analysis, AnalysisOptions};
 use dragon::Project;
 
 fn analyze_lu() -> Analysis {
-    Analysis::run_generated(&workloads::mini_lu::sources(), AnalysisOptions::default())
+    Analysis::analyze(&workloads::mini_lu::sources(), AnalysisOptions::default())
         .unwrap()
 }
 

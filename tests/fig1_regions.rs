@@ -11,7 +11,7 @@ use regions::access::AccessMode;
 
 fn analyze() -> (Analysis, Project) {
     let srcs = vec![workloads::fig1::source()];
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let project = Project::from_generated(&analysis, &srcs);
     (analysis, project)
 }
@@ -91,7 +91,7 @@ fn advisor_declares_p1_p2_parallelizable() {
 #[test]
 fn overlapping_variant_is_not_parallelizable() {
     let srcs = vec![workloads::fig1::overlapping_variant()];
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let advice = advisor::parallel_call_advice(&analysis);
     assert!(
         advice.is_empty(),

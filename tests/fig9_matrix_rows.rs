@@ -8,7 +8,7 @@ use regions::access::AccessMode;
 
 fn rows() -> (Analysis, Vec<RgnRow>) {
     let srcs = vec![workloads::fig10::source()];
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let rows = analysis.rows.clone();
     (analysis, rows)
 }
@@ -75,7 +75,7 @@ fn rgn_file_round_trip_preserves_all_rows() {
 #[test]
 fn dragon_find_highlights_aarr_rows() {
     let srcs = vec![workloads::fig10::source()];
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let project = Project::from_generated(&analysis, &srcs);
     let opts = ViewOptions { find: Some("aarr".into()), color: true, ..Default::default() };
     let out = render_scope(&project, "@", &opts);
@@ -86,7 +86,7 @@ fn dragon_find_highlights_aarr_rows() {
 #[test]
 fn source_browse_marks_access_statements() {
     let srcs = vec![workloads::fig10::source()];
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let project = Project::from_generated(&analysis, &srcs);
     let out =
         dragon::browse::render_source_with_highlights(&project, "matrix.c", "aarr", false)
@@ -99,7 +99,7 @@ fn source_browse_marks_access_statements() {
 #[test]
 fn whirl2c_emission_round_readable() {
     let srcs = vec![workloads::fig10::source()];
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let id = analysis.program.find_procedure("main").unwrap();
     let out = whirl::emit::emit_procedure(
         &analysis.program,

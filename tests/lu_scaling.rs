@@ -9,7 +9,7 @@ use regions::access::AccessMode;
 use workloads::mini_lu::{sources_scaled, LuConfig};
 
 fn analyze(cfg: LuConfig) -> Analysis {
-    Analysis::run_generated(&sources_scaled(cfg), AnalysisOptions::default()).unwrap()
+    Analysis::analyze(&sources_scaled(cfg), AnalysisOptions::default()).unwrap()
 }
 
 #[test]

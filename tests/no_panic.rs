@@ -1,6 +1,6 @@
 //! Robustness corpus: no input, however malformed, may panic the pipeline.
 //!
-//! Every source below goes through the full `Analysis::run_generated`
+//! Every source below goes through the full `Analysis::analyze`
 //! pipeline. The contract is graceful: either a clean result, a degraded
 //! result (with structured [`araa::Degradation`] entries), or a typed
 //! error — never a panic, never a stack-overflow abort.
@@ -135,7 +135,7 @@ fn mutated_workloads_never_panic() {
         for variant in mutations(&src) {
             let name = variant.name.clone();
             let result = std::panic::catch_unwind(|| {
-                Analysis::run_generated(&[variant], AnalysisOptions::default())
+                Analysis::analyze(&[variant], AnalysisOptions::default())
             });
             assert!(result.is_ok(), "pipeline panicked on mutated workload: {name}");
         }
@@ -147,7 +147,7 @@ fn malformed_corpus_never_panics() {
     for (label, src) in corpus() {
         // A panic here fails the test with the corpus label in the backtrace.
         let result = std::panic::catch_unwind(|| {
-            Analysis::run_generated(&[src.clone()], AnalysisOptions::default())
+            Analysis::analyze(&[src.clone()], AnalysisOptions::default())
         });
         assert!(result.is_ok(), "pipeline panicked on corpus entry: {label}");
     }
@@ -166,7 +166,7 @@ fn each_corpus_entry_paired_with_a_healthy_unit_keeps_the_healthy_rows() {
             continue;
         }
         let srcs = vec![src, healthy.clone()];
-        match Analysis::run_generated(&srcs, AnalysisOptions::default()) {
+        match Analysis::analyze(&srcs, AnalysisOptions::default()) {
             Ok(a) => {
                 assert!(
                     a.rows.iter().any(|r| r.proc == "fill"),
@@ -180,13 +180,13 @@ fn each_corpus_entry_paired_with_a_healthy_unit_keeps_the_healthy_rows() {
 
 #[test]
 fn tiny_budget_degrades_every_workload_without_failing() {
-    let opts = AnalysisOptions { budget: BudgetConfig::tiny(), ..Default::default() };
+    let opts = AnalysisOptions::builder().budget(BudgetConfig::tiny()).build();
     for (label, srcs) in [
         ("fig1", vec![workloads::fig1::source()]),
         ("matrix", vec![workloads::fig10::source()]),
         ("mini_lu", workloads::mini_lu::sources()),
     ] {
-        let a = Analysis::run_generated(&srcs, opts)
+        let a = Analysis::analyze(&srcs, opts)
             .unwrap_or_else(|e| panic!("{label} failed under tiny budget: {e}"));
         assert!(
             !a.rows.is_empty(),
@@ -200,7 +200,7 @@ fn degradations_render_one_line_each() {
     let srcs = vec![
         fortran("bad.f", "program main\n  integer i\n  i = = 1\n  i = 2\nend\n"),
     ];
-    let a = Analysis::run_generated(&srcs, AnalysisOptions::default()).expect("degrades, not fails");
+    let a = Analysis::analyze(&srcs, AnalysisOptions::default()).expect("degrades, not fails");
     assert!(a.degraded());
     let report = a.degradation_report();
     assert_eq!(report.lines().count(), a.degradations.len());

@@ -67,7 +67,7 @@ fn gen_loop() -> impl Strategy<Value = GenLoop> {
 }
 
 fn def_bounds(src: &str) -> (Vec<i64>, Vec<i64>, Vec<i64>) {
-    let analysis = Analysis::run_generated(
+    let analysis = Analysis::analyze(
         &[workloads::GenSource::fortran("p.f", src)],
         AnalysisOptions::default(),
     )
@@ -135,7 +135,7 @@ proptest! {
             seed,
         };
         let src = workloads::synthetic::generate(&cfg);
-        let analysis = Analysis::run_generated(&[src], AnalysisOptions::default()).unwrap();
+        let analysis = Analysis::analyze(&[src], AnalysisOptions::default()).unwrap();
         prop_assert_eq!(analysis.program.procedure_count(), procs + 1);
         // Every worker contributes DEF rows on some global.
         for p in 0..procs {

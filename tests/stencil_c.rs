@@ -9,7 +9,7 @@ use workloads::stencil::N;
 
 fn analyze() -> (Analysis, Project) {
     let srcs = vec![workloads::stencil::source()];
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let project = Project::from_generated(&analysis, &srcs);
     (analysis, project)
 }

@@ -10,7 +10,7 @@ use regions::access::AccessMode;
 
 fn analyze() -> (Analysis, Project) {
     let srcs = workloads::mini_lu::sources();
-    let analysis = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let project = Project::from_generated(&analysis, &srcs);
     (analysis, project)
 }

@@ -8,7 +8,7 @@ use dragon::Project;
 
 fn lu() -> (Analysis, Vec<workloads::GenSource>) {
     let srcs = workloads::mini_lu::sources();
-    let a = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let a = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     (a, srcs)
 }
 
@@ -58,7 +58,7 @@ fn whirl2f_emits_all_lu_procedures() {
 #[test]
 fn whirl2c_emits_matrix_source() {
     let srcs = vec![workloads::fig10::source()];
-    let a = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
+    let a = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
     let out = whirl::emit::emit_program(&a.program, whirl::emit::Dialect::C);
     assert!(out.contains("void main()"));
     assert!(out.contains("aarr["));
@@ -79,10 +79,10 @@ fn grep_feature_finds_u_statements_across_files() {
 #[test]
 fn parallel_analysis_gives_identical_artifacts() {
     let srcs = workloads::mini_lu::sources();
-    let serial = Analysis::run_generated(&srcs, AnalysisOptions::default()).unwrap();
-    let threaded = Analysis::run_generated(
+    let serial = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
+    let threaded = Analysis::analyze(
         &srcs,
-        AnalysisOptions { threads: 8, ..Default::default() },
+        AnalysisOptions::builder().threads(8).build(),
     )
     .unwrap();
     assert_eq!(serial.rgn_document(), threaded.rgn_document());
