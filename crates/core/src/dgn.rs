@@ -10,6 +10,7 @@
 use ipa::callgraph::display_name;
 use ipa::CallGraph;
 use support::csv::{parse, CsvWriter};
+use support::persist::{append_text_checksum, verify_text_checksum};
 use support::Error;
 use whirl::Program;
 
@@ -72,7 +73,8 @@ impl DgnProject {
         DgnProject { procs, calls }
     }
 
-    /// Serializes to the `.dgn` text format.
+    /// Serializes to the `.dgn` text format, finished with a `#checksum`
+    /// trailer line so truncation and in-place corruption are detectable.
     pub fn write(&self) -> String {
         let mut w = CsvWriter::new();
         w.write_row(["dgn", "1"]);
@@ -82,11 +84,15 @@ impl DgnProject {
         for c in &self.calls {
             w.write_row(["call", &c.caller, &c.callee, &c.line.to_string()]);
         }
-        w.finish()
+        let mut doc = w.finish();
+        append_text_checksum(&mut doc);
+        doc
     }
 
-    /// Parses a `.dgn` document.
+    /// Parses a `.dgn` document, verifying the `#checksum` trailer when one
+    /// is present (files from older tool versions carry none).
     pub fn read(doc: &str) -> Result<Self, Error> {
+        let doc = verify_text_checksum(doc)?;
         let records = parse(doc)?;
         let mut it = records.into_iter();
         match it.next() {

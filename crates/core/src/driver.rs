@@ -248,7 +248,8 @@ impl Analysis {
         DgnProject::from_program(&self.program, &self.callgraph).write()
     }
 
-    /// The `.cfg` document: concatenated DOT CFGs, one per procedure.
+    /// The `.cfg` document: concatenated DOT CFGs, one per procedure,
+    /// finished with a `#checksum` trailer (`#` is a DOT comment).
     pub fn cfg_document(&self) -> String {
         let mut out = String::new();
         for proc in self.program.procedures.iter() {
@@ -256,10 +257,15 @@ impl Analysis {
             out.push_str(&Cfg::build(proc).to_dot(name));
             out.push('\n');
         }
+        support::persist::append_text_checksum(&mut out);
         out
     }
 
     /// Writes `<stem>.rgn`, `<stem>.dgn` and `<stem>.cfg` under `dir`.
+    ///
+    /// Each file is written atomically (temp file + fsync + rename): a crash
+    /// or full disk mid-write leaves either the previous artifact or the new
+    /// one, never a truncated hybrid that a later Dragon load would choke on.
     pub fn write_project(&self, dir: &std::path::Path, stem: &str) -> Result<()> {
         std::fs::create_dir_all(dir)
             .map_err(|e| Error::io(format!("creating {}", dir.display()), e))?;
@@ -269,8 +275,7 @@ impl Analysis {
             ("cfg", self.cfg_document()),
         ] {
             let path = dir.join(format!("{stem}.{ext}"));
-            std::fs::write(&path, doc)
-                .map_err(|e| Error::io(format!("writing {}", path.display()), e))?;
+            support::persist::atomic_write(&path, doc.as_bytes())?;
         }
         Ok(())
     }
@@ -400,8 +405,8 @@ mod tests {
             AnalysisOptions::default(),
         )
         .unwrap();
-        let dir = std::env::temp_dir().join("araa_test_project");
-        a.write_project(&dir, "matrix").unwrap();
+        let dir = support::testdir::TestDir::new("project");
+        a.write_project(dir.path(), "matrix").unwrap();
         let rgn = std::fs::read_to_string(dir.join("matrix.rgn")).unwrap();
         let rows = crate::rgn::read_rgn(&rgn).unwrap();
         assert_eq!(rows.len(), a.rows.len());
@@ -409,7 +414,13 @@ mod tests {
         assert!(DgnProject::read(&dgn).is_ok());
         let cfg = std::fs::read_to_string(dir.join("matrix.cfg")).unwrap();
         assert!(cfg.contains("digraph"));
-        std::fs::remove_dir_all(&dir).ok();
+        // No temp-file litter: atomic writes cleaned up after themselves.
+        let names: Vec<_> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 3, "{names:?}");
     }
 
     #[test]
@@ -526,13 +537,13 @@ end
             AnalysisOptions::default(),
         )
         .unwrap();
-        let file = std::env::temp_dir().join("araa_not_a_dir");
+        let dir = support::testdir::TestDir::new("not-a-dir");
+        let file = dir.join("blocker");
         std::fs::write(&file, b"x").unwrap();
         let err = a.write_project(&file.join("sub"), "matrix").unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("creating"), "{msg}");
-        assert!(msg.contains("araa_not_a_dir"), "{msg}");
-        std::fs::remove_file(&file).ok();
+        assert!(msg.contains("blocker"), "{msg}");
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub mod session;
 pub use driver::{Analysis, AnalysisOptions, AnalysisOptionsBuilder, Degradation};
 pub use extract::{extract_rows, extract_rows_isolated, ExtractOptions};
 pub use row::RgnRow;
-pub use session::{AnalysisDelta, AnalysisSession};
+pub use session::{AnalysisDelta, AnalysisSession, CacheStats, SessionStore, VerifyReport};

@@ -6,21 +6,28 @@
 
 use crate::row::RgnRow;
 use support::csv::{parse, CsvWriter};
+use support::persist::{append_text_checksum, verify_text_checksum};
 use support::Error;
 
 /// Serializes rows into a `.rgn` document (header + one row per region per
-/// access mode).
+/// access mode), finished with a `#checksum` trailer line so truncation and
+/// in-place corruption are detectable on read.
 pub fn write_rgn(rows: &[RgnRow]) -> String {
     let mut w = CsvWriter::new();
     w.write_row(RgnRow::HEADER);
     for row in rows {
         row.write_csv(&mut w);
     }
-    w.finish()
+    let mut doc = w.finish();
+    append_text_checksum(&mut doc);
+    doc
 }
 
-/// Parses a `.rgn` document back into rows, verifying the header.
+/// Parses a `.rgn` document back into rows, verifying the header and (when
+/// present) the `#checksum` trailer. Files from older tool versions carry no
+/// trailer and still parse.
 pub fn read_rgn(doc: &str) -> Result<Vec<RgnRow>, Error> {
+    let doc = verify_text_checksum(doc)?;
     let records = parse(doc)?;
     let mut it = records.into_iter();
     let header = it

@@ -28,6 +28,10 @@
 //! [`Analysis::analyze`]) runs every step with an all-dirty mask, which is
 //! byte-for-byte the non-incremental pipeline.
 
+pub mod store;
+
+pub use store::{CacheStats, SessionStore, VerifyReport};
+
 use crate::driver::{Analysis, AnalysisOptions, Degradation};
 use crate::extract::{extract_proc_rows, resolve_formal_addresses, ExtractOptions};
 use crate::row::RgnRow;
@@ -108,6 +112,9 @@ struct SessionState {
     extract_env: Option<u64>,
     /// Ordered content keys of the source set this state was built from.
     file_keys: Vec<u64>,
+    /// The source set itself, retained so the state can be persisted (the
+    /// on-disk cache stores sources and re-derives the program from them).
+    sources: Vec<SourceFile>,
 }
 
 /// A verified cache hit: the old procedure it corresponds to, the symbol
@@ -147,6 +154,11 @@ pub struct AnalysisSession {
     /// `None` once the thread is gone (its handle is never joined — it owns
     /// nothing but garbage).
     graveyard: Option<std::sync::mpsc::Sender<SessionState>>,
+    /// On-disk cache attached via [`with_cache_dir`](Self::with_cache_dir).
+    store: Option<SessionStore>,
+    /// Incidents recorded by [`load`](Self::load) / [`persist`](Self::persist):
+    /// quarantined files, lock timeouts, failed saves.
+    cache_incidents: Vec<Degradation>,
 }
 
 impl AnalysisSession {
@@ -164,6 +176,8 @@ impl AnalysisSession {
             file_cache: BTreeMap::new(),
             state: None,
             graveyard: spawned.then_some(tx),
+            store: None,
+            cache_incidents: Vec::new(),
         }
     }
 
@@ -589,6 +603,7 @@ impl AnalysisSession {
             extract_fail,
             extract_env,
             file_keys: keys,
+            sources,
         });
         // Ship the displaced state to the dropper thread; if that fails
         // (thread gone, or it never spawned) just drop inline.

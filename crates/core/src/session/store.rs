@@ -1,0 +1,829 @@
+//! On-disk persistence for [`AnalysisSession`]: the crash-safe cache under
+//! `--cache-dir`.
+//!
+//! # Layout
+//!
+//! ```text
+//! <cache-dir>/
+//!   LOCK              advisory lock (owner pid; stale locks taken over)
+//!   manifest.araa     container: sources + per-procedure entry index
+//!   e<checksum>.araa  immutable content-addressed per-procedure entries
+//!   quarantine/       rejected files, renamed aside — never deleted blind
+//! ```
+//!
+//! Every file is a [`support::persist`] container (magic, format version,
+//! kind, toolchain+options fingerprint, payload, checksum footer) written
+//! through [`atomic_write`]. Entry files are *content-addressed*: named by
+//! the FNV-1a checksum of their full container bytes and never modified in
+//! place. A save writes any new entry files first, then atomically renames
+//! the new manifest over the old one, then garbage-collects entries the new
+//! manifest no longer references. A crash at any instant therefore leaves
+//! either the old manifest with all of its entries, or the new manifest
+//! with all of its entries — never a mix.
+//!
+//! # Load = prime, `update` = recompute
+//!
+//! [`AnalysisSession::load`] does no analysis. It re-parses the manifest's
+//! stored sources (deterministic — the rebuilt `Program` is bit-identical
+//! to the one the cache was saved against), validates every per-procedure
+//! entry (fingerprint, container checksum, manifest binding), and installs
+//! a session state holding the validated subset. The next
+//! [`AnalysisSession::update`] then runs the ordinary incremental
+//! machinery: procedures with a validated entry are verified cache hits,
+//! anything rejected is simply *dirty* and recomputed cold — exactly the
+//! affected procedures, nothing else. Warm-from-disk results are thereby
+//! byte-identical to cold runs by construction, because both go through the
+//! same (oracle-tested) update path.
+//!
+//! Any rejected file is moved into `quarantine/` (suffixed with the failure
+//! class) and recorded as a cache [`Degradation`] retrievable via
+//! [`AnalysisSession::cache_incidents`] — corruption degrades precision of
+//! nothing and costs only recomputation, and the evidence stays on disk.
+
+use super::{file_key, raw_name, AnalysisSession, SessionState};
+use crate::driver::{Analysis, AnalysisOptions, Degradation};
+use crate::row::RgnRow;
+use frontend::{parse_source_with_recovery, SourceFile};
+use ipa::callgraph::CallGraph;
+use ipa::{IpaResult, ProcSummary};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use support::faultpoint;
+use support::hash::{fnv1a, StableHasher};
+use support::idx::Idx;
+use support::persist::{
+    atomic_write, quarantine_file, quarantine_suffix, read_container, read_container_loose,
+    read_file_raw, toolchain_fingerprint, write_container, ByteReader, ByteWriter, DirLock,
+    Persist,
+};
+use support::{Error, Result};
+use whirl::hash::{budget_salt, proc_fingerprint};
+use whirl::ProcId;
+
+/// Manifest file name inside a cache directory.
+pub const MANIFEST_FILE: &str = "manifest.araa";
+/// Container kind tag of the manifest.
+const KIND_MANIFEST: &str = "araa-session-manifest";
+/// Container kind tag of per-procedure entries.
+const KIND_ENTRY: &str = "araa-session-entry";
+/// How long a session waits for a live lock holder before degrading to
+/// cache-less operation.
+const LOCK_WAIT: Duration = Duration::from_secs(5);
+
+fn entry_name(checksum: u64) -> String {
+    format!("e{checksum:016x}.araa")
+}
+
+fn is_entry_name(name: &str) -> bool {
+    name.len() == 22 && name.starts_with('e') && name.ends_with(".araa")
+}
+
+fn cache_incident(detail: String) -> Degradation {
+    Degradation { proc: "(cache)".to_string(), stage: "cache".to_string(), detail }
+}
+
+// ---------------------------------------------------------------------------
+// Codec for the core-owned persisted types
+// ---------------------------------------------------------------------------
+
+impl Persist for Degradation {
+    fn save(&self, w: &mut ByteWriter) {
+        w.str(&self.proc);
+        w.str(&self.stage);
+        w.str(&self.detail);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(Degradation { proc: r.str()?, stage: r.str()?, detail: r.str()? })
+    }
+}
+
+impl Persist for RgnRow {
+    fn save(&self, w: &mut ByteWriter) {
+        w.str(&self.proc);
+        w.str(&self.array);
+        w.str(&self.file);
+        self.mode.save(w);
+        w.u64(self.refs);
+        w.u8(self.dims);
+        w.str(&self.lb);
+        w.str(&self.ub);
+        w.str(&self.stride);
+        w.i64(self.elem_size);
+        w.str(&self.data_type);
+        w.str(&self.dim_size);
+        w.i64(self.tot_size);
+        w.i64(self.size_bytes);
+        w.str(&self.mem_loc);
+        w.i64(self.acc_density);
+        self.via.save(w);
+        w.u32(self.line);
+        w.bool(self.is_global);
+        w.bool(self.remote);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(RgnRow {
+            proc: r.str()?,
+            array: r.str()?,
+            file: r.str()?,
+            mode: Persist::load(r)?,
+            refs: r.u64()?,
+            dims: r.u8()?,
+            lb: r.str()?,
+            ub: r.str()?,
+            stride: r.str()?,
+            elem_size: r.i64()?,
+            data_type: r.str()?,
+            dim_size: r.str()?,
+            tot_size: r.i64()?,
+            size_bytes: r.i64()?,
+            mem_loc: r.str()?,
+            acc_density: r.i64()?,
+            via: Persist::load(r)?,
+            line: r.u32()?,
+            is_global: r.bool()?,
+            remote: r.bool()?,
+        })
+    }
+}
+
+/// One manifest line: procedure name, its content fingerprint, and the
+/// checksum (= file name) of its entry container.
+struct ManifestEntry {
+    proc: String,
+    fp: u64,
+    checksum: u64,
+}
+
+impl Persist for ManifestEntry {
+    fn save(&self, w: &mut ByteWriter) {
+        w.str(&self.proc);
+        w.u64(self.fp);
+        w.u64(self.checksum);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(ManifestEntry { proc: r.str()?, fp: r.u64()?, checksum: r.u64()? })
+    }
+}
+
+/// The manifest payload: everything needed to rebuild a session state given
+/// the per-procedure entry files.
+struct Manifest {
+    sources: Vec<SourceFile>,
+    entries: Vec<ManifestEntry>,
+    extract_env: Option<u64>,
+    recursion_cut: bool,
+    prop_degr: Vec<Degradation>,
+    degradations: Vec<Degradation>,
+}
+
+impl Persist for Manifest {
+    fn save(&self, w: &mut ByteWriter) {
+        self.sources.save(w);
+        self.entries.save(w);
+        self.extract_env.save(w);
+        w.bool(self.recursion_cut);
+        self.prop_degr.save(w);
+        self.degradations.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(Manifest {
+            sources: Vec::load(r)?,
+            entries: Vec::load(r)?,
+            extract_env: Persist::load(r)?,
+            recursion_cut: r.bool()?,
+            prop_degr: Vec::load(r)?,
+            degradations: Vec::load(r)?,
+        })
+    }
+}
+
+/// One per-procedure cache entry: everything [`SessionState`] holds for a
+/// single procedure.
+struct Entry {
+    local: ProcSummary,
+    propagated: ProcSummary,
+    rows: Vec<RgnRow>,
+    ipl_fail: Option<(String, String)>,
+    extract_fail: Option<String>,
+}
+
+impl Persist for Entry {
+    fn save(&self, w: &mut ByteWriter) {
+        self.local.save(w);
+        self.propagated.save(w);
+        self.rows.save(w);
+        self.ipl_fail.save(w);
+        self.extract_fail.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(Entry {
+            local: Persist::load(r)?,
+            propagated: Persist::load(r)?,
+            rows: Vec::load(r)?,
+            ipl_fail: Persist::load(r)?,
+            extract_fail: Persist::load(r)?,
+        })
+    }
+}
+
+fn decode<T: Persist>(payload: &[u8]) -> Result<T> {
+    let mut r = ByteReader::new(payload);
+    let v = T::load(&mut r)?;
+    r.finish()?;
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// SessionStore
+// ---------------------------------------------------------------------------
+
+/// Handle to one on-disk session cache directory. Carries the directory
+/// path and the toolchain+options fingerprint every container in it must
+/// match. Cheap to clone; all operations take the directory's advisory
+/// lock for their duration.
+#[derive(Debug, Clone)]
+pub struct SessionStore {
+    dir: PathBuf,
+    fingerprint: u64,
+}
+
+/// What [`SessionStore::stats`] reports.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// A manifest file is present.
+    pub manifest: bool,
+    /// Procedures indexed by the manifest (0 when absent or unreadable).
+    pub procedures: usize,
+    /// Source files recorded in the manifest.
+    pub sources: usize,
+    /// Entry files on disk.
+    pub entry_files: usize,
+    /// Total bytes across manifest + entry files.
+    pub bytes: u64,
+    /// Files sitting in `quarantine/`.
+    pub quarantined: usize,
+}
+
+/// What [`SessionStore::verify`] reports.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Files that validated completely (manifest binding included).
+    pub ok: usize,
+    /// Entry files on disk that no manifest entry references. Harmless —
+    /// a crash between manifest commit and garbage collection leaves
+    /// these; the next save sweeps them.
+    pub orphans: usize,
+    /// Human-readable descriptions of everything that failed validation.
+    pub problems: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True when nothing failed validation.
+    pub fn clean(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// The toolchain+options fingerprint stamped into every container this
+/// store writes. Thread count is deliberately excluded: results are
+/// deterministic across `threads` (tested), so caches are shareable.
+fn store_fingerprint(opts: &AnalysisOptions) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(toolchain_fingerprint());
+    h.write_u64(opts.layout_base);
+    h.write_u8(u8::from(opts.include_propagated));
+    h.write_u64(budget_salt(&opts.budget));
+    h.finish()
+}
+
+impl SessionStore {
+    /// A store rooted at `dir` for sessions running with `opts`.
+    pub fn new(dir: impl Into<PathBuf>, opts: &AnalysisOptions) -> Self {
+        SessionStore { dir: dir.into(), fingerprint: store_fingerprint(opts) }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The fingerprint containers in this store must carry.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn lock(&self) -> Result<DirLock> {
+        DirLock::acquire(&self.dir, LOCK_WAIT)
+    }
+
+    /// Counts what is on disk. Read-only (but takes the lock so counts are
+    /// not torn by a concurrent save).
+    pub fn stats(&self) -> Result<CacheStats> {
+        let _lock = self.lock()?;
+        let mut stats = CacheStats::default();
+        let mpath = self.dir.join(MANIFEST_FILE);
+        if let Ok(bytes) = std::fs::read(&mpath) {
+            stats.manifest = true;
+            stats.bytes += bytes.len() as u64;
+            if let Ok((kind, _, payload)) = read_container_loose(&bytes) {
+                if kind == KIND_MANIFEST {
+                    if let Ok(m) = decode::<Manifest>(&payload) {
+                        stats.procedures = m.entries.len();
+                        stats.sources = m.sources.len();
+                    }
+                }
+            }
+        }
+        for entry in self.entry_files()? {
+            stats.entry_files += 1;
+            stats.bytes += std::fs::metadata(&entry).map(|m| m.len()).unwrap_or(0);
+        }
+        if let Ok(rd) = std::fs::read_dir(self.dir.join("quarantine")) {
+            stats.quarantined = rd.count();
+        }
+        Ok(stats)
+    }
+
+    /// Validates every file: manifest structure, per-entry container
+    /// integrity, the manifest↔entry checksum binding, and the
+    /// fingerprint match against this store's options. Read-only — nothing
+    /// is quarantined or deleted (loading does that); the report is for
+    /// inspection.
+    pub fn verify(&self) -> Result<VerifyReport> {
+        let _lock = self.lock()?;
+        let mut report = VerifyReport::default();
+        let mpath = self.dir.join(MANIFEST_FILE);
+        let mut referenced: BTreeMap<String, u64> = BTreeMap::new();
+        match std::fs::read(&mpath) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                report.problems.push("no manifest (cache is empty or was cleared)".to_string());
+            }
+            Err(e) => report.problems.push(format!("manifest unreadable: {e}")),
+            Ok(bytes) => match read_container_loose(&bytes) {
+                Err(cerr) => report.problems.push(format!("manifest: {cerr}")),
+                Ok((kind, fp, payload)) if kind == KIND_MANIFEST => {
+                    if fp != self.fingerprint {
+                        report.problems.push(format!(
+                            "manifest fingerprint {fp:016x} does not match these \
+                             options/toolchain ({:016x}); a load would quarantine it",
+                            self.fingerprint
+                        ));
+                    }
+                    match decode::<Manifest>(&payload) {
+                        Ok(m) => {
+                            report.ok += 1;
+                            for e in &m.entries {
+                                referenced.insert(entry_name(e.checksum), e.checksum);
+                            }
+                        }
+                        Err(e) => report.problems.push(format!("manifest payload: {e}")),
+                    }
+                }
+                Ok((kind, _, _)) => {
+                    report.problems.push(format!("manifest has kind `{kind}`"));
+                }
+            },
+        }
+        for path in self.entry_files()? {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let Ok(bytes) = std::fs::read(&path) else {
+                report.problems.push(format!("{name}: unreadable"));
+                continue;
+            };
+            match read_container_loose(&bytes) {
+                Err(cerr) => report.problems.push(format!("{name}: {cerr}")),
+                Ok((kind, fp, _)) => {
+                    if kind != KIND_ENTRY {
+                        report.problems.push(format!("{name}: unexpected kind `{kind}`"));
+                    } else if fp != self.fingerprint {
+                        report.problems.push(format!(
+                            "{name}: fingerprint {fp:016x} does not match these options"
+                        ));
+                    } else {
+                        match referenced.get(&name) {
+                            None => report.orphans += 1,
+                            Some(&sum) if fnv1a(&bytes) != sum => report
+                                .problems
+                                .push(format!("{name}: contents do not match manifest record")),
+                            Some(_) => report.ok += 1,
+                        }
+                    }
+                }
+            }
+        }
+        for name in referenced.keys() {
+            if !self.dir.join(name).exists() {
+                report.problems.push(format!("{name}: referenced by manifest but missing"));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Deletes the manifest, every entry file, and the quarantine
+    /// directory. Returns how many files were removed. The explicit
+    /// destructive operation — loading never does this.
+    pub fn clear(&self) -> Result<usize> {
+        let _lock = self.lock()?;
+        let mut removed = 0usize;
+        let mpath = self.dir.join(MANIFEST_FILE);
+        if std::fs::remove_file(&mpath).is_ok() {
+            removed += 1;
+        }
+        for path in self.entry_files()? {
+            if std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        let qdir = self.dir.join("quarantine");
+        if let Ok(rd) = std::fs::read_dir(&qdir) {
+            removed += rd.filter(|e| e.is_ok()).count();
+            let _ = std::fs::remove_dir_all(&qdir);
+        }
+        Ok(removed)
+    }
+
+    fn entry_files(&self) -> Result<Vec<PathBuf>> {
+        let rd = match std::fs::read_dir(&self.dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(Error::io(format!("reading {}", self.dir.display()), e)),
+        };
+        let mut out: Vec<PathBuf> = rd
+            .flatten()
+            .filter(|e| {
+                e.file_name().to_str().map(is_entry_name).unwrap_or(false)
+            })
+            .map(|e| e.path())
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// Writes `state` to disk under the crash-safe protocol: entry files
+    /// first (content-addressed, immutable, skipped when already present),
+    /// then the manifest via atomic rename, then garbage collection of
+    /// entries the new manifest no longer references. Faultpoints
+    /// `persist::entry_write`, `persist::pre_manifest`,
+    /// `persist::post_manifest` and `persist::gc` (plus the ones inside
+    /// [`atomic_write`]) simulate a crash at each stage.
+    fn save_state(&self, state: &SessionState) -> Result<()> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| Error::io(format!("creating {}", self.dir.display()), e))?;
+        let _lock = self.lock()?;
+        let n = state.fps.len();
+        let mut entries = Vec::with_capacity(n);
+        let mut referenced = BTreeSet::new();
+        for i in 0..n {
+            let mut w = ByteWriter::new();
+            state.local[i].save(&mut w);
+            state.analysis.ipa.summaries[i].save(&mut w);
+            let rows = &state.analysis.rows[state.proc_rows[i].clone()];
+            w.usize(rows.len());
+            for row in rows {
+                row.save(&mut w);
+            }
+            state.ipl_fail[i].save(&mut w);
+            state.extract_fail[i].save(&mut w);
+            let container = write_container(KIND_ENTRY, self.fingerprint, &w.into_bytes());
+            let checksum = fnv1a(&container);
+            let name = entry_name(checksum);
+            faultpoint::hit("persist::entry_write");
+            let path = self.dir.join(&name);
+            if referenced.insert(name) && !path.exists() {
+                atomic_write(&path, &container)?;
+            }
+            entries.push(ManifestEntry {
+                proc: raw_name(&state.analysis.program, ProcId::from_usize(i)),
+                fp: state.fps[i],
+                checksum,
+            });
+        }
+        let manifest = Manifest {
+            sources: state.sources.clone(),
+            entries,
+            extract_env: state.extract_env,
+            recursion_cut: state.analysis.ipa.recursion_cut,
+            prop_degr: state.prop_degr.clone(),
+            degradations: state.analysis.degradations.clone(),
+        };
+        let mut w = ByteWriter::new();
+        manifest.save(&mut w);
+        let container = write_container(KIND_MANIFEST, self.fingerprint, &w.into_bytes());
+        faultpoint::hit("persist::pre_manifest");
+        atomic_write(&self.dir.join(MANIFEST_FILE), &container)?;
+        faultpoint::hit("persist::post_manifest");
+        // GC entries the committed manifest no longer references. A crash
+        // anywhere in here leaves only unreferenced litter, swept next save.
+        faultpoint::hit("persist::gc");
+        for path in self.entry_files()? {
+            let keep = path
+                .file_name()
+                .and_then(|f| f.to_str())
+                .map(|f| referenced.contains(f))
+                .unwrap_or(true);
+            if !keep {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session integration
+// ---------------------------------------------------------------------------
+
+impl AnalysisSession {
+    /// Like [`AnalysisSession::new`], with an on-disk cache attached at
+    /// `dir`. Call [`load`](Self::load) to warm-start from whatever the
+    /// directory holds, and [`persist`](Self::persist) after updates to
+    /// save the current state.
+    pub fn with_cache_dir(opts: AnalysisOptions, dir: impl Into<PathBuf>) -> Self {
+        let mut s = AnalysisSession::new(opts);
+        s.store = Some(SessionStore::new(dir, &s.opts));
+        s
+    }
+
+    /// The attached store, if the session was created with a cache dir.
+    pub fn store(&self) -> Option<&SessionStore> {
+        self.store.as_ref()
+    }
+
+    /// Cache incidents recorded by [`load`](Self::load) and
+    /// [`persist`](Self::persist): quarantined files, lock timeouts, write
+    /// failures. These are deliberately kept out of
+    /// [`Analysis::degradations`] — cache trouble never changes analysis
+    /// *results* (only how much had to be recomputed), so warm and cold
+    /// results stay comparable — but callers should surface them with the
+    /// same severity as degradations.
+    pub fn cache_incidents(&self) -> &[Degradation] {
+        &self.cache_incidents
+    }
+
+    /// Warm-starts the session from the attached cache directory. Returns
+    /// `true` when a state was installed (possibly partial: procedures
+    /// whose entries failed validation are left cold and will be
+    /// recomputed by the next [`update`](Self::update)). Returns `false` —
+    /// never an error — when there is no store, no manifest, or the
+    /// manifest was rejected; rejected files are quarantined and recorded
+    /// in [`cache_incidents`](Self::cache_incidents).
+    ///
+    /// Call [`update`](Self::update) with the current sources afterwards;
+    /// until then [`analysis`](Self::analysis) reflects the persisted
+    /// snapshot (and may be incomplete if entries were quarantined).
+    pub fn load(&mut self) -> bool {
+        let Some(store) = self.store.clone() else { return false };
+        let mut incidents = Vec::new();
+        let loaded = self.load_inner(&store, &mut incidents);
+        self.cache_incidents.extend(incidents);
+        loaded
+    }
+
+    fn load_inner(&mut self, store: &SessionStore, incidents: &mut Vec<Degradation>) -> bool {
+        if !store.dir.exists() {
+            return false;
+        }
+        let _lock = match store.lock() {
+            Ok(l) => l,
+            Err(e) => {
+                incidents.push(cache_incident(format!("{e}; proceeding without cache")));
+                return false;
+            }
+        };
+        let mpath = store.dir.join(MANIFEST_FILE);
+        let bytes = match read_file_raw(&mpath) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return false,
+            Err(e) => {
+                incidents.push(cache_incident(format!("manifest unreadable: {e}")));
+                return false;
+            }
+            Ok(b) => b,
+        };
+        let manifest = match read_container(&bytes, KIND_MANIFEST, store.fingerprint)
+            .map_err(Error::from)
+            .and_then(|payload| decode::<Manifest>(&payload))
+        {
+            Ok(m) => m,
+            Err(e) => {
+                let suffix = match read_container(&bytes, KIND_MANIFEST, store.fingerprint) {
+                    Err(ref cerr) => quarantine_suffix(cerr),
+                    Ok(_) => "malformed",
+                };
+                let dest = quarantine_file(&mpath, suffix)
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|qe| format!("(quarantine failed: {qe})"));
+                incidents.push(cache_incident(format!(
+                    "manifest rejected ({e}); moved to {dest}; starting cold"
+                )));
+                return false;
+            }
+        };
+
+        // Rebuild the program from the stored sources. Parsing and assembly
+        // are deterministic, so this is bit-identical to the program the
+        // cache was saved against; if it no longer assembles (toolchain
+        // drift should be caught by the fingerprint first), start cold.
+        let parsed: Vec<_> =
+            manifest.sources.iter().map(parse_source_with_recovery).collect();
+        let (program, _diags) = match frontend::assemble_to_h_with_recovery(
+            parsed.clone(),
+            self.opts.layout_base,
+        ) {
+            Ok(out) => out,
+            Err(e) => {
+                incidents.push(cache_incident(format!(
+                    "cached sources no longer assemble ({e}); starting cold"
+                )));
+                return false;
+            }
+        };
+        let cg = CallGraph::build(&program);
+        let n = cg.size();
+        let fps: Vec<u64> = (0..n)
+            .map(|i| proc_fingerprint(&program, ProcId::from_usize(i), self.salt))
+            .collect();
+        let by_name: BTreeMap<&str, &ManifestEntry> =
+            manifest.entries.iter().map(|e| (e.proc.as_str(), e)).collect();
+
+        let mut local: Vec<ProcSummary> = (0..n).map(|_| ProcSummary::default()).collect();
+        let mut propagated: Vec<ProcSummary> =
+            (0..n).map(|_| ProcSummary::default()).collect();
+        let mut per_rows: Vec<Vec<RgnRow>> = (0..n).map(|_| Vec::new()).collect();
+        let mut ipl_fail: Vec<Option<(String, String)>> = (0..n).map(|_| None).collect();
+        let mut extract_fail: Vec<Option<String>> = (0..n).map(|_| None).collect();
+        let mut valid = vec![false; n];
+        for i in 0..n {
+            let name = raw_name(&program, ProcId::from_usize(i));
+            let Some(me) = by_name.get(name.as_str()) else {
+                incidents.push(cache_incident(format!(
+                    "no cache entry for `{name}`; recomputing it"
+                )));
+                continue;
+            };
+            if me.fp != fps[i] {
+                incidents.push(cache_incident(format!(
+                    "cache entry for `{name}` is stale; recomputing it"
+                )));
+                continue;
+            }
+            let path = store.dir.join(entry_name(me.checksum));
+            let bytes = match read_file_raw(&path) {
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    incidents.push(cache_incident(format!(
+                        "cache entry for `{name}` is missing; recomputing it"
+                    )));
+                    continue;
+                }
+                Err(e) => {
+                    incidents.push(cache_incident(format!(
+                        "cache entry for `{name}` unreadable ({e}); recomputing it"
+                    )));
+                    continue;
+                }
+                Ok(b) => b,
+            };
+            // Bind the file to the manifest record, then validate and
+            // decode the container.
+            let entry = if fnv1a(&bytes) != me.checksum {
+                Err((Error::Format("contents do not match manifest record".into()), "checksum"))
+            } else {
+                match read_container(&bytes, KIND_ENTRY, store.fingerprint) {
+                    Err(cerr) => {
+                        let suffix = quarantine_suffix(&cerr);
+                        Err((Error::from(cerr), suffix))
+                    }
+                    Ok(payload) => decode::<Entry>(&payload).map_err(|e| (e, "malformed")),
+                }
+            };
+            match entry {
+                Ok(entry) => {
+                    local[i] = entry.local;
+                    propagated[i] = entry.propagated;
+                    per_rows[i] = entry.rows;
+                    ipl_fail[i] = entry.ipl_fail;
+                    extract_fail[i] = entry.extract_fail;
+                    valid[i] = true;
+                }
+                Err((e, suffix)) => {
+                    let dest = quarantine_file(&path, suffix)
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_else(|qe| format!("(quarantine failed: {qe})"));
+                    incidents.push(cache_incident(format!(
+                        "cache entry for `{name}` rejected ({e}); moved to {dest}; \
+                         recomputing it"
+                    )));
+                }
+            }
+        }
+
+        // Assemble the row table in emission (call-graph pre-)order.
+        let mut rows: Vec<RgnRow> = Vec::new();
+        let mut proc_rows: Vec<std::ops::Range<usize>> = vec![0..0; n];
+        for pid in cg.pre_order() {
+            let i = pid.as_usize();
+            let start = rows.len();
+            rows.append(&mut per_rows[i]);
+            proc_rows[i] = start..rows.len();
+        }
+        let all_valid = valid.iter().all(|&v| v);
+        let by_hash = (0..n)
+            .filter(|&i| valid[i])
+            .map(|i| (fps[i], ProcId::from_usize(i)))
+            .collect();
+        // Only a fully-validated state may satisfy the identical-input fast
+        // path; a partial one must force the next update through the full
+        // classify-and-recompute machinery.
+        let file_keys = if all_valid {
+            manifest.sources.iter().map(file_key).collect()
+        } else {
+            Vec::new()
+        };
+        // Prime the parse cache: the next update reuses these parses for
+        // unchanged files.
+        for (s, p) in manifest.sources.iter().zip(parsed) {
+            self.file_cache.insert(file_key(s), p);
+        }
+        let state = SessionState {
+            analysis: Analysis {
+                program,
+                callgraph: cg,
+                ipa: IpaResult { summaries: propagated, recursion_cut: manifest.recursion_cut },
+                rows,
+                degradations: manifest.degradations,
+            },
+            local,
+            by_hash,
+            ipl_fail,
+            prop_degr: manifest.prop_degr,
+            fps,
+            proc_rows,
+            extract_fail,
+            extract_env: manifest.extract_env,
+            file_keys,
+            sources: manifest.sources,
+        };
+        if let Some(old) = self.state.replace(state) {
+            if let Some(tx) = &self.graveyard {
+                if let Err(back) = tx.send(old) {
+                    self.graveyard = None;
+                    drop(back.0);
+                }
+            }
+        }
+        true
+    }
+
+    /// Saves the current state to the attached cache directory. Returns
+    /// `true` on success; `false` (with a recorded cache incident) when
+    /// there is no store, no state yet, or the save failed. Persistence is
+    /// best-effort by design: a full disk or a held lock costs the next
+    /// run its warm start, never this run its results.
+    pub fn persist(&mut self) -> bool {
+        let Some(store) = self.store.clone() else { return false };
+        let Some(state) = &self.state else { return false };
+        match store.save_state(state) {
+            Ok(()) => true,
+            Err(e) => {
+                self.cache_incidents
+                    .push(cache_incident(format!("cache save failed: {e}")));
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use support::budget::BudgetConfig;
+
+    #[test]
+    fn entry_names_are_stable_and_recognizable() {
+        let name = entry_name(0xdead_beef_0123_4567);
+        assert_eq!(name, "edeadbeef01234567.araa");
+        assert!(is_entry_name(&name));
+        assert!(!is_entry_name("manifest.araa"));
+        assert!(!is_entry_name("edead.araa"));
+        assert!(!is_entry_name("quarantine"));
+    }
+
+    #[test]
+    fn fingerprint_depends_on_options_not_threads() {
+        let a = store_fingerprint(&AnalysisOptions::default());
+        let b = store_fingerprint(&AnalysisOptions::builder().threads(8).build());
+        assert_eq!(a, b, "thread count must not split the cache");
+        let c = store_fingerprint(&AnalysisOptions::builder().include_propagated(false).build());
+        assert_ne!(a, c);
+        let d = store_fingerprint(
+            &AnalysisOptions::builder().budget(BudgetConfig::tiny()).build(),
+        );
+        assert_ne!(a, d);
+        let e = store_fingerprint(&AnalysisOptions::builder().layout_base(0x1000).build());
+        assert_ne!(a, e);
+    }
+}

@@ -1,0 +1,229 @@
+//! Corruption corpus for everything the tool writes: `.rgn` and `.dgn`
+//! artifacts and the binary session-cache containers. Exhaustive single-byte
+//! flips and truncations, garbage appends, and arbitrary byte soup — nothing
+//! may panic, detectable damage must be rejected, and a session pointed at a
+//! mangled cache must degrade (quarantine + recompute), never produce wrong
+//! rows.
+
+use araa::dgn::DgnProject;
+use araa::rgn::read_rgn;
+use araa::{Analysis, AnalysisOptions, AnalysisSession};
+use proptest::prelude::*;
+use support::testdir::TestDir;
+use workloads::GenSource;
+
+const PROG_F: &str = "\
+program main
+  real a(20)
+  common /g/ a
+  integer i
+  do i = 1, 10
+    a(i) = 0.0
+  end do
+  call leaf
+end
+";
+const LEAF_F: &str = "\
+subroutine leaf
+  real a(20)
+  common /g/ a
+  a(11) = 1.0
+end
+";
+
+fn sources() -> Vec<GenSource> {
+    vec![GenSource::fortran("main.f", PROG_F), GenSource::fortran("leaf.f", LEAF_F)]
+}
+
+fn analysis() -> Analysis {
+    Analysis::analyze(&sources(), AnalysisOptions::default()).expect("analyze")
+}
+
+// ---------------------------------------------------------------------------
+// Text artifacts (.rgn / .dgn)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rgn_every_single_byte_flip_is_rejected() {
+    let doc = analysis().rgn_document();
+    let bytes = doc.as_bytes();
+    for at in 0..bytes.len() {
+        for mask in [0x01u8, 0x20, 0x80] {
+            let mut mutated = bytes.to_vec();
+            mutated[at] ^= mask;
+            // A flip that breaks UTF-8 can't even become a document —
+            // that counts as detected.
+            let Ok(text) = std::str::from_utf8(&mutated) else { continue };
+            assert!(
+                read_rgn(text).is_err(),
+                "flip {mask:#04x} at byte {at} was silently accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn dgn_every_single_byte_flip_is_rejected() {
+    let a = analysis();
+    let doc = DgnProject::from_program(&a.program, &a.callgraph).write();
+    let bytes = doc.as_bytes();
+    for at in 0..bytes.len() {
+        for mask in [0x01u8, 0x20, 0x80] {
+            let mut mutated = bytes.to_vec();
+            mutated[at] ^= mask;
+            let Ok(text) = std::str::from_utf8(&mutated) else { continue };
+            assert!(
+                DgnProject::read(text).is_err(),
+                "flip {mask:#04x} at byte {at} was silently accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn rgn_and_dgn_truncations_never_panic() {
+    let a = analysis();
+    let rgn = a.rgn_document();
+    let dgn = DgnProject::from_program(&a.program, &a.callgraph).write();
+    for doc in [&rgn, &dgn] {
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            // Truncated documents either fail or (when the cut removed the
+            // whole trailer line cleanly) parse a prefix — never panic.
+            let _ = read_rgn(&doc[..cut]);
+            let _ = DgnProject::read(&doc[..cut]);
+        }
+    }
+}
+
+#[test]
+fn garbage_appended_to_artifacts_is_rejected() {
+    let a = analysis();
+    let rgn = a.rgn_document();
+    let dgn = DgnProject::from_program(&a.program, &a.callgraph).write();
+    for junk in ["x", "a,b,c\n", "#checksum,0000000000000000\n", "\n\n\n"] {
+        assert!(read_rgn(&format!("{rgn}{junk}")).is_err(), "append {junk:?}");
+        assert!(DgnProject::read(&format!("{dgn}{junk}")).is_err(), "append {junk:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rgn_reader_never_panics_on_soup(doc in "\\PC*") {
+        let _ = read_rgn(&doc);
+    }
+
+    #[test]
+    fn dgn_reader_never_panics_on_soup(doc in "\\PC*") {
+        let _ = DgnProject::read(&doc);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary cache containers
+// ---------------------------------------------------------------------------
+
+/// Seeds one cache dir and returns (manifest bytes, one entry's bytes and
+/// name, cold-oracle rows).
+fn seeded_cache_bytes() -> (Vec<u8>, Vec<u8>, String, Vec<araa::RgnRow>) {
+    let dir = TestDir::new("corrupt-seed");
+    let mut s = AnalysisSession::with_cache_dir(AnalysisOptions::default(), dir.path());
+    s.update(&sources()).expect("update");
+    assert!(s.persist());
+    let oracle = s.into_analysis().expect("analysis").rows;
+    let manifest = std::fs::read(dir.join("manifest.araa")).expect("manifest");
+    let entry = std::fs::read_dir(dir.path())
+        .expect("dir")
+        .flatten()
+        .find(|e| {
+            let n = e.file_name();
+            let n = n.to_string_lossy();
+            n.starts_with('e') && n.ends_with(".araa")
+        })
+        .expect("an entry file");
+    let name = entry.file_name().to_string_lossy().into_owned();
+    let bytes = std::fs::read(entry.path()).expect("entry");
+    (manifest, bytes, name, oracle)
+}
+
+/// Loads a session over a cache dir holding `manifest` and `entry`, then
+/// updates and checks the rows against the oracle. The cache may be arbitrarily
+/// mangled; the *analysis* must come out right regardless.
+fn load_update_and_check(
+    manifest: &[u8],
+    entry: &[u8],
+    entry_name: &str,
+    oracle: &[araa::RgnRow],
+) {
+    let dir = TestDir::new("corrupt-case");
+    std::fs::write(dir.join("manifest.araa"), manifest).expect("write manifest");
+    std::fs::write(dir.join(entry_name), entry).expect("write entry");
+    let mut s = AnalysisSession::with_cache_dir(AnalysisOptions::default(), dir.path());
+    s.load();
+    s.update(&sources()).expect("update");
+    assert_eq!(s.analysis().expect("analysis").rows, oracle);
+}
+
+#[test]
+fn manifest_byte_flips_degrade_never_lie() {
+    let (manifest, entry, name, oracle) = seeded_cache_bytes();
+    // Every 7th position covers header, kind, fingerprint, payload and
+    // footer regions without an O(n·analysis) blowup.
+    for at in (0..manifest.len()).step_by(7) {
+        let mut m = manifest.clone();
+        m[at] ^= 0x10;
+        load_update_and_check(&m, &entry, &name, &oracle);
+    }
+}
+
+#[test]
+fn entry_byte_flips_degrade_never_lie() {
+    let (manifest, entry, name, oracle) = seeded_cache_bytes();
+    for at in (0..entry.len()).step_by(7) {
+        let mut e = entry.clone();
+        e[at] ^= 0x10;
+        load_update_and_check(&manifest, &e, &name, &oracle);
+    }
+}
+
+#[test]
+fn cache_truncations_and_appends_degrade_never_lie() {
+    let (manifest, entry, name, oracle) = seeded_cache_bytes();
+    for frac in [0, 1, 2, 3] {
+        let cut = manifest.len() * frac / 4;
+        load_update_and_check(&manifest[..cut], &entry, &name, &oracle);
+        let cut = entry.len() * frac / 4;
+        load_update_and_check(&manifest, &entry[..cut], &name, &oracle);
+    }
+    let mut appended = manifest.clone();
+    appended.extend_from_slice(b"junk");
+    load_update_and_check(&appended, &entry, &name, &oracle);
+    let mut appended = entry.clone();
+    appended.extend_from_slice(&[0u8; 16]);
+    load_update_and_check(&manifest, &appended, &name, &oracle);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cache_loader_never_breaks_on_soup(
+        mbytes in proptest::collection::vec(0u8..=255u8, 0..256),
+        ebytes in proptest::collection::vec(0u8..=255u8, 0..256),
+    ) {
+        let dir = TestDir::new("corrupt-soup");
+        std::fs::write(dir.join("manifest.araa"), &mbytes).expect("write");
+        std::fs::write(dir.join("e0123456789abcdef.araa"), &ebytes).expect("write");
+        let mut s = AnalysisSession::with_cache_dir(AnalysisOptions::default(), dir.path());
+        s.load();
+        s.update(&sources()).expect("update");
+        let oracle = Analysis::analyze(&sources(), AnalysisOptions::default())
+            .expect("cold")
+            .rows;
+        prop_assert_eq!(&s.analysis().expect("analysis").rows, &oracle);
+    }
+}

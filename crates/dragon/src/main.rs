@@ -8,16 +8,24 @@
 //! dragon demo <fig1|matrix|lu>                    run a built-in paper workload
 //! dragon dynamic <entry> <src...>                 execute + dynamic region report
 //! dragon hotspots <src...> [--top N]              highest access densities
+//! dragon cache <stats|verify|clear> --cache-dir D inspect/scrub a cache dir
 //! ```
 //!
 //! Source language is inferred from the extension (`.c` → C, else Fortran).
 //!
+//! `--cache-dir DIR` attaches a persistent analysis cache to any analyzing
+//! command: results are loaded from `DIR` when valid (per-procedure, each
+//! entry checksummed and fingerprinted) and saved back after the run.
+//! Corrupt or stale cache files are quarantined and reported, never trusted;
+//! `--no-cache` ignores the cache entirely for one run.
+//!
 //! Exit codes: `0` — clean analysis; `1` — the analysis completed but some
-//! procedures degraded to conservative approximations (a report goes to
-//! stderr); `2` — the analysis failed outright or the invocation was bad.
-//! With `--strict`, degradation is promoted to failure (exit `2`).
+//! procedures degraded to conservative approximations, or a cache file had
+//! to be quarantined (a report goes to stderr); `2` — the analysis failed
+//! outright or the invocation was bad. With `--strict`, degradation is
+//! promoted to failure (exit `2`).
 
-use araa::{Analysis, AnalysisOptions};
+use araa::{Analysis, AnalysisOptions, AnalysisSession, SessionStore};
 use dragon::view::ViewOptions;
 use dragon::{advisor, render_procedure_list, render_scope, Project};
 use frontend::SourceFile;
@@ -29,7 +37,7 @@ static DEGRADED: AtomicBool = AtomicBool::new(false);
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dragon [--strict] <analyze|view|callgraph|advise|demo> [options] [sources...]\n\
+        "usage: dragon [--strict] [--cache-dir DIR] [--no-cache] <command> [options] [sources...]\n\
          \x20 analyze <src...> [--out DIR] [--stem NAME]\n\
          \x20 view <scope> <src...> [--find ARRAY] [--expand-dims]\n\
          \x20 callgraph <src...>\n\
@@ -37,7 +45,10 @@ fn usage() -> ! {
          \x20 demo <fig1|matrix|lu>\n\
          \x20 dynamic <entry> <src...>\n\
          \x20 hotspots <src...> [--top N]\n\
-         \x20 --strict: treat degraded analysis as failure (exit 2)"
+         \x20 cache <stats|verify|clear>   (requires --cache-dir)\n\
+         \x20 --strict: treat degraded analysis as failure (exit 2)\n\
+         \x20 --cache-dir DIR: load/save a persistent analysis cache\n\
+         \x20 --no-cache: ignore --cache-dir for this run"
     );
     std::process::exit(2);
 }
@@ -69,9 +80,47 @@ fn read_sources(paths: &[String]) -> Vec<(SourceFile, workloads::GenSource)> {
     out
 }
 
-fn analyze(gens: &[workloads::GenSource], strict: bool) -> (Analysis, Project) {
-    match Analysis::analyze(gens, AnalysisOptions::default()) {
-        Ok(a) => {
+/// Runs the pipeline, through a persistent cache when one is attached.
+/// Returns the analysis plus any cache incidents (quarantined files, lock
+/// timeouts) — the analysis itself is never affected by cache trouble, only
+/// how much of it had to be recomputed.
+fn run_analysis(
+    gens: &[workloads::GenSource],
+    cache_dir: Option<&str>,
+) -> support::Result<(Analysis, Vec<araa::Degradation>)> {
+    match cache_dir {
+        Some(dir) => {
+            let mut session = AnalysisSession::with_cache_dir(AnalysisOptions::default(), dir);
+            session.load();
+            session.update(gens)?;
+            session.persist();
+            let incidents = session.cache_incidents().to_vec();
+            let analysis = session.into_analysis().ok_or_else(|| {
+                support::Error::Analysis("analysis session kept no result".to_string())
+            })?;
+            Ok((analysis, incidents))
+        }
+        None => Ok((Analysis::analyze(gens, AnalysisOptions::default())?, Vec::new())),
+    }
+}
+
+fn analyze(
+    gens: &[workloads::GenSource],
+    strict: bool,
+    cache_dir: Option<&str>,
+) -> (Analysis, Project) {
+    match run_analysis(gens, cache_dir) {
+        Ok((a, cache_incidents)) => {
+            if !cache_incidents.is_empty() {
+                eprintln!(
+                    "dragon: {} cache incident(s) (results are unaffected; \
+                     the affected procedures were recomputed):",
+                    cache_incidents.len()
+                );
+                for d in &cache_incidents {
+                    eprintln!("  {d}");
+                }
+            }
             if a.degraded() {
                 eprintln!(
                     "dragon: analysis degraded ({} issue(s)):",
@@ -80,6 +129,8 @@ fn analyze(gens: &[workloads::GenSource], strict: bool) -> (Analysis, Project) {
                 for d in &a.degradations {
                     eprintln!("  {d}");
                 }
+            }
+            if a.degraded() || !cache_incidents.is_empty() {
                 if strict {
                     eprintln!("dragon: --strict: treating degraded analysis as failure");
                     std::process::exit(2);
@@ -119,9 +170,25 @@ fn demo_sources(which: &str) -> Vec<workloads::GenSource> {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let strict = args.iter().any(|a| a == "--strict");
-    args.retain(|a| a != "--strict");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut strict = false;
+    let mut no_cache = false;
+    let mut cache_dir: Option<String> = None;
+    let mut args: Vec<String> = Vec::with_capacity(raw.len());
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--strict" => strict = true,
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => cache_dir = Some(it.next().unwrap_or_else(|| usage())),
+            _ => args.push(a),
+        }
+    }
+    let store_dir = cache_dir.clone();
+    if no_cache {
+        cache_dir = None;
+    }
+    let cache_dir = cache_dir.as_deref();
     let Some(cmd) = args.first() else { usage() };
 
     match cmd.as_str() {
@@ -142,7 +209,7 @@ fn main() {
             }
             let pairs = read_sources(&srcs);
             let gens: Vec<_> = pairs.into_iter().map(|(_, g)| g).collect();
-            let (analysis, _) = analyze(&gens, strict);
+            let (analysis, _) = analyze(&gens, strict, cache_dir);
             if let Err(e) =
                 analysis.write_project(std::path::Path::new(&out_dir), &stem)
             {
@@ -170,7 +237,7 @@ fn main() {
             }
             let gens: Vec<_> =
                 read_sources(&srcs).into_iter().map(|(_, g)| g).collect();
-            let (_, project) = analyze(&gens, strict);
+            let (_, project) = analyze(&gens, strict, cache_dir);
             print!("{}", render_procedure_list(&project));
             let opts = ViewOptions { find, expand_dims: expand, color: true };
             print!("{}", render_scope(&project, scope, &opts));
@@ -178,19 +245,19 @@ fn main() {
         "callgraph" => {
             let gens: Vec<_> =
                 read_sources(&args[1..]).into_iter().map(|(_, g)| g).collect();
-            let (analysis, _) = analyze(&gens, strict);
+            let (analysis, _) = analyze(&gens, strict, cache_dir);
             print!("{}", analysis.callgraph.to_dot(&analysis.program));
         }
         "advise" => {
             let gens: Vec<_> =
                 read_sources(&args[1..]).into_iter().map(|(_, g)| g).collect();
-            let (analysis, project) = analyze(&gens, strict);
+            let (analysis, project) = analyze(&gens, strict, cache_dir);
             print!("{}", advisor::render(&advisor::advise(&analysis, &project)));
         }
         "demo" => {
             let Some(which) = args.get(1) else { usage() };
             let gens = demo_sources(which);
-            let (analysis, project) = analyze(&gens, strict);
+            let (analysis, project) = analyze(&gens, strict, cache_dir);
             println!("== procedures ==");
             print!("{}", render_procedure_list(&project));
             println!("\n== array analysis graph (@ scope) ==");
@@ -215,14 +282,14 @@ fn main() {
             }
             let gens: Vec<_> =
                 read_sources(&srcs).into_iter().map(|(_, g)| g).collect();
-            let (_, project) = analyze(&gens, strict);
+            let (_, project) = analyze(&gens, strict, cache_dir);
             print!("{}", dragon::view::render_hotspots(&project, top));
         }
         "dynamic" => {
             let Some(entry) = args.get(1) else { usage() };
             let gens: Vec<_> =
                 read_sources(&args[2..]).into_iter().map(|(_, g)| g).collect();
-            let (analysis, _) = analyze(&gens, strict);
+            let (analysis, _) = analyze(&gens, strict, cache_dir);
             match araa::dynamic::run_dynamic(
                 &analysis.program,
                 entry,
@@ -248,6 +315,60 @@ fn main() {
                     eprintln!("dragon: execution failed: {e}");
                     std::process::exit(2);
                 }
+            }
+        }
+        "cache" => {
+            let Some(op) = args.get(1) else { usage() };
+            let Some(dir) = store_dir.as_deref() else {
+                eprintln!("dragon: cache {op} requires --cache-dir DIR");
+                std::process::exit(2);
+            };
+            let store = SessionStore::new(dir, &AnalysisOptions::default());
+            match op.as_str() {
+                "stats" => match store.stats() {
+                    Ok(s) => {
+                        println!("cache directory: {dir}");
+                        println!("manifest:        {}", if s.manifest { "present" } else { "absent" });
+                        println!("procedures:      {}", s.procedures);
+                        println!("sources:         {}", s.sources);
+                        println!("entry files:     {}", s.entry_files);
+                        println!("total bytes:     {}", s.bytes);
+                        println!("quarantined:     {}", s.quarantined);
+                    }
+                    Err(e) => {
+                        eprintln!("dragon: cache stats: {e}");
+                        std::process::exit(2);
+                    }
+                },
+                "verify" => match store.verify() {
+                    Ok(r) => {
+                        println!(
+                            "{} file(s) valid, {} orphan entr{} (unreferenced, swept on next save)",
+                            r.ok,
+                            r.orphans,
+                            if r.orphans == 1 { "y" } else { "ies" }
+                        );
+                        if !r.clean() {
+                            eprintln!("dragon: {} problem(s):", r.problems.len());
+                            for p in &r.problems {
+                                eprintln!("  {p}");
+                            }
+                            std::process::exit(if strict { 2 } else { 1 });
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("dragon: cache verify: {e}");
+                        std::process::exit(2);
+                    }
+                },
+                "clear" => match store.clear() {
+                    Ok(n) => println!("removed {n} file(s) from {dir}"),
+                    Err(e) => {
+                        eprintln!("dragon: cache clear: {e}");
+                        std::process::exit(2);
+                    }
+                },
+                _ => usage(),
             }
         }
         _ => usage(),

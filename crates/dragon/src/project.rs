@@ -140,12 +140,13 @@ mod tests {
     fn disk_round_trip() {
         let srcs = vec![workloads::fig10::source()];
         let analysis = Analysis::analyze(&srcs, AnalysisOptions::default()).unwrap();
-        let dir = std::env::temp_dir().join("dragon_project_test");
-        analysis.write_project(&dir, "matrix").unwrap();
-        let p = Project::load(&dir, "matrix").unwrap();
+        // A unique per-process directory: concurrent test runs (or parallel
+        // test binaries) must not race each other on a shared fixed path.
+        let dir = support::testdir::TestDir::new("dragon-project");
+        analysis.write_project(dir.path(), "matrix").unwrap();
+        let p = Project::load(dir.path(), "matrix").unwrap();
         assert_eq!(p.rows.len(), analysis.rows.len());
         assert_eq!(p.dgn.procs.len(), 1);
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -176,6 +176,135 @@ fn clean_analysis_exits_zero() {
     assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
 }
 
+// ---------------------------------------------------------------------------
+// Persistent cache (--cache-dir / --no-cache / cache subcommand)
+// ---------------------------------------------------------------------------
+
+const CACHE_SRC: &str = "program main\n  real a(8)\n  common /g/ a\n  integer i\n  do i = 1, 8\n    a(i) = 0.0\n  end do\n  call leaf\nend\nsubroutine leaf\n  real a(8)\n  common /g/ a\n  a(3) = 1.0\nend\n";
+
+#[test]
+fn warm_cache_run_matches_cold_output() {
+    let src = write_temp("cache_warm.f", CACHE_SRC);
+    let dir = support::testdir::TestDir::new("dragon-cli-cache");
+    let cache = dir.path().to_str().unwrap();
+    let cold = dragon()
+        .args(["--cache-dir", cache, "callgraph", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(cold.status.code(), Some(0), "{}", String::from_utf8_lossy(&cold.stderr));
+    assert!(dir.join("manifest.araa").exists(), "persist must write a manifest");
+    let warm = dragon()
+        .args(["--cache-dir", cache, "callgraph", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(warm.status.code(), Some(0), "{}", String::from_utf8_lossy(&warm.stderr));
+    assert_eq!(cold.stdout, warm.stdout, "warm-from-disk output must be identical");
+}
+
+#[test]
+fn no_cache_skips_the_cache_dir() {
+    let src = write_temp("cache_skip.f", CACHE_SRC);
+    let dir = support::testdir::TestDir::new("dragon-cli-nocache");
+    let cache = dir.path().to_str().unwrap();
+    let out = dragon()
+        .args(["--cache-dir", cache, "--no-cache", "callgraph", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(!dir.join("manifest.araa").exists(), "--no-cache must not write");
+}
+
+#[test]
+fn corrupt_cache_quarantines_and_exits_one() {
+    let src = write_temp("cache_corrupt.f", CACHE_SRC);
+    let dir = support::testdir::TestDir::new("dragon-cli-corrupt");
+    let cache = dir.path().to_str().unwrap();
+    let cold = dragon()
+        .args(["--cache-dir", cache, "callgraph", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(cold.status.code(), Some(0), "{}", String::from_utf8_lossy(&cold.stderr));
+    // Flip one payload byte in the manifest.
+    let mpath = dir.join("manifest.araa");
+    let mut bytes = std::fs::read(&mpath).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&mpath, &bytes).unwrap();
+    let warm = dragon()
+        .args(["--cache-dir", cache, "callgraph", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(warm.status.code(), Some(1), "{}", String::from_utf8_lossy(&warm.stderr));
+    let stderr = String::from_utf8_lossy(&warm.stderr);
+    assert!(stderr.contains("cache incident"), "{stderr}");
+    assert!(stderr.contains("quarantine"), "{stderr}");
+    // Rows are unaffected by the cache damage.
+    assert_eq!(cold.stdout, warm.stdout);
+    // Strict promotes the incident to failure.
+    let mut bytes = std::fs::read(&mpath).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&mpath, &bytes).unwrap();
+    let strict = dragon()
+        .args(["--strict", "--cache-dir", cache, "callgraph", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(strict.status.code(), Some(2), "{}", String::from_utf8_lossy(&strict.stderr));
+}
+
+#[test]
+fn cache_stats_verify_and_clear_subcommands() {
+    let src = write_temp("cache_sub.f", CACHE_SRC);
+    let dir = support::testdir::TestDir::new("dragon-cli-sub");
+    let cache = dir.path().to_str().unwrap();
+    let out = dragon()
+        .args(["--cache-dir", cache, "callgraph", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let stats = dragon().args(["--cache-dir", cache, "cache", "stats"]).output().unwrap();
+    assert_eq!(stats.status.code(), Some(0), "{}", String::from_utf8_lossy(&stats.stderr));
+    let stdout = String::from_utf8_lossy(&stats.stdout);
+    assert!(stdout.contains("manifest:        present"), "{stdout}");
+    assert!(stdout.contains("procedures:      2"), "{stdout}");
+
+    let verify = dragon().args(["--cache-dir", cache, "cache", "verify"]).output().unwrap();
+    assert_eq!(verify.status.code(), Some(0), "{}", String::from_utf8_lossy(&verify.stderr));
+    assert!(String::from_utf8_lossy(&verify.stdout).contains("valid"), "{verify:?}");
+
+    // Damage an entry file: verify reports it and exits 1.
+    let entry = std::fs::read_dir(dir.path())
+        .unwrap()
+        .flatten()
+        .find(|e| {
+            let n = e.file_name();
+            let n = n.to_string_lossy();
+            n.starts_with('e') && n.ends_with(".araa")
+        })
+        .expect("an entry file");
+    let mut bytes = std::fs::read(entry.path()).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(entry.path(), &bytes).unwrap();
+    let verify = dragon().args(["--cache-dir", cache, "cache", "verify"]).output().unwrap();
+    assert_eq!(verify.status.code(), Some(1), "{}", String::from_utf8_lossy(&verify.stderr));
+    assert!(String::from_utf8_lossy(&verify.stderr).contains("problem"), "{verify:?}");
+
+    let clear = dragon().args(["--cache-dir", cache, "cache", "clear"]).output().unwrap();
+    assert_eq!(clear.status.code(), Some(0), "{}", String::from_utf8_lossy(&clear.stderr));
+    assert!(String::from_utf8_lossy(&clear.stdout).contains("removed"), "{clear:?}");
+    assert!(!dir.join("manifest.araa").exists());
+}
+
+#[test]
+fn cache_subcommand_requires_cache_dir() {
+    let out = dragon().args(["cache", "stats"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("requires --cache-dir"), "{stderr}");
+}
+
 #[test]
 fn no_args_prints_usage() {
     let out = dragon().output().unwrap();

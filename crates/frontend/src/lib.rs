@@ -59,6 +59,27 @@ impl From<&SourceFile> for SourceFile {
     }
 }
 
+impl support::persist::Persist for SourceFile {
+    fn save(&self, w: &mut support::persist::ByteWriter) {
+        w.str(&self.name);
+        w.u8(match self.lang {
+            Lang::C => 0,
+            Lang::Fortran => 1,
+        });
+        w.str(&self.text);
+    }
+    fn load(r: &mut support::persist::ByteReader<'_>) -> Result<Self> {
+        let name = r.str()?;
+        let lang = match r.u8()? {
+            0 => Lang::C,
+            1 => Lang::Fortran,
+            t => return Err(Error::Format(format!("invalid Lang tag {t}"))),
+        };
+        let text = r.str()?;
+        Ok(SourceFile { name, text, lang })
+    }
+}
+
 /// One source file after recovering parsing but before cross-file assembly
 /// (stubbing, semantic analysis, lowering). This is the unit the incremental
 /// session caches per file: parsing depends only on the file itself, while

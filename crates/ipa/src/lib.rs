@@ -23,6 +23,7 @@ pub mod isolate;
 pub mod local;
 pub mod loop_parallel;
 pub mod parallel;
+pub mod persist;
 pub mod propagate;
 pub mod rebase;
 pub mod sideeffect;

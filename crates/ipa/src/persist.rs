@@ -1,0 +1,105 @@
+//! Persistence codec implementations for interprocedural summaries.
+//!
+//! Together with `regions::persist` these let the session cache write
+//! [`ProcSummary`] values to disk and reload them exactly — the
+//! byte-identical warm-vs-cold guarantee rides on these round-trips being
+//! lossless. Decoders return typed errors on any malformed input; they
+//! never panic.
+
+use crate::local::{AccessRecord, ProcSummary};
+use support::error::Result;
+use support::persist::{ByteReader, ByteWriter, Persist};
+use whirl::{ProcId, StIdx};
+
+impl Persist for AccessRecord {
+    fn save(&self, w: &mut ByteWriter) {
+        w.u32(self.array.0);
+        self.mode.save(w);
+        self.region.save(w);
+        self.convex.save(w);
+        self.space.save(w);
+        w.u32(self.line);
+        self.from_call.as_ref().map(|p| p.0).save(w);
+        w.bool(self.remote);
+        w.bool(self.approx);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(AccessRecord {
+            array: StIdx(r.u32()?),
+            mode: Persist::load(r)?,
+            region: Persist::load(r)?,
+            convex: Persist::load(r)?,
+            space: Persist::load(r)?,
+            line: r.u32()?,
+            from_call: Option::<u32>::load(r)?.map(ProcId),
+            remote: r.bool()?,
+            approx: r.bool()?,
+        })
+    }
+}
+
+impl Persist for ProcSummary {
+    fn save(&self, w: &mut ByteWriter) {
+        self.accesses.save(w);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(ProcSummary { accesses: Vec::load(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regions::access::AccessMode;
+    use regions::space::Space;
+    use regions::triplet::{Bound, Triplet, TripletRegion};
+
+    fn record(line: u32) -> AccessRecord {
+        AccessRecord {
+            array: StIdx(4),
+            mode: AccessMode::Def,
+            region: TripletRegion {
+                dims: vec![Triplet {
+                    lb: Bound::Const(1),
+                    ub: Bound::Const(line as i64),
+                    stride: Bound::Const(1),
+                }],
+            },
+            convex: None,
+            space: Space::with_dims(1),
+            line,
+            from_call: Some(ProcId(2)),
+            remote: false,
+            approx: line % 2 == 0,
+        }
+    }
+
+    #[test]
+    fn proc_summary_round_trips() {
+        let s = ProcSummary { accesses: vec![record(10), record(11)] };
+        let mut w = ByteWriter::new();
+        s.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = ProcSummary::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.accesses.len(), 2);
+        assert_eq!(back.accesses[0].array, StIdx(4));
+        assert_eq!(back.accesses[0].mode, AccessMode::Def);
+        assert_eq!(back.accesses[0].region, s.accesses[0].region);
+        assert_eq!(back.accesses[1].from_call, Some(ProcId(2)));
+        assert!(back.accesses[0].approx);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let s = ProcSummary { accesses: vec![record(3)] };
+        let mut w = ByteWriter::new();
+        s.save(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(ProcSummary::load(&mut r).is_err());
+        }
+    }
+}

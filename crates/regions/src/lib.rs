@@ -30,6 +30,7 @@ pub mod convex;
 pub mod fourier_motzkin;
 pub mod linexpr;
 pub mod methods;
+pub mod persist;
 pub mod space;
 pub mod summarize;
 pub mod triplet;

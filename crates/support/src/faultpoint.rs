@@ -11,12 +11,26 @@
 //!
 //! Named points in the pipeline:
 //!
-//! | name             | fires in                              |
-//! |------------------|---------------------------------------|
-//! | `ipl::summarize` | `ipa::local::summarize_procedure`     |
-//! | `ipa::translate` | `ipa::propagate::translate_record`    |
-//! | `fm::eliminate`  | `regions::fourier_motzkin::eliminate` |
-//! | `extract::rows`  | `araa::extract` per-procedure rows    |
+//! | name                    | fires in                                      |
+//! |-------------------------|-----------------------------------------------|
+//! | `ipl::summarize`        | `ipa::local::summarize_procedure`             |
+//! | `ipa::translate`        | `ipa::propagate::translate_record`            |
+//! | `fm::eliminate`         | `regions::fourier_motzkin::eliminate`         |
+//! | `extract::rows`         | `araa::extract` per-procedure rows            |
+//! | `persist::torn_write`   | `support::persist::atomic_write`, mid-payload |
+//! | `persist::pre_sync`     | `atomic_write`, before the temp-file fsync    |
+//! | `persist::pre_rename`   | `atomic_write`, before the commit rename      |
+//! | `persist::post_rename`  | `atomic_write`, after the commit rename       |
+//! | `persist::entry_write`  | `SessionStore::persist`, between cache entries|
+//! | `persist::pre_manifest` | `SessionStore::persist`, before the manifest  |
+//! | `persist::post_manifest`| `SessionStore::persist`, after the manifest   |
+//! | `persist::gc`           | `SessionStore::persist`, during old-entry GC  |
+//! | `persist::short_read`   | `read_file_validated` (truncates the buffer)  |
+//! | `persist::bit_flip`     | `read_file_validated` (flips one bit)         |
+//!
+//! The `persist::short_read` / `persist::bit_flip` points are *data*
+//! faults: they fire through [`fires`] (mutating the read buffer) rather
+//! than panicking.
 //!
 //! `ARAA_FAULTPOINT=name[:n]` arms `name` to fire on its `n`th hit
 //! (default 1) at first use, so the dragon binary can be fault-tested
@@ -30,6 +44,23 @@ pub fn hit(name: &str) {
     imp::hit(name);
     #[cfg(not(feature = "fault-injection"))]
     let _ = name;
+}
+
+/// Non-panicking variant of [`hit`]: returns `true` when the armed point
+/// fires (and disarms/decrements it), letting the call site inject a *data*
+/// fault — a truncated buffer, a flipped bit — instead of a crash. Always
+/// `false` without the `fault-injection` feature.
+#[inline]
+pub fn fires(name: &str) -> bool {
+    #[cfg(feature = "fault-injection")]
+    {
+        imp::fires(name)
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = name;
+        false
+    }
 }
 
 #[cfg(feature = "fault-injection")]
@@ -77,22 +108,23 @@ mod imp {
         map.clear();
     }
 
-    pub fn hit(name: &str) {
-        let fire = {
-            let mut map = registry().lock().unwrap_or_else(|p| p.into_inner());
-            match map.get_mut(name) {
-                Some(left) if *left <= 1 => {
-                    map.remove(name);
-                    true
-                }
-                Some(left) => {
-                    *left -= 1;
-                    false
-                }
-                None => false,
+    pub fn fires(name: &str) -> bool {
+        let mut map = registry().lock().unwrap_or_else(|p| p.into_inner());
+        match map.get_mut(name) {
+            Some(left) if *left <= 1 => {
+                map.remove(name);
+                true
             }
-        };
-        if fire {
+            Some(left) => {
+                *left -= 1;
+                false
+            }
+            None => false,
+        }
+    }
+
+    pub fn hit(name: &str) {
+        if fires(name) {
             panic!("fault injected: {name}");
         }
     }

@@ -18,6 +18,17 @@ impl Symbol {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a symbol from a raw index, for the persistence codec.
+    ///
+    /// Only meaningful when `index` came from [`Symbol::index`] of a symbol
+    /// in the *same* (deterministically reconstructed) interner; using it
+    /// with any other interner yields a dangling handle.
+    pub fn from_index(index: usize) -> Result<Symbol, crate::error::Error> {
+        u32::try_from(index)
+            .map(Symbol)
+            .map_err(|_| crate::error::Error::Format(format!("symbol index {index} out of range")))
+    }
 }
 
 impl fmt::Display for Symbol {

@@ -13,7 +13,9 @@ pub mod faultpoint;
 pub mod hash;
 pub mod idx;
 pub mod intern;
+pub mod persist;
 pub mod table;
+pub mod testdir;
 
 pub use error::{Error, Pos, Result};
 pub use intern::{Interner, Symbol};

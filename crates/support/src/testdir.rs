@@ -1,0 +1,85 @@
+//! Unique, collision-free temporary directories for tests.
+//!
+//! Several tests used to share fixed paths like
+//! `std::env::temp_dir().join("dragon_project_test")`, which collide when
+//! two test processes (or two checkouts on one CI runner) run
+//! concurrently. [`unique_dir`] hands out a directory whose name embeds
+//! the pid and a per-process counter, so every call in every process gets
+//! its own; [`TestDir`] adds RAII cleanup.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Creates and returns a fresh empty directory under the system temp dir,
+/// named `araa-<tag>-<pid>-<seq>`. The caller owns cleanup (or use
+/// [`TestDir`]).
+///
+/// # Panics
+/// Panics if the directory cannot be created — acceptable in the test
+/// contexts this is meant for.
+pub fn unique_dir(tag: &str) -> PathBuf {
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("araa-{tag}-{}-{seq}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        panic!("failed to create test dir {}: {e}", dir.display());
+    }
+    dir
+}
+
+/// A unique test directory removed on drop.
+#[derive(Debug)]
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// Creates a fresh unique directory (see [`unique_dir`]).
+    pub fn new(tag: &str) -> TestDir {
+        TestDir { path: unique_dir(tag) }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// A path inside the directory.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirs_are_unique_and_created() {
+        let a = unique_dir("t");
+        let b = unique_dir("t");
+        assert_ne!(a, b);
+        assert!(a.is_dir() && b.is_dir());
+        std::fs::remove_dir_all(&a).ok();
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn testdir_cleans_up_on_drop() {
+        let kept;
+        {
+            let d = TestDir::new("drop");
+            kept = d.path().to_path_buf();
+            std::fs::write(d.join("f"), b"x").unwrap();
+            assert!(kept.exists());
+        }
+        assert!(!kept.exists());
+    }
+}
