@@ -5,7 +5,7 @@
 //! on-disk summary, so it measures the floor a second tool invocation pays.
 
 use araa::{Analysis, AnalysisOptions, AnalysisSession};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 use support::testdir::TestDir;
 use workloads::GenSource;
@@ -77,4 +77,44 @@ criterion_group! {
         .sample_size(10);
     targets = bench_persist
 }
-criterion_main!(benches);
+
+/// `ARAA_BENCH_JSON` manual mode — the cross-process warm-from-disk
+/// numbers for `BENCH_session.json` (see `bench::report`).
+fn manual_report(path: &std::path::Path) {
+    use bench::report::{merge_section, time};
+    let sources = workloads::mini_lu::sources();
+    let iters = 9;
+    let cold = time("cold", iters, || {
+        black_box(Analysis::analyze(&sources, AnalysisOptions::default()).unwrap());
+    });
+    let warm_from_disk = {
+        let dir = TestDir::new("bench-json-warm");
+        seed(&dir, &sources);
+        time("warm_from_disk", iters, move || {
+            let mut s = AnalysisSession::with_cache_dir(AnalysisOptions::default(), dir.path());
+            assert!(s.load(), "warm load");
+            s.update(&sources).unwrap();
+            black_box(s.analysis().unwrap().rows.len());
+        })
+    };
+    let persist_steady = {
+        let dir = TestDir::new("bench-json-save");
+        let mut s = AnalysisSession::with_cache_dir(AnalysisOptions::default(), dir.path());
+        s.update(&workloads::mini_lu::sources()).unwrap();
+        time("persist_steady_state", iters, move || {
+            assert!(black_box(s.persist()));
+        })
+    };
+    merge_section(
+        path,
+        "session_persist/mini_lu",
+        &[cold, warm_from_disk, persist_steady],
+    );
+}
+
+fn main() {
+    match bench::report::manual_mode() {
+        Some(path) => manual_report(&path),
+        None => benches(),
+    }
+}

@@ -6,7 +6,7 @@
 //! cache reuse.
 
 use araa::{Analysis, AnalysisOptions, AnalysisSession};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 use workloads::synthetic::{generate, SynthConfig};
 use workloads::GenSource;
@@ -95,4 +95,56 @@ criterion_group! {
         .sample_size(10);
     targets = bench_lu, bench_synthetic
 }
-criterion_main!(benches);
+
+/// `ARAA_BENCH_JSON` manual mode: fixed timing loops whose results merge
+/// into `BENCH_session.json` (see `bench::report`). Includes the
+/// observability overhead pair — `warm_one_proc_edit` with and without an
+/// attached collector — backing the <5% overhead budget in EXPERIMENTS.md.
+fn manual_report(path: &std::path::Path) {
+    use bench::report::{merge_section, time};
+    use support::obs::{self, ClockKind, Collector};
+    let vars = variants(workloads::mini_lu::sources(), "erhs.f", "do i = 1, 33", "do i = 1, 32");
+    let iters = 9;
+    let cold = time("cold", iters, || {
+        black_box(Analysis::analyze(&vars[0], AnalysisOptions::default()).unwrap());
+    });
+    let warm_edit = {
+        let mut session = AnalysisSession::new(AnalysisOptions::default());
+        session.update(&vars[0]).unwrap();
+        let mut i = 0usize;
+        time("warm_one_proc_edit", iters, || {
+            i += 1;
+            black_box(session.update(&vars[i % 2]).unwrap());
+        })
+    };
+    let warm_edit_obs = {
+        let mut session = AnalysisSession::new(AnalysisOptions::default());
+        session.update(&vars[0]).unwrap();
+        let collector = Collector::new(ClockKind::Monotonic);
+        let mut i = 0usize;
+        time("warm_one_proc_edit_obs", iters, || {
+            let _g = obs::attach(collector.clone());
+            i += 1;
+            black_box(session.update(&vars[i % 2]).unwrap());
+        })
+    };
+    let warm_noop = {
+        let mut session = AnalysisSession::new(AnalysisOptions::default());
+        session.update(&vars[0]).unwrap();
+        time("warm_noop", iters, || {
+            black_box(session.update(&vars[0]).unwrap());
+        })
+    };
+    merge_section(
+        path,
+        "session_warm/mini_lu",
+        &[cold, warm_edit, warm_edit_obs, warm_noop],
+    );
+}
+
+fn main() {
+    match bench::report::manual_mode() {
+        Some(path) => manual_report(&path),
+        None => benches(),
+    }
+}

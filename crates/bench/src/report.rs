@@ -1,0 +1,151 @@
+//! Manual JSON benchmark reporting for the session benches.
+//!
+//! When `ARAA_BENCH_JSON=<path>` is set, `session_warm` and
+//! `session_persist` skip Criterion and instead run a fixed manual timing
+//! loop, merging their sections into one `BENCH_session.json`. The file
+//! carries no ambient clock reads: the commit and date stamps come from
+//! `ARAA_BENCH_COMMIT` / `ARAA_BENCH_DATE` (the harness invoking the bench
+//! injects them), so re-running with the same inputs rewrites the same
+//! bytes apart from the timings themselves.
+//!
+//! Schema (one `sections` entry per line, which is what lets two separate
+//! bench processes merge into the same file):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "commit": "abc1234",
+//!   "date": "2026-08-07",
+//!   "sections": {
+//!     "session_warm/mini_lu": [
+//!       {"name": "cold", "iters": 9, "median_ns": 1, "min_ns": 1}
+//!     ]
+//!   }
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One timed benchmark entry.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name within its section (e.g. `warm_noop`).
+    pub name: &'static str,
+    /// Timed iterations (after one untimed warm-up).
+    pub iters: u32,
+    /// Median per-iteration wall time, nanoseconds.
+    pub median_ns: u128,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u128,
+}
+
+/// The JSON report path when manual mode is requested, else `None`
+/// (Criterion runs as usual).
+pub fn manual_mode() -> Option<PathBuf> {
+    std::env::var("ARAA_BENCH_JSON").ok().map(PathBuf::from)
+}
+
+/// Times `f`: one untimed warm-up call, then `iters` timed calls.
+pub fn time(name: &'static str, iters: u32, mut f: impl FnMut()) -> Measurement {
+    f();
+    let mut samples: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    Measurement {
+        name,
+        iters: iters.max(1),
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+    }
+}
+
+fn render_section(ms: &[Measurement]) -> String {
+    let body: Vec<String> = ms
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"name\": \"{}\", \"iters\": {}, \"median_ns\": {}, \"min_ns\": {}}}",
+                m.name, m.iters, m.median_ns, m.min_ns
+            )
+        })
+        .collect();
+    format!("[{}]", body.join(", "))
+}
+
+/// Parses the `sections` lines back out of a previously written report.
+/// Only our own single-line-per-section layout is understood — that is the
+/// contract that makes cross-process merging safe without a JSON parser.
+fn existing_sections(text: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let t = line.trim();
+        let Some(rest) = t.strip_prefix('"') else { continue };
+        let Some((name, rest)) = rest.split_once("\": ") else { continue };
+        if !rest.starts_with('[') {
+            continue;
+        }
+        out.insert(name.to_string(), rest.trim_end_matches(',').to_string());
+    }
+    out
+}
+
+/// Merges `section` into the report at `path`, preserving every other
+/// section already there, and rewrites the file.
+pub fn merge_section(path: &std::path::Path, section: &str, ms: &[Measurement]) {
+    let mut sections = std::fs::read_to_string(path)
+        .map(|t| existing_sections(&t))
+        .unwrap_or_default();
+    sections.insert(section.to_string(), render_section(ms));
+    let commit = std::env::var("ARAA_BENCH_COMMIT").unwrap_or_else(|_| "unknown".to_string());
+    let date = std::env::var("ARAA_BENCH_DATE").unwrap_or_else(|_| "unknown".to_string());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"commit\": \"{}\",\n", support::obs::json_escape(&commit)));
+    out.push_str(&format!("  \"date\": \"{}\",\n", support::obs::json_escape(&date)));
+    out.push_str("  \"sections\": {\n");
+    let n = sections.len();
+    for (i, (name, body)) in sections.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {body}{}\n",
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("bench: cannot write {}: {e}", path.display());
+    }
+    println!("wrote section `{section}` ({} entries) to {}", ms.len(), path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_preserves_other_sections() {
+        let dir = support::testdir::TestDir::new("bench-report-merge");
+        let path = dir.join("r.json");
+        let a = [Measurement { name: "cold", iters: 3, median_ns: 10, min_ns: 9 }];
+        let b = [Measurement { name: "warm", iters: 3, median_ns: 2, min_ns: 1 }];
+        merge_section(&path, "s/one", &a);
+        merge_section(&path, "s/two", &b);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"s/one\": [{\"name\": \"cold\""), "{text}");
+        assert!(text.contains("\"s/two\": [{\"name\": \"warm\""), "{text}");
+        // Re-merging one section overwrites it without touching the other.
+        let a2 = [Measurement { name: "cold", iters: 5, median_ns: 8, min_ns: 7 }];
+        merge_section(&path, "s/one", &a2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"iters\": 5"), "{text}");
+        assert!(text.contains("\"s/two\""), "{text}");
+        assert_eq!(text.matches("\"s/one\"").count(), 1);
+    }
+}

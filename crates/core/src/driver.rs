@@ -267,6 +267,7 @@ impl Analysis {
     /// or full disk mid-write leaves either the previous artifact or the new
     /// one, never a truncated hybrid that a later Dragon load would choke on.
     pub fn write_project(&self, dir: &std::path::Path, stem: &str) -> Result<()> {
+        let _span = support::obs::span("write.project");
         std::fs::create_dir_all(dir)
             .map_err(|e| Error::io(format!("creating {}", dir.display()), e))?;
         for (ext, doc) in [

@@ -208,6 +208,7 @@ impl AnalysisSession {
         let sources: Vec<SourceFile> = sources.into_iter().map(Into::into).collect();
         let mut delta = AnalysisDelta::default();
         let keys: Vec<u64> = sources.iter().map(file_key).collect();
+        let _update_span = support::obs::span("session.update");
 
         // Fast path: the exact source set of the last update (same files,
         // same order, same text) reassembles to a bit-identical program, so
@@ -218,11 +219,19 @@ impl AnalysisSession {
                 delta.summary_cache_hits = p.analysis.program.procedure_count();
                 delta.rows_reused = p.analysis.rows.len();
                 delta.degradations = p.analysis.degradations.clone();
+                record_update_obs(
+                    &delta,
+                    0,
+                    0,
+                    p.analysis.program.procedure_count() as u64,
+                    p.analysis.rows.len() as u64,
+                );
                 return Ok(delta);
             }
         }
 
         // 1. Parse, reusing cached per-file parses for unchanged text.
+        let parse_span = support::obs::span("session.parse");
         let mut parsed = Vec::with_capacity(sources.len());
         let mut next_cache = BTreeMap::new();
         // File name → served-from-cache, ambiguous duplicates demoted.
@@ -260,6 +269,7 @@ impl AnalysisSession {
         // Commit the parse cache only once assembly succeeded, evicting
         // entries for files no longer in the source set.
         self.file_cache = next_cache;
+        drop(parse_span);
         let mut degradations: Vec<Degradation> =
             diags.iter().map(Degradation::from_frontend).collect();
 
@@ -271,6 +281,7 @@ impl AnalysisSession {
         let mut prev = self.state.take();
 
         // 2. Fingerprint and classify every procedure.
+        let classify_span = support::obs::span("session.classify");
         let (global_map, proc_map, old_by_name) = match &prev {
             Some(p) => (
                 global_symbol_map(&p.analysis.program, &program),
@@ -320,10 +331,17 @@ impl AnalysisSession {
         let mut clean: Vec<Option<CleanProc>> = (0..n).map(|_| None).collect();
         let mut locals: Vec<Option<ProcSummary>> = (0..n).map(|_| None).collect();
         let mut dirty: Vec<ProcId> = Vec::new();
+        let mut cache_rejects = 0u64;
+        let mut cache_rebases = 0u64;
         for (i, &fp) in fps.iter().enumerate() {
             let id = ProcId::from_usize(i);
+            // Whether a fingerprint candidate existed at all: a candidate
+            // that falls through to the dirty set is a *reject* (hash hit,
+            // failed verification or rebase), not a plain recompute.
+            let mut had_candidate = false;
             if let Some(p) = prev.as_mut() {
                 if let Some(&old_id) = p.by_hash.get(&fp) {
+                    had_candidate = true;
                     // A hash hit is only trusted after full structural
                     // verification, which also yields the rebasing maps.
                     if let Some(mut maps) =
@@ -345,16 +363,24 @@ impl AnalysisSession {
                             clean[i] = Some(CleanProc { old: old_id, maps, identity });
                             locals[i] = Some(local);
                             delta.summary_cache_hits += 1;
+                            if !identity {
+                                cache_rebases += 1;
+                            }
                             continue;
                         }
                     }
                 }
             }
+            if had_candidate {
+                cache_rejects += 1;
+            }
             delta.summary_cache_misses += 1;
             dirty.push(id);
         }
+        drop(classify_span);
 
         // 3. Recompute IPL only for the dirty set, on the usual workers.
+        let ipl_span = support::obs::span("session.ipl");
         let mut ipl_fail: Vec<Option<(String, String)>> = (0..n).map(|_| None).collect();
         for (id, summary, failure) in
             summarize_subset_isolated(&program, &dirty, self.opts.threads, self.opts.budget)
@@ -387,10 +413,12 @@ impl AnalysisSession {
             }
         }
 
+        drop(ipl_span);
         // 4. Propagation is invalidated for ancestors of dirty procedures;
         // everyone else reuses a rebased cached propagated summary. A
         // summary that fails its rebase joins the recompute set (and so do
         // its ancestors) — looped until the set is stable.
+        let prop_span = support::obs::span("session.propagate");
         let mut seeds = dirty.clone();
         let mut prop_rebased: Vec<Option<ProcSummary>> = (0..n).map(|_| None).collect();
         let mut affected = cg.ancestor_closure(seeds.iter().copied());
@@ -489,7 +517,9 @@ impl AnalysisSession {
             }
         };
         degradations.extend(prop_degr.iter().cloned());
+        drop(prop_span);
 
+        let extract_span = support::obs::span("session.extract");
         // 5. Row extraction, per procedure: reuse rows verbatim when the
         // summary was reused *and* the extraction environment (addresses,
         // object files, type columns) hashed identically to last update's.
@@ -532,6 +562,8 @@ impl AnalysisSession {
                 reused_procs[i] = true;
                 delta.rows_reused += rows.len() - start;
             } else {
+                let _span =
+                    support::obs::span_arg("extract.rows", || raw_name(&program, pid));
                 match catch_unwind(AssertUnwindSafe(|| {
                     extract_proc_rows(&program, pid, &ipa.summaries[i], exopts, &formal_addr)
                 })) {
@@ -563,6 +595,8 @@ impl AnalysisSession {
             }
         }
 
+        drop(extract_span);
+        let _diff_span = support::obs::span("session.diff");
         // 6. Diff the row table against the previous update and commit. The
         // diff key starts with the procedure name and reused spans are
         // verbatim copies, so those procedures contribute nothing — diff
@@ -587,6 +621,7 @@ impl AnalysisSession {
             None => delta.rows_added = rows.len(),
         }
         delta.degradations = degradations.clone();
+        record_update_obs(&delta, cache_rejects, cache_rebases, n as u64, rows.len() as u64);
         let by_hash = fps
             .iter()
             .enumerate()
@@ -617,6 +652,26 @@ impl AnalysisSession {
         }
         Ok(delta)
     }
+}
+
+/// Publishes one update's delta to the observability layer. The cache
+/// counters obey the tested invariant
+/// `cache.hits + cache.recomputes == session.procedures` (rejects are a
+/// subset of recomputes: a hash hit whose verification or rebase failed).
+fn record_update_obs(delta: &AnalysisDelta, rejects: u64, rebases: u64, procs: u64, rows: u64) {
+    use support::obs::{self, Counter, Gauge};
+    obs::add(Counter::CacheHits, delta.summary_cache_hits as u64);
+    obs::add(Counter::CacheRecomputes, delta.summary_cache_misses as u64);
+    obs::add(Counter::CacheRejects, rejects);
+    obs::add(Counter::CacheRebases, rebases);
+    obs::add(Counter::FilesReparsed, delta.files_reparsed as u64);
+    obs::add(Counter::FilesCached, delta.files_cached as u64);
+    obs::add(Counter::RowsReused, delta.rows_reused as u64);
+    obs::add(Counter::RowsRecomputed, delta.rows_recomputed as u64);
+    obs::add(Counter::DegradeEvents, delta.degradations.len() as u64);
+    obs::set_gauge(Gauge::SessionProcedures, procs);
+    obs::set_gauge(Gauge::SessionRows, rows);
+    obs::set_gauge(Gauge::SessionDegradations, delta.degradations.len() as u64);
 }
 
 /// Content key of one source file for the parse cache.

@@ -63,10 +63,15 @@ use whirl::ProcId;
 
 /// Manifest file name inside a cache directory.
 pub const MANIFEST_FILE: &str = "manifest.araa";
+/// Stats-snapshot file name inside a cache directory (see
+/// [`SessionStore::stats`]).
+pub const STATS_FILE: &str = "stats.araa";
 /// Container kind tag of the manifest.
 const KIND_MANIFEST: &str = "araa-session-manifest";
 /// Container kind tag of per-procedure entries.
 const KIND_ENTRY: &str = "araa-session-entry";
+/// Container kind tag of the stats snapshot.
+const KIND_STATS: &str = "araa-session-stats";
 /// How long a session waits for a live lock holder before degrading to
 /// cache-less operation.
 const LOCK_WAIT: Duration = Duration::from_secs(5);
@@ -263,6 +268,32 @@ pub struct CacheStats {
     pub bytes: u64,
     /// Files sitting in `quarantine/`.
     pub quarantined: usize,
+    /// These stats were served from the snapshot persisted at the last
+    /// save, not from a live directory scan. Not persisted — set by
+    /// [`SessionStore::stats`].
+    pub from_snapshot: bool,
+}
+
+impl Persist for CacheStats {
+    fn save(&self, w: &mut ByteWriter) {
+        w.bool(self.manifest);
+        w.usize(self.procedures);
+        w.usize(self.sources);
+        w.usize(self.entry_files);
+        w.u64(self.bytes);
+        w.usize(self.quarantined);
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(CacheStats {
+            manifest: r.bool()?,
+            procedures: r.usize()?,
+            sources: r.usize()?,
+            entry_files: r.usize()?,
+            bytes: r.u64()?,
+            quarantined: r.usize()?,
+            from_snapshot: false,
+        })
+    }
 }
 
 /// What [`SessionStore::verify`] reports.
@@ -317,10 +348,42 @@ impl SessionStore {
         DirLock::acquire(&self.dir, LOCK_WAIT)
     }
 
-    /// Counts what is on disk. Read-only (but takes the lock so counts are
-    /// not torn by a concurrent save).
+    /// What is in the cache. Served from the stats snapshot persisted at
+    /// the last save when one is present *and* still bound to the current
+    /// manifest (the snapshot records the manifest container's checksum;
+    /// any manifest change invalidates it); otherwise falls back to a live
+    /// directory scan. Takes the lock either way so reads are not torn by
+    /// a concurrent save.
     pub fn stats(&self) -> Result<CacheStats> {
         let _lock = self.lock()?;
+        if let Some(snap) = self.read_stats_snapshot() {
+            return Ok(snap);
+        }
+        self.live_stats()
+    }
+
+    /// The stats snapshot, if present, valid, and bound to the manifest
+    /// currently on disk. `None` (never an error) on any mismatch — the
+    /// caller then scans live.
+    fn read_stats_snapshot(&self) -> Option<CacheStats> {
+        let bytes = std::fs::read(self.dir.join(STATS_FILE)).ok()?;
+        let payload = read_container(&bytes, KIND_STATS, self.fingerprint).ok()?;
+        let mut r = ByteReader::new(&payload);
+        let manifest_checksum = r.u64().ok()?;
+        let mut stats = CacheStats::load(&mut r).ok()?;
+        r.finish().ok()?;
+        // Staleness guard: the snapshot describes one specific manifest.
+        let manifest_bytes = std::fs::read(self.dir.join(MANIFEST_FILE)).ok()?;
+        if fnv1a(&manifest_bytes) != manifest_checksum {
+            return None;
+        }
+        stats.from_snapshot = true;
+        Some(stats)
+    }
+
+    /// Counts what is on disk by scanning the directory. Caller holds the
+    /// lock.
+    fn live_stats(&self) -> Result<CacheStats> {
         let mut stats = CacheStats::default();
         let mpath = self.dir.join(MANIFEST_FILE);
         if let Ok(bytes) = std::fs::read(&mpath) {
@@ -434,6 +497,9 @@ impl SessionStore {
         if std::fs::remove_file(&mpath).is_ok() {
             removed += 1;
         }
+        if std::fs::remove_file(self.dir.join(STATS_FILE)).is_ok() {
+            removed += 1;
+        }
         for path in self.entry_files()? {
             if std::fs::remove_file(&path).is_ok() {
                 removed += 1;
@@ -472,6 +538,7 @@ impl SessionStore {
     /// `persist::post_manifest` and `persist::gc` (plus the ones inside
     /// [`atomic_write`]) simulate a crash at each stage.
     fn save_state(&self, state: &SessionState) -> Result<()> {
+        let _span = support::obs::span("store.save");
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| Error::io(format!("creating {}", self.dir.display()), e))?;
         let _lock = self.lock()?;
@@ -530,7 +597,28 @@ impl SessionStore {
                 let _ = std::fs::remove_file(&path);
             }
         }
+        support::obs::set_gauge(
+            support::obs::Gauge::StoreEntries,
+            referenced.len() as u64,
+        );
+        // Best-effort stats snapshot, bound to the manifest just committed
+        // so `stats` can skip the directory scan. Written last: a crash
+        // before this point simply leaves the next `stats` call on the
+        // live-scan path (or an older snapshot that fails its binding).
+        let _ = self.write_stats_snapshot(&container);
         Ok(())
+    }
+
+    /// Writes the [`STATS_FILE`] snapshot describing the directory as it
+    /// stands after a save, keyed to `manifest_container` (the committed
+    /// manifest's bytes).
+    fn write_stats_snapshot(&self, manifest_container: &[u8]) -> Result<()> {
+        let stats = self.live_stats()?;
+        let mut w = ByteWriter::new();
+        w.u64(fnv1a(manifest_container));
+        stats.save(&mut w);
+        let container = write_container(KIND_STATS, self.fingerprint, &w.into_bytes());
+        atomic_write(&self.dir.join(STATS_FILE), &container)
     }
 }
 
@@ -588,6 +676,7 @@ impl AnalysisSession {
         if !store.dir.exists() {
             return false;
         }
+        let _span = support::obs::span("store.load");
         let _lock = match store.lock() {
             Ok(l) => l,
             Err(e) => {
@@ -659,13 +748,21 @@ impl AnalysisSession {
         let mut valid = vec![false; n];
         for i in 0..n {
             let name = raw_name(&program, ProcId::from_usize(i));
+            // The span records only when the procedure actually primes;
+            // every reject path cancels it and bumps the reject counter
+            // instead, so warm-from-disk traces distinguish the two.
+            let mut prime_span = support::obs::span_arg("store.prime", || name.clone());
             let Some(me) = by_name.get(name.as_str()) else {
+                prime_span.cancel();
+                support::obs::incr(support::obs::Counter::StoreRejected);
                 incidents.push(cache_incident(format!(
                     "no cache entry for `{name}`; recomputing it"
                 )));
                 continue;
             };
             if me.fp != fps[i] {
+                prime_span.cancel();
+                support::obs::incr(support::obs::Counter::StoreRejected);
                 incidents.push(cache_incident(format!(
                     "cache entry for `{name}` is stale; recomputing it"
                 )));
@@ -674,12 +771,16 @@ impl AnalysisSession {
             let path = store.dir.join(entry_name(me.checksum));
             let bytes = match read_file_raw(&path) {
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    prime_span.cancel();
+                    support::obs::incr(support::obs::Counter::StoreRejected);
                     incidents.push(cache_incident(format!(
                         "cache entry for `{name}` is missing; recomputing it"
                     )));
                     continue;
                 }
                 Err(e) => {
+                    prime_span.cancel();
+                    support::obs::incr(support::obs::Counter::StoreRejected);
                     incidents.push(cache_incident(format!(
                         "cache entry for `{name}` unreadable ({e}); recomputing it"
                     )));
@@ -708,8 +809,11 @@ impl AnalysisSession {
                     ipl_fail[i] = entry.ipl_fail;
                     extract_fail[i] = entry.extract_fail;
                     valid[i] = true;
+                    support::obs::incr(support::obs::Counter::StorePrimed);
                 }
                 Err((e, suffix)) => {
+                    prime_span.cancel();
+                    support::obs::incr(support::obs::Counter::StoreRejected);
                     let dest = quarantine_file(&path, suffix)
                         .map(|p| p.display().to_string())
                         .unwrap_or_else(|qe| format!("(quarantine failed: {qe})"));

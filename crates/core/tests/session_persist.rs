@@ -336,7 +336,7 @@ fn store_stats_verify_and_clear() {
     assert_eq!(entry_paths(dir.path()).len(), 3, "verify is read-only");
 
     let removed = store.clear().expect("clear");
-    assert_eq!(removed, 4, "manifest + 3 entries");
+    assert_eq!(removed, 5, "manifest + stats snapshot + 3 entries");
     let stats = store.stats().expect("stats");
     assert!(!stats.manifest);
     assert_eq!(stats.entry_files, 0);

@@ -14,11 +14,14 @@
 //! - [`browse`] — source highlighting and grep (Figs. 7/13);
 //! - [`advisor`] — the paper's three optimization guides: array shrinking,
 //!   sub-array `copyin` directives, loop fusion, and parallelizable call
-//!   pairs.
+//!   pairs;
+//! - [`sink`] — the structured diagnostics sink the binary routes all
+//!   stderr reporting through.
 
 pub mod advisor;
 pub mod browse;
 pub mod project;
+pub mod sink;
 pub mod view;
 
 pub use advisor::{advise, Advice, ShrinkBasis};

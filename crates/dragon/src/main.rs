@@ -26,18 +26,23 @@
 //! promoted to failure (exit `2`).
 
 use araa::{Analysis, AnalysisOptions, AnalysisSession, SessionStore};
+use dragon::sink::{self, Severity};
 use dragon::view::ViewOptions;
 use dragon::{advisor, render_procedure_list, render_scope, Project};
 use frontend::SourceFile;
-use std::sync::atomic::{AtomicBool, Ordering};
+use support::obs::{self, ClockKind, Collector};
 use whirl::Lang;
 
-/// Set when the analysis degraded; turns exit 0 into exit 1.
-static DEGRADED: AtomicBool = AtomicBool::new(false);
+/// Every allocation the binary makes is counted, so spans in `--trace-out`
+/// traces carry real allocation estimates instead of zeros.
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAllocator<std::alloc::System> =
+    obs::alloc::CountingAllocator::new(std::alloc::System);
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dragon [--strict] [--cache-dir DIR] [--no-cache] <command> [options] [sources...]\n\
+        "usage: dragon [--strict] [--cache-dir DIR] [--no-cache]\n\
+         \x20             [--trace-out DIR] [--metrics FILE] <command> [options] [sources...]\n\
          \x20 analyze <src...> [--out DIR] [--stem NAME]\n\
          \x20 view <scope> <src...> [--find ARRAY] [--expand-dims]\n\
          \x20 callgraph <src...>\n\
@@ -45,10 +50,13 @@ fn usage() -> ! {
          \x20 demo <fig1|matrix|lu>\n\
          \x20 dynamic <entry> <src...>\n\
          \x20 hotspots <src...> [--top N]\n\
+         \x20 profile <src...> [--top N]\n\
          \x20 cache <stats|verify|clear>   (requires --cache-dir)\n\
          \x20 --strict: treat degraded analysis as failure (exit 2)\n\
          \x20 --cache-dir DIR: load/save a persistent analysis cache\n\
-         \x20 --no-cache: ignore --cache-dir for this run"
+         \x20 --no-cache: ignore --cache-dir for this run\n\
+         \x20 --trace-out DIR: write trace.json (Chrome trace) + metrics.jsonl\n\
+         \x20 --metrics FILE: write the JSONL metrics stream to FILE"
     );
     std::process::exit(2);
 }
@@ -58,10 +66,7 @@ fn read_sources(paths: &[String]) -> Vec<(SourceFile, workloads::GenSource)> {
     for p in paths {
         let text = match std::fs::read_to_string(p) {
             Ok(t) => t,
-            Err(e) => {
-                eprintln!("dragon: cannot read {p}: {e}");
-                std::process::exit(2);
-            }
+            Err(e) => sink::fatal("io.read", format!("cannot read {p}: {e}")),
         };
         let lang = if p.ends_with(".c") { Lang::C } else { Lang::Fortran };
         let name = std::path::Path::new(p)
@@ -112,30 +117,26 @@ fn analyze(
     match run_analysis(gens, cache_dir) {
         Ok((a, cache_incidents)) => {
             if !cache_incidents.is_empty() {
-                eprintln!(
-                    "dragon: {} cache incident(s) (results are unaffected; \
+                let mut msg = format!(
+                    "{} cache incident(s) (results are unaffected; \
                      the affected procedures were recomputed):",
                     cache_incidents.len()
                 );
                 for d in &cache_incidents {
-                    eprintln!("  {d}");
+                    msg.push_str(&format!("\n  {d}"));
                 }
+                sink::emit(Severity::Degraded, "cache.incident", msg);
             }
             if a.degraded() {
-                eprintln!(
-                    "dragon: analysis degraded ({} issue(s)):",
-                    a.degradations.len()
-                );
+                let mut msg =
+                    format!("analysis degraded ({} issue(s)):", a.degradations.len());
                 for d in &a.degradations {
-                    eprintln!("  {d}");
+                    msg.push_str(&format!("\n  {d}"));
                 }
+                sink::emit(Severity::Degraded, "analysis.degraded", msg);
             }
-            if a.degraded() || !cache_incidents.is_empty() {
-                if strict {
-                    eprintln!("dragon: --strict: treating degraded analysis as failure");
-                    std::process::exit(2);
-                }
-                DEGRADED.store(true, Ordering::Relaxed);
+            if sink::degraded() && strict {
+                sink::fatal("strict", "--strict: treating degraded analysis as failure");
             }
             let project = Project::from_generated(&a, gens);
             (a, project)
@@ -146,13 +147,14 @@ fn analyze(
             if let Some(pos) = frontend::diag::error_pos(&e) {
                 for g in gens {
                     if g.text.lines().nth(pos.line.saturating_sub(1) as usize).is_some() {
-                        eprint!("dragon: {}", frontend::diag::render(&g.name, &g.text, &e));
-                        std::process::exit(2);
+                        sink::fatal(
+                            "analysis.error",
+                            frontend::diag::render(&g.name, &g.text, &e),
+                        );
                     }
                 }
             }
-            eprintln!("dragon: {e}");
-            std::process::exit(2);
+            sink::fatal("analysis.error", format!("{e}"));
         }
     }
 }
@@ -162,9 +164,106 @@ fn demo_sources(which: &str) -> Vec<workloads::GenSource> {
         "fig1" => vec![workloads::fig1::source()],
         "matrix" => vec![workloads::fig10::source()],
         "lu" => workloads::mini_lu::sources(),
-        other => {
-            eprintln!("dragon: unknown demo `{other}` (try fig1, matrix, lu)");
-            std::process::exit(2);
+        other => sink::fatal("cli.demo", format!("unknown demo `{other}` (try fig1, matrix, lu)")),
+    }
+}
+
+/// Renders the self-profiling report: per-procedure ranking (heaviest
+/// first) plus per-phase totals, from the collector's [`obs::Snapshot`].
+fn render_profile(snap: &obs::Snapshot, top: usize) -> String {
+    let fmt_units = |v: u64| match snap.clock {
+        ClockKind::Monotonic => format!("{:.3} ms", v as f64 / 1e6),
+        ClockKind::Logical => format!("{v} ticks"),
+    };
+    let fmt_bytes = |v: u64| {
+        if v >= 1 << 20 {
+            format!("{:.1} MB", v as f64 / (1u64 << 20) as f64)
+        } else if v >= 1 << 10 {
+            format!("{:.1} KB", v as f64 / 1024.0)
+        } else {
+            format!("{v} B")
+        }
+    };
+    let mut out = String::new();
+    out.push_str("== hot procedures ==\n");
+    if snap.procs.is_empty() {
+        out.push_str("(no per-procedure spans recorded)\n");
+    } else {
+        let mut t = support::table::Table::new(["procedure", "time", "alloc", "spans", "source"]);
+        for p in snap.procs.iter().take(top) {
+            let source = match (p.primed, p.recomputed) {
+                (true, true) => "primed+recomputed",
+                (true, false) => "primed",
+                (false, true) => "recomputed",
+                (false, false) => "-",
+            };
+            t.add_row([
+                p.proc.clone(),
+                fmt_units(p.total),
+                fmt_bytes(p.alloc),
+                format!("{}", p.spans),
+                source.to_string(),
+            ]);
+        }
+        out.push_str(&t.render(false));
+    }
+    out.push_str("\n== phase totals ==\n");
+    let mut spans: Vec<&obs::SpanAgg> = snap.spans.iter().collect();
+    spans.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.name.cmp(b.name)));
+    let mut t = support::table::Table::new(["span", "count", "time", "alloc"]);
+    for s in spans {
+        t.add_row([
+            s.name.to_string(),
+            format!("{}", s.count),
+            fmt_units(s.total),
+            fmt_bytes(s.alloc),
+        ]);
+    }
+    out.push_str(&t.render(false));
+    out
+}
+
+/// The metrics JSONL document: collector body + structured diagnostics,
+/// sealed with the `#checksum` trailer.
+fn metrics_document(collector: &Collector) -> String {
+    let mut doc = collector.metrics_jsonl_body();
+    doc.push_str(&sink::records_jsonl());
+    support::persist::append_text_checksum(&mut doc);
+    doc
+}
+
+/// Writes the observability artifacts at the end of an observed run. A
+/// write failure degrades the run (exit 1) rather than failing it — the
+/// analysis itself succeeded.
+fn write_obs_artifacts(
+    collector: &Collector,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) {
+    let mut targets: Vec<(std::path::PathBuf, String)> = Vec::new();
+    if let Some(dir) = trace_out {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            sink::emit(
+                Severity::Degraded,
+                "obs.write",
+                format!("cannot create trace dir {}: {e}", dir.display()),
+            );
+            return;
+        }
+        targets.push((dir.join("trace.json"), collector.chrome_trace_json()));
+        targets.push((dir.join("metrics.jsonl"), metrics_document(collector)));
+    }
+    if let Some(file) = metrics_out {
+        targets.push((std::path::PathBuf::from(file), metrics_document(collector)));
+    }
+    for (path, doc) in targets {
+        if let Err(e) = support::persist::atomic_write(&path, doc.as_bytes()) {
+            sink::emit(
+                Severity::Degraded,
+                "obs.write",
+                format!("cannot write {}: {e}", path.display()),
+            );
         }
     }
 }
@@ -174,6 +273,8 @@ fn main() {
     let mut strict = false;
     let mut no_cache = false;
     let mut cache_dir: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut args: Vec<String> = Vec::with_capacity(raw.len());
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -181,6 +282,8 @@ fn main() {
             "--strict" => strict = true,
             "--no-cache" => no_cache = true,
             "--cache-dir" => cache_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics" => metrics_out = Some(it.next().unwrap_or_else(|| usage())),
             _ => args.push(a),
         }
     }
@@ -190,6 +293,21 @@ fn main() {
     }
     let cache_dir = cache_dir.as_deref();
     let Some(cmd) = args.first() else { usage() };
+
+    // Observation is on when any export was requested or the command is
+    // itself a profiling report. ARAA_OBS_CLOCK=logical swaps in the
+    // deterministic clock (tests compare artifact bytes across runs).
+    let collector = if trace_out.is_some() || metrics_out.is_some() || cmd == "profile" {
+        let clock = match std::env::var("ARAA_OBS_CLOCK").ok().as_deref() {
+            Some("logical") => ClockKind::Logical,
+            _ => ClockKind::Monotonic,
+        };
+        let c = Collector::new(clock);
+        obs::install_global(c.clone());
+        Some(c)
+    } else {
+        None
+    };
 
     match cmd.as_str() {
         "analyze" => {
@@ -213,8 +331,7 @@ fn main() {
             if let Err(e) =
                 analysis.write_project(std::path::Path::new(&out_dir), &stem)
             {
-                eprintln!("dragon: {e}");
-                std::process::exit(2);
+                sink::fatal("io.write", format!("{e}"));
             }
             println!(
                 "wrote {out_dir}/{stem}.rgn, .dgn, .cfg ({} rows, {} procedures)",
@@ -311,17 +428,37 @@ fn main() {
                         println!("  VIOLATION: {}", v.detail);
                     }
                 }
-                Err(e) => {
-                    eprintln!("dragon: execution failed: {e}");
-                    std::process::exit(2);
+                Err(e) => sink::fatal("dynamic.failed", format!("execution failed: {e}")),
+            }
+        }
+        "profile" => {
+            let mut top = 10usize;
+            let mut srcs = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--top" => {
+                        top = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    other => srcs.push(other.to_string()),
                 }
             }
+            if srcs.is_empty() {
+                usage();
+            }
+            let gens: Vec<_> =
+                read_sources(&srcs).into_iter().map(|(_, g)| g).collect();
+            let _ = analyze(&gens, strict, cache_dir);
+            let Some(c) = &collector else { usage() };
+            print!("{}", render_profile(&c.snapshot(), top));
         }
         "cache" => {
             let Some(op) = args.get(1) else { usage() };
             let Some(dir) = store_dir.as_deref() else {
-                eprintln!("dragon: cache {op} requires --cache-dir DIR");
-                std::process::exit(2);
+                sink::fatal("cache.usage", format!("cache {op} requires --cache-dir DIR"));
             };
             let store = SessionStore::new(dir, &AnalysisOptions::default());
             match op.as_str() {
@@ -334,11 +471,16 @@ fn main() {
                         println!("entry files:     {}", s.entry_files);
                         println!("total bytes:     {}", s.bytes);
                         println!("quarantined:     {}", s.quarantined);
+                        println!(
+                            "source:          {}",
+                            if s.from_snapshot {
+                                "snapshot (stats.araa, written at last save)"
+                            } else {
+                                "live scan"
+                            }
+                        );
                     }
-                    Err(e) => {
-                        eprintln!("dragon: cache stats: {e}");
-                        std::process::exit(2);
-                    }
+                    Err(e) => sink::fatal("cache.stats", format!("cache stats: {e}")),
                 },
                 "verify" => match store.verify() {
                     Ok(r) => {
@@ -349,29 +491,28 @@ fn main() {
                             if r.orphans == 1 { "y" } else { "ies" }
                         );
                         if !r.clean() {
-                            eprintln!("dragon: {} problem(s):", r.problems.len());
+                            let mut msg = format!("{} problem(s):", r.problems.len());
                             for p in &r.problems {
-                                eprintln!("  {p}");
+                                msg.push_str(&format!("\n  {p}"));
                             }
-                            std::process::exit(if strict { 2 } else { 1 });
+                            sink::emit(Severity::Degraded, "cache.verify", msg);
                         }
                     }
-                    Err(e) => {
-                        eprintln!("dragon: cache verify: {e}");
-                        std::process::exit(2);
-                    }
+                    Err(e) => sink::fatal("cache.verify", format!("cache verify: {e}")),
                 },
                 "clear" => match store.clear() {
                     Ok(n) => println!("removed {n} file(s) from {dir}"),
-                    Err(e) => {
-                        eprintln!("dragon: cache clear: {e}");
-                        std::process::exit(2);
-                    }
+                    Err(e) => sink::fatal("cache.clear", format!("cache clear: {e}")),
                 },
                 _ => usage(),
             }
         }
         _ => usage(),
     }
-    std::process::exit(i32::from(DEGRADED.load(Ordering::Relaxed)));
+    // Exporters run last so the artifacts cover the whole run, including
+    // any structured diagnostics reported above.
+    if let Some(c) = &collector {
+        write_obs_artifacts(c, trace_out.as_deref(), metrics_out.as_deref());
+    }
+    std::process::exit(sink::exit_code(strict));
 }

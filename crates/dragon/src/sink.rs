@@ -1,0 +1,137 @@
+//! Structured diagnostics sink for the `dragon` binary.
+//!
+//! Every user-facing diagnostic flows through [`emit`] / [`fatal`] instead
+//! of raw `eprintln!`: the sink renders the human line(s) to stderr *and*
+//! keeps a structured record, so the `--strict`/exit-code policy and the
+//! machine-readable stream cannot drift apart. [`exit_code`] is the single
+//! place that maps what was reported to a process exit status, and
+//! [`records_jsonl`] replays everything reported as JSONL `diag` lines for
+//! inclusion in the metrics artifact.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// How bad a diagnostic is. Ordering matters: the sink tracks the maximum
+/// severity reported so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational — does not change the exit code.
+    Note,
+    /// The run completed but with degraded results or a cache incident
+    /// (exit 1, or 2 under `--strict`).
+    Degraded,
+    /// The run failed outright (exit 2).
+    Fatal,
+}
+
+impl Severity {
+    /// Stable name used in the JSONL records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Degraded => "degraded",
+            Severity::Fatal => "fatal",
+        }
+    }
+}
+
+/// One reported diagnostic, as recorded.
+#[derive(Debug, Clone)]
+pub struct DiagRecord {
+    /// Severity it was reported at.
+    pub severity: Severity,
+    /// Short machine-stable code, dot-namespaced (e.g. `cache.incident`).
+    pub code: &'static str,
+    /// The human message (may span multiple lines).
+    pub message: String,
+}
+
+static MAX_SEVERITY: AtomicU8 = AtomicU8::new(0);
+static RECORDS: Mutex<Vec<DiagRecord>> = Mutex::new(Vec::new());
+
+fn records() -> std::sync::MutexGuard<'static, Vec<DiagRecord>> {
+    RECORDS.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn raise(sev: Severity) {
+    MAX_SEVERITY.fetch_max(sev as u8, Ordering::Relaxed);
+}
+
+/// Reports a diagnostic: prints `dragon: <message>` to stderr (extra lines
+/// verbatim, as callers indent them themselves) and records it.
+pub fn emit(severity: Severity, code: &'static str, message: impl Into<String>) {
+    let message = message.into();
+    eprintln!("dragon: {}", message.trim_end_matches('\n'));
+    raise(severity);
+    records().push(DiagRecord { severity, code, message });
+}
+
+/// Reports a fatal diagnostic and exits with status 2. Failure runs do
+/// not get observability artifacts — there is no trustworthy end state to
+/// export.
+pub fn fatal(code: &'static str, message: impl Into<String>) -> ! {
+    emit(Severity::Fatal, code, message);
+    std::process::exit(2);
+}
+
+/// True once anything at [`Severity::Degraded`] or worse was reported.
+pub fn degraded() -> bool {
+    MAX_SEVERITY.load(Ordering::Relaxed) >= Severity::Degraded as u8
+}
+
+/// The exit status implied by everything reported so far: 0 when clean,
+/// 1 when degraded, 2 when degraded under `--strict`. (Fatal paths never
+/// reach this — [`fatal`] exits directly.)
+pub fn exit_code(strict: bool) -> i32 {
+    if !degraded() {
+        0
+    } else if strict {
+        2
+    } else {
+        1
+    }
+}
+
+/// Everything reported so far, one JSONL `diag` line per record, in
+/// report order. Appended to the metrics document before its trailer.
+pub fn records_jsonl() -> String {
+    let mut out = String::new();
+    for r in records().iter() {
+        out.push_str(&format!(
+            "{{\"type\":\"diag\",\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\"}}\n",
+            r.severity.name(),
+            support::obs::json_escape(r.code),
+            support::obs::json_escape(&r.message)
+        ));
+    }
+    out
+}
+
+/// A snapshot of the recorded diagnostics (for tests and reporting).
+pub fn snapshot() -> Vec<DiagRecord> {
+    records().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sink is process-global, so one test exercises the whole
+    // lifecycle (parallel tests would race on MAX_SEVERITY otherwise).
+    #[test]
+    fn severity_records_and_exit_code() {
+        assert_eq!(exit_code(false), 0);
+        emit(Severity::Note, "test.note", "just saying");
+        assert!(!degraded());
+        assert_eq!(exit_code(true), 0);
+        emit(Severity::Degraded, "test.degraded", "line one\n  line two");
+        assert!(degraded());
+        assert_eq!(exit_code(false), 1);
+        assert_eq!(exit_code(true), 2);
+        let jsonl = records_jsonl();
+        assert!(jsonl.contains("\"severity\":\"note\""));
+        assert!(jsonl.contains("\"code\":\"test.degraded\""));
+        assert!(jsonl.contains("line one\\n  line two"));
+        assert_eq!(snapshot().len(), 2);
+    }
+}

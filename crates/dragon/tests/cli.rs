@@ -312,3 +312,144 @@ fn no_args_prints_usage() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage:"), "{stderr}");
 }
+
+// ---------------------------------------------------------------------------
+// Observability (--trace-out / --metrics / profile)
+// ---------------------------------------------------------------------------
+
+/// Pulls a `counter`/`gauge` value out of the metrics JSONL document.
+fn metric_value(doc: &str, kind: &str, name: &str) -> Option<u64> {
+    let prefix = format!("{{\"type\":\"{kind}\",\"name\":\"{name}\",\"value\":");
+    doc.lines()
+        .find(|l| l.starts_with(&prefix))
+        .and_then(|l| l[prefix.len()..].trim_end_matches('}').parse().ok())
+}
+
+#[test]
+fn trace_out_writes_valid_artifacts_with_invariants() {
+    let dir = support::testdir::TestDir::new("dragon-cli-trace");
+    let trace_dir = dir.join("obs");
+    let out = dragon()
+        .args(["--trace-out", trace_dir.to_str().unwrap(), "demo", "lu"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let trace = std::fs::read_to_string(trace_dir.join("trace.json")).unwrap();
+    assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+    assert!(trace.contains("\"name\":\"session.update\""), "{trace}");
+    assert!(trace.contains("\"name\":\"ipa.ipl\""), "{trace}");
+    support::persist::verify_text_checksum(&trace).expect("trace trailer verifies");
+
+    let metrics = std::fs::read_to_string(trace_dir.join("metrics.jsonl")).unwrap();
+    support::persist::verify_text_checksum(&metrics).expect("metrics trailer verifies");
+    let hits = metric_value(&metrics, "counter", "cache.hits").unwrap();
+    let recomputes = metric_value(&metrics, "counter", "cache.recomputes").unwrap();
+    let procs = metric_value(&metrics, "gauge", "session.procedures").unwrap();
+    assert!(procs > 0, "{metrics}");
+    assert_eq!(hits + recomputes, procs, "cache accounting covers every procedure");
+    assert!(metrics.contains("\"type\":\"proc\""), "{metrics}");
+}
+
+#[test]
+fn metrics_file_records_structured_diagnostics() {
+    let src = write_temp("obs_degraded.f", DEGRADED_SRC);
+    let dir = support::testdir::TestDir::new("dragon-cli-metrics");
+    let mfile = dir.join("m.jsonl");
+    let out = dragon()
+        .args(["--metrics", mfile.to_str().unwrap(), "callgraph", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let metrics = std::fs::read_to_string(&mfile).unwrap();
+    support::persist::verify_text_checksum(&metrics).expect("metrics trailer verifies");
+    // The degradation reported on stderr appears as a structured diag line
+    // and in the counters — same sink, no drift.
+    assert!(metrics.contains("\"type\":\"diag\",\"severity\":\"degraded\""), "{metrics}");
+    assert!(metrics.contains("\"code\":\"analysis.degraded\""), "{metrics}");
+    let degrades = metric_value(&metrics, "counter", "degrade.events").unwrap();
+    assert!(degrades > 0, "{metrics}");
+}
+
+#[test]
+fn logical_clock_cli_runs_are_byte_deterministic() {
+    let dir = support::testdir::TestDir::new("dragon-cli-logical");
+    let run = |n: u32| {
+        let tdir = dir.join(&format!("t{n}"));
+        let out = dragon()
+            .args(["--trace-out", tdir.to_str().unwrap(), "demo", "fig1"])
+            .env("ARAA_OBS_CLOCK", "logical")
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+        (
+            std::fs::read(tdir.join("trace.json")).unwrap(),
+            std::fs::read(tdir.join("metrics.jsonl")).unwrap(),
+        )
+    };
+    let (trace1, metrics1) = run(1);
+    let (trace2, metrics2) = run(2);
+    assert_eq!(trace1, trace2, "logical-clock trace must be byte-identical");
+    assert_eq!(metrics1, metrics2, "logical-clock metrics must be byte-identical");
+}
+
+#[test]
+fn profile_ranks_procedures_and_shows_cache_source() {
+    let src = write_temp("obs_profile.f", CACHE_SRC);
+    let dir = support::testdir::TestDir::new("dragon-cli-profile");
+    let cache = dir.path().to_str().unwrap();
+    let cold = dragon()
+        .args(["--cache-dir", cache, "profile", src.to_str().unwrap(), "--top", "5"])
+        .output()
+        .unwrap();
+    assert_eq!(cold.status.code(), Some(0), "{}", String::from_utf8_lossy(&cold.stderr));
+    let stdout = String::from_utf8_lossy(&cold.stdout);
+    assert!(stdout.contains("== hot procedures =="), "{stdout}");
+    assert!(stdout.contains("== phase totals =="), "{stdout}");
+    assert!(stdout.contains("session.update"), "{stdout}");
+    assert!(stdout.contains("recomputed"), "{stdout}");
+
+    // Warm from disk: the same report now attributes procedures to the
+    // cache instead of recomputation.
+    let warm = dragon()
+        .args(["--cache-dir", cache, "profile", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(warm.status.code(), Some(0), "{}", String::from_utf8_lossy(&warm.stderr));
+    let stdout = String::from_utf8_lossy(&warm.stdout);
+    assert!(stdout.contains("| primed"), "{stdout}");
+    assert!(!stdout.contains("| recomputed"), "warm run must not recompute: {stdout}");
+}
+
+#[test]
+fn cache_stats_uses_snapshot_then_falls_back_to_live_scan() {
+    let src = write_temp("obs_stats.f", CACHE_SRC);
+    let dir = support::testdir::TestDir::new("dragon-cli-stats-src");
+    let cache = dir.path().to_str().unwrap();
+    let out = dragon()
+        .args(["--cache-dir", cache, "callgraph", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("stats.araa").exists(), "save must write the stats snapshot");
+
+    let stats = dragon().args(["--cache-dir", cache, "cache", "stats"]).output().unwrap();
+    assert_eq!(stats.status.code(), Some(0), "{}", String::from_utf8_lossy(&stats.stderr));
+    let snap_out = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(snap_out.contains("source:          snapshot"), "{snap_out}");
+
+    // Without the snapshot the command falls back to scanning the
+    // directory — and reports the same numbers.
+    std::fs::remove_file(dir.join("stats.araa")).unwrap();
+    let stats = dragon().args(["--cache-dir", cache, "cache", "stats"]).output().unwrap();
+    assert_eq!(stats.status.code(), Some(0), "{}", String::from_utf8_lossy(&stats.stderr));
+    let live_out = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(live_out.contains("source:          live scan"), "{live_out}");
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with("source:") && !l.starts_with("total bytes:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&snap_out), strip(&live_out), "snapshot and scan must agree");
+}

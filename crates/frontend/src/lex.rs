@@ -105,6 +105,7 @@ pub struct Token {
 /// in Fortran mode, logical line ends appear as `Newline` tokens (with
 /// consecutive newlines collapsed).
 pub fn lex(src: &str, mode: LexMode) -> Result<Vec<Token>> {
+    let _span = support::obs::span("frontend.lex");
     Lexer { src: src.as_bytes(), i: 0, line: 1, col: 1, mode, out: Vec::new() }.run()
 }
 

@@ -97,6 +97,7 @@ pub struct ParsedSource {
 /// Parses one source file with recovery. Never fails: an unparseable file
 /// yields an empty module plus the diagnostics explaining what was lost.
 pub fn parse_source_with_recovery(s: &SourceFile) -> ParsedSource {
+    let _span = support::obs::span_arg("frontend.parse", || s.name.clone());
     let (module, diags) = match s.lang {
         Lang::Fortran => fortran::parse_with_recovery(&s.name, &s.text),
         Lang::C => cparse::parse_with_recovery(&s.name, &s.text),
@@ -126,17 +127,22 @@ pub fn assemble_with_recovery(parsed: Vec<ParsedSource>) -> Result<(Program, Vec
             .next()
             .unwrap_or_else(|| Error::semantic("no procedures found in any source file")));
     }
+    let _span = support::obs::span("frontend.assemble");
     stub_undefined_callees(&mut modules, &mut diags);
-    let env = loop {
-        match sema::analyze(&modules) {
-            Ok(env) => break env,
-            Err(e) => {
-                if !degrade_offender(&mut modules, &e, &mut diags) {
-                    return Err(e);
+    let env = {
+        let _sema = support::obs::span("frontend.sema");
+        loop {
+            match sema::analyze(&modules) {
+                Ok(env) => break env,
+                Err(e) => {
+                    if !degrade_offender(&mut modules, &e, &mut diags) {
+                        return Err(e);
+                    }
                 }
             }
         }
     };
+    let _lower = support::obs::span("frontend.lower");
     let program = lower::lower_modules(&modules, &env, &langs)?;
     Ok((program, diags))
 }

@@ -49,6 +49,7 @@ impl CallGraph {
     /// nodes. Calls to symbols with no matching procedure are ignored
     /// (external library calls).
     pub fn build(program: &Program) -> Self {
+        let _span = support::obs::span("ipa.callgraph");
         let mut nodes: IndexVec<ProcId, CgNode> =
             (0..program.procedure_count()).map(|_| CgNode::default()).collect();
 

@@ -55,6 +55,11 @@ pub fn summarize_proc_guarded(
     id: ProcId,
     config: BudgetConfig,
 ) -> (ProcSummary, Option<IplFailure>) {
+    // Raw (undecorated) name, matching `store.prime` and `extract.rows`,
+    // so one procedure aggregates to one profile row.
+    let _span = support::obs::span_arg("ipa.ipl", || {
+        program.name_of(program.procedure(id).name).to_string()
+    });
     let scope = budget::enter(config);
     let result = catch_unwind(AssertUnwindSafe(|| summarize_procedure(program, id)));
     let exhausted = budget::exhaustion();
@@ -149,10 +154,14 @@ pub fn summarize_subset_isolated(
     let next = AtomicUsize::new(0);
     type Slot = (usize, ProcSummary, Option<IplFailure>);
     let merged: Mutex<Vec<Slot>> = Mutex::new(Vec::with_capacity(n));
+    // Observability context is thread-scoped (like budgets); capture the
+    // spawning thread's collector so worker spans land in the same trace.
+    let obs_ctx = support::obs::current();
 
     let joined = crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
+                let _obs = obs_ctx.clone().map(support::obs::attach);
                 let mut local: Vec<Slot> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);

@@ -72,6 +72,11 @@ pub fn propagate_subset(
     summaries: &mut [ProcSummary],
     affected: &[bool],
 ) -> bool {
+    let _span = support::obs::span("ipa.propagate");
+    support::obs::add(
+        support::obs::Counter::PropagateInvalidated,
+        affected.iter().filter(|&&a| a).count() as u64,
+    );
     let recursion_cut = cg.is_recursive();
     for id in cg.bottom_up() {
         if !affected[id.as_usize()] {

@@ -125,6 +125,7 @@ impl ConvexRegion {
     /// of regions is approximated since in some cases, it does not form a
     /// convex hull".
     pub fn union_hull(&self, other: &ConvexRegion) -> ConvexRegion {
+        support::obs::incr(support::obs::Counter::RegionUnions);
         if self.is_empty() {
             return other.clone();
         }

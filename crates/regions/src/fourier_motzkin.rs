@@ -14,6 +14,7 @@
 
 use crate::constraint::{lcm, Constraint, ConstraintSystem, Rel};
 use crate::space::VarId;
+use support::obs::{self, Counter};
 use support::{budget, faultpoint};
 
 /// Default constraint budget per elimination step. Classic FM is doubly
@@ -82,6 +83,7 @@ pub fn eliminate(system: &ConstraintSystem, v: VarId, stats: &mut FmStats) -> Pr
     if !system.mentions(v) {
         return Projection::Feasible(system.clone());
     }
+    obs::incr(Counter::FmEliminations);
 
     let (lower, upper, eqs, rest) = system.partition_on(v);
 
@@ -95,6 +97,7 @@ pub fn eliminate(system: &ConstraintSystem, v: VarId, stats: &mut FmStats) -> Pr
         system.len() as u64
     };
     if !budget::charge_steps(cost) {
+        obs::incr(Counter::FmWidenings);
         return Projection::Feasible(drop_mentions(system, v, stats));
     }
 
@@ -208,6 +211,7 @@ fn widen_to_budget(cs: &mut ConstraintSystem, stats: &mut FmStats) {
     if cs.len() <= cap {
         return;
     }
+    obs::incr(Counter::FmWidenings);
     let mut constraints: Vec<Constraint> = cs.constraints().to_vec();
     // Simplicity key: equalities first, then by term count, then by the
     // largest absolute coefficient (big coefficients breed overflow and

@@ -98,7 +98,23 @@ pub struct BudgetScope {
 
 impl Drop for BudgetScope {
     fn drop(&mut self) {
-        ACTIVE.with(|a| *a.borrow_mut() = self.prev.take());
+        let closed =
+            ACTIVE.with(|a| std::mem::replace(&mut *a.borrow_mut(), self.prev.take()));
+        if let Some(state) = closed {
+            // Report consumed units (limit minus remainder) to the
+            // observability layer; no-ops when nothing is collecting.
+            crate::obs::add(
+                crate::obs::Counter::BudgetFmSteps,
+                state.config.fm_steps.saturating_sub(state.fm_steps_left),
+            );
+            crate::obs::add(
+                crate::obs::Counter::BudgetTranslations,
+                state.config.translations.saturating_sub(state.translations_left),
+            );
+            if state.exhausted.is_some() {
+                crate::obs::incr(crate::obs::Counter::BudgetExhausted);
+            }
+        }
     }
 }
 

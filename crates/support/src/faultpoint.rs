@@ -109,18 +109,24 @@ mod imp {
     }
 
     pub fn fires(name: &str) -> bool {
-        let mut map = registry().lock().unwrap_or_else(|p| p.into_inner());
-        match map.get_mut(name) {
-            Some(left) if *left <= 1 => {
-                map.remove(name);
-                true
+        let fired = {
+            let mut map = registry().lock().unwrap_or_else(|p| p.into_inner());
+            match map.get_mut(name) {
+                Some(left) if *left <= 1 => {
+                    map.remove(name);
+                    true
+                }
+                Some(left) => {
+                    *left -= 1;
+                    false
+                }
+                None => false,
             }
-            Some(left) => {
-                *left -= 1;
-                false
-            }
-            None => false,
+        };
+        if fired {
+            crate::obs::incr(crate::obs::Counter::FaultpointTrips);
         }
+        fired
     }
 
     pub fn hit(name: &str) {

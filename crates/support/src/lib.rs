@@ -13,6 +13,7 @@ pub mod faultpoint;
 pub mod hash;
 pub mod idx;
 pub mod intern;
+pub mod obs;
 pub mod persist;
 pub mod table;
 pub mod testdir;

@@ -703,6 +703,7 @@ pub fn quarantine_file(path: &Path, suffix: &str) -> Result<PathBuf> {
     std::fs::rename(path, &dest).map_err(|e| {
         Error::io(format!("quarantining {} to {}", path.display(), dest.display()), e)
     })?;
+    crate::obs::incr(crate::obs::Counter::QuarantineEvents);
     Ok(dest)
 }
 

@@ -60,3 +60,32 @@ fn warm_session_updates_are_thread_invariant() {
     assert_eq!(serial.1, threaded.1, "warm .dgn differs between 1 and 8 threads");
     assert_eq!(serial.2, threaded.2, "warm .cfg differs between 1 and 8 threads");
 }
+
+/// The observability contract rides the same invariant: metric *counts*
+/// (counters and gauges — exact event tallies, not timings) must not
+/// depend on the worker fan-out, just like the artifacts they describe.
+#[test]
+fn metric_counts_are_thread_invariant() {
+    use support::obs::{self, ClockKind, Collector};
+    let count_lines = |doc: &str| -> Vec<String> {
+        doc.lines()
+            .filter(|l| {
+                l.starts_with("{\"type\":\"counter\"") || l.starts_with("{\"type\":\"gauge\"")
+            })
+            .map(str::to_string)
+            .collect()
+    };
+    let run = |threads: usize| {
+        let c = Collector::new(ClockKind::Logical);
+        {
+            let _g = obs::attach(c.clone());
+            Analysis::analyze(
+                &workloads::mini_lu::sources(),
+                AnalysisOptions::builder().threads(threads).build(),
+            )
+            .expect("analysis succeeds");
+        }
+        count_lines(&c.metrics_jsonl())
+    };
+    assert_eq!(run(1), run(8), "counter/gauge lines differ between 1 and 8 threads");
+}

@@ -1,0 +1,154 @@
+//! Observability contract: the metrics the collector reports must agree
+//! with what the analysis actually did, and observation must never change
+//! what the analysis produces.
+//!
+//! - cache accounting covers every procedure: `cache.hits +
+//!   cache.recomputes == session.procedures` on every update (rejects are
+//!   a subset of recomputes — a hash hit whose validation failed);
+//! - the degradation gauge equals `Analysis::degradations.len()`;
+//! - tracing on vs off yields byte-identical `.rgn`/`.dgn`/`.cfg`;
+//! - under the logical clock, both exporters are byte-deterministic and
+//!   carry valid `#checksum` trailers;
+//! - a warm-from-disk run profiles every procedure as primed, none as
+//!   recomputed.
+
+use araa::{Analysis, AnalysisOptions, AnalysisSession};
+use support::budget::BudgetConfig;
+use support::obs::{self, ClockKind, Collector, Counter, Gauge};
+use support::testdir::TestDir;
+
+fn opts_serial() -> AnalysisOptions {
+    // Single-threaded: the byte-determinism assertions below need a
+    // deterministic event interleaving, which worker pools cannot promise.
+    AnalysisOptions::builder().threads(1).build()
+}
+
+fn edit_rhs(sources: &mut [workloads::GenSource]) {
+    let rhs = sources.iter_mut().find(|s| s.name == "rhs.f").expect("rhs.f");
+    rhs.text = rhs.text.replace("do k = 1, 10", "do k = 1, 7");
+}
+
+#[test]
+fn cache_counters_cover_every_procedure() {
+    let mut sources = workloads::mini_lu::sources();
+    let mut session = AnalysisSession::new(opts_serial());
+
+    // Cold: everything recomputes.
+    let cold = Collector::new(ClockKind::Logical);
+    {
+        let _g = obs::attach(cold.clone());
+        session.update(sources.clone()).expect("cold update");
+    }
+    let procs = cold.gauge(Gauge::SessionProcedures);
+    assert!(procs > 0, "mini_lu has procedures");
+    assert_eq!(cold.counter(Counter::CacheHits), 0, "cold run cannot hit");
+    assert_eq!(cold.counter(Counter::CacheRecomputes), procs);
+
+    // Warm after one edit: hits + recomputes still covers every procedure,
+    // and rejects never exceed recomputes (a reject IS a recompute whose
+    // cached candidate failed validation).
+    edit_rhs(&mut sources);
+    let warm = Collector::new(ClockKind::Logical);
+    {
+        let _g = obs::attach(warm.clone());
+        session.update(sources).expect("warm update");
+    }
+    let procs = warm.gauge(Gauge::SessionProcedures);
+    let hits = warm.counter(Counter::CacheHits);
+    let recomputes = warm.counter(Counter::CacheRecomputes);
+    assert_eq!(hits + recomputes, procs, "every procedure is hit or recomputed");
+    assert!(hits > 0, "an edit of one file must not evict every summary");
+    assert!(recomputes > 0, "the edited file's procedures must recompute");
+    assert!(
+        warm.counter(Counter::CacheRejects) <= recomputes,
+        "rejects are a subset of recomputes"
+    );
+}
+
+#[test]
+fn degradation_gauge_matches_analysis() {
+    // A starvation budget forces degradations; the gauge and counter must
+    // agree with the analysis' own report exactly.
+    let starved = AnalysisOptions::builder()
+        .threads(1)
+        .budget(BudgetConfig { fm_steps: 1, translations: 1, ..BudgetConfig::default() })
+        .build();
+    let c = Collector::new(ClockKind::Logical);
+    let a = {
+        let _g = obs::attach(c.clone());
+        Analysis::analyze(&workloads::mini_lu::sources(), starved).expect("degrades, not fails")
+    };
+    assert!(a.degraded(), "starvation budget must degrade mini_lu");
+    let n = a.degradations.len() as u64;
+    assert_eq!(c.gauge(Gauge::SessionDegradations), n);
+    assert_eq!(c.counter(Counter::DegradeEvents), n);
+    assert!(c.counter(Counter::BudgetExhausted) > 0, "exhaustion must be counted");
+}
+
+#[test]
+fn tracing_changes_no_artifact_bytes() {
+    let sources = workloads::mini_lu::sources();
+    let plain = Analysis::analyze(&sources, opts_serial()).expect("untraced analysis");
+    let c = Collector::new(ClockKind::Logical);
+    let traced = {
+        let _g = obs::attach(c.clone());
+        Analysis::analyze(&sources, opts_serial()).expect("traced analysis")
+    };
+    assert!(!c.events().is_empty(), "the traced run must actually record spans");
+    assert_eq!(plain.rgn_document(), traced.rgn_document(), ".rgn changed under tracing");
+    assert_eq!(plain.dgn_document(), traced.dgn_document(), ".dgn changed under tracing");
+    assert_eq!(plain.cfg_document(), traced.cfg_document(), ".cfg changed under tracing");
+}
+
+#[test]
+fn logical_clock_exports_are_byte_deterministic() {
+    let run = || {
+        let c = Collector::new(ClockKind::Logical);
+        {
+            let _g = obs::attach(c.clone());
+            Analysis::analyze(&workloads::mini_lu::sources(), opts_serial())
+                .expect("analysis succeeds");
+        }
+        (c.chrome_trace_json(), c.metrics_jsonl())
+    };
+    let (trace1, metrics1) = run();
+    let (trace2, metrics2) = run();
+    assert_eq!(trace1, trace2, "chrome trace is not byte-deterministic");
+    assert_eq!(metrics1, metrics2, "metrics stream is not byte-deterministic");
+    obs::verify_artifact(&trace1).expect("trace trailer verifies");
+    obs::verify_artifact(&metrics1).expect("metrics trailer verifies");
+}
+
+#[test]
+fn warm_from_disk_profiles_primed_procedures() {
+    let dir = TestDir::new("obs-warm-disk");
+    let sources = workloads::mini_lu::sources();
+
+    // Cold run populates the cache directory.
+    {
+        let mut session = AnalysisSession::with_cache_dir(opts_serial(), dir.path());
+        session.load();
+        session.update(sources.clone()).expect("cold update");
+        session.persist();
+    }
+
+    // Warm-from-disk run under a fresh collector: every procedure must
+    // show as primed, none as recomputed, and the counters must agree.
+    let c = Collector::new(ClockKind::Logical);
+    {
+        let _g = obs::attach(c.clone());
+        let mut session = AnalysisSession::with_cache_dir(opts_serial(), dir.path());
+        session.load();
+        session.update(sources).expect("warm update");
+    }
+    let snap = c.snapshot();
+    let procs = c.gauge(Gauge::SessionProcedures);
+    assert_eq!(c.counter(Counter::StorePrimed), procs, "all procedures prime from disk");
+    assert_eq!(c.counter(Counter::StoreRejected), 0);
+    assert_eq!(c.counter(Counter::CacheHits), procs);
+    assert_eq!(snap.procs.len() as u64, procs, "one profile row per procedure");
+    for p in &snap.procs {
+        assert!(p.primed, "{} must be primed from disk", p.proc);
+        assert!(!p.recomputed, "{} must not recompute on a warm disk run", p.proc);
+    }
+}
