@@ -1,0 +1,81 @@
+//! Lint-cache payoff: cold `lint::run` over the full LU analysis versus a
+//! warm `lint::run_with_cache` where every per-procedure result replays
+//! from the cache, and the one-procedure-edit case where exactly the
+//! edited procedure re-lints. The global dead-store pass re-runs every
+//! time (it is cross-procedure by construction), so the warm numbers show
+//! the per-procedure rules' share of the work.
+
+use araa::{Analysis, AnalysisOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use lint::{LintCache, LintOptions};
+use std::hint::black_box;
+use workloads::GenSource;
+
+fn edited(base: &[GenSource], file: &str, from: &str, to: &str) -> Vec<GenSource> {
+    let mut out = base.to_vec();
+    let s = out.iter_mut().find(|s| s.name == file).expect("edit target exists");
+    assert!(s.text.contains(from), "{file} must contain {from:?}");
+    s.text = s.text.replace(from, to);
+    out
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let base = workloads::mini_lu::sources();
+    let analysis = Analysis::analyze(&base, AnalysisOptions::default()).unwrap();
+    let erhs_edit = edited(&base, "erhs.f", "do i = 1, 33", "do i = 1, 32");
+    let analysis_edited = Analysis::analyze(&erhs_edit, AnalysisOptions::default()).unwrap();
+    let rhs_edit = edited(&base, "rhs.f", "do k = 1, 10", "do k = 1, 9");
+    let analysis_heavy = Analysis::analyze(&rhs_edit, AnalysisOptions::default()).unwrap();
+    let opts = LintOptions::default();
+
+    let mut group = c.benchmark_group("lint/mini_lu");
+    group.bench_function("cold", |b| {
+        b.iter(|| black_box(lint::run(black_box(&analysis), &opts)))
+    });
+    group.bench_function("warm_all_cached", |b| {
+        let mut cache = LintCache::default();
+        let primed = lint::run_with_cache(&analysis, &opts, &mut cache);
+        assert!(primed.procs_linted > 0);
+        b.iter(|| {
+            let r = black_box(lint::run_with_cache(&analysis, &opts, &mut cache));
+            debug_assert_eq!(r.procs_linted, 0);
+            r
+        })
+    });
+    group.bench_function("warm_one_proc_edit", |b| {
+        // Alternate between the base and the edited analysis: each round
+        // re-lints exactly the procedure whose summary hash changed
+        // (`erhs` — the typical leaf-edit shape, as in `session_warm`).
+        let mut cache = LintCache::default();
+        lint::run_with_cache(&analysis, &opts, &mut cache);
+        let variants = [&analysis, &analysis_edited];
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(lint::run_with_cache(variants[i % 2], &opts, &mut cache))
+        })
+    });
+    group.bench_function("warm_edit_heaviest_proc", |b| {
+        // The adversarial case: `rhs` alone dominates the per-procedure
+        // rule time, so re-linting it costs nearly a cold run.
+        let mut cache = LintCache::default();
+        lint::run_with_cache(&analysis, &opts, &mut cache);
+        let variants = [&analysis, &analysis_heavy];
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(lint::run_with_cache(variants[i % 2], &opts, &mut cache))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_lint
+}
+criterion_main!(benches);

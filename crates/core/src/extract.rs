@@ -112,18 +112,30 @@ pub(crate) fn extract_proc_rows(
     // local ones so the PGAS view stays meaningful.
     let mut ref_totals: BTreeMap<(StIdx, AccessMode, Option<ProcId>, bool), u64> =
         BTreeMap::new();
+    // Line range per group: the span of source lines the references cover,
+    // so each row can anchor tools (lint, browse) to first and last sighting.
+    let mut line_spans: BTreeMap<(StIdx, AccessMode, Option<ProcId>, bool), (u32, u32)> =
+        BTreeMap::new();
     for rec in &summary.accesses {
-        *ref_totals
-            .entry((rec.array, rec.mode, rec.from_call, rec.remote))
-            .or_insert(0) += 1;
+        let key = (rec.array, rec.mode, rec.from_call, rec.remote);
+        *ref_totals.entry(key).or_insert(0) += 1;
+        line_spans
+            .entry(key)
+            .and_modify(|(lo, hi)| {
+                *lo = (*lo).min(rec.line);
+                *hi = (*hi).max(rec.line);
+            })
+            .or_insert((rec.line, rec.line));
     }
     let mut rows = Vec::new();
     for rec in &summary.accesses {
         if rec.from_call.is_some() && !opts.include_propagated {
             continue;
         }
-        let refs = ref_totals[&(rec.array, rec.mode, rec.from_call, rec.remote)];
-        rows.push(build_row(program, proc_id, rec, refs, formal_addr));
+        let key = (rec.array, rec.mode, rec.from_call, rec.remote);
+        let refs = ref_totals[&key];
+        let span = line_spans[&key];
+        rows.push(build_row(program, proc_id, rec, refs, span, formal_addr));
     }
     rows
 }
@@ -175,6 +187,7 @@ fn build_row(
     proc_id: ProcId,
     rec: &AccessRecord,
     refs: u64,
+    (first_line, last_line): (u32, u32),
     formal_addr: &BTreeMap<StIdx, u64>,
 ) -> RgnRow {
     let proc = program.procedure(proc_id);
@@ -199,7 +212,7 @@ fn build_row(
     let mut stride_parts = vec![String::new(); n];
     for (hd, trip) in rec.region.dims.iter().enumerate() {
         let sd = source_dim(lang, n, hd);
-        let shift = declared.get(sd).map(|b| b.lower()).unwrap_or(0);
+        let shift = declared.get(sd).map(|b| b.lower_in(lang)).unwrap_or(0);
         let (lb, ub, stride) = shift_triplet(trip, shift);
         lb_parts[sd] = render_bound(&lb, &rec.space, program);
         ub_parts[sd] = render_bound(&ub, &rec.space, program);
@@ -240,6 +253,8 @@ fn build_row(
             .from_call
             .map(|c| program.name_of(program.procedure(c).name).to_string()),
         line: rec.line,
+        first_line,
+        last_line,
         is_global: entry.class == StClass::Global,
         remote: rec.remote,
     }
@@ -446,6 +461,32 @@ end
         let rows =
             extract_rows(&p, &cg, &r, ExtractOptions { include_propagated: false });
         assert!(rows.iter().all(|row| row.via.is_none()));
+    }
+
+    #[test]
+    fn line_span_covers_first_and_last_reference() {
+        // aarr USE references sit on three lines (8, 8, 12 in matrix.c);
+        // the row's span must run from the first to the last sighting.
+        let matrix = workloads::fig10::source();
+        let (_p, rows) = analyze_c(&matrix.text);
+        let uses: Vec<&RgnRow> = rows
+            .iter()
+            .filter(|r| r.array == "aarr" && r.mode == AccessMode::Use)
+            .collect();
+        assert!(!uses.is_empty());
+        let span = (uses[0].first_line, uses[0].last_line);
+        assert!(span.0 <= span.1);
+        assert!(uses.iter().all(|r| (r.first_line, r.last_line) == span));
+        // The span is shared per (array, mode): it covers every USE line,
+        // so it must extend beyond any single row's own anchor line.
+        assert!(uses.iter().all(|r| span.0 <= r.line && r.line <= span.1));
+        assert!(span.0 < span.1, "uses span multiple source lines: {span:?}");
+        // Single-line groups collapse to a point span.
+        let defs: Vec<&RgnRow> = rows
+            .iter()
+            .filter(|r| r.array == "aarr" && r.mode == AccessMode::Def)
+            .collect();
+        assert!(defs.iter().all(|r| r.first_line <= r.last_line));
     }
 
     #[test]

@@ -9,11 +9,16 @@ use support::csv::{parse, CsvWriter};
 use support::persist::{append_text_checksum, verify_text_checksum};
 use support::Error;
 
-/// Serializes rows into a `.rgn` document (header + one row per region per
-/// access mode), finished with a `#checksum` trailer line so truncation and
-/// in-place corruption are detectable on read.
+/// The `.rgn` format version this writer emits, recorded as a leading
+/// `#version` record. Version 2 added the `first_line`/`last_line` columns.
+pub const RGN_VERSION: u32 = 2;
+
+/// Serializes rows into a `.rgn` document (version record + header + one row
+/// per region per access mode), finished with a `#checksum` trailer line so
+/// truncation and in-place corruption are detectable on read.
 pub fn write_rgn(rows: &[RgnRow]) -> String {
     let mut w = CsvWriter::new();
+    w.write_row(["#version", &RGN_VERSION.to_string()]);
     w.write_row(RgnRow::HEADER);
     for row in rows {
         row.write_csv(&mut w);
@@ -23,27 +28,53 @@ pub fn write_rgn(rows: &[RgnRow]) -> String {
     doc
 }
 
-/// Parses a `.rgn` document back into rows, verifying the header and (when
-/// present) the `#checksum` trailer. Files from older tool versions carry no
-/// trailer and still parse.
+/// Parses a `.rgn` document back into rows, verifying the version record,
+/// the header and (when present) the `#checksum` trailer. Version-1 files
+/// (no `#version` record, 19-column header) still parse, with each row's
+/// line range backfilled from its `line` column; unknown future versions
+/// are rejected instead of being misread.
 pub fn read_rgn(doc: &str) -> Result<Vec<RgnRow>, Error> {
     let doc = verify_text_checksum(doc)?;
     let records = parse(doc)?;
-    let mut it = records.into_iter();
+    let mut it = records.into_iter().peekable();
+    let version = match it.peek() {
+        Some(rec) if rec.first().is_some_and(|f| f == "#version") => {
+            let rec = it.next().unwrap_or_default();
+            let v: u32 = rec
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| Error::Format("malformed .rgn #version record".into()))?;
+            if v > RGN_VERSION {
+                return Err(Error::Format(format!(
+                    ".rgn version {v} is newer than supported version {RGN_VERSION}"
+                )));
+            }
+            v
+        }
+        _ => 1, // legacy files predate the version record
+    };
     let header = it
         .next()
         .ok_or_else(|| Error::Format("empty .rgn file".to_string()))?;
-    if header != RgnRow::HEADER {
-        return Err(Error::Format(format!(
-            "unexpected .rgn header: {header:?}"
-        )));
-    }
+    let legacy = match version {
+        1 if header == RgnRow::HEADER_V1 => true,
+        _ if header == RgnRow::HEADER => false,
+        _ => {
+            return Err(Error::Format(format!(
+                "unexpected .rgn header: {header:?}"
+            )))
+        }
+    };
     let mut rows = Vec::new();
     for record in it {
         if record.iter().all(String::is_empty) {
             continue;
         }
-        rows.push(RgnRow::parse_csv(&record)?);
+        rows.push(if legacy {
+            RgnRow::parse_csv_v1(&record)?
+        } else {
+            RgnRow::parse_csv(&record)?
+        });
     }
     Ok(rows)
 }
@@ -74,6 +105,8 @@ mod tests {
                 acc_density: 2,
                 via: None,
                 line: 5,
+                first_line: 5,
+                last_line: 8,
                 is_global: true,
                 remote: false,
             },
@@ -96,6 +129,8 @@ mod tests {
                 acc_density: 0,
                 via: Some("p2".into()),
                 line: 6,
+                first_line: 6,
+                last_line: 6,
                 is_global: true,
                 remote: false,
             },
@@ -110,12 +145,37 @@ mod tests {
         assert_eq!(back, rows);
         // Global rows carry the Dragon `@` marker in the serialized form.
         assert!(doc.contains("@MAIN__"));
+        // The document is self-describing: a version record leads.
+        assert!(doc.starts_with("#version,2\n"), "{doc}");
     }
 
     #[test]
     fn header_is_checked() {
         assert!(read_rgn("not,a,header\n1,2,3\n").is_err());
         assert!(read_rgn("").is_err());
+    }
+
+    #[test]
+    fn version_1_files_still_parse() {
+        // A v1 file: no version record, 19-column header, 19-column rows.
+        let mut w = CsvWriter::new();
+        w.write_row(RgnRow::HEADER_V1);
+        w.write_row([
+            "@MAIN__", "aarr", "matrix.o", "DEF", "2", "1", "0", "7", "1", "4",
+            "int", "20", "20", "80", "55599870", "2", "", "5", "0",
+        ]);
+        let rows = read_rgn(&w.finish()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!((rows[0].first_line, rows[0].last_line), (5, 5));
+        assert!(rows[0].is_global);
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let doc = "#version,99\nanything\n";
+        let err = read_rgn(doc).unwrap_err().to_string();
+        assert!(err.contains("newer than supported"), "{err}");
+        assert!(read_rgn("#version,abc\n").is_err());
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct RgnRow {
     pub via: Option<String>,
     /// Source line of the (first) reference.
     pub line: u32,
+    /// Smallest source line among the references folded into this row — the
+    /// anchor lint findings and `dragon browse` jump to.
+    pub first_line: u32,
+    /// Largest source line among the references folded into this row.
+    pub last_line: u32,
     /// True when the array is a global (the `@` scope in Dragon).
     pub is_global: bool,
     /// True for coindexed (remote, PGAS) accesses — the CAF extension.
@@ -83,8 +88,16 @@ impl RgnRow {
         }
     }
 
-    /// The CSV header of a `.rgn` file.
-    pub const HEADER: [&'static str; 19] = [
+    /// The CSV header of a version-2 `.rgn` file.
+    pub const HEADER: [&'static str; 21] = [
+        "proc", "array", "file", "mode", "refs", "dims", "lb", "ub", "stride",
+        "elem_size", "data_type", "dim_size", "tot_size", "size_bytes", "mem_loc",
+        "acc_density", "via", "line", "first_line", "last_line", "remote",
+    ];
+
+    /// The CSV header of a version-1 `.rgn` file (no per-row line range);
+    /// still accepted by the reader for old artifacts.
+    pub const HEADER_V1: [&'static str; 19] = [
         "proc", "array", "file", "mode", "refs", "dims", "lb", "ub", "stride",
         "elem_size", "data_type", "dim_size", "tot_size", "size_bytes", "mem_loc",
         "acc_density", "via", "line", "remote",
@@ -119,6 +132,8 @@ impl RgnRow {
             &self.acc_density.to_string(),
             self.via.as_deref().unwrap_or(""),
             &self.line.to_string(),
+            &self.first_line.to_string(),
+            &self.last_line.to_string(),
             if self.remote { "1" } else { "0" },
         ]);
     }
@@ -126,11 +141,22 @@ impl RgnRow {
     /// Parses one CSV record (without the `is_global` flag, which the
     /// reader reconstructs from the `@`-prefixed proc convention).
     pub fn parse_csv(fields: &[String]) -> Result<RgnRow, Error> {
-        if fields.len() != Self::HEADER.len() {
+        Self::parse_fields(fields, false)
+    }
+
+    /// Parses a version-1 record: no `first_line`/`last_line` columns, both
+    /// reconstructed from the `line` column.
+    pub fn parse_csv_v1(fields: &[String]) -> Result<RgnRow, Error> {
+        Self::parse_fields(fields, true)
+    }
+
+    fn parse_fields(fields: &[String], legacy: bool) -> Result<RgnRow, Error> {
+        let expected = if legacy { Self::HEADER_V1.len() } else { Self::HEADER.len() };
+        if fields.len() != expected {
             return Err(Error::Format(format!(
                 ".rgn row has {} fields, expected {}",
                 fields.len(),
-                Self::HEADER.len()
+                expected
             )));
         }
         let int = |i: usize| -> Result<i64, Error> {
@@ -141,6 +167,12 @@ impl RgnRow {
         let (proc, is_global) = match fields[0].strip_prefix('@') {
             Some(rest) => (rest.to_string(), true),
             None => (fields[0].clone(), false),
+        };
+        let line = int(17)? as u32;
+        let (first_line, last_line, remote_idx) = if legacy {
+            (line, line, 18)
+        } else {
+            (int(18)? as u32, int(19)? as u32, 20)
         };
         Ok(RgnRow {
             proc,
@@ -161,9 +193,11 @@ impl RgnRow {
             mem_loc: fields[14].clone(),
             acc_density: int(15)?,
             via: (!fields[16].is_empty()).then(|| fields[16].clone()),
-            line: int(17)? as u32,
+            line,
+            first_line,
+            last_line,
             is_global,
-            remote: fields[18] == "1",
+            remote: fields[remote_idx] == "1",
         })
     }
 }
@@ -192,6 +226,8 @@ mod tests {
             acc_density: 10,
             via: None,
             line: 12,
+            first_line: 12,
+            last_line: 17,
             is_global: false,
             remote: false,
         }
@@ -216,6 +252,23 @@ mod tests {
         let parsed = support::csv::parse(w.as_str()).unwrap();
         let back = RgnRow::parse_csv(&parsed[0]).unwrap();
         assert_eq!(back, row);
+        assert_eq!((back.first_line, back.last_line), (12, 17));
+    }
+
+    #[test]
+    fn v1_rows_parse_with_line_range_backfilled() {
+        // A version-1 record is the version-2 record minus the
+        // first_line/last_line columns.
+        let row = sample();
+        let mut w = CsvWriter::new();
+        row.write_csv(&mut w);
+        let mut fields = support::csv::parse(w.as_str()).unwrap().remove(0);
+        let remote = fields.pop().unwrap();
+        fields.truncate(RgnRow::HEADER_V1.len() - 1);
+        fields.push(remote);
+        let back = RgnRow::parse_csv_v1(&fields).unwrap();
+        assert_eq!((back.first_line, back.last_line), (row.line, row.line));
+        assert!(RgnRow::parse_csv(&fields).is_err(), "v2 parser rejects v1 width");
     }
 
     #[test]

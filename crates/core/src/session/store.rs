@@ -123,6 +123,8 @@ impl Persist for RgnRow {
         w.i64(self.acc_density);
         self.via.save(w);
         w.u32(self.line);
+        w.u32(self.first_line);
+        w.u32(self.last_line);
         w.bool(self.is_global);
         w.bool(self.remote);
     }
@@ -146,6 +148,8 @@ impl Persist for RgnRow {
             acc_density: r.i64()?,
             via: Persist::load(r)?,
             line: r.u32()?,
+            first_line: r.u32()?,
+            last_line: r.u32()?,
             is_global: r.bool()?,
             remote: r.bool()?,
         })

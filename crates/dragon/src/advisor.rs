@@ -12,6 +12,7 @@
 
 use crate::project::Project;
 use araa::{Analysis, RgnRow};
+use lint::facts;
 use regions::access::AccessMode;
 use std::collections::BTreeMap;
 
@@ -99,43 +100,6 @@ pub enum Advice {
     },
 }
 
-/// Parses a `|`-joined bound column into per-dimension integers; `None`
-/// when any part is symbolic (`MESSY`, `$n`, ...).
-fn parse_bounds(s: &str) -> Option<Vec<i64>> {
-    s.split('|').map(|p| p.trim().parse::<i64>().ok()).collect()
-}
-
-fn parse_dim_sizes(s: &str) -> Option<Vec<i64>> {
-    parse_bounds(s)
-}
-
-/// Returns the per-dimension hull (lb, ub) over a set of rows, `None` when
-/// no row is fully constant.
-fn hull(rows: &[&RgnRow]) -> Option<Vec<(i64, i64)>> {
-    let mut acc: Option<Vec<(i64, i64)>> = None;
-    for row in rows {
-        let (Some(lbs), Some(ubs)) = (parse_bounds(&row.lb), parse_bounds(&row.ub)) else {
-            continue;
-        };
-        if lbs.len() != ubs.len() {
-            continue;
-        }
-        match &mut acc {
-            None => acc = Some(lbs.into_iter().zip(ubs).collect()),
-            Some(h) => {
-                if h.len() != lbs.len() {
-                    continue;
-                }
-                for (d, (lo, hi)) in h.iter_mut().enumerate() {
-                    *lo = (*lo).min(lbs[d]);
-                    *hi = (*hi).max(ubs[d]);
-                }
-            }
-        }
-    }
-    acc
-}
-
 /// Language guess per procedure from the project's file names.
 fn proc_is_fortran(project: &Project, proc: &str) -> bool {
     project
@@ -149,50 +113,26 @@ fn proc_is_fortran(project: &Project, proc: &str) -> bool {
 
 /// Advice 1: arrays whose accessed hull is strictly smaller than their
 /// declaration.
+///
+/// The hull-vs-declared scan lives in [`lint::facts`]: the lint engine's
+/// `DST-03` (dead store) and this advice are two readings of the same
+/// usage fact, so the advisor consumes those facts instead of keeping its
+/// own copy of the scan.
 pub fn shrink_advice(project: &Project, basis: ShrinkBasis) -> Vec<Advice> {
-    let mut per_array: BTreeMap<String, Vec<&RgnRow>> = BTreeMap::new();
-    for row in &project.rows {
-        let counts = match basis {
-            ShrinkBasis::UseOnly => row.mode == AccessMode::Use,
-            ShrinkBasis::UseAndDef => row.mode.moves_data(),
-        };
-        // Propagated rows duplicate callee-local rows; keep them anyway —
-        // hulls are idempotent under duplicates.
-        if counts {
-            per_array.entry(row.array.clone()).or_default().push(row);
-        }
-    }
-    let mut out = Vec::new();
-    for (array, rows) in per_array {
-        let Some(used) = hull(&rows) else { continue };
-        let Some(declared) = parse_dim_sizes(&rows[0].dim_size) else { continue };
-        if declared.len() != used.len() {
-            continue;
-        }
-        // Declared source bounds: C arrays start at 0, Fortran at 1 — infer
-        // from the smallest possible lb across rows (a used lb of 0 means
-        // zero-based).
-        let zero_based = used.iter().any(|&(lo, _)| lo == 0);
-        let decl_lb = if zero_based { 0 } else { 1 };
-        let shrinkable = used
-            .iter()
-            .zip(&declared)
-            .any(|(&(_, hi), &ext)| hi < decl_lb + ext - 1);
-        if !shrinkable {
-            continue;
-        }
-        let suggestion = if zero_based {
-            let exts: Vec<String> =
-                used.iter().map(|&(_, hi)| format!("[{}]", hi + 1)).collect();
-            format!("{array}{}", exts.concat())
-        } else {
-            let dims: Vec<String> =
-                used.iter().map(|&(lo, hi)| format!("{lo}:{hi}")).collect();
-            format!("{array}({})", dims.join(", "))
-        };
-        out.push(Advice::ShrinkArray { array, declared, used, suggestion });
-    }
-    out
+    let basis = match basis {
+        ShrinkBasis::UseOnly => facts::UseBasis::UseOnly,
+        ShrinkBasis::UseAndDef => facts::UseBasis::UseAndDef,
+    };
+    facts::usage_facts(&project.rows, basis)
+        .into_iter()
+        .filter(|fact| fact.shrinkable())
+        .map(|fact| Advice::ShrinkArray {
+            suggestion: fact.suggestion(),
+            array: fact.array,
+            declared: fact.declared,
+            used: fact.used,
+        })
+        .collect()
 }
 
 /// Maximum line gap between two USE rows considered part of the same loop
@@ -247,8 +187,8 @@ fn cluster_copyin(
     array: &str,
     rows: &[&RgnRow],
 ) -> Option<Advice> {
-    let used = hull(rows)?;
-    let declared = parse_dim_sizes(&rows[0].dim_size)?;
+    let used = facts::hull(rows)?;
+    let declared = facts::parse_bounds(&rows[0].dim_size)?;
     if declared.len() != used.len() {
         return None;
     }
@@ -556,11 +496,98 @@ mod tests {
         assert!(text.contains("parallel: in `add`"), "{text}");
     }
 
+    /// LEGACY ORACLE — verbatim copy of the hull-vs-declared scan the
+    /// advisor carried before it was folded into `lint::facts`. Kept only
+    /// to prove the refactor changed nothing; the production path is
+    /// [`shrink_advice`].
+    fn legacy_shrink_advice(project: &Project, basis: ShrinkBasis) -> Vec<Advice> {
+        fn parse_bounds(s: &str) -> Option<Vec<i64>> {
+            s.split('|').map(|p| p.trim().parse::<i64>().ok()).collect()
+        }
+        fn hull(rows: &[&RgnRow]) -> Option<Vec<(i64, i64)>> {
+            let mut acc: Option<Vec<(i64, i64)>> = None;
+            for row in rows {
+                let (Some(lbs), Some(ubs)) = (parse_bounds(&row.lb), parse_bounds(&row.ub))
+                else {
+                    continue;
+                };
+                if lbs.len() != ubs.len() {
+                    continue;
+                }
+                match &mut acc {
+                    None => acc = Some(lbs.into_iter().zip(ubs).collect()),
+                    Some(h) => {
+                        if h.len() != lbs.len() {
+                            continue;
+                        }
+                        for (d, (lo, hi)) in h.iter_mut().enumerate() {
+                            *lo = (*lo).min(lbs[d]);
+                            *hi = (*hi).max(ubs[d]);
+                        }
+                    }
+                }
+            }
+            acc
+        }
+        let mut per_array: BTreeMap<String, Vec<&RgnRow>> = BTreeMap::new();
+        for row in &project.rows {
+            let counts = match basis {
+                ShrinkBasis::UseOnly => row.mode == AccessMode::Use,
+                ShrinkBasis::UseAndDef => row.mode.moves_data(),
+            };
+            if counts {
+                per_array.entry(row.array.clone()).or_default().push(row);
+            }
+        }
+        let mut out = Vec::new();
+        for (array, rows) in per_array {
+            let Some(used) = hull(&rows) else { continue };
+            let Some(declared) = parse_bounds(&rows[0].dim_size) else { continue };
+            if declared.len() != used.len() {
+                continue;
+            }
+            let zero_based = used.iter().any(|&(lo, _)| lo == 0);
+            let decl_lb = if zero_based { 0 } else { 1 };
+            let shrinkable = used
+                .iter()
+                .zip(&declared)
+                .any(|(&(_, hi), &ext)| hi < decl_lb + ext - 1);
+            if !shrinkable {
+                continue;
+            }
+            let suggestion = if zero_based {
+                let exts: Vec<String> =
+                    used.iter().map(|&(_, hi)| format!("[{}]", hi + 1)).collect();
+                format!("{array}{}", exts.concat())
+            } else {
+                let dims: Vec<String> =
+                    used.iter().map(|&(lo, hi)| format!("{lo}:{hi}")).collect();
+                format!("{array}({})", dims.join(", "))
+            };
+            out.push(Advice::ShrinkArray { array, declared, used, suggestion });
+        }
+        out
+    }
+
     #[test]
-    fn bounds_parsing() {
-        assert_eq!(parse_bounds("1|2|3"), Some(vec![1, 2, 3]));
-        assert_eq!(parse_bounds("7"), Some(vec![7]));
-        assert_eq!(parse_bounds("1|MESSY"), None);
-        assert_eq!(parse_bounds("$n"), None);
+    fn shrink_advice_matches_legacy_scan_on_every_workload() {
+        // The `lint::facts`-backed shrink advice must reproduce the old
+        // private scan byte-for-byte on every workload and on both bases.
+        let corpora: Vec<(&str, Vec<workloads::GenSource>)> = vec![
+            ("fig1", vec![workloads::fig1::source()]),
+            ("fig10", vec![workloads::fig10::source()]),
+            ("mini_lu", workloads::mini_lu::sources()),
+            ("stencil", vec![workloads::stencil::source()]),
+            ("caf", vec![workloads::caf::source()]),
+            ("synthetic", vec![workloads::synthetic::generate(&Default::default())]),
+        ];
+        for (name, srcs) in corpora {
+            let (_a, p) = project_of(srcs);
+            for basis in [ShrinkBasis::UseOnly, ShrinkBasis::UseAndDef] {
+                let new = shrink_advice(&p, basis);
+                let old = legacy_shrink_advice(&p, basis);
+                assert_eq!(new, old, "{name} with {basis:?} diverged from the legacy scan");
+            }
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! dragon demo <fig1|matrix|lu>                    run a built-in paper workload
 //! dragon dynamic <entry> <src...>                 execute + dynamic region report
 //! dragon hotspots <src...> [--top N]              highest access densities
+//! dragon lint <src...> [--sarif FILE] [--threads N]  array-safety findings
 //! dragon cache <stats|verify|clear> --cache-dir D inspect/scrub a cache dir
 //! ```
 //!
@@ -23,7 +24,9 @@
 //! procedures degraded to conservative approximations, or a cache file had
 //! to be quarantined (a report goes to stderr); `2` — the analysis failed
 //! outright or the invocation was bad. With `--strict`, degradation is
-//! promoted to failure (exit `2`).
+//! promoted to failure (exit `2`). `dragon lint` additionally exits `1`
+//! when it reports any *definite* finding (possible-only findings exit
+//! `0`), and `2` for definite findings under `--strict`.
 
 use araa::{Analysis, AnalysisOptions, AnalysisSession, SessionStore};
 use dragon::sink::{self, Severity};
@@ -50,6 +53,7 @@ fn usage() -> ! {
          \x20 demo <fig1|matrix|lu>\n\
          \x20 dynamic <entry> <src...>\n\
          \x20 hotspots <src...> [--top N]\n\
+         \x20 lint <src...> [--sarif FILE] [--threads N]\n\
          \x20 profile <src...> [--top N]\n\
          \x20 cache <stats|verify|clear>   (requires --cache-dir)\n\
          \x20 --strict: treat degraded analysis as failure (exit 2)\n\
@@ -156,6 +160,67 @@ fn analyze(
             }
             sink::fatal("analysis.error", format!("{e}"));
         }
+    }
+}
+
+/// Runs the lint engine, through the persistent per-procedure lint cache
+/// when a cache dir is attached. Lint-cache trouble is quarantined and
+/// reported but never changes findings — the run just re-lints more.
+fn run_lint(
+    analysis: &Analysis,
+    threads: usize,
+    cache_dir: Option<&str>,
+) -> lint::LintReport {
+    let opts = lint::LintOptions { threads };
+    match cache_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let (mut cache, incidents) = lint::LintCache::load(dir);
+            for inc in &incidents {
+                sink::emit(Severity::Degraded, "lint.cache", inc.clone());
+            }
+            let report = lint::run_with_cache(analysis, &opts, &mut cache);
+            if let Err(e) = cache.save(dir) {
+                sink::emit(
+                    Severity::Degraded,
+                    "lint.cache",
+                    format!("could not save lint cache: {e}"),
+                );
+            }
+            report
+        }
+        None => lint::run(analysis, &opts),
+    }
+}
+
+/// Renders and writes the SARIF artifact (checksummed, atomic). Emission
+/// failure — including an armed `lint::sarif` faultpoint — degrades the
+/// run; the findings already printed are unaffected.
+fn write_sarif(report: &lint::LintReport, path: &str) {
+    let rendered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        lint::sarif::to_sarif(report, env!("CARGO_PKG_VERSION"))
+    }));
+    match rendered {
+        Ok(mut doc) => {
+            support::persist::append_text_checksum(&mut doc);
+            if let Err(e) = support::persist::atomic_write(
+                std::path::Path::new(path),
+                doc.as_bytes(),
+            ) {
+                sink::emit(
+                    Severity::Degraded,
+                    "lint.sarif",
+                    format!("cannot write {path}: {e}"),
+                );
+            } else {
+                println!("wrote SARIF to {path}");
+            }
+        }
+        Err(_) => sink::emit(
+            Severity::Degraded,
+            "lint.sarif",
+            "SARIF emission failed; the findings above are unaffected".to_string(),
+        ),
     }
 }
 
@@ -401,6 +466,58 @@ fn main() {
                 read_sources(&srcs).into_iter().map(|(_, g)| g).collect();
             let (_, project) = analyze(&gens, strict, cache_dir);
             print!("{}", dragon::view::render_hotspots(&project, top));
+        }
+        "lint" => {
+            let mut sarif_out: Option<String> = None;
+            let mut threads = 1usize;
+            let mut srcs = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--sarif" => sarif_out = it.next().cloned(),
+                    "--threads" => {
+                        threads = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    other => srcs.push(other.to_string()),
+                }
+            }
+            if srcs.is_empty() {
+                usage();
+            }
+            let gens: Vec<_> =
+                read_sources(&srcs).into_iter().map(|(_, g)| g).collect();
+            let (analysis, _) = analyze(&gens, strict, cache_dir);
+            let report = run_lint(&analysis, threads, cache_dir);
+            print!("{}", report.render());
+            for d in &report.degradations {
+                sink::emit(
+                    Severity::Degraded,
+                    "lint.degraded",
+                    format!("lint degraded for `{}`: {}", d.proc, d.detail),
+                );
+            }
+            if let Some(path) = sarif_out.as_deref() {
+                write_sarif(&report, path);
+            }
+            if report.definite_count() > 0 {
+                sink::emit(
+                    Severity::Degraded,
+                    "lint.findings",
+                    format!(
+                        "{} definite finding(s) — see report above",
+                        report.definite_count()
+                    ),
+                );
+            } else if !report.findings.is_empty() {
+                sink::emit(
+                    Severity::Note,
+                    "lint.findings",
+                    format!("{} possible finding(s)", report.findings.len()),
+                );
+            }
         }
         "dynamic" => {
             let Some(entry) = args.get(1) else { usage() };

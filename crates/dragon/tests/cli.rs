@@ -453,3 +453,118 @@ fn cache_stats_uses_snapshot_then_falls_back_to_live_scan() {
     };
     assert_eq!(strip(&snap_out), strip(&live_out), "snapshot and scan must agree");
 }
+
+// ---------------------------------------------------------------------------
+// `dragon lint` (findings, exit codes, SARIF artifact, fault containment)
+
+/// A dead store (`buf` written, never read) next to a clean procedure.
+const LINT_DEFECT_SRC: &str = "\
+program main
+  real buf(16)
+  integer i
+  do i = 1, 16
+    buf(i) = 0.0
+  end do
+end
+";
+
+const LINT_CLEAN_SRC: &str = "\
+program main
+  real a(5)
+  common /g/ a
+  integer i
+  do i = 1, 5
+    a(i) = 0.0
+  end do
+end
+";
+
+#[test]
+fn lint_definite_finding_exits_one() {
+    let src = write_temp("lint_defect.f", LINT_DEFECT_SRC);
+    let out = dragon().args(["lint", src.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DST-03"), "{stdout}");
+    assert!(stdout.contains("buf"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("definite finding"), "{stderr}");
+}
+
+#[test]
+fn lint_strict_promotes_findings_to_exit_two() {
+    let src = write_temp("lint_defect_strict.f", LINT_DEFECT_SRC);
+    let out = dragon().args(["--strict", "lint", src.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn lint_clean_source_exits_zero() {
+    let src = write_temp("lint_clean.f", LINT_CLEAN_SRC);
+    let out = dragon().args(["lint", src.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_writes_sealed_sarif() {
+    let src = write_temp("lint_sarif.f", LINT_DEFECT_SRC);
+    let dir = support::testdir::TestDir::new("dragon-cli-lint-sarif");
+    let sarif = dir.join("findings.sarif");
+    let out = dragon()
+        .args(["lint", src.to_str().unwrap(), "--sarif", sarif.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc = std::fs::read_to_string(&sarif).expect("SARIF artifact written");
+    assert!(doc.contains("\"ruleId\": \"DST-03\""), "{doc}");
+    support::persist::verify_text_checksum(&doc).expect("artifact is sealed");
+}
+
+/// A panic while linting one procedure must not silence the others: run
+/// the two-defect program with `lint::contain` armed on the second hit
+/// (procedures lint in program order) and expect the other overrun to
+/// still print alongside the degradation notice.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn lint_contain_fault_degrades_one_procedure_end_to_end() {
+    let src = write_temp(
+        "lint_fault.f",
+        "program main\n  call one\n  call two\nend\n\
+         subroutine one\n  real a(10)\n  integer i\n  do i = 1, 12\n    a(i) = a(i) + 1.0\n  end do\nend\n\
+         subroutine two\n  real b(10)\n  integer i\n  do i = 1, 12\n    b(i) = b(i) + 1.0\n  end do\nend\n",
+    );
+    let out = dragon()
+        .args(["lint", src.to_str().unwrap()])
+        .env("ARAA_FAULTPOINT", "lint::contain:2")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OOB-01"), "{stdout}");
+    assert!(stdout.contains("`b`"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("lint degraded"), "{stderr}");
+    assert!(stderr.contains("fault injected"), "{stderr}");
+}
+
+/// A panic during SARIF emission loses the artifact, never the findings.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn lint_sarif_fault_keeps_findings_end_to_end() {
+    let src = write_temp("lint_sarif_fault.f", LINT_DEFECT_SRC);
+    let dir = support::testdir::TestDir::new("dragon-cli-lint-sarif-fault");
+    let sarif = dir.join("findings.sarif");
+    let out = dragon()
+        .args(["lint", src.to_str().unwrap(), "--sarif", sarif.to_str().unwrap()])
+        .env("ARAA_FAULTPOINT", "lint::sarif")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DST-03"), "findings must survive: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("SARIF emission failed"), "{stderr}");
+    assert!(!sarif.exists(), "no partial artifact may land");
+}

@@ -1,0 +1,256 @@
+//! The persistent per-procedure lint cache.
+//!
+//! One file (`lint.araa`) per cache directory, written through the same
+//! crash-safe container machinery as the analysis session cache — but a
+//! *separate* artifact: a corrupt or fault-injected lint cache can never
+//! poison the session's summary cache (and vice versa). Corruption is
+//! quarantined and reported, then the run simply re-lints everything.
+
+use crate::rules::ProcLint;
+use crate::{Finding, Rule, Severity};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use support::persist::{
+    atomic_write, quarantine_file, quarantine_suffix, read_container,
+    toolchain_fingerprint, write_container, ByteReader, ByteWriter, ReadFailure,
+};
+use support::hash::StableHasher;
+use support::Result;
+
+/// Container kind tag for the lint cache artifact.
+const KIND: &str = "araa-lint-cache";
+/// The cache file name inside a `--cache-dir`.
+pub const LINT_CACHE_FILE: &str = "lint.araa";
+
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    hash: u64,
+    lint: ProcLint,
+}
+
+/// In-memory cache of per-procedure lint results, keyed by procedure
+/// display name and validated by the lint-input content hash.
+#[derive(Debug, Default)]
+pub struct LintCache {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl LintCache {
+    /// An empty cache (cold run).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached procedures.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached result for `proc` when its hash still matches.
+    pub(crate) fn lookup(&self, proc: &str, hash: u64) -> Option<ProcLint> {
+        self.entries.get(proc).filter(|e| e.hash == hash).map(|e| e.lint.clone())
+    }
+
+    /// Records a freshly computed result. Degraded procedures are never
+    /// inserted — a contained lint failure must re-run next time, not be
+    /// replayed from the cache.
+    pub(crate) fn insert(&mut self, proc: &str, hash: u64, lint: ProcLint) {
+        self.entries.insert(proc.to_string(), Entry { hash, lint });
+    }
+
+    fn path(dir: &Path) -> PathBuf {
+        dir.join(LINT_CACHE_FILE)
+    }
+
+    /// Loads the cache from `dir`. Missing file ⇒ empty cache; an invalid
+    /// file is quarantined and reported via the returned incident strings
+    /// (the run proceeds cold — cache trouble never affects results).
+    pub fn load(dir: &Path) -> (Self, Vec<String>) {
+        let path = Self::path(dir);
+        let fp = fingerprint();
+        let bytes = match support::persist::read_file_raw(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return (Self::empty(), Vec::new())
+            }
+            Err(e) => {
+                return (
+                    Self::empty(),
+                    vec![format!("lint cache unreadable ({e}); relinting everything")],
+                )
+            }
+        };
+        match read_container(&bytes, KIND, fp) {
+            Ok(payload) => match decode(&payload) {
+                Ok(cache) => (cache, Vec::new()),
+                Err(e) => quarantined(&path, "malformed", e.to_string()),
+            },
+            Err(e) => {
+                let suffix = quarantine_suffix(&e);
+                quarantined(&path, suffix, ReadFailure::Container(e).to_string())
+            }
+        }
+    }
+
+    /// Writes the cache under `dir` atomically. Errors are returned, not
+    /// fatal — a failed save costs a warm start, nothing else.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| support::Error::io(format!("creating {}", dir.display()), e))?;
+        let mut w = ByteWriter::new();
+        w.usize(self.entries.len());
+        for (proc, entry) in &self.entries {
+            w.str(proc);
+            w.u64(entry.hash);
+            save_proc_lint(&entry.lint, &mut w);
+        }
+        let doc = write_container(KIND, fingerprint(), &w.into_bytes());
+        atomic_write(&Self::path(dir), &doc)
+    }
+}
+
+fn quarantined(path: &Path, suffix: &str, detail: String) -> (LintCache, Vec<String>) {
+    let incident = match quarantine_file(path, suffix) {
+        Ok(dest) => format!(
+            "lint cache invalid ({detail}); quarantined to {} and relinting everything",
+            dest.display()
+        ),
+        Err(e) => format!(
+            "lint cache invalid ({detail}); quarantine failed ({e}), relinting everything"
+        ),
+    };
+    (LintCache::empty(), vec![incident])
+}
+
+/// Fingerprint binding a cache file to the toolchain and the lint codec.
+fn fingerprint() -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(toolchain_fingerprint());
+    h.write_str("lint-cache-v1");
+    h.finish()
+}
+
+fn decode(payload: &[u8]) -> Result<LintCache> {
+    let mut r = ByteReader::new(payload);
+    let n = r.usize()?;
+    let mut entries = BTreeMap::new();
+    for _ in 0..n {
+        let proc = r.str()?;
+        let hash = r.u64()?;
+        let lint = load_proc_lint(&mut r)?;
+        entries.insert(proc, Entry { hash, lint });
+    }
+    r.finish()?;
+    Ok(LintCache { entries })
+}
+
+fn save_proc_lint(lint: &ProcLint, w: &mut ByteWriter) {
+    w.u64(lint.suppressed);
+    w.usize(lint.findings.len());
+    for f in &lint.findings {
+        w.u8(match f.rule {
+            Rule::Oob01 => 0,
+            Rule::Ubd02 => 1,
+            Rule::Dst03 => 2,
+            Rule::Shp04 => 3,
+            Rule::Ali05 => 4,
+        });
+        w.bool(f.severity == Severity::Definite);
+        w.str(&f.file);
+        w.u32(f.line);
+        w.str(&f.proc);
+        w.str(&f.array);
+        w.str(&f.message);
+    }
+}
+
+fn load_proc_lint(r: &mut ByteReader<'_>) -> Result<ProcLint> {
+    let suppressed = r.u64()?;
+    let n = r.usize()?;
+    let mut findings = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let rule = match r.u8()? {
+            0 => Rule::Oob01,
+            1 => Rule::Ubd02,
+            2 => Rule::Dst03,
+            3 => Rule::Shp04,
+            4 => Rule::Ali05,
+            other => {
+                return Err(support::Error::Format(format!(
+                    "lint cache: unknown rule tag {other}"
+                )))
+            }
+        };
+        let severity = if r.bool()? { Severity::Definite } else { Severity::Possible };
+        findings.push(Finding {
+            rule,
+            severity,
+            file: r.str()?,
+            line: r.u32()?,
+            proc: r.str()?,
+            array: r.str()?,
+            message: r.str()?,
+        });
+    }
+    Ok(ProcLint { findings, suppressed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProcLint {
+        ProcLint {
+            findings: vec![Finding {
+                rule: Rule::Dst03,
+                severity: Severity::Definite,
+                file: "matrix.c".into(),
+                line: 12,
+                proc: "MAIN__".into(),
+                array: "aarr".into(),
+                message: "element 8 of `aarr` is written here but never read".into(),
+            }],
+            suppressed: 3,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("lintcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = LintCache::empty();
+        cache.insert("MAIN__", 0xdead_beef, sample());
+        cache.save(&dir).unwrap();
+        let (back, incidents) = LintCache::load(&dir);
+        assert!(incidents.is_empty(), "{incidents:?}");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.lookup("MAIN__", 0xdead_beef), Some(sample()));
+        assert_eq!(back.lookup("MAIN__", 0xdead_beee), None, "hash mismatch misses");
+        assert_eq!(back.lookup("other", 0xdead_beef), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_is_quarantined_not_trusted() {
+        let dir =
+            std::env::temp_dir().join(format!("lintcache-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(LINT_CACHE_FILE), b"garbage").unwrap();
+        let (cache, incidents) = LintCache::load(&dir);
+        assert!(cache.is_empty());
+        assert_eq!(incidents.len(), 1);
+        assert!(incidents[0].contains("quarantined"), "{incidents:?}");
+        assert!(
+            !dir.join(LINT_CACHE_FILE).exists(),
+            "corrupt file moved aside"
+        );
+        assert!(dir.join("quarantine").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,206 @@
+//! Row-level usage facts shared between the lint engine and the Dragon
+//! advisor.
+//!
+//! `DST-03` (dead stores) and the advisor's shrink advice ("redefine
+//! `aarr` to be `int aarr[8]`") are the same underlying fact — the hull of
+//! what a program *reads* versus what it declares/writes — so both consume
+//! this module instead of keeping private copies of the hull-vs-declared
+//! scan. Facts work on [`RgnRow`]s (not live summaries) so they apply
+//! equally to a fresh analysis and to a `.rgn` project loaded from disk.
+
+use araa::RgnRow;
+use regions::access::AccessMode;
+use std::collections::BTreeMap;
+
+/// Which access modes count as "used" when building a usage hull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseBasis {
+    /// USE rows only — the paper's reading (`aarr[8]` despite `DEF (1:8)`;
+    /// the store to index 8 is dead).
+    UseOnly,
+    /// USE ∪ DEF — the conservative hull.
+    UseAndDef,
+}
+
+/// Parses a `|`-joined bound column into per-dimension integers; `None`
+/// when any part is symbolic (`MESSY`, `$n`, ...).
+pub fn parse_bounds(s: &str) -> Option<Vec<i64>> {
+    s.split('|').map(|p| p.trim().parse::<i64>().ok()).collect()
+}
+
+/// Returns the per-dimension hull (lb, ub) over a set of rows, `None` when
+/// no row is fully constant. Non-constant rows are skipped — callers that
+/// need soundness against symbolic rows must check for them separately.
+pub fn hull(rows: &[&RgnRow]) -> Option<Vec<(i64, i64)>> {
+    let mut acc: Option<Vec<(i64, i64)>> = None;
+    for row in rows {
+        let (Some(lbs), Some(ubs)) = (parse_bounds(&row.lb), parse_bounds(&row.ub)) else {
+            continue;
+        };
+        if lbs.len() != ubs.len() {
+            continue;
+        }
+        match &mut acc {
+            None => acc = Some(lbs.into_iter().zip(ubs).collect()),
+            Some(h) => {
+                if h.len() != lbs.len() {
+                    continue;
+                }
+                for (d, (lo, hi)) in h.iter_mut().enumerate() {
+                    *lo = (*lo).min(lbs[d]);
+                    *hi = (*hi).max(ubs[d]);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// The usage hull of one array versus its declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageFact {
+    /// Array name (rows are grouped program-wide by name, matching the
+    /// Dragon `@` scope the advisor has always reported on).
+    pub array: String,
+    /// Declared extents per source dimension.
+    pub declared: Vec<i64>,
+    /// Accessed hull per source dimension (inclusive source bounds).
+    pub used: Vec<(i64, i64)>,
+    /// Whether the array indexes from 0 (C) — inferred from the smallest
+    /// used lower bound, exactly as the advisor always has.
+    pub zero_based: bool,
+}
+
+impl UsageFact {
+    /// The declared source lower bound implied by [`Self::zero_based`].
+    pub fn decl_lb(&self) -> i64 {
+        if self.zero_based {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// True when some dimension's used hull stops short of its declared
+    /// extent — the array can be re-declared smaller.
+    pub fn shrinkable(&self) -> bool {
+        let lb = self.decl_lb();
+        self.used
+            .iter()
+            .zip(&self.declared)
+            .any(|(&(_, hi), &ext)| hi < lb + ext - 1)
+    }
+
+    /// The suggested smaller declaration (`aarr[8]` / `a(1:100, 1:50)`).
+    pub fn suggestion(&self) -> String {
+        if self.zero_based {
+            let exts: Vec<String> =
+                self.used.iter().map(|&(_, hi)| format!("[{}]", hi + 1)).collect();
+            format!("{}{}", self.array, exts.concat())
+        } else {
+            let dims: Vec<String> =
+                self.used.iter().map(|&(lo, hi)| format!("{lo}:{hi}")).collect();
+            format!("{}({})", self.array, dims.join(", "))
+        }
+    }
+}
+
+/// Builds one [`UsageFact`] per array from `rows`: the hull of every
+/// constant row matching `basis` against the declared extents. Arrays with
+/// no constant row on the basis, or whose hull/declaration ranks disagree,
+/// yield no fact. Propagated rows duplicate callee-local rows; they are
+/// kept — hulls are idempotent under duplicates.
+pub fn usage_facts(rows: &[RgnRow], basis: UseBasis) -> Vec<UsageFact> {
+    let mut per_array: BTreeMap<String, Vec<&RgnRow>> = BTreeMap::new();
+    for row in rows {
+        let counts = match basis {
+            UseBasis::UseOnly => row.mode == AccessMode::Use,
+            UseBasis::UseAndDef => row.mode.moves_data(),
+        };
+        if counts {
+            per_array.entry(row.array.clone()).or_default().push(row);
+        }
+    }
+    let mut out = Vec::new();
+    for (array, rows) in per_array {
+        let Some(used) = hull(&rows) else { continue };
+        let Some(declared) = parse_bounds(&rows[0].dim_size) else { continue };
+        if declared.len() != used.len() {
+            continue;
+        }
+        let zero_based = used.iter().any(|&(lo, _)| lo == 0);
+        out.push(UsageFact { array, declared, used, zero_based });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(array: &str, mode: AccessMode, lb: &str, ub: &str, dim_size: &str) -> RgnRow {
+        RgnRow {
+            proc: "p".into(),
+            array: array.into(),
+            file: "p.o".into(),
+            mode,
+            refs: 1,
+            dims: lb.split('|').count() as u8,
+            lb: lb.into(),
+            ub: ub.into(),
+            stride: lb.split('|').map(|_| "1").collect::<Vec<_>>().join("|"),
+            elem_size: 4,
+            data_type: "int".into(),
+            dim_size: dim_size.into(),
+            tot_size: 0,
+            size_bytes: 0,
+            mem_loc: "0".into(),
+            acc_density: 0,
+            via: None,
+            line: 1,
+            first_line: 1,
+            last_line: 1,
+            is_global: false,
+            remote: false,
+        }
+    }
+
+    #[test]
+    fn bounds_parsing() {
+        assert_eq!(parse_bounds("1|2|3"), Some(vec![1, 2, 3]));
+        assert_eq!(parse_bounds("7"), Some(vec![7]));
+        assert_eq!(parse_bounds("1|MESSY"), None);
+        assert_eq!(parse_bounds("$n"), None);
+    }
+
+    #[test]
+    fn fact_distinguishes_bases() {
+        let rows = vec![
+            row("a", AccessMode::Use, "0", "7", "20"),
+            row("a", AccessMode::Def, "0", "8", "20"),
+        ];
+        let use_only = usage_facts(&rows, UseBasis::UseOnly);
+        assert_eq!(use_only.len(), 1);
+        assert_eq!(use_only[0].used, vec![(0, 7)]);
+        assert!(use_only[0].zero_based);
+        assert!(use_only[0].shrinkable());
+        assert_eq!(use_only[0].suggestion(), "a[8]");
+        let both = usage_facts(&rows, UseBasis::UseAndDef);
+        assert_eq!(both[0].used, vec![(0, 8)]);
+        assert_eq!(both[0].suggestion(), "a[9]");
+    }
+
+    #[test]
+    fn symbolic_rows_do_not_produce_facts() {
+        let rows = vec![row("a", AccessMode::Use, "1", "$n", "20")];
+        assert!(usage_facts(&rows, UseBasis::UseOnly).is_empty());
+    }
+
+    #[test]
+    fn fortran_suggestion_uses_one_based_ranges() {
+        let rows = vec![row("v", AccessMode::Use, "1|1", "5|9", "10|10")];
+        let facts = usage_facts(&rows, UseBasis::UseOnly);
+        assert!(!facts[0].zero_based);
+        assert_eq!(facts[0].suggestion(), "v(1:5, 1:9)");
+    }
+}

@@ -27,6 +27,8 @@
 //! | `persist::gc`           | `SessionStore::persist`, during old-entry GC  |
 //! | `persist::short_read`   | `read_file_validated` (truncates the buffer)  |
 //! | `persist::bit_flip`     | `read_file_validated` (flips one bit)         |
+//! | `lint::contain`         | `lint` per-procedure rule evaluation          |
+//! | `lint::sarif`           | `lint::sarif` document emission               |
 //!
 //! The `persist::short_read` / `persist::bit_flip` points are *data*
 //! faults: they fire through [`fires`] (mutating the read buffer) rather

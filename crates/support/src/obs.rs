@@ -134,6 +134,22 @@ catalog! {
         FmWidenings => "fm.widenings",
         /// Approximate region unions (`union_hull` folds).
         RegionUnions => "region.unions",
+        /// Lint findings emitted, all rules and severities.
+        LintFindings => "lint.findings",
+        /// Lint findings of definite severity (the violation is proved).
+        LintFindingsDefinite => "lint.findings.definite",
+        /// Lint findings of possible severity (Fourier–Motzkin failed to
+        /// refute the violation but could not prove it).
+        LintFindingsPossible => "lint.findings.possible",
+        /// Candidate violations suppressed because the Fourier–Motzkin
+        /// system refuted them (proved the access safe).
+        LintSuppressed => "lint.suppressed",
+        /// Procedures whose lint findings were served from the per-procedure
+        /// lint cache without re-running the rules.
+        LintCached => "lint.cached",
+        /// Procedures re-linted because their analysis content changed (or
+        /// no cached findings existed).
+        LintRelinted => "lint.relinted",
     }
 }
 

@@ -72,7 +72,7 @@ fn lower_array(
 
     // Shift each index to a zero lower bound (in source-dimension order).
     for (d, idx) in indices.iter_mut().enumerate() {
-        let lb = bounds.get(d).map(|b| b.lower()).unwrap_or(0);
+        let lb = bounds.get(d).map(|b| b.lower_in(lang)).unwrap_or(0);
         if lb != 0 {
             *idx = shift_index(tree, *idx, lb, line);
         }

@@ -95,6 +95,19 @@ impl DimBound {
             DimBound::Runtime => 0,
         }
     }
+
+    /// The declared lower bound with the language's default for runtime
+    /// dims: a Fortran assumed-size `x(*)` is still 1-based, a C `double
+    /// *x` is 0-based.
+    pub fn lower_in(self, lang: crate::Lang) -> i64 {
+        match self {
+            DimBound::Const { lb, .. } => lb,
+            DimBound::Runtime => match lang {
+                crate::Lang::Fortran => 1,
+                crate::Lang::C => 0,
+            },
+        }
+    }
 }
 
 /// The content of a type-table entry.

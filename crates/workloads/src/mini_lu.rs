@@ -291,7 +291,7 @@ fn ssor() -> GenSource {
   double precision rsdnm(5)
   double precision tv(64)
   integer istep, itmax, inorm
-  double precision dt
+  double precision dt, tmax
   common /cprcon/ itmax, inorm, dt
   call timer_clear(1)
   do istep = 1, 50
@@ -305,6 +305,7 @@ fn ssor() -> GenSource {
     call timer_stop(1)
   end do
   call timer_read(1, tv)
+  tmax = tv(1)
 end subroutine ssor
 ",
     );
@@ -559,9 +560,14 @@ subroutine print_results
   character class(1)
   common /cclass/ class
   double precision summary(8)
+  double precision total
   integer i
   do i = 1, 8
     summary(i) = 0.0
+  end do
+  total = 0.0
+  do i = 1, 8
+    total = total + summary(i)
   end do
 end subroutine print_results
 ",

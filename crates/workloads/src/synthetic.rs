@@ -69,9 +69,11 @@ pub fn generate(cfg: &SynthConfig) -> GenSource {
         s.push_str(&format!("subroutine work{p}\n"));
         commons(&mut s);
         s.push_str("  integer i, j, k\n");
-        // Open the nest; vary bounds/strides deterministically.
+        // Open the nest; vary bounds/strides deterministically. Subscripts
+        // below reach back up to 2 (`iv - 2`), so the lower loop bound must
+        // stay ≥ 3 to keep every access inside the declared `1..EXTENT`.
         for (d, iv) in ivars.iter().enumerate().take(depth) {
-            let lo = 1 + rng.gen_range(0..5) as i64;
+            let lo = 3 + rng.gen_range(0..5) as i64;
             let hi = EXTENT - rng.gen_range(0..5) as i64;
             let step = [1, 1, 1, 2, 3][rng.gen_range(0..5usize)];
             let indent = "  ".repeat(d + 1);

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate a sealed SARIF artifact written by `dragon lint --sarif`.
+
+Usage: check_sarif.py FILE [--schemas DIR] [--min-results N]
+
+Checks, stdlib only (CI runners install nothing):
+  1. the file ends in a valid `#checksum,<fnv1a hex>` trailer covering the
+     body exactly (the writer's canonical form);
+  2. the body is valid JSON and conforms to
+     schemas/sarif_subset.schema.json;
+  3. every result's ruleId is declared in the driver's rule table, its
+     level matches its `confidence` property (error <=> definite), and its
+     startLine is >= 1;
+  4. the run carries at least `--min-results` results (CI passes 1 for
+     seeded-defect programs so an artifact that silently lost its findings
+     fails the job).
+
+Exit 0 on success; prints the first failure and exits 1 otherwise.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = (1 << 64) - 1
+TRAILER_PREFIX = "#checksum,"
+
+
+def fail(msg: str) -> None:
+    print(f"check_sarif: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fnv1a(data: bytes) -> int:
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+def strip_and_verify_trailer(path: Path) -> str:
+    """Returns the document body after verifying its checksum trailer."""
+    text = path.read_text(encoding="utf-8")
+    t = text[:-1] if text.endswith("\n") else text
+    nl = t.rfind("\n")
+    body_end, last = (nl + 1, t[nl + 1 :]) if nl >= 0 else (0, t)
+    if not last.startswith(TRAILER_PREFIX):
+        fail(f"{path}: missing `{TRAILER_PREFIX}` trailer line")
+    hexsum = last[len(TRAILER_PREFIX) :]
+    if hexsum != format(int(hexsum, 16), "016x"):
+        fail(f"{path}: non-canonical checksum trailer `{last}`")
+    body = text[:body_end]
+    actual = fnv1a(body.encode("utf-8"))
+    if actual != int(hexsum, 16):
+        fail(f"{path}: checksum mismatch (trailer {hexsum}, body {actual:016x})")
+    return body
+
+
+def validate(value, schema, where: str) -> None:
+    """Validates the JSON-Schema subset the checked-in schemas use."""
+    ty = schema.get("type")
+    if ty == "object":
+        if not isinstance(value, dict):
+            fail(f"{where}: expected object, got {type(value).__name__}")
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(f"{where}: missing required key `{key}`")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{where}.{key}")
+    elif ty == "array":
+        if not isinstance(value, list):
+            fail(f"{where}: expected array, got {type(value).__name__}")
+        items = schema.get("items")
+        if items:
+            for i, item in enumerate(value):
+                validate(item, items, f"{where}[{i}]")
+    elif ty == "string":
+        if not isinstance(value, str):
+            fail(f"{where}: expected string, got {type(value).__name__}")
+    elif ty == "integer":
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(f"{where}: expected integer, got {type(value).__name__}")
+    elif ty == "boolean":
+        if not isinstance(value, bool):
+            fail(f"{where}: expected boolean, got {type(value).__name__}")
+    if "enum" in schema and value not in schema["enum"]:
+        fail(f"{where}: value {value!r} not in {schema['enum']}")
+
+
+def check_sarif(path: Path, schemas: Path, min_results: int) -> None:
+    body = strip_and_verify_trailer(path)
+    try:
+        doc = json.loads(body)
+    except json.JSONDecodeError as e:
+        fail(f"{path}: body is not valid JSON: {e}")
+    schema = json.loads((schemas / "sarif_subset.schema.json").read_text())
+    validate(doc, schema, "sarif")
+
+    total = 0
+    for r, run in enumerate(doc["runs"]):
+        declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        for i, result in enumerate(run["results"]):
+            where = f"runs[{r}].results[{i}]"
+            if result["ruleId"] not in declared:
+                fail(f"{where}: ruleId {result['ruleId']!r} not declared in the driver")
+            confidence = result["properties"]["confidence"]
+            expected = "error" if confidence == "definite" else "warning"
+            if result["level"] != expected:
+                fail(
+                    f"{where}: level {result['level']!r} contradicts "
+                    f"confidence {confidence!r}"
+                )
+            for loc in result["locations"]:
+                line = loc["physicalLocation"]["region"]["startLine"]
+                if line < 1:
+                    fail(f"{where}: startLine {line} below 1")
+            total += 1
+    if total < min_results:
+        fail(f"{path}: {total} result(s), expected at least {min_results}")
+    print(f"{path.name}: {total} result(s), checksum ok")
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if not args:
+        print(__doc__)
+        sys.exit(2)
+    path = Path(args[0])
+    schemas = Path("schemas")
+    min_results = 0
+    rest = args[1:]
+    while rest:
+        if rest[0] == "--schemas" and len(rest) >= 2:
+            schemas = Path(rest[1])
+            rest = rest[2:]
+        elif rest[0] == "--min-results" and len(rest) >= 2:
+            min_results = int(rest[1])
+            rest = rest[2:]
+        else:
+            fail(f"unknown argument {rest[0]!r}")
+    check_sarif(path, schemas, min_results)
+    print("check_sarif: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+//! Golden test over the seeded-defect corpus in `workloads/lint_corpus/`.
+//!
+//! Each defective program seeds exactly one defect class; its `_clean`
+//! twin differs only by the fix. The lint engine must report every seeded
+//! defect — correct rule, correct source line, correct array — and nothing
+//! on any twin or any pre-existing workload (the zero-false-positive
+//! contract the definite/possible split exists to uphold).
+
+use araa::{Analysis, AnalysisOptions};
+use lint::{LintOptions, LintReport, Rule, Severity};
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../workloads/lint_corpus")
+}
+
+fn load(name: &str) -> Vec<workloads::GenSource> {
+    let path = corpus_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    vec![workloads::GenSource { name: name.to_string(), text, fortran: !name.ends_with(".c") }]
+}
+
+fn lint_file(name: &str) -> LintReport {
+    let a = Analysis::analyze(&load(name), AnalysisOptions::default())
+        .unwrap_or_else(|e| panic!("{name} must analyze: {e}"));
+    lint::run(&a, &LintOptions::default())
+}
+
+/// One seeded defect: the rule that must fire, the line(s) it must anchor
+/// to, and the array it must name. `count` pins the exact finding count so
+/// a rule regression can neither drop nor duplicate findings silently.
+struct Seed {
+    file: &'static str,
+    rule: Rule,
+    lines: &'static [u32],
+    array: &'static str,
+    count: usize,
+}
+
+const SEEDS: &[Seed] = &[
+    // Intra-procedural overruns: the loop walks two elements past the
+    // declaration, on both the read and the write side of the statement.
+    Seed { file: "oob_basic.f", rule: Rule::Oob01, lines: &[5], array: "a", count: 2 },
+    Seed { file: "oob_tail.c", rule: Rule::Oob01, lines: &[8], array: "a", count: 2 },
+    // Interprocedural-only: `bump` takes an assumed-size `x(*)` (nothing
+    // to check in the callee), the violation appears when its region is
+    // rebased onto the caller's `a(10)` — anchored at the call site.
+    Seed { file: "oob_chain.f", rule: Rule::Oob01, lines: &[7], array: "a", count: 2 },
+    Seed { file: "ubd_local.f", rule: Rule::Ubd02, lines: &[7], array: "t", count: 1 },
+    Seed { file: "ubd_gap.f", rule: Rule::Ubd02, lines: &[10], array: "t", count: 1 },
+    Seed { file: "ubd_call.f", rule: Rule::Ubd02, lines: &[4], array: "v", count: 1 },
+    Seed { file: "dst_local.f", rule: Rule::Dst03, lines: &[6], array: "buf", count: 1 },
+    Seed { file: "dst_tail.c", rule: Rule::Dst03, lines: &[10], array: "w", count: 1 },
+    Seed { file: "shp_small.f", rule: Rule::Shp04, lines: &[8], array: "small", count: 1 },
+    Seed { file: "ali_dup.f", rule: Rule::Ali05, lines: &[9], array: "a", count: 1 },
+    Seed { file: "ali_global.f", rule: Rule::Ali05, lines: &[8], array: "g", count: 1 },
+];
+
+#[test]
+fn every_seeded_defect_is_reported() {
+    for seed in SEEDS {
+        let report = lint_file(seed.file);
+        assert_eq!(
+            report.findings.len(),
+            seed.count,
+            "{} must report exactly {} finding(s):\n{}",
+            seed.file,
+            seed.count,
+            report.render()
+        );
+        for f in &report.findings {
+            assert_eq!(f.rule, seed.rule, "{}: wrong rule:\n{}", seed.file, report.render());
+            assert_eq!(f.severity, Severity::Definite, "{}: seeded defects are provable", seed.file);
+            assert_eq!(f.array, seed.array, "{}: wrong array", seed.file);
+            assert_eq!(f.file, seed.file, "finding must anchor to the defective file");
+            assert!(
+                seed.lines.contains(&f.line),
+                "{}: finding at line {}, expected one of {:?}",
+                seed.file,
+                f.line,
+                seed.lines
+            );
+        }
+        assert!(report.degradations.is_empty(), "{} must not degrade", seed.file);
+    }
+}
+
+#[test]
+fn every_clean_twin_is_finding_free() {
+    for seed in SEEDS {
+        let (stem, ext) = seed.file.rsplit_once('.').expect("corpus files have extensions");
+        let twin = format!("{stem}_clean.{ext}");
+        let report = lint_file(&twin);
+        assert!(
+            report.findings.is_empty(),
+            "{twin} must be finding-free:\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn corpus_directory_and_seed_table_agree() {
+    // Every corpus file is either a seeded defect in the table or the
+    // `_clean` twin of one — no orphans in either direction.
+    let mut on_disk: Vec<String> = std::fs::read_dir(corpus_dir())
+        .expect("corpus dir exists")
+        .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = SEEDS
+        .iter()
+        .flat_map(|s| {
+            let (stem, ext) = s.file.rsplit_once('.').expect("extension");
+            [s.file.to_string(), format!("{stem}_clean.{ext}")]
+        })
+        .collect();
+    expected.sort();
+    assert_eq!(on_disk, expected);
+}
+
+#[test]
+fn pre_existing_workloads_stay_finding_free() {
+    // The corpus must not cost precision elsewhere: the paper's own
+    // workloads keep exactly the findings they had — fig10's genuine dead
+    // store and nothing else anywhere.
+    let clean: Vec<(&str, Vec<workloads::GenSource>)> = vec![
+        ("fig1", vec![workloads::fig1::source()]),
+        ("mini_lu", workloads::mini_lu::sources()),
+        ("stencil", vec![workloads::stencil::source()]),
+        ("caf", vec![workloads::caf::source()]),
+        ("synthetic", vec![workloads::synthetic::generate(&Default::default())]),
+    ];
+    for (name, srcs) in clean {
+        let a = Analysis::analyze(&srcs, AnalysisOptions::default()).expect("analysis");
+        let report = lint::run(&a, &LintOptions::default());
+        assert!(report.findings.is_empty(), "{name}:\n{}", report.render());
+    }
+    let a = Analysis::analyze(&[workloads::fig10::source()], AnalysisOptions::default())
+        .expect("analysis");
+    let report = lint::run(&a, &LintOptions::default());
+    assert_eq!(report.findings.len(), 1, "{}", report.render());
+    assert_eq!(report.findings[0].rule, Rule::Dst03);
+    assert_eq!(report.findings[0].array, "aarr");
+}
+
+#[test]
+fn corpus_sarif_round_trips_with_checksum() {
+    // The SARIF artifact for a defective program carries every finding,
+    // and the sealed document verifies through the canonical trailer.
+    let report = lint_file("oob_basic.f");
+    let mut doc = lint::sarif::to_sarif(&report, "test");
+    assert!(doc.contains("\"ruleId\": \"OOB-01\""));
+    assert!(doc.contains("\"level\": \"error\""));
+    support::persist::append_text_checksum(&mut doc);
+    support::persist::verify_text_checksum(&doc).expect("sealed SARIF verifies");
+}

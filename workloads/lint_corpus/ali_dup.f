@@ -1,0 +1,18 @@
+program main
+  double precision a(10)
+  double precision b(10)
+  integer i
+  do i = 1, 10
+    a(i) = 1.0
+    b(i) = 2.0
+  end do
+  call combine(a, b, a)
+end program main
+
+subroutine combine(x, y, z)
+  double precision x(10), y(10), z(10)
+  integer i
+  do i = 1, 10
+    z(i) = x(i) + y(i)
+  end do
+end subroutine combine

@@ -1,0 +1,24 @@
+program main
+  double precision a(10)
+  double precision b(10)
+  double precision c(10)
+  double precision s
+  integer i
+  do i = 1, 10
+    a(i) = 1.0
+    b(i) = 2.0
+  end do
+  call combine(a, b, c)
+  s = 0.0
+  do i = 1, 10
+    s = s + c(i)
+  end do
+end program main
+
+subroutine combine(x, y, z)
+  double precision x(10), y(10), z(10)
+  integer i
+  do i = 1, 10
+    z(i) = x(i) + y(i)
+  end do
+end subroutine combine

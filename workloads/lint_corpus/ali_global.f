@@ -1,0 +1,19 @@
+program main
+  double precision g(10)
+  common /cg/ g
+  integer i
+  do i = 1, 10
+    g(i) = 1.0
+  end do
+  call scale(g)
+end program main
+
+subroutine scale(x)
+  double precision x(10)
+  double precision g(10)
+  common /cg/ g
+  integer i
+  do i = 1, 10
+    x(i) = x(i) + g(i)
+  end do
+end subroutine scale

@@ -1,0 +1,14 @@
+program main
+  double precision buf(16)
+  double precision acc(4)
+  integer i
+  do i = 1, 16
+    buf(i) = 1.0
+  end do
+  do i = 1, 4
+    acc(i) = 2.0
+  end do
+  do i = 1, 4
+    acc(i) = acc(i) + 1.0
+  end do
+end program main

@@ -1,0 +1,12 @@
+program main
+  double precision buf(16)
+  double precision s
+  integer i
+  do i = 1, 16
+    buf(i) = 1.0
+  end do
+  s = 0.0
+  do i = 1, 16
+    s = s + buf(i)
+  end do
+end program main

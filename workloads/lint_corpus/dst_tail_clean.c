@@ -1,0 +1,16 @@
+void main()
+{
+  int i;
+  double w[10];
+  double s;
+
+  s = 0.0;
+  for (i = 0; i < 10; i = i + 1)
+  {
+    w[i] = i * 1.0;
+  }
+  for (i = 0; i < 10; i = i + 1)
+  {
+    s = s + w[i];
+  }
+}

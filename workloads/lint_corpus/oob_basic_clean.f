@@ -1,0 +1,7 @@
+program main
+  double precision a(10)
+  integer i
+  do i = 1, 10
+    a(i) = a(i) + 1.0
+  end do
+end program main

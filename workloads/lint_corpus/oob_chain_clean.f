@@ -1,0 +1,16 @@
+program main
+  double precision a(10)
+  integer i
+  do i = 1, 10
+    a(i) = 0.0
+  end do
+  call bump(a)
+end program main
+
+subroutine bump(x)
+  double precision x(*)
+  integer i
+  do i = 1, 10
+    x(i) = x(i) + 1.0
+  end do
+end subroutine bump

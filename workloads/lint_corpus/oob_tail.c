@@ -1,0 +1,10 @@
+void main()
+{
+  int i;
+  double a[16];
+
+  for (i = 0; i < 18; i = i + 1)
+  {
+    a[i] = a[i] + 1.0;
+  }
+}

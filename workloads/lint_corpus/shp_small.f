@@ -1,0 +1,23 @@
+program main
+  double precision small(4)
+  double precision s
+  integer i
+  do i = 1, 4
+    small(i) = 0.0
+  end do
+  call fill8(small)
+  s = 0.0
+  do i = 1, 4
+    s = s + small(i)
+  end do
+end program main
+
+subroutine fill8(x)
+  double precision x(2, 4)
+  integer i, j
+  do i = 1, 2
+    do j = 1, 4
+      x(i, j) = 1.0
+    end do
+  end do
+end subroutine fill8

@@ -1,0 +1,15 @@
+program main
+  double precision v(6)
+  double precision s
+  call total(v, s)
+end program main
+
+subroutine total(x, r)
+  double precision x(6)
+  double precision r
+  integer i
+  r = 0.0
+  do i = 1, 6
+    r = r + x(i)
+  end do
+end subroutine total

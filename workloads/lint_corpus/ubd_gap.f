@@ -1,0 +1,12 @@
+program main
+  double precision t(10)
+  double precision s
+  integer i
+  do i = 1, 5
+    t(i) = 1.0
+  end do
+  s = 0.0
+  do i = 1, 10
+    s = s + t(i)
+  end do
+end program main

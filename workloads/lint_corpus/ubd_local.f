@@ -1,0 +1,9 @@
+program main
+  double precision t(5)
+  double precision s
+  integer i
+  s = 0.0
+  do i = 1, 5
+    s = s + t(i)
+  end do
+end program main
