@@ -1,0 +1,206 @@
+//! Concurrent-session robustness: two threads driving sessions against
+//! the *same* on-disk store, contending on the `DirLock` — with and
+//! without a crash injected in the middle of one thread's commit.
+//!
+//! The store's contract under contention is strict: operations may wait
+//! (or, at worst, skip a persist and record an incident), but the store
+//! never corrupts, never loses the last committed state, and a session
+//! warmed afterwards is byte-identical to a cold run.
+
+use araa::{Analysis, AnalysisOptions, AnalysisSession, SessionStore};
+use std::sync::{Arc, Barrier, Mutex};
+use support::testdir::TestDir;
+use workloads::GenSource;
+
+/// Serializes the tests in this binary: the fault-injection registry is
+/// process-global, so an armed point must never leak into the plain
+/// contention test running on a sibling thread.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+const MAIN_F: &str = "\
+program main
+  real a(20)
+  common /g/ a
+  integer i
+  do i = 1, 10
+    a(i) = 0.0
+  end do
+  call mid
+end
+";
+const MID_F: &str = "\
+subroutine mid
+  real a(20)
+  common /g/ a
+  a(11) = 1.0
+  call leaf
+end
+";
+const LEAF_F: &str = "\
+subroutine leaf
+  real a(20)
+  common /g/ a
+  integer i
+  do i = 12, 20
+    a(i) = 2.0
+  end do
+end
+";
+const LEAF_F_EDITED: &str = "\
+subroutine leaf
+  real a(20)
+  common /g/ a
+  integer i
+  do i = 12, 18
+    a(i) = 2.0
+  end do
+end
+";
+
+fn files(leaf: &str) -> Vec<GenSource> {
+    vec![
+        GenSource::fortran("main.f", MAIN_F),
+        GenSource::fortran("mid.f", MID_F),
+        GenSource::fortran("leaf.f", leaf),
+    ]
+}
+
+fn cold(sources: &[GenSource]) -> Analysis {
+    Analysis::analyze(sources, AnalysisOptions::default()).expect("cold run")
+}
+
+fn assert_store_healthy(dir: &std::path::Path) {
+    let report = SessionStore::new(dir, &AnalysisOptions::default())
+        .verify()
+        .expect("verify runs");
+    assert!(report.clean(), "store corrupted: {:?}", report.problems);
+    let quarantine: Vec<_> = std::fs::read_dir(dir.join("quarantine"))
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    assert!(quarantine.is_empty(), "contention must not forge corruption: {quarantine:?}");
+}
+
+/// Two threads hammer the same store with interleaved load/update/persist
+/// cycles on *different* source versions. Whatever interleaving the lock
+/// arbitration produces, the store stays structurally sound and a fresh
+/// warm session agrees with a cold oracle.
+#[test]
+fn two_threads_one_store_stay_consistent() {
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TestDir::new("sess-concurrent");
+    let barrier = Arc::new(Barrier::new(2));
+
+    let spawn_driver = |leaf: &'static str| {
+        let path = dir.path().to_path_buf();
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            for _ in 0..3 {
+                barrier.wait();
+                let mut s =
+                    AnalysisSession::with_cache_dir(AnalysisOptions::default(), &path);
+                s.load();
+                let sources = files(leaf);
+                s.update(&sources).expect("update must succeed under contention");
+                // A lock timeout may skip this persist (recorded as an
+                // incident); it must never corrupt the store.
+                s.persist();
+            }
+        })
+    };
+
+    let a = spawn_driver(LEAF_F);
+    let b = spawn_driver(LEAF_F_EDITED);
+    a.join().expect("thread A");
+    b.join().expect("thread B");
+
+    assert_store_healthy(dir.path());
+
+    // Whichever version won the last commit, a warm session brought to a
+    // known version matches the cold oracle exactly.
+    let sources = files(LEAF_F);
+    let mut warm = AnalysisSession::with_cache_dir(AnalysisOptions::default(), dir.path());
+    warm.load();
+    warm.update(&sources).expect("warm update");
+    let oracle = cold(&sources);
+    let analysis = warm.analysis().expect("analysis");
+    assert_eq!(analysis.rows, oracle.rows);
+    assert_eq!(analysis.degradations, oracle.degradations);
+}
+
+#[cfg(feature = "fault-injection")]
+mod faulty {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use support::faultpoint;
+
+    /// One session dies mid-commit (after its entry files, before the
+    /// manifest swap) while a second session contends for the same lock.
+    /// The crash must be invisible to the survivor beyond losing the
+    /// uncommitted delta: the old manifest still governs, the orphaned
+    /// entries are swept by the next save, and the final state matches a
+    /// cold run.
+    #[test]
+    fn mid_commit_crash_under_contention_leaves_store_recoverable() {
+        let _guard = EXCLUSIVE.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = TestDir::new("sess-concurrent-fault");
+
+        // Seed a committed v1 so the crash has prior state to protect.
+        let mut seed =
+            AnalysisSession::with_cache_dir(AnalysisOptions::default(), dir.path());
+        seed.update(&files(LEAF_F)).expect("seed update");
+        assert!(seed.persist(), "seed persist: {:?}", seed.cache_incidents());
+        drop(seed);
+
+        faultpoint::arm("persist::pre_manifest", 1);
+        let barrier = Arc::new(Barrier::new(2));
+        let crasher = {
+            let path = dir.path().to_path_buf();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut s =
+                    AnalysisSession::with_cache_dir(AnalysisOptions::default(), &path);
+                s.load();
+                s.update(&files(LEAF_F_EDITED)).expect("update");
+                // The armed point fires inside this commit; unwinding
+                // releases the DirLock like a process death would.
+                catch_unwind(AssertUnwindSafe(|| s.persist()))
+            })
+        };
+
+        // The contender reads the store while the crasher commits and
+        // dies, taking and releasing the same lock.
+        barrier.wait();
+        let mut contender =
+            AnalysisSession::with_cache_dir(AnalysisOptions::default(), dir.path());
+        for _ in 0..5 {
+            contender.load();
+        }
+
+        let crashed = crasher.join().expect("crasher thread");
+        faultpoint::disarm_all();
+        assert!(crashed.is_err(), "the armed faultpoint must fire in the crasher");
+
+        // The survivor carries the store to v2 cleanly.
+        contender.load();
+        contender.update(&files(LEAF_F_EDITED)).expect("contender update");
+        assert!(
+            contender.persist(),
+            "post-crash persist must succeed: {:?}",
+            contender.cache_incidents()
+        );
+
+        assert_store_healthy(dir.path());
+        let oracle = cold(&files(LEAF_F_EDITED));
+        let mut warm =
+            AnalysisSession::with_cache_dir(AnalysisOptions::default(), dir.path());
+        assert!(warm.load(), "manifest intact after mid-commit crash");
+        warm.update(&files(LEAF_F_EDITED)).expect("warm update");
+        let analysis = warm.analysis().expect("analysis");
+        assert_eq!(analysis.rows, oracle.rows);
+        assert_eq!(analysis.degradations, oracle.degradations);
+    }
+}

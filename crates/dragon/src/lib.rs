@@ -16,11 +16,14 @@
 //!   sub-array `copyin` directives, loop fusion, and parallelizable call
 //!   pairs;
 //! - [`sink`] — the structured diagnostics sink the binary routes all
-//!   stderr reporting through.
+//!   stderr reporting through;
+//! - [`serve`] — the long-lived analysis daemon (`dragon serve`) and its
+//!   retrying client, speaking line-delimited JSON-RPC over a Unix socket.
 
 pub mod advisor;
 pub mod browse;
 pub mod project;
+pub mod serve;
 pub mod sink;
 pub mod view;
 

@@ -33,6 +33,7 @@ use dragon::sink::{self, Severity};
 use dragon::view::ViewOptions;
 use dragon::{advisor, render_procedure_list, render_scope, Project};
 use frontend::SourceFile;
+use std::path::Path;
 use support::obs::{self, ClockKind, Collector};
 use whirl::Lang;
 
@@ -56,9 +57,15 @@ fn usage() -> ! {
          \x20 lint <src...> [--sarif FILE] [--threads N]\n\
          \x20 profile <src...> [--top N]\n\
          \x20 cache <stats|verify|clear>   (requires --cache-dir)\n\
+         \x20 serve --socket PATH [--cache-root DIR] [--workers N]\n\
+         \x20       [--queue-depth N] [--deadline-ms N] [--persist-debounce-ms N]\n\
+         \x20 client --socket PATH <op> [--project NAME] [--deadline-ms N]\n\
+         \x20        [--retries N] [--timeout-ms N] [sources...]\n\
          \x20 --strict: treat degraded analysis as failure (exit 2)\n\
          \x20 --cache-dir DIR: load/save a persistent analysis cache\n\
          \x20 --no-cache: ignore --cache-dir for this run\n\
+         \x20 --timeout SECS: wall-clock deadline; analysis degrades (exit 1)\n\
+         \x20                 instead of running past it\n\
          \x20 --trace-out DIR: write trace.json (Chrome trace) + metrics.jsonl\n\
          \x20 --metrics FILE: write the JSONL metrics stream to FILE"
     );
@@ -340,6 +347,7 @@ fn main() {
     let mut cache_dir: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut timeout_secs: Option<f64> = None;
     let mut args: Vec<String> = Vec::with_capacity(raw.len());
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -349,6 +357,13 @@ fn main() {
             "--cache-dir" => cache_dir = Some(it.next().unwrap_or_else(|| usage())),
             "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage())),
             "--metrics" => metrics_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--timeout" => {
+                timeout_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| *s > 0.0)
+                    .or_else(|| usage())
+            }
             _ => args.push(a),
         }
     }
@@ -373,6 +388,15 @@ fn main() {
     } else {
         None
     };
+
+    // `--timeout` installs a wall-clock deadline for the whole command.
+    // Budget checkpoints observe it (worker threads inherit it), so a
+    // stuck solve degrades conservatively instead of hanging; the expiry
+    // itself is reported as a degradation below (exit 1, never a hang).
+    let deadline_token = timeout_secs.map(|s| {
+        support::deadline::DeadlineToken::after(std::time::Duration::from_secs_f64(s))
+    });
+    let _deadline_scope = deadline_token.clone().map(support::deadline::enter);
 
     match cmd.as_str() {
         "analyze" => {
@@ -572,6 +596,157 @@ fn main() {
             let Some(c) = &collector else { usage() };
             print!("{}", render_profile(&c.snapshot(), top));
         }
+        "serve" => {
+            let mut opts = dragon::serve::ServeOptions::default();
+            let mut socket: Option<String> = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--socket" => socket = it.next().cloned(),
+                    "--cache-root" => {
+                        opts.cache_root =
+                            Some(it.next().cloned().unwrap_or_else(|| usage()).into())
+                    }
+                    "--workers" => {
+                        opts.workers = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--queue-depth" => {
+                        opts.queue_depth = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--deadline-ms" => {
+                        opts.default_deadline_ms = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
+                    // 0 = write-through (persist inline on every analyze).
+                    "--persist-debounce-ms" => {
+                        opts.persist_debounce_ms = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    _ => usage(),
+                }
+            }
+            opts.socket = socket.unwrap_or_else(|| usage()).into();
+            eprintln!(
+                "dragon serve: listening on {} ({} worker(s), queue depth {}, \
+                 default deadline {} ms)",
+                opts.socket.display(),
+                opts.workers,
+                opts.queue_depth,
+                opts.default_deadline_ms
+            );
+            if let Err(e) = dragon::serve::run(opts) {
+                sink::fatal("serve", format!("{e}"));
+            }
+            eprintln!("dragon serve: drained and persisted; exiting");
+        }
+        "client" => {
+            let mut copts = dragon::serve::ClientOptions::default();
+            let mut socket: Option<String> = None;
+            let mut op: Option<String> = None;
+            let mut project = "default".to_string();
+            let mut deadline_ms: Option<u64> = None;
+            let mut srcs = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--socket" => socket = it.next().cloned(),
+                    "--project" => {
+                        project = it.next().cloned().unwrap_or_else(|| usage())
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = it.next().and_then(|v| v.parse().ok())
+                    }
+                    "--retries" => {
+                        copts.retries = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--timeout-ms" => {
+                        copts.timeout = std::time::Duration::from_millis(
+                            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                        )
+                    }
+                    other if op.is_none() => op = Some(other.to_string()),
+                    other => srcs.push(other.to_string()),
+                }
+            }
+            copts.socket = socket.unwrap_or_else(|| usage()).into();
+            let op = op.unwrap_or_else(|| usage());
+            if dragon::serve::proto::Op::parse(&op).is_none() {
+                sink::fatal("client.usage", format!("unknown op `{op}`"));
+            }
+            use support::json::Value;
+            let mut fields = vec![
+                ("id", Value::int(1)),
+                ("op", Value::str(op.as_str())),
+                ("project", Value::str(project)),
+            ];
+            if let Some(ms) = deadline_ms {
+                fields.push(("deadline_ms", Value::int(ms)));
+            }
+            if !srcs.is_empty() {
+                let sources: Vec<Value> = read_sources(&srcs)
+                    .into_iter()
+                    .map(|(_, g)| {
+                        support::json::obj([
+                            ("name", Value::str(g.name)),
+                            ("text", Value::str(g.text)),
+                            ("fortran", Value::Bool(g.fortran)),
+                        ])
+                    })
+                    .collect();
+                fields.push(("sources", Value::Arr(sources)));
+            }
+            let request = support::json::obj(fields);
+            match dragon::serve::call(&copts, &request) {
+                Ok(resp) => {
+                    println!("{}", resp.render());
+                    if resp.get("ok").and_then(Value::as_bool) != Some(true) {
+                        let msg = resp
+                            .get("error")
+                            .and_then(|e| e.get("message"))
+                            .and_then(Value::as_str)
+                            .unwrap_or("request failed");
+                        sink::fatal("client.request", msg.to_string());
+                    }
+                    let degraded = resp
+                        .get("result")
+                        .and_then(|r| r.get("degraded"))
+                        .and_then(Value::as_bool)
+                        == Some(true);
+                    let expired = resp
+                        .get("result")
+                        .and_then(|r| r.get("deadline_expired"))
+                        .and_then(Value::as_bool)
+                        == Some(true);
+                    if degraded || expired {
+                        sink::emit(
+                            Severity::Degraded,
+                            "client.degraded",
+                            format!(
+                                "response degraded (deadline_expired={expired}); \
+                                 results are conservative"
+                            ),
+                        );
+                    }
+                }
+                Err(e) => sink::fatal("client.io", format!("{e}")),
+            }
+        }
         "cache" => {
             let Some(op) = args.get(1) else { usage() };
             let Some(dir) = store_dir.as_deref() else {
@@ -588,6 +763,14 @@ fn main() {
                         println!("entry files:     {}", s.entry_files);
                         println!("total bytes:     {}", s.bytes);
                         println!("quarantined:     {}", s.quarantined);
+                        let (qcount, qbytes) =
+                            support::persist::quarantine_usage(Path::new(dir));
+                        println!(
+                            "quarantine dir:  {qcount} file(s), {qbytes} byte(s) \
+                             (cap {} files / {} bytes, oldest evicted first)",
+                            support::persist::QUARANTINE_MAX_FILES,
+                            support::persist::QUARANTINE_MAX_BYTES,
+                        );
                         println!(
                             "source:          {}",
                             if s.from_snapshot {
@@ -625,6 +808,17 @@ fn main() {
             }
         }
         _ => usage(),
+    }
+    if let Some(token) = &deadline_token {
+        if token.expired_now() {
+            sink::emit(
+                Severity::Degraded,
+                "cli.timeout",
+                "--timeout: deadline expired; affected results were widened \
+                 conservatively"
+                    .to_string(),
+            );
+        }
     }
     // Exporters run last so the artifacts cover the whole run, including
     // any structured diagnostics reported above.

@@ -1,0 +1,220 @@
+//! The serve client: one-shot JSON-RPC calls with timeout, retry, and
+//! exponential backoff.
+//!
+//! # Retry/backoff contract
+//!
+//! A call is retried when it fails in a way a fresh attempt can fix:
+//!
+//! - connect/read/write errors and per-attempt I/O timeouts (the daemon is
+//!   restarting, or wedged past its own deadline);
+//! - structured `overloaded` / `shutting-down` responses — the wait honors
+//!   the server's `retry_after_ms` hint when it exceeds the computed
+//!   backoff.
+//!
+//! It is **not** retried on `bad-request` (resending cannot help), `panic`
+//! (the session was reset; the caller should decide whether to resubmit),
+//! or any successful response — including degraded ones.
+//!
+//! Backoff doubles from `backoff_base` up to `backoff_cap`, scaled by a
+//! deterministic jitter in [0.5, 1.5) derived from `jitter_seed` and the
+//! attempt number — reproducible in tests, yet distinct clients (seeded by
+//! pid) desynchronize instead of retry-stampeding.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+use support::json::Value;
+
+/// Client configuration; see the module docs for the retry contract.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Socket the daemon listens on.
+    pub socket: PathBuf,
+    /// Per-attempt I/O timeout (connect is immediate on Unix sockets; this
+    /// bounds the response wait).
+    pub timeout: Duration,
+    /// Additional attempts after the first (total attempts = retries + 1).
+    pub retries: u32,
+    /// First retry delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Ceiling on the (pre-jitter) backoff delay.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            socket: PathBuf::from("dragon.sock"),
+            timeout: Duration::from_secs(60),
+            retries: 4,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: u64::from(std::process::id()),
+        }
+    }
+}
+
+fn xorshift64(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// The delay before retry number `attempt` (1-based): exponential from the
+/// base, capped, jittered into [0.5, 1.5) deterministically.
+pub fn backoff_delay(opts: &ClientOptions, attempt: u32, server_hint_ms: Option<u64>) -> Duration {
+    let exp = opts
+        .backoff_base
+        .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+        .min(opts.backoff_cap);
+    let base = match server_hint_ms {
+        Some(hint) => exp.max(Duration::from_millis(hint)),
+        None => exp,
+    };
+    // Jitter: a deterministic fraction in [0.5, 1.5) per (seed, attempt).
+    let r = xorshift64(opts.jitter_seed.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(u64::from(attempt) + 1));
+    let frac = 0.5 + (r >> 11) as f64 / (1u64 << 53) as f64;
+    base.mul_f64(frac)
+}
+
+/// One request/response exchange on a fresh connection. Errors on any I/O
+/// failure or malformed response; protocol-level errors (`ok:false`) are
+/// returned as `Ok` values for the caller (or [`call`]'s retry loop) to
+/// interpret.
+fn attempt(opts: &ClientOptions, line: &str) -> support::Result<Value> {
+    let stream = UnixStream::connect(&opts.socket)
+        .map_err(|e| support::Error::io(format!("connecting {}", opts.socket.display()), e))?;
+    stream
+        .set_read_timeout(Some(opts.timeout))
+        .and_then(|()| stream.set_write_timeout(Some(opts.timeout)))
+        .map_err(|e| support::Error::io("socket timeouts".to_string(), e))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| support::Error::io("socket clone".to_string(), e))?;
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| support::Error::io("sending request".to_string(), e))?;
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    let n = reader
+        .read_line(&mut resp)
+        .map_err(|e| support::Error::io("reading response".to_string(), e))?;
+    if n == 0 {
+        return Err(support::Error::Analysis(
+            "daemon closed the connection without responding".to_string(),
+        ));
+    }
+    Value::parse(resp.trim())
+}
+
+/// Whether an `ok:false` response is retryable, and the server's wait hint.
+fn retryable_error(resp: &Value) -> Option<Option<u64>> {
+    let error = resp.get("error")?;
+    match error.get("kind").and_then(Value::as_str) {
+        Some("overloaded" | "shutting-down") => {
+            Some(error.get("retry_after_ms").and_then(Value::as_u64))
+        }
+        _ => None,
+    }
+}
+
+/// Calls the daemon, retrying per the module's contract. Returns the final
+/// response value — check `ok` for protocol-level failure.
+pub fn call(opts: &ClientOptions, request: &Value) -> support::Result<Value> {
+    let line = request.render();
+    let mut last_err: Option<support::Error> = None;
+    let mut pending_delay: Option<Duration> = None;
+    for attempt_no in 0..=opts.retries {
+        if let Some(delay) = pending_delay.take() {
+            std::thread::sleep(delay);
+        }
+        match attempt(opts, &line) {
+            Ok(resp) => {
+                let failed = resp.get("ok").and_then(Value::as_bool) == Some(false);
+                if failed && attempt_no < opts.retries {
+                    if let Some(hint) = retryable_error(&resp) {
+                        pending_delay = Some(backoff_delay(opts, attempt_no + 1, hint));
+                        last_err = Some(support::Error::Analysis(
+                            "daemon overloaded/shutting down".to_string(),
+                        ));
+                        continue;
+                    }
+                }
+                return Ok(resp);
+            }
+            Err(e) => {
+                last_err = Some(e);
+                pending_delay = Some(backoff_delay(opts, attempt_no + 1, None));
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        support::Error::Analysis("client retries exhausted".to_string())
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> ClientOptions {
+        ClientOptions { jitter_seed: 42, ..ClientOptions::default() }
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let o = opts();
+        let d1 = backoff_delay(&o, 1, None);
+        let d4 = backoff_delay(&o, 4, None);
+        // Jitter is at most 1.5×/0.5×, growth is 8× — order must hold.
+        assert!(d4 > d1, "{d4:?} vs {d1:?}");
+        let d20 = backoff_delay(&o, 20, None);
+        assert!(d20 <= o.backoff_cap.mul_f64(1.5), "{d20:?}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let o = opts();
+        assert_eq!(backoff_delay(&o, 3, None), backoff_delay(&o, 3, None));
+        let other = ClientOptions { jitter_seed: 43, ..opts() };
+        assert_ne!(backoff_delay(&o, 3, None), backoff_delay(&other, 3, None));
+    }
+
+    #[test]
+    fn server_hint_raises_the_floor() {
+        let o = opts();
+        let hinted = backoff_delay(&o, 1, Some(10_000));
+        assert!(hinted >= Duration::from_millis(5000), "{hinted:?}");
+    }
+
+    #[test]
+    fn retryable_kinds_detected() {
+        let overloaded = Value::parse(
+            r#"{"ok":false,"error":{"kind":"overloaded","retry_after_ms":70}}"#,
+        )
+        .unwrap();
+        assert_eq!(retryable_error(&overloaded), Some(Some(70)));
+        let bad = Value::parse(r#"{"ok":false,"error":{"kind":"bad-request"}}"#).unwrap();
+        assert_eq!(retryable_error(&bad), None);
+        let ok = Value::parse(r#"{"ok":true,"result":{}}"#).unwrap();
+        assert_eq!(retryable_error(&ok), None);
+    }
+
+    #[test]
+    fn connect_failure_errors_after_retries() {
+        let o = ClientOptions {
+            socket: PathBuf::from("/nonexistent/araa.sock"),
+            retries: 1,
+            backoff_base: Duration::from_millis(1),
+            ..opts()
+        };
+        let req = Value::parse(r#"{"op":"stats"}"#).unwrap();
+        assert!(call(&o, &req).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! Analysis as a service: the `dragon serve` daemon and its client.
+//!
+//! - [`proto`] — the line-delimited JSON-RPC wire protocol (`analyze`,
+//!   `reanalyze`, `lint`, `query-rgn`, `stats`, `shutdown`);
+//! - [`server`] — the fault-tolerant daemon: sharded warm sessions,
+//!   per-request deadlines, admission control, panic containment, graceful
+//!   drain, and crash recovery on startup;
+//! - [`client`] — one-shot calls with timeout, retry, and exponential
+//!   backoff with deterministic jitter.
+//!
+//! See DESIGN.md "Serving & overload behavior" for the full semantics.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{call, ClientOptions};
+pub use server::{run, ServeOptions};

@@ -1,0 +1,259 @@
+//! The serve wire protocol: line-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line, over a Unix stream socket.
+//! Every request gets exactly one response — including malformed ones
+//! (`bad-request`), shed ones (`overloaded` with a `retry_after_ms` hint),
+//! and ones whose handler panicked (`panic`). Connections are never
+//! dropped as a flow-control signal.
+//!
+//! Request shape:
+//!
+//! ```json
+//! {"id":1,"op":"analyze","project":"demo","deadline_ms":2000,
+//!  "sources":[{"name":"a.f","text":"...","fortran":true}]}
+//! ```
+//!
+//! Responses echo `id` and `op` and carry either `"ok":true` + `result` or
+//! `"ok":false` + `error:{kind,message[,retry_after_ms]}`.
+
+use support::json::{obj, Value};
+
+/// Protocol operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Analyze the given sources under `project` (creates the session).
+    Analyze,
+    /// Like `analyze`, but requires the project session to already exist —
+    /// the edit-loop fast path (a typo'd project name errors instead of
+    /// silently cold-starting a new session).
+    Reanalyze,
+    /// Run the lint engine over the project's current analysis.
+    Lint,
+    /// Return the project's current `.rgn` document.
+    QueryRgn,
+    /// Daemon-wide statistics (sessions, requests, sheds, queue depth).
+    Stats,
+    /// Graceful shutdown: drain in-flight requests, persist all sessions.
+    Shutdown,
+}
+
+impl Op {
+    pub fn parse(s: &str) -> Option<Op> {
+        Some(match s {
+            "analyze" => Op::Analyze,
+            "reanalyze" => Op::Reanalyze,
+            "lint" => Op::Lint,
+            "query-rgn" => Op::QueryRgn,
+            "stats" => Op::Stats,
+            "shutdown" => Op::Shutdown,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Analyze => "analyze",
+            Op::Reanalyze => "reanalyze",
+            Op::Lint => "lint",
+            Op::QueryRgn => "query-rgn",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One source file carried in a request.
+#[derive(Debug, Clone)]
+pub struct WireSource {
+    pub name: String,
+    pub text: String,
+    pub fortran: bool,
+}
+
+/// A parsed, validated request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    pub op: Op,
+    pub project: String,
+    pub sources: Vec<WireSource>,
+    /// Per-request deadline; `None` means the server default applies.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed or semantically invalid request.
+    BadRequest,
+    /// Admission control shed the request; retry after the hinted delay.
+    Overloaded,
+    /// The daemon is draining; retry against the restarted instance.
+    ShuttingDown,
+    /// The handler panicked; the project's session was reset from disk.
+    Panic,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::ShuttingDown => "shutting-down",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// Parses one request line. `Err(message)` is turned into a `bad-request`
+/// response by the connection handler (with the line's `id` if one was
+/// readable).
+pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
+    let v = Value::parse(line).map_err(|e| (0, format!("{e}")))?;
+    let id = v.get("id").and_then(Value::as_u64).unwrap_or(0);
+    let fail = |msg: &str| (id, msg.to_string());
+    let op_str = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail("missing string field `op`"))?;
+    let op = Op::parse(op_str)
+        .ok_or_else(|| (id, format!("unknown op `{op_str}`")))?;
+    let project = v
+        .get("project")
+        .map(|p| p.as_str().map(str::to_string).ok_or(()))
+        .unwrap_or(Ok("default".to_string()))
+        .map_err(|()| fail("`project` must be a string"))?;
+    if project.is_empty() || project.len() > 256 {
+        return Err(fail("`project` must be 1..=256 characters"));
+    }
+    let deadline_ms = match v.get("deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(d) => Some(d.as_u64().ok_or_else(|| {
+            fail("`deadline_ms` must be a non-negative integer")
+        })?),
+    };
+    let mut sources = Vec::new();
+    if let Some(arr) = v.get("sources") {
+        let arr = arr
+            .as_arr()
+            .ok_or_else(|| fail("`sources` must be an array"))?;
+        for s in arr {
+            let name = s
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| fail("source missing string `name`"))?;
+            let text = s
+                .get("text")
+                .and_then(Value::as_str)
+                .ok_or_else(|| fail("source missing string `text`"))?;
+            let fortran = match s.get("fortran") {
+                None => !name.ends_with(".c"),
+                Some(b) => b
+                    .as_bool()
+                    .ok_or_else(|| fail("`fortran` must be a boolean"))?,
+            };
+            sources.push(WireSource {
+                name: name.to_string(),
+                text: text.to_string(),
+                fortran,
+            });
+        }
+    }
+    match op {
+        Op::Analyze | Op::Reanalyze if sources.is_empty() => {
+            return Err((id, format!("op `{}` requires non-empty `sources`", op.name())));
+        }
+        _ => {}
+    }
+    Ok(Request { id, op, project, sources, deadline_ms })
+}
+
+/// Renders a success response line (no trailing newline).
+pub fn ok_response(id: u64, op: Op, result: Value) -> String {
+    obj([
+        ("id", Value::int(id)),
+        ("op", Value::str(op.name())),
+        ("ok", Value::Bool(true)),
+        ("result", result),
+    ])
+    .render()
+}
+
+/// Renders an error response line (no trailing newline).
+pub fn err_response(
+    id: u64,
+    op: Option<Op>,
+    kind: ErrorKind,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let mut error = vec![
+        ("kind", Value::str(kind.name())),
+        ("message", Value::str(message)),
+    ];
+    if let Some(ms) = retry_after_ms {
+        error.push(("retry_after_ms", Value::int(ms)));
+    }
+    obj([
+        ("id", Value::int(id)),
+        ("op", Value::str(op.map(Op::name).unwrap_or("?"))),
+        ("ok", Value::Bool(false)),
+        ("error", obj(error)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_analyze() {
+        let r = parse_request(
+            r#"{"op":"analyze","sources":[{"name":"a.f","text":"end"}]}"#,
+        )
+        .expect("parse");
+        assert_eq!(r.op, Op::Analyze);
+        assert_eq!(r.project, "default");
+        assert_eq!(r.id, 0);
+        assert!(r.sources[0].fortran, "language inferred from extension");
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_id() {
+        let (id, msg) = parse_request(r#"{"id":9,"op":"fly"}"#).unwrap_err();
+        assert_eq!(id, 9);
+        assert!(msg.contains("unknown op"));
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"op":"analyze","sources":[]}"#).is_err());
+        assert!(parse_request(r#"{"op":"analyze"}"#).is_err());
+        assert!(parse_request(r#"{"op":"stats","deadline_ms":-4}"#).is_err());
+    }
+
+    #[test]
+    fn stats_needs_no_sources() {
+        let r = parse_request(r#"{"id":3,"op":"stats"}"#).expect("parse");
+        assert_eq!(r.op, Op::Stats);
+        assert!(r.sources.is_empty());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = ok_response(7, Op::Lint, Value::int(1));
+        let v = Value::parse(&ok).expect("parse");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(7));
+        let err = err_response(8, None, ErrorKind::Overloaded, "queue full", Some(120));
+        let v = Value::parse(&err).expect("parse");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("retry_after_ms")).and_then(Value::as_u64),
+            Some(120)
+        );
+    }
+}

@@ -1,0 +1,828 @@
+//! The `dragon serve` daemon: warm analysis sessions behind a Unix socket.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            accept loop (nonblocking, polls SHUTDOWN)
+//!                 │ one thread per connection
+//!                 ▼
+//!   connection threads ──try_send──▶ worker 0..N (bounded queues)
+//!     │ stats/shutdown answered        │ each owns its shard of
+//!     │ inline; full queue ⇒           │ project → AnalysisSession
+//!     ▼ structured `overloaded`        ▼
+//!   one response line per request    deadline scope + catch_unwind
+//!                                    around every request
+//! ```
+//!
+//! Sessions are sharded by project-name hash, so a project's requests are
+//! serialized on one worker — no session locking, no cross-request races —
+//! while distinct projects proceed in parallel.
+//!
+//! # Robustness invariants
+//!
+//! - **Bounded worst case**: every request runs under a deadline token
+//!   observed by the budget checkpoints; stuck work degrades, it never
+//!   wedges a worker past its deadline.
+//! - **Blast-radius one project**: a panicking handler is contained by
+//!   `catch_unwind`; the poisoned session is dropped (rewarmed from disk on
+//!   the project's next request) and every other session is untouched.
+//! - **Overload is a response, not a drop**: a full worker queue yields a
+//!   structured `overloaded` error with a retry hint; connections are
+//!   never closed as back-pressure.
+//! - **Durable with a bounded window**: writes persist through the
+//!   store's atomic commit path under a group-commit policy — inline on a
+//!   project's first commit and then at most once per debounce window on
+//!   the request path, with idle workers flushing early and drain
+//!   flushing everything. A crash loses at most the last window's delta.
+//! - **Recovery is the startup path**: the daemon scans its cache root,
+//!   takes over stale `DirLock`s, skips quarantined entries, and warms
+//!   every discoverable session before accepting connections.
+//!
+//! With `ARAA_SERVE_CHAOS_ABORT=1` an injected-fault panic aborts the
+//! process *before unwinding* — a faithful crash at exactly the armed
+//! faultpoint, used by the chaos tests to prove the recovery path.
+
+use super::proto::{self, ErrorKind, Op, Request};
+use araa::{AnalysisOptions, AnalysisSession};
+use frontend::SourceFile;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+use support::deadline::{self, DeadlineToken};
+use support::hash::fnv1a;
+use support::json::{obj, Value};
+use support::obs::{self, Counter, Gauge};
+use whirl::Lang;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Unix socket path to listen on.
+    pub socket: PathBuf,
+    /// Root directory for per-project session stores; `None` serves from
+    /// memory only (no persistence, no recovery).
+    pub cache_root: Option<PathBuf>,
+    /// Worker threads (session shards).
+    pub workers: usize,
+    /// Bounded queue depth per worker; beyond it requests are shed.
+    pub queue_depth: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: u64,
+    /// Group-commit window: after a write, a session persists on the
+    /// request path at most once per this many milliseconds (an idle
+    /// worker flushes sooner, and drain always flushes everything). `0`
+    /// means write-through: every successful analyze persists inline.
+    pub persist_debounce_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            socket: PathBuf::from("dragon.sock"),
+            cache_root: None,
+            workers: 2,
+            queue_depth: 64,
+            default_deadline_ms: 30_000,
+            persist_debounce_ms: 500,
+        }
+    }
+}
+
+/// Retry hint attached to `overloaded` responses.
+const RETRY_AFTER_MS: u64 = 100;
+/// Hard ceiling on client-requested deadlines (a zero or huge deadline is
+/// clamped into sanity).
+const MAX_DEADLINE_MS: u64 = 10 * 60 * 1000;
+/// How long the drain phase waits for in-flight connections.
+const DRAIN_WAIT: Duration = Duration::from_secs(20);
+/// How long an idle worker waits for a job before flushing dirty
+/// sessions to disk. Bounds the crash-loss window of a quiescent daemon
+/// to roughly `persist_debounce_ms + IDLE_FLUSH`.
+const IDLE_FLUSH: Duration = Duration::from_millis(200);
+
+/// Daemon-wide counters, shared by connection threads and workers and
+/// reported by the `stats` op.
+#[derive(Debug, Default)]
+struct ServerStats {
+    requests: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    panics: AtomicU64,
+    sessions: AtomicU64,
+    queued: AtomicU64,
+}
+
+impl ServerStats {
+    fn snapshot_json(&self, workers: usize, queue_depth: usize) -> Value {
+        obj([
+            ("requests", Value::int(self.requests.load(Ordering::Relaxed))),
+            ("shed", Value::int(self.shed.load(Ordering::Relaxed))),
+            (
+                "deadline_expired",
+                Value::int(self.deadline_expired.load(Ordering::Relaxed)),
+            ),
+            ("panics", Value::int(self.panics.load(Ordering::Relaxed))),
+            ("sessions", Value::int(self.sessions.load(Ordering::Relaxed))),
+            ("queued", Value::int(self.queued.load(Ordering::Relaxed))),
+            ("workers", Value::int(workers as u64)),
+            ("queue_depth", Value::int(queue_depth as u64)),
+        ])
+    }
+}
+
+/// Set by SIGTERM/SIGINT (and the `shutdown` op); polled by the accept
+/// loop. Process-global because signal handlers are.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+fn install_signal_handlers() {
+    // std links libc; `signal` is sufficient for a single flag-set handler
+    // (async-signal-safe: one relaxed atomic store).
+    extern "C" fn on_signal(_sig: std::os::raw::c_int) {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+    unsafe extern "C" {
+        fn signal(
+            signum: std::os::raw::c_int,
+            handler: extern "C" fn(std::os::raw::c_int),
+        ) -> usize;
+    }
+    const SIGINT: std::os::raw::c_int = 2;
+    const SIGTERM: std::os::raw::c_int = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// Under `ARAA_SERVE_CHAOS_ABORT=1`, die *at* an injected fault instead of
+/// unwinding into the worker's `catch_unwind` — no `Drop`s run, so lock
+/// files and temp litter survive exactly as in a real crash.
+fn install_chaos_abort_hook() {
+    if std::env::var("ARAA_SERVE_CHAOS_ABORT").as_deref() != Ok("1") {
+        return;
+    }
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if msg.starts_with("fault injected:") {
+            std::process::abort();
+        }
+        prev(info);
+    }));
+}
+
+/// One queued unit of work: the request plus the channel its response goes
+/// back on. The worker *always* sends exactly one response (panics are
+/// converted), so the connection thread can block on `recv`.
+struct Job {
+    req: Request,
+    resp_tx: SyncSender<String>,
+}
+
+fn shard_of(project: &str, workers: usize) -> usize {
+    (fnv1a(project.as_bytes()) % workers as u64) as usize
+}
+
+/// Stable on-disk directory for a project under the cache root. The hash
+/// keeps arbitrary project names filesystem-safe; `project.name` inside
+/// records the original for recovery scans.
+fn project_dir(root: &Path, project: &str) -> PathBuf {
+    root.join(format!("p{:016x}", fnv1a(project.as_bytes())))
+}
+
+/// Discovers projects persisted under `root` (directories carrying a
+/// `project.name` marker) for startup recovery.
+fn scan_projects(root: &Path) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(root) else { return Vec::new() };
+    let mut found = Vec::new();
+    for entry in entries.flatten() {
+        let marker = entry.path().join("project.name");
+        if let Ok(name) = std::fs::read_to_string(&marker) {
+            let name = name.trim().to_string();
+            if !name.is_empty() {
+                found.push(name);
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Runs the daemon until a graceful shutdown completes. Blocks the calling
+/// thread; returns once every session has drained and persisted.
+pub fn run(opts: ServeOptions) -> support::Result<()> {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+    install_signal_handlers();
+    install_chaos_abort_hook();
+    let workers = opts.workers.max(1);
+    let queue_depth = opts.queue_depth.max(1);
+    let stats = Arc::new(ServerStats::default());
+
+    // Recovery scan: every persisted project warms before we listen, so
+    // the first post-crash request is already served from recovered state.
+    let mut initial: Vec<Vec<String>> = vec![Vec::new(); workers];
+    if let Some(root) = &opts.cache_root {
+        std::fs::create_dir_all(root)
+            .map_err(|e| support::Error::io(format!("creating {}", root.display()), e))?;
+        for project in scan_projects(root) {
+            let shard = shard_of(&project, workers);
+            initial[shard].push(project);
+        }
+    }
+
+    let listener = bind_socket(&opts.socket)?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| support::Error::io("socket set_nonblocking".to_string(), e))?;
+
+    // Workers: each owns its shard's sessions for the daemon's lifetime.
+    let mut senders: Vec<SyncSender<Job>> = Vec::with_capacity(workers);
+    let mut handles = Vec::with_capacity(workers);
+    let obs_ctx = obs::current();
+    for (idx, projects) in initial.into_iter().enumerate() {
+        let (tx, rx) = sync_channel::<Job>(queue_depth);
+        senders.push(tx);
+        let opts = opts.clone();
+        let stats = Arc::clone(&stats);
+        let obs_ctx = obs_ctx.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{idx}"))
+                .spawn(move || {
+                    let _obs = obs_ctx.map(obs::attach);
+                    worker_main(rx, &opts, &stats, projects);
+                })
+                .map_err(|e| support::Error::io("spawning worker".to_string(), e))?,
+        );
+    }
+
+    // Accept loop: nonblocking so SIGTERM is observed within one poll tick.
+    let active_conns = Arc::new(AtomicUsize::new(0));
+    loop {
+        if SHUTDOWN.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let senders = senders.clone();
+                let stats = Arc::clone(&stats);
+                let active = Arc::clone(&active_conns);
+                let opts = opts.clone();
+                let obs_ctx = obs::current();
+                active.fetch_add(1, Ordering::Relaxed);
+                let spawned = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || {
+                        let _obs = obs_ctx.map(obs::attach);
+                        handle_connection(stream, &senders, &stats, &opts);
+                        active.fetch_sub(1, Ordering::Relaxed);
+                    });
+                if spawned.is_err() {
+                    active_conns.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // The poll tick is the latency floor for fresh connections
+                // (one-shot CLI clients pay it on every request), so it is
+                // kept short; a few kHz of empty accept() is negligible CPU.
+                std::thread::sleep(Duration::from_micros(250));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+
+    // Drain: let in-flight connections finish (their requests are deadline
+    // bounded), then close the queues so workers persist and exit.
+    let drain_deadline = std::time::Instant::now() + DRAIN_WAIT;
+    while active_conns.load(Ordering::Relaxed) > 0
+        && std::time::Instant::now() < drain_deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(senders);
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = std::fs::remove_file(&opts.socket);
+    Ok(())
+}
+
+/// Binds the listening socket, reclaiming a dead daemon's stale socket
+/// file (connect refused ⇒ no live listener behind it).
+fn bind_socket(path: &Path) -> support::Result<UnixListener> {
+    if path.exists() {
+        match UnixStream::connect(path) {
+            Ok(_) => {
+                return Err(support::Error::Analysis(format!(
+                    "{} already has a live daemon listening",
+                    path.display()
+                )));
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| support::Error::io(format!("creating {}", parent.display()), e))?;
+    }
+    UnixListener::bind(path)
+        .map_err(|e| support::Error::io(format!("binding {}", path.display()), e))
+}
+
+/// How often an idle connection wakes up to observe SHUTDOWN.
+const CONN_POLL: Duration = Duration::from_millis(200);
+
+/// Serves one connection: one response line per request line, in order.
+///
+/// Reads poll with a short timeout so a connection a client holds open but
+/// idle still observes SHUTDOWN and exits — otherwise its clone of the
+/// worker senders would keep the worker queues alive and block the drain
+/// forever.
+fn handle_connection(
+    stream: UnixStream,
+    senders: &[SyncSender<Job>],
+    stats: &ServerStats,
+    opts: &ServeOptions,
+) {
+    if stream.set_read_timeout(Some(CONN_POLL)).is_err() {
+        return;
+    }
+    let Ok(reader_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(reader_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Accumulate one full line; `read_line` keeps partial reads in
+        // `line` across timeouts, so slow writers are never torn.
+        let mut at_eof = false;
+        while !line.ends_with('\n') {
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    at_eof = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if SHUTDOWN.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            let response = dispatch(trimmed, senders, stats, opts);
+            if writer
+                .write_all(response.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                return;
+            }
+        }
+        if at_eof {
+            return;
+        }
+    }
+}
+
+/// Routes one request line to its response line.
+fn dispatch(
+    line: &str,
+    senders: &[SyncSender<Job>],
+    stats: &ServerStats,
+    opts: &ServeOptions,
+) -> String {
+    let req = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err((id, msg)) => {
+            return proto::err_response(id, None, ErrorKind::BadRequest, &msg, None);
+        }
+    };
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    obs::incr(Counter::ServeRequests);
+    match req.op {
+        // Control-plane ops answer inline: they must keep working even
+        // when every worker queue is full.
+        Op::Stats => proto::ok_response(
+            req.id,
+            Op::Stats,
+            stats.snapshot_json(senders.len(), opts.queue_depth.max(1)),
+        ),
+        Op::Shutdown => {
+            SHUTDOWN.store(true, Ordering::Relaxed);
+            proto::ok_response(
+                req.id,
+                Op::Shutdown,
+                obj([("draining", Value::Bool(true))]),
+            )
+        }
+        _ if SHUTDOWN.load(Ordering::Relaxed) => proto::err_response(
+            req.id,
+            Some(req.op),
+            ErrorKind::ShuttingDown,
+            "daemon is draining",
+            Some(RETRY_AFTER_MS),
+        ),
+        _ => {
+            let shard = shard_of(&req.project, senders.len());
+            let (resp_tx, resp_rx) = sync_channel::<String>(1);
+            let (id, op) = (req.id, req.op);
+            match senders[shard].try_send(Job { req, resp_tx }) {
+                Ok(()) => {
+                    stats.queued.fetch_add(1, Ordering::Relaxed);
+                    obs::set_gauge(Gauge::ServeQueueDepth, stats.queued.load(Ordering::Relaxed));
+                    match resp_rx.recv() {
+                        Ok(resp) => resp,
+                        // Worker died (chaos abort in flight): the process
+                        // is going down; answer what we can.
+                        Err(_) => proto::err_response(
+                            id,
+                            Some(op),
+                            ErrorKind::Internal,
+                            "worker terminated mid-request",
+                            None,
+                        ),
+                    }
+                }
+                Err(TrySendError::Full(_)) => {
+                    stats.shed.fetch_add(1, Ordering::Relaxed);
+                    obs::incr(Counter::ServeShed);
+                    proto::err_response(
+                        id,
+                        Some(op),
+                        ErrorKind::Overloaded,
+                        "worker queue full",
+                        Some(RETRY_AFTER_MS),
+                    )
+                }
+                Err(TrySendError::Disconnected(_)) => proto::err_response(
+                    id,
+                    Some(op),
+                    ErrorKind::Internal,
+                    "worker unavailable",
+                    None,
+                ),
+            }
+        }
+    }
+}
+
+/// One shard's session map, warmed from disk where possible.
+struct Shard<'a> {
+    sessions: BTreeMap<String, AnalysisSession>,
+    /// Projects with committed-but-unpersisted work (group commit).
+    dirty: std::collections::BTreeSet<String>,
+    /// Wall time of each project's last successful persist.
+    last_persist: BTreeMap<String, std::time::Instant>,
+    opts: &'a ServeOptions,
+    stats: &'a ServerStats,
+}
+
+impl Shard<'_> {
+    /// Fetches (or creates, warming from disk) the project's session.
+    fn session(&mut self, project: &str) -> &mut AnalysisSession {
+        if !self.sessions.contains_key(project) {
+            let session = match &self.opts.cache_root {
+                Some(root) => {
+                    let dir = project_dir(root, project);
+                    let _ = std::fs::create_dir_all(&dir);
+                    let _ = std::fs::write(dir.join("project.name"), project);
+                    let mut s =
+                        AnalysisSession::with_cache_dir(AnalysisOptions::default(), dir);
+                    s.load();
+                    s
+                }
+                None => AnalysisSession::new(AnalysisOptions::default()),
+            };
+            self.sessions.insert(project.to_string(), session);
+            self.stats.sessions.fetch_add(1, Ordering::Relaxed);
+            obs::set_gauge(
+                Gauge::ServeSessions,
+                self.stats.sessions.load(Ordering::Relaxed),
+            );
+        }
+        self.sessions
+            .get_mut(project)
+            .unwrap_or_else(|| unreachable!("inserted above"))
+    }
+
+    /// Drops a poisoned session; the next request rewarms it from its last
+    /// persisted (pre-poison) state.
+    fn evict(&mut self, project: &str) {
+        self.dirty.remove(project);
+        self.last_persist.remove(project);
+        if self.sessions.remove(project).is_some() {
+            self.stats.sessions.fetch_sub(1, Ordering::Relaxed);
+            obs::set_gauge(
+                Gauge::ServeSessions,
+                self.stats.sessions.load(Ordering::Relaxed),
+            );
+        }
+    }
+
+    /// Group commit, request path: the write marks the project dirty and
+    /// persists inline only when its debounce window has elapsed (always,
+    /// for a never-persisted project — the first commit is the one that
+    /// turns an in-memory session into recoverable state). Persist panics
+    /// propagate to the caller's `catch_unwind`, exactly like a panic in
+    /// the analysis itself.
+    fn note_write(&mut self, project: &str) {
+        self.dirty.insert(project.to_string());
+        let due = match self.last_persist.get(project) {
+            Some(t) => {
+                t.elapsed() >= Duration::from_millis(self.opts.persist_debounce_ms)
+            }
+            None => true,
+        };
+        if due {
+            if let Some(session) = self.sessions.get_mut(project) {
+                session.persist();
+                self.dirty.remove(project);
+                self.last_persist
+                    .insert(project.to_string(), std::time::Instant::now());
+            }
+        }
+    }
+
+    /// Flushes off the request path (idle tick, drain): persists every
+    /// dirty session regardless of its window. There is no request to
+    /// answer here, so a persist panic is contained locally — counted,
+    /// the session evicted — and the remaining sessions still flush.
+    fn flush_dirty(&mut self) {
+        let pending: Vec<String> = self.dirty.iter().cloned().collect();
+        for project in pending {
+            let Some(session) = self.sessions.get_mut(&project) else {
+                self.dirty.remove(&project);
+                continue;
+            };
+            if catch_unwind(AssertUnwindSafe(|| session.persist())).is_ok() {
+                self.dirty.remove(&project);
+                self.last_persist
+                    .insert(project.clone(), std::time::Instant::now());
+            } else {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                obs::incr(Counter::ServePanics);
+                self.evict(&project);
+            }
+        }
+    }
+}
+
+fn worker_main(
+    rx: Receiver<Job>,
+    opts: &ServeOptions,
+    stats: &ServerStats,
+    initial_projects: Vec<String>,
+) {
+    let mut shard = Shard {
+        sessions: BTreeMap::new(),
+        dirty: std::collections::BTreeSet::new(),
+        last_persist: BTreeMap::new(),
+        opts,
+        stats,
+    };
+    // Startup recovery: warm every project persisted by a previous
+    // incarnation. `session()` takes over stale locks and skips
+    // quarantined entries on the way.
+    for project in initial_projects {
+        let _ = shard.session(&project);
+    }
+    loop {
+        match rx.recv_timeout(IDLE_FLUSH) {
+            Ok(job) => {
+                stats.queued.fetch_sub(1, Ordering::Relaxed);
+                obs::set_gauge(Gauge::ServeQueueDepth, stats.queued.load(Ordering::Relaxed));
+                let response = serve_one(&mut shard, &job.req);
+                // A dropped receiver (client hung up) is fine; the work is done.
+                let _ = job.resp_tx.send(response);
+            }
+            // Idle: nobody is waiting on latency, so close the group-commit
+            // window early.
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => shard.flush_dirty(),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Channel closed: graceful drain. Persist every session with
+    // uncommitted work through the store's atomic commit path.
+    shard.flush_dirty();
+}
+
+/// Executes one request under its deadline, with panic containment.
+fn serve_one(shard: &mut Shard<'_>, req: &Request) -> String {
+    let deadline_ms = req
+        .deadline_ms
+        .unwrap_or(shard.opts.default_deadline_ms)
+        .clamp(1, MAX_DEADLINE_MS);
+    let token = DeadlineToken::after(Duration::from_millis(deadline_ms));
+    let _scope = deadline::enter(Arc::clone(&token));
+    let outcome = catch_unwind(AssertUnwindSafe(|| handle_request(shard, req)));
+    let expired = token.expired_now();
+    if expired {
+        shard.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        obs::incr(Counter::ServeDeadlineExpired);
+    }
+    match outcome {
+        Ok(Ok(mut result)) => {
+            if let Value::Obj(map) = &mut result {
+                map.insert("deadline_expired".to_string(), Value::Bool(expired));
+            }
+            proto::ok_response(req.id, req.op, result)
+        }
+        Ok(Err((kind, msg))) => proto::err_response(req.id, Some(req.op), kind, &msg, None),
+        Err(payload) => {
+            // Contained panic: reset this project only; all other sessions
+            // (and this worker) keep serving.
+            shard.stats.panics.fetch_add(1, Ordering::Relaxed);
+            obs::incr(Counter::ServePanics);
+            shard.evict(&req.project);
+            let msg = ipa::isolate::panic_message(payload.as_ref());
+            proto::err_response(
+                req.id,
+                Some(req.op),
+                ErrorKind::Panic,
+                &format!("request handler panicked (session reset): {msg}"),
+                None,
+            )
+        }
+    }
+}
+
+type HandlerResult = Result<Value, (ErrorKind, String)>;
+
+fn handle_request(shard: &mut Shard<'_>, req: &Request) -> HandlerResult {
+    match req.op {
+        Op::Analyze | Op::Reanalyze => {
+            if req.op == Op::Reanalyze && !shard.sessions.contains_key(&req.project) {
+                return Err((
+                    ErrorKind::BadRequest,
+                    format!("reanalyze: unknown project `{}`", req.project),
+                ));
+            }
+            let sources: Vec<SourceFile> = req
+                .sources
+                .iter()
+                .map(|s| {
+                    SourceFile::new(
+                        &s.name,
+                        &s.text,
+                        if s.fortran { Lang::Fortran } else { Lang::C },
+                    )
+                })
+                .collect();
+            let session = shard.session(&req.project);
+            let delta = session
+                .update(sources)
+                .map_err(|e| (ErrorKind::BadRequest, format!("analysis failed: {e}")))?;
+            let analysis = session
+                .analysis()
+                .ok_or_else(|| (ErrorKind::Internal, "no analysis state".to_string()))?;
+            let result = obj([
+                ("procedures", Value::int(analysis.program.procedure_count() as u64)),
+                ("rows", Value::int(analysis.rows.len() as u64)),
+                ("degraded", Value::Bool(!analysis.degradations.is_empty())),
+                (
+                    "degradations",
+                    Value::Arr(
+                        analysis
+                            .degradations
+                            .iter()
+                            .map(|d| Value::str(d.to_string()))
+                            .collect(),
+                    ),
+                ),
+                ("summaries_recomputed", Value::int(delta.summaries_recomputed.len() as u64)),
+                ("summary_cache_hits", Value::int(delta.summary_cache_hits as u64)),
+                ("files_reparsed", Value::int(delta.files_reparsed as u64)),
+                ("rows_changed", Value::int(delta.rows_changed as u64)),
+            ]);
+            // Group commit: durable now (first commit, or window elapsed)
+            // or within one debounce window via the idle flush / drain.
+            shard.note_write(&req.project);
+            Ok(result)
+        }
+        Op::Lint => {
+            let Some(session) = shard.sessions.get(&req.project) else {
+                return Err((
+                    ErrorKind::BadRequest,
+                    format!("lint: unknown project `{}` (analyze first)", req.project),
+                ));
+            };
+            let analysis = session
+                .analysis()
+                .ok_or_else(|| {
+                    (
+                        ErrorKind::BadRequest,
+                        format!("lint: project `{}` has no analysis yet", req.project),
+                    )
+                })?;
+            let report = lint::run(analysis, &lint::LintOptions { threads: 1 });
+            Ok(obj([
+                ("definite", Value::int(report.definite_count() as u64)),
+                ("possible", Value::int(report.possible_count() as u64)),
+                ("degraded", Value::Bool(!report.degradations.is_empty())),
+                (
+                    "findings",
+                    Value::Arr(
+                        report
+                            .findings
+                            .iter()
+                            .map(|f| {
+                                obj([
+                                    ("rule", Value::str(f.rule.id())),
+                                    ("severity", Value::str(f.severity.name())),
+                                    ("file", Value::str(&f.file)),
+                                    ("line", Value::int(u64::from(f.line))),
+                                    ("proc", Value::str(&f.proc)),
+                                    ("array", Value::str(&f.array)),
+                                    ("message", Value::str(&f.message)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]))
+        }
+        Op::QueryRgn => {
+            let Some(session) = shard.sessions.get(&req.project) else {
+                return Err((
+                    ErrorKind::BadRequest,
+                    format!("query-rgn: unknown project `{}`", req.project),
+                ));
+            };
+            let analysis = session.analysis().ok_or_else(|| {
+                (
+                    ErrorKind::BadRequest,
+                    format!("query-rgn: project `{}` has no analysis yet", req.project),
+                )
+            })?;
+            Ok(obj([("rgn", Value::str(araa::rgn::write_rgn(&analysis.rows)))]))
+        }
+        // Handled inline by the connection thread; reaching a worker is a
+        // routing bug.
+        Op::Stats | Op::Shutdown => {
+            Err((ErrorKind::Internal, "control op routed to worker".to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_is_stable_and_in_range() {
+        for w in 1..8 {
+            for p in ["default", "alpha", "a/b/c", "x"] {
+                let s = shard_of(p, w);
+                assert!(s < w);
+                assert_eq!(s, shard_of(p, w), "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn project_dirs_are_filesystem_safe() {
+        let root = Path::new("/tmp/araa");
+        let d = project_dir(root, "weird/../name with spaces");
+        let leaf = d.file_name().unwrap_or_default().to_string_lossy().into_owned();
+        assert!(leaf.starts_with('p') && leaf.len() == 17, "got {leaf}");
+        assert!(!leaf.contains('/') && !leaf.contains(' '));
+    }
+
+    #[test]
+    fn scan_recovers_marker_dirs_only() {
+        let root = std::env::temp_dir().join(format!("araa_scan_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let a = project_dir(&root, "proj-a");
+        std::fs::create_dir_all(&a).unwrap();
+        std::fs::write(a.join("project.name"), "proj-a\n").unwrap();
+        std::fs::create_dir_all(root.join("unrelated")).unwrap();
+        assert_eq!(scan_projects(&root), vec!["proj-a".to_string()]);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -568,3 +568,59 @@ fn lint_sarif_fault_keeps_findings_end_to_end() {
     assert!(stderr.contains("SARIF emission failed"), "{stderr}");
     assert!(!sarif.exists(), "no partial artifact may land");
 }
+
+// ---------------------------------------------------------------------------
+// Global `--timeout` (wall-clock deadline for any command)
+
+#[test]
+fn timeout_far_in_the_future_changes_nothing() {
+    let out = dragon().args(["--timeout", "300", "demo", "matrix"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("aarr"));
+}
+
+#[test]
+fn timeout_rejects_nonpositive_values() {
+    let out = dragon().args(["--timeout", "0", "demo", "matrix"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "zero timeout is a usage error");
+    let out = dragon().args(["--timeout", "nope", "demo", "matrix"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The headline `--timeout` contract: a wedged analysis (the `stall::ipl`
+/// faultpoint spins ~8 s inside one summarize) degrades to exit 1 within
+/// the deadline instead of hanging — and says why on stderr.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn timeout_degrades_wedged_analysis_instead_of_hanging() {
+    let src = write_temp(
+        "stall.f",
+        "program main\n  real a(6)\n  common /g/ a\n  integer i\n  do i = 1, 6\n    a(i) = 0.0\n  end do\nend\n",
+    );
+    let dir = support::testdir::TestDir::new("dragon-cli-timeout");
+    let t0 = std::time::Instant::now();
+    let out = dragon()
+        .env("ARAA_FAULTPOINT", "stall::ipl:1")
+        .args([
+            "--timeout",
+            "1",
+            "analyze",
+            src.to_str().unwrap(),
+            "--out",
+            dir.path().to_str().unwrap(),
+            "--stem",
+            "stall",
+        ])
+        .output()
+        .unwrap();
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(6),
+        "--timeout 1 must cut the ~8 s stall short, took {elapsed:?}"
+    );
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--timeout: deadline expired"), "{stderr}");
+    // Degraded, not dead: the artifacts still land.
+    assert!(dir.join("stall.rgn").exists(), "degraded run still writes artifacts");
+}

@@ -197,6 +197,18 @@ struct Walker<'a> {
 /// Summarizes one procedure (must be at H level).
 pub fn summarize_procedure(program: &Program, proc_id: ProcId) -> ProcSummary {
     support::faultpoint::hit("ipl::summarize");
+    // A *stall* fault: simulates a wedged solve by spinning until the
+    // budget (or an expired deadline, which denies every charge) cuts it
+    // off — exercising the "stuck work degrades within its deadline"
+    // guarantee end-to-end. Bounded even without a deadline: each spin
+    // charges real FM steps, so the default budget stops it too.
+    if support::faultpoint::fires("stall::ipl") {
+        // ~8 s at the default 2M-step budget; a shorter deadline cuts it
+        // off proportionally earlier.
+        while support::budget::charge_steps(256) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
     let proc = program.procedure(proc_id);
     debug_assert_eq!(proc.level, whirl::Level::High, "IPL runs on H WHIRL");
     let mut w = Walker { program, proc, proc_id, nest: Vec::new(), out: Vec::new() };

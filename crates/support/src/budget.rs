@@ -131,6 +131,13 @@ pub fn enter(config: BudgetConfig) -> BudgetScope {
 }
 
 fn charge(n: u64, pick: impl Fn(&mut State) -> &mut u64, label: &'static str) -> bool {
+    // Wall-clock deadlines piggyback on the work checkpoints: an expired
+    // deadline denies every further charge, so the phase widens exactly as
+    // if its budget ran dry. Checked first so it works without a scope too.
+    if crate::deadline::expired_fast() {
+        note_exhausted("deadline");
+        return false;
+    }
     ACTIVE.with(|a| {
         let mut b = a.borrow_mut();
         let Some(state) = b.as_mut() else { return true };
@@ -210,6 +217,10 @@ impl Drop for RecursionGuard {
 /// the caller should surface a "nesting too deep" error instead of
 /// recursing further (and risking an uncatchable stack overflow).
 pub fn recursion_guard() -> Option<RecursionGuard> {
+    if crate::deadline::expired_fast() {
+        note_exhausted("deadline");
+        return None;
+    }
     let limit = ACTIVE.with(|a| {
         a.borrow()
             .as_ref()

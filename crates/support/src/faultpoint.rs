@@ -14,6 +14,8 @@
 //! | name                    | fires in                                      |
 //! |-------------------------|-----------------------------------------------|
 //! | `ipl::summarize`        | `ipa::local::summarize_procedure`             |
+//! | `stall::ipl`            | `summarize_procedure` (spins until budget or  |
+//! |                         | deadline denies charges — a data fault)       |
 //! | `ipa::translate`        | `ipa::propagate::translate_record`            |
 //! | `fm::eliminate`         | `regions::fourier_motzkin::eliminate`         |
 //! | `extract::rows`         | `araa::extract` per-procedure rows            |

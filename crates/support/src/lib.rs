@@ -8,11 +8,13 @@
 
 pub mod budget;
 pub mod csv;
+pub mod deadline;
 pub mod error;
 pub mod faultpoint;
 pub mod hash;
 pub mod idx;
 pub mod intern;
+pub mod json;
 pub mod obs;
 pub mod persist;
 pub mod table;

@@ -125,6 +125,18 @@ catalog! {
         StoreRejected => "store.rejected",
         /// Files moved into `quarantine/`.
         QuarantineEvents => "quarantine.events",
+        /// Quarantined files evicted by the oldest-first cap GC.
+        QuarantineEvicted => "quarantine.evicted",
+        /// Stale `.araa-tmp` files swept (lock acquire, stale takeover).
+        TmpSwept => "persist.tmp_swept",
+        /// Requests accepted by the serve daemon (all ops).
+        ServeRequests => "serve.requests",
+        /// Requests shed by admission control (`overloaded` responses).
+        ServeShed => "serve.shed",
+        /// Requests whose deadline expired (degraded responses).
+        ServeDeadlineExpired => "serve.deadline_expired",
+        /// Worker panics contained by per-request isolation.
+        ServePanics => "serve.panics",
         /// Armed faultpoints that fired (only under `fault-injection`).
         FaultpointTrips => "faultpoint.trips",
         /// Fourier–Motzkin variable eliminations performed.
@@ -166,6 +178,10 @@ catalog! {
         SessionDegradations => "session.degradations",
         /// Entry files referenced by the manifest at the last save.
         StoreEntries => "store.entries",
+        /// Warm sessions resident in the serve daemon.
+        ServeSessions => "serve.sessions",
+        /// Requests queued across serve workers (admission-control depth).
+        ServeQueueDepth => "serve.queue_depth",
     }
 }
 

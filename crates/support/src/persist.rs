@@ -676,7 +676,73 @@ pub fn cleanup_stale_tmp(dir: &Path) -> usize {
             swept += 1;
         }
     }
+    if swept > 0 {
+        crate::obs::add(crate::obs::Counter::TmpSwept, swept as u64);
+    }
     swept
+}
+
+/// Maximum number of files kept in a `quarantine/` directory. Quarantine
+/// exists so corrupt artifacts stay inspectable, not as an archive: once
+/// the cap is exceeded, [`quarantine_file`] evicts oldest-first (by mtime,
+/// then name). Callers already hold the store's [`DirLock`], so the GC
+/// never races another process on the same cache.
+pub const QUARANTINE_MAX_FILES: usize = 64;
+
+/// Byte-size ceiling for a `quarantine/` directory, enforced alongside the
+/// file-count cap with the same oldest-first policy.
+pub const QUARANTINE_MAX_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Count and total byte size of a store's `quarantine/` directory (for
+/// `dragon cache stats`). `(0, 0)` when there is no quarantine yet.
+pub fn quarantine_usage(store_dir: &Path) -> (usize, u64) {
+    let qdir = store_dir.join("quarantine");
+    let Ok(entries) = std::fs::read_dir(&qdir) else { return (0, 0) };
+    let mut count = 0usize;
+    let mut bytes = 0u64;
+    for entry in entries.flatten() {
+        let Ok(meta) = entry.metadata() else { continue };
+        if meta.is_file() {
+            count += 1;
+            bytes += meta.len();
+        }
+    }
+    (count, bytes)
+}
+
+/// Evicts oldest quarantined files until `qdir` is back under both caps.
+/// Returns how many files were removed.
+fn quarantine_gc(qdir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(qdir) else { return 0 };
+    // (mtime, name, path, len) — name as tie-break keeps eviction order
+    // deterministic on coarse-mtime filesystems.
+    let mut files: Vec<(std::time::SystemTime, std::ffi::OsString, PathBuf, u64)> = Vec::new();
+    for entry in entries.flatten() {
+        let Ok(meta) = entry.metadata() else { continue };
+        if !meta.is_file() {
+            continue;
+        }
+        let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+        files.push((mtime, entry.file_name(), entry.path(), meta.len()));
+    }
+    files.sort();
+    let mut total: u64 = files.iter().map(|f| f.3).sum();
+    let mut count = files.len();
+    let mut evicted = 0;
+    for (_, _, path, len) in files {
+        if count <= QUARANTINE_MAX_FILES && total <= QUARANTINE_MAX_BYTES {
+            break;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            evicted += 1;
+            count -= 1;
+            total = total.saturating_sub(len);
+        }
+    }
+    if evicted > 0 {
+        crate::obs::add(crate::obs::Counter::QuarantineEvicted, evicted as u64);
+    }
+    evicted
 }
 
 /// Moves `path` aside into `<dir>/quarantine/<name>.<suffix>[.N]` instead
@@ -705,6 +771,9 @@ pub fn quarantine_file(path: &Path, suffix: &str) -> Result<PathBuf> {
         Error::io(format!("quarantining {} to {}", path.display(), dest.display()), e)
     })?;
     crate::obs::incr(crate::obs::Counter::QuarantineEvents);
+    // Keep quarantine bounded: evict oldest entries beyond the caps. The
+    // just-quarantined file is the newest, so it always survives its own GC.
+    quarantine_gc(&qdir);
     Ok(dest)
 }
 
@@ -815,6 +884,10 @@ impl DirLock {
                         if stale {
                             let _ = std::fs::remove_file(&path);
                             acquired = Acquired::TookOverStale;
+                            // The dead owner may have crashed mid-write:
+                            // sweep its temp litter right at takeover, not
+                            // just on the (racy) re-acquire that follows.
+                            cleanup_stale_tmp(dir);
                             continue;
                         }
                     }
@@ -950,6 +1023,89 @@ mod tests {
         std::fs::write(&p, b"corrupt2").unwrap();
         let dest2 = quarantine_file(&p, "checksum").unwrap();
         assert_ne!(dest, dest2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_cap_evicts_oldest_first() {
+        let dir = tmp_dir("persist_quar_cap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qdir = dir.join("quarantine");
+        std::fs::create_dir_all(&qdir).unwrap();
+        // Pre-fill the quarantine to exactly the cap with files whose
+        // mtimes tick upward, oldest = old000.
+        for i in 0..QUARANTINE_MAX_FILES {
+            let p = qdir.join(format!("old{i:03}.bin"));
+            std::fs::write(&p, b"stale").unwrap();
+            let t = std::time::SystemTime::now() - Duration::from_secs(1000 - i as u64);
+            let f = std::fs::File::open(&p).unwrap();
+            f.set_modified(t).unwrap();
+        }
+        // One more quarantine pushes it over: the oldest goes, the newest
+        // (just-quarantined) file survives.
+        let victim = dir.join("fresh.bin");
+        std::fs::write(&victim, b"corrupt").unwrap();
+        let dest = quarantine_file(&victim, "checksum").unwrap();
+        let (count, bytes) = quarantine_usage(&dir);
+        assert_eq!(count, QUARANTINE_MAX_FILES, "back at the cap after GC");
+        assert!(bytes <= QUARANTINE_MAX_BYTES);
+        assert!(dest.exists(), "newest entry survives its own GC");
+        assert!(!qdir.join("old000.bin").exists(), "oldest evicted");
+        assert!(qdir.join("old001.bin").exists(), "only the overflow evicted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_byte_cap_evicts_oldest_first() {
+        let dir = tmp_dir("persist_quar_bytes");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qdir = dir.join("quarantine");
+        std::fs::create_dir_all(&qdir).unwrap();
+        // Two huge old files put the directory over the byte cap even
+        // though the count is tiny.
+        let big = vec![0u8; (QUARANTINE_MAX_BYTES / 2 + 1024) as usize];
+        for (i, name) in ["huge_a.bin", "huge_b.bin"].iter().enumerate() {
+            let p = qdir.join(name);
+            std::fs::write(&p, &big).unwrap();
+            let t = std::time::SystemTime::now() - Duration::from_secs(100 - i as u64);
+            std::fs::File::open(&p).unwrap().set_modified(t).unwrap();
+        }
+        let victim = dir.join("small.bin");
+        std::fs::write(&victim, b"corrupt").unwrap();
+        let dest = quarantine_file(&victim, "checksum").unwrap();
+        let (_, bytes) = quarantine_usage(&dir);
+        assert!(bytes <= QUARANTINE_MAX_BYTES, "byte cap enforced, got {bytes}");
+        assert!(dest.exists());
+        assert!(!qdir.join("huge_a.bin").exists(), "oldest big file evicted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_usage_empty_when_missing() {
+        let dir = tmp_dir("persist_quar_none");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(quarantine_usage(&dir), (0, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_takeover_sweeps_crashed_writer_tmp() {
+        let dir = tmp_dir("persist_takeover_sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Simulate a writer that died mid-commit: stale lock + temp litter.
+        std::fs::write(dir.join(LOCK_FILE), b"4000000000\n").unwrap();
+        std::fs::write(dir.join(format!("entry{TMP_MARKER}.123.7")), b"partial").unwrap();
+        std::fs::write(dir.join("manifest.araa"), b"committed").unwrap();
+        let lock = DirLock::acquire(&dir, Duration::from_millis(200)).unwrap();
+        assert_eq!(lock.acquired, Acquired::TookOverStale);
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(TMP_MARKER))
+            .collect();
+        assert!(litter.is_empty(), "takeover must sweep temp litter: {litter:?}");
+        assert!(dir.join("manifest.araa").exists(), "committed data untouched");
+        drop(lock);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate BENCH_serve.json, the `dragon serve` load-harness report.
+
+Usage: check_bench_serve.py [REPORT] [--baseline BENCH_session.json]
+                            [--schemas DIR]
+
+Checks, stdlib only (CI runners install nothing):
+  1. the report is valid JSON conforming to schemas/bench_serve.schema.json;
+  2. internal accounting balances: every load/overload request is
+     classified exactly once (ok + shed + deadline_expired + errors ==
+     requests) and the latency percentiles are monotone (p50 <= p95 <=
+     p99 <= max);
+  3. the load phase completed healthy — zero transport-level errors
+     (overload is a structured response, never a dropped connection);
+  4. admission control demonstrably engaged in the overload phase
+     (shed >= 1 against the one-worker, depth-one daemon);
+  5. the serving-overhead budget holds: warm reanalyze p50 over the
+     socket is at most 2x the in-process session baseline
+     (warm_noop + warm_one_proc_edit medians from BENCH_session.json,
+     section session_warm/mini_lu).
+
+Exit 0 on success; prints the first failure and exits 1 otherwise.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_serve: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(value, schema, where: str) -> None:
+    """Validates the JSON-Schema subset the checked-in schemas use."""
+    ty = schema.get("type")
+    if ty == "object":
+        if not isinstance(value, dict):
+            fail(f"{where}: expected object, got {type(value).__name__}")
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(f"{where}: missing required key `{key}`")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{where}.{key}")
+    elif ty == "string":
+        if not isinstance(value, str):
+            fail(f"{where}: expected string, got {type(value).__name__}")
+    elif ty == "integer":
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(f"{where}: expected integer, got {type(value).__name__}")
+    if "enum" in schema and value not in schema["enum"]:
+        fail(f"{where}: value {value!r} not in {schema['enum']}")
+
+
+def check_balance(section: dict, keys: list, where: str) -> None:
+    total = sum(section[k] for k in keys)
+    if total != section["requests"]:
+        fail(
+            f"{where}: outcomes {'+'.join(keys)} = {total} "
+            f"!= requests = {section['requests']}"
+        )
+
+
+def baseline_warm_ns(path: Path) -> int:
+    """Sum of the in-process warm medians from BENCH_session.json."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: cannot read baseline: {e}")
+    entries = doc.get("sections", {}).get("session_warm/mini_lu")
+    if not entries:
+        fail(f"{path}: missing section `session_warm/mini_lu`")
+    medians = {e["name"]: e["median_ns"] for e in entries}
+    for name in ("warm_noop", "warm_one_proc_edit"):
+        if name not in medians:
+            fail(f"{path}: section session_warm/mini_lu lacks `{name}`")
+    return medians["warm_noop"] + medians["warm_one_proc_edit"]
+
+
+def main(argv: list) -> None:
+    report_path = Path("BENCH_serve.json")
+    baseline_path = Path("BENCH_session.json")
+    schemas = Path(__file__).resolve().parent.parent / "schemas"
+    args = argv[1:]
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--schemas":
+            i += 1
+            schemas = Path(args[i])
+        elif args[i] == "--baseline":
+            i += 1
+            baseline_path = Path(args[i])
+        else:
+            positional.append(args[i])
+        i += 1
+    if positional:
+        report_path = Path(positional[0])
+
+    try:
+        doc = json.loads(report_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{report_path}: cannot read report: {e}")
+    schema = json.loads((schemas / "bench_serve.schema.json").read_text(encoding="utf-8"))
+    validate(doc, schema, "report")
+
+    load = doc["load"]
+    check_balance(load, ["ok", "shed", "deadline_expired", "errors"], "load")
+    lat = load["latency_ns"]
+    if not lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]:
+        fail(f"load.latency_ns: percentiles not monotone: {lat}")
+    if load["ok"] == 0:
+        fail("load: no successful requests at all")
+    if load["errors"] != 0:
+        fail(
+            f"load: {load['errors']} transport-level error(s) — overload "
+            "must be a structured response, never a dropped connection"
+        )
+
+    over = doc["overload"]
+    check_balance(over, ["ok", "shed", "errors"], "overload")
+    if over["errors"] != 0:
+        fail(f"overload: {over['errors']} dropped request(s)")
+    if over["shed"] < 1:
+        fail("overload: burst against a depth-one queue shed nothing — admission control is not engaging")
+
+    budget = 2 * baseline_warm_ns(baseline_path)
+    warm = doc["warm"]["reanalyze_p50_ns"]
+    if warm > budget:
+        fail(
+            f"warm.reanalyze_p50_ns = {warm} ns exceeds the serving budget "
+            f"of 2x in-process warm baseline = {budget} ns"
+        )
+
+    print(
+        f"{report_path}: schema ok; load {load['requests']} req "
+        f"(p50 {lat['p50']} ns, {load['shed']} shed); overload shed "
+        f"{over['shed']}/{over['requests']}; warm reanalyze p50 {warm} ns "
+        f"<= budget {budget} ns"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)
