@@ -36,6 +36,17 @@ use std::time::{Duration, Instant};
 use support::json::{obj, Value};
 use support::testdir::TestDir;
 
+// The daemon binary installs the counting allocator; the in-process bench
+// daemon must too, or per-request memory accounting would never move and
+// the reported high-water mark would be a meaningless zero.
+#[global_allocator]
+static ALLOC: support::obs::alloc::CountingAllocator<std::alloc::System> =
+    support::obs::alloc::CountingAllocator::new(std::alloc::System);
+
+/// Per-request memory budget the load daemon runs with; the report's
+/// `mem_high_water_bytes` is validated against it by the checker.
+const MEM_BUDGET_MB: u64 = 256;
+
 // ---------------------------------------------------------------------
 // Fixture: the three-procedure program the session tests use, in two
 // variants differing in one loop bound of `leaf`, so alternating
@@ -240,12 +251,14 @@ struct LoadReport {
     warm_query_p50: u128,
     workers: usize,
     queue_depth: usize,
+    mem_high_water_bytes: u64,
 }
 
 fn run_load_phase(dir: &Path) -> LoadReport {
     let opts = ServeOptions {
         socket: dir.join("load.sock"),
         cache_root: Some(dir.join("cache")),
+        mem_budget_mb: Some(MEM_BUDGET_MB),
         ..ServeOptions::default()
     };
     let (workers, queue_depth) = (opts.workers, opts.queue_depth);
@@ -311,6 +324,16 @@ fn run_load_phase(dir: &Path) -> LoadReport {
         assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true), "{}", resp.render());
     }
 
+    // The supervisor tracked every budgeted request's allocation bill; the
+    // health op reports the maximum — the number the checker holds against
+    // the configured budget.
+    let health = serve::client::call(&o, &plain_req(0, "health", "load-0")).expect("health");
+    let mem_high_water_bytes = health
+        .get("result")
+        .and_then(|r| r.get("mem_high_water_bytes"))
+        .and_then(Value::as_u64)
+        .expect("health reports mem_high_water_bytes");
+
     d.shutdown();
     LoadReport {
         requests: (LOAD_CLIENTS * LOAD_REQS_PER_CLIENT) as u64,
@@ -320,6 +343,7 @@ fn run_load_phase(dir: &Path) -> LoadReport {
         warm_query_p50: median(query),
         workers,
         queue_depth,
+        mem_high_water_bytes,
     }
 }
 
@@ -389,11 +413,13 @@ fn manual_report(path: &Path) {
     let lat = &load.latencies;
     let out = format!(
         r#"{{
-  "schema": 1,
+  "schema": 2,
   "commit": "{commit}",
   "date": "{date}",
   "workers": {workers},
   "queue_depth": {queue_depth},
+  "mem_budget_mb": {mem_budget},
+  "mem_high_water_bytes": {mem_high},
   "load": {{
     "requests": {l_req},
     "clients": {clients},
@@ -422,6 +448,8 @@ fn manual_report(path: &Path) {
         date = support::obs::json_escape(&date),
         workers = load.workers,
         queue_depth = load.queue_depth,
+        mem_budget = MEM_BUDGET_MB,
+        mem_high = load.mem_high_water_bytes,
         l_req = load.requests,
         clients = LOAD_CLIENTS,
         l_ok = load.outcomes.ok.load(Ordering::Relaxed),

@@ -44,6 +44,12 @@ pub struct AnalysisOptions {
     /// Resource budgets bounding each per-procedure analysis. Exhaustion
     /// widens regions conservatively instead of failing.
     pub budget: BudgetConfig,
+    /// Allocation ceiling for one update, in mebibytes (`None` =
+    /// unlimited). Charged at the same checkpoints as `budget`; exhaustion
+    /// widens the remaining regions conservatively and records a
+    /// `memory`-stage [`Degradation`]. Accounting only moves when a
+    /// counting global allocator is installed (the `dragon` binary does).
+    pub mem_budget_mb: Option<u64>,
 }
 
 impl Default for AnalysisOptions {
@@ -53,6 +59,7 @@ impl Default for AnalysisOptions {
             include_propagated: true,
             threads: 1,
             budget: BudgetConfig::default(),
+            mem_budget_mb: None,
         }
     }
 }
@@ -96,6 +103,12 @@ impl AnalysisOptionsBuilder {
         self
     }
 
+    /// Allocation ceiling for one update, in mebibytes (`None` = unlimited).
+    pub fn mem_budget_mb(mut self, mb: Option<u64>) -> Self {
+        self.opts.mem_budget_mb = mb;
+        self
+    }
+
     /// Finalizes the options.
     pub fn build(self) -> AnalysisOptions {
         self.opts
@@ -110,8 +123,8 @@ pub struct Degradation {
     /// The affected procedure's display name, or a `(...)`-wrapped pass
     /// name for failures not attributable to one procedure.
     pub proc: String,
-    /// The stage that degraded: `parse`, `sema`, `ipl`, `budget`, `ipa`, or
-    /// `extract`.
+    /// The stage that degraded: `parse`, `sema`, `ipl`, `budget`,
+    /// `memory`, `ipa`, `extract`, or `lint`.
     pub stage: String,
     /// Human-readable cause.
     pub detail: String,

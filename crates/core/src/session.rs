@@ -112,6 +112,10 @@ struct SessionState {
     extract_env: Option<u64>,
     /// Ordered content keys of the source set this state was built from.
     file_keys: Vec<u64>,
+    /// Built while the effective memory budget was exhausted: the answer
+    /// is sound but environmentally widened. Served once, never reused by
+    /// the fast path, never persisted; the next update recomputes cold.
+    tainted: bool,
     /// The source set itself, retained so the state can be persisted (the
     /// on-disk cache stores sources and re-derives the program from them).
     sources: Vec<SourceFile>,
@@ -214,7 +218,7 @@ impl AnalysisSession {
         // same order, same text) reassembles to a bit-identical program, so
         // the retained state already *is* the answer.
         if let Some(p) = &self.state {
-            if keys == p.file_keys {
+            if keys == p.file_keys && !p.tainted {
                 delta.files_cached = sources.len();
                 delta.summary_cache_hits = p.analysis.program.procedure_count();
                 delta.rows_reused = p.analysis.rows.len();
@@ -229,6 +233,29 @@ impl AnalysisSession {
                 return Ok(delta);
             }
         }
+
+        // A previous update that ran out of memory budget left widened
+        // summaries and possibly truncated parses behind. Sound to serve,
+        // wrong to build on: drop the state *and* the parse cache it
+        // poisoned so this update recomputes from scratch.
+        if self.state.as_ref().is_some_and(|p| p.tainted) {
+            if let Some(old) = self.state.take() {
+                if let Some(tx) = &self.graveyard {
+                    if let Err(back) = tx.send(old) {
+                        self.graveyard = None;
+                        drop(back.0);
+                    }
+                }
+            }
+            self.file_cache.clear();
+        }
+
+        // Memory budget for this update (`None` = unlimited): charged at
+        // the same checkpoints as the step budgets, so every phase below
+        // widens instead of allocating past the ceiling. Worker threads
+        // re-enter the same budget via `support::memory::current()`.
+        let mem = self.opts.mem_budget_mb.map(support::memory::MemoryBudget::mb);
+        let _mem_scope = mem.clone().map(support::memory::enter);
 
         // 1. Parse, reusing cached per-file parses for unchanged text.
         let parse_span = support::obs::span("session.parse");
@@ -261,8 +288,20 @@ impl AnalysisSession {
                 Ok(out) => out,
                 Err(e) => {
                     // Keep the parses (they are valid) so the next attempt's
-                    // cache is no worse than before this failed one.
-                    self.file_cache.extend(next_cache);
+                    // cache is no worse than before this failed one — unless
+                    // the effective memory budget is exhausted: then they may
+                    // be budget-truncated, and caching them would replay this
+                    // failure even after the caller raises the budget. Drop
+                    // everything so the retry reparses cold.
+                    let mem_exhausted = mem
+                        .clone()
+                        .or_else(support::memory::current)
+                        .is_some_and(|b| b.exhausted());
+                    if mem_exhausted {
+                        self.file_cache.clear();
+                    } else {
+                        self.file_cache.extend(next_cache);
+                    }
                     return Err(e);
                 }
             };
@@ -620,6 +659,31 @@ impl AnalysisSession {
             }
             None => delta.rows_added = rows.len(),
         }
+        // The effective budget may be the session's own (`mem`) or an
+        // ambient scope entered by the caller (e.g. a serve request): both
+        // widen at the same checkpoints, so exhaustion of either must show
+        // up as a structured degradation — and taint the retained state so
+        // nothing widened-by-circumstance is ever reused or persisted.
+        let effective_mem = mem.clone().or_else(support::memory::current);
+        let tainted = effective_mem.as_ref().is_some_and(|b| b.exhausted());
+        if let Some(b) = effective_mem.filter(|b| b.exhausted()) {
+            degradations.push(Degradation {
+                proc: "(session)".to_string(),
+                stage: "memory".to_string(),
+                detail: format!(
+                    "memory budget of {} MiB exhausted; results widened conservatively",
+                    b.limit_bytes() >> 20
+                ),
+            });
+        }
+        // Observability accounting only for the session-owned budget; an
+        // ambient budget's owner (the serve layer) bills it itself.
+        if let Some(b) = &mem {
+            support::obs::add(support::obs::Counter::MemBytesCharged, b.charged_bytes());
+            if b.exhausted() {
+                support::obs::incr(support::obs::Counter::MemExhausted);
+            }
+        }
         delta.degradations = degradations.clone();
         record_update_obs(&delta, cache_rejects, cache_rebases, n as u64, rows.len() as u64);
         let by_hash = fps
@@ -639,6 +703,7 @@ impl AnalysisSession {
             extract_env,
             file_keys: keys,
             sources,
+            tainted,
         });
         // Ship the displaced state to the dropper thread; if that fails
         // (thread gone, or it never spawned) just drop inline.

@@ -874,6 +874,10 @@ impl AnalysisSession {
             extract_env: manifest.extract_env,
             file_keys,
             sources: manifest.sources,
+            // Loaded states were re-derived just now, under no budget of
+            // their own; tainted states are never persisted in the first
+            // place (see `persist`).
+            tainted: false,
         };
         if let Some(old) = self.state.replace(state) {
             if let Some(tx) = &self.graveyard {
@@ -894,6 +898,12 @@ impl AnalysisSession {
     pub fn persist(&mut self) -> bool {
         let Some(store) = self.store.clone() else { return false };
         let Some(state) = &self.state else { return false };
+        // Memory-exhausted results are environmentally widened; writing
+        // them out would replace a good on-disk state with conservative
+        // junk that outlives the exhaustion.
+        if state.tainted {
+            return false;
+        }
         match store.save_state(state) {
             Ok(()) => true,
             Err(e) => {

@@ -59,13 +59,20 @@ fn usage() -> ! {
          \x20 cache <stats|verify|clear>   (requires --cache-dir)\n\
          \x20 serve --socket PATH [--cache-root DIR] [--workers N]\n\
          \x20       [--queue-depth N] [--deadline-ms N] [--persist-debounce-ms N]\n\
-         \x20 client --socket PATH <op> [--project NAME] [--deadline-ms N]\n\
+         \x20       [--max-connections N] [--max-frame-bytes N] [--io-timeout-ms N]\n\
+         \x20       [--heartbeat-grace-ms N] [--circuit-threshold N]\n\
+         \x20       [--circuit-cooldown-ms N]\n\
+         \x20 client --socket PATH <op|ping> [--project NAME] [--deadline-ms N]\n\
          \x20        [--retries N] [--timeout-ms N] [sources...]\n\
+         \x20        (ping = health probe with a one-line summary)\n\
          \x20 --strict: treat degraded analysis as failure (exit 2)\n\
          \x20 --cache-dir DIR: load/save a persistent analysis cache\n\
          \x20 --no-cache: ignore --cache-dir for this run\n\
          \x20 --timeout SECS: wall-clock deadline; analysis degrades (exit 1)\n\
          \x20                 instead of running past it\n\
+         \x20 --mem-budget-mb MB: allocation-churn budget; analysis degrades\n\
+         \x20                 (exit 1) instead of allocating past it; for\n\
+         \x20                 serve/client it sets the per-request default\n\
          \x20 --trace-out DIR: write trace.json (Chrome trace) + metrics.jsonl\n\
          \x20 --metrics FILE: write the JSONL metrics stream to FILE"
     );
@@ -340,6 +347,45 @@ fn write_obs_artifacts(
     }
 }
 
+/// One-line daemon liveness summary from a `health` result, for
+/// `dragon client ping`.
+fn render_ping(result: &support::json::Value) -> String {
+    use support::json::Value;
+    let u64_of = |k: &str| result.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let workers = result.get("workers").and_then(Value::as_arr).map_or(0, <[Value]>::len);
+    let max_beat = result
+        .get("workers")
+        .and_then(Value::as_arr)
+        .map(|ws| {
+            ws.iter()
+                .filter_map(|w| w.get("heartbeat_age_ms").and_then(Value::as_u64))
+                .max()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0);
+    let circuits = result
+        .get("open_circuits")
+        .and_then(Value::as_arr)
+        .map_or(0, <[Value]>::len);
+    let budget = match result.get("mem_budget_mb").and_then(Value::as_u64) {
+        Some(mb) => format!("{mb} MiB"),
+        None => "unlimited".to_string(),
+    };
+    format!(
+        "daemon ok: uptime {} ms, {} worker(s) (max heartbeat age {} ms, \
+         {} replacement(s)), {} open circuit(s), {} session(s), \
+         mem high-water {} bytes (budget {})",
+        u64_of("uptime_ms"),
+        workers,
+        max_beat,
+        u64_of("worker_replacements"),
+        circuits,
+        u64_of("sessions"),
+        u64_of("mem_high_water_bytes"),
+        budget,
+    )
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut strict = false;
@@ -348,6 +394,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut timeout_secs: Option<f64> = None;
+    let mut mem_budget_mb: Option<u64> = None;
     let mut args: Vec<String> = Vec::with_capacity(raw.len());
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
@@ -363,6 +410,10 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .filter(|s: &f64| *s > 0.0)
                     .or_else(|| usage())
+            }
+            "--mem-budget-mb" => {
+                mem_budget_mb =
+                    it.next().and_then(|v| v.parse().ok()).or_else(|| usage())
             }
             _ => args.push(a),
         }
@@ -397,6 +448,17 @@ fn main() {
         support::deadline::DeadlineToken::after(std::time::Duration::from_secs_f64(s))
     });
     let _deadline_scope = deadline_token.clone().map(support::deadline::enter);
+
+    // `--mem-budget-mb` bounds the whole command's allocation churn the
+    // same way (budget checkpoints observe the scope; workers inherit it).
+    // For `serve` the flag is a per-request default instead — a daemon-
+    // lifetime scope would conflate every request's charges.
+    let cli_mem_budget = if cmd == "serve" {
+        None
+    } else {
+        mem_budget_mb.map(support::memory::MemoryBudget::mb)
+    };
+    let _mem_scope = cli_mem_budget.clone().map(support::memory::enter);
 
     match cmd.as_str() {
         "analyze" => {
@@ -635,17 +697,64 @@ fn main() {
                             .and_then(|v| v.parse().ok())
                             .unwrap_or_else(|| usage())
                     }
+                    "--max-connections" => {
+                        opts.max_connections = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--max-frame-bytes" => {
+                        opts.max_frame_bytes = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--io-timeout-ms" => {
+                        opts.io_timeout_ms = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--heartbeat-grace-ms" => {
+                        opts.heartbeat_grace_ms = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--circuit-threshold" => {
+                        opts.circuit_threshold = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--circuit-cooldown-ms" => {
+                        opts.circuit_cooldown_ms = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
                     _ => usage(),
                 }
             }
             opts.socket = socket.unwrap_or_else(|| usage()).into();
+            opts.mem_budget_mb = mem_budget_mb;
             eprintln!(
                 "dragon serve: listening on {} ({} worker(s), queue depth {}, \
-                 default deadline {} ms)",
+                 default deadline {} ms, default memory budget {})",
                 opts.socket.display(),
                 opts.workers,
                 opts.queue_depth,
-                opts.default_deadline_ms
+                opts.default_deadline_ms,
+                match opts.mem_budget_mb {
+                    Some(mb) => format!("{mb} MiB"),
+                    None => "unlimited".to_string(),
+                }
             );
             if let Err(e) = dragon::serve::run(opts) {
                 sink::fatal("serve", format!("{e}"));
@@ -686,17 +795,24 @@ fn main() {
             }
             copts.socket = socket.unwrap_or_else(|| usage()).into();
             let op = op.unwrap_or_else(|| usage());
-            if dragon::serve::proto::Op::parse(&op).is_none() {
-                sink::fatal("client.usage", format!("unknown op `{op}`"));
+            // `ping` is a liveness alias: a `health` request whose response
+            // prints as a one-line summary instead of raw JSON.
+            let ping = op == "ping";
+            let wire_op = if ping { "health".to_string() } else { op };
+            if dragon::serve::proto::Op::parse(&wire_op).is_none() {
+                sink::fatal("client.usage", format!("unknown op `{wire_op}`"));
             }
             use support::json::Value;
             let mut fields = vec![
                 ("id", Value::int(1)),
-                ("op", Value::str(op.as_str())),
+                ("op", Value::str(wire_op.as_str())),
                 ("project", Value::str(project)),
             ];
             if let Some(ms) = deadline_ms {
                 fields.push(("deadline_ms", Value::int(ms)));
+            }
+            if let Some(mb) = mem_budget_mb {
+                fields.push(("mem_budget_mb", Value::int(mb)));
             }
             if !srcs.is_empty() {
                 let sources: Vec<Value> = read_sources(&srcs)
@@ -714,8 +830,14 @@ fn main() {
             let request = support::json::obj(fields);
             match dragon::serve::call(&copts, &request) {
                 Ok(resp) => {
-                    println!("{}", resp.render());
-                    if resp.get("ok").and_then(Value::as_bool) != Some(true) {
+                    let healthy = resp.get("ok").and_then(Value::as_bool) == Some(true);
+                    match (ping, healthy, resp.get("result")) {
+                        (true, true, Some(result)) => {
+                            println!("{}", render_ping(result))
+                        }
+                        _ => println!("{}", resp.render()),
+                    }
+                    if !healthy {
                         let msg = resp
                             .get("error")
                             .and_then(|e| e.get("message"))
@@ -817,6 +939,20 @@ fn main() {
                 "--timeout: deadline expired; affected results were widened \
                  conservatively"
                     .to_string(),
+            );
+        }
+    }
+    if let Some(budget) = &cli_mem_budget {
+        if budget.exhausted() {
+            sink::emit(
+                Severity::Degraded,
+                "cli.mem-budget",
+                format!(
+                    "--mem-budget-mb: {} MiB budget exhausted ({} bytes charged); \
+                     affected results were widened conservatively",
+                    budget.limit_bytes() >> 20,
+                    budget.charged_bytes()
+                ),
             );
         }
     }

@@ -7,13 +7,26 @@
 //!
 //! - connect/read/write errors and per-attempt I/O timeouts (the daemon is
 //!   restarting, or wedged past its own deadline);
-//! - structured `overloaded` / `shutting-down` responses — the wait honors
-//!   the server's `retry_after_ms` hint when it exceeds the computed
-//!   backoff.
+//! - structured `overloaded` / `shutting-down` / `circuit-open` responses
+//!   — the wait honors the server's `retry_after_ms` hint when it exceeds
+//!   the computed backoff (for `circuit-open` the hint is the remaining
+//!   cool-down, so the retry lands right at the half-open probe window).
 //!
-//! It is **not** retried on `bad-request` (resending cannot help), `panic`
-//! (the session was reset; the caller should decide whether to resubmit),
-//! or any successful response — including degraded ones.
+//! It is **not** retried on any other error kind, or on any successful
+//! response — including degraded ones.
+//!
+//! Every server error kind, and what this client does with it:
+//!
+//! | kind | meaning | client behavior |
+//! |---|---|---|
+//! | `bad-request` | malformed or invalid request | no retry — resending cannot help |
+//! | `overloaded` | queue full or connection cap hit | retry after `retry_after_ms` |
+//! | `shutting-down` | daemon draining | retry (the restarted daemon may answer) |
+//! | `circuit-open` | project breaker open after repeated failures | retry after the cool-down hint |
+//! | `frame-too-large` | request frame exceeded the daemon's cap | no retry — shrink the request |
+//! | `deadline-expired` | worker wedged past deadline, being replaced | no retry — the op may not be idempotent; the caller decides |
+//! | `panic` | handler panicked, session reset from disk | no retry — the caller decides whether to resubmit |
+//! | `internal` | unexpected server-side failure | no retry |
 //!
 //! Backoff doubles from `backoff_base` up to `backoff_cap`, scaled by a
 //! deterministic jitter in [0.5, 1.5) derived from `jitter_seed` and the
@@ -117,7 +130,7 @@ fn attempt(opts: &ClientOptions, line: &str) -> support::Result<Value> {
 fn retryable_error(resp: &Value) -> Option<Option<u64>> {
     let error = resp.get("error")?;
     match error.get("kind").and_then(Value::as_str) {
-        Some("overloaded" | "shutting-down") => {
+        Some("overloaded" | "shutting-down" | "circuit-open") => {
             Some(error.get("retry_after_ms").and_then(Value::as_u64))
         }
         _ => None,
@@ -200,8 +213,24 @@ mod tests {
         )
         .unwrap();
         assert_eq!(retryable_error(&overloaded), Some(Some(70)));
+        let circuit = Value::parse(
+            r#"{"ok":false,"error":{"kind":"circuit-open","retry_after_ms":1500}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            retryable_error(&circuit),
+            Some(Some(1500)),
+            "circuit-open retries at the cool-down hint"
+        );
         let bad = Value::parse(r#"{"ok":false,"error":{"kind":"bad-request"}}"#).unwrap();
         assert_eq!(retryable_error(&bad), None);
+        for terminal in ["frame-too-large", "deadline-expired", "panic", "internal"] {
+            let resp = Value::parse(&format!(
+                r#"{{"ok":false,"error":{{"kind":"{terminal}"}}}}"#
+            ))
+            .unwrap();
+            assert_eq!(retryable_error(&resp), None, "{terminal} must not auto-retry");
+        }
         let ok = Value::parse(r#"{"ok":true,"result":{}}"#).unwrap();
         assert_eq!(retryable_error(&ok), None);
     }

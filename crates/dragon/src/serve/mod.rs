@@ -1,18 +1,24 @@
 //! Analysis as a service: the `dragon serve` daemon and its client.
 //!
 //! - [`proto`] — the line-delimited JSON-RPC wire protocol (`analyze`,
-//!   `reanalyze`, `lint`, `query-rgn`, `stats`, `shutdown`);
+//!   `reanalyze`, `lint`, `query-rgn`, `stats`, `health`, `shutdown`);
 //! - [`server`] — the fault-tolerant daemon: sharded warm sessions,
-//!   per-request deadlines, admission control, panic containment, graceful
-//!   drain, and crash recovery on startup;
+//!   per-request deadlines and memory budgets, bounded frame reads,
+//!   admission control (queue depth, connection cap, per-project circuit
+//!   breakers), panic containment, a self-healing supervisor that replaces
+//!   wedged workers, graceful drain, and crash recovery on startup;
+//! - [`supervisor`] — the heartbeat/circuit-breaker state machine behind
+//!   the server's self-healing;
 //! - [`client`] — one-shot calls with timeout, retry, and exponential
 //!   backoff with deterministic jitter.
 //!
-//! See DESIGN.md "Serving & overload behavior" for the full semantics.
+//! See DESIGN.md "Serving & overload behavior" and "Resource limits &
+//! self-healing" for the full semantics.
 
 pub mod client;
 pub mod proto;
 pub mod server;
+pub mod supervisor;
 
 pub use client::{call, ClientOptions};
 pub use server::{run, ServeOptions};

@@ -33,6 +33,10 @@ pub enum Op {
     QueryRgn,
     /// Daemon-wide statistics (sessions, requests, sheds, queue depth).
     Stats,
+    /// Liveness probe: uptime, per-worker heartbeat ages, open circuits,
+    /// and the memory high-water mark. Answered inline (never queued), so
+    /// it works even when every worker is busy.
+    Health,
     /// Graceful shutdown: drain in-flight requests, persist all sessions.
     Shutdown,
 }
@@ -45,6 +49,7 @@ impl Op {
             "lint" => Op::Lint,
             "query-rgn" => Op::QueryRgn,
             "stats" => Op::Stats,
+            "health" => Op::Health,
             "shutdown" => Op::Shutdown,
             _ => return None,
         })
@@ -57,6 +62,7 @@ impl Op {
             Op::Lint => "lint",
             Op::QueryRgn => "query-rgn",
             Op::Stats => "stats",
+            Op::Health => "health",
             Op::Shutdown => "shutdown",
         }
     }
@@ -80,6 +86,9 @@ pub struct Request {
     pub sources: Vec<WireSource>,
     /// Per-request deadline; `None` means the server default applies.
     pub deadline_ms: Option<u64>,
+    /// Per-request memory budget in mebibytes; `None` means the server
+    /// default applies.
+    pub mem_budget_mb: Option<u64>,
 }
 
 /// Why a request was rejected.
@@ -93,6 +102,17 @@ pub enum ErrorKind {
     ShuttingDown,
     /// The handler panicked; the project's session was reset from disk.
     Panic,
+    /// The request frame exceeded the daemon's frame-size cap. The
+    /// connection stays open; the oversized frame was discarded.
+    FrameTooLarge,
+    /// The project's circuit breaker is open after repeated failures;
+    /// retry after the hinted delay (the remaining cool-down).
+    CircuitOpen,
+    /// The worker missed its deadline by more than the heartbeat grace and
+    /// is being replaced; the request was abandoned. Retrying may succeed
+    /// against the replacement worker, but is not safe to automate for
+    /// non-idempotent ops.
+    DeadlineExpired,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -104,6 +124,9 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::ShuttingDown => "shutting-down",
             ErrorKind::Panic => "panic",
+            ErrorKind::FrameTooLarge => "frame-too-large",
+            ErrorKind::CircuitOpen => "circuit-open",
+            ErrorKind::DeadlineExpired => "deadline-expired",
             ErrorKind::Internal => "internal",
         }
     }
@@ -134,6 +157,12 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
         None | Some(Value::Null) => None,
         Some(d) => Some(d.as_u64().ok_or_else(|| {
             fail("`deadline_ms` must be a non-negative integer")
+        })?),
+    };
+    let mem_budget_mb = match v.get("mem_budget_mb") {
+        None | Some(Value::Null) => None,
+        Some(d) => Some(d.as_u64().ok_or_else(|| {
+            fail("`mem_budget_mb` must be a non-negative integer")
         })?),
     };
     let mut sources = Vec::new();
@@ -169,7 +198,7 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
         }
         _ => {}
     }
-    Ok(Request { id, op, project, sources, deadline_ms })
+    Ok(Request { id, op, project, sources, deadline_ms, mem_budget_mb })
 }
 
 /// Renders a success response line (no trailing newline).
@@ -240,6 +269,35 @@ mod tests {
         let r = parse_request(r#"{"id":3,"op":"stats"}"#).expect("parse");
         assert_eq!(r.op, Op::Stats);
         assert!(r.sources.is_empty());
+    }
+
+    #[test]
+    fn health_needs_no_sources_and_parses_mem_budget() {
+        let r = parse_request(r#"{"id":4,"op":"health"}"#).expect("parse");
+        assert_eq!(r.op, Op::Health);
+        assert_eq!(r.mem_budget_mb, None);
+        let r = parse_request(
+            r#"{"op":"analyze","mem_budget_mb":64,"sources":[{"name":"a.f","text":"end"}]}"#,
+        )
+        .expect("parse");
+        assert_eq!(r.mem_budget_mb, Some(64));
+        assert!(
+            parse_request(r#"{"op":"stats","mem_budget_mb":-1}"#).is_err(),
+            "negative budget rejected"
+        );
+        assert!(
+            parse_request(r#"{"op":"stats","mem_budget_mb":"big"}"#).is_err(),
+            "non-numeric budget rejected"
+        );
+    }
+
+    #[test]
+    fn new_error_kinds_have_stable_wire_names() {
+        assert_eq!(ErrorKind::FrameTooLarge.name(), "frame-too-large");
+        assert_eq!(ErrorKind::CircuitOpen.name(), "circuit-open");
+        assert_eq!(ErrorKind::DeadlineExpired.name(), "deadline-expired");
+        assert_eq!(Op::parse("health"), Some(Op::Health));
+        assert_eq!(Op::Health.name(), "health");
     }
 
     #[test]

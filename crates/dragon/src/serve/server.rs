@@ -4,14 +4,17 @@
 //!
 //! ```text
 //!            accept loop (nonblocking, polls SHUTDOWN)
-//!                 │ one thread per connection
+//!                 │ one thread per connection (capped; excess shed)
 //!                 ▼
 //!   connection threads ──try_send──▶ worker 0..N (bounded queues)
-//!     │ stats/shutdown answered        │ each owns its shard of
-//!     │ inline; full queue ⇒           │ project → AnalysisSession
-//!     ▼ structured `overloaded`        ▼
-//!   one response line per request    deadline scope + catch_unwind
-//!                                    around every request
+//!     │ bounded frame reads            │ each owns its shard of
+//!     │ stats/health/shutdown inline   │ project → AnalysisSession
+//!     │ full queue ⇒ `overloaded`      ▼
+//!     ▼ open circuit ⇒ `circuit-open`  deadline + memory-budget scope
+//!   one response line per request      + catch_unwind per request
+//!                 ▲
+//!                 │ supervisor thread: heartbeats, wedged-worker
+//!                 └ replacement, per-project circuit breaker
 //! ```
 //!
 //! Sessions are sharded by project-name hash, so a project's requests are
@@ -21,14 +24,32 @@
 //! # Robustness invariants
 //!
 //! - **Bounded worst case**: every request runs under a deadline token
-//!   observed by the budget checkpoints; stuck work degrades, it never
-//!   wedges a worker past its deadline.
+//!   *and* (when configured) a memory budget, both observed by the budget
+//!   checkpoints; stuck or allocation-hungry work degrades, it never
+//!   wedges a worker past its deadline or the process past its memory.
+//! - **Bounded input**: a request frame larger than `max_frame_bytes`
+//!   is discarded as it streams in (never fully buffered) and answered
+//!   with `frame-too-large`; the connection stays usable. A partial frame
+//!   that stalls longer than `io_timeout_ms` (slow-loris) is answered and
+//!   the connection closed. Parsed JSON is further capped by
+//!   [`support::json::ParseLimits`] on depth and size.
 //! - **Blast-radius one project**: a panicking handler is contained by
 //!   `catch_unwind`; the poisoned session is dropped (rewarmed from disk on
 //!   the project's next request) and every other session is untouched.
+//!   Repeated failures from one project open its circuit breaker, so it
+//!   cannot monopolize workers — requests get `circuit-open` with a retry
+//!   hint until a half-open probe succeeds.
 //! - **Overload is a response, not a drop**: a full worker queue yields a
-//!   structured `overloaded` error with a retry hint; connections are
-//!   never closed as back-pressure.
+//!   structured `overloaded` error with a retry hint, and a connection
+//!   beyond `max_connections` gets the same one-line answer before the
+//!   socket closes; connections are never silently dropped as
+//!   back-pressure.
+//! - **Self-healing workers**: a supervisor thread watches per-worker
+//!   heartbeats. A worker busy past its job's deadline plus the grace
+//!   window is declared wedged: its generation is bumped (if the stale
+//!   thread ever returns it exits without persisting) and a replacement
+//!   thread takes over the same queue. The abandoned request's client
+//!   gets a structured `deadline-expired` error.
 //! - **Durable with a bounded window**: writes persist through the
 //!   store's atomic commit path under a group-commit policy — inline on a
 //!   project's first commit and then at most once per debounce window on
@@ -43,6 +64,7 @@
 //! faultpoint, used by the chaos tests to prove the recovery path.
 
 use super::proto::{self, ErrorKind, Op, Request};
+use super::supervisor::{CircuitDecision, Supervisor};
 use araa::{AnalysisOptions, AnalysisSession};
 use frontend::SourceFile;
 use std::collections::BTreeMap;
@@ -52,11 +74,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use support::deadline::{self, DeadlineToken};
 use support::hash::fnv1a;
 use support::json::{obj, Value};
+use support::memory::{self, MemoryBudget};
 use support::obs::{self, Counter, Gauge};
 use whirl::Lang;
 
@@ -79,6 +103,29 @@ pub struct ServeOptions {
     /// worker flushes sooner, and drain always flushes everything). `0`
     /// means write-through: every successful analyze persists inline.
     pub persist_debounce_ms: u64,
+    /// Per-request memory budget (mebibytes of allocation churn) applied
+    /// to requests that do not carry their own `mem_budget_mb`; `None`
+    /// means unlimited. Exhaustion degrades the request's analysis
+    /// conservatively — it never kills the request or the daemon.
+    pub mem_budget_mb: Option<u64>,
+    /// Largest accepted request frame, bytes. Oversized frames are
+    /// discarded as they stream in and answered with `frame-too-large`.
+    pub max_frame_bytes: usize,
+    /// Concurrent-connection cap; a connection beyond it receives one
+    /// `overloaded` response line and is closed.
+    pub max_connections: usize,
+    /// How long a *partial* request frame may stall before the connection
+    /// is treated as a slow-loris and closed. Idle connections between
+    /// frames are unaffected.
+    pub io_timeout_ms: u64,
+    /// Heartbeat grace: a worker busy past `deadline + grace` is declared
+    /// wedged and replaced by the supervisor.
+    pub heartbeat_grace_ms: u64,
+    /// Consecutive failures (panics, memory exhaustions, wedges) that open
+    /// a project's circuit breaker.
+    pub circuit_threshold: u32,
+    /// How long an open circuit rejects before admitting a half-open probe.
+    pub circuit_cooldown_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -90,6 +137,13 @@ impl Default for ServeOptions {
             queue_depth: 64,
             default_deadline_ms: 30_000,
             persist_debounce_ms: 500,
+            mem_budget_mb: None,
+            max_frame_bytes: 4 << 20,
+            max_connections: 256,
+            io_timeout_ms: 10_000,
+            heartbeat_grace_ms: 2_000,
+            circuit_threshold: 3,
+            circuit_cooldown_ms: 2_000,
         }
     }
 }
@@ -105,6 +159,15 @@ const DRAIN_WAIT: Duration = Duration::from_secs(20);
 /// sessions to disk. Bounds the crash-loss window of a quiescent daemon
 /// to roughly `persist_debounce_ms + IDLE_FLUSH`.
 const IDLE_FLUSH: Duration = Duration::from_millis(200);
+/// Supervisor poll tick: the detection latency floor for wedged workers.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(100);
+/// Response writes slower than this mean the peer stopped reading; the
+/// connection is abandoned rather than blocking its thread forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Slack the dispatcher adds on top of `deadline + 2 * grace` before
+/// abandoning a queued request as `deadline-expired` — covers queue wait
+/// and supervisor detection latency for typical configurations.
+const DISPATCH_SLACK_MS: u64 = 1_000;
 
 /// Daemon-wide counters, shared by connection threads and workers and
 /// reported by the `stats` op.
@@ -116,6 +179,10 @@ struct ServerStats {
     panics: AtomicU64,
     sessions: AtomicU64,
     queued: AtomicU64,
+    frame_too_large: AtomicU64,
+    conn_shed: AtomicU64,
+    circuit_open: AtomicU64,
+    mem_exhausted: AtomicU64,
 }
 
 impl ServerStats {
@@ -130,6 +197,19 @@ impl ServerStats {
             ("panics", Value::int(self.panics.load(Ordering::Relaxed))),
             ("sessions", Value::int(self.sessions.load(Ordering::Relaxed))),
             ("queued", Value::int(self.queued.load(Ordering::Relaxed))),
+            (
+                "frame_too_large",
+                Value::int(self.frame_too_large.load(Ordering::Relaxed)),
+            ),
+            ("conn_shed", Value::int(self.conn_shed.load(Ordering::Relaxed))),
+            (
+                "circuit_open",
+                Value::int(self.circuit_open.load(Ordering::Relaxed)),
+            ),
+            (
+                "mem_exhausted",
+                Value::int(self.mem_exhausted.load(Ordering::Relaxed)),
+            ),
             ("workers", Value::int(workers as u64)),
             ("queue_depth", Value::int(queue_depth as u64)),
         ])
@@ -184,7 +264,8 @@ fn install_chaos_abort_hook() {
 
 /// One queued unit of work: the request plus the channel its response goes
 /// back on. The worker *always* sends exactly one response (panics are
-/// converted), so the connection thread can block on `recv`.
+/// converted), so the connection thread can block on `recv_timeout` with a
+/// generous allowance — the timeout only fires for wedged workers.
 struct Job {
     req: Request,
     resp_tx: SyncSender<String>,
@@ -192,6 +273,11 @@ struct Job {
 
 fn shard_of(project: &str, workers: usize) -> usize {
     (fnv1a(project.as_bytes()) % workers as u64) as usize
+}
+
+/// The deadline a request actually runs under.
+fn effective_deadline_ms(req: &Request, opts: &ServeOptions) -> u64 {
+    req.deadline_ms.unwrap_or(opts.default_deadline_ms).clamp(1, MAX_DEADLINE_MS)
 }
 
 /// Stable on-disk directory for a project under the cache root. The hash
@@ -219,6 +305,16 @@ fn scan_projects(root: &Path) -> Vec<String> {
     found
 }
 
+/// Shared handles to the current worker thread of every slot. The
+/// supervisor swaps a slot's handle when it replaces a wedged worker; the
+/// old handle is dropped (detaching the stale thread — it may never
+/// return, and nothing must ever wait on it).
+type WorkerHandles = Arc<Mutex<Vec<Option<JoinHandle<()>>>>>;
+
+fn lock_handles(handles: &WorkerHandles) -> std::sync::MutexGuard<'_, Vec<Option<JoinHandle<()>>>> {
+    handles.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 /// Runs the daemon until a graceful shutdown completes. Blocks the calling
 /// thread; returns once every session has drained and persisted.
 pub fn run(opts: ServeOptions) -> support::Result<()> {
@@ -228,6 +324,12 @@ pub fn run(opts: ServeOptions) -> support::Result<()> {
     let workers = opts.workers.max(1);
     let queue_depth = opts.queue_depth.max(1);
     let stats = Arc::new(ServerStats::default());
+    let supervisor = Arc::new(Supervisor::new(
+        workers,
+        opts.heartbeat_grace_ms,
+        opts.circuit_threshold,
+        opts.circuit_cooldown_ms,
+    ));
 
     // Recovery scan: every persisted project warms before we listen, so
     // the first post-crash request is already served from recovered state.
@@ -246,37 +348,94 @@ pub fn run(opts: ServeOptions) -> support::Result<()> {
         .set_nonblocking(true)
         .map_err(|e| support::Error::io("socket set_nonblocking".to_string(), e))?;
 
-    // Workers: each owns its shard's sessions for the daemon's lifetime.
+    // Workers: each owns its shard's sessions. The queue receiver is
+    // shared through a mutex so a replacement worker can take over a
+    // wedged predecessor's queue without losing queued jobs.
     let mut senders: Vec<SyncSender<Job>> = Vec::with_capacity(workers);
-    let mut handles = Vec::with_capacity(workers);
+    let mut shared_rxs: Vec<Arc<Mutex<Receiver<Job>>>> = Vec::with_capacity(workers);
+    let handles: WorkerHandles = Arc::new(Mutex::new(Vec::with_capacity(workers)));
     let obs_ctx = obs::current();
     for (idx, projects) in initial.into_iter().enumerate() {
         let (tx, rx) = sync_channel::<Job>(queue_depth);
         senders.push(tx);
+        let rx = Arc::new(Mutex::new(rx));
+        shared_rxs.push(Arc::clone(&rx));
         let opts = opts.clone();
         let stats = Arc::clone(&stats);
+        let sup = Arc::clone(&supervisor);
         let obs_ctx = obs_ctx.clone();
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("serve-worker-{idx}"))
-                .spawn(move || {
-                    let _obs = obs_ctx.map(obs::attach);
-                    worker_main(rx, &opts, &stats, projects);
-                })
-                .map_err(|e| support::Error::io("spawning worker".to_string(), e))?,
-        );
+        let handle = std::thread::Builder::new()
+            .name(format!("serve-worker-{idx}"))
+            .spawn(move || {
+                let _obs = obs_ctx.map(obs::attach);
+                worker_main(&rx, idx, 0, &sup, &opts, &stats, projects);
+            })
+            .map_err(|e| support::Error::io("spawning worker".to_string(), e))?;
+        lock_handles(&handles).push(Some(handle));
     }
+
+    // Supervisor: replaces wedged workers until told to stop (after the
+    // final worker join, so a worker that wedges during drain still gets
+    // replaced — its replacement drains the closed queue and exits).
+    let sup_stop = Arc::new(AtomicBool::new(false));
+    let sup_handle = {
+        let sup = Arc::clone(&supervisor);
+        let stop = Arc::clone(&sup_stop);
+        let handles = Arc::clone(&handles);
+        let shared_rxs = shared_rxs.clone();
+        let stats = Arc::clone(&stats);
+        let opts = opts.clone();
+        let obs_ctx = obs::current();
+        std::thread::Builder::new()
+            .name("serve-supervisor".to_string())
+            .spawn(move || {
+                let _obs = obs_ctx.map(obs::attach);
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(SUPERVISOR_POLL);
+                    for (idx, worker_rx) in shared_rxs.iter().enumerate() {
+                        if !sup.wedged(idx) {
+                            continue;
+                        }
+                        let generation = sup.declare_wedged(idx);
+                        let rx = Arc::clone(worker_rx);
+                        let sup = Arc::clone(&sup);
+                        let stats = Arc::clone(&stats);
+                        let opts = opts.clone();
+                        let spawned = std::thread::Builder::new()
+                            .name(format!("serve-worker-{idx}-g{generation}"))
+                            .spawn(move || {
+                                worker_main(&rx, idx, generation, &sup, &opts, &stats, Vec::new());
+                            });
+                        if let Ok(handle) = spawned {
+                            // Dropping the old handle detaches the wedged
+                            // thread; its sessions are orphaned (evicted in
+                            // effect) and rewarm from disk on next use.
+                            lock_handles(&handles)[idx] = Some(handle);
+                        }
+                    }
+                }
+            })
+            .map_err(|e| support::Error::io("spawning supervisor".to_string(), e))?
+    };
 
     // Accept loop: nonblocking so SIGTERM is observed within one poll tick.
     let active_conns = Arc::new(AtomicUsize::new(0));
+    let max_connections = opts.max_connections.max(1);
     loop {
         if SHUTDOWN.load(Ordering::Relaxed) {
             break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                if active_conns.load(Ordering::Relaxed) >= max_connections {
+                    stats.conn_shed.fetch_add(1, Ordering::Relaxed);
+                    obs::incr(Counter::ServeConnShed);
+                    shed_connection(stream);
+                    continue;
+                }
                 let senders = senders.clone();
                 let stats = Arc::clone(&stats);
+                let sup = Arc::clone(&supervisor);
                 let active = Arc::clone(&active_conns);
                 let opts = opts.clone();
                 let obs_ctx = obs::current();
@@ -285,7 +444,7 @@ pub fn run(opts: ServeOptions) -> support::Result<()> {
                     .name("serve-conn".to_string())
                     .spawn(move || {
                         let _obs = obs_ctx.map(obs::attach);
-                        handle_connection(stream, &senders, &stats, &opts);
+                        handle_connection(stream, &senders, &stats, &opts, &sup);
                         active.fetch_sub(1, Ordering::Relaxed);
                     });
                 if spawned.is_err() {
@@ -305,16 +464,35 @@ pub fn run(opts: ServeOptions) -> support::Result<()> {
 
     // Drain: let in-flight connections finish (their requests are deadline
     // bounded), then close the queues so workers persist and exit.
-    let drain_deadline = std::time::Instant::now() + DRAIN_WAIT;
-    while active_conns.load(Ordering::Relaxed) > 0
-        && std::time::Instant::now() < drain_deadline
-    {
+    let drain_deadline = Instant::now() + DRAIN_WAIT;
+    while active_conns.load(Ordering::Relaxed) > 0 && Instant::now() < drain_deadline {
         std::thread::sleep(Duration::from_millis(10));
     }
     drop(senders);
-    for h in handles {
-        let _ = h.join();
+    // Wait for the *current* worker of every slot; a worker wedged at this
+    // point is replaced by the still-running supervisor, and its
+    // replacement exits promptly on the closed queue. Never block on a
+    // thread that may not return: join only finished handles.
+    while Instant::now() < drain_deadline {
+        let all_done =
+            lock_handles(&handles).iter().all(|h| h.as_ref().is_none_or(JoinHandle::is_finished));
+        if all_done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
     }
+    {
+        let mut slots = lock_handles(&handles);
+        for slot in slots.iter_mut() {
+            if slot.as_ref().is_some_and(JoinHandle::is_finished) {
+                if let Some(handle) = slot.take() {
+                    let _ = handle.join();
+                }
+            }
+        }
+    }
+    sup_stop.store(true, Ordering::Relaxed);
+    let _ = sup_handle.join();
     let _ = std::fs::remove_file(&opts.socket);
     Ok(())
 }
@@ -343,69 +521,202 @@ fn bind_socket(path: &Path) -> support::Result<UnixListener> {
         .map_err(|e| support::Error::io(format!("binding {}", path.display()), e))
 }
 
+/// Answers a connection shed by the concurrency cap: one `overloaded`
+/// line, best effort, then close. The client sees admission control, not
+/// a mystery hangup.
+fn shed_connection(stream: UnixStream) {
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let resp = proto::err_response(
+        0,
+        None,
+        ErrorKind::Overloaded,
+        "connection limit reached",
+        Some(RETRY_AFTER_MS),
+    );
+    let _ = stream.write_all(resp.as_bytes()).and_then(|()| stream.write_all(b"\n"));
+}
+
 /// How often an idle connection wakes up to observe SHUTDOWN.
 const CONN_POLL: Duration = Duration::from_millis(200);
+
+/// One framing outcome from [`read_frame`].
+enum Frame {
+    /// A complete line (newline stripped); the flag is true when EOF
+    /// followed it (a final unterminated line is still served).
+    Line(String, bool),
+    /// The frame exceeded the cap and was discarded up to its newline (or
+    /// EOF); the connection is still usable.
+    TooLarge,
+    /// A partial frame stalled past the io timeout: slow-loris suspect.
+    Stalled,
+    /// EOF with nothing buffered, an unrecoverable read error, or
+    /// shutdown observed.
+    Closed,
+}
+
+/// Reads one newline-delimited frame with a hard size cap. Bytes beyond
+/// the cap are consumed and dropped (never buffered), so an adversarial
+/// client cannot balloon daemon memory past `max_bytes` + one `BufReader`
+/// block per connection, and the stream stays in sync for the next frame.
+fn read_frame(
+    reader: &mut BufReader<UnixStream>,
+    max_bytes: usize,
+    io_timeout: Duration,
+) -> Frame {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    let mut partial_since: Option<Instant> = None;
+    loop {
+        let mut consumed = 0usize;
+        let mut complete = false;
+        match reader.fill_buf() {
+            Ok([]) => {
+                // EOF: serve a final unterminated line if there is one.
+                return if discarding {
+                    Frame::TooLarge
+                } else if buf.is_empty() {
+                    Frame::Closed
+                } else {
+                    Frame::Line(String::from_utf8_lossy(&buf).into_owned(), true)
+                };
+            }
+            Ok(chunk) => {
+                if partial_since.is_none() {
+                    partial_since = Some(Instant::now());
+                }
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        if !discarding {
+                            if buf.len() + nl <= max_bytes {
+                                buf.extend_from_slice(&chunk[..nl]);
+                            } else {
+                                discarding = true;
+                                buf = Vec::new();
+                            }
+                        }
+                        consumed = nl + 1;
+                        complete = true;
+                    }
+                    None => {
+                        if !discarding {
+                            if buf.len() + chunk.len() <= max_bytes {
+                                buf.extend_from_slice(chunk);
+                            } else {
+                                discarding = true;
+                                buf = Vec::new();
+                            }
+                        }
+                        consumed = chunk.len();
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if SHUTDOWN.load(Ordering::Relaxed) {
+                    return Frame::Closed;
+                }
+                if let Some(t) = partial_since {
+                    if t.elapsed() >= io_timeout {
+                        return Frame::Stalled;
+                    }
+                }
+            }
+            Err(_) => return Frame::Closed,
+        }
+        reader.consume(consumed);
+        if complete {
+            return if discarding {
+                Frame::TooLarge
+            } else {
+                Frame::Line(String::from_utf8_lossy(&buf).into_owned(), false)
+            };
+        }
+    }
+}
 
 /// Serves one connection: one response line per request line, in order.
 ///
 /// Reads poll with a short timeout so a connection a client holds open but
 /// idle still observes SHUTDOWN and exits — otherwise its clone of the
 /// worker senders would keep the worker queues alive and block the drain
-/// forever.
+/// forever. Frame reads are size-capped and stall-bounded; see
+/// [`read_frame`].
 fn handle_connection(
     stream: UnixStream,
     senders: &[SyncSender<Job>],
     stats: &ServerStats,
     opts: &ServeOptions,
+    sup: &Supervisor,
 ) {
     if stream.set_read_timeout(Some(CONN_POLL)).is_err() {
         return;
     }
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let Ok(reader_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(reader_half);
     let mut writer = stream;
-    let mut line = String::new();
+    let max_frame = opts.max_frame_bytes.max(1024);
+    let io_timeout = Duration::from_millis(opts.io_timeout_ms.max(1));
+    let respond = |writer: &mut UnixStream, response: &str| {
+        writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_ok()
+    };
     loop {
-        line.clear();
-        // Accumulate one full line; `read_line` keeps partial reads in
-        // `line` across timeouts, so slow writers are never torn.
-        let mut at_eof = false;
-        while !line.ends_with('\n') {
-            match reader.read_line(&mut line) {
-                Ok(0) => {
-                    at_eof = true;
-                    break;
-                }
-                Ok(_) => {}
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock
-                            | std::io::ErrorKind::TimedOut
-                            | std::io::ErrorKind::Interrupted
-                    ) =>
-                {
-                    if SHUTDOWN.load(Ordering::Relaxed) {
+        match read_frame(&mut reader, max_frame, io_timeout) {
+            Frame::Line(line, at_eof) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let response = dispatch(trimmed, senders, stats, opts, sup);
+                    if !respond(&mut writer, &response) {
                         return;
                     }
                 }
-                Err(_) => return,
+                if at_eof {
+                    return;
+                }
             }
-        }
-        let trimmed = line.trim();
-        if !trimmed.is_empty() {
-            let response = dispatch(trimmed, senders, stats, opts);
-            if writer
-                .write_all(response.as_bytes())
-                .and_then(|()| writer.write_all(b"\n"))
-                .and_then(|()| writer.flush())
-                .is_err()
-            {
+            Frame::TooLarge => {
+                stats.frame_too_large.fetch_add(1, Ordering::Relaxed);
+                obs::incr(Counter::ServeFrameTooLarge);
+                let response = proto::err_response(
+                    0,
+                    None,
+                    ErrorKind::FrameTooLarge,
+                    &format!(
+                        "request frame exceeds the {max_frame}-byte cap; frame discarded"
+                    ),
+                    None,
+                );
+                if !respond(&mut writer, &response) {
+                    return;
+                }
+            }
+            Frame::Stalled => {
+                let response = proto::err_response(
+                    0,
+                    None,
+                    ErrorKind::BadRequest,
+                    &format!(
+                        "partial request frame stalled past {}ms; closing connection",
+                        opts.io_timeout_ms
+                    ),
+                    None,
+                );
+                let _ = respond(&mut writer, &response);
                 return;
             }
-        }
-        if at_eof {
-            return;
+            Frame::Closed => return,
         }
     }
 }
@@ -416,6 +727,7 @@ fn dispatch(
     senders: &[SyncSender<Job>],
     stats: &ServerStats,
     opts: &ServeOptions,
+    sup: &Supervisor,
 ) -> String {
     let req = match proto::parse_request(line) {
         Ok(r) => r,
@@ -427,12 +739,26 @@ fn dispatch(
     obs::incr(Counter::ServeRequests);
     match req.op {
         // Control-plane ops answer inline: they must keep working even
-        // when every worker queue is full.
+        // when every worker queue is full or every worker is wedged.
         Op::Stats => proto::ok_response(
             req.id,
             Op::Stats,
             stats.snapshot_json(senders.len(), opts.queue_depth.max(1)),
         ),
+        Op::Health => {
+            let mut health = sup.health_json(opts.mem_budget_mb);
+            if let Value::Obj(map) = &mut health {
+                map.insert(
+                    "sessions".to_string(),
+                    Value::int(stats.sessions.load(Ordering::Relaxed)),
+                );
+                map.insert(
+                    "requests".to_string(),
+                    Value::int(stats.requests.load(Ordering::Relaxed)),
+                );
+            }
+            proto::ok_response(req.id, Op::Health, health)
+        }
         Op::Shutdown => {
             SHUTDOWN.store(true, Ordering::Relaxed);
             proto::ok_response(
@@ -449,6 +775,23 @@ fn dispatch(
             Some(RETRY_AFTER_MS),
         ),
         _ => {
+            if let CircuitDecision::Reject { retry_after_ms } =
+                sup.circuit_check(&req.project)
+            {
+                stats.circuit_open.fetch_add(1, Ordering::Relaxed);
+                obs::incr(Counter::ServeCircuitOpen);
+                return proto::err_response(
+                    req.id,
+                    Some(req.op),
+                    ErrorKind::CircuitOpen,
+                    &format!(
+                        "project `{}` circuit is open after repeated failures",
+                        req.project
+                    ),
+                    Some(retry_after_ms),
+                );
+            }
+            let deadline_ms = effective_deadline_ms(&req, opts);
             let shard = shard_of(&req.project, senders.len());
             let (resp_tx, resp_rx) = sync_channel::<String>(1);
             let (id, op) = (req.id, req.op);
@@ -456,17 +799,37 @@ fn dispatch(
                 Ok(()) => {
                     stats.queued.fetch_add(1, Ordering::Relaxed);
                     obs::set_gauge(Gauge::ServeQueueDepth, stats.queued.load(Ordering::Relaxed));
-                    match resp_rx.recv() {
+                    // Generous allowance over the request deadline: it only
+                    // fires when the worker wedged somewhere no checkpoint
+                    // runs (the supervisor is replacing it) — a cooperative
+                    // worker always answers within its deadline.
+                    let allowance = deadline_ms
+                        .saturating_add(2 * opts.heartbeat_grace_ms)
+                        .saturating_add(DISPATCH_SLACK_MS);
+                    match resp_rx.recv_timeout(Duration::from_millis(allowance)) {
                         Ok(resp) => resp,
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                            stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                            obs::incr(Counter::ServeDeadlineExpired);
+                            proto::err_response(
+                                id,
+                                Some(op),
+                                ErrorKind::DeadlineExpired,
+                                "request abandoned: worker exceeded the deadline and is being replaced",
+                                Some(opts.heartbeat_grace_ms),
+                            )
+                        }
                         // Worker died (chaos abort in flight): the process
                         // is going down; answer what we can.
-                        Err(_) => proto::err_response(
-                            id,
-                            Some(op),
-                            ErrorKind::Internal,
-                            "worker terminated mid-request",
-                            None,
-                        ),
+                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                            proto::err_response(
+                                id,
+                                Some(op),
+                                ErrorKind::Internal,
+                                "worker terminated mid-request",
+                                None,
+                            )
+                        }
                     }
                 }
                 Err(TrySendError::Full(_)) => {
@@ -593,8 +956,16 @@ impl Shard<'_> {
     }
 }
 
+/// One worker's life: drain the shared queue, one job at a time, under
+/// supervisor heartbeats. `generation` identifies this thread's tenure of
+/// the slot; if the supervisor bumps the slot's generation (declaring this
+/// thread wedged), the thread exits at its next opportunity *without
+/// persisting* — the replacement owns the shard's on-disk state now.
 fn worker_main(
-    rx: Receiver<Job>,
+    rx: &Mutex<Receiver<Job>>,
+    widx: usize,
+    generation: u64,
+    sup: &Supervisor,
     opts: &ServeOptions,
     stats: &ServerStats,
     initial_projects: Vec<String>,
@@ -613,11 +984,38 @@ fn worker_main(
         let _ = shard.session(&project);
     }
     loop {
-        match rx.recv_timeout(IDLE_FLUSH) {
+        if sup.generation(widx) != generation {
+            return;
+        }
+        sup.beat(widx, generation);
+        // The queue lock is held only while *waiting*, never while
+        // serving, so a replacement can take the queue the moment this
+        // thread is declared wedged mid-request.
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv_timeout(IDLE_FLUSH)
+        };
+        match job {
             Ok(job) => {
                 stats.queued.fetch_sub(1, Ordering::Relaxed);
                 obs::set_gauge(Gauge::ServeQueueDepth, stats.queued.load(Ordering::Relaxed));
-                let response = serve_one(&mut shard, &job.req);
+                let deadline_ms = effective_deadline_ms(&job.req, opts);
+                sup.begin_job(widx, generation, &job.req.project, deadline_ms);
+                let (response, failed) = serve_one(&mut shard, &job.req, sup);
+                if sup.generation(widx) != generation {
+                    // Declared wedged while serving: the dispatcher has
+                    // already answered `deadline-expired` and a replacement
+                    // owns the slot. Send best-effort, then vanish without
+                    // persisting anything.
+                    let _ = job.resp_tx.send(response);
+                    return;
+                }
+                sup.end_job(widx, generation);
+                if failed {
+                    sup.record_failure(&job.req.project);
+                } else {
+                    sup.record_success(&job.req.project);
+                }
                 // A dropped receiver (client hung up) is fine; the work is done.
                 let _ = job.resp_tx.send(response);
             }
@@ -632,28 +1030,50 @@ fn worker_main(
     shard.flush_dirty();
 }
 
-/// Executes one request under its deadline, with panic containment.
-fn serve_one(shard: &mut Shard<'_>, req: &Request) -> String {
-    let deadline_ms = req
-        .deadline_ms
-        .unwrap_or(shard.opts.default_deadline_ms)
-        .clamp(1, MAX_DEADLINE_MS);
+/// Executes one request under its deadline and memory budget, with panic
+/// containment. Returns the response line plus a failure flag (panic or
+/// memory exhaustion) that feeds the project's circuit breaker.
+fn serve_one(shard: &mut Shard<'_>, req: &Request, sup: &Supervisor) -> (String, bool) {
+    let deadline_ms = effective_deadline_ms(req, shard.opts);
     let token = DeadlineToken::after(Duration::from_millis(deadline_ms));
     let _scope = deadline::enter(Arc::clone(&token));
+    // Request budget overrides the server default; either bounds this
+    // request's allocation churn at the shared budget checkpoints.
+    let mem = req.mem_budget_mb.or(shard.opts.mem_budget_mb).map(MemoryBudget::mb);
+    let mem_scope = mem.clone().map(memory::enter);
     let outcome = catch_unwind(AssertUnwindSafe(|| handle_request(shard, req)));
+    // Leaving the scope flushes the tail allocation delta into the budget,
+    // so `charged_bytes` below is the request's full bill.
+    drop(mem_scope);
     let expired = token.expired_now();
     if expired {
         shard.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
         obs::incr(Counter::ServeDeadlineExpired);
     }
+    let mem_exhausted = match &mem {
+        Some(budget) => {
+            sup.note_request_mem(budget.charged_bytes());
+            obs::add(Counter::MemBytesCharged, budget.charged_bytes());
+            if budget.exhausted() {
+                shard.stats.mem_exhausted.fetch_add(1, Ordering::Relaxed);
+                obs::incr(Counter::ServeMemExhausted);
+            }
+            budget.exhausted()
+        }
+        None => false,
+    };
     match outcome {
         Ok(Ok(mut result)) => {
             if let Value::Obj(map) = &mut result {
                 map.insert("deadline_expired".to_string(), Value::Bool(expired));
+                map.insert("mem_exhausted".to_string(), Value::Bool(mem_exhausted));
             }
-            proto::ok_response(req.id, req.op, result)
+            (proto::ok_response(req.id, req.op, result), mem_exhausted)
         }
-        Ok(Err((kind, msg))) => proto::err_response(req.id, Some(req.op), kind, &msg, None),
+        Ok(Err((kind, msg))) => {
+            // Client errors (bad request etc.) are not project failures.
+            (proto::err_response(req.id, Some(req.op), kind, &msg, None), mem_exhausted)
+        }
         Err(payload) => {
             // Contained panic: reset this project only; all other sessions
             // (and this worker) keep serving.
@@ -661,13 +1081,14 @@ fn serve_one(shard: &mut Shard<'_>, req: &Request) -> String {
             obs::incr(Counter::ServePanics);
             shard.evict(&req.project);
             let msg = ipa::isolate::panic_message(payload.as_ref());
-            proto::err_response(
+            let resp = proto::err_response(
                 req.id,
                 Some(req.op),
                 ErrorKind::Panic,
                 &format!("request handler panicked (session reset): {msg}"),
                 None,
-            )
+            );
+            (resp, true)
         }
     }
 }
@@ -675,6 +1096,16 @@ fn serve_one(shard: &mut Shard<'_>, req: &Request) -> String {
 type HandlerResult = Result<Value, (ErrorKind, String)>;
 
 fn handle_request(shard: &mut Shard<'_>, req: &Request) -> HandlerResult {
+    // Chaos instrumentation: a per-project panic point (arm
+    // `serve::project::<name>:always` to make one project toxic while
+    // others stay healthy) and a wedge point that sticks this worker
+    // somewhere no checkpoint runs, exercising supervisor replacement.
+    support::faultpoint::hit(&format!("serve::project::{}", req.project));
+    if support::faultpoint::fires("serve::wedge") {
+        loop {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
     match req.op {
         Op::Analyze | Op::Reanalyze => {
             if req.op == Op::Reanalyze && !shard.sessions.contains_key(&req.project) {
@@ -784,7 +1215,7 @@ fn handle_request(shard: &mut Shard<'_>, req: &Request) -> HandlerResult {
         }
         // Handled inline by the connection thread; reaching a worker is a
         // routing bug.
-        Op::Stats | Op::Shutdown => {
+        Op::Stats | Op::Health | Op::Shutdown => {
             Err((ErrorKind::Internal, "control op routed to worker".to_string()))
         }
     }
@@ -824,5 +1255,16 @@ mod tests {
         std::fs::create_dir_all(root.join("unrelated")).unwrap();
         assert_eq!(scan_projects(&root), vec!["proj-a".to_string()]);
         std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn effective_deadline_clamps() {
+        let opts = ServeOptions::default();
+        let mut req = proto::parse_request(r#"{"op":"stats"}"#).expect("parse");
+        assert_eq!(effective_deadline_ms(&req, &opts), opts.default_deadline_ms);
+        req.deadline_ms = Some(0);
+        assert_eq!(effective_deadline_ms(&req, &opts), 1, "zero clamps up");
+        req.deadline_ms = Some(u64::MAX);
+        assert_eq!(effective_deadline_ms(&req, &opts), MAX_DEADLINE_MS, "huge clamps down");
     }
 }

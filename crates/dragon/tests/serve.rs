@@ -199,6 +199,76 @@ fn client_subcommand_round_trips() {
     assert!(d.wait_exit(Duration::from_secs(30)).success());
 }
 
+#[test]
+fn health_op_frame_cap_and_client_ping() {
+    let dir = TestDir::new("serve-health");
+    let mut d = Daemon::start(
+        dir.join("d.sock"),
+        &["--workers", "2", "--max-frame-bytes", "4096"],
+        &[],
+    );
+    let o = copts(&d.socket);
+
+    // Warm one session so health has something to report.
+    call_ok(&o, &analyze_req(1, "analyze", "alpha", &sources_v1(), None));
+
+    let h = call_ok(&o, &plain_req(2, "health", "alpha"));
+    assert!(h.get("uptime_ms").and_then(Value::as_u64).is_some(), "{}", h.render());
+    let workers = h.get("workers").and_then(Value::as_arr).expect("workers array");
+    assert_eq!(workers.len(), 2, "{}", h.render());
+    assert!(
+        workers[0].get("heartbeat_age_ms").and_then(Value::as_u64).is_some(),
+        "{}",
+        h.render()
+    );
+    assert_eq!(
+        h.get("open_circuits").and_then(Value::as_arr).map(<[Value]>::len),
+        Some(0),
+        "{}",
+        h.render()
+    );
+    assert_eq!(h.get("worker_replacements").and_then(Value::as_u64), Some(0));
+    // No server-wide budget configured: the field reports null.
+    assert!(matches!(h.get("mem_budget_mb"), Some(Value::Null)), "{}", h.render());
+    assert!(result_u64(&h, "sessions") >= 1, "{}", h.render());
+
+    // An oversized frame gets a structured error, and the stream resyncs
+    // at its newline: the next frame on the same connection still serves.
+    let mut stream = UnixStream::connect(&d.socket).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let resp = raw_roundtrip(
+        &mut stream,
+        &format!(
+            r#"{{"id":3,"op":"stats","project":"alpha","pad":"{}"}}"#,
+            "x".repeat(8192)
+        ),
+    );
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false), "{}", resp.render());
+    assert_eq!(error_kind(&resp), "frame-too-large", "{}", resp.render());
+    let resp = raw_roundtrip(&mut stream, &plain_req(4, "stats", "alpha").render());
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true), "{}", resp.render());
+    assert!(
+        result_u64(resp.get("result").expect("result"), "frame_too_large") >= 1,
+        "{}",
+        resp.render()
+    );
+
+    // `dragon client ping` renders the one-line human summary.
+    let socket = d.socket.to_str().expect("utf8").to_string();
+    let out = dragon()
+        .args(["client", "--socket", &socket, "ping"])
+        .output()
+        .expect("run ping");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("daemon ok:"), "{stdout}");
+
+    call_ok(&o, &plain_req(5, "shutdown", "alpha"));
+    assert!(d.wait_exit(Duration::from_secs(30)).success());
+}
+
 // ---------------------------------------------------------------------------
 // Deadlines, admission control, and panic containment need a way to wedge
 // a worker deterministically: the armable `stall::ipl` faultpoint.

@@ -1,0 +1,326 @@
+//! Resource-exhaustion resilience, end to end: hostile inputs (oversized
+//! frames, pathological nesting, memory-hungry requests) and misbehaving
+//! projects (sticky panics, wedged workers) must each produce *structured*
+//! errors or degradations — while concurrent well-behaved clients complete
+//! normally and the daemon's memory high-water stays bounded under the
+//! CountingAllocator's accounting.
+
+mod serve_common;
+
+use serve_common::*;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+use support::json::Value;
+use support::testdir::TestDir;
+
+/// Two project names guaranteed to land on different workers of a
+/// two-worker daemon (sharding is by fnv1a of the project name).
+fn split_projects() -> (String, String) {
+    let first = "healthy-a".to_string();
+    let shard = support::hash::fnv1a(first.as_bytes()) % 2;
+    for i in 0..64 {
+        let cand = format!("healthy-b{i}");
+        if support::hash::fnv1a(cand.as_bytes()) % 2 != shard {
+            return (first, cand);
+        }
+    }
+    unreachable!("some candidate hashes to the other shard");
+}
+
+/// Attaches a per-request memory budget to a request built by the shared
+/// helpers.
+fn with_mem_budget(mut req: Value, mb: u64) -> Value {
+    if let Value::Obj(map) = &mut req {
+        map.insert("mem_budget_mb".to_string(), Value::int(mb));
+    }
+    req
+}
+
+#[test]
+fn hostile_inputs_are_contained_while_healthy_traffic_flows() {
+    let dir = TestDir::new("serve-resilience");
+    let mut d = Daemon::start(
+        dir.join("d.sock"),
+        &[
+            "--workers",
+            "2",
+            "--max-frame-bytes",
+            "4096",
+            "--circuit-threshold",
+            "2",
+        ],
+        &[],
+    );
+    let o = copts(&d.socket);
+
+    // Well-behaved clients on both shards, running for the whole test.
+    let (pa, pb) = split_projects();
+    let healthy: Vec<_> = [(pa, 100u64), (pb, 200u64)]
+        .into_iter()
+        .map(|(project, base_id)| {
+            let socket = d.socket.clone();
+            std::thread::spawn(move || {
+                let o = copts(&socket);
+                for round in 0..3u64 {
+                    let r = call_ok(
+                        &o,
+                        &analyze_req(
+                            base_id + 2 * round,
+                            "analyze",
+                            &project,
+                            &sources_v1(),
+                            None,
+                        ),
+                    );
+                    assert_eq!(
+                        r.get("degraded").and_then(Value::as_bool),
+                        Some(false),
+                        "healthy project degraded by hostile neighbors: {}",
+                        r.render()
+                    );
+                    let r = call_ok(&o, &plain_req(base_id + 2 * round + 1, "query-rgn", &project));
+                    assert!(r.get("rgn").and_then(Value::as_str).is_some(), "{}", r.render());
+                }
+            })
+        })
+        .collect();
+
+    // Hostile input #1: an oversized frame. Structured `frame-too-large`,
+    // and the same connection keeps serving.
+    let mut stream = UnixStream::connect(&d.socket).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let resp = raw_roundtrip(
+        &mut stream,
+        &format!(r#"{{"id":1,"op":"stats","project":"evil","pad":"{}"}}"#, "x".repeat(8192)),
+    );
+    assert_eq!(error_kind(&resp), "frame-too-large", "{}", resp.render());
+
+    // Hostile input #2: a deeply nested body. The parser's depth cap turns
+    // it into `bad-request` instead of unbounded recursion.
+    let nested = format!(
+        r#"{{"id":2,"op":"stats","project":"evil","j":{}{}}}"#,
+        "[".repeat(200),
+        "]".repeat(200)
+    );
+    let resp = raw_roundtrip(&mut stream, &nested);
+    assert_eq!(error_kind(&resp), "bad-request", "{}", resp.render());
+    assert!(
+        resp.get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Value::as_str)
+            .is_some_and(|m| m.contains("deep")),
+        "{}",
+        resp.render()
+    );
+
+    // Hostile input #3: a request whose memory budget cannot cover its own
+    // analysis. It degrades — conservative answer, structured degradation —
+    // rather than dying or lying.
+    let r = call_ok(
+        &o,
+        &with_mem_budget(analyze_req(3, "analyze", "hungry", &sources_v1(), None), 0),
+    );
+    assert_eq!(r.get("mem_exhausted").and_then(Value::as_bool), Some(true), "{}", r.render());
+    assert_eq!(r.get("degraded").and_then(Value::as_bool), Some(true), "{}", r.render());
+    let degradations = r.get("degradations").and_then(Value::as_arr).expect("degradations");
+    assert!(
+        degradations
+            .iter()
+            .any(|v| v.as_str().is_some_and(|s| s.contains("memory"))),
+        "memory exhaustion must be recorded as a degradation: {}",
+        r.render()
+    );
+
+    // The same project with a real budget succeeds cleanly — exhaustion is
+    // per-request state, and the success closes its failure streak.
+    let r = call_ok(
+        &o,
+        &with_mem_budget(analyze_req(4, "analyze", "hungry", &sources_v1(), None), 512),
+    );
+    assert_eq!(r.get("mem_exhausted").and_then(Value::as_bool), Some(false), "{}", r.render());
+    assert_eq!(r.get("degraded").and_then(Value::as_bool), Some(false), "{}", r.render());
+
+    let () = healthy
+        .into_iter()
+        .for_each(|t| t.join().expect("healthy client thread panicked"));
+
+    // The high-water mark moved (budgeted requests are accounted) and is
+    // bounded: no request charged past the largest configured budget.
+    let h = call_ok(&o, &plain_req(5, "health", "hungry"));
+    let high_water = h
+        .get("mem_high_water_bytes")
+        .and_then(Value::as_u64)
+        .expect("mem_high_water_bytes");
+    assert!(high_water > 0, "{}", h.render());
+    assert!(
+        high_water <= 512 * 1024 * 1024,
+        "high-water must stay bounded by the budget: {}",
+        h.render()
+    );
+    assert_eq!(
+        h.get("open_circuits").and_then(Value::as_arr).map(<[Value]>::len),
+        Some(0),
+        "one exhaustion then a success must not open the circuit: {}",
+        h.render()
+    );
+
+    let s = call_ok(&o, &plain_req(6, "stats", "hungry"));
+    assert!(result_u64(&s, "frame_too_large") >= 1, "{}", s.render());
+    assert!(result_u64(&s, "mem_exhausted") >= 1, "{}", s.render());
+    assert_eq!(result_u64(&s, "panics"), 0, "{}", s.render());
+
+    call_ok(&o, &plain_req(7, "shutdown", "hungry"));
+    assert!(d.wait_exit(Duration::from_secs(30)).success());
+}
+
+// ---------------------------------------------------------------------------
+// The misbehaving-project scenarios need deterministic faults: a sticky
+// per-project panic point and an off-checkpoint wedge loop.
+
+#[cfg(feature = "fault-injection")]
+mod faulty {
+    use super::serve_common::*;
+    use dragon::serve::{client, ClientOptions};
+    use std::time::{Duration, Instant};
+    use support::json::Value;
+    use support::testdir::TestDir;
+
+    #[test]
+    fn toxic_project_opens_its_circuit_while_neighbors_serve() {
+        let dir = TestDir::new("serve-toxic");
+        // Long cool-down: the circuit must still be open when asserted.
+        let mut d = Daemon::start(
+            dir.join("d.sock"),
+            &[
+                "--workers",
+                "2",
+                "--circuit-threshold",
+                "2",
+                "--circuit-cooldown-ms",
+                "60000",
+            ],
+            &[("ARAA_FAULTPOINT", "serve::project::toxic:always".to_string())],
+        );
+        let o = copts(&d.socket);
+        // Retries would honor the 60 s circuit-open hint; these calls must
+        // observe the raw responses instead.
+        let no_retry = ClientOptions { retries: 0, ..o.clone() };
+
+        let toxic_shard = support::hash::fnv1a(b"toxic") % 2;
+        let neighbor = (0..64)
+            .map(|i| format!("neighbor-{i}"))
+            .find(|c| support::hash::fnv1a(c.as_bytes()) % 2 != toxic_shard)
+            .expect("some candidate hashes to the other shard");
+
+        // Every request to the toxic project panics; each panic is
+        // contained and reported.
+        for id in [1u64, 2] {
+            let resp = client::call(
+                &no_retry,
+                &analyze_req(id, "analyze", "toxic", &sources_v1(), None),
+            )
+            .expect("contained panic still answers");
+            assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false), "{}", resp.render());
+            assert_eq!(error_kind(&resp), "panic", "{}", resp.render());
+        }
+
+        // Two consecutive failures reach the threshold: the breaker now
+        // sheds before the request ever touches a worker.
+        let resp = client::call(
+            &no_retry,
+            &analyze_req(3, "analyze", "toxic", &sources_v1(), None),
+        )
+        .expect("rejected at admission");
+        assert_eq!(error_kind(&resp), "circuit-open", "{}", resp.render());
+        assert!(
+            resp.get("error")
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(Value::as_u64)
+                .is_some_and(|ms| ms > 0),
+            "circuit rejections carry the cool-down hint: {}",
+            resp.render()
+        );
+
+        // A neighbor project is untouched by the breaker.
+        let r = call_ok(&o, &analyze_req(4, "analyze", &neighbor, &sources_v1(), None));
+        assert_eq!(r.get("degraded").and_then(Value::as_bool), Some(false), "{}", r.render());
+
+        let h = call_ok(&o, &plain_req(5, "health", &neighbor));
+        let circuits = h.get("open_circuits").and_then(Value::as_arr).expect("open_circuits");
+        assert!(
+            circuits.iter().any(|v| v.as_str() == Some("toxic")),
+            "{}",
+            h.render()
+        );
+
+        let s = call_ok(&o, &plain_req(6, "stats", &neighbor));
+        assert!(result_u64(&s, "panics") >= 2, "{}", s.render());
+        assert!(result_u64(&s, "circuit_open") >= 1, "{}", s.render());
+
+        call_ok(&o, &plain_req(7, "shutdown", &neighbor));
+        assert!(d.wait_exit(Duration::from_secs(30)).success());
+    }
+
+    #[test]
+    fn wedged_worker_is_replaced_and_requests_fail_structurally() {
+        let dir = TestDir::new("serve-wedge-replace");
+        let mut d = Daemon::start(
+            dir.join("d.sock"),
+            &["--workers", "1", "--heartbeat-grace-ms", "400"],
+            &[("ARAA_FAULTPOINT", "serve::wedge:1".to_string())],
+        );
+        let o = copts(&d.socket);
+        let no_retry = ClientOptions { retries: 0, ..o.clone() };
+
+        // The first request spins off-checkpoint forever: no deadline token
+        // can save it. The dispatcher abandons it shortly after
+        // deadline + grace and answers structurally.
+        let t0 = Instant::now();
+        let resp = client::call(
+            &no_retry,
+            &analyze_req(1, "analyze", "stuck", &sources_v1(), Some(800)),
+        )
+        .expect("abandoned request still answers");
+        let elapsed = t0.elapsed();
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false), "{}", resp.render());
+        assert_eq!(error_kind(&resp), "deadline-expired", "{}", resp.render());
+        assert!(
+            resp.get("error")
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(Value::as_u64)
+                .is_some(),
+            "{}",
+            resp.render()
+        );
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "abandonment must be prompt, not a hang: {elapsed:?}"
+        );
+
+        // The supervisor replaced the wedged thread: the (sole) worker slot
+        // serves again, on a fresh generation.
+        let r = call_ok(&o, &analyze_req(2, "analyze", "fresh", &sources_v1(), None));
+        assert!(result_u64(&r, "rows") > 0, "{}", r.render());
+
+        let h = call_ok(&o, &plain_req(3, "health", "fresh"));
+        assert!(
+            h.get("worker_replacements").and_then(Value::as_u64).is_some_and(|n| n >= 1),
+            "{}",
+            h.render()
+        );
+        let workers = h.get("workers").and_then(Value::as_arr).expect("workers");
+        assert!(
+            workers[0].get("generation").and_then(Value::as_u64).is_some_and(|g| g >= 1),
+            "{}",
+            h.render()
+        );
+
+        let s = call_ok(&o, &plain_req(4, "stats", "fresh"));
+        assert!(result_u64(&s, "deadline_expired") >= 1, "{}", s.render());
+
+        call_ok(&o, &plain_req(5, "shutdown", "fresh"));
+        assert!(d.wait_exit(Duration::from_secs(30)).success());
+    }
+}

@@ -154,17 +154,20 @@ pub fn summarize_subset_isolated(
     let next = AtomicUsize::new(0);
     type Slot = (usize, ProcSummary, Option<IplFailure>);
     let merged: Mutex<Vec<Slot>> = Mutex::new(Vec::with_capacity(n));
-    // Observability and deadline contexts are thread-scoped (like
-    // budgets); capture the spawning thread's so worker spans land in the
-    // same trace and workers observe the same request deadline.
+    // Observability, deadline, and memory-budget contexts are
+    // thread-scoped (like budgets); capture the spawning thread's so worker
+    // spans land in the same trace and workers observe the same request
+    // deadline and charge the same allocation pool.
     let obs_ctx = support::obs::current();
     let deadline_ctx = support::deadline::current();
+    let memory_ctx = support::memory::current();
 
     let joined = crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
                 let _obs = obs_ctx.clone().map(support::obs::attach);
                 let _deadline = deadline_ctx.clone().map(support::deadline::enter);
+                let _memory = memory_ctx.clone().map(support::memory::enter);
                 let mut local: Vec<Slot> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);

@@ -125,13 +125,22 @@ fn evaluate(
     let next = AtomicUsize::new(0);
     let out: Mutex<Vec<(usize, Result<ProcLint, String>)>> =
         Mutex::new(Vec::with_capacity(indices.len()));
+    // Deadline and memory-budget contexts are thread-scoped; hand the
+    // spawning thread's to each worker so rule evaluation observes the
+    // same request deadline and charges the same allocation pool.
+    let deadline_ctx = support::deadline::current();
+    let memory_ctx = support::memory::current();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(indices.len()) {
-            scope.spawn(|| loop {
-                let k = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&i) = indices.get(k) else { break };
-                let res = lint_procedure(analysis, ProcId::from_usize(i));
-                out.lock().unwrap_or_else(|p| p.into_inner()).push((i, res));
+            scope.spawn(|| {
+                let _deadline = deadline_ctx.clone().map(support::deadline::enter);
+                let _memory = memory_ctx.clone().map(support::memory::enter);
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = indices.get(k) else { break };
+                    let res = lint_procedure(analysis, ProcId::from_usize(i));
+                    out.lock().unwrap_or_else(|p| p.into_inner()).push((i, res));
+                }
             });
         }
     });

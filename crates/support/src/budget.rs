@@ -131,11 +131,16 @@ pub fn enter(config: BudgetConfig) -> BudgetScope {
 }
 
 fn charge(n: u64, pick: impl Fn(&mut State) -> &mut u64, label: &'static str) -> bool {
-    // Wall-clock deadlines piggyback on the work checkpoints: an expired
-    // deadline denies every further charge, so the phase widens exactly as
-    // if its budget ran dry. Checked first so it works without a scope too.
+    // Wall-clock deadlines and memory budgets piggyback on the work
+    // checkpoints: an expired deadline or exhausted allocation budget
+    // denies every further charge, so the phase widens exactly as if its
+    // step budget ran dry. Checked first so they work without a scope too.
     if crate::deadline::expired_fast() {
         note_exhausted("deadline");
+        return false;
+    }
+    if !crate::memory::checkpoint() {
+        note_exhausted("memory");
         return false;
     }
     ACTIVE.with(|a| {
@@ -219,6 +224,10 @@ impl Drop for RecursionGuard {
 pub fn recursion_guard() -> Option<RecursionGuard> {
     if crate::deadline::expired_fast() {
         note_exhausted("deadline");
+        return None;
+    }
+    if !crate::memory::checkpoint() {
+        note_exhausted("memory");
         return None;
     }
     let limit = ACTIVE.with(|a| {

@@ -31,14 +31,21 @@
 //! | `persist::bit_flip`     | `read_file_validated` (flips one bit)         |
 //! | `lint::contain`         | `lint` per-procedure rule evaluation          |
 //! | `lint::sarif`           | `lint::sarif` document emission               |
+//! | `memory::charge`        | `support::memory::checkpoint` (denies the     |
+//! |                         | charge — forces memory-budget exhaustion)     |
+//! | `serve::project::<name>`| `dragon serve` request dispatch, per project  |
+//! | `serve::wedge`          | `dragon serve` worker (spins off-checkpoint   |
+//! |                         | until the supervisor replaces the thread)     |
 //!
 //! The `persist::short_read` / `persist::bit_flip` points are *data*
 //! faults: they fire through [`fires`] (mutating the read buffer) rather
-//! than panicking.
+//! than panicking. So are `memory::charge` and `serve::wedge`.
 //!
 //! `ARAA_FAULTPOINT=name[:n]` arms `name` to fire on its `n`th hit
 //! (default 1) at first use, so the dragon binary can be fault-tested
-//! end-to-end without a test harness.
+//! end-to-end without a test harness. `ARAA_FAULTPOINT=name:always` arms
+//! the point *sticky*: it fires on every hit and never disarms — the knob
+//! behind "this project panics every single time" chaos scenarios.
 
 /// Marks a potential fault site. No-op unless the `fault-injection`
 /// feature is enabled and the point was armed.
@@ -68,7 +75,7 @@ pub fn fires(name: &str) -> bool {
 }
 
 #[cfg(feature = "fault-injection")]
-pub use imp::{arm, disarm_all};
+pub use imp::{arm, arm_sticky, disarm_all};
 
 #[cfg(feature = "fault-injection")]
 mod imp {
@@ -86,6 +93,7 @@ mod imp {
                 // Point names contain `::`, so only a trailing `:<number>`
                 // is a hit count — `ipl::summarize:3` arms `ipl::summarize`.
                 let (name, n) = match spec.rsplit_once(':') {
+                    Some((head, "always")) => (head, STICKY),
                     Some((head, tail)) => match tail.parse() {
                         Ok(n) => (head, n),
                         Err(_) => (spec.as_str(), 1),
@@ -100,10 +108,19 @@ mod imp {
         })
     }
 
+    /// Remaining-hit sentinel meaning "fires on every hit, never disarms".
+    const STICKY: u64 = u64::MAX;
+
     /// Arms `name` to panic on its `nth` hit (1 = next hit).
     pub fn arm(name: &str, nth: u64) {
         let mut map = registry().lock().unwrap_or_else(|p| p.into_inner());
-        map.insert(name.to_string(), nth.max(1));
+        map.insert(name.to_string(), nth.max(1).min(STICKY - 1));
+    }
+
+    /// Arms `name` sticky: it fires on every hit until [`disarm_all`].
+    pub fn arm_sticky(name: &str) {
+        let mut map = registry().lock().unwrap_or_else(|p| p.into_inner());
+        map.insert(name.to_string(), STICKY);
     }
 
     /// Disarms every point (tests should call this in cleanup).
@@ -116,6 +133,7 @@ mod imp {
         let fired = {
             let mut map = registry().lock().unwrap_or_else(|p| p.into_inner());
             match map.get_mut(name) {
+                Some(left) if *left == STICKY => true,
                 Some(left) if *left <= 1 => {
                     map.remove(name);
                     true
@@ -172,5 +190,15 @@ mod tests {
         arm("tests::pending", 1);
         disarm_all();
         hit("tests::pending");
+    }
+
+    #[test]
+    fn sticky_point_fires_every_hit() {
+        arm_sticky("tests::sticky");
+        assert!(fires("tests::sticky"));
+        assert!(fires("tests::sticky"), "sticky points never disarm");
+        assert!(fires("tests::sticky"));
+        disarm_all();
+        assert!(!fires("tests::sticky"));
     }
 }

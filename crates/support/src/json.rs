@@ -4,10 +4,13 @@
 //! JSON files; with no external dependencies available, this module is the
 //! one JSON implementation the workspace shares. Design points:
 //!
-//! - **Total**: [`parse`] never panics; malformed input yields
+//! - **Total**: [`Value::parse`] never panics; malformed input yields
 //!   [`crate::Error::Format`]. Nesting depth is capped ([`MAX_DEPTH`]) so a
-//!   hostile client can't overflow the stack, and the parser is
+//!   hostile client can't overflow the stack, document size is capped
+//!   ([`MAX_BYTES`]) so it can't balloon the heap either, and the parser is
 //!   recursion-free on the unwind path (iterative-friendly depth counter).
+//!   Callers facing untrusted sockets can tighten both caps with
+//!   [`Value::parse_with_limits`].
 //! - **Deterministic**: objects are `BTreeMap`s, so [`Value::render`]
 //!   produces byte-identical output for equal values — which is what the
 //!   serve chaos test's "byte-identical results after restart" assertion
@@ -32,6 +35,26 @@ use std::fmt::Write as _;
 /// protocol message, shallow enough to never threaten the stack.
 pub const MAX_DEPTH: u32 = 64;
 
+/// Maximum document size accepted by the parser, in bytes. Generous enough
+/// for any bench report or batched analyze request; a hard stop for a
+/// hostile multi-hundred-megabyte body.
+pub const MAX_BYTES: usize = 16 << 20;
+
+/// Parser resource caps; see [`Value::parse_with_limits`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum nesting depth (arrays + objects).
+    pub max_depth: u32,
+    /// Maximum document size in bytes, checked before parsing starts.
+    pub max_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits { max_depth: MAX_DEPTH, max_bytes: MAX_BYTES }
+    }
+}
+
 /// A parsed JSON value. Objects use [`BTreeMap`] for stable key order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -46,7 +69,22 @@ pub enum Value {
 impl Value {
     /// Parses a complete JSON document; trailing non-whitespace is an error.
     pub fn parse(text: &str) -> Result<Value, Error> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        Self::parse_with_limits(text, ParseLimits::default())
+    }
+
+    /// [`parse`](Self::parse) with explicit resource caps — the entry point
+    /// for untrusted input (the serve daemon ties these to its frame-size
+    /// cap). Exceeding either cap is a clean [`crate::Error::Format`],
+    /// never a panic or an unbounded allocation.
+    pub fn parse_with_limits(text: &str, limits: ParseLimits) -> Result<Value, Error> {
+        if text.len() > limits.max_bytes {
+            return Err(Error::Format(format!(
+                "json: document of {} bytes exceeds the {}-byte cap",
+                text.len(),
+                limits.max_bytes
+            )));
+        }
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, limits };
         p.skip_ws();
         let v = p.value(0)?;
         p.skip_ws();
@@ -183,6 +221,7 @@ fn write_num(n: f64, out: &mut String) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    limits: ParseLimits,
 }
 
 impl<'a> Parser<'a> {
@@ -222,7 +261,7 @@ impl<'a> Parser<'a> {
     }
 
     fn value(&mut self, depth: u32) -> Result<Value, Error> {
-        if depth > MAX_DEPTH {
+        if depth > self.limits.max_depth {
             return Err(self.err("nesting too deep"));
         }
         self.skip_ws();
@@ -379,7 +418,7 @@ impl<'a> Parser<'a> {
 
     fn number(&mut self) -> Result<Value, Error> {
         let start = self.pos;
-        if self.eat(b'-') {}
+        self.eat(b'-');
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
@@ -460,6 +499,26 @@ mod tests {
         assert!(Value::parse(&deep).is_err());
         let ok = "[".repeat(8) + &"]".repeat(8);
         assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn size_cap_trips_before_parsing() {
+        let limits = ParseLimits { max_bytes: 16, ..Default::default() };
+        let small = r#"{"a":1}"#;
+        assert!(Value::parse_with_limits(small, limits).is_ok());
+        let big = format!(r#"{{"a":"{}"}}"#, "x".repeat(64));
+        let err = Value::parse_with_limits(&big, limits).expect_err("cap must trip");
+        assert!(err.to_string().contains("exceeds"), "got: {err}");
+    }
+
+    #[test]
+    fn custom_depth_cap_overrides_default() {
+        let limits = ParseLimits { max_depth: 4, ..Default::default() };
+        let deep = "[".repeat(8) + &"]".repeat(8);
+        assert!(Value::parse_with_limits(&deep, limits).is_err());
+        assert!(Value::parse(&deep).is_ok(), "default cap is deeper");
+        let shallow = "[[[1]]]";
+        assert!(Value::parse_with_limits(shallow, limits).is_ok());
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod hash;
 pub mod idx;
 pub mod intern;
 pub mod json;
+pub mod memory;
 pub mod obs;
 pub mod persist;
 pub mod table;

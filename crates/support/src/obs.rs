@@ -116,6 +116,11 @@ catalog! {
         BudgetTranslations => "budget.translations",
         /// Budget scopes that ended exhausted (some result was widened).
         BudgetExhausted => "budget.exhausted",
+        /// Bytes charged against memory budgets ([`crate::memory`]).
+        MemBytesCharged => "memory.bytes_charged",
+        /// Memory-budget scopes that ended exhausted (allocation ceiling
+        /// crossed; some result was widened).
+        MemExhausted => "memory.exhausted",
         /// Degradations recorded into analysis results.
         DegradeEvents => "degrade.events",
         /// Procedures primed from a validated on-disk cache entry.
@@ -137,6 +142,18 @@ catalog! {
         ServeDeadlineExpired => "serve.deadline_expired",
         /// Worker panics contained by per-request isolation.
         ServePanics => "serve.panics",
+        /// Frames rejected for exceeding the serve frame-size cap.
+        ServeFrameTooLarge => "serve.frame_too_large",
+        /// Connections shed at the concurrent-connection cap.
+        ServeConnShed => "serve.conn_shed",
+        /// Requests rejected because the project's circuit was open.
+        ServeCircuitOpen => "serve.circuit_open",
+        /// Wedged workers replaced by the supervisor (heartbeat missed
+        /// beyond the deadline grace; sessions evicted).
+        ServeWorkerReplaced => "serve.worker_replaced",
+        /// Serve requests whose memory budget was exhausted (degraded
+        /// responses).
+        ServeMemExhausted => "serve.mem_exhausted",
         /// Armed faultpoints that fired (only under `fault-injection`).
         FaultpointTrips => "faultpoint.trips",
         /// Fourier–Motzkin variable eliminations performed.
@@ -182,6 +199,11 @@ catalog! {
         ServeSessions => "serve.sessions",
         /// Requests queued across serve workers (admission-control depth).
         ServeQueueDepth => "serve.queue_depth",
+        /// Open per-project circuit breakers in the serve daemon.
+        ServeOpenCircuits => "serve.open_circuits",
+        /// Highest per-request memory-budget charge seen by the serve
+        /// daemon, in bytes.
+        MemHighWater => "memory.high_water_bytes",
     }
 }
 

@@ -1,0 +1,142 @@
+//! Adversarial-input tests for `support::json`: the parser sits on the
+//! serve daemon's untrusted socket boundary, so it must be *total* —
+//! arbitrary input may be rejected but must never panic, recurse
+//! unboundedly, or allocate past its caps.
+//!
+//! (Invalid UTF-8 *bytes* cannot reach `Value::parse`, which takes `&str`;
+//! the serve frame reader lossy-decodes first, and the byte-level protocol
+//! fuzzer in `dragon` covers that path. Here "invalid UTF-8" means what
+//! survives decoding: replacement characters, lone-surrogate escapes,
+//! truncated multi-byte tails.)
+
+use proptest::prelude::*;
+use support::json::{obj, ParseLimits, Value, MAX_BYTES, MAX_DEPTH};
+
+proptest! {
+    #[test]
+    fn parse_never_panics(doc in "\\PC*") {
+        let _ = Value::parse(&doc);
+    }
+
+    #[test]
+    fn parse_with_tight_limits_never_panics(doc in "[\\[\\]{}\":,0-9a-z\\\\ ]*") {
+        let limits = ParseLimits { max_depth: 8, max_bytes: 256 };
+        let _ = Value::parse_with_limits(&doc, limits);
+    }
+
+    #[test]
+    fn constructed_values_round_trip(
+        keys in proptest::collection::vec("[a-z_]*", 1..6),
+        nums in proptest::collection::vec(0u64..1_000_000, 1..6),
+        text in "\\PC*",
+    ) {
+        // Build a nested value from the generated leaves: an object holding
+        // a string, an array of integers, and a nested object per key.
+        let arr = Value::Arr(nums.iter().copied().map(Value::int).collect());
+        let mut v = obj([("text", Value::str(text.clone())), ("nums", arr)]);
+        for key in &keys {
+            v = Value::Obj([(key.clone(), v)].into_iter().collect());
+        }
+        let rendered = v.render();
+        let back = Value::parse(&rendered).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn numbers_round_trip_or_reject(
+        mantissa in 0u64..u64::MAX,
+        digit_reps in 1usize..80,
+        exp in 0u32..6000,
+        neg in proptest::collection::vec(0u64..2, 2..3),
+    ) {
+        // Huge numbers (hundreds of digits, 4-digit exponents) must parse
+        // to an f64 or reject — never panic, never hang.
+        let sign = if neg[0] == 1 { "-" } else { "" };
+        let esign = if neg[1] == 1 { "-" } else { "+" };
+        let digits = mantissa.to_string().repeat(digit_reps);
+        let num = format!("{sign}{digits}e{esign}{exp}");
+        if let Ok(v) = Value::parse(&num) {
+            let rendered = v.render();
+            prop_assert!(Value::parse(&rendered).is_ok(), "render must reparse: {}", rendered);
+        }
+    }
+}
+
+/// Hand-picked malformed corpus: every entry must be *rejected* (not
+/// panicked on), and the error must be a clean `Error::Format`.
+#[test]
+fn malformed_corpus_rejects_cleanly() {
+    let deep_open = "[".repeat(10_000);
+    let deep_mixed = "[{\"a\":".repeat(5_000);
+    let corpus: Vec<String> = vec![
+        // Truncated escapes.
+        r#""\"#.to_string(),
+        r#""\u"#.to_string(),
+        r#""\u12"#.to_string(),
+        r#""\ud83d"#.to_string(),
+        r#""\ud83dA""#.to_string(),
+        r#""\x41""#.to_string(),
+        // Deep nesting far beyond the cap (would overflow the stack if the
+        // depth counter failed).
+        deep_open,
+        deep_mixed,
+        // Raw control characters and replacement-character abuse.
+        "\"\u{0}\"".to_string(),
+        "\"\u{1b}[31m\"".to_string(),
+        // Structural garbage.
+        "{\"a\":1".to_string(),
+        "[1,2,,3]".to_string(),
+        "{\"a\" 1}".to_string(),
+        "\u{FEFF}{}".to_string(), // BOM is not whitespace
+        "{},{}".to_string(),
+        "+1".to_string(),
+        ".5".to_string(),
+        "0x10".to_string(),
+        "Infinity".to_string(),
+        "NaN".to_string(),
+    ];
+    for bad in &corpus {
+        let got = Value::parse(bad);
+        assert!(got.is_err(), "must reject {:?}, got {:?}", &bad[..bad.len().min(40)], got);
+    }
+}
+
+/// Inputs that stress the caps specifically: each must trip the cap with a
+/// descriptive error rather than allocating or recursing.
+#[test]
+fn caps_trip_cleanly() {
+    // Depth cap: opening k arrays parses the innermost at depth k-1, so
+    // the boundary sits at MAX_DEPTH + 1 opens.
+    let at_cap = "[".repeat(MAX_DEPTH as usize + 1) + &"]".repeat(MAX_DEPTH as usize + 1);
+    assert!(Value::parse(&at_cap).is_ok());
+    let past_cap = "[".repeat(MAX_DEPTH as usize + 2) + &"]".repeat(MAX_DEPTH as usize + 2);
+    let err = Value::parse(&past_cap).expect_err("depth cap");
+    assert!(err.to_string().contains("nesting too deep"), "got: {err}");
+
+    // Size cap: checked before any parsing work happens.
+    let huge = format!("\"{}\"", "x".repeat(MAX_BYTES));
+    let err = Value::parse(&huge).expect_err("size cap");
+    assert!(err.to_string().contains("exceeds"), "got: {err}");
+
+    // Tightened caps bind before the defaults.
+    let limits = ParseLimits { max_depth: 2, max_bytes: 64 };
+    assert!(Value::parse_with_limits("[[[1]]]", limits).is_err());
+    assert!(Value::parse_with_limits("[[1]]", limits).is_ok());
+}
+
+/// Valid-but-nasty inputs must *succeed* and round-trip: the hardening
+/// must not reject legitimate protocol traffic.
+#[test]
+fn nasty_but_valid_round_trips() {
+    for good in [
+        r#"{"a":"😀","b":[1e3,-0.0,2.5e-3],"c":{"":null}}"#,
+        "  [\t1,\n2\r]  ",
+        r#""Aé中""#,
+        "1e308",
+        "{\"dup\":1,\"dup\":2}",
+    ] {
+        let v = Value::parse(good).unwrap_or_else(|e| panic!("must accept {good:?}: {e}"));
+        let back = Value::parse(&v.render()).expect("round trip");
+        assert_eq!(v, back);
+    }
+}

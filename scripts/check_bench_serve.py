@@ -17,7 +17,11 @@ Checks, stdlib only (CI runners install nothing):
   5. the serving-overhead budget holds: warm reanalyze p50 over the
      socket is at most 2x the in-process session baseline
      (warm_noop + warm_one_proc_edit medians from BENCH_session.json,
-     section session_warm/mini_lu).
+     section session_warm/mini_lu);
+  6. memory accounting is live and bounded: mem_high_water_bytes is
+     positive (the counting allocator actually charged requests) and at
+     most 1.25x the configured per-request budget (no request's
+     allocation churn escaped its ceiling by more than checkpoint slack).
 
 Exit 0 on success; prints the first failure and exits 1 otherwise.
 """
@@ -134,11 +138,27 @@ def main(argv: list) -> None:
             f"of 2x in-process warm baseline = {budget} ns"
         )
 
+    high_water = doc["mem_high_water_bytes"]
+    mem_budget_bytes = doc["mem_budget_mb"] * (1 << 20)
+    mem_cap = int(mem_budget_bytes * 1.25)
+    if high_water <= 0:
+        fail(
+            "mem_high_water_bytes = 0 — the counting allocator never "
+            "charged a request; memory accounting is dead"
+        )
+    if high_water > mem_cap:
+        fail(
+            f"mem_high_water_bytes = {high_water} exceeds 1.25x the "
+            f"{doc['mem_budget_mb']} MiB per-request budget ({mem_cap} bytes) "
+            "— a request's allocation churn escaped its ceiling"
+        )
+
     print(
         f"{report_path}: schema ok; load {load['requests']} req "
         f"(p50 {lat['p50']} ns, {load['shed']} shed); overload shed "
         f"{over['shed']}/{over['requests']}; warm reanalyze p50 {warm} ns "
-        f"<= budget {budget} ns"
+        f"<= budget {budget} ns; mem high-water {high_water} bytes "
+        f"<= {mem_cap} bytes"
     )
 
 
