@@ -234,6 +234,47 @@ fn median(mut v: Vec<u128>) -> u128 {
     percentile(&v, 0.5)
 }
 
+/// Per-op latency histogram over the same log-linear buckets the daemon's
+/// metrics registry uses, plus the exact sampled latencies for the
+/// checker's histogram-vs-sample p50 cross-check.
+struct OpHist {
+    hist: support::obs::hist::Histogram,
+    sampled: Vec<u128>,
+}
+
+impl OpHist {
+    fn new() -> OpHist {
+        OpHist { hist: support::obs::hist::Histogram::new(), sampled: Vec::new() }
+    }
+
+    fn record(&mut self, ns: u128) {
+        self.hist.record(u64::try_from(ns).unwrap_or(u64::MAX).max(1));
+        self.sampled.push(ns);
+    }
+
+    /// `{"count": .., "sampled_p50_ns": .., "hist_p50_ns": .., "bounds":
+    /// [..], "counts": [..]}` with the bucket vectors trimmed to the last
+    /// occupied bucket (bounds stay aligned with counts).
+    fn json(&mut self) -> String {
+        use support::obs::hist;
+        let counts = self.hist.counts();
+        let bounds = hist::bucket_bounds();
+        let last = counts.iter().rposition(|&c| c > 0).map(|p| p + 1).unwrap_or(0);
+        self.sampled.sort_unstable();
+        let join = |v: &[u64]| {
+            v.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+        };
+        format!(
+            r#"{{"count": {}, "sampled_p50_ns": {}, "hist_p50_ns": {}, "bounds": [{}], "counts": [{}]}}"#,
+            self.hist.count(),
+            percentile(&self.sampled, 0.50),
+            hist::percentile_from_counts(&counts, 0.50),
+            join(&bounds[..last]),
+            join(&counts[..last]),
+        )
+    }
+}
+
 // ---------------------------------------------------------------------
 // Phase 1+2: load against a realistically sized daemon, then sequential
 // steady-state medians on the same warm daemon.
@@ -247,6 +288,9 @@ struct LoadReport {
     requests: u64,
     outcomes: Outcomes,
     latencies: Vec<u128>,
+    /// Per-op histograms over the successful load-phase requests.
+    reanalyze_hist: OpHist,
+    query_hist: OpHist,
     warm_reanalyze_p50: u128,
     warm_query_p50: u128,
     workers: usize,
@@ -275,6 +319,8 @@ fn run_load_phase(dir: &Path) -> LoadReport {
     let outcomes = Arc::new(Outcomes::default());
     let mut handles = Vec::new();
     let mut all_latencies = Vec::new();
+    let mut reanalyze_hist = OpHist::new();
+    let mut query_hist = OpHist::new();
     for c in 0..LOAD_CLIENTS {
         let o = d.copts();
         let outcomes = Arc::clone(&outcomes);
@@ -284,7 +330,8 @@ fn run_load_phase(dir: &Path) -> LoadReport {
                 let project = format!("load-{}", (c + i) % LOAD_PROJECTS);
                 // Two in three requests are cheap reads; the third forces a
                 // one-procedure reanalyze (and its persist) on the shard.
-                let req = if i % 3 == 2 {
+                let reanalyze = i % 3 == 2;
+                let req = if reanalyze {
                     analyze_req(i as u64, "reanalyze", &project, c + i)
                 } else {
                     plain_req(i as u64, "query-rgn", &project)
@@ -293,14 +340,21 @@ fn run_load_phase(dir: &Path) -> LoadReport {
                 let resp = serve::client::call(&o, &req);
                 let ns = t.elapsed().as_nanos();
                 if outcomes.record(&resp) {
-                    latencies.push(ns);
+                    latencies.push((reanalyze, ns));
                 }
             }
             latencies
         }));
     }
     for h in handles {
-        all_latencies.extend(h.join().expect("client thread"));
+        for (reanalyze, ns) in h.join().expect("client thread") {
+            if reanalyze {
+                reanalyze_hist.record(ns);
+            } else {
+                query_hist.record(ns);
+            }
+            all_latencies.push(ns);
+        }
     }
     all_latencies.sort_unstable();
 
@@ -339,6 +393,8 @@ fn run_load_phase(dir: &Path) -> LoadReport {
         requests: (LOAD_CLIENTS * LOAD_REQS_PER_CLIENT) as u64,
         outcomes: Arc::try_unwrap(outcomes).unwrap_or_default(),
         latencies: all_latencies,
+        reanalyze_hist,
+        query_hist,
         warm_reanalyze_p50: median(rean),
         warm_query_p50: median(query),
         workers,
@@ -405,7 +461,7 @@ fn run_overload_phase(dir: &Path) -> OverloadReport {
 
 fn manual_report(path: &Path) {
     let dir = TestDir::new("serve-load");
-    let load = run_load_phase(dir.path());
+    let mut load = run_load_phase(dir.path());
     let over = run_overload_phase(dir.path());
 
     let commit = std::env::var("ARAA_BENCH_COMMIT").unwrap_or_else(|_| "unknown".to_string());
@@ -413,7 +469,7 @@ fn manual_report(path: &Path) {
     let lat = &load.latencies;
     let out = format!(
         r#"{{
-  "schema": 2,
+  "schema": 3,
   "commit": "{commit}",
   "date": "{date}",
   "workers": {workers},
@@ -427,7 +483,11 @@ fn manual_report(path: &Path) {
     "shed": {l_shed},
     "deadline_expired": {l_dead},
     "errors": {l_err},
-    "latency_ns": {{"p50": {p50}, "p95": {p95}, "p99": {p99}, "max": {max}}}
+    "latency_ns": {{"p50": {p50}, "p95": {p95}, "p99": {p99}, "max": {max}}},
+    "ops": {{
+      "query-rgn": {query_hist},
+      "reanalyze": {rean_hist}
+    }}
   }},
   "warm": {{
     "iters": {warm_iters},
@@ -460,6 +520,8 @@ fn manual_report(path: &Path) {
         p95 = percentile(lat, 0.95),
         p99 = percentile(lat, 0.99),
         max = lat.last().copied().unwrap_or(0),
+        query_hist = load.query_hist.json(),
+        rean_hist = load.reanalyze_hist.json(),
         warm_iters = WARM_ITERS,
         warm_rean = load.warm_reanalyze_p50,
         warm_query = load.warm_query_p50,

@@ -360,10 +360,19 @@ impl SessionStore {
     /// a concurrent save.
     pub fn stats(&self) -> Result<CacheStats> {
         let _lock = self.lock()?;
-        if let Some(snap) = self.read_stats_snapshot() {
-            return Ok(snap);
-        }
-        self.live_stats()
+        let stats = match self.read_stats_snapshot() {
+            Some(snap) => snap,
+            None => self.live_stats()?,
+        };
+        // Reconcile the live registry with what the store actually holds:
+        // the gauge is otherwise only written at save time, so a process
+        // that never saved (or a drain that flushed elsewhere) would keep
+        // reporting a stale entry count.
+        support::obs::set_gauge(
+            support::obs::Gauge::StoreEntries,
+            stats.entry_files as u64,
+        );
+        Ok(stats)
     }
 
     /// The stats snapshot, if present, valid, and bound to the manifest

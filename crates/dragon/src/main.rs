@@ -61,10 +61,18 @@ fn usage() -> ! {
          \x20       [--queue-depth N] [--deadline-ms N] [--persist-debounce-ms N]\n\
          \x20       [--max-connections N] [--max-frame-bytes N] [--io-timeout-ms N]\n\
          \x20       [--heartbeat-grace-ms N] [--circuit-threshold N]\n\
-         \x20       [--circuit-cooldown-ms N]\n\
+         \x20       [--circuit-cooldown-ms N] [--slow-threshold-ms N]\n\
+         \x20       [--log-capacity N]\n\
+         \x20       [--metrics-interval-ms N --metrics-snapshot FILE]\n\
          \x20 client --socket PATH <op|ping> [--project NAME] [--deadline-ms N]\n\
-         \x20        [--retries N] [--timeout-ms N] [sources...]\n\
-         \x20        (ping = health probe with a one-line summary)\n\
+         \x20        [--retries N] [--timeout-ms N] [--trace ID] [--format F]\n\
+         \x20        [--limit N] [--top N] [sources...]\n\
+         \x20        (ping = health probe with a one-line summary;\n\
+         \x20         ops: analyze reanalyze lint query-rgn stats health\n\
+         \x20         shutdown metrics query-log profile)\n\
+         \x20 top --socket PATH [--interval-ms N] [--iterations N|--once]\n\
+         \x20     [--top N]   (live daemon dashboard: rps, per-op p50/p95/p99,\n\
+         \x20     worker heartbeats, hottest procedures)\n\
          \x20 --strict: treat degraded analysis as failure (exit 2)\n\
          \x20 --cache-dir DIR: load/save a persistent analysis cache\n\
          \x20 --no-cache: ignore --cache-dir for this run\n\
@@ -384,6 +392,202 @@ fn render_ping(result: &support::json::Value) -> String {
         u64_of("mem_high_water_bytes"),
         budget,
     )
+}
+
+/// Formats a latency in clock units: milliseconds under the monotonic
+/// clock (units are nanoseconds), raw ticks under the logical clock.
+fn fmt_units(units: u64, logical: bool) -> String {
+    if logical {
+        format!("{units}t")
+    } else if units >= 1_000_000 {
+        format!("{}.{}ms", units / 1_000_000, (units % 1_000_000) / 100_000)
+    } else {
+        format!("{}us", units / 1_000)
+    }
+}
+
+/// One refresh of the `dragon top` dashboard: daemon summary line, per-op
+/// latency table, worker heartbeats, and hottest procedures.
+fn render_top(
+    metrics: &support::json::Value,
+    health: &support::json::Value,
+    profile: &support::json::Value,
+    rps: Option<f64>,
+) -> String {
+    use support::json::Value;
+    use support::table::Table;
+    let u64_of = |v: &Value, k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let logical = metrics.get("clock").and_then(Value::as_str) == Some("logical");
+    let mut out = format!(
+        "dragon top — uptime {} ms | rps {} | workers {} | sessions {} | \
+         queue {} | open circuits {} | mem high-water {} B | invalid {}\n",
+        u64_of(metrics, "uptime_ms"),
+        match rps {
+            Some(r) => format!("{r:.1}"),
+            None => "-".to_string(),
+        },
+        u64_of(metrics, "workers"),
+        u64_of(metrics, "sessions"),
+        u64_of(metrics, "queue_depth"),
+        u64_of(metrics, "open_circuits"),
+        u64_of(metrics, "mem_high_water_bytes"),
+        u64_of(metrics, "invalid_requests"),
+    );
+    let mut ops_table =
+        Table::new(["op", "count", "ok", "degr", "shed", "deadl", "err", "p50", "p95", "p99"]);
+    if let Some(ops) = metrics.get("ops").and_then(Value::as_obj) {
+        for (name, op) in ops {
+            let count = u64_of(op, "count");
+            if count == 0 {
+                continue;
+            }
+            let oc = |k: &str| {
+                op.get("outcomes").and_then(|o| o.get(k)).and_then(Value::as_u64).unwrap_or(0)
+            };
+            let (ok, degr, shed, deadl) =
+                (oc("ok"), oc("degraded"), oc("shed"), oc("deadline-expired"));
+            let err = count.saturating_sub(ok + degr + shed + deadl);
+            let lat = |k: &str| {
+                let units =
+                    op.get("latency").and_then(|l| l.get(k)).and_then(Value::as_u64).unwrap_or(0);
+                fmt_units(units, logical)
+            };
+            ops_table.add_row([
+                name.clone(),
+                count.to_string(),
+                ok.to_string(),
+                degr.to_string(),
+                shed.to_string(),
+                deadl.to_string(),
+                err.to_string(),
+                lat("p50_units"),
+                lat("p95_units"),
+                lat("p99_units"),
+            ]);
+        }
+    }
+    if ops_table.row_count() > 0 {
+        out.push('\n');
+        out.push_str(&ops_table.render(false));
+    }
+    if let Some(workers) = health.get("workers").and_then(Value::as_arr) {
+        let beats: Vec<String> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                format!(
+                    "w{i} gen {} beat {} ms{}",
+                    u64_of(w, "generation"),
+                    u64_of(w, "heartbeat_age_ms"),
+                    if w.get("busy").and_then(Value::as_bool) == Some(true) {
+                        " busy"
+                    } else {
+                        ""
+                    }
+                )
+            })
+            .collect();
+        out.push_str(&format!("\nworkers: {}\n", beats.join(" | ")));
+    }
+    // Hottest procedures across projects, ranked by aggregated span time.
+    let mut hot: Vec<(String, String, u64, u64)> = Vec::new();
+    if let Some(projects) = profile.get("projects").and_then(Value::as_arr) {
+        for p in projects {
+            let project =
+                p.get("project").and_then(Value::as_str).unwrap_or("?").to_string();
+            if let Some(procs) = p.get("procs").and_then(Value::as_arr) {
+                for pr in procs {
+                    hot.push((
+                        project.clone(),
+                        pr.get("proc").and_then(Value::as_str).unwrap_or("?").to_string(),
+                        u64_of(pr, "total_units"),
+                        u64_of(pr, "spans"),
+                    ));
+                }
+            }
+        }
+    }
+    hot.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (&a.0, &a.1).cmp(&(&b.0, &b.1))));
+    if !hot.is_empty() {
+        let mut t = Table::new(["project", "proc", "time", "spans"]);
+        for (project, proc_name, units, spans) in hot.into_iter().take(10) {
+            t.add_row([
+                project,
+                proc_name,
+                fmt_units(units, logical),
+                spans.to_string(),
+            ]);
+        }
+        out.push('\n');
+        out.push_str("hottest procedures (sampled spans)\n");
+        out.push_str(&t.render(false));
+    }
+    out
+}
+
+/// `dragon top`: a refreshing dashboard over the daemon's `metrics`,
+/// `health`, and `profile` ops. Exits after `--iterations N` refreshes
+/// (`--once` = 1); runs until interrupted otherwise.
+fn run_top(
+    copts: &dragon::serve::ClientOptions,
+    interval_ms: u64,
+    iterations: Option<u64>,
+    top_n: u64,
+) {
+    use std::io::IsTerminal;
+    use support::json::Value;
+    let call_op = |op: &'static str, extra: Vec<(&'static str, Value)>| -> Option<Value> {
+        let mut fields = vec![("id", Value::int(1)), ("op", Value::str(op))];
+        fields.extend(extra);
+        match dragon::serve::call(copts, &support::json::obj(fields)) {
+            Ok(resp) if resp.get("ok").and_then(Value::as_bool) == Some(true) => {
+                resp.get("result").cloned()
+            }
+            Ok(resp) => {
+                let msg = resp
+                    .get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("request failed");
+                eprintln!("dragon top: {op}: {msg}");
+                None
+            }
+            Err(e) => {
+                eprintln!("dragon top: {op}: {e}");
+                None
+            }
+        }
+    };
+    let clear = std::io::stdout().is_terminal() && iterations != Some(1);
+    let mut prev: Option<(u64, std::time::Instant)> = None;
+    let mut done = 0u64;
+    loop {
+        let Some(metrics) = call_op("metrics", vec![]) else {
+            std::process::exit(1);
+        };
+        let health = call_op("health", vec![]).unwrap_or(Value::Null);
+        let profile =
+            call_op("profile", vec![("top", Value::int(top_n))]).unwrap_or(Value::Null);
+        let total = metrics.get("requests_total").and_then(Value::as_u64).unwrap_or(0);
+        let now = std::time::Instant::now();
+        let rps = prev.map(|(t0, at)| {
+            let dt = now.duration_since(at).as_secs_f64().max(1e-9);
+            (total.saturating_sub(t0)) as f64 / dt
+        });
+        prev = Some((total, now));
+        if clear {
+            // ANSI clear + home keeps the dashboard in place across refreshes.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(&metrics, &health, &profile, rps));
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        done += 1;
+        if iterations.is_some_and(|n| done >= n) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
 }
 
 fn main() {
@@ -739,11 +943,42 @@ fn main() {
                             .filter(|&n| n > 0)
                             .unwrap_or_else(|| usage())
                     }
+                    "--metrics-interval-ms" => {
+                        opts.metrics_interval_ms = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--metrics-snapshot" => {
+                        opts.metrics_snapshot =
+                            Some(it.next().cloned().unwrap_or_else(|| usage()).into())
+                    }
+                    "--slow-threshold-ms" => {
+                        opts.slow_threshold_ms = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--log-capacity" => {
+                        opts.log_capacity = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
                     _ => usage(),
                 }
             }
             opts.socket = socket.unwrap_or_else(|| usage()).into();
             opts.mem_budget_mb = mem_budget_mb;
+            if (opts.metrics_interval_ms > 0) != opts.metrics_snapshot.is_some() {
+                sink::fatal(
+                    "serve.usage",
+                    "--metrics-interval-ms and --metrics-snapshot FILE go together"
+                        .to_string(),
+                );
+            }
             eprintln!(
                 "dragon serve: listening on {} ({} worker(s), queue depth {}, \
                  default deadline {} ms, default memory budget {})",
@@ -765,19 +1000,31 @@ fn main() {
             let mut copts = dragon::serve::ClientOptions::default();
             let mut socket: Option<String> = None;
             let mut op: Option<String> = None;
-            let mut project = "default".to_string();
+            let mut project: Option<String> = None;
             let mut deadline_ms: Option<u64> = None;
+            let mut trace_id: Option<String> = None;
+            let mut format: Option<String> = None;
+            let mut limit: Option<u64> = None;
+            let mut top: Option<u64> = None;
             let mut srcs = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--socket" => socket = it.next().cloned(),
                     "--project" => {
-                        project = it.next().cloned().unwrap_or_else(|| usage())
+                        project = Some(it.next().cloned().unwrap_or_else(|| usage()))
                     }
                     "--deadline-ms" => {
                         deadline_ms = it.next().and_then(|v| v.parse().ok())
                     }
+                    "--trace" => {
+                        trace_id = Some(it.next().cloned().unwrap_or_else(|| usage()))
+                    }
+                    "--format" => {
+                        format = Some(it.next().cloned().unwrap_or_else(|| usage()))
+                    }
+                    "--limit" => limit = it.next().and_then(|v| v.parse().ok()),
+                    "--top" => top = it.next().and_then(|v| v.parse().ok()),
                     "--retries" => {
                         copts.retries = it
                             .next()
@@ -806,8 +1053,24 @@ fn main() {
             let mut fields = vec![
                 ("id", Value::int(1)),
                 ("op", Value::str(wire_op.as_str())),
-                ("project", Value::str(project)),
             ];
+            // Omitted --project stays omitted on the wire: `query-log` and
+            // `profile` treat an absent project as "all projects".
+            if let Some(p) = project {
+                fields.push(("project", Value::str(p)));
+            }
+            if let Some(t) = trace_id {
+                fields.push(("trace", Value::str(t)));
+            }
+            if let Some(f) = format {
+                fields.push(("format", Value::str(f)));
+            }
+            if let Some(n) = limit {
+                fields.push(("limit", Value::int(n)));
+            }
+            if let Some(n) = top {
+                fields.push(("top", Value::int(n)));
+            }
             if let Some(ms) = deadline_ms {
                 fields.push(("deadline_ms", Value::int(ms)));
             }
@@ -834,6 +1097,22 @@ fn main() {
                     match (ping, healthy, resp.get("result")) {
                         (true, true, Some(result)) => {
                             println!("{}", render_ping(result))
+                        }
+                        // Text formats (`metrics --format prometheus`,
+                        // `profile --format collapsed`) print their body
+                        // verbatim instead of JSON-escaped.
+                        (false, true, Some(result))
+                            if result.get("format").is_some()
+                                && result.get("body").and_then(Value::as_str).is_some() =>
+                        {
+                            let body = result
+                                .get("body")
+                                .and_then(Value::as_str)
+                                .unwrap_or_default();
+                            print!("{body}");
+                            if !body.ends_with('\n') {
+                                println!();
+                            }
                         }
                         _ => println!("{}", resp.render()),
                     }
@@ -868,6 +1147,41 @@ fn main() {
                 }
                 Err(e) => sink::fatal("client.io", format!("{e}")),
             }
+        }
+        "top" => {
+            let mut copts = dragon::serve::ClientOptions::default();
+            let mut socket: Option<String> = None;
+            let mut interval_ms = 1000u64;
+            let mut iterations: Option<u64> = None;
+            let mut top_n = 5u64;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--socket" => socket = it.next().cloned(),
+                    "--interval-ms" => {
+                        interval_ms = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--iterations" => {
+                        iterations = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&n| n > 0)
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--once" => iterations = Some(1),
+                    "--top" => {
+                        top_n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                    }
+                    _ => usage(),
+                }
+            }
+            copts.socket = socket.unwrap_or_else(|| usage()).into();
+            run_top(&copts, interval_ms, iterations, top_n);
         }
         "cache" => {
             let Some(op) = args.get(1) else { usage() };

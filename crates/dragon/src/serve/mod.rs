@@ -9,13 +9,18 @@
 //!   wedged workers, graceful drain, and crash recovery on startup;
 //! - [`supervisor`] — the heartbeat/circuit-breaker state machine behind
 //!   the server's self-healing;
+//! - [`metrics`] — the observability plane: request-scoped trace ids,
+//!   sharded per-op outcome counters and log-linear latency histograms,
+//!   the ring-buffer request log, slow-trace capture, and the sampling
+//!   profiler (served by `metrics`, `query-log`, and `profile` ops);
 //! - [`client`] — one-shot calls with timeout, retry, and exponential
 //!   backoff with deterministic jitter.
 //!
-//! See DESIGN.md "Serving & overload behavior" and "Resource limits &
-//! self-healing" for the full semantics.
+//! See DESIGN.md "Serving & overload behavior", "Resource limits &
+//! self-healing", and "Observability" for the full semantics.
 
 pub mod client;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod supervisor;

@@ -39,9 +39,39 @@ pub enum Op {
     Health,
     /// Graceful shutdown: drain in-flight requests, persist all sessions.
     Shutdown,
+    /// Live metrics snapshot from the serve registry: per-op latency
+    /// histograms, outcome counters, per-project gauges. `format` selects
+    /// `"json"` (default) or `"prometheus"` text exposition. Answered
+    /// inline — the control plane works even when every worker is busy.
+    Metrics,
+    /// Recent requests from the structured ring-buffer log, newest last;
+    /// `limit` caps the count, an explicit `project` filters. Answered
+    /// inline.
+    QueryLog,
+    /// Per-project hot-procedure rankings aggregated from sampled request
+    /// span trees; `top` caps procedures per project, an explicit
+    /// `project` filters. `format:"collapsed"` returns flamegraph
+    /// collapsed-stack lines folded from slow-request traces. Answered
+    /// inline.
+    Profile,
 }
 
 impl Op {
+    /// Every op in wire-catalog order (the metrics registry indexes by
+    /// this).
+    pub const ALL: &'static [Op] = &[
+        Op::Analyze,
+        Op::Reanalyze,
+        Op::Lint,
+        Op::QueryRgn,
+        Op::Stats,
+        Op::Health,
+        Op::Shutdown,
+        Op::Metrics,
+        Op::QueryLog,
+        Op::Profile,
+    ];
+
     pub fn parse(s: &str) -> Option<Op> {
         Some(match s {
             "analyze" => Op::Analyze,
@@ -51,6 +81,9 @@ impl Op {
             "stats" => Op::Stats,
             "health" => Op::Health,
             "shutdown" => Op::Shutdown,
+            "metrics" => Op::Metrics,
+            "query-log" => Op::QueryLog,
+            "profile" => Op::Profile,
             _ => return None,
         })
     }
@@ -64,7 +97,15 @@ impl Op {
             Op::Stats => "stats",
             Op::Health => "health",
             Op::Shutdown => "shutdown",
+            Op::Metrics => "metrics",
+            Op::QueryLog => "query-log",
+            Op::Profile => "profile",
         }
+    }
+
+    /// Stable index into [`Op::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
     }
 }
 
@@ -89,6 +130,19 @@ pub struct Request {
     /// Per-request memory budget in mebibytes; `None` means the server
     /// default applies.
     pub mem_budget_mb: Option<u64>,
+    /// Client-supplied trace id, echoed verbatim; `None` lets the server
+    /// mint one. Either way every response carries a `trace` field.
+    pub trace: Option<String>,
+    /// Whether `project` was explicit in the request (vs the `"default"`
+    /// fallback) — `query-log`/`profile` only filter on explicit projects.
+    pub project_given: bool,
+    /// Output format selector for `metrics` (`json`/`prometheus`) and
+    /// `profile` (`json`/`collapsed`).
+    pub format: Option<String>,
+    /// Row cap for `query-log`.
+    pub limit: Option<u64>,
+    /// Per-project procedure cap for `profile`.
+    pub top: Option<u64>,
 }
 
 /// Why a request was rejected.
@@ -145,6 +199,7 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
         .ok_or_else(|| fail("missing string field `op`"))?;
     let op = Op::parse(op_str)
         .ok_or_else(|| (id, format!("unknown op `{op_str}`")))?;
+    let project_given = v.get("project").is_some();
     let project = v
         .get("project")
         .map(|p| p.as_str().map(str::to_string).ok_or(()))
@@ -153,6 +208,36 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
     if project.is_empty() || project.len() > 256 {
         return Err(fail("`project` must be 1..=256 characters"));
     }
+    let trace = match v.get("trace") {
+        None | Some(Value::Null) => None,
+        Some(t) => {
+            let t = t.as_str().ok_or_else(|| fail("`trace` must be a string"))?;
+            if t.is_empty() || t.len() > 64 || t.chars().any(|c| (c as u32) < 0x20) {
+                return Err(fail("`trace` must be 1..=64 printable characters"));
+            }
+            Some(t.to_string())
+        }
+    };
+    let format = match v.get("format") {
+        None | Some(Value::Null) => None,
+        Some(f) => Some(
+            f.as_str()
+                .ok_or_else(|| fail("`format` must be a string"))?
+                .to_string(),
+        ),
+    };
+    let limit = match v.get("limit") {
+        None | Some(Value::Null) => None,
+        Some(d) => {
+            Some(d.as_u64().ok_or_else(|| fail("`limit` must be a non-negative integer"))?)
+        }
+    };
+    let top = match v.get("top") {
+        None | Some(Value::Null) => None,
+        Some(d) => {
+            Some(d.as_u64().ok_or_else(|| fail("`top` must be a non-negative integer"))?)
+        }
+    };
     let deadline_ms = match v.get("deadline_ms") {
         None | Some(Value::Null) => None,
         Some(d) => Some(d.as_u64().ok_or_else(|| {
@@ -198,24 +283,40 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, String)> {
         }
         _ => {}
     }
-    Ok(Request { id, op, project, sources, deadline_ms, mem_budget_mb })
+    Ok(Request {
+        id,
+        op,
+        project,
+        sources,
+        deadline_ms,
+        mem_budget_mb,
+        trace,
+        project_given,
+        format,
+        limit,
+        top,
+    })
 }
 
-/// Renders a success response line (no trailing newline).
-pub fn ok_response(id: u64, op: Op, result: Value) -> String {
+/// Renders a success response line (no trailing newline). Every response
+/// echoes the request's trace id so client- and server-side records join.
+pub fn ok_response(id: u64, op: Op, trace: &str, result: Value) -> String {
     obj([
         ("id", Value::int(id)),
         ("op", Value::str(op.name())),
         ("ok", Value::Bool(true)),
+        ("trace", Value::str(trace)),
         ("result", result),
     ])
     .render()
 }
 
-/// Renders an error response line (no trailing newline).
+/// Renders an error response line (no trailing newline). `trace` is empty
+/// only for frames too malformed to have been admitted (no id either).
 pub fn err_response(
     id: u64,
     op: Option<Op>,
+    trace: &str,
     kind: ErrorKind,
     message: &str,
     retry_after_ms: Option<u64>,
@@ -231,6 +332,7 @@ pub fn err_response(
         ("id", Value::int(id)),
         ("op", Value::str(op.map(Op::name).unwrap_or("?"))),
         ("ok", Value::Bool(false)),
+        ("trace", Value::str(trace)),
         ("error", obj(error)),
     ])
     .render()
@@ -251,6 +353,45 @@ mod tests {
         assert_eq!(r.id, 0);
         assert!(r.sources[0].fortran, "language inferred from extension");
         assert_eq!(r.deadline_ms, None);
+        assert_eq!(r.trace, None);
+        assert!(!r.project_given);
+    }
+
+    #[test]
+    fn parses_trace_and_control_fields() {
+        let r = parse_request(
+            r#"{"op":"metrics","trace":"cli-42","format":"prometheus","limit":5,"top":3}"#,
+        )
+        .expect("parse");
+        assert_eq!(r.op, Op::Metrics);
+        assert_eq!(r.trace.as_deref(), Some("cli-42"));
+        assert_eq!(r.format.as_deref(), Some("prometheus"));
+        assert_eq!(r.limit, Some(5));
+        assert_eq!(r.top, Some(3));
+        let r = parse_request(r#"{"op":"query-log","project":"demo"}"#).expect("parse");
+        assert!(r.project_given);
+        assert!(parse_request(r#"{"op":"metrics","trace":""}"#).is_err());
+        assert!(parse_request(&format!(
+            r#"{{"op":"metrics","trace":"{}"}}"#,
+            "x".repeat(65)
+        ))
+        .is_err());
+        assert!(parse_request(r#"{"op":"metrics","limit":-1}"#).is_err());
+    }
+
+    #[test]
+    fn new_ops_parse_and_index() {
+        for (s, op) in [
+            ("metrics", Op::Metrics),
+            ("query-log", Op::QueryLog),
+            ("profile", Op::Profile),
+        ] {
+            assert_eq!(Op::parse(s), Some(op));
+            assert_eq!(op.name(), s);
+        }
+        for (i, op) in Op::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
     }
 
     #[test]
@@ -302,13 +443,16 @@ mod tests {
 
     #[test]
     fn responses_round_trip() {
-        let ok = ok_response(7, Op::Lint, Value::int(1));
+        let ok = ok_response(7, Op::Lint, "t-000001", Value::int(1));
         let v = Value::parse(&ok).expect("parse");
         assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
         assert_eq!(v.get("id").and_then(Value::as_u64), Some(7));
-        let err = err_response(8, None, ErrorKind::Overloaded, "queue full", Some(120));
+        assert_eq!(v.get("trace").and_then(Value::as_str), Some("t-000001"));
+        let err =
+            err_response(8, None, "t-2", ErrorKind::Overloaded, "queue full", Some(120));
         let v = Value::parse(&err).expect("parse");
         assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("trace").and_then(Value::as_str), Some("t-2"));
         assert_eq!(
             v.get("error").and_then(|e| e.get("retry_after_ms")).and_then(Value::as_u64),
             Some(120)

@@ -63,6 +63,7 @@
 //! process *before unwinding* — a faithful crash at exactly the armed
 //! faultpoint, used by the chaos tests to prove the recovery path.
 
+use super::metrics::{LogEntry, Outcome, ServeMetrics, SnapshotCtx};
 use super::proto::{self, ErrorKind, Op, Request};
 use super::supervisor::{CircuitDecision, Supervisor};
 use araa::{AnalysisOptions, AnalysisSession};
@@ -81,7 +82,7 @@ use support::deadline::{self, DeadlineToken};
 use support::hash::fnv1a;
 use support::json::{obj, Value};
 use support::memory::{self, MemoryBudget};
-use support::obs::{self, Counter, Gauge};
+use support::obs::{self, ClockKind, Counter, Gauge, SpanEvent};
 use whirl::Lang;
 
 /// Daemon configuration.
@@ -126,6 +127,19 @@ pub struct ServeOptions {
     pub circuit_threshold: u32,
     /// How long an open circuit rejects before admitting a half-open probe.
     pub circuit_cooldown_ms: u64,
+    /// Period of the metrics snapshot thread, milliseconds; `0` disables
+    /// it. Takes effect only together with `metrics_snapshot` — the
+    /// daemon never invents an output path (no working-tree litter).
+    pub metrics_interval_ms: u64,
+    /// File the periodic metrics snapshot is atomically written to,
+    /// sealed with the canonical `#checksum` trailer.
+    pub metrics_snapshot: Option<PathBuf>,
+    /// Requests at least this slow (milliseconds; raw clock ticks under
+    /// `ARAA_OBS_CLOCK=logical`) have their full span tree captured for
+    /// `profile format:"collapsed"`. `0` disables capture.
+    pub slow_threshold_ms: u64,
+    /// Ring-buffer request-log capacity (`query-log` window).
+    pub log_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -144,6 +158,10 @@ impl Default for ServeOptions {
             heartbeat_grace_ms: 2_000,
             circuit_threshold: 3,
             circuit_cooldown_ms: 2_000,
+            metrics_interval_ms: 0,
+            metrics_snapshot: None,
+            slow_threshold_ms: 500,
+            log_capacity: 1024,
         }
     }
 }
@@ -268,7 +286,43 @@ fn install_chaos_abort_hook() {
 /// generous allowance — the timeout only fires for wedged workers.
 struct Job {
     req: Request,
+    /// Trace id minted (or accepted) at dispatch, echoed in the response.
+    trace: String,
+    /// Dispatch-time timestamp (metrics clock units), so recorded latency
+    /// covers queue wait as well as service time.
+    start_units: u64,
     resp_tx: SyncSender<String>,
+}
+
+/// Daemon-level gauges for metrics renders, read wherever a snapshot is
+/// taken (dispatch or the periodic snapshot thread).
+fn snapshot_ctx(
+    stats: &ServerStats,
+    sup: &Supervisor,
+    started: Instant,
+    workers: usize,
+) -> SnapshotCtx {
+    SnapshotCtx {
+        uptime_ms: started.elapsed().as_millis() as u64,
+        workers: workers as u64,
+        sessions: stats.sessions.load(Ordering::Relaxed),
+        queue_depth: stats.queued.load(Ordering::Relaxed),
+        open_circuits: sup.open_circuits().len() as u64,
+        mem_high_water_bytes: sup.mem_high_water_bytes(),
+    }
+}
+
+/// Renders the JSON snapshot, seals it with the `#checksum` trailer, and
+/// atomically replaces `path` (readers never observe a torn file).
+fn write_metrics_snapshot(
+    metrics: &ServeMetrics,
+    ctx: &SnapshotCtx,
+    path: &Path,
+) -> support::Result<()> {
+    let mut doc = metrics.snapshot_json(ctx).render();
+    doc.push('\n');
+    support::persist::append_text_checksum(&mut doc);
+    support::persist::atomic_write(path, doc.as_bytes())
 }
 
 fn shard_of(project: &str, workers: usize) -> usize {
@@ -323,7 +377,16 @@ pub fn run(opts: ServeOptions) -> support::Result<()> {
     install_chaos_abort_hook();
     let workers = opts.workers.max(1);
     let queue_depth = opts.queue_depth.max(1);
+    let started = Instant::now();
     let stats = Arc::new(ServerStats::default());
+    // The registry reads the same clock switch as `support::obs`, so
+    // `ARAA_OBS_CLOCK=logical` makes serve metrics byte-deterministic too.
+    let clock = if std::env::var("ARAA_OBS_CLOCK").as_deref() == Ok("logical") {
+        ClockKind::Logical
+    } else {
+        ClockKind::Monotonic
+    };
+    let metrics = ServeMetrics::new(clock, opts.log_capacity, opts.slow_threshold_ms);
     let supervisor = Arc::new(Supervisor::new(
         workers,
         opts.heartbeat_grace_ms,
@@ -364,11 +427,12 @@ pub fn run(opts: ServeOptions) -> support::Result<()> {
         let stats = Arc::clone(&stats);
         let sup = Arc::clone(&supervisor);
         let obs_ctx = obs_ctx.clone();
+        let metrics = Arc::clone(&metrics);
         let handle = std::thread::Builder::new()
             .name(format!("serve-worker-{idx}"))
             .spawn(move || {
                 let _obs = obs_ctx.map(obs::attach);
-                worker_main(&rx, idx, 0, &sup, &opts, &stats, projects);
+                worker_main(&rx, idx, 0, &sup, &opts, &stats, &metrics, projects);
             })
             .map_err(|e| support::Error::io("spawning worker".to_string(), e))?;
         lock_handles(&handles).push(Some(handle));
@@ -386,6 +450,7 @@ pub fn run(opts: ServeOptions) -> support::Result<()> {
         let stats = Arc::clone(&stats);
         let opts = opts.clone();
         let obs_ctx = obs::current();
+        let metrics = Arc::clone(&metrics);
         std::thread::Builder::new()
             .name("serve-supervisor".to_string())
             .spawn(move || {
@@ -401,10 +466,20 @@ pub fn run(opts: ServeOptions) -> support::Result<()> {
                         let sup = Arc::clone(&sup);
                         let stats = Arc::clone(&stats);
                         let opts = opts.clone();
+                        let metrics = Arc::clone(&metrics);
                         let spawned = std::thread::Builder::new()
                             .name(format!("serve-worker-{idx}-g{generation}"))
                             .spawn(move || {
-                                worker_main(&rx, idx, generation, &sup, &opts, &stats, Vec::new());
+                                worker_main(
+                                    &rx,
+                                    idx,
+                                    generation,
+                                    &sup,
+                                    &opts,
+                                    &stats,
+                                    &metrics,
+                                    Vec::new(),
+                                );
                             });
                         if let Ok(handle) = spawned {
                             // Dropping the old handle detaches the wedged
@@ -416,6 +491,38 @@ pub fn run(opts: ServeOptions) -> support::Result<()> {
                 }
             })
             .map_err(|e| support::Error::io("spawning supervisor".to_string(), e))?
+    };
+
+    // Periodic metrics snapshots: an off-request-path thread writing the
+    // sealed JSON snapshot atomically. Requires both the interval and the
+    // path — the daemon never invents an output location.
+    let snap_stop = Arc::new(AtomicBool::new(false));
+    let snap_handle = match (&opts.metrics_snapshot, opts.metrics_interval_ms) {
+        (Some(path), interval) if interval > 0 => {
+            let path = path.clone();
+            let metrics = Arc::clone(&metrics);
+            let stats = Arc::clone(&stats);
+            let sup = Arc::clone(&supervisor);
+            let stop = Arc::clone(&snap_stop);
+            std::thread::Builder::new()
+                .name("serve-metrics-snapshot".to_string())
+                .spawn(move || {
+                    let tick = Duration::from_millis(50);
+                    let mut elapsed = Duration::ZERO;
+                    let period = Duration::from_millis(interval);
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(tick);
+                        elapsed += tick;
+                        if elapsed >= period {
+                            elapsed = Duration::ZERO;
+                            let ctx = snapshot_ctx(&stats, &sup, started, workers);
+                            let _ = write_metrics_snapshot(&metrics, &ctx, &path);
+                        }
+                    }
+                })
+                .ok()
+        }
+        _ => None,
     };
 
     // Accept loop: nonblocking so SIGTERM is observed within one poll tick.
@@ -439,12 +546,13 @@ pub fn run(opts: ServeOptions) -> support::Result<()> {
                 let active = Arc::clone(&active_conns);
                 let opts = opts.clone();
                 let obs_ctx = obs::current();
+                let metrics = Arc::clone(&metrics);
                 active.fetch_add(1, Ordering::Relaxed);
                 let spawned = std::thread::Builder::new()
                     .name("serve-conn".to_string())
                     .spawn(move || {
                         let _obs = obs_ctx.map(obs::attach);
-                        handle_connection(stream, &senders, &stats, &opts, &sup);
+                        handle_connection(stream, &senders, &stats, &opts, &sup, &metrics, started);
                         active.fetch_sub(1, Ordering::Relaxed);
                     });
                 if spawned.is_err() {
@@ -493,6 +601,18 @@ pub fn run(opts: ServeOptions) -> support::Result<()> {
     }
     sup_stop.store(true, Ordering::Relaxed);
     let _ = sup_handle.join();
+    snap_stop.store(true, Ordering::Relaxed);
+    if let Some(h) = snap_handle {
+        let _ = h.join();
+    }
+    // Final snapshot: the drained daemon's last word, covering requests
+    // that landed after the last periodic write.
+    if let Some(path) = &opts.metrics_snapshot {
+        if opts.metrics_interval_ms > 0 {
+            let ctx = snapshot_ctx(&stats, &supervisor, started, workers);
+            let _ = write_metrics_snapshot(&metrics, &ctx, path);
+        }
+    }
     let _ = std::fs::remove_file(&opts.socket);
     Ok(())
 }
@@ -531,6 +651,7 @@ fn shed_connection(stream: UnixStream) {
     let resp = proto::err_response(
         0,
         None,
+        "",
         ErrorKind::Overloaded,
         "connection limit reached",
         Some(RETRY_AFTER_MS),
@@ -655,6 +776,8 @@ fn handle_connection(
     stats: &ServerStats,
     opts: &ServeOptions,
     sup: &Supervisor,
+    metrics: &ServeMetrics,
+    started: Instant,
 ) {
     if stream.set_read_timeout(Some(CONN_POLL)).is_err() {
         return;
@@ -677,7 +800,8 @@ fn handle_connection(
             Frame::Line(line, at_eof) => {
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
-                    let response = dispatch(trimmed, senders, stats, opts, sup);
+                    let response =
+                        dispatch(trimmed, senders, stats, opts, sup, metrics, started);
                     if !respond(&mut writer, &response) {
                         return;
                     }
@@ -689,9 +813,11 @@ fn handle_connection(
             Frame::TooLarge => {
                 stats.frame_too_large.fetch_add(1, Ordering::Relaxed);
                 obs::incr(Counter::ServeFrameTooLarge);
+                metrics.record_invalid();
                 let response = proto::err_response(
                     0,
                     None,
+                    "",
                     ErrorKind::FrameTooLarge,
                     &format!(
                         "request frame exceeds the {max_frame}-byte cap; frame discarded"
@@ -706,6 +832,7 @@ fn handle_connection(
                 let response = proto::err_response(
                     0,
                     None,
+                    "",
                     ErrorKind::BadRequest,
                     &format!(
                         "partial request frame stalled past {}ms; closing connection",
@@ -721,6 +848,35 @@ fn handle_connection(
     }
 }
 
+/// Counts and logs a request that terminated at the dispatch layer (no
+/// worker involved) and returns the response unchanged.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_done(
+    metrics: &ServeMetrics,
+    op: Op,
+    project: &str,
+    trace: &str,
+    outcome: Outcome,
+    start_units: u64,
+    response: String,
+) -> String {
+    let end = metrics.now_units();
+    metrics.record_outcome(op, outcome, end.saturating_sub(start_units).max(1));
+    metrics.push_log(LogEntry {
+        seq: 0,
+        trace: trace.to_string(),
+        op: op.name(),
+        project: project.to_string(),
+        worker: None,
+        latency_units: end.saturating_sub(start_units).max(1),
+        outcome,
+        degradations: Vec::new(),
+        mem_bytes: 0,
+        end_units: end,
+    });
+    response
+}
+
 /// Routes one request line to its response line.
 fn dispatch(
     line: &str,
@@ -728,23 +884,61 @@ fn dispatch(
     stats: &ServerStats,
     opts: &ServeOptions,
     sup: &Supervisor,
+    metrics: &ServeMetrics,
+    started: Instant,
 ) -> String {
+    let start_units = metrics.now_units();
     let req = match proto::parse_request(line) {
         Ok(r) => r,
         Err((id, msg)) => {
-            return proto::err_response(id, None, ErrorKind::BadRequest, &msg, None);
+            metrics.record_invalid();
+            // Best-effort trace echo: a structurally-valid line that fails
+            // request validation still carries the client's trace id, and
+            // the client deserves it back on the error.
+            let salvaged = Value::parse(line)
+                .ok()
+                .and_then(|v| {
+                    v.get("trace").and_then(Value::as_str).map(str::to_string)
+                })
+                .filter(|t| {
+                    !t.is_empty() && t.len() <= 64 && !t.chars().any(|c| (c as u32) < 0x20)
+                });
+            let trace = metrics.mint_trace(salvaged.as_deref());
+            let end = metrics.now_units();
+            metrics.push_log(LogEntry {
+                seq: 0,
+                trace: trace.clone(),
+                op: "?",
+                project: String::new(),
+                worker: None,
+                latency_units: end.saturating_sub(start_units).max(1),
+                outcome: Outcome::BadRequest,
+                degradations: Vec::new(),
+                mem_bytes: 0,
+                end_units: end,
+            });
+            return proto::err_response(id, None, &trace, ErrorKind::BadRequest, &msg, None);
         }
     };
     stats.requests.fetch_add(1, Ordering::Relaxed);
     obs::incr(Counter::ServeRequests);
+    let trace = metrics.mint_trace(req.trace.as_deref());
+    let req_op = req.op;
+    let done = move |outcome: Outcome, trace: &str, project: &str, response: String| {
+        dispatch_done(metrics, req_op, project, trace, outcome, start_units, response)
+    };
     match req.op {
         // Control-plane ops answer inline: they must keep working even
         // when every worker queue is full or every worker is wedged.
-        Op::Stats => proto::ok_response(
-            req.id,
-            Op::Stats,
-            stats.snapshot_json(senders.len(), opts.queue_depth.max(1)),
-        ),
+        Op::Stats => {
+            let resp = proto::ok_response(
+                req.id,
+                Op::Stats,
+                &trace,
+                stats.snapshot_json(senders.len(), opts.queue_depth.max(1)),
+            );
+            done(Outcome::Ok, &trace, &req.project, resp)
+        }
         Op::Health => {
             let mut health = sup.health_json(opts.mem_budget_mb);
             if let Value::Obj(map) = &mut health {
@@ -757,32 +951,95 @@ fn dispatch(
                     Value::int(stats.requests.load(Ordering::Relaxed)),
                 );
             }
-            proto::ok_response(req.id, Op::Health, health)
+            let resp = proto::ok_response(req.id, Op::Health, &trace, health);
+            done(Outcome::Ok, &trace, &req.project, resp)
+        }
+        Op::Metrics => {
+            let ctx = snapshot_ctx(stats, sup, started, senders.len());
+            let result = match req.format.as_deref() {
+                None | Some("json") => metrics.snapshot_json(&ctx),
+                Some("prometheus") => obj([
+                    ("format", Value::str("prometheus")),
+                    ("body", Value::str(metrics.prometheus(&ctx))),
+                ]),
+                Some(other) => {
+                    let resp = proto::err_response(
+                        req.id,
+                        Some(Op::Metrics),
+                        &trace,
+                        ErrorKind::BadRequest,
+                        &format!("unknown metrics format `{other}` (json|prometheus)"),
+                        None,
+                    );
+                    return done(Outcome::BadRequest, &trace, &req.project, resp);
+                }
+            };
+            let resp = proto::ok_response(req.id, Op::Metrics, &trace, result);
+            done(Outcome::Ok, &trace, &req.project, resp)
+        }
+        Op::QueryLog => {
+            let project = req.project_given.then_some(req.project.as_str());
+            let mut result = metrics.query_log(project, req.limit.unwrap_or(100));
+            if let Value::Obj(map) = &mut result {
+                map.insert("slow".to_string(), metrics.slow_traces_json());
+            }
+            let resp = proto::ok_response(req.id, Op::QueryLog, &trace, result);
+            done(Outcome::Ok, &trace, &req.project, resp)
+        }
+        Op::Profile => {
+            let project = req.project_given.then_some(req.project.as_str());
+            let result = match req.format.as_deref() {
+                None | Some("json") => metrics.profile_json(project, req.top.unwrap_or(10)),
+                Some("collapsed") => obj([
+                    ("format", Value::str("collapsed")),
+                    ("body", Value::str(metrics.collapsed_stacks())),
+                ]),
+                Some(other) => {
+                    let resp = proto::err_response(
+                        req.id,
+                        Some(Op::Profile),
+                        &trace,
+                        ErrorKind::BadRequest,
+                        &format!("unknown profile format `{other}` (json|collapsed)"),
+                        None,
+                    );
+                    return done(Outcome::BadRequest, &trace, &req.project, resp);
+                }
+            };
+            let resp = proto::ok_response(req.id, Op::Profile, &trace, result);
+            done(Outcome::Ok, &trace, &req.project, resp)
         }
         Op::Shutdown => {
             SHUTDOWN.store(true, Ordering::Relaxed);
-            proto::ok_response(
+            let resp = proto::ok_response(
                 req.id,
                 Op::Shutdown,
+                &trace,
                 obj([("draining", Value::Bool(true))]),
-            )
+            );
+            done(Outcome::Ok, &trace, &req.project, resp)
         }
-        _ if SHUTDOWN.load(Ordering::Relaxed) => proto::err_response(
-            req.id,
-            Some(req.op),
-            ErrorKind::ShuttingDown,
-            "daemon is draining",
-            Some(RETRY_AFTER_MS),
-        ),
+        _ if SHUTDOWN.load(Ordering::Relaxed) => {
+            let resp = proto::err_response(
+                req.id,
+                Some(req.op),
+                &trace,
+                ErrorKind::ShuttingDown,
+                "daemon is draining",
+                Some(RETRY_AFTER_MS),
+            );
+            done(Outcome::ShuttingDown, &trace, &req.project, resp)
+        }
         _ => {
             if let CircuitDecision::Reject { retry_after_ms } =
                 sup.circuit_check(&req.project)
             {
                 stats.circuit_open.fetch_add(1, Ordering::Relaxed);
                 obs::incr(Counter::ServeCircuitOpen);
-                return proto::err_response(
+                let resp = proto::err_response(
                     req.id,
                     Some(req.op),
+                    &trace,
                     ErrorKind::CircuitOpen,
                     &format!(
                         "project `{}` circuit is open after repeated failures",
@@ -790,12 +1047,14 @@ fn dispatch(
                     ),
                     Some(retry_after_ms),
                 );
+                return done(Outcome::CircuitOpen, &trace, &req.project, resp);
             }
             let deadline_ms = effective_deadline_ms(&req, opts);
             let shard = shard_of(&req.project, senders.len());
             let (resp_tx, resp_rx) = sync_channel::<String>(1);
-            let (id, op) = (req.id, req.op);
-            match senders[shard].try_send(Job { req, resp_tx }) {
+            let (id, op, project) = (req.id, req.op, req.project.clone());
+            let job = Job { req, trace: trace.clone(), start_units, resp_tx };
+            match senders[shard].try_send(job) {
                 Ok(()) => {
                     stats.queued.fetch_add(1, Ordering::Relaxed);
                     obs::set_gauge(Gauge::ServeQueueDepth, stats.queued.load(Ordering::Relaxed));
@@ -807,49 +1066,62 @@ fn dispatch(
                         .saturating_add(2 * opts.heartbeat_grace_ms)
                         .saturating_add(DISPATCH_SLACK_MS);
                     match resp_rx.recv_timeout(Duration::from_millis(allowance)) {
+                        // The worker recorded this request's metrics and
+                        // log entry (it knows the outcome and its own
+                        // identity); nothing to record here.
                         Ok(resp) => resp,
                         Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                             stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
                             obs::incr(Counter::ServeDeadlineExpired);
-                            proto::err_response(
+                            let resp = proto::err_response(
                                 id,
                                 Some(op),
+                                &trace,
                                 ErrorKind::DeadlineExpired,
                                 "request abandoned: worker exceeded the deadline and is being replaced",
                                 Some(opts.heartbeat_grace_ms),
-                            )
+                            );
+                            done(Outcome::Deadline, &trace, &project, resp)
                         }
                         // Worker died (chaos abort in flight): the process
                         // is going down; answer what we can.
                         Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                            proto::err_response(
+                            let resp = proto::err_response(
                                 id,
                                 Some(op),
+                                &trace,
                                 ErrorKind::Internal,
                                 "worker terminated mid-request",
                                 None,
-                            )
+                            );
+                            done(Outcome::Internal, &trace, &project, resp)
                         }
                     }
                 }
                 Err(TrySendError::Full(_)) => {
                     stats.shed.fetch_add(1, Ordering::Relaxed);
                     obs::incr(Counter::ServeShed);
-                    proto::err_response(
+                    let resp = proto::err_response(
                         id,
                         Some(op),
+                        &trace,
                         ErrorKind::Overloaded,
                         "worker queue full",
                         Some(RETRY_AFTER_MS),
-                    )
+                    );
+                    done(Outcome::Shed, &trace, &project, resp)
                 }
-                Err(TrySendError::Disconnected(_)) => proto::err_response(
-                    id,
-                    Some(op),
-                    ErrorKind::Internal,
-                    "worker unavailable",
-                    None,
-                ),
+                Err(TrySendError::Disconnected(_)) => {
+                    let resp = proto::err_response(
+                        id,
+                        Some(op),
+                        &trace,
+                        ErrorKind::Internal,
+                        "worker unavailable",
+                        None,
+                    );
+                    done(Outcome::Internal, &trace, &project, resp)
+                }
             }
         }
     }
@@ -961,6 +1233,7 @@ impl Shard<'_> {
 /// the slot; if the supervisor bumps the slot's generation (declaring this
 /// thread wedged), the thread exits at its next opportunity *without
 /// persisting* — the replacement owns the shard's on-disk state now.
+#[allow(clippy::too_many_arguments)]
 fn worker_main(
     rx: &Mutex<Receiver<Job>>,
     widx: usize,
@@ -968,6 +1241,7 @@ fn worker_main(
     sup: &Supervisor,
     opts: &ServeOptions,
     stats: &ServerStats,
+    metrics: &ServeMetrics,
     initial_projects: Vec<String>,
 ) {
     let mut shard = Shard {
@@ -1001,23 +1275,65 @@ fn worker_main(
                 obs::set_gauge(Gauge::ServeQueueDepth, stats.queued.load(Ordering::Relaxed));
                 let deadline_ms = effective_deadline_ms(&job.req, opts);
                 sup.begin_job(widx, generation, &job.req.project, deadline_ms);
-                let (response, failed) = serve_one(&mut shard, &job.req, sup);
+                let served = serve_one(&mut shard, &job.req, &job.trace, sup, metrics);
                 if sup.generation(widx) != generation {
                     // Declared wedged while serving: the dispatcher has
-                    // already answered `deadline-expired` and a replacement
-                    // owns the slot. Send best-effort, then vanish without
-                    // persisting anything.
-                    let _ = job.resp_tx.send(response);
+                    // already answered `deadline-expired` (and recorded the
+                    // request) and a replacement owns the slot. Send
+                    // best-effort, then vanish without persisting anything
+                    // or double-counting metrics.
+                    let _ = job.resp_tx.send(served.response);
                     return;
                 }
                 sup.end_job(widx, generation);
-                if failed {
+                if served.failed {
                     sup.record_failure(&job.req.project);
                 } else {
                     sup.record_success(&job.req.project);
                 }
+                // Observability: latency includes queue wait (stamped at
+                // dispatch), so histograms reflect what the client saw.
+                let end = metrics.now_units();
+                let latency = end.saturating_sub(job.start_units).max(1);
+                metrics.record_outcome(job.req.op, served.outcome, latency);
+                if matches!(job.req.op, Op::Analyze | Op::Reanalyze)
+                    && matches!(served.outcome, Outcome::Ok | Outcome::Degraded)
+                {
+                    metrics.note_analysis(
+                        &job.req.project,
+                        served.cache_hits,
+                        served.cache_recomputes,
+                        served.mem_bytes,
+                    );
+                }
+                let sample = metrics.should_sample(&job.req.project);
+                let slow = metrics.is_slow(latency);
+                if (sample || slow) && !served.events.is_empty() {
+                    metrics.record_profile(&job.req.project, &served.events);
+                }
+                if slow {
+                    metrics.record_slow(
+                        &job.trace,
+                        job.req.op,
+                        &job.req.project,
+                        latency,
+                        served.events,
+                    );
+                }
+                metrics.push_log(LogEntry {
+                    seq: 0,
+                    trace: job.trace.clone(),
+                    op: job.req.op.name(),
+                    project: job.req.project.clone(),
+                    worker: Some((widx, generation)),
+                    latency_units: latency,
+                    outcome: served.outcome,
+                    degradations: served.degradations,
+                    mem_bytes: served.mem_bytes,
+                    end_units: end,
+                });
                 // A dropped receiver (client hung up) is fine; the work is done.
-                let _ = job.resp_tx.send(response);
+                let _ = job.resp_tx.send(served.response);
             }
             // Idle: nobody is waiting on latency, so close the group-commit
             // window early.
@@ -1030,10 +1346,30 @@ fn worker_main(
     shard.flush_dirty();
 }
 
+/// What one worker-executed request produced, for both the wire response
+/// and the observability plane.
+struct Served {
+    response: String,
+    /// Feeds the project circuit breaker (panic or memory exhaustion).
+    failed: bool,
+    outcome: Outcome,
+    degradations: Vec<String>,
+    mem_bytes: u64,
+    cache_hits: u64,
+    cache_recomputes: u64,
+    /// The request's span tree, recorded by a per-request collector.
+    events: Vec<SpanEvent>,
+}
+
 /// Executes one request under its deadline and memory budget, with panic
-/// containment. Returns the response line plus a failure flag (panic or
-/// memory exhaustion) that feeds the project's circuit breaker.
-fn serve_one(shard: &mut Shard<'_>, req: &Request, sup: &Supervisor) -> (String, bool) {
+/// containment.
+fn serve_one(
+    shard: &mut Shard<'_>,
+    req: &Request,
+    trace: &str,
+    sup: &Supervisor,
+    metrics: &ServeMetrics,
+) -> Served {
     let deadline_ms = effective_deadline_ms(req, shard.opts);
     let token = DeadlineToken::after(Duration::from_millis(deadline_ms));
     let _scope = deadline::enter(Arc::clone(&token));
@@ -1041,7 +1377,21 @@ fn serve_one(shard: &mut Shard<'_>, req: &Request, sup: &Supervisor) -> (String,
     // request's allocation churn at the shared budget checkpoints.
     let mem = req.mem_budget_mb.or(shard.opts.mem_budget_mb).map(MemoryBudget::mb);
     let mem_scope = mem.clone().map(memory::enter);
-    let outcome = catch_unwind(AssertUnwindSafe(|| handle_request(shard, req)));
+    // Per-request span collector, attached innermost so analysis spans
+    // land here; counters fold back into any outer collector afterwards.
+    let child = obs::Collector::new(metrics.clock());
+    let outcome = {
+        let child = Arc::clone(&child);
+        catch_unwind(AssertUnwindSafe(|| {
+            let _obs = obs::attach(child);
+            let _root = obs::span("serve.request");
+            handle_request(shard, req)
+        }))
+    };
+    if let Some(parent) = obs::current() {
+        child.fold_into(&parent);
+    }
+    let events = child.events();
     // Leaving the scope flushes the tail allocation delta into the budget,
     // so `charged_bytes` below is the request's full bill.
     drop(mem_scope);
@@ -1050,7 +1400,7 @@ fn serve_one(shard: &mut Shard<'_>, req: &Request, sup: &Supervisor) -> (String,
         shard.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
         obs::incr(Counter::ServeDeadlineExpired);
     }
-    let mem_exhausted = match &mem {
+    let (mem_exhausted, mem_bytes) = match &mem {
         Some(budget) => {
             sup.note_request_mem(budget.charged_bytes());
             obs::add(Counter::MemBytesCharged, budget.charged_bytes());
@@ -1058,21 +1408,69 @@ fn serve_one(shard: &mut Shard<'_>, req: &Request, sup: &Supervisor) -> (String,
                 shard.stats.mem_exhausted.fetch_add(1, Ordering::Relaxed);
                 obs::incr(Counter::ServeMemExhausted);
             }
-            budget.exhausted()
+            (budget.exhausted(), budget.charged_bytes())
         }
-        None => false,
+        None => (false, 0),
     };
     match outcome {
         Ok(Ok(mut result)) => {
+            let degradations: Vec<String> = result
+                .get("degradations")
+                .and_then(Value::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|d| d.as_str().map(str::to_string))
+                        .take(8)
+                        .collect()
+                })
+                .unwrap_or_default();
+            let cache_hits =
+                result.get("summary_cache_hits").and_then(Value::as_u64).unwrap_or(0);
+            let cache_recomputes =
+                result.get("summaries_recomputed").and_then(Value::as_u64).unwrap_or(0);
+            let degraded =
+                result.get("degraded").and_then(Value::as_bool).unwrap_or(false);
             if let Value::Obj(map) = &mut result {
                 map.insert("deadline_expired".to_string(), Value::Bool(expired));
                 map.insert("mem_exhausted".to_string(), Value::Bool(mem_exhausted));
             }
-            (proto::ok_response(req.id, req.op, result), mem_exhausted)
+            let outcome = if expired {
+                Outcome::Deadline
+            } else if mem_exhausted {
+                Outcome::MemExhausted
+            } else if degraded {
+                Outcome::Degraded
+            } else {
+                Outcome::Ok
+            };
+            Served {
+                response: proto::ok_response(req.id, req.op, trace, result),
+                failed: mem_exhausted,
+                outcome,
+                degradations,
+                mem_bytes,
+                cache_hits,
+                cache_recomputes,
+                events,
+            }
         }
         Ok(Err((kind, msg))) => {
             // Client errors (bad request etc.) are not project failures.
-            (proto::err_response(req.id, Some(req.op), kind, &msg, None), mem_exhausted)
+            let outcome = if kind == ErrorKind::BadRequest {
+                Outcome::BadRequest
+            } else {
+                Outcome::Internal
+            };
+            Served {
+                response: proto::err_response(req.id, Some(req.op), trace, kind, &msg, None),
+                failed: mem_exhausted,
+                outcome,
+                degradations: Vec::new(),
+                mem_bytes,
+                cache_hits: 0,
+                cache_recomputes: 0,
+                events,
+            }
         }
         Err(payload) => {
             // Contained panic: reset this project only; all other sessions
@@ -1084,11 +1482,21 @@ fn serve_one(shard: &mut Shard<'_>, req: &Request, sup: &Supervisor) -> (String,
             let resp = proto::err_response(
                 req.id,
                 Some(req.op),
+                trace,
                 ErrorKind::Panic,
                 &format!("request handler panicked (session reset): {msg}"),
                 None,
             );
-            (resp, true)
+            Served {
+                response: resp,
+                failed: true,
+                outcome: Outcome::Panic,
+                degradations: Vec::new(),
+                mem_bytes,
+                cache_hits: 0,
+                cache_recomputes: 0,
+                events,
+            }
         }
     }
 }
@@ -1215,7 +1623,7 @@ fn handle_request(shard: &mut Shard<'_>, req: &Request) -> HandlerResult {
         }
         // Handled inline by the connection thread; reaching a worker is a
         // routing bug.
-        Op::Stats | Op::Health | Op::Shutdown => {
+        Op::Stats | Op::Health | Op::Shutdown | Op::Metrics | Op::QueryLog | Op::Profile => {
             Err((ErrorKind::Internal, "control op routed to worker".to_string()))
         }
     }

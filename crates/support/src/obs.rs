@@ -508,6 +508,226 @@ impl Collector {
     }
 }
 
+impl Collector {
+    /// Folds this collector's counters into `parent` (order-independent
+    /// sums) and overlays its gauges (last-write-wins). Used by the serve
+    /// worker loop: each request records into a fresh child collector so
+    /// its span tree can be sampled in isolation, then the totals flow
+    /// back into the worker's long-lived collector.
+    pub fn fold_into(&self, parent: &Collector) {
+        for &c in Counter::ALL {
+            let v = self.counter(c);
+            if v > 0 {
+                parent.counters[c as usize].fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        let gauges: Vec<(&'static str, u64)> =
+            lock_state(self).gauges.iter().map(|(k, v)| (*k, *v)).collect();
+        if !gauges.is_empty() {
+            let mut ps = lock_state(parent);
+            for (k, v) in gauges {
+                ps.gauges.insert(k, v);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log-linear latency histograms
+// ---------------------------------------------------------------------------
+
+/// Fixed-bound log-linear histograms: each power-of-two octave is split
+/// into [`SUB_BUCKETS`] linear sub-buckets, giving ≤ 25% relative bucket
+/// error across the full `u64` range with a small constant bucket count.
+/// Bounds are process-invariant constants, so bucket-count vectors from
+/// different shards, runs, or machines merge by plain elementwise
+/// addition — the property the serve metrics registry's determinism
+/// contract rests on.
+pub mod hist {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+
+    /// Values `1..=LINEAR_HEAD` get one bucket each.
+    pub const LINEAR_HEAD: u64 = 8;
+    /// Linear sub-buckets per power-of-two octave above the head.
+    pub const SUB_BUCKETS: usize = 4;
+    /// Total bucket count (head + 61 octaves × sub-buckets).
+    pub const NUM_BUCKETS: usize = LINEAR_HEAD as usize + 61 * SUB_BUCKETS;
+
+    /// Bucket index for a recorded value (0 maps with 1).
+    pub fn bucket_index(v: u64) -> usize {
+        if v <= 1 {
+            return 0;
+        }
+        if v <= LINEAR_HEAD {
+            return (v - 1) as usize;
+        }
+        // Classify v-1 so exact bounds land in the bucket they close.
+        let vm = v - 1;
+        let msb = 63 - vm.leading_zeros() as usize; // >= 3 since vm >= 8
+        let base = 1u64 << msb;
+        let sub = ((vm - base) >> (msb - 2)) as usize; // (vm-base)*SUB/base
+        LINEAR_HEAD as usize + (msb - 3) * SUB_BUCKETS + sub
+    }
+
+    /// Inclusive upper bounds, one per bucket, strictly increasing; the
+    /// final bound saturates at `u64::MAX`.
+    pub fn bucket_bounds() -> &'static [u64] {
+        static BOUNDS: OnceLock<Vec<u64>> = OnceLock::new();
+        BOUNDS.get_or_init(|| {
+            let mut b = Vec::with_capacity(NUM_BUCKETS);
+            for v in 1..=LINEAR_HEAD {
+                b.push(v);
+            }
+            for msb in 3..64usize {
+                let base = 1u64 << msb;
+                let step = base >> 2;
+                for s in 1..=SUB_BUCKETS as u64 {
+                    b.push(base.saturating_add(step.saturating_mul(s)));
+                }
+            }
+            debug_assert_eq!(b.len(), NUM_BUCKETS);
+            b
+        })
+    }
+
+    /// A concurrent histogram: relaxed atomic bucket counts plus a total
+    /// sum, recordable from any thread without locks.
+    pub struct Histogram {
+        counts: Box<[AtomicU64]>,
+        sum: AtomicU64,
+    }
+
+    impl Default for Histogram {
+        fn default() -> Self {
+            Histogram::new()
+        }
+    }
+
+    impl Histogram {
+        /// An empty histogram.
+        pub fn new() -> Histogram {
+            Histogram {
+                counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+            }
+        }
+
+        /// Records one observation.
+        pub fn record(&self, v: u64) {
+            self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+
+        /// Bucket counts, index-aligned with [`bucket_bounds`].
+        pub fn counts(&self) -> Vec<u64> {
+            self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        }
+
+        /// Total observations recorded.
+        pub fn count(&self) -> u64 {
+            self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        }
+
+        /// Sum of recorded values.
+        pub fn sum(&self) -> u64 {
+            self.sum.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Adds `src` into `dst` elementwise (shard merging).
+    pub fn merge_counts(dst: &mut [u64], src: &[u64]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += *s;
+        }
+    }
+
+    /// The `p`-quantile (`0.0..=1.0`) estimated from bucket counts: the
+    /// inclusive upper bound of the bucket holding the rank-`⌈p·n⌉`
+    /// observation. Exact to within one bucket's width by construction.
+    pub fn percentile_from_counts(counts: &[u64], p: f64) -> u64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let bounds = bucket_bounds();
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bounds.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span-tree folding
+// ---------------------------------------------------------------------------
+
+/// Folds completed span events into collapsed-stack (flamegraph) lines:
+/// `frame;frame;frame self_units`, frames nested by interval containment
+/// per thread. Works on any event slice — per-request collectors are
+/// single-threaded so containment reconstructs the exact call tree.
+/// Output is sorted by stack string, so under the logical clock it is
+/// byte-deterministic.
+pub fn collapsed_stacks(events: &[SpanEvent]) -> Vec<(String, u64)> {
+    fn frame(e: &SpanEvent) -> String {
+        let mut f = String::from(e.name);
+        if let Some(arg) = &e.arg {
+            f.push(':');
+            // Collapsed-stack format reserves ';' (frame separator) and
+            // ' ' (count separator).
+            f.extend(arg.chars().map(|c| if c == ';' || c == ' ' { '_' } else { c }));
+        }
+        f
+    }
+
+    let mut by_tid: BTreeMap<u32, Vec<&SpanEvent>> = BTreeMap::new();
+    for e in events {
+        by_tid.entry(e.tid).or_default().push(e);
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for evs in by_tid.values_mut() {
+        // Parents start no later than children and end no earlier; sorting
+        // by (start, seq) yields parents before their children because a
+        // parent's start tick precedes every child's.
+        evs.sort_by_key(|e| (e.start, e.seq));
+        // Stack of (event, accumulated child time).
+        let mut stack: Vec<(&SpanEvent, u64)> = Vec::new();
+        let pop_into =
+            |stack: &mut Vec<(&SpanEvent, u64)>, folded: &mut BTreeMap<String, u64>| {
+                if let Some((done, child_time)) = stack.pop() {
+                    let self_time = done.dur.saturating_sub(child_time);
+                    let mut path: Vec<String> =
+                        stack.iter().map(|(e, _)| frame(e)).collect();
+                    path.push(frame(done));
+                    *folded.entry(path.join(";")).or_insert(0) += self_time;
+                    if let Some(top) = stack.last_mut() {
+                        top.1 = top.1.saturating_add(done.dur);
+                    }
+                }
+            };
+        for e in evs.iter() {
+            while let Some((top, _)) = stack.last() {
+                let contained = e.start >= top.start
+                    && e.start.saturating_add(e.dur) <= top.start.saturating_add(top.dur);
+                if contained {
+                    break;
+                }
+                pop_into(&mut stack, &mut folded);
+            }
+            stack.push((e, 0));
+        }
+        while !stack.is_empty() {
+            pop_into(&mut stack, &mut folded);
+        }
+    }
+    folded.into_iter().collect()
+}
+
 /// `start`/`dur` in microseconds for the Chrome exporter. Logical ticks
 /// pass through unscaled (they already are arbitrary units).
 fn clock_units_to_us(clock: ClockKind, v: u64) -> u64 {
@@ -972,6 +1192,107 @@ mod tests {
         // unless another test on another thread has a global installed —
         // there is none in this binary.
         assert!(!ran.get());
+    }
+
+    #[test]
+    fn hist_bounds_strictly_increase_and_cover() {
+        let bounds = hist::bucket_bounds();
+        assert_eq!(bounds.len(), hist::NUM_BUCKETS);
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "bounds must strictly increase: {} !< {}", w[0], w[1]);
+        }
+        assert_eq!(bounds[0], 1);
+        assert_eq!(*bounds.last().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn hist_bucket_index_matches_bounds() {
+        let bounds = hist::bucket_bounds();
+        // Every value lands in the first bucket whose bound is >= value.
+        for v in [0u64, 1, 2, 7, 8, 9, 10, 11, 15, 16, 17, 100, 1000, 1 << 20, u64::MAX] {
+            let i = hist::bucket_index(v);
+            assert!(v <= bounds[i], "v={v} above bound {}", bounds[i]);
+            if i > 0 {
+                assert!(v > bounds[i - 1], "v={v} not above lower bound {}", bounds[i - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn hist_percentiles_within_one_bucket() {
+        let h = hist::Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let counts = h.counts();
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        let bounds = hist::bucket_bounds();
+        for (p, exact) in [(0.5, 500u64), (0.95, 950), (0.99, 990)] {
+            let est = hist::percentile_from_counts(&counts, p);
+            let i = hist::bucket_index(exact);
+            let lower = if i == 0 { 0 } else { bounds[i - 1] };
+            assert!(
+                est >= lower && est <= bounds[i.min(bounds.len() - 1)],
+                "p{p}: est {est} outside bucket [{lower}, {}]",
+                bounds[i]
+            );
+        }
+    }
+
+    #[test]
+    fn hist_merge_is_order_independent() {
+        let a = hist::Histogram::new();
+        let b = hist::Histogram::new();
+        for v in [3u64, 17, 400, 9001] {
+            a.record(v);
+            b.record(v * 2);
+        }
+        let mut ab = a.counts();
+        hist::merge_counts(&mut ab, &b.counts());
+        let mut ba = b.counts();
+        hist::merge_counts(&mut ba, &a.counts());
+        assert_eq!(ab, ba);
+        assert_eq!(ab.iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn collapsed_stacks_fold_self_time() {
+        let c = Collector::new(ClockKind::Logical);
+        let _g = attach(c.clone());
+        {
+            let _root = span("serve.request");
+            {
+                let _child = span_arg("ipa.ipl", || "proc_a".to_string());
+            }
+            {
+                let _child = span("extract.rows");
+            }
+        }
+        let folded = collapsed_stacks(&c.events());
+        let stacks: Vec<&str> = folded.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(stacks.contains(&"serve.request"));
+        assert!(stacks.contains(&"serve.request;ipa.ipl:proc_a"));
+        assert!(stacks.contains(&"serve.request;extract.rows"));
+        // Self times sum to the root's total duration.
+        let root_total = c.events().iter().find(|e| e.name == "serve.request").map(|e| e.dur);
+        let sum: u64 = folded.iter().map(|(_, v)| *v).sum();
+        assert_eq!(Some(sum), root_total);
+    }
+
+    #[test]
+    fn fold_into_sums_counters_and_overlays_gauges() {
+        let parent = Collector::new(ClockKind::Logical);
+        let child = Collector::new(ClockKind::Logical);
+        parent.counters[Counter::CacheHits as usize].store(2, Ordering::Relaxed);
+        {
+            let _g = attach(child.clone());
+            add(Counter::CacheHits, 3);
+            set_gauge(Gauge::SessionRows, 11);
+        }
+        child.fold_into(&parent);
+        assert_eq!(parent.counter(Counter::CacheHits), 5);
+        assert_eq!(parent.gauge(Gauge::SessionRows), 11);
     }
 
     #[test]

@@ -21,7 +21,11 @@ Checks, stdlib only (CI runners install nothing):
   6. memory accounting is live and bounded: mem_high_water_bytes is
      positive (the counting allocator actually charged requests) and at
      most 1.25x the configured per-request budget (no request's
-     allocation churn escaped its ceiling by more than checkpoint slack).
+     allocation churn escaped its ceiling by more than checkpoint slack);
+  7. the per-op latency histograms (load.ops) are well-formed: bounds
+     strictly increasing and aligned with counts, bucket counts conserve
+     the op's total, and the histogram-derived p50 lands within one
+     bucket of the exact sampled p50.
 
 Exit 0 on success; prints the first failure and exits 1 otherwise.
 """
@@ -36,8 +40,20 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def validate(value, schema, where: str) -> None:
-    """Validates the JSON-Schema subset the checked-in schemas use."""
+def validate(value, schema, where: str, root=None) -> None:
+    """Validates the JSON-Schema subset the checked-in schemas use
+    (objects, strings, integers, arrays, enum, and local #/definitions
+    refs)."""
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        prefix = "#/definitions/"
+        if not ref.startswith(prefix):
+            fail(f"{where}: unsupported $ref `{ref}`")
+        schema = root.get("definitions", {}).get(ref[len(prefix):])
+        if schema is None:
+            fail(f"{where}: dangling $ref `{ref}`")
     ty = schema.get("type")
     if ty == "object":
         if not isinstance(value, dict):
@@ -47,7 +63,14 @@ def validate(value, schema, where: str) -> None:
                 fail(f"{where}: missing required key `{key}`")
         for key, sub in schema.get("properties", {}).items():
             if key in value:
-                validate(value[key], sub, f"{where}.{key}")
+                validate(value[key], sub, f"{where}.{key}", root)
+    elif ty == "array":
+        if not isinstance(value, list):
+            fail(f"{where}: expected array, got {type(value).__name__}")
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                validate(item, items, f"{where}[{i}]", root)
     elif ty == "string":
         if not isinstance(value, str):
             fail(f"{where}: expected string, got {type(value).__name__}")
@@ -56,6 +79,40 @@ def validate(value, schema, where: str) -> None:
             fail(f"{where}: expected integer, got {type(value).__name__}")
     if "enum" in schema and value not in schema["enum"]:
         fail(f"{where}: value {value!r} not in {schema['enum']}")
+
+
+def check_op_hist(op: str, h: dict) -> None:
+    """Holds the per-op histogram invariants: aligned bucket vectors,
+    strictly increasing bounds, count conservation, and the
+    histogram-derived p50 landing within one bucket of the sampled p50."""
+    where = f"load.ops.{op}"
+    bounds, counts = h["bounds"], h["counts"]
+    if len(bounds) != len(counts):
+        fail(f"{where}: bounds ({len(bounds)}) and counts ({len(counts)}) misaligned")
+    for i in range(1, len(bounds)):
+        if bounds[i] <= bounds[i - 1]:
+            fail(f"{where}: bounds not strictly increasing at [{i}]: {bounds[i-1]} -> {bounds[i]}")
+    if any(c < 0 for c in counts):
+        fail(f"{where}: negative bucket count")
+    if sum(counts) != h["count"]:
+        fail(f"{where}: bucket counts sum to {sum(counts)} != count {h['count']}")
+    if h["count"] == 0:
+        fail(f"{where}: empty histogram — the load phase never hit this op")
+    # The histogram quantile is the upper bound of the p50 bucket; the
+    # exact sampled p50 must fall in that bucket or an adjacent one.
+    def bucket_of(v):
+        for i, b in enumerate(bounds):
+            if v <= b:
+                return i
+        return len(bounds) - 1
+    hist_idx = bucket_of(h["hist_p50_ns"])
+    sampled_idx = bucket_of(h["sampled_p50_ns"])
+    if abs(hist_idx - sampled_idx) > 1:
+        fail(
+            f"{where}: histogram p50 ({h['hist_p50_ns']} ns, bucket {hist_idx}) "
+            f"is more than one bucket from sampled p50 "
+            f"({h['sampled_p50_ns']} ns, bucket {sampled_idx})"
+        )
 
 
 def check_balance(section: dict, keys: list, where: str) -> None:
@@ -122,6 +179,8 @@ def main(argv: list) -> None:
             f"load: {load['errors']} transport-level error(s) — overload "
             "must be a structured response, never a dropped connection"
         )
+    for op, h in load["ops"].items():
+        check_op_hist(op, h)
 
     over = doc["overload"]
     check_balance(over, ["ok", "shed", "errors"], "overload")

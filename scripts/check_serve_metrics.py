@@ -1,0 +1,337 @@
+#!/usr/bin/env python3
+"""Validate a `dragon serve` metrics snapshot (and optionally its
+Prometheus twin).
+
+Usage: check_serve_metrics.py SNAPSHOT [--sealed] [--prom PROM_FILE]
+                              [--schemas DIR]
+
+SNAPSHOT is either the bare JSON result of the `metrics` RPC op, or
+(with --sealed) a --metrics-snapshot file whose body carries a
+`#checksum,<fnv1a hex>` trailer.
+
+Checks, stdlib only (CI runners install nothing):
+  1. (--sealed) the checksum trailer is present, canonical, and covers
+     the body exactly;
+  2. the snapshot is valid JSON conforming to
+     schemas/serve_metrics.schema.json;
+  3. accounting balances: requests_total equals the sum of per-op
+     histogram counts, every op's outcome tallies sum to its count, and
+     outcome names stay within the wire vocabulary;
+  4. every per-op histogram is well-formed: bounds strictly increasing
+     and index-aligned with counts, bucket counts conserve the op's
+     total, and the percentile ladder is monotone
+     (p50 <= p95 <= p99 <= p100, with p100 a real bucket bound);
+  5. project rows are self-consistent (cache_hit_permille recomputes
+     from hits/recomputes exactly);
+  6. under the logical clock, every wall-clock- and memory-derived
+     field is zero (the byte-determinism contract);
+  7. (--prom) the Prometheus exposition agrees with the snapshot:
+     requests_total series match the per-op outcome tallies (the
+     `metrics` op itself may only grow between the two scrapes),
+     cumulative buckets are monotone and end at the +Inf count, and the
+     worker gauge matches.
+
+Exit 0 on success; prints the first failure and exits 1 otherwise.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = (1 << 64) - 1
+TRAILER_PREFIX = "#checksum,"
+
+OUTCOMES = {
+    "ok", "degraded", "deadline-expired", "mem-exhausted", "shed",
+    "circuit-open", "bad-request", "panic", "shutting-down", "internal",
+}
+
+
+def fail(msg: str) -> None:
+    print(f"check_serve_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fnv1a(data: bytes) -> int:
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+def strip_and_verify_trailer(path: Path) -> str:
+    """Returns the document body after verifying its checksum trailer."""
+    text = path.read_text(encoding="utf-8")
+    t = text[:-1] if text.endswith("\n") else text
+    nl = t.rfind("\n")
+    body_end, last = (nl + 1, t[nl + 1 :]) if nl >= 0 else (0, t)
+    if not last.startswith(TRAILER_PREFIX):
+        fail(f"{path}: missing `{TRAILER_PREFIX}` trailer line")
+    hexsum = last[len(TRAILER_PREFIX) :]
+    if hexsum != format(int(hexsum, 16), "016x"):
+        fail(f"{path}: non-canonical checksum trailer `{last}`")
+    body = text[:body_end]
+    actual = fnv1a(body.encode("utf-8"))
+    if actual != int(hexsum, 16):
+        fail(f"{path}: checksum mismatch (trailer {hexsum}, body {actual:016x})")
+    return body
+
+
+def validate(value, schema, where: str, root=None) -> None:
+    """Validates the JSON-Schema subset the checked-in schemas use
+    (objects, strings, integers, arrays, enum, and local #/definitions
+    refs)."""
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        prefix = "#/definitions/"
+        if not ref.startswith(prefix):
+            fail(f"{where}: unsupported $ref `{ref}`")
+        schema = root.get("definitions", {}).get(ref[len(prefix):])
+        if schema is None:
+            fail(f"{where}: dangling $ref `{ref}`")
+    ty = schema.get("type")
+    if ty == "object":
+        if not isinstance(value, dict):
+            fail(f"{where}: expected object, got {type(value).__name__}")
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(f"{where}: missing required key `{key}`")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{where}.{key}", root)
+    elif ty == "array":
+        if not isinstance(value, list):
+            fail(f"{where}: expected array, got {type(value).__name__}")
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                validate(item, items, f"{where}[{i}]", root)
+    elif ty == "string":
+        if not isinstance(value, str):
+            fail(f"{where}: expected string, got {type(value).__name__}")
+    elif ty == "integer":
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(f"{where}: expected integer, got {type(value).__name__}")
+    if "enum" in schema and value not in schema["enum"]:
+        fail(f"{where}: value {value!r} not in {schema['enum']}")
+
+
+def check_op(op: str, entry: dict) -> None:
+    where = f"ops.{op}"
+    count = entry["count"]
+    outcomes = entry["outcomes"]
+    for name, v in outcomes.items():
+        if name not in OUTCOMES:
+            fail(f"{where}: unknown outcome `{name}`")
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(f"{where}: outcome `{name}` count {v!r} is not a non-negative integer")
+    if sum(outcomes.values()) != count:
+        fail(
+            f"{where}: outcome tallies sum to {sum(outcomes.values())} "
+            f"!= histogram count {count}"
+        )
+    lat = entry["latency"]
+    bounds, counts = lat["bounds"], lat["counts"]
+    if len(bounds) != len(counts):
+        fail(f"{where}: bounds ({len(bounds)}) and counts ({len(counts)}) misaligned")
+    for i in range(1, len(bounds)):
+        if bounds[i] <= bounds[i - 1]:
+            fail(f"{where}: bounds not strictly increasing at [{i}]")
+    if any(c < 0 for c in counts):
+        fail(f"{where}: negative bucket count")
+    if sum(counts) != count:
+        fail(f"{where}: bucket counts sum to {sum(counts)} != count {count}")
+    ladder = [lat["p50_units"], lat["p95_units"], lat["p99_units"], lat["p100_units"]]
+    if ladder != sorted(ladder):
+        fail(f"{where}: percentile ladder not monotone: {ladder}")
+    if count > 0 and lat["p100_units"] not in bounds:
+        fail(f"{where}: p100 {lat['p100_units']} is not a bucket bound")
+    if count == 0 and lat["sum_units"] != 0:
+        fail(f"{where}: sum_units {lat['sum_units']} with zero observations")
+
+
+def check_projects(doc: dict) -> None:
+    for row in doc["projects"]:
+        where = f"projects[{row['project']!r}]"
+        served = row["cache_hits"] + row["cache_recomputes"]
+        expect = 0 if served == 0 else row["cache_hits"] * 1000 // served
+        if row["cache_hit_permille"] != expect:
+            fail(
+                f"{where}: cache_hit_permille {row['cache_hit_permille']} "
+                f"!= recomputed {expect}"
+            )
+
+
+def check_logical_zeroing(doc: dict) -> None:
+    if doc["uptime_ms"] != 0:
+        fail("logical clock: uptime_ms must render as 0")
+    if doc["mem_high_water_bytes"] != 0:
+        fail("logical clock: mem_high_water_bytes must render as 0")
+    for row in doc["projects"]:
+        if row["mem_high_water_bytes"] != 0:
+            fail(
+                f"logical clock: projects[{row['project']!r}].mem_high_water_bytes "
+                "must render as 0"
+            )
+
+
+SERIES_RE = re.compile(r'^([a-z_]+)(?:\{([^}]*)\})? (\S+)$')
+LABEL_RE = re.compile(r'([a-z_]+)="([^"]*)"')
+
+
+def parse_prometheus(path: Path):
+    """-> list of (metric, {label: value}, value) for every sample line."""
+    samples = []
+    for i, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        if not line or line.startswith("#"):
+            continue
+        m = SERIES_RE.match(line)
+        if not m:
+            fail(f"{path}:{i}: unparseable sample line `{line}`")
+        labels = dict(LABEL_RE.findall(m.group(2) or ""))
+        samples.append((m.group(1), labels, m.group(3)))
+    return samples
+
+
+def check_prometheus(doc: dict, path: Path) -> None:
+    samples = parse_prometheus(path)
+    ops = doc["ops"]
+
+    # requests_total series <-> snapshot outcome tallies. The `metrics` op
+    # serves both scrapes, so its own counters may only grow in between;
+    # every other op must agree exactly (CI drives no traffic in between).
+    prom_outcomes = {}
+    for metric, labels, value in samples:
+        if metric == "araa_serve_requests_total":
+            key = (labels.get("op"), labels.get("outcome"))
+            if None in key:
+                fail(f"{path}: requests_total sample missing op/outcome labels")
+            prom_outcomes[key] = int(value)
+    for op, entry in ops.items():
+        for outcome, v in entry["outcomes"].items():
+            got = prom_outcomes.pop((op, outcome), None)
+            if got is None:
+                fail(f"{path}: missing requests_total series op={op} outcome={outcome}")
+            if op == "metrics":
+                if got < v:
+                    fail(f"{path}: metrics-op counter went backwards ({got} < {v})")
+            elif got != v:
+                fail(
+                    f"{path}: requests_total op={op} outcome={outcome} = {got} "
+                    f"!= snapshot {v}"
+                )
+    for (op, outcome), got in prom_outcomes.items():
+        if op != "metrics":
+            fail(
+                f"{path}: exposition has requests_total op={op} outcome={outcome} "
+                f"= {got} absent from the snapshot"
+            )
+
+    # Histogram structure: cumulative buckets monotone, +Inf == count line.
+    buckets, counts, infs = {}, {}, {}
+    for metric, labels, value in samples:
+        op = labels.get("op")
+        if metric == "araa_serve_latency_units_bucket":
+            if labels.get("le") == "+Inf":
+                infs[op] = int(value)
+            else:
+                buckets.setdefault(op, []).append((int(labels["le"]), int(value)))
+        elif metric == "araa_serve_latency_units_count":
+            counts[op] = int(value)
+    for op, series in buckets.items():
+        les = [le for le, _ in series]
+        cums = [c for _, c in series]
+        if les != sorted(les):
+            fail(f"{path}: op={op} bucket le bounds not sorted")
+        if cums != sorted(cums):
+            fail(f"{path}: op={op} cumulative bucket counts decrease")
+        if op not in infs:
+            fail(f"{path}: op={op} histogram lacks a +Inf bucket")
+        if cums and cums[-1] > infs[op]:
+            fail(f"{path}: op={op} last bucket {cums[-1]} exceeds +Inf {infs[op]}")
+        if counts.get(op) != infs[op]:
+            fail(f"{path}: op={op} _count {counts.get(op)} != +Inf bucket {infs[op]}")
+        if op != "metrics" and infs[op] != ops.get(op, {}).get("count"):
+            fail(
+                f"{path}: op={op} +Inf bucket {infs[op]} != snapshot count "
+                f"{ops.get(op, {}).get('count')}"
+            )
+
+    gauges = {m: v for m, labels, v in samples if not labels}
+    if int(gauges.get("araa_serve_workers", -1)) != doc["workers"]:
+        fail(
+            f"{path}: araa_serve_workers {gauges.get('araa_serve_workers')} "
+            f"!= snapshot workers {doc['workers']}"
+        )
+    print(
+        f"{path}: {len(samples)} samples agree with the snapshot "
+        f"({len(prom_outcomes)} extra metrics-op series tolerated)"
+    )
+
+
+def main(argv: list) -> None:
+    args = argv[1:]
+    if not args:
+        print(__doc__)
+        sys.exit(2)
+    snapshot_path = None
+    prom_path = None
+    sealed = False
+    schemas = Path(__file__).resolve().parent.parent / "schemas"
+    i = 0
+    while i < len(args):
+        if args[i] == "--sealed":
+            sealed = True
+        elif args[i] == "--prom":
+            i += 1
+            prom_path = Path(args[i])
+        elif args[i] == "--schemas":
+            i += 1
+            schemas = Path(args[i])
+        elif snapshot_path is None:
+            snapshot_path = Path(args[i])
+        else:
+            fail(f"unexpected argument `{args[i]}`")
+        i += 1
+    if snapshot_path is None:
+        fail("no SNAPSHOT argument")
+
+    if sealed:
+        body = strip_and_verify_trailer(snapshot_path)
+    else:
+        body = snapshot_path.read_text(encoding="utf-8")
+    try:
+        doc = json.loads(body)
+    except json.JSONDecodeError as e:
+        fail(f"{snapshot_path}: not valid JSON: {e}")
+    schema = json.loads(
+        (schemas / "serve_metrics.schema.json").read_text(encoding="utf-8")
+    )
+    validate(doc, schema, "snapshot")
+
+    total = sum(entry["count"] for entry in doc["ops"].values())
+    if total != doc["requests_total"]:
+        fail(f"requests_total {doc['requests_total']} != sum of op counts {total}")
+    for op, entry in doc["ops"].items():
+        check_op(op, entry)
+    check_projects(doc)
+    if doc["clock"] == "logical":
+        check_logical_zeroing(doc)
+    if prom_path is not None:
+        check_prometheus(doc, prom_path)
+
+    exercised = sum(1 for e in doc["ops"].values() if e["count"] > 0)
+    print(
+        f"{snapshot_path}: schema ok; {doc['requests_total']} requests across "
+        f"{exercised} exercised op(s), clock {doc['clock']}"
+        + (", trailer ok" if sealed else "")
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

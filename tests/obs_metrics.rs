@@ -12,7 +12,7 @@
 //! - a warm-from-disk run profiles every procedure as primed, none as
 //!   recomputed.
 
-use araa::{Analysis, AnalysisOptions, AnalysisSession};
+use araa::{Analysis, AnalysisOptions, AnalysisSession, SessionStore};
 use support::budget::BudgetConfig;
 use support::obs::{self, ClockKind, Collector, Counter, Gauge};
 use support::testdir::TestDir;
@@ -151,4 +151,41 @@ fn warm_from_disk_profiles_primed_procedures() {
         assert!(p.primed, "{} must be primed from disk", p.proc);
         assert!(!p.recomputed, "{} must not recompute on a warm disk run", p.proc);
     }
+}
+
+#[test]
+fn cache_stats_reconciles_store_gauge() {
+    let dir = TestDir::new("obs-stats-gauge");
+
+    // Populate and persist a cache (served from the stats.araa snapshot
+    // on the next stats() call).
+    {
+        let mut session = AnalysisSession::with_cache_dir(opts_serial(), dir.path());
+        session.load();
+        session.update(workloads::mini_lu::sources()).expect("cold update");
+        session.persist();
+    }
+
+    // A fresh process that never saved: its StoreEntries gauge can hold
+    // anything (here: deliberately poisoned). `stats()` must reconcile the
+    // live gauge with the persisted snapshot it reports.
+    let c = Collector::new(ClockKind::Logical);
+    let _g = obs::attach(c.clone());
+    obs::set_gauge(Gauge::StoreEntries, 999);
+    let store = SessionStore::new(dir.path(), &opts_serial());
+    let stats = store.stats().expect("stats");
+    assert!(stats.from_snapshot, "persisted snapshot must serve this read");
+    assert!(stats.entry_files > 0, "populated cache has entry files");
+    assert_eq!(
+        c.gauge(Gauge::StoreEntries),
+        stats.entry_files as u64,
+        "stats() must reconcile the live gauge with the reported entry count"
+    );
+
+    // The same holds on the live-scan path (snapshot removed).
+    std::fs::remove_file(dir.path().join("stats.araa")).expect("drop snapshot");
+    obs::set_gauge(Gauge::StoreEntries, 999);
+    let stats = store.stats().expect("live stats");
+    assert!(!stats.from_snapshot, "snapshot is gone; this is a live scan");
+    assert_eq!(c.gauge(Gauge::StoreEntries), stats.entry_files as u64);
 }
