@@ -257,6 +257,7 @@ fn build_row(
         last_line,
         is_global: entry.class == StClass::Global,
         remote: rec.remote,
+        precision: rec.precision,
     }
 }
 

@@ -10,8 +10,11 @@ use support::persist::{append_text_checksum, verify_text_checksum};
 use support::Error;
 
 /// The `.rgn` format version this writer emits, recorded as a leading
-/// `#version` record. Version 2 added the `first_line`/`last_line` columns.
-pub const RGN_VERSION: u32 = 2;
+/// `#version` record. Version 2 added the `first_line`/`last_line` columns;
+/// version 3 added the `precision` column. Pre-3 documents are rejected
+/// with a typed error (the session cache quarantines them and recomputes)
+/// rather than being misread as having exact bounds.
+pub const RGN_VERSION: u32 = 3;
 
 /// Serializes rows into a `.rgn` document (version record + header + one row
 /// per region per access mode), finished with a `#checksum` trailer line so
@@ -29,10 +32,10 @@ pub fn write_rgn(rows: &[RgnRow]) -> String {
 }
 
 /// Parses a `.rgn` document back into rows, verifying the version record,
-/// the header and (when present) the `#checksum` trailer. Version-1 files
-/// (no `#version` record, 19-column header) still parse, with each row's
-/// line range backfilled from its `line` column; unknown future versions
-/// are rejected instead of being misread.
+/// the header and (when present) the `#checksum` trailer. Documents from
+/// other schema versions — older files without the `precision` column as
+/// well as unknown future versions — are rejected with a typed error, never
+/// misread: a pre-3 row would otherwise silently parse as exact bounds.
 pub fn read_rgn(doc: &str) -> Result<Vec<RgnRow>, Error> {
     let doc = verify_text_checksum(doc)?;
     let records = parse(doc)?;
@@ -44,37 +47,35 @@ pub fn read_rgn(doc: &str) -> Result<Vec<RgnRow>, Error> {
                 .get(1)
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| Error::Format("malformed .rgn #version record".into()))?;
-            if v > RGN_VERSION {
-                return Err(Error::Format(format!(
-                    ".rgn version {v} is newer than supported version {RGN_VERSION}"
-                )));
-            }
             v
         }
         _ => 1, // legacy files predate the version record
     };
+    if version > RGN_VERSION {
+        return Err(Error::Format(format!(
+            ".rgn version {version} is newer than supported version {RGN_VERSION}"
+        )));
+    }
+    if version < RGN_VERSION {
+        return Err(Error::Format(format!(
+            ".rgn version {version} predates the `precision` column (version \
+             {RGN_VERSION}); regenerate the analysis"
+        )));
+    }
     let header = it
         .next()
         .ok_or_else(|| Error::Format("empty .rgn file".to_string()))?;
-    let legacy = match version {
-        1 if header == RgnRow::HEADER_V1 => true,
-        _ if header == RgnRow::HEADER => false,
-        _ => {
-            return Err(Error::Format(format!(
-                "unexpected .rgn header: {header:?}"
-            )))
-        }
-    };
+    if header != RgnRow::HEADER {
+        return Err(Error::Format(format!(
+            "unexpected .rgn header: {header:?}"
+        )));
+    }
     let mut rows = Vec::new();
     for record in it {
         if record.iter().all(String::is_empty) {
             continue;
         }
-        rows.push(if legacy {
-            RgnRow::parse_csv_v1(&record)?
-        } else {
-            RgnRow::parse_csv(&record)?
-        });
+        rows.push(RgnRow::parse_csv(&record)?);
     }
     Ok(rows)
 }
@@ -82,7 +83,7 @@ pub fn read_rgn(doc: &str) -> Result<Vec<RgnRow>, Error> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use regions::access::AccessMode;
+    use regions::access::{AccessMode, Precision};
 
     fn sample_rows() -> Vec<RgnRow> {
         vec![
@@ -109,6 +110,7 @@ mod tests {
                 last_line: 8,
                 is_global: true,
                 remote: false,
+                precision: Precision::Exact,
             },
             RgnRow {
                 proc: "add".into(),
@@ -133,6 +135,7 @@ mod tests {
                 last_line: 6,
                 is_global: true,
                 remote: false,
+                precision: Precision::Interval,
             },
         ]
     }
@@ -146,7 +149,7 @@ mod tests {
         // Global rows carry the Dragon `@` marker in the serialized form.
         assert!(doc.contains("@MAIN__"));
         // The document is self-describing: a version record leads.
-        assert!(doc.starts_with("#version,2\n"), "{doc}");
+        assert!(doc.starts_with("#version,3\n"), "{doc}");
     }
 
     #[test]
@@ -156,18 +159,32 @@ mod tests {
     }
 
     #[test]
-    fn version_1_files_still_parse() {
-        // A v1 file: no version record, 19-column header, 19-column rows.
+    fn pre_precision_versions_are_quarantined() {
+        // A v1 file (no version record) and a v2 file (versioned, no
+        // precision column) must both come back as typed schema errors.
         let mut w = CsvWriter::new();
-        w.write_row(RgnRow::HEADER_V1);
+        w.write_row([
+            "proc", "array", "file", "mode", "refs", "dims", "lb", "ub", "stride",
+            "elem_size", "data_type", "dim_size", "tot_size", "size_bytes",
+            "mem_loc", "acc_density", "via", "line", "remote",
+        ]);
         w.write_row([
             "@MAIN__", "aarr", "matrix.o", "DEF", "2", "1", "0", "7", "1", "4",
             "int", "20", "20", "80", "55599870", "2", "", "5", "0",
         ]);
-        let rows = read_rgn(&w.finish()).unwrap();
-        assert_eq!(rows.len(), 1);
-        assert_eq!((rows[0].first_line, rows[0].last_line), (5, 5));
-        assert!(rows[0].is_global);
+        let err = read_rgn(&w.finish()).unwrap_err().to_string();
+        assert!(err.contains("predates"), "{err}");
+
+        let mut w = CsvWriter::new();
+        w.write_row(["#version", "2"]);
+        w.write_row([
+            "proc", "array", "file", "mode", "refs", "dims", "lb", "ub", "stride",
+            "elem_size", "data_type", "dim_size", "tot_size", "size_bytes",
+            "mem_loc", "acc_density", "via", "line", "first_line", "last_line",
+            "remote",
+        ]);
+        let err = read_rgn(&w.finish()).unwrap_err().to_string();
+        assert!(err.contains("predates"), "{err}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! element size, data type, dim sizes, total size, allocated bytes, memory
 //! location (hex) and access density.
 
-use regions::access::AccessMode;
+use regions::access::{AccessMode, Precision};
 use support::csv::CsvWriter;
 use support::Error;
 
@@ -65,6 +65,10 @@ pub struct RgnRow {
     pub is_global: bool,
     /// True for coindexed (remote, PGAS) accesses — the CAF extension.
     pub remote: bool,
+    /// How trustworthy the bounds columns are: `exact`, `affine-approx`,
+    /// `interval` (recovered by the abstract-interpretation fallback) or
+    /// `unbounded`.
+    pub precision: Precision,
 }
 
 impl RgnRow {
@@ -88,19 +92,12 @@ impl RgnRow {
         }
     }
 
-    /// The CSV header of a version-2 `.rgn` file.
-    pub const HEADER: [&'static str; 21] = [
+    /// The CSV header of a version-3 `.rgn` file.
+    pub const HEADER: [&'static str; 22] = [
         "proc", "array", "file", "mode", "refs", "dims", "lb", "ub", "stride",
         "elem_size", "data_type", "dim_size", "tot_size", "size_bytes", "mem_loc",
         "acc_density", "via", "line", "first_line", "last_line", "remote",
-    ];
-
-    /// The CSV header of a version-1 `.rgn` file (no per-row line range);
-    /// still accepted by the reader for old artifacts.
-    pub const HEADER_V1: [&'static str; 19] = [
-        "proc", "array", "file", "mode", "refs", "dims", "lb", "ub", "stride",
-        "elem_size", "data_type", "dim_size", "tot_size", "size_bytes", "mem_loc",
-        "acc_density", "via", "line", "remote",
+        "precision",
     ];
 
     /// Serializes to one CSV row. The `is_global` flag rides on the proc
@@ -135,23 +132,14 @@ impl RgnRow {
             &self.first_line.to_string(),
             &self.last_line.to_string(),
             if self.remote { "1" } else { "0" },
+            self.precision.as_str(),
         ]);
     }
 
     /// Parses one CSV record (without the `is_global` flag, which the
     /// reader reconstructs from the `@`-prefixed proc convention).
     pub fn parse_csv(fields: &[String]) -> Result<RgnRow, Error> {
-        Self::parse_fields(fields, false)
-    }
-
-    /// Parses a version-1 record: no `first_line`/`last_line` columns, both
-    /// reconstructed from the `line` column.
-    pub fn parse_csv_v1(fields: &[String]) -> Result<RgnRow, Error> {
-        Self::parse_fields(fields, true)
-    }
-
-    fn parse_fields(fields: &[String], legacy: bool) -> Result<RgnRow, Error> {
-        let expected = if legacy { Self::HEADER_V1.len() } else { Self::HEADER.len() };
+        let expected = Self::HEADER.len();
         if fields.len() != expected {
             return Err(Error::Format(format!(
                 ".rgn row has {} fields, expected {}",
@@ -169,11 +157,6 @@ impl RgnRow {
             None => (fields[0].clone(), false),
         };
         let line = int(17)? as u32;
-        let (first_line, last_line, remote_idx) = if legacy {
-            (line, line, 18)
-        } else {
-            (int(18)? as u32, int(19)? as u32, 20)
-        };
         Ok(RgnRow {
             proc,
             array: fields[1].clone(),
@@ -194,10 +177,12 @@ impl RgnRow {
             acc_density: int(15)?,
             via: (!fields[16].is_empty()).then(|| fields[16].clone()),
             line,
-            first_line,
-            last_line,
+            first_line: int(18)? as u32,
+            last_line: int(19)? as u32,
             is_global,
-            remote: fields[remote_idx] == "1",
+            remote: fields[20] == "1",
+            precision: Precision::parse(&fields[21])
+                .ok_or_else(|| Error::Format(format!("bad precision `{}`", fields[21])))?,
         })
     }
 }
@@ -230,6 +215,7 @@ mod tests {
             last_line: 17,
             is_global: false,
             remote: false,
+            precision: Precision::Exact,
         }
     }
 
@@ -256,19 +242,34 @@ mod tests {
     }
 
     #[test]
-    fn v1_rows_parse_with_line_range_backfilled() {
-        // A version-1 record is the version-2 record minus the
-        // first_line/last_line columns.
+    fn pre_precision_rows_are_rejected_cleanly() {
+        // A version-2 record is the version-3 record minus the trailing
+        // precision column; the parser must reject it with a typed error.
         let row = sample();
         let mut w = CsvWriter::new();
         row.write_csv(&mut w);
         let mut fields = support::csv::parse(w.as_str()).unwrap().remove(0);
-        let remote = fields.pop().unwrap();
-        fields.truncate(RgnRow::HEADER_V1.len() - 1);
-        fields.push(remote);
-        let back = RgnRow::parse_csv_v1(&fields).unwrap();
-        assert_eq!((back.first_line, back.last_line), (row.line, row.line));
-        assert!(RgnRow::parse_csv(&fields).is_err(), "v2 parser rejects v1 width");
+        fields.pop();
+        let err = RgnRow::parse_csv(&fields).unwrap_err().to_string();
+        assert!(err.contains("fields"), "{err}");
+    }
+
+    #[test]
+    fn precision_column_round_trips_every_level() {
+        for p in Precision::ALL {
+            let mut row = sample();
+            row.precision = p;
+            let mut w = CsvWriter::new();
+            row.write_csv(&mut w);
+            let parsed = support::csv::parse(w.as_str()).unwrap();
+            let back = RgnRow::parse_csv(&parsed[0]).unwrap();
+            assert_eq!(back.precision, p);
+        }
+        let mut w = CsvWriter::new();
+        sample().write_csv(&mut w);
+        let mut fields = support::csv::parse(w.as_str()).unwrap().remove(0);
+        fields[21] = "mystery".into();
+        assert!(RgnRow::parse_csv(&fields).is_err());
     }
 
     #[test]

@@ -541,7 +541,7 @@ impl AnalysisSession {
                         ),
                     });
                 }
-                IpaResult { summaries, recursion_cut }
+                IpaResult { index_facts: ipa::validated_index_facts(&summaries), summaries, recursion_cut }
             }
             Err(payload) => {
                 push_unique(&mut prop_degr, Degradation {
@@ -550,6 +550,7 @@ impl AnalysisSession {
                     detail: panic_message(payload.as_ref()),
                 });
                 IpaResult {
+                    index_facts: ipa::validated_index_facts(&locals),
                     summaries: locals.clone(),
                     recursion_cut: cg.is_recursive(),
                 }

@@ -127,6 +127,7 @@ impl Persist for RgnRow {
         w.u32(self.last_line);
         w.bool(self.is_global);
         w.bool(self.remote);
+        self.precision.save(w);
     }
     fn load(r: &mut ByteReader<'_>) -> Result<Self> {
         Ok(RgnRow {
@@ -152,6 +153,7 @@ impl Persist for RgnRow {
             last_line: r.u32()?,
             is_global: r.bool()?,
             remote: r.bool()?,
+            precision: Persist::load(r)?,
         })
     }
 }
@@ -869,7 +871,11 @@ impl AnalysisSession {
             analysis: Analysis {
                 program,
                 callgraph: cg,
-                ipa: IpaResult { summaries: propagated, recursion_cut: manifest.recursion_cut },
+                ipa: IpaResult {
+                    index_facts: ipa::validated_index_facts(&propagated),
+                    summaries: propagated,
+                    recursion_cut: manifest.recursion_cut,
+                },
                 rows,
                 degradations: manifest.degradations,
             },

@@ -207,6 +207,77 @@ fn cache_truncations_and_appends_degrade_never_lie() {
     load_update_and_check(&manifest, &appended, &name, &oracle);
 }
 
+// ---------------------------------------------------------------------------
+// Pre-`precision` schema fixtures (version skew, not corruption)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rgn_pre_precision_schema_is_rejected_with_version_error() {
+    // A well-formed version-2 document — old header without the trailing
+    // `precision` column, valid checksum trailer. Nothing about it is
+    // corrupt; it is merely from before the interval pass existed. Reading
+    // it as if every row were exact would be a silent precision lie, so the
+    // reader must reject it on the version record alone.
+    let mut w = support::csv::CsvWriter::new();
+    w.write_row(["#version", "2"]);
+    let old_header: Vec<&str> =
+        araa::RgnRow::HEADER.iter().copied().filter(|c| *c != "precision").collect();
+    w.write_row(old_header.iter().copied());
+    let mut doc = w.finish();
+    support::persist::append_text_checksum(&mut doc);
+
+    let err = read_rgn(&doc).expect_err("pre-precision schema must be rejected");
+    let msg = err.to_string();
+    assert!(msg.contains("version 2"), "{msg}");
+    assert!(msg.contains("precision"), "{msg}");
+
+    // Unknown *future* versions are refused symmetrically.
+    let future = doc.replace("#version,2", "#version,99");
+    assert!(read_rgn(&future).is_err(), "future versions must not parse");
+}
+
+#[test]
+fn old_version_cache_container_quarantines_and_recomputes() {
+    let (manifest, entry, name, oracle) = seeded_cache_bytes();
+
+    // Rewind the manifest's format version to 2 (pre-`precision` payload
+    // layout) and re-seal the FNV footer so the container is structurally
+    // pristine — the *only* thing wrong with it is its age. This is what a
+    // cache directory written by the previous release looks like.
+    let mut old = manifest.clone();
+    old[8..12].copy_from_slice(&2u32.to_le_bytes());
+    let body_len = old.len() - 8;
+    let sum = support::hash::fnv1a(&old[..body_len]);
+    old[body_len..].copy_from_slice(&sum.to_le_bytes());
+    assert!(
+        matches!(
+            support::persist::read_container_loose(&old),
+            Err(support::persist::ContainerError::BadVersion(2))
+        ),
+        "the re-sealed fixture must classify as version skew, not corruption"
+    );
+
+    // A session over the stale cache must quarantine the manifest
+    // (classified as a version reject, never deleted blind) and recompute
+    // the right rows.
+    let dir = TestDir::new("corrupt-old-version");
+    std::fs::write(dir.join("manifest.araa"), &old).expect("write manifest");
+    std::fs::write(dir.join(&name), &entry).expect("write entry");
+    let mut s = AnalysisSession::with_cache_dir(AnalysisOptions::default(), dir.path());
+    s.load();
+    s.update(&sources()).expect("update");
+    assert_eq!(s.analysis().expect("analysis").rows, oracle);
+    let quarantined: Vec<String> = std::fs::read_dir(dir.join("quarantine"))
+        .expect("quarantine dir must exist")
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        quarantined.iter().any(|n| n.contains("version")),
+        "stale entry must be quarantined with the version suffix: {quarantined:?}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

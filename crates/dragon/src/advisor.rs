@@ -249,7 +249,11 @@ pub fn fusion_advice(project: &Project) -> Vec<Advice> {
 pub fn omp_advice(analysis: &Analysis) -> Vec<Advice> {
     let mut out = Vec::new();
     for (proc_id, proc) in analysis.program.procedures.iter_enumerated() {
-        for verdict in ipa::analyze_proc_loops(&analysis.program, proc_id) {
+        for verdict in ipa::analyze_proc_loops_with_facts(
+            &analysis.program,
+            proc_id,
+            &analysis.ipa.index_facts,
+        ) {
             if !verdict.parallelizable {
                 continue;
             }

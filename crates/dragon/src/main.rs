@@ -294,6 +294,17 @@ fn render_profile(snap: &obs::Snapshot, top: usize) -> String {
         }
         out.push_str(&t.render(false));
     }
+    out.push_str("\n== counters ==\n");
+    let nonzero: Vec<_> = snap.counters.iter().filter(|(_, v)| *v > 0).collect();
+    if nonzero.is_empty() {
+        out.push_str("(no counters incremented)\n");
+    } else {
+        let mut t = support::table::Table::new(["counter", "value"]);
+        for (name, v) in nonzero {
+            t.add_row([name.to_string(), format!("{v}")]);
+        }
+        out.push_str(&t.render(false));
+    }
     out.push_str("\n== phase totals ==\n");
     let mut spans: Vec<&obs::SpanAgg> = snap.spans.iter().collect();
     spans.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.name.cmp(b.name)));

@@ -405,6 +405,7 @@ fn profile_ranks_procedures_and_shows_cache_source() {
     assert_eq!(cold.status.code(), Some(0), "{}", String::from_utf8_lossy(&cold.stderr));
     let stdout = String::from_utf8_lossy(&cold.stdout);
     assert!(stdout.contains("== hot procedures =="), "{stdout}");
+    assert!(stdout.contains("== counters =="), "{stdout}");
     assert!(stdout.contains("== phase totals =="), "{stdout}");
     assert!(stdout.contains("session.update"), "{stdout}");
     assert!(stdout.contains("recomputed"), "{stdout}");

@@ -11,7 +11,7 @@
 
 use crate::local::{summarize_procedure, whole_array_record, ProcSummary};
 use parking_lot::Mutex;
-use regions::access::AccessMode;
+use regions::access::{AccessMode, Precision};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use support::budget::{self, BudgetConfig};
@@ -106,16 +106,18 @@ pub fn conservative_summary(program: &Program, id: ProcId) -> ProcSummary {
                 proc.linenum,
             );
             f.approx = true;
+            f.precision = f.precision.worst(Precision::AffineApprox);
             accesses.push(f);
         }
         for mode in [AccessMode::Def, AccessMode::Use] {
             let mut rec =
                 whole_array_record(program, proc, st, entry.ty, mode, proc.linenum);
             rec.approx = true;
+            rec.precision = rec.precision.worst(Precision::AffineApprox);
             accesses.push(rec);
         }
     }
-    ProcSummary { accesses }
+    ProcSummary { accesses, index_facts: Default::default() }
 }
 
 /// Serial isolated IPL over every procedure.

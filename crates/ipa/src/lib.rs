@@ -19,6 +19,8 @@
 //!   incremental session's cache-hit path).
 
 pub mod callgraph;
+pub mod index_facts;
+pub mod interval_ai;
 pub mod isolate;
 pub mod local;
 pub mod loop_parallel;
@@ -29,8 +31,10 @@ pub mod rebase;
 pub mod sideeffect;
 
 pub use callgraph::{CallGraph, CallSite};
+pub use index_facts::IndexArrayFact;
+pub use interval_ai::RecoveredBounds;
 pub use isolate::{IplFailure, IplOutcome};
 pub use local::{AccessRecord, ProcSummary};
-pub use loop_parallel::{analyze_proc_loops, LoopVerdict, ScalarUse};
-pub use propagate::{analyze, IpaResult};
+pub use loop_parallel::{analyze_proc_loops, analyze_proc_loops_with_facts, LoopVerdict, ScalarUse};
+pub use propagate::{analyze, validated_index_facts, IpaResult};
 pub use sideeffect::{find_parallel_pairs, independent, CallEffects, ParallelPair};

@@ -8,14 +8,34 @@
 //! `DEF` for `ISTORE` targets, `USE` for `ILOAD`s, `FORMAL` for array
 //! formals, and `PASSED` for whole-array call arguments.
 
-use regions::access::AccessMode;
+use crate::index_facts::{self, IndexArrayFact};
+use crate::interval_ai;
+use regions::access::{AccessMode, Precision};
 use regions::linexpr::LinExpr;
 use regions::space::{Space, VarId};
-use regions::summarize::{summarize_reference, LoopInfo, LoopNest, Subscript};
-use regions::triplet::TripletRegion;
+use regions::summarize::{summarize_reference_detailed, LoopInfo, LoopNest, Subscript};
+use regions::triplet::{Bound, Triplet, TripletRegion};
 use regions::ConvexRegion;
 use std::collections::BTreeMap;
+use support::obs::{self, Counter};
 use whirl::{Opr, ProcId, Procedure, Program, StIdx, TyKind, WhirlTree, WnId};
+
+/// A subscript that reads through an index array: `A(idx(g) + offset)`.
+///
+/// Carried on the outer access so the side-effect and loop-parallel tests
+/// can apply injectivity reasoning: if `idx` is injective and two accesses
+/// go through disjoint `domain`s with equal `offset`, their images are
+/// disjoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndirectIndex {
+    /// The index array being read.
+    pub index_array: StIdx,
+    /// Zero-based elements of `index_array` the inner subscript covers
+    /// (constant bounds only — symbolic domains never qualify).
+    pub domain: TripletRegion,
+    /// Constant added to the loaded value before indexing the outer array.
+    pub offset: i64,
+}
 
 /// One summarized array reference.
 #[derive(Debug, Clone)]
@@ -40,6 +60,10 @@ pub struct AccessRecord {
     /// array or all-messy) rather than a computed summary. Still sound —
     /// approximate records only over-state what is accessed.
     pub approx: bool,
+    /// How trustworthy the region is — the `.rgn` `precision` column.
+    pub precision: Precision,
+    /// Set when the (1-D) subscript reads through an index array.
+    pub via_index: Option<IndirectIndex>,
 }
 
 /// The summary of one procedure.
@@ -47,6 +71,9 @@ pub struct AccessRecord {
 pub struct ProcSummary {
     /// All records, in visit order.
     pub accesses: Vec<AccessRecord>,
+    /// Facts derived for this procedure's index arrays (sparse; only
+    /// populated when the interval fallback ran).
+    pub index_facts: BTreeMap<StIdx, IndexArrayFact>,
 }
 
 impl ProcSummary {
@@ -189,9 +216,22 @@ struct LoopFrame {
 struct Walker<'a> {
     program: &'a Program,
     proc: &'a Procedure,
-    proc_id: ProcId,
     nest: Vec<LoopFrame>,
     out: Vec<AccessRecord>,
+    /// Records whose affine summary left `Messy`/`Unprojected` dimensions:
+    /// `(index into out, ARRAY node, bad dims)` — the interval fallback's
+    /// work list.
+    pending: Vec<(usize, WnId, Vec<usize>)>,
+    /// The procedure stores into a candidate index array — facts must be
+    /// derived here even when every access is affine, because *other*
+    /// procedures may read through the array it defines.
+    defines_index_array: bool,
+    /// Per enclosing loop (parallel to `nest`): scalars assigned anywhere
+    /// in that loop's body, including call-clobbered by-reference actuals.
+    /// A subscript mentioning one of these is *not* loop-invariant — the
+    /// affine "symbolic single element" summary would be unsound, so the
+    /// dimension is demoted to messy and queued for interval recovery.
+    variant: Vec<std::collections::BTreeSet<StIdx>>,
 }
 
 /// Summarizes one procedure (must be at H level).
@@ -211,7 +251,15 @@ pub fn summarize_procedure(program: &Program, proc_id: ProcId) -> ProcSummary {
     }
     let proc = program.procedure(proc_id);
     debug_assert_eq!(proc.level, whirl::Level::High, "IPL runs on H WHIRL");
-    let mut w = Walker { program, proc, proc_id, nest: Vec::new(), out: Vec::new() };
+    let mut w = Walker {
+        program,
+        proc,
+        nest: Vec::new(),
+        out: Vec::new(),
+        pending: Vec::new(),
+        defines_index_array: false,
+        variant: Vec::new(),
+    };
 
     // FORMAL records first: the array as found in the definition.
     for &formal in &proc.formals {
@@ -226,7 +274,116 @@ pub fn summarize_procedure(program: &Program, proc_id: ProcId) -> ProcSummary {
             w.walk_block(body);
         }
     }
-    ProcSummary { accesses: w.out }
+
+    // Fact derivation is a cheap single tree scan; it runs when this
+    // procedure could either *consume* facts (unbounded dimensions pending)
+    // or *produce* them for other procedures (it writes an index-array
+    // candidate). The interval fixpoint — the expensive part — runs only
+    // for consumers, so affine-only procedures pay nothing there.
+    let mut facts = BTreeMap::new();
+    if (!w.pending.is_empty() || w.defines_index_array)
+        && !support::budget::exhausted()
+        && interval_fallback_enabled()
+    {
+        facts = index_facts::derive(program, proc_id);
+        if !w.pending.is_empty() {
+            let recovered = interval_ai::analyze_proc(program, proc_id, &facts);
+            let pending = std::mem::take(&mut w.pending);
+            for (idx, wn, bad_dims) in pending {
+                patch_record(&mut w.out[idx], wn, &bad_dims, &recovered);
+            }
+        }
+    }
+    ProcSummary { accesses: w.out, index_facts: facts }
+}
+
+/// Fills `Messy`/`Unprojected` sides of `rec`'s bad dimensions from the
+/// interval interpreter's result; upgrades precision to `Interval` when
+/// every bad dimension came back fully bounded.
+fn patch_record(
+    rec: &mut AccessRecord,
+    wn: WnId,
+    bad_dims: &[usize],
+    recovered: &interval_ai::RecoveredBounds,
+) {
+    let mut all_bounded = !bad_dims.is_empty();
+    for &d in bad_dims {
+        let interval = recovered.dims.get(&(wn, d));
+        let t = &rec.region.dims[d];
+        let (ilb, iub) = interval.map_or((Bound::Messy, Bound::Messy), |iv| iv.to_bounds());
+        let unknown = |b: &Bound| matches!(b, Bound::Messy | Bound::Unprojected);
+        let lb = if unknown(&t.lb) { ilb } else { t.lb.clone() };
+        let ub = if unknown(&t.ub) { iub } else { t.ub.clone() };
+        if lb == t.lb && ub == t.ub {
+            all_bounded = false;
+            continue;
+        }
+        let dim_bounded = !unknown(&lb) && !unknown(&ub);
+        // Any stride information died with the affine summary: the sound
+        // patched dim is the dense interval.
+        rec.region.dims[d] = Triplet::new(lb, ub, Bound::Const(1));
+        if dim_bounded {
+            obs::incr(Counter::RegionsIntervalRecovered);
+        } else {
+            all_bounded = false;
+        }
+    }
+    if all_bounded {
+        rec.precision = rec.precision.min(Precision::Interval);
+    }
+}
+
+/// Ablation kill switch for the interval fallback (facts + fixpoint +
+/// record patching), process-global, default on. Exists for the
+/// `session_warm` bench's overhead measurement on affine-only workloads —
+/// production paths never touch it, and flipping it mid-analysis gives
+/// whichever procedures run afterwards the no-fallback behavior.
+static INTERVAL_FALLBACK: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(true);
+
+/// Enables or disables the interval fallback (ablation/bench only).
+pub fn set_interval_fallback(enabled: bool) {
+    INTERVAL_FALLBACK.store(enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn interval_fallback_enabled() -> bool {
+    INTERVAL_FALLBACK.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Collects every scalar symbol assigned in `root`'s subtree: direct
+/// `STID` targets plus anything a `CALL` may clobber through a
+/// by-reference argument (Fortran passes scalars as `PARM(LDID)`, arrays
+/// as `PARM(LDA)`). Inner loops contribute their induction variables via
+/// their start/step `STID`s.
+fn stored_symbols(
+    tree: &WhirlTree,
+    root: WnId,
+    out: &mut std::collections::BTreeSet<StIdx>,
+) {
+    let node = tree.node(root);
+    match node.operator {
+        Opr::Stid => {
+            if let Some(st) = node.st_idx {
+                out.insert(st);
+            }
+        }
+        Opr::Call => {
+            for &p in &node.kids {
+                let parm = tree.node(p);
+                let Some(&v) = parm.kids.first() else { continue };
+                let vn = tree.node(v);
+                if matches!(vn.operator, Opr::Lda | Opr::Ldid) {
+                    if let Some(st) = vn.st_idx {
+                        out.insert(st);
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    for k in node.kids.clone() {
+        stored_symbols(tree, k, out);
+    }
 }
 
 /// Summarizes every procedure serially.
@@ -314,7 +471,11 @@ impl<'a> Walker<'a> {
                 // Normalize descending loops: iterate lo..hi regardless.
                 let (lo, hi) = if step < 0 { (hi_e, lo_e) } else { (lo_e, hi_e) };
                 self.nest.push(LoopFrame { ivar, lo, hi, step: step.abs().max(1) });
+                let mut stored = std::collections::BTreeSet::new();
+                stored_symbols(tree, node.kids[3], &mut stored);
+                self.variant.push(stored);
                 self.walk_block(node.kids[3]);
+                self.variant.pop();
                 self.nest.pop();
             }
             Opr::If => {
@@ -366,6 +527,9 @@ impl<'a> Walker<'a> {
         let Some(array_st) = base.st_idx else { return };
         let ndims = node.num_dim();
         let line = node.linenum;
+        if mode == AccessMode::Def && index_facts::is_index_array(self.program, array_st) {
+            self.defines_index_array = true;
+        }
 
         // Once the analysis budget is dry, stop summarizing subscripts and
         // record the whole declared array instead — conservative and cheap.
@@ -375,6 +539,7 @@ impl<'a> Walker<'a> {
                 whole_array_record(self.program, self.proc, array_st, ty, mode, line);
             record.remote = remote;
             record.approx = true;
+            record.precision = record.precision.worst(Precision::AffineApprox);
             self.out.push(record);
             return;
         }
@@ -448,7 +613,45 @@ impl<'a> Walker<'a> {
             })
             .collect();
 
-        let (region, convex) = summarize_reference(&space, &nest, &subs);
+        let (mut region, mut convex, detail) = summarize_reference_detailed(&space, &nest, &subs);
+        let mut bad_dims: Vec<usize> =
+            detail.messy_dims.iter().chain(&detail.unprojected_dims).copied().collect();
+        // A dimension whose summary leans on a scalar some enclosing loop
+        // reassigns (an accumulating pointer, a call-clobbered index) is
+        // not the single symbolic element it claims: the scalar takes a
+        // different value each iteration. Demote it to messy — dropping
+        // the convex companion, which would otherwise let FM treat the
+        // stale symbol as one fixed value — and queue it for the interval
+        // pass, whose widening/narrowing on the loop body re-bounds it.
+        for (d, e) in subs_aff.iter().enumerate() {
+            if bad_dims.contains(&d) {
+                continue;
+            }
+            let loop_variant = e.symbols().into_iter().any(|st| {
+                self.variant.iter().any(|s| s.contains(&st))
+                    && !self.nest.iter().any(|f| {
+                        f.ivar == st
+                            && !matches!(f.lo, AffExpr::Messy)
+                            && !matches!(f.hi, AffExpr::Messy)
+                    })
+            });
+            if loop_variant {
+                region.dims[d] = Triplet::messy();
+                convex = None;
+                bad_dims.push(d);
+            }
+        }
+        bad_dims.sort_unstable();
+        bad_dims.dedup();
+        let precision = if !bad_dims.is_empty() {
+            // Provisional: the post-walk interval pass may upgrade this.
+            Precision::Unbounded
+        } else if detail.is_exact() {
+            Precision::Exact
+        } else {
+            Precision::AffineApprox
+        };
+        let via_index = (ndims == 1).then(|| self.match_via_index(array_wn)).flatten();
         self.out.push(AccessRecord {
             array: array_st,
             mode,
@@ -459,8 +662,59 @@ impl<'a> Walker<'a> {
             from_call: None,
             remote,
             approx: false,
+            precision,
+            via_index,
         });
-        let _ = self.proc_id;
+        if !bad_dims.is_empty() {
+            self.pending.push((self.out.len() - 1, array_wn, bad_dims));
+        }
+    }
+
+    /// Recognizes `A(idx(g) + offset)` for a 1-D reference: the subscript
+    /// is a single `ILOAD` of a 1-D index array plus a constant, and the
+    /// inner subscript `g` is affine over constant-bound enclosing loops.
+    fn match_via_index(&self, array_wn: WnId) -> Option<IndirectIndex> {
+        let tree = &self.proc.tree;
+        let sub = tree.node(array_wn).array_index_kid(0);
+        let (iload, offset) = peel_const_offset(tree, sub)?;
+        let n = tree.node(iload);
+        if n.operator != Opr::Iload {
+            return None;
+        }
+        let addr = tree.node(n.kids[0]);
+        if addr.operator != Opr::Array || addr.num_dim() != 1 {
+            return None;
+        }
+        let idx_st = tree.node(addr.array_base_kid()).st_idx?;
+        if !matches!(
+            &self.program.types.get(self.program.symbols.get(idx_st).ty).kind,
+            TyKind::Array { elem: whirl::DataType::I4 | whirl::DataType::I8, dims, .. }
+                if dims.len() == 1
+        ) {
+            return None;
+        }
+        let g = whirl_to_affine(tree, addr.array_index_kid(0));
+        let domain = self.const_domain(&g)?;
+        Some(IndirectIndex { index_array: idx_st, domain, offset })
+    }
+
+    /// The constant triplet an affine expression covers over the current
+    /// constant-bound loop nest; `None` when any mentioned symbol is not a
+    /// constant-bound loop variable.
+    fn const_domain(&self, e: &AffExpr) -> Option<TripletRegion> {
+        let AffExpr::Lin { constant, terms } = e else { return None };
+        let (mut lo, mut hi) = (i128::from(*constant), i128::from(*constant));
+        let mut stride: i64 = 1;
+        for (&st, &c) in terms {
+            let f = self.nest.iter().find(|f| f.ivar == st)?;
+            let (flo, fhi) = (f.lo.as_const()?, f.hi.as_const()?);
+            let (a, b) = (i128::from(c) * i128::from(flo), i128::from(c) * i128::from(fhi));
+            lo += a.min(b);
+            hi += a.max(b);
+            stride = if terms.len() == 1 { (c * f.step).abs().max(1) } else { 1 };
+        }
+        let (lo, hi) = (i64::try_from(lo).ok()?, i64::try_from(hi).ok()?);
+        Some(TripletRegion::new(vec![Triplet::constant(lo, hi, stride)]))
     }
 
     /// Records a whole-declared-array region (FORMAL / PASSED), expressed in
@@ -469,6 +723,32 @@ impl<'a> Walker<'a> {
         let ty = self.program.symbols.get(array_st).ty;
         let record = whole_array_record(self.program, self.proc, array_st, ty, mode, line);
         self.out.push(record);
+    }
+}
+
+/// Strips constant addends around a subscript expression, returning the
+/// remaining core node and the accumulated offset: `x + 3` → `(x, 3)`,
+/// `x - 1` → `(x, -1)`, `x` → `(x, 0)`.
+pub(crate) fn peel_const_offset(tree: &WhirlTree, id: WnId) -> Option<(WnId, i64)> {
+    let n = tree.node(id);
+    match n.operator {
+        Opr::Add => {
+            if let Some(c) = tree.eval_const(n.kids[1]) {
+                let (core, o) = peel_const_offset(tree, n.kids[0])?;
+                Some((core, o + c))
+            } else if let Some(c) = tree.eval_const(n.kids[0]) {
+                let (core, o) = peel_const_offset(tree, n.kids[1])?;
+                Some((core, o + c))
+            } else {
+                None
+            }
+        }
+        Opr::Sub => {
+            let c = tree.eval_const(n.kids[1])?;
+            let (core, o) = peel_const_offset(tree, n.kids[0])?;
+            Some((core, o - c))
+        }
+        _ => Some((id, 0)),
     }
 }
 
@@ -499,6 +779,11 @@ pub fn whole_array_record(
         extents.iter().map(|&e| (e > 0).then_some((0, e - 1))).collect();
     let convex = bounds.map(|b| regions::convex::box_region(&b));
     let ndims = extents.len() as u8;
+    let precision = if extents.iter().all(|&e| e > 0) {
+        Precision::Exact
+    } else {
+        Precision::Unbounded // runtime extents: bounds unknown
+    };
     AccessRecord {
         array: array_st,
         mode,
@@ -509,6 +794,8 @@ pub fn whole_array_record(
         from_call: None,
         remote: false,
         approx: false,
+        precision,
+        via_index: None,
     }
 }
 

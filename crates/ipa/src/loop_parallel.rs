@@ -19,13 +19,16 @@
 //! parallelization, but both are reported so the advisor can emit the right
 //! OpenMP clauses.
 
-use crate::local::{whirl_to_affine, AffExpr};
+use crate::index_facts::{self, IndexArrayFact};
+use crate::local::{peel_const_offset, whirl_to_affine, AffExpr};
+use crate::sideeffect::const_subset;
 use regions::constraint::{Constraint, ConstraintSystem};
 use regions::fourier_motzkin::is_satisfiable;
 use regions::linexpr::LinExpr;
 use regions::space::{Space, VarId};
-use std::collections::BTreeMap;
-use whirl::{Opr, ProcId, Program, StIdx, TyKind, WhirlTree, WnId};
+use regions::triplet::Triplet;
+use std::collections::{BTreeMap, BTreeSet};
+use whirl::{Opr, ProcId, Program, StClass, StIdx, TyKind, WhirlTree, WnId};
 
 /// Variable-allocation callback used while building a dependence system:
 /// `(symbol, instance, per_instance, space, interner, shared, per-instance
@@ -50,6 +53,17 @@ struct BodyRef {
     /// Inner loops enclosing this reference (inside the tested loop),
     /// outermost first: (ivar, lo, hi).
     inner: Vec<(StIdx, AffExpr, AffExpr)>,
+    /// For 1-D references of the shape `a(idx(g) + offset)`: the index
+    /// array, the inner subscript `g`, and the constant offset.
+    indirect: Option<IndirectRef>,
+}
+
+/// An indirect subscript `idx(g) + offset` discovered in a loop body.
+#[derive(Debug, Clone)]
+struct IndirectRef {
+    array: StIdx,
+    g: AffExpr,
+    offset: i64,
 }
 
 /// Scalar behaviour inside the loop body.
@@ -105,12 +119,33 @@ pub struct LoopVerdict {
 /// assert!(!verdicts[0].parallelizable, "a(i+1) = a(i) carries a dependence");
 /// ```
 pub fn analyze_proc_loops(program: &Program, proc_id: ProcId) -> Vec<LoopVerdict> {
+    analyze_proc_loops_with_facts(program, proc_id, &BTreeMap::new())
+}
+
+/// [`analyze_proc_loops`] with globally-validated index-array facts (from
+/// [`crate::propagate::IpaResult::index_facts`]). Facts let `a(idx(g))`
+/// subscripts through an injective, write-once index array be tested for
+/// dependence on `g` instead of being rejected as messy. Locally-derived
+/// facts for `Local`-class index arrays are merged in — those cannot be
+/// written by any other procedure, so per-procedure derivation is already
+/// globally sound for them.
+pub fn analyze_proc_loops_with_facts(
+    program: &Program,
+    proc_id: ProcId,
+    global_facts: &BTreeMap<StIdx, IndexArrayFact>,
+) -> Vec<LoopVerdict> {
+    let mut facts = global_facts.clone();
+    for (st, f) in index_facts::derive(program, proc_id) {
+        if program.symbols.get(st).class == StClass::Local {
+            facts.entry(st).or_insert(f);
+        }
+    }
     let proc = program.procedure(proc_id);
     let mut out = Vec::new();
     let Some(root) = proc.tree.root() else { return out };
     let Some(&body) = proc.tree.node(root).kids.last() else { return out };
     collect_top_loops(&proc.tree, body, &mut |loop_wn| {
-        out.push(analyze_loop(program, proc_id, loop_wn));
+        out.push(analyze_loop_with_facts(program, proc_id, loop_wn, &facts));
     });
     out
 }
@@ -131,6 +166,26 @@ fn collect_top_loops(tree: &WhirlTree, block: WnId, f: &mut impl FnMut(WnId)) {
 
 /// Analyzes one `DoLoop` node.
 pub fn analyze_loop(program: &Program, proc_id: ProcId, loop_wn: WnId) -> LoopVerdict {
+    analyze_loop_with_facts(program, proc_id, loop_wn, &BTreeMap::new())
+}
+
+/// Conditions under which the injective-index escape may fire for a loop.
+struct EscapeCtx<'a> {
+    facts: &'a BTreeMap<StIdx, IndexArrayFact>,
+    /// Arrays the loop body (or a call inside it) may define.
+    body_defs: BTreeSet<StIdx>,
+    /// A call anywhere in the body could mutate a global index array
+    /// without appearing in `body_defs`; disable the escape entirely.
+    saw_call: bool,
+}
+
+/// [`analyze_loop`] with index-array facts available.
+fn analyze_loop_with_facts(
+    program: &Program,
+    proc_id: ProcId,
+    loop_wn: WnId,
+    facts: &BTreeMap<StIdx, IndexArrayFact>,
+) -> LoopVerdict {
     let proc = program.procedure(proc_id);
     let tree = &proc.tree;
     let node = tree.node(loop_wn);
@@ -158,7 +213,14 @@ pub fn analyze_loop(program: &Program, proc_id: ProcId, loop_wn: WnId) -> LoopVe
     let mut refs: Vec<BodyRef> = Vec::new();
     let mut scalars: BTreeMap<StIdx, ScalarUse> = BTreeMap::new();
     let mut inner: Vec<(StIdx, AffExpr, AffExpr)> = Vec::new();
-    walk_body(program, tree, body, &mut inner, &mut refs, &mut scalars);
+    let mut saw_call = false;
+    walk_body(program, tree, body, &mut inner, &mut refs, &mut scalars, &mut saw_call);
+
+    let ctx = EscapeCtx {
+        facts,
+        body_defs: refs.iter().filter(|r| r.is_def).map(|r| r.array).collect(),
+        saw_call,
+    };
 
     // Pairwise array dependence tests.
     let mut conflicts = Vec::new();
@@ -168,7 +230,7 @@ pub fn analyze_loop(program: &Program, proc_id: ProcId, loop_wn: WnId) -> LoopVe
             if ra.array != rb.array || (!ra.is_def && !rb.is_def) {
                 continue;
             }
-            match carried_dependence(ivar, &lo, &hi, ra, rb) {
+            match carried_dependence(ivar, &lo, &hi, ra, rb, &ctx) {
                 Some(true) | None => {
                     conflicts.push(LoopConflict {
                         array: ra.array,
@@ -213,6 +275,7 @@ fn walk_body(
     inner: &mut Vec<(StIdx, AffExpr, AffExpr)>,
     refs: &mut Vec<BodyRef>,
     scalars: &mut BTreeMap<StIdx, ScalarUse>,
+    saw_call: &mut bool,
 ) {
     for &stmt in &tree.node(block).kids {
         let node = tree.node(stmt);
@@ -245,6 +308,7 @@ fn walk_body(
                 // Calls inside candidate loops are the APO limitation the
                 // paper's tool works around; conservatively reject by
                 // treating every array argument as a messy DEF.
+                *saw_call = true;
                 for &parm in &node.kids {
                     let v = tree.node(parm).kids[0];
                     let vn = tree.node(v);
@@ -259,6 +323,7 @@ fn walk_body(
                                     is_def: true,
                                     subs: vec![AffExpr::Messy],
                                     inner: inner.clone(),
+                                    indirect: None,
                                 });
                             }
                         }
@@ -271,19 +336,19 @@ fn walk_body(
                 let Some(iv) = node.st_idx else {
                     // No induction variable: walk the body without an inner
                     // frame; its subscripts degrade to shared symbols.
-                    walk_body(program, tree, node.kids[3], inner, refs, scalars);
+                    walk_body(program, tree, node.kids[3], inner, refs, scalars, saw_call);
                     continue;
                 };
                 let lo = whirl_to_affine(tree, tree.node(node.kids[0]).kids[0]);
                 let hi = whirl_to_affine(tree, tree.node(node.kids[1]).kids[1]);
                 inner.push((iv, lo, hi));
-                walk_body(program, tree, node.kids[3], inner, refs, scalars);
+                walk_body(program, tree, node.kids[3], inner, refs, scalars, saw_call);
                 inner.pop();
             }
             Opr::If => {
                 collect_expr_refs(program, tree, node.kids[0], inner, refs);
-                walk_body(program, tree, node.kids[1], inner, refs, scalars);
-                walk_body(program, tree, node.kids[2], inner, refs, scalars);
+                walk_body(program, tree, node.kids[1], inner, refs, scalars, saw_call);
+                walk_body(program, tree, node.kids[2], inner, refs, scalars, saw_call);
             }
             _ => {}
         }
@@ -338,11 +403,31 @@ fn record_address(
     let subs: Vec<AffExpr> = (0..n)
         .map(|d| whirl_to_affine(tree, node.array_index_kid(d)))
         .collect();
-    if is_def {
-        // Subscript reads are collected by the caller for USE purposes.
+    let indirect = (n == 1)
+        .then(|| match_indirect(program, tree, addr))
+        .flatten();
+    refs.push(BodyRef { array, is_def, subs, inner: inner.to_vec(), indirect });
+}
+
+/// Recognizes `idx(g) + offset` as the (only) subscript of a 1-D array
+/// reference, where `idx` is a 1-D integer array.
+fn match_indirect(program: &Program, tree: &WhirlTree, array_wn: WnId) -> Option<IndirectRef> {
+    let node = tree.node(array_wn);
+    let (iload, offset) = peel_const_offset(tree, node.array_index_kid(0))?;
+    let n = tree.node(iload);
+    if n.operator != Opr::Iload {
+        return None;
     }
-    let _ = program;
-    refs.push(BodyRef { array, is_def, subs, inner: inner.to_vec() });
+    let inner = tree.node(n.kids[0]);
+    if inner.operator != Opr::Array || inner.num_dim() != 1 {
+        return None;
+    }
+    let idx_st = tree.node(inner.array_base_kid()).st_idx?;
+    if !index_facts::is_index_array(program, idx_st) {
+        return None;
+    }
+    let g = whirl_to_affine(tree, inner.array_index_kid(0));
+    matches!(g, AffExpr::Lin { .. }).then(|| IndirectRef { array: idx_st, g, offset })
 }
 
 fn mentions_scalar(tree: &WhirlTree, id: WnId, st: StIdx) -> bool {
@@ -363,11 +448,25 @@ fn carried_dependence(
     hi: &AffExpr,
     a: &BodyRef,
     b: &BodyRef,
+    ctx: &EscapeCtx<'_>,
 ) -> Option<bool> {
     if a.subs.len() != b.subs.len() {
         return None;
     }
     if a.subs.iter().chain(&b.subs).any(|s| matches!(s, AffExpr::Messy)) {
+        // Injective-index escape: both subscripts read through the same
+        // write-once injective index array, so element equality is
+        // equivalent to inner-subscript equality — retest on `g`.
+        if let Some((ga, gb)) = injective_escape(ivar, lo, hi, a, b, ctx) {
+            let strip = |r: &BodyRef, g: AffExpr| BodyRef {
+                array: r.array,
+                is_def: r.is_def,
+                subs: vec![g],
+                inner: r.inner.clone(),
+                indirect: None,
+            };
+            return carried_dependence(ivar, lo, hi, &strip(a, ga), &strip(b, gb), ctx);
+        }
         return None;
     }
     if matches!(lo, AffExpr::Messy) || matches!(hi, AffExpr::Messy) {
@@ -381,6 +480,54 @@ fn carried_dependence(
         }
     }
     Some(false)
+}
+
+/// Checks the preconditions of the injective-index escape for a reference
+/// pair; returns the two inner subscripts when element equality on the
+/// outer array is equivalent to equality of those subscripts.
+fn injective_escape(
+    ivar: StIdx,
+    lo: &AffExpr,
+    hi: &AffExpr,
+    a: &BodyRef,
+    b: &BodyRef,
+    ctx: &EscapeCtx<'_>,
+) -> Option<(AffExpr, AffExpr)> {
+    if ctx.saw_call {
+        return None;
+    }
+    let (ia, ib) = (a.indirect.as_ref()?, b.indirect.as_ref()?);
+    if ia.array != ib.array || ia.offset != ib.offset || ctx.body_defs.contains(&ia.array) {
+        return None;
+    }
+    let fact = ctx.facts.get(&ia.array)?;
+    if !fact.injective || !fact.constant_after_init {
+        return None;
+    }
+    let init = fact.init_region.as_ref()?;
+    let [init_dim] = &init.dims[..] else { return None };
+    // Injectivity only holds over the initialized domain: both inner
+    // subscripts must stay inside it for every tested iteration.
+    let (lo_c, hi_c) = (lo.as_const()?, hi.as_const()?);
+    for g in [&ia.g, &ib.g] {
+        if !const_subset(&g_range(g, ivar, lo_c, hi_c)?, init_dim) {
+            return None;
+        }
+    }
+    Some((ia.g.clone(), ib.g.clone()))
+}
+
+/// The constant triplet `g` covers as `ivar` sweeps `[lo, hi]`; `None` when
+/// `g` mentions anything besides `ivar` or overflows.
+fn g_range(g: &AffExpr, ivar: StIdx, lo: i64, hi: i64) -> Option<Triplet> {
+    let AffExpr::Lin { constant, terms } = g else { return None };
+    if terms.keys().any(|&st| st != ivar) {
+        return None;
+    }
+    let c = terms.get(&ivar).copied().unwrap_or(0);
+    let at = |i: i64| c.checked_mul(i)?.checked_add(*constant);
+    let (x, y) = (at(lo)?, at(hi)?);
+    Some(Triplet::constant(x.min(y), x.max(y), c.abs().max(1)))
 }
 
 /// Builds and tests the dependence system for `first@i₁`, `second@i₂`,
@@ -634,6 +781,120 @@ end
             "s",
         );
         assert!(!v[0].parallelizable, "messy subscripts must be conservative");
+    }
+
+    #[test]
+    fn injective_gather_write_is_parallel() {
+        // idx is a local permutation initialized before the loop: the
+        // derived fact proves the gather writes hit distinct elements.
+        let v = verdicts(
+            "\
+subroutine s
+  real a(100)
+  integer idx(100)
+  integer i
+  do i = 1, 100
+    idx(i) = 101 - i
+  end do
+  do i = 1, 100
+    a(idx(i)) = 1.0
+  end do
+end
+",
+            "s",
+        );
+        assert_eq!(v.len(), 2);
+        assert!(v[0].parallelizable, "init loop: {v:?}");
+        assert!(v[1].parallelizable, "gather through injective idx: {v:?}");
+    }
+
+    #[test]
+    fn injective_gather_update_same_iteration_is_parallel() {
+        // a(idx(i)) = a(idx(i)) + 1: read and write agree per iteration.
+        let v = verdicts(
+            "\
+subroutine s
+  real a(100)
+  integer idx(100)
+  integer i
+  do i = 1, 100
+    idx(i) = 101 - i
+  end do
+  do i = 1, 100
+    a(idx(i)) = a(idx(i)) + 1.0
+  end do
+end
+",
+            "s",
+        );
+        assert!(v[1].parallelizable, "{v:?}");
+    }
+
+    #[test]
+    fn injective_gather_shifted_read_is_carried() {
+        // a(idx(i)) = a(idx(i - 1)): injectivity maps the collision back to
+        // i₂ = i₁ + 1, which the affine test finds.
+        let v = verdicts(
+            "\
+subroutine s
+  real a(100)
+  integer idx(100)
+  integer i
+  do i = 1, 100
+    idx(i) = 101 - i
+  end do
+  do i = 2, 100
+    a(idx(i)) = a(idx(i - 1))
+  end do
+end
+",
+            "s",
+        );
+        assert!(!v[1].parallelizable, "{v:?}");
+    }
+
+    #[test]
+    fn non_injective_index_stays_conservative() {
+        // idx(i) = 1 + i / 2 repeats values; no injectivity, no escape.
+        let v = verdicts(
+            "\
+subroutine s
+  real a(100)
+  integer idx(100)
+  integer i
+  do i = 1, 100
+    idx(i) = 7
+  end do
+  do i = 1, 100
+    a(idx(i)) = 1.0
+  end do
+end
+",
+            "s",
+        );
+        assert!(!v[1].parallelizable, "constant idx repeats: {v:?}");
+    }
+
+    #[test]
+    fn index_written_in_body_stays_conservative() {
+        let v = verdicts(
+            "\
+subroutine s
+  real a(100)
+  integer idx(100)
+  integer i
+  do i = 1, 100
+    idx(i) = 101 - i
+  end do
+  do i = 1, 100
+    idx(i) = i
+    a(idx(i)) = 1.0
+  end do
+end
+",
+            "s",
+        );
+        assert!(!v[1].parallelizable, "idx mutates inside the loop: {v:?}");
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! Dragon renders as the interprocedural `IDEF`/`IUSE` annotations of Fig. 1.
 
 use crate::callgraph::{CallGraph, CallSite};
+use crate::index_facts::IndexArrayFact;
 use crate::local::{AccessRecord, ProcSummary};
+use regions::access::Precision;
 use regions::space::{Space, VarKind};
 use regions::triplet::{Bound, Triplet, TripletRegion};
 use std::collections::BTreeMap;
@@ -33,6 +35,10 @@ pub struct IpaResult {
     /// True when the program was recursive and propagation stopped at one
     /// level (records from recursive cycles are not fix-pointed).
     pub recursion_cut: bool,
+    /// Index-array facts that survive *global* validation: the fact's
+    /// owning procedure is the only one that writes the array, so
+    /// injectivity/value-range reasoning is safe program-wide.
+    pub index_facts: BTreeMap<StIdx, IndexArrayFact>,
 }
 
 impl IpaResult {
@@ -40,6 +46,40 @@ impl IpaResult {
     pub fn summary(&self, id: ProcId) -> &ProcSummary {
         &self.summaries[id.as_usize()]
     }
+}
+
+/// Keeps only index-array facts whose owning procedure is the array's sole
+/// writer: one procedure carries the fact, and no *other* procedure has a
+/// direct `DEF` or `PASSED` record on the array. Cheap (one scan of the
+/// summaries) and derived fresh, so incremental re-propagation can simply
+/// recompute it.
+pub fn validated_index_facts(summaries: &[ProcSummary]) -> BTreeMap<StIdx, IndexArrayFact> {
+    let mut owner: BTreeMap<StIdx, Vec<usize>> = BTreeMap::new();
+    for (i, s) in summaries.iter().enumerate() {
+        for st in s.index_facts.keys() {
+            owner.entry(*st).or_default().push(i);
+        }
+    }
+    let mut out = BTreeMap::new();
+    for (st, owners) in owner {
+        let [only] = owners[..] else { continue };
+        let foreign_writer = summaries.iter().enumerate().any(|(i, s)| {
+            i != only
+                && s.accesses.iter().any(|r| {
+                    r.array == st
+                        && r.from_call.is_none()
+                        && matches!(
+                            r.mode,
+                            regions::access::AccessMode::Def
+                                | regions::access::AccessMode::Passed
+                        )
+                })
+        });
+        if !foreign_writer {
+            out.insert(st, summaries[only].index_facts[&st].clone());
+        }
+    }
+    out
 }
 
 /// Runs propagation over already-computed local summaries.
@@ -51,7 +91,8 @@ pub fn propagate(
     let mut summaries = local;
     let affected = vec![true; cg.size()];
     let recursion_cut = propagate_subset(program, cg, &mut summaries, &affected);
-    IpaResult { summaries, recursion_cut }
+    let index_facts = validated_index_facts(&summaries);
+    IpaResult { summaries, recursion_cut, index_facts }
 }
 
 /// Propagates callee effects into exactly the procedures marked in
@@ -143,6 +184,8 @@ fn translate_record(
             from_call: set_from_call.then_some(site.callee),
             remote: rec.remote,
             approx: true,
+            precision: Precision::Unbounded,
+            via_index: rec.via_index.clone(),
         });
     }
 
@@ -160,6 +203,21 @@ fn translate_record(
         rec.convex.clone().filter(|_| subst.is_empty())
     };
 
+    // Translation may degrade symbolic bounds to MESSY: reflect that in the
+    // precision so downstream consumers never over-trust the copy.
+    let has_unknown = region
+        .dims
+        .iter()
+        .any(|t| {
+            [&t.lb, &t.ub]
+                .iter()
+                .any(|b| matches!(b, Bound::Messy | Bound::Unprojected))
+        });
+    let precision = if has_unknown {
+        rec.precision.worst(Precision::Unbounded)
+    } else {
+        rec.precision
+    };
     Some(AccessRecord {
         array: target_array,
         mode: rec.mode,
@@ -170,6 +228,8 @@ fn translate_record(
         from_call: set_from_call.then_some(site.callee),
         remote: rec.remote,
         approx: rec.approx,
+        precision,
+        via_index: rec.via_index.clone(),
     })
 }
 

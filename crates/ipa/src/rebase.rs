@@ -37,7 +37,12 @@ pub fn rebase_summary(
         .iter()
         .map(|r| rebase_record(r, maps, proc_map))
         .collect::<Option<Vec<_>>>()?;
-    Some(ProcSummary { accesses })
+    let index_facts = sum
+        .index_facts
+        .iter()
+        .map(|(st, f)| Some((*maps.st.get(st)?, f.clone())))
+        .collect::<Option<BTreeMap<_, _>>>()?;
+    Some(ProcSummary { accesses, index_facts })
 }
 
 fn rebase_record(
@@ -58,6 +63,16 @@ fn rebase_record(
         Some(p) => Some(*proc_map.get(&p)?),
         None => None,
     };
+    // The domain of an indirect index is constant, so only the index
+    // array's symbol needs translating.
+    let via_index = match &rec.via_index {
+        Some(v) => Some(crate::local::IndirectIndex {
+            index_array: *maps.st.get(&v.index_array)?,
+            domain: v.domain.clone(),
+            offset: v.offset,
+        }),
+        None => None,
+    };
     Some(AccessRecord {
         array,
         mode: rec.mode,
@@ -68,6 +83,8 @@ fn rebase_record(
         from_call,
         remote: rec.remote,
         approx: rec.approx,
+        precision: rec.precision,
+        via_index,
     })
 }
 

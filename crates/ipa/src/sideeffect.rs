@@ -12,9 +12,12 @@
 //! independence between call sites.
 
 use crate::callgraph::{CallGraph, CallSite};
+use crate::index_facts::IndexArrayFact;
 use crate::local::AccessRecord;
 use crate::propagate::IpaResult;
-use regions::access::AccessMode;
+use regions::access::{AccessMode, Precision};
+use regions::triplet::Triplet;
+use std::collections::BTreeMap;
 use support::idx::Idx;
 use whirl::{ProcId, Program, StIdx};
 
@@ -64,7 +67,19 @@ pub struct Conflict {
 /// Tests whether two effect sets are independent; returns the first conflict
 /// otherwise. Two records conflict when they touch the same array, at least
 /// one is a DEF, and their regions are not provably disjoint.
-pub fn independent(a: &CallEffects, b: &CallEffects) -> Result<(), Conflict> {
+///
+/// `facts` are the globally-validated index-array facts ([`IpaResult::
+/// index_facts`]). Records carrying interval-recovered (or worse) regions
+/// never prove disjointness through region math — the recovered bounds are
+/// over-approximations of an indirection the solver could not see through —
+/// but a pair of `A(idx(..))` accesses through the same *injective*,
+/// write-once index array is independent whenever their subscript domains
+/// are disjoint subsets of the range the facts were derived over.
+pub fn independent(
+    a: &CallEffects,
+    b: &CallEffects,
+    facts: &BTreeMap<StIdx, IndexArrayFact>,
+) -> Result<(), Conflict> {
     for ra in &a.records {
         for rb in &b.records {
             if ra.array != rb.array {
@@ -76,9 +91,15 @@ pub fn independent(a: &CallEffects, b: &CallEffects) -> Result<(), Conflict> {
             if ra.mode == AccessMode::Use && rb.mode == AccessMode::Use {
                 continue;
             }
-            let disjoint = match (&ra.convex, &rb.convex) {
-                (Some(ca), Some(cb)) => ca.disjoint_from(cb),
-                _ => ra.region.disjoint_from(&rb.region) == Some(true),
+            let affine = ra.precision <= Precision::AffineApprox
+                && rb.precision <= Precision::AffineApprox;
+            let disjoint = if affine {
+                match (&ra.convex, &rb.convex) {
+                    (Some(ca), Some(cb)) => ca.disjoint_from(cb),
+                    _ => ra.region.disjoint_from(&rb.region) == Some(true),
+                }
+            } else {
+                injective_index_disjoint(ra, rb, facts)
             };
             if !disjoint {
                 return Err(Conflict {
@@ -90,6 +111,50 @@ pub fn independent(a: &CallEffects, b: &CallEffects) -> Result<(), Conflict> {
         }
     }
     Ok(())
+}
+
+/// The injective-index escape hatch: both records reach the array through
+/// the same index array `idx`, `idx` is constant-after-init and injective
+/// (globally validated), both subscript domains sit inside the region the
+/// fact covers, the offsets match, and the domains are disjoint — then
+/// `idx`'s injectivity carries the domains' disjointness through to the
+/// accessed elements.
+fn injective_index_disjoint(
+    ra: &AccessRecord,
+    rb: &AccessRecord,
+    facts: &BTreeMap<StIdx, IndexArrayFact>,
+) -> bool {
+    let (Some(va), Some(vb)) = (&ra.via_index, &rb.via_index) else { return false };
+    if va.index_array != vb.index_array || va.offset != vb.offset {
+        return false;
+    }
+    let Some(fact) = facts.get(&va.index_array) else { return false };
+    if !fact.injective || !fact.constant_after_init {
+        return false;
+    }
+    let Some(init) = &fact.init_region else { return false };
+    let ([da], [db], [init]) = (&va.domain.dims[..], &vb.domain.dims[..], &init.dims[..])
+    else {
+        return false;
+    };
+    const_subset(da, init) && const_subset(db, init) && da.disjoint_from(db) == Some(true)
+}
+
+/// `a ⊆ b` for constant triplets: `b`'s lattice (anchor + stride) covers
+/// every point of `a`'s.
+pub(crate) fn const_subset(a: &Triplet, b: &Triplet) -> bool {
+    let (Some((alo, ahi, astep)), Some((blo, bhi, bstep))) = (a.as_const(), b.as_const())
+    else {
+        return false;
+    };
+    if alo > ahi {
+        return true; // empty
+    }
+    blo <= alo
+        && ahi <= bhi
+        && bstep != 0
+        && astep % bstep == 0
+        && (alo - blo) % bstep == 0
 }
 
 /// A parallelization opportunity the Dragon advisor reports.
@@ -123,7 +188,7 @@ pub fn find_parallel_pairs(
                 if effects[i].callee == effects[j].callee {
                     continue;
                 }
-                if independent(&effects[i], &effects[j]).is_ok() {
+                if independent(&effects[i], &effects[j], &ipa.index_facts).is_ok() {
                     let sites = cg.calls(caller);
                     out.push(ParallelPair {
                         caller,
@@ -245,11 +310,98 @@ end
         let (p, cg, r) = build(&fig1_like(1, 100));
         let add = p.find_procedure("add").unwrap();
         let effects = call_effects(&p, &cg, &r, add);
-        let err = independent(&effects[0], &effects[1]).unwrap_err();
+        let err = independent(&effects[0], &effects[1], &r.index_facts).unwrap_err();
         assert_eq!(err.mode_a, AccessMode::Def);
         assert_eq!(err.mode_b, AccessMode::Use);
         let name = p.name_of(p.symbols.get(err.array).name);
         assert_eq!(name, "a");
+    }
+
+    /// `p1`/`p2` both write `a(idx(i))` over disjoint halves of an
+    /// injective, write-once permutation — only the index-array fact can
+    /// prove them independent; plain region math sees two unbounded blobs.
+    fn gather_pair(p2_lo: i64, p2_hi: i64) -> String {
+        String::from(
+            "\
+subroutine init
+  integer idx(100)
+  common /gi/ idx
+  integer i
+  do i = 1, 100
+    idx(i) = 101 - i
+  end do
+end
+subroutine driver
+  call p1
+  call p2
+end
+subroutine p1
+  integer idx(100)
+  real a(100)
+  common /gi/ idx
+  common /ga/ a
+  integer i
+  do i = 1, 50
+    a(idx(i)) = 0.0
+  end do
+end
+subroutine p2
+  integer idx(100)
+  real a(100)
+  common /gi/ idx
+  common /ga/ a
+  integer i
+  do i = {lo}, {hi}
+    a(idx(i)) = 1.0
+  end do
+end
+",
+        )
+        .replace("{lo}", &p2_lo.to_string())
+        .replace("{hi}", &p2_hi.to_string())
+    }
+
+    #[test]
+    fn injective_index_writes_over_disjoint_domains_are_parallel() {
+        let (p, cg, r) = build(&gather_pair(51, 100));
+        let idx_st = (0..p.symbols.len())
+            .map(|i| StIdx(i as u32))
+            .find(|&st| p.name_of(p.symbols.get(st).name) == "idx")
+            .unwrap();
+        let fact = r.index_facts.get(&idx_st).expect("validated fact for idx");
+        assert!(fact.injective && fact.constant_after_init);
+        let pairs = find_parallel_pairs(&p, &cg, &r);
+        let driver = p.find_procedure("driver").unwrap();
+        assert!(
+            pairs.iter().any(|pr| pr.caller == driver),
+            "injective disjoint-domain gather writes must parallelize: {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn injective_index_writes_over_overlapping_domains_conflict() {
+        let (p, cg, r) = build(&gather_pair(50, 100));
+        let pairs = find_parallel_pairs(&p, &cg, &r);
+        let driver = p.find_procedure("driver").unwrap();
+        assert!(
+            pairs.iter().all(|pr| pr.caller != driver),
+            "overlapping index domains must not parallelize: {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn interval_records_alone_never_prove_disjointness() {
+        // Same shape but the index array is written twice (second store
+        // kills injectivity validation), so the escape hatch must not fire
+        // even though interval regions might look disjoint.
+        let src = gather_pair(51, 100).replace(
+            "    idx(i) = 101 - i\n",
+            "    idx(i) = 101 - i\n    idx(i) = i\n",
+        );
+        let (p, cg, r) = build(&src);
+        let pairs = find_parallel_pairs(&p, &cg, &r);
+        let driver = p.find_procedure("driver").unwrap();
+        assert!(pairs.iter().all(|pr| pr.caller != driver));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::rules::ProcLint;
 use crate::{Finding, Rule, Severity};
+use regions::access::Precision;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use support::persist::{
@@ -128,10 +129,12 @@ fn quarantined(path: &Path, suffix: &str, detail: String) -> (LintCache, Vec<Str
 }
 
 /// Fingerprint binding a cache file to the toolchain and the lint codec.
+/// v2: findings carry a `precision` field and the `NAF-06` rule exists —
+/// a v1 cache quarantines cleanly instead of misdecoding.
 fn fingerprint() -> u64 {
     let mut h = StableHasher::new();
     h.write_u64(toolchain_fingerprint());
-    h.write_str("lint-cache-v1");
+    h.write_str("lint-cache-v2");
     h.finish()
 }
 
@@ -159,12 +162,14 @@ fn save_proc_lint(lint: &ProcLint, w: &mut ByteWriter) {
             Rule::Dst03 => 2,
             Rule::Shp04 => 3,
             Rule::Ali05 => 4,
+            Rule::Naf06 => 5,
         });
         w.bool(f.severity == Severity::Definite);
         w.str(&f.file);
         w.u32(f.line);
         w.str(&f.proc);
         w.str(&f.array);
+        w.str(f.precision.as_str());
         w.str(&f.message);
     }
 }
@@ -180,6 +185,7 @@ fn load_proc_lint(r: &mut ByteReader<'_>) -> Result<ProcLint> {
             2 => Rule::Dst03,
             3 => Rule::Shp04,
             4 => Rule::Ali05,
+            5 => Rule::Naf06,
             other => {
                 return Err(support::Error::Format(format!(
                     "lint cache: unknown rule tag {other}"
@@ -187,13 +193,21 @@ fn load_proc_lint(r: &mut ByteReader<'_>) -> Result<ProcLint> {
             }
         };
         let severity = if r.bool()? { Severity::Definite } else { Severity::Possible };
+        let (file, line, proc, array) = (r.str()?, r.u32()?, r.str()?, r.str()?);
+        let precision_s = r.str()?;
+        let precision = Precision::parse(&precision_s).ok_or_else(|| {
+            support::Error::Format(format!(
+                "lint cache: unknown precision `{precision_s}`"
+            ))
+        })?;
         findings.push(Finding {
             rule,
             severity,
-            file: r.str()?,
-            line: r.u32()?,
-            proc: r.str()?,
-            array: r.str()?,
+            file,
+            line,
+            proc,
+            array,
+            precision,
             message: r.str()?,
         });
     }
@@ -213,6 +227,7 @@ mod tests {
                 line: 12,
                 proc: "MAIN__".into(),
                 array: "aarr".into(),
+                precision: Precision::Interval,
                 message: "element 8 of `aarr` is written here but never read".into(),
             }],
             suppressed: 3,

@@ -191,6 +191,7 @@ pub fn proc_lint_hash(analysis: &Analysis, id: ProcId) -> u64 {
         h.write_u32(rec.line);
         h.write_u8(rec.remote as u8);
         h.write_u8(rec.approx as u8);
+        h.write_str(rec.precision.as_str());
         match rec.from_call {
             Some(c) => {
                 h.write_u8(1);

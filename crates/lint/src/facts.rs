@@ -162,6 +162,7 @@ mod tests {
             last_line: 1,
             is_global: false,
             remote: false,
+            precision: regions::access::Precision::Exact,
         }
     }
 

@@ -13,6 +13,7 @@
 //! | `DST-03` | dead-store              | a DEF writes elements no USE ever reads           |
 //! | `SHP-04` | call-shape-mismatch     | an actual is smaller than the callee's footprint  |
 //! | `ALI-05` | argument-aliasing       | one array reaches a callee under two names        |
+//! | `NAF-06` | non-affine-unbounded    | an access neither FM nor the interval pass bounds |
 //!
 //! Every rule splits findings into [`Severity::Definite`] (the region
 //! arithmetic or a Fourier–Motzkin proof *establishes* the violation) and
@@ -52,12 +53,21 @@ pub enum Rule {
     Shp04,
     /// `ALI-05`: the same memory reaches a callee under two names.
     Ali05,
+    /// `NAF-06`: an access the affine *and* interval analyses both failed
+    /// to bound — the region stayed `unbounded` after the fallback.
+    Naf06,
 }
 
 impl Rule {
     /// All rules, in rule-id order.
-    pub const ALL: [Rule; 5] =
-        [Rule::Oob01, Rule::Ubd02, Rule::Dst03, Rule::Shp04, Rule::Ali05];
+    pub const ALL: [Rule; 6] = [
+        Rule::Oob01,
+        Rule::Ubd02,
+        Rule::Dst03,
+        Rule::Shp04,
+        Rule::Ali05,
+        Rule::Naf06,
+    ];
 
     /// The stable rule identifier (`OOB-01`, ...).
     pub fn id(self) -> &'static str {
@@ -67,6 +77,7 @@ impl Rule {
             Rule::Dst03 => "DST-03",
             Rule::Shp04 => "SHP-04",
             Rule::Ali05 => "ALI-05",
+            Rule::Naf06 => "NAF-06",
         }
     }
 
@@ -78,6 +89,7 @@ impl Rule {
             Rule::Dst03 => "dead-store",
             Rule::Shp04 => "call-shape-mismatch",
             Rule::Ali05 => "argument-aliasing",
+            Rule::Naf06 => "non-affine-unbounded",
         }
     }
 
@@ -96,6 +108,9 @@ impl Rule {
             }
             Rule::Ali05 => {
                 "The same array reaches a callee under two names and one is written."
+            }
+            Rule::Naf06 => {
+                "An array access remains unbounded after the interval fallback."
             }
         }
     }
@@ -148,6 +163,9 @@ pub struct Finding {
     pub proc: String,
     /// The array concerned.
     pub array: String,
+    /// The worst region precision among the records the rule consumed —
+    /// `interval` and `unbounded` findings are capped at `Possible`.
+    pub precision: regions::access::Precision,
     /// Human explanation, including the regions involved.
     pub message: String,
 }
@@ -257,6 +275,7 @@ mod tests {
             line,
             proc: "p".into(),
             array: "x".into(),
+            precision: regions::access::Precision::Exact,
             message: "m".into(),
         };
         let mut report = LintReport {

@@ -23,7 +23,7 @@ use crate::{Finding, Rule, Severity};
 use araa::{Analysis, RgnRow};
 use ipa::callgraph::display_name;
 use ipa::AccessRecord;
-use regions::access::AccessMode;
+use regions::access::{AccessMode, Precision};
 use regions::triplet::Triplet;
 use std::collections::BTreeMap;
 use whirl::lower::source_dim;
@@ -51,7 +51,16 @@ pub fn lint_proc(a: &Analysis, id: ProcId) -> ProcLint {
     ubd(a, id, &mut out);
     shp(a, id, &mut out);
     ali(a, id, &mut out);
+    naf(a, id, &mut out);
     out
+}
+
+/// True when a record's region is only an interval (or worse) over-
+/// approximation: such a region may *refute* a violation (everything the
+/// access touches lies inside it) but can never *prove* one, so every
+/// finding it feeds is capped at [`Severity::Possible`].
+fn interval_or_worse(rec: &AccessRecord) -> bool {
+    rec.precision >= Precision::Interval
 }
 
 fn proc_name(a: &Analysis, id: ProcId) -> String {
@@ -130,20 +139,32 @@ fn oob(a: &Analysis, id: ProcId, out: &mut ProcLint) {
                 Some((lo, hi, step)) => {
                     let last = last_accessed(lo, hi, step.max(1));
                     if lo < 0 || last > ext - 1 {
+                        // An interval-recovered region over-approximates:
+                        // exceeding the extents is suspicion, not proof.
+                        let (severity, hedge) = if interval_or_worse(rec) {
+                            (Severity::Possible, "may be")
+                        } else {
+                            (Severity::Definite, "is")
+                        };
                         out.findings.push(Finding {
                             rule: Rule::Oob01,
-                            severity: Severity::Definite,
+                            severity,
                             file: file.clone(),
                             line: rec.line,
                             proc: proc.clone(),
                             array: array_name(a, rec.array),
+                            precision: rec.precision,
                             message: format!(
-                                "`{}` is {verb} at [{lo}:{last}] (zero-based) but \
+                                "`{}` {hedge} {verb} at [{lo}:{last}] (zero-based) but \
                                  dimension {hd} declares only [0:{}]{via}",
                                 array_name(a, rec.array),
                                 ext - 1
                             ),
                         });
+                    } else if interval_or_worse(rec) {
+                        // The over-approximation fits the declaration, so
+                        // the real accesses do too: candidate refuted.
+                        out.suppressed += 1;
                     }
                 }
                 None => {
@@ -165,6 +186,7 @@ fn oob(a: &Analysis, id: ProcId, out: &mut ProcLint) {
                             line: rec.line,
                             proc: proc.clone(),
                             array: array_name(a, rec.array),
+                            precision: rec.precision,
                             message: format!(
                                 "`{}` may be {verb} outside dimension {hd}'s declared \
                                  [0:{}] (FM bounds the access to [{}:{}]){via}",
@@ -221,11 +243,14 @@ fn ubd(a: &Analysis, id: ProcId, out: &mut ProcLint) {
             // Nothing — not even a callee reached through this procedure —
             // ever writes the array, yet it is read.
             let line = uses.iter().map(|u| u.line).min().unwrap_or(0);
-            let severity = if uses.iter().any(|u| u.region.is_const()) {
+            let severity = if uses.iter().any(|u| u.region.is_const() && !interval_or_worse(u))
+            {
                 Severity::Definite
             } else {
                 Severity::Possible
             };
+            let worst =
+                uses.iter().map(|u| u.precision).fold(Precision::Exact, Precision::worst);
             out.findings.push(Finding {
                 rule: Rule::Ubd02,
                 severity,
@@ -233,6 +258,7 @@ fn ubd(a: &Analysis, id: ProcId, out: &mut ProcLint) {
                 line,
                 proc: proc.clone(),
                 array: array.clone(),
+                precision: worst,
                 message: format!(
                     "local array `{array}` is read but never written \
                      (no DEF in `{proc}` or any procedure it calls)"
@@ -240,32 +266,66 @@ fn ubd(a: &Analysis, id: ProcId, out: &mut ProcLint) {
             });
             continue;
         }
+        // Interval-recovered DEF regions over-approximate what is actually
+        // written: they can neither grant coverage credit nor be proven
+        // disjoint-from, so they are excluded from the exact check and
+        // their presence caps every verdict at Possible.
+        let exact_defs: Vec<&AccessRecord> =
+            defs.iter().copied().filter(|d| !interval_or_worse(d)).collect();
+        let has_interval_def = exact_defs.len() != defs.len();
         for u in &uses {
-            match uncovered_element(u, &defs) {
+            let capped = has_interval_def || interval_or_worse(u);
+            let worst = defs.iter().map(|d| d.precision).fold(u.precision, Precision::worst);
+            match uncovered_element(u, &exact_defs) {
                 CoverVerdict::Uncovered(e) => {
-                    out.findings.push(Finding {
-                        rule: Rule::Ubd02,
-                        severity: Severity::Definite,
-                        file: file.clone(),
-                        line: u.line,
-                        proc: proc.clone(),
-                        array: array.clone(),
-                        message: format!(
-                            "element {e} (zero-based) of local array `{array}` is read \
-                             but no DEF ever writes it"
-                        ),
-                    });
+                    let finding = if capped {
+                        Finding {
+                            rule: Rule::Ubd02,
+                            severity: Severity::Possible,
+                            file: file.clone(),
+                            line: u.line,
+                            proc: proc.clone(),
+                            array: array.clone(),
+                            precision: worst,
+                            message: format!(
+                                "element {e} (zero-based) of local array `{array}` may \
+                                 be read before any DEF writes it (only interval-\
+                                 approximate regions reach it)"
+                            ),
+                        }
+                    } else {
+                        Finding {
+                            rule: Rule::Ubd02,
+                            severity: Severity::Definite,
+                            file: file.clone(),
+                            line: u.line,
+                            proc: proc.clone(),
+                            array: array.clone(),
+                            precision: worst,
+                            message: format!(
+                                "element {e} (zero-based) of local array `{array}` is read \
+                                 but no DEF ever writes it"
+                            ),
+                        }
+                    };
+                    out.findings.push(finding);
                 }
                 CoverVerdict::DisjointFromAllDefs => {
+                    let (severity, adverb) = if capped {
+                        (Severity::Possible, "possibly")
+                    } else {
+                        (Severity::Definite, "provably")
+                    };
                     out.findings.push(Finding {
                         rule: Rule::Ubd02,
-                        severity: Severity::Definite,
+                        severity,
                         file: file.clone(),
                         line: u.line,
                         proc: proc.clone(),
                         array: array.clone(),
+                        precision: worst,
                         message: format!(
-                            "the region of local array `{array}` read here is provably \
+                            "the region of local array `{array}` read here is {adverb} \
                              disjoint from every DEF of the array"
                         ),
                     });
@@ -375,11 +435,13 @@ fn shp(a: &Analysis, id: ProcId, out: &mut ProcLint) {
             // accesses plus everything its descendants do to it).
             let mut max_linear: Option<i64> = Some(-1);
             let mut touched = false;
+            let mut worst = Precision::Exact;
             for rec in a.ipa.summary(site.callee).for_array(formal) {
                 if !rec.mode.moves_data() || rec.remote {
                     continue;
                 }
                 touched = true;
+                worst = worst.worst(rec.precision);
                 if rec.approx {
                     max_linear = None;
                     break;
@@ -402,22 +464,32 @@ fn shp(a: &Analysis, id: ProcId, out: &mut ProcLint) {
                 Some(m) => {
                     let need = (m + 1) * elem;
                     if need > actual_bytes {
+                        // An interval-precision footprint over-states what
+                        // the callee touches: exceeding is only suspicion.
+                        let (severity, verb) = if worst >= Precision::Interval {
+                            (Severity::Possible, "may access up to")
+                        } else {
+                            (Severity::Definite, "accesses")
+                        };
                         out.findings.push(Finding {
                             rule: Rule::Shp04,
-                            severity: Severity::Definite,
+                            severity,
                             file: file.clone(),
                             line: site.line,
                             proc: proc.clone(),
                             array: aname.clone(),
+                            precision: worst,
                             message: format!(
                                 "call to `{cname}` passes `{aname}` ({actual_bytes} \
-                                 bytes) but the callee accesses {need} bytes through \
+                                 bytes) but the callee {verb} {need} bytes through \
                                  formal `{fname}`"
                             ),
                         });
                     } else if a.program.types.size_bytes(fty) > actual_bytes {
                         // Declared shapes mismatch, but the footprint proof
-                        // shows every access fits: refuted.
+                        // shows every access fits: refuted. (Sound even for
+                        // interval footprints — over-approximations that fit
+                        // imply the real accesses fit.)
                         out.suppressed += 1;
                     }
                 }
@@ -431,6 +503,7 @@ fn shp(a: &Analysis, id: ProcId, out: &mut ProcLint) {
                             line: site.line,
                             proc: proc.clone(),
                             array: aname.clone(),
+                            precision: worst,
                             message: format!(
                                 "call to `{cname}` passes `{aname}` ({actual_bytes} \
                                  bytes) where formal `{fname}` declares {fbytes} bytes \
@@ -561,12 +634,15 @@ fn report_alias(
 ) {
     let mut any_pair = false;
     let mut unknown = false;
+    let worst = |l: &AccessRecord, r: &AccessRecord| l.precision.worst(r.precision);
+    let mut worst_seen = Precision::Exact;
     for l in left {
         for r in right {
             if l.mode != AccessMode::Def && r.mode != AccessMode::Def {
                 continue; // read/read aliasing is harmless
             }
             any_pair = true;
+            worst_seen = worst_seen.worst(worst(l, r));
             match alias_overlap(a, l, r) {
                 Some(true) => {
                     out.findings.push(Finding {
@@ -576,6 +652,7 @@ fn report_alias(
                         line,
                         proc: proc.to_string(),
                         array: array.to_string(),
+                        precision: worst(l, r),
                         message: format!(
                             "{detail}; the two names' accessed regions overlap and \
                              one is written"
@@ -599,6 +676,7 @@ fn report_alias(
             line,
             proc: proc.to_string(),
             array: array.to_string(),
+            precision: worst_seen,
             message: format!(
                 "{detail}; a write through one name may overlap accesses through \
                  the other"
@@ -621,7 +699,17 @@ fn alias_overlap(a: &Analysis, l: &AccessRecord, r: &AccessRecord) -> Option<boo
     let re = a.program.types.element_size(a.program.symbols.get(r.array).ty).abs();
     if l.region.ndims() == r.region.ndims() && le == re {
         if let Some(d) = l.region.disjoint_from(&r.region) {
-            return Some(!d);
+            if d {
+                // Disjoint over-approximations prove real disjointness
+                // regardless of precision.
+                return Some(false);
+            }
+            // Overlap is a proof only for exact/affine regions: interval
+            // regions over-approximate, so their overlap may be spurious.
+            if !interval_or_worse(l) && !interval_or_worse(r) {
+                return Some(true);
+            }
+            return None;
         }
         if let (Some(lc), Some(rc)) = (&l.convex, &r.convex) {
             if lc.disjoint_from(rc) {
@@ -630,6 +718,50 @@ fn alias_overlap(a: &Analysis, l: &AccessRecord, r: &AccessRecord) -> Option<boo
         }
     }
     None
+}
+
+// ---------------------------------------------------------------------------
+// NAF-06: accesses still unbounded after the interval fallback
+// ---------------------------------------------------------------------------
+
+/// Flags local accesses whose region neither the affine summarizer nor the
+/// interval fallback could bound: the access is invisible to every other
+/// rule (they all stay silent on `unbounded` regions), so the user should
+/// know the tool is blind there. Always [`Severity::Possible`] — the rule
+/// reports a *gap in the analysis*, not a proven defect. Propagated
+/// (`from_call`) copies are skipped: the callee's own anchored finding
+/// already covers the access. Budget-exhaustion fallbacks (`approx`) are
+/// skipped too — they are a resource artifact, not an analysis limit, and
+/// would make findings depend on the budget configuration.
+fn naf(a: &Analysis, id: ProcId, out: &mut ProcLint) {
+    let proc = proc_name(a, id);
+    let file = proc_file(a, id);
+    for rec in &a.ipa.summary(id).accesses {
+        if rec.precision != Precision::Unbounded
+            || rec.from_call.is_some()
+            || !rec.mode.moves_data()
+            || rec.remote
+            || rec.approx
+        {
+            continue;
+        }
+        let verb = if rec.mode == AccessMode::Def { "written" } else { "read" };
+        out.findings.push(Finding {
+            rule: Rule::Naf06,
+            severity: Severity::Possible,
+            file: file.clone(),
+            line: rec.line,
+            proc: proc.clone(),
+            array: array_name(a, rec.array),
+            precision: rec.precision,
+            message: format!(
+                "`{}` is {verb} through a subscript neither the affine analysis \
+                 nor the interval fallback could bound; bounds checks are blind \
+                 to this access",
+                array_name(a, rec.array)
+            ),
+        });
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -686,6 +818,7 @@ pub fn dead_stores(a: &Analysis) -> ProcLint {
                     line: first.line,
                     proc: first.proc.clone(),
                     array: array.clone(),
+                    precision: first.precision,
                     message: format!(
                         "local array `{array}` is written but never read"
                     ),
@@ -721,16 +854,27 @@ pub fn dead_stores(a: &Analysis) -> ProcLint {
             } else {
                 format!("elements {}..{}", dead[0], dead[dead.len() - 1])
             };
+            // An interval-precision DEF row over-approximates the store:
+            // the "dead" elements may never be written at all, so the
+            // violation is only possible. (Interval USE rows need no such
+            // cap — over-approximated reads only *shrink* the dead set.)
+            let (severity, verb) = if def.precision >= Precision::Interval {
+                (Severity::Possible, "may be")
+            } else if dead.len() == 1 {
+                (Severity::Definite, "is")
+            } else {
+                (Severity::Definite, "are")
+            };
             out.findings.push(Finding {
                 rule: Rule::Dst03,
-                severity: Severity::Definite,
+                severity,
                 file: source_file_of(a, &def.proc),
                 line: def.line,
                 proc: def.proc.clone(),
                 array: array.clone(),
+                precision: def.precision,
                 message: format!(
-                    "{span} of `{array}` {} written here but never read anywhere",
-                    if dead.len() == 1 { "is" } else { "are" }
+                    "{span} of `{array}` {verb} written here but never read anywhere"
                 ),
             });
         }

@@ -57,7 +57,7 @@ pub fn to_sarif(report: &LintReport, tool_version: &str) -> String {
              {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
              \"region\": {{\"startLine\": {}}}}}}}], \
              \"properties\": {{\"proc\": \"{}\", \"array\": \"{}\", \
-             \"confidence\": \"{}\"}}}}{}\n",
+             \"confidence\": \"{}\", \"precision\": \"{}\"}}}}{}\n",
             f.rule.id(),
             level(f.severity),
             json_escape(&f.message),
@@ -66,6 +66,7 @@ pub fn to_sarif(report: &LintReport, tool_version: &str) -> String {
             json_escape(&f.proc),
             json_escape(&f.array),
             f.severity.name(),
+            f.precision.as_str(),
             if i + 1 < report.findings.len() { "," } else { "" }
         ));
     }
@@ -97,6 +98,7 @@ mod tests {
                 line: 7,
                 proc: "p".into(),
                 array: "x\"y".into(),
+                precision: regions::access::Precision::Exact,
                 message: "region [0:9] exceeds [0:4]".into(),
             }],
             ..Default::default()
@@ -113,6 +115,7 @@ mod tests {
         assert!(doc.contains("\"ruleId\": \"OOB-01\""));
         assert!(doc.contains("\"level\": \"error\""));
         assert!(doc.contains("\"startLine\": 7"));
+        assert!(doc.contains("\"precision\": \"exact\""), "{doc}");
         assert!(doc.contains("x\\\"y"), "strings are escaped: {doc}");
     }
 

@@ -65,6 +65,67 @@ impl std::fmt::Display for AccessMode {
     }
 }
 
+/// How trustworthy a summarized region is — the `.rgn` `precision` column.
+///
+/// Ordered best-to-worst: `Exact < AffineApprox < Interval < Unbounded`,
+/// so `max` combines precisions pessimistically. The lint engine keys its
+/// severity discipline off this: only affine-derived regions may prove a
+/// `definite` finding; `Interval` regions cap at `possible`; `Unbounded`
+/// regions trip `NAF-06`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// The affine machinery summarized the access without loss (constant
+    /// or symbolic bounds, no widening).
+    Exact,
+    /// Affine but approximated: a translation or projection budget forced
+    /// a widening, or the record degraded while crossing a call boundary.
+    AffineApprox,
+    /// The affine machinery bailed; the interval fallback recovered
+    /// constant bounds (an over-approximation — sound for disjointness
+    /// and refutation, never for proof).
+    Interval,
+    /// Non-affine and unrecovered: the region still has unknown bounds.
+    Unbounded,
+}
+
+impl Precision {
+    /// All precisions, best first.
+    pub const ALL: [Precision; 4] =
+        [Precision::Exact, Precision::AffineApprox, Precision::Interval, Precision::Unbounded];
+
+    /// The `.rgn`-file spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::Exact => "exact",
+            Precision::AffineApprox => "affine-approx",
+            Precision::Interval => "interval",
+            Precision::Unbounded => "unbounded",
+        }
+    }
+
+    /// Parses the `.rgn`-file spelling.
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "exact" => Some(Precision::Exact),
+            "affine-approx" => Some(Precision::AffineApprox),
+            "interval" => Some(Precision::Interval),
+            "unbounded" => Some(Precision::Unbounded),
+            _ => None,
+        }
+    }
+
+    /// Pessimistic combination: the worse of the two.
+    pub fn worst(self, other: Precision) -> Precision {
+        self.max(other)
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One summarized region access: the unit that becomes a `.rgn` row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegionSummary {
@@ -125,6 +186,18 @@ mod tests {
 
     fn region(lo: i64, hi: i64) -> TripletRegion {
         TripletRegion::new(vec![Triplet::constant(lo, hi, 1)])
+    }
+
+    #[test]
+    fn precision_round_trips_and_orders() {
+        for p in Precision::ALL {
+            assert_eq!(Precision::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(Precision::parse("fuzzy"), None);
+        assert!(Precision::Exact < Precision::AffineApprox);
+        assert!(Precision::Interval < Precision::Unbounded);
+        assert_eq!(Precision::Exact.worst(Precision::Interval), Precision::Interval);
+        assert_eq!(Precision::Unbounded.to_string(), "unbounded");
     }
 
     #[test]

@@ -29,6 +29,34 @@ use support::{budget, faultpoint};
 /// the total elimination work via its step budget).
 pub const STEP_BUDGET: usize = budget::DEFAULT_MAX_CONSTRAINTS;
 
+/// Why an FM-based summary is not exact. Every give-up site in this module
+/// and in [`crate::summarize`] reports one of these instead of silently
+/// returning a widened or absent result — the interval fallback pass keys
+/// off the distinction (only `NonAffine` accesses are worth re-analyzing;
+/// `Budget` means the affine answer exists but was truncated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ImpreciseReason {
+    /// The step or constraint budget ran dry and a sound widening was
+    /// applied (constraints dropped, bounds enlarged).
+    Budget,
+    /// A subscript or loop bound could not be linearized at all (indirect
+    /// index, product of variables) — the affine machinery never saw it.
+    NonAffine,
+    /// The system stayed affine but a projection left residual symbolic
+    /// terms no bound could be extracted from.
+    Symbolic,
+}
+
+impl std::fmt::Display for ImpreciseReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ImpreciseReason::Budget => "budget",
+            ImpreciseReason::NonAffine => "non-affine",
+            ImpreciseReason::Symbolic => "symbolic",
+        })
+    }
+}
+
 /// Statistics from one elimination run, used by the ablation bench.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FmStats {
@@ -42,6 +70,24 @@ pub struct FmStats {
     pub peak_constraints: usize,
     /// Inequalities dropped by the [`STEP_BUDGET`] widening.
     pub widened: usize,
+    /// Why the run is imprecise, when it is; `NonAffine` outranks `Budget`
+    /// outranks `Symbolic` is *not* implied — the first recorded reason
+    /// sticks unless a later one is strictly more fundamental (see
+    /// [`FmStats::mark_imprecise`]).
+    pub imprecise: Option<ImpreciseReason>,
+}
+
+impl FmStats {
+    /// Records a give-up reason. `Budget` never overwrites `NonAffine`
+    /// (a non-affine input is imprecise no matter how much budget is
+    /// spent); otherwise the first reason wins.
+    pub fn mark_imprecise(&mut self, reason: ImpreciseReason) {
+        self.imprecise = Some(match self.imprecise {
+            Some(ImpreciseReason::NonAffine) => ImpreciseReason::NonAffine,
+            Some(cur) if reason != ImpreciseReason::NonAffine => cur,
+            _ => reason,
+        });
+    }
 }
 
 /// Outcome of an elimination: the projected system or a proof of emptiness.
@@ -98,6 +144,8 @@ pub fn eliminate(system: &ConstraintSystem, v: VarId, stats: &mut FmStats) -> Pr
     };
     if !budget::charge_steps(cost) {
         obs::incr(Counter::FmWidenings);
+        obs::incr(Counter::RegionsFmBailouts);
+        stats.mark_imprecise(ImpreciseReason::Budget);
         return Projection::Feasible(drop_mentions(system, v, stats));
     }
 
@@ -212,6 +260,8 @@ fn widen_to_budget(cs: &mut ConstraintSystem, stats: &mut FmStats) {
         return;
     }
     obs::incr(Counter::FmWidenings);
+    obs::incr(Counter::RegionsFmBailouts);
+    stats.mark_imprecise(ImpreciseReason::Budget);
     let mut constraints: Vec<Constraint> = cs.constraints().to_vec();
     // Simplicity key: equalities first, then by term count, then by the
     // largest absolute coefficient (big coefficients breed overflow and
@@ -514,8 +564,21 @@ mod tests {
         let mut stats = FmStats::default();
         let out = eliminate(&cs, v(1), &mut stats).expect_feasible();
         assert!(stats.widened > 0);
+        assert_eq!(stats.imprecise, Some(ImpreciseReason::Budget), "give-up must be typed");
         assert!(budget::exhausted());
         assert_eq!(bounds_of(&out, v(0)).unwrap(), (None, None));
+    }
+
+    #[test]
+    fn imprecise_reason_precedence() {
+        let mut s = FmStats::default();
+        s.mark_imprecise(ImpreciseReason::Symbolic);
+        assert_eq!(s.imprecise, Some(ImpreciseReason::Symbolic));
+        s.mark_imprecise(ImpreciseReason::Budget);
+        assert_eq!(s.imprecise, Some(ImpreciseReason::Symbolic), "first reason sticks");
+        s.mark_imprecise(ImpreciseReason::NonAffine);
+        assert_eq!(s.imprecise, Some(ImpreciseReason::NonAffine), "non-affine overrides");
+        assert_eq!(ImpreciseReason::Budget.to_string(), "budget");
     }
 
     #[test]

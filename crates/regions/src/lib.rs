@@ -17,6 +17,8 @@
 //!   emptiness, containment, independence;
 //! - [`triplet`] — triplet regions with the paper's bound lattice
 //!   (`CONST`/`IVAR`/`LINDEX`/`SUBSCR`/`MESSY`/`UNPROJECTED`);
+//! - [`interval`] — the `[lo, hi]` interval domain with widening/narrowing
+//!   (the non-affine fallback);
 //! - [`access`] — access modes (`USE`/`DEF`/`FORMAL`/`PASSED`) and summaries;
 //! - [`summarize`] — building regions from subscripted references inside
 //!   loop nests;
@@ -28,6 +30,7 @@ pub mod access;
 pub mod constraint;
 pub mod convex;
 pub mod fourier_motzkin;
+pub mod interval;
 pub mod linexpr;
 pub mod methods;
 pub mod persist;
@@ -35,7 +38,8 @@ pub mod space;
 pub mod summarize;
 pub mod triplet;
 
-pub use access::{AccessMode, RegionSummary};
+pub use access::{AccessMode, Precision, RegionSummary};
+pub use interval::Interval;
 pub use convex::ConvexRegion;
 pub use linexpr::LinExpr;
 pub use space::{Space, VarId, VarKind};

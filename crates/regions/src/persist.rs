@@ -15,7 +15,7 @@ use crate::convex::ConvexRegion;
 use crate::linexpr::LinExpr;
 use crate::space::{Space, VarId, VarKind};
 use crate::triplet::{Bound, Triplet, TripletRegion};
-use crate::access::AccessMode;
+use crate::access::{AccessMode, Precision};
 use support::error::{Error, Result};
 use support::intern::Symbol;
 use support::persist::{ByteReader, ByteWriter, Persist};
@@ -27,6 +27,16 @@ impl Persist for AccessMode {
     fn load(r: &mut ByteReader<'_>) -> Result<Self> {
         let s = r.str()?;
         AccessMode::parse(&s).ok_or_else(|| Error::Format(format!("unknown access mode `{s}`")))
+    }
+}
+
+impl Persist for Precision {
+    fn save(&self, w: &mut ByteWriter) {
+        w.str(self.as_str());
+    }
+    fn load(r: &mut ByteReader<'_>) -> Result<Self> {
+        let s = r.str()?;
+        Precision::parse(&s).ok_or_else(|| Error::Format(format!("unknown precision `{s}`")))
     }
 }
 

@@ -9,9 +9,11 @@
 
 use crate::constraint::{Constraint, ConstraintSystem};
 use crate::convex::ConvexRegion;
+use crate::fourier_motzkin::{FmStats, ImpreciseReason};
 use crate::linexpr::{gcd, LinExpr};
 use crate::space::{Space, VarId};
 use crate::triplet::{Bound, Triplet, TripletRegion};
+use support::obs::{self, Counter};
 
 /// One loop of the enclosing nest, outermost first.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -200,10 +202,27 @@ pub fn convex_for_reference(
     nest: &LoopNest,
     subs: &[Subscript],
 ) -> Option<ConvexRegion> {
+    let mut stats = FmStats::default();
+    convex_with_stats(space, nest, subs, &mut stats)
+}
+
+/// Like [`convex_for_reference`], but every give-up path records a typed
+/// [`ImpreciseReason`] in `stats` (and counts a `regions.fm_bailouts`
+/// event) instead of returning a bare `None` — the interval fallback keys
+/// off the distinction between "budget truncated an affine answer" and
+/// "this was never affine".
+pub fn convex_with_stats(
+    space: &Space,
+    nest: &LoopNest,
+    subs: &[Subscript],
+    stats: &mut FmStats,
+) -> Option<ConvexRegion> {
     // With the analysis budget already dry there is no point building a
     // system whose projection would only drop constraints again; skip the
     // convex companion entirely (triplets still summarize the reference).
     if support::budget::exhausted() {
+        obs::incr(Counter::RegionsFmBailouts);
+        stats.mark_imprecise(ImpreciseReason::Budget);
         return None;
     }
     let mut system = ConstraintSystem::new();
@@ -221,12 +240,41 @@ pub fn convex_for_reference(
         system.push(Constraint::ge(LinExpr::var(info.var), info.lb.clone()));
         system.push(Constraint::le(LinExpr::var(info.var), info.ub.clone()));
     }
-    if any_messy && subs.iter().all(|s| matches!(s, Subscript::Messy)) {
-        return None;
+    if any_messy {
+        // A non-affine dimension is a bail-out even when the remaining
+        // affine dimensions still project: the reference as a whole has no
+        // exact system.
+        obs::incr(Counter::RegionsFmBailouts);
+        stats.mark_imprecise(ImpreciseReason::NonAffine);
+        if subs.iter().all(|s| matches!(s, Subscript::Messy)) {
+            return None;
+        }
     }
     let region = ConvexRegion::new(space.clone(), system);
-    let mut stats = crate::fourier_motzkin::FmStats::default();
-    Some(region.project_loops(&mut stats))
+    Some(region.project_loops(stats))
+}
+
+/// Per-reference imprecision report accompanying a summary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SummaryDetail {
+    /// FM statistics from building the convex companion, including the
+    /// typed give-up reason when any path bailed.
+    pub stats: FmStats,
+    /// Dimensions whose subscript was non-affine (triplet came out Messy).
+    pub messy_dims: Vec<usize>,
+    /// Dimensions whose bound substitution failed (Unprojected bounds —
+    /// affine but symbolically unresolvable in this nest).
+    pub unprojected_dims: Vec<usize>,
+}
+
+impl SummaryDetail {
+    /// True when every dimension was summarized without any loss.
+    pub fn is_exact(&self) -> bool {
+        self.messy_dims.is_empty()
+            && self.unprojected_dims.is_empty()
+            && self.stats.widened == 0
+            && self.stats.imprecise.is_none()
+    }
 }
 
 /// Summarizes a whole reference: one triplet per dimension plus the convex
@@ -236,9 +284,32 @@ pub fn summarize_reference(
     nest: &LoopNest,
     subs: &[Subscript],
 ) -> (TripletRegion, Option<ConvexRegion>) {
-    let dims = subs.iter().map(|s| dim_triplet(s, nest)).collect();
-    let convex = convex_for_reference(space, nest, subs);
-    (TripletRegion::new(dims), convex)
+    let (region, convex, _) = summarize_reference_detailed(space, nest, subs);
+    (region, convex)
+}
+
+/// [`summarize_reference`] plus the [`SummaryDetail`] describing exactly
+/// which dimensions (and why) are imprecise.
+pub fn summarize_reference_detailed(
+    space: &Space,
+    nest: &LoopNest,
+    subs: &[Subscript],
+) -> (TripletRegion, Option<ConvexRegion>, SummaryDetail) {
+    let mut detail = SummaryDetail::default();
+    let mut dims = Vec::with_capacity(subs.len());
+    for (d, sub) in subs.iter().enumerate() {
+        let t = dim_triplet(sub, nest);
+        if matches!(sub, Subscript::Messy) {
+            detail.messy_dims.push(d);
+            detail.stats.mark_imprecise(ImpreciseReason::NonAffine);
+        } else if t.lb == Bound::Unprojected || t.ub == Bound::Unprojected {
+            detail.unprojected_dims.push(d);
+            detail.stats.mark_imprecise(ImpreciseReason::Symbolic);
+        }
+        dims.push(t);
+    }
+    let convex = convex_with_stats(space, nest, subs, &mut detail.stats);
+    (TripletRegion::new(dims), convex, detail)
 }
 
 #[cfg(test)]
@@ -402,8 +473,53 @@ mod tests {
     fn messy_subscript_is_messy() {
         let (_, space) = setup(1);
         let nest = LoopNest::new();
-        let (t, _) = summarize_reference(&space, &nest, &[Subscript::Messy]);
+        let (t, cx, detail) = summarize_reference_detailed(&space, &nest, &[Subscript::Messy]);
         assert_eq!(t.dims[0], Triplet::messy());
+        assert!(cx.is_none());
+        assert_eq!(detail.messy_dims, vec![0]);
+        assert_eq!(detail.stats.imprecise, Some(ImpreciseReason::NonAffine));
+        assert!(!detail.is_exact());
+    }
+
+    #[test]
+    fn exact_reference_reports_exact_detail() {
+        let (mut it, mut space) = setup(1);
+        let i = space.add_loop(it.intern("i"));
+        let mut nest = LoopNest::new();
+        nest.push(const_loop(i, 0, 7, 1));
+        let (_, _, detail) = summarize_reference_detailed(&space, &nest, &[Subscript::var(i)]);
+        assert!(detail.is_exact(), "{detail:?}");
+    }
+
+    #[test]
+    fn partial_messy_reference_keeps_affine_dims_but_is_marked() {
+        // a[i, idx(j)]: dim 0 summarizes exactly, dim 1 is non-affine.
+        let (mut it, mut space) = setup(2);
+        let i = space.add_loop(it.intern("i"));
+        let mut nest = LoopNest::new();
+        nest.push(const_loop(i, 1, 10, 1));
+        let (t, cx, detail) =
+            summarize_reference_detailed(&space, &nest, &[Subscript::var(i), Subscript::Messy]);
+        assert_eq!(t.dims[0].as_const(), Some((1, 10, 1)));
+        assert_eq!(t.dims[1], Triplet::messy());
+        assert!(cx.is_some(), "affine dims still get a convex companion");
+        assert_eq!(detail.messy_dims, vec![1]);
+        assert_eq!(detail.stats.imprecise, Some(ImpreciseReason::NonAffine));
+    }
+
+    #[test]
+    fn dry_budget_detail_is_typed_budget() {
+        use support::budget::{self, BudgetConfig};
+        let (mut it, mut space) = setup(1);
+        let i = space.add_loop(it.intern("i"));
+        let mut nest = LoopNest::new();
+        nest.push(const_loop(i, 0, 7, 1));
+        let scope = budget::enter(BudgetConfig { fm_steps: 0, ..Default::default() });
+        assert!(!budget::charge_steps(1), "drain the scope");
+        let (_, cx, detail) = summarize_reference_detailed(&space, &nest, &[Subscript::var(i)]);
+        drop(scope);
+        assert!(cx.is_none(), "dry budget skips the convex companion");
+        assert_eq!(detail.stats.imprecise, Some(ImpreciseReason::Budget));
     }
 
     #[test]

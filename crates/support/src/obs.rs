@@ -179,6 +179,16 @@ catalog! {
         /// Procedures re-linted because their analysis content changed (or
         /// no cached findings existed).
         LintRelinted => "lint.relinted",
+        /// Fourier–Motzkin give-up events: a projection or summary bailed
+        /// out with a typed `ImpreciseReason` (budget, non-affine,
+        /// symbolic) instead of an exact answer.
+        RegionsFmBailouts => "regions.fm_bailouts",
+        /// Non-affine access dimensions whose bounds the interval
+        /// abstract-interpretation fallback recovered.
+        RegionsIntervalRecovered => "regions.interval_recovered",
+        /// Index-array facts (range / injectivity / monotonicity) derived
+        /// from defining loops during local summarization.
+        IpaIndexFacts => "ipa.index_facts",
     }
 }
 

@@ -44,7 +44,9 @@ pub const MAGIC: &[u8; 8] = b"ARAAPRS\0";
 /// Current container format version. Bump on any layout change; readers
 /// reject other versions (the cache then quarantines and recomputes).
 /// Version 2: `RgnRow` entries carry a per-row source-line range.
-pub const FORMAT_VERSION: u32 = 2;
+/// Version 3: access records carry `precision`/`via_index`, summaries carry
+/// index-array facts.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Write-path faultpoints registered inside [`atomic_write`] and the
 /// store layers above it, in the order they fire. CI arms each one in turn

@@ -9,8 +9,11 @@ Checks, stdlib only (CI runners install nothing):
   2. the body is valid JSON and conforms to
      schemas/sarif_subset.schema.json;
   3. every result's ruleId is declared in the driver's rule table, its
-     level matches its `confidence` property (error <=> definite), and its
-     startLine is >= 1;
+     level matches its `confidence` property (error <=> definite), its
+     startLine is >= 1, and its `precision` property is one of
+     exact/affine-approx/interval/unbounded — with the soundness
+     cross-check that a definite finding never rests on interval or
+     unbounded evidence (over-approximations may refute, never prove);
   4. the run carries at least `--min-results` results (CI passes 1 for
      seeded-defect programs so an artifact that silently lost its findings
      fails the job).
@@ -112,6 +115,14 @@ def check_sarif(path: Path, schemas: Path, min_results: int) -> None:
                 fail(
                     f"{where}: level {result['level']!r} contradicts "
                     f"confidence {confidence!r}"
+                )
+            precision = result["properties"]["precision"]
+            if precision not in ("exact", "affine-approx", "interval", "unbounded"):
+                fail(f"{where}: unknown precision {precision!r}")
+            if confidence == "definite" and precision in ("interval", "unbounded"):
+                fail(
+                    f"{where}: definite finding rests on {precision!r} "
+                    "evidence (over-approximations may refute, never prove)"
                 )
             for loc in result["locations"]:
                 line = loc["physicalLocation"]["region"]["startLine"]

@@ -1,0 +1,229 @@
+//! Golden test over the non-affine corpus in `workloads/irregular_corpus/`.
+//!
+//! Every program here defeats the affine summarizer on purpose —
+//! subscripted subscripts (`a(idx(i))`), polynomial subscripts (`a(i*i)`),
+//! and loop-carried accumulator pointers (`k = k + 2; b(k)`). The
+//! interval fallback must bound most of them (the `interval` precision
+//! level), the rest must surface as `NAF-06` analysis-gap findings, and —
+//! because interval regions are over-approximations — **no** finding on
+//! this corpus may ever be `Definite`.
+
+use araa::{Analysis, AnalysisOptions};
+use lint::{LintOptions, LintReport, Rule, Severity};
+use regions::access::Precision;
+use std::path::{Path, PathBuf};
+use support::idx::Idx;
+use whirl::ProcId;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../workloads/irregular_corpus")
+}
+
+fn load(name: &str) -> Vec<workloads::GenSource> {
+    let path = corpus_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    vec![workloads::GenSource { name: name.to_string(), text, fortran: true }]
+}
+
+fn analyze(name: &str) -> Analysis {
+    Analysis::analyze(&load(name), AnalysisOptions::default())
+        .unwrap_or_else(|e| panic!("{name} must analyze: {e}"))
+}
+
+fn lint_file(name: &str) -> LintReport {
+    lint::run(&analyze(name), &LintOptions::default())
+}
+
+const ALL_FILES: &[&str] = &[
+    "ss_inj_ok.f",
+    "ss_inj_oob.f",
+    "ss_gather.f",
+    "naf_opaque.f",
+    "poly_square.f",
+    "poly_square_oob.f",
+    "accum_stride.f",
+    "accum_unbounded.f",
+    "dst_interval.f",
+];
+
+/// One seeded outcome: the rule that must fire (always `Possible`), the
+/// line it anchors to, and the array it names. Files absent from this
+/// table must be finding-free — the interval pass bounded everything.
+struct Seed {
+    file: &'static str,
+    rule: Rule,
+    line: u32,
+    array: &'static str,
+}
+
+const SEEDS: &[Seed] = &[
+    // The index array holds values 101..150 but `a` declares 50 elements:
+    // the interval region exceeds the extents, yet being an
+    // over-approximation it can only *suspect* the overrun.
+    Seed { file: "ss_inj_oob.f", rule: Rule::Oob01, line: 10, array: "a" },
+    // `i*i` over i=1..10 against `a(60)`: the interval [0:99] spills past
+    // the declaration.
+    Seed { file: "poly_square_oob.f", rule: Rule::Oob01, line: 6, array: "a" },
+    // `idx` escapes into `scramble` before the gather, so no index-array
+    // fact survives and the subscript stays unbounded: the analysis must
+    // say so instead of going silent.
+    Seed { file: "naf_opaque.f", rule: Rule::Naf06, line: 8, array: "a" },
+    // `k = k + m` with `m` unknown: widening cannot bound the pointer.
+    Seed { file: "accum_unbounded.f", rule: Rule::Naf06, line: 9, array: "b" },
+    // The gather writes all of `a(1:100)` (interval), reads only
+    // `a(1:50)`: elements 51..100 *may* be dead — never definitely,
+    // because the interval write is an over-approximation.
+    Seed { file: "dst_interval.f", rule: Rule::Dst03, line: 11, array: "a" },
+];
+
+#[test]
+fn seeded_outcomes_fire_at_possible_only() {
+    for seed in SEEDS {
+        let report = lint_file(seed.file);
+        assert_eq!(
+            report.findings.len(),
+            1,
+            "{} must report exactly one finding:\n{}",
+            seed.file,
+            report.render()
+        );
+        let f = &report.findings[0];
+        assert_eq!(f.rule, seed.rule, "{}: wrong rule:\n{}", seed.file, report.render());
+        assert_eq!(
+            f.severity,
+            Severity::Possible,
+            "{}: interval evidence can never prove a violation",
+            seed.file
+        );
+        assert_eq!(f.line, seed.line, "{}: wrong anchor line", seed.file);
+        assert_eq!(f.array, seed.array, "{}: wrong array", seed.file);
+        assert!(
+            f.precision >= Precision::Interval,
+            "{}: the finding must record its interval/unbounded evidence",
+            seed.file
+        );
+    }
+}
+
+#[test]
+fn recovered_files_are_finding_free() {
+    for file in ALL_FILES {
+        if SEEDS.iter().any(|s| s.file == *file) {
+            continue;
+        }
+        let report = lint_file(file);
+        assert!(
+            report.findings.is_empty(),
+            "{file} must be finding-free (the interval pass bounds it):\n{}",
+            report.render()
+        );
+        assert!(
+            report.suppressed > 0,
+            "{file}: the interval bounds must have refuted at least one candidate"
+        );
+    }
+}
+
+#[test]
+fn no_definite_findings_anywhere_in_the_corpus() {
+    for file in ALL_FILES {
+        let report = lint_file(file);
+        assert_eq!(
+            report.definite_count(),
+            0,
+            "{file}: interval regions over-approximate; a Definite finding \
+             through one would be a soundness bug:\n{}",
+            report.render()
+        );
+    }
+}
+
+/// The tentpole coverage bar: at least 80% of the accesses the affine
+/// summarizer gave up on (everything at precision `interval` or worse)
+/// must come back bounded from the interval pass.
+#[test]
+fn interval_pass_bounds_at_least_80_percent_of_nonaffine_accesses() {
+    let (mut interval, mut unbounded) = (0usize, 0usize);
+    for file in ALL_FILES {
+        let a = analyze(file);
+        for i in 0..a.program.procedure_count() {
+            let id = ProcId::from_usize(i);
+            for rec in &a.ipa.summary(id).accesses {
+                if rec.from_call.is_some() || rec.approx || !rec.mode.moves_data() {
+                    continue;
+                }
+                match rec.precision {
+                    Precision::Interval => interval += 1,
+                    Precision::Unbounded => unbounded += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    let total = interval + unbounded;
+    assert!(total >= 10, "corpus must exercise the fallback broadly, got {total}");
+    assert!(
+        interval * 100 >= total * 80,
+        "interval pass must bound >=80% of non-affine accesses: \
+         {interval} interval vs {unbounded} unbounded"
+    );
+}
+
+/// The `.rgn` rows surface the new `precision` column: the corpus must
+/// produce rows at every relevant level, and interval rows must carry
+/// constant (renderable) bounds, not `MESSY`.
+#[test]
+fn rows_carry_the_precision_column() {
+    let a = analyze("ss_inj_ok.f");
+    let interval_rows: Vec<_> =
+        a.rows.iter().filter(|r| r.precision == Precision::Interval).collect();
+    assert!(!interval_rows.is_empty(), "gather rows must be interval-precision");
+    for row in &interval_rows {
+        assert!(
+            !row.lb.contains("MESSY") && !row.ub.contains("MESSY"),
+            "interval rows carry recovered constant bounds: {row:?}"
+        );
+    }
+    let b = analyze("naf_opaque.f");
+    assert!(
+        b.rows.iter().any(|r| r.precision == Precision::Unbounded),
+        "the opaque gather must stay unbounded"
+    );
+    assert!(
+        a.rows.iter().any(|r| r.precision == Precision::Exact),
+        "affine rows in the same program stay exact"
+    );
+}
+
+/// Findings, report text, and SARIF are byte-identical at any lint thread
+/// count — the corpus goes through the same deterministic merge as the
+/// affine workloads.
+#[test]
+fn corpus_lint_is_thread_count_invariant() {
+    for file in ALL_FILES {
+        let a = analyze(file);
+        let one = lint::run(&a, &LintOptions { threads: 1 });
+        let eight = lint::run(&a, &LintOptions { threads: 8 });
+        assert_eq!(one.render(), eight.render(), "{file}: report text diverged");
+        assert_eq!(
+            lint::sarif::to_sarif(&one, "t"),
+            lint::sarif::to_sarif(&eight, "t"),
+            "{file}: SARIF diverged"
+        );
+    }
+}
+
+/// SARIF property bags expose the finding-level precision so CI can gate
+/// on it (`scripts/check_sarif.py` validates the vocabulary).
+#[test]
+fn sarif_reports_precision_for_corpus_findings() {
+    let report = lint_file("ss_inj_oob.f");
+    let doc = lint::sarif::to_sarif(&report, "test");
+    assert!(doc.contains("\"precision\": \"interval\""), "{doc}");
+    assert!(doc.contains("\"ruleId\": \"OOB-01\""), "{doc}");
+    let report = lint_file("naf_opaque.f");
+    let doc = lint::sarif::to_sarif(&report, "test");
+    assert!(doc.contains("\"ruleId\": \"NAF-06\""), "{doc}");
+    assert!(doc.contains("\"precision\": \"unbounded\""), "{doc}");
+}

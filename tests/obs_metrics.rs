@@ -154,6 +154,38 @@ fn warm_from_disk_profiles_primed_procedures() {
 }
 
 #[test]
+fn interval_pass_counters_are_thread_count_invariant() {
+    // The non-affine counters describe *what the analysis concluded*, not
+    // how the work was scheduled: analyzing the same irregular program at
+    // 1 and 8 threads must count the same FM bail-outs, the same interval
+    // recoveries, and the same index-array facts.
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../workloads/irregular_corpus/ss_inj_ok.f");
+    let text = std::fs::read_to_string(&corpus).expect("corpus file");
+    let sources =
+        vec![workloads::GenSource { name: "ss_inj_ok.f".into(), text, fortran: true }];
+    let run = |threads: usize| {
+        let c = Collector::new(ClockKind::Logical);
+        {
+            let _g = obs::attach(c.clone());
+            Analysis::analyze(&sources, AnalysisOptions::builder().threads(threads).build())
+                .expect("analysis succeeds");
+        }
+        (
+            c.counter(Counter::RegionsFmBailouts),
+            c.counter(Counter::RegionsIntervalRecovered),
+            c.counter(Counter::IpaIndexFacts),
+        )
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert!(serial.0 > 0, "the gather must make FM bail out");
+    assert!(serial.1 > 0, "the interval pass must recover bounds");
+    assert!(serial.2 > 0, "the defining loop must yield index-array facts");
+    assert_eq!(serial, parallel, "counters must not depend on thread count");
+}
+
+#[test]
 fn cache_stats_reconciles_store_gauge() {
     let dir = TestDir::new("obs-stats-gauge");
 

@@ -1,0 +1,15 @@
+program main
+  double precision b(64)
+  common /gb/ b
+  double precision s
+  integer i, k
+  k = 0
+  do i = 1, 20
+    k = k + 2
+    b(k) = 1.0
+  end do
+  s = 0.0
+  do i = 1, 64
+    s = s + b(i)
+  end do
+end program main

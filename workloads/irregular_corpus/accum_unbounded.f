@@ -1,0 +1,12 @@
+program main
+  double precision b(32)
+  common /gb/ b
+  integer m
+  common /gm/ m
+  integer i, k
+  k = 1
+  do i = 1, 10
+    b(k) = 1.0
+    k = k + m
+  end do
+end program main

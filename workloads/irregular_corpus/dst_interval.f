@@ -1,0 +1,17 @@
+program main
+  integer idx(100)
+  double precision a(100)
+  common /ga/ a
+  double precision s
+  integer i
+  do i = 1, 100
+    idx(i) = 101 - i
+  end do
+  do i = 1, 100
+    a(idx(i)) = 1.0
+  end do
+  s = 0.0
+  do i = 1, 50
+    s = s + a(i)
+  end do
+end program main

@@ -1,0 +1,18 @@
+program main
+  integer idx(40)
+  double precision a(40)
+  common /ga/ a
+  integer i
+  call scramble(idx)
+  do i = 1, 40
+    a(idx(i)) = 1.0
+  end do
+end program main
+
+subroutine scramble(v)
+  integer v(40)
+  integer i
+  do i = 1, 40
+    v(i) = 41 - i
+  end do
+end subroutine scramble

@@ -1,0 +1,13 @@
+program main
+  double precision a(100)
+  common /ga/ a
+  double precision s
+  integer i
+  do i = 1, 10
+    a(i*i) = 1.0
+  end do
+  s = 0.0
+  do i = 1, 10
+    s = s + a(i*i)
+  end do
+end program main

@@ -1,0 +1,8 @@
+program main
+  double precision a(60)
+  common /ga/ a
+  integer i
+  do i = 1, 10
+    a(i*i) = 1.0
+  end do
+end program main

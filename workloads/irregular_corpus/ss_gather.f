@@ -1,0 +1,14 @@
+program main
+  integer idx(64)
+  double precision a(64)
+  common /ga/ a
+  double precision s
+  integer i
+  do i = 1, 64
+    idx(i) = 65 - i
+  end do
+  s = 0.0
+  do i = 1, 64
+    s = s + a(idx(i))
+  end do
+end program main

@@ -1,0 +1,12 @@
+program main
+  integer idx(50)
+  double precision a(50)
+  common /ga/ a
+  integer i
+  do i = 1, 50
+    idx(i) = 100 + i
+  end do
+  do i = 1, 50
+    a(idx(i)) = 1.0
+  end do
+end program main
