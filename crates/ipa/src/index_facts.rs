@@ -17,7 +17,7 @@ use crate::local::{whirl_to_affine, AffExpr};
 use regions::triplet::{Triplet, TripletRegion};
 use std::collections::BTreeMap;
 use support::obs::{self, Counter};
-use whirl::{DataType, Opr, ProcId, Program, StIdx, TyKind, WnId};
+use whirl::{DataType, Opr, ProcId, Program, StIdx, TyKind, WhirlTree, WnId};
 
 /// What the defining loops of one index array prove about it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +37,13 @@ pub struct IndexArrayFact {
     /// Zero-based element indices covered by the qualifying stores — the
     /// part of the array that is actually initialized.
     pub init_region: Option<TripletRegion>,
+    /// Pre-order position (in the defining procedure's tree) of the last
+    /// node of the outermost statement enclosing any qualifying store:
+    /// initialization is complete only once execution passes this point.
+    /// Same-procedure consumers must not apply the fact at sites at or
+    /// before this position (the values have not been stored yet); the
+    /// position is meaningless in any other procedure's tree.
+    pub init_end_pos: u32,
 }
 
 impl IndexArrayFact {
@@ -65,6 +72,10 @@ struct StoreSite {
     /// The constant-bound loops enclosing the store, outermost first; a
     /// `None` entry marks an enclosing loop whose bounds are not constant.
     nest: Vec<Option<ConstLoop>>,
+    /// The outermost statement enclosing the store (the outermost loop of
+    /// its nest, or the `ISTORE` itself): the values exist only after this
+    /// subtree finishes executing.
+    container: WnId,
 }
 
 #[derive(Debug, Default)]
@@ -117,16 +128,22 @@ pub fn derive(program: &Program, proc_id: ProcId) -> BTreeMap<StIdx, IndexArrayF
     let tree = &proc.tree;
     let mut cands: BTreeMap<StIdx, Candidate> = BTreeMap::new();
     let mut nest: Vec<Option<ConstLoop>> = Vec::new();
+    let mut loops: Vec<WnId> = Vec::new();
     let Some(root) = tree.root() else { return BTreeMap::new() };
     let Some(&body) = tree.node(root).kids.last() else { return BTreeMap::new() };
-    scan_block(program, proc_id, body, &mut nest, &mut cands);
+    scan_block(program, proc_id, body, &mut nest, &mut loops, &mut cands);
 
+    let pos = if cands.values().any(|c| !c.sites.is_empty()) {
+        preorder_positions(tree)
+    } else {
+        BTreeMap::new()
+    };
     let mut out = BTreeMap::new();
     for (st, cand) in cands {
         if cand.opaque_store || cand.sites.is_empty() {
             continue;
         }
-        let fact = summarize_candidate(&cand);
+        let fact = summarize_candidate(&cand, tree, &pos);
         if fact.is_useful() {
             obs::incr(Counter::IpaIndexFacts);
             out.insert(st, fact);
@@ -135,7 +152,38 @@ pub fn derive(program: &Program, proc_id: ProcId) -> BTreeMap<StIdx, IndexArrayF
     out
 }
 
-fn summarize_candidate(cand: &Candidate) -> IndexArrayFact {
+/// Pre-order position of every node in `tree`, counted from the root.
+/// A subtree occupies a contiguous position range starting at its root,
+/// so "after statement S has finished" is "position > max position in
+/// S's subtree".
+pub(crate) fn preorder_positions(tree: &WhirlTree) -> BTreeMap<WnId, u32> {
+    let mut out = BTreeMap::new();
+    if let Some(root) = tree.root() {
+        for (i, n) in tree.pre_order(root).enumerate() {
+            out.insert(n, i as u32);
+        }
+    }
+    out
+}
+
+fn summarize_candidate(
+    cand: &Candidate,
+    tree: &WhirlTree,
+    pos: &BTreeMap<WnId, u32>,
+) -> IndexArrayFact {
+    // Initialization is complete once the outermost statement enclosing
+    // the *last* (in program order) qualifying store has finished.
+    let init_end_pos = cand
+        .sites
+        .iter()
+        .map(|s| {
+            tree.pre_order(s.container)
+                .filter_map(|n| pos.get(&n).copied())
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0);
     let mut value_range: Option<(i64, i64)> = None;
     let mut init_region: Option<TripletRegion> = None;
     let mut all_qualify = true;
@@ -148,13 +196,21 @@ fn summarize_candidate(cand: &Candidate) -> IndexArrayFact {
             break;
         };
         // Element stride: a single-ivar subscript steps by |c1·step|.
+        // Checked: a pathological coefficient/step pair from source must
+        // degrade to "no fact", not wrap or panic.
         let stride = match single_term(&site.index) {
-            Some((ivar, c1, _)) => site
-                .nest
-                .iter()
-                .flatten()
-                .find(|f| f.ivar == ivar)
-                .map_or(1, |f| (c1 * f.step).abs().max(1)),
+            Some((ivar, c1, _)) => {
+                match site.nest.iter().flatten().find(|f| f.ivar == ivar) {
+                    Some(f) => match c1.checked_mul(f.step).and_then(i64::checked_abs) {
+                        Some(p) => p.max(1),
+                        None => {
+                            all_qualify = false;
+                            break;
+                        }
+                    },
+                    None => 1,
+                }
+            }
             None => 1,
         };
         let t = TripletRegion::new(vec![Triplet::constant(ir.0, ir.1, stride)]);
@@ -174,6 +230,7 @@ fn summarize_candidate(cand: &Candidate) -> IndexArrayFact {
             injective: false,
             value_range: None,
             init_region: None,
+            init_end_pos,
         };
     }
 
@@ -205,6 +262,7 @@ fn summarize_candidate(cand: &Candidate) -> IndexArrayFact {
         injective,
         value_range,
         init_region,
+        init_end_pos,
     }
 }
 
@@ -223,6 +281,7 @@ fn scan_block(
     proc_id: ProcId,
     block: WnId,
     nest: &mut Vec<Option<ConstLoop>>,
+    loops: &mut Vec<WnId>,
     cands: &mut BTreeMap<StIdx, Candidate>,
 ) {
     let tree = &program.procedure(proc_id).tree;
@@ -243,6 +302,7 @@ fn scan_block(
                                     index: whirl_to_affine(tree, an.array_index_kid(0)),
                                     value: whirl_to_affine(tree, node.kids[0]),
                                     nest: nest.clone(),
+                                    container: loops.first().copied().unwrap_or(id),
                                 });
                             } else {
                                 cand.opaque_store = true;
@@ -275,14 +335,23 @@ fn scan_block(
                     let (lo, hi) = if step < 0 { (hi, lo) } else { (lo, hi) };
                     Some(ConstLoop { ivar, lo, hi, step: step.abs() })
                 });
+                // A constant loop whose normalized range is empty never
+                // runs its body: stores under it contribute neither values
+                // nor init coverage, so scanning them would overclaim
+                // value_range and init_region.
+                if frame.is_some_and(|f| f.lo > f.hi) {
+                    continue;
+                }
+                loops.push(id);
                 nest.push(frame);
-                scan_block(program, proc_id, node.kids[3], nest, cands);
+                scan_block(program, proc_id, node.kids[3], nest, loops, cands);
                 nest.pop();
+                loops.pop();
             }
             Opr::If => {
                 scan_escapes(program, proc_id, node.kids[0], cands);
-                scan_block(program, proc_id, node.kids[1], nest, cands);
-                scan_block(program, proc_id, node.kids[2], nest, cands);
+                scan_block(program, proc_id, node.kids[1], nest, loops, cands);
+                scan_block(program, proc_id, node.kids[2], nest, loops, cands);
             }
             Opr::Stid | Opr::Return => {
                 for &k in &tree.node(id).kids.clone() {
@@ -472,6 +541,87 @@ end
         let facts = facts_of(&p, "s");
         // Escape poisons the candidate entirely: the callee may rewrite it.
         assert!(facts.get(&st_of(&p, "idx")).is_none());
+    }
+
+    #[test]
+    fn zero_trip_loop_stores_contribute_nothing() {
+        // `do i = 10, 1` (step +1) never executes: its store must not
+        // widen value_range, overclaim init_region, or break injectivity.
+        let p = program_f(
+            "\
+subroutine s
+  integer idx(10)
+  integer i
+  do i = 1, 10
+    idx(i) = i
+  end do
+  do i = 10, 1
+    idx(i) = 1000
+  end do
+end
+",
+        );
+        let facts = facts_of(&p, "s");
+        let f = facts.get(&st_of(&p, "idx")).expect("fact for idx");
+        assert!(f.injective, "dead store must not count as a second site");
+        assert_eq!(f.value_range, Some((1, 10)));
+        assert_eq!(f.init_region.as_ref().unwrap().to_string(), "(0:9:1)");
+    }
+
+    #[test]
+    fn stride_overflow_is_non_qualifying() {
+        // |c1 · step| overflows i64 while both affine extents stay in
+        // range: the site must disqualify instead of wrapping/panicking.
+        let cand = Candidate {
+            sites: vec![StoreSite {
+                index: AffExpr::Lin {
+                    constant: 0,
+                    terms: [(StIdx(7), 5_000_000_000_i64)].into_iter().collect(),
+                },
+                value: AffExpr::Lin { constant: 1, terms: BTreeMap::new() },
+                nest: vec![Some(ConstLoop {
+                    ivar: StIdx(7),
+                    lo: -1_000_000_000,
+                    hi: 1_000_000_000,
+                    step: 2_000_000_000,
+                })],
+                container: WnId(0),
+            }],
+            escapes: false,
+            opaque_store: false,
+        };
+        let p = program_f("subroutine s\nend\n");
+        let tree = &p.procedure(p.find_procedure("s").unwrap()).tree;
+        let f = summarize_candidate(&cand, tree, &BTreeMap::new());
+        assert!(!f.is_useful(), "overflowing stride must yield no fact: {f:?}");
+        assert_eq!(f.value_range, None);
+    }
+
+    #[test]
+    fn init_end_pos_marks_the_defining_loop_exit() {
+        let p = program_f(
+            "\
+subroutine s
+  integer idx(10)
+  integer i
+  do i = 1, 10
+    idx(i) = i
+  end do
+end
+",
+        );
+        let id = p.find_procedure("s").unwrap();
+        let f = facts_of(&p, "s")[&st_of(&p, "idx")].clone();
+        let tree = &p.procedure(id).tree;
+        let pos = preorder_positions(tree);
+        // Every node of the defining loop's subtree is at or before the
+        // completion position — only code after the loop may use the fact.
+        let store = tree
+            .iter()
+            .find(|&n| tree.node(n).operator == Opr::Istore)
+            .expect("the init store");
+        assert!(pos[&store] <= f.init_end_pos);
+        assert!(f.init_end_pos > 0);
     }
 
     #[test]

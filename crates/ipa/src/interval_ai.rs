@@ -18,7 +18,7 @@
 //! at `possible` severity.
 
 use crate::index_facts::IndexArrayFact;
-use regions::Interval;
+use regions::{Interval, Triplet};
 use std::collections::BTreeMap;
 use whirl::{Opr, ProcId, Program, StClass, StIdx, TyKind, WhirlTree, WnId};
 
@@ -48,7 +48,9 @@ pub fn analyze_proc(
     let mut out = RecoveredBounds::default();
     let Some(root) = proc.tree.root() else { return out };
     let Some(&body) = proc.tree.node(root).kids.last() else { return out };
-    let mut interp = Interp { program, tree: &proc.tree, facts, out: &mut out.dims };
+    let pos = crate::index_facts::preorder_positions(&proc.tree);
+    let mut interp =
+        Interp { program, tree: &proc.tree, facts, pos: &pos, out: &mut out.dims };
     let mut env = Env::new();
     interp.exec_block(body, &mut env, true);
     out
@@ -58,6 +60,9 @@ struct Interp<'a> {
     program: &'a Program,
     tree: &'a WhirlTree,
     facts: &'a BTreeMap<StIdx, IndexArrayFact>,
+    /// Pre-order node positions — used to gate index-array facts to read
+    /// sites that execute after the defining nest has completed.
+    pos: &'a BTreeMap<WnId, u32>,
     out: &'a mut BTreeMap<(WnId, usize), Interval>,
 }
 
@@ -107,23 +112,42 @@ impl<'a> Interp<'a> {
             Opr::Sub => self.eval(n.kids[0], env).sub(&self.eval(n.kids[1], env)),
             Opr::Neg => self.eval(n.kids[0], env).neg(),
             Opr::Mpy => self.eval(n.kids[0], env).mul(&self.eval(n.kids[1], env)),
-            Opr::Iload => {
-                // A read of a known index array evaluates to its stored
-                // value range — the subscripted-subscript recovery.
-                let addr = self.tree.node(n.kids[0]);
-                if addr.operator == Opr::Array {
-                    if let Some(st) = self.tree.node(addr.array_base_kid()).st_idx {
-                        if let Some((lo, hi)) =
-                            self.facts.get(&st).and_then(|f| f.value_range)
-                        {
-                            return Interval::range(lo, hi);
-                        }
-                    }
-                }
-                Interval::top()
-            }
+            Opr::Iload => self
+                .index_value_range(id, n.kids[0], env)
+                .unwrap_or_else(Interval::top),
             _ => Interval::top(),
         }
+    }
+
+    /// A read of a known index array evaluates to its stored value range —
+    /// the subscripted-subscript recovery. Guarded four ways, each of which
+    /// keeps a fact from describing values the load can actually see:
+    /// the array must be write-once (`constant_after_init`), procedure-local
+    /// (a COMMON/global array can be rewritten by a callee with no visible
+    /// escape, and a formal aliases the caller's array), the read site must
+    /// execute after the defining nest has completed (the fact is
+    /// flow-insensitive), and the inner subscript must stay inside the
+    /// initialized region (outside it the load returns garbage).
+    fn index_value_range(&self, iload: WnId, addr: WnId, env: &Env) -> Option<Interval> {
+        let a = self.tree.node(addr);
+        if a.operator != Opr::Array || a.num_dim() != 1 {
+            return None;
+        }
+        let st = self.tree.node(a.array_base_kid()).st_idx?;
+        let fact = self.facts.get(&st)?;
+        let (lo, hi) = fact.value_range?;
+        if !fact.constant_after_init
+            || self.program.symbols.get(st).class != StClass::Local
+            || self.pos.get(&iload).copied().unwrap_or(0) <= fact.init_end_pos
+        {
+            return None;
+        }
+        let inner = self.eval(a.array_index_kid(0), env);
+        let (ilo, ihi) = (inner.lo?, inner.hi?);
+        let init = fact.init_region.as_ref()?;
+        let [init_dim] = &init.dims[..] else { return None };
+        crate::sideeffect::const_subset(&Triplet::constant(ilo, ihi, 1), init_dim)
+            .then(|| Interval::range(lo, hi))
     }
 
     /// Records subscript intervals for every `ARRAY` node inside `id`.
@@ -501,6 +525,126 @@ end
             ivs.contains(&Interval::range(0, 9)),
             "expected [0, 9] in {ivs:?}"
         );
+    }
+
+    #[test]
+    fn common_index_array_is_never_trusted() {
+        // idx lives in a COMMON block: a callee can rewrite it directly
+        // through the block with no visible escape (no PARM(LDA)), so its
+        // value_range must never refute anything. Before the storage-class
+        // gate this recovered [0, 9] and silenced the OOB write via
+        // idx(5) = 1000.
+        let p = program_f(
+            "\
+subroutine s
+  real a(10)
+  integer idx(10)
+  common /g/ idx
+  integer i, t
+  do i = 1, 10
+    idx(i) = i
+  end do
+  call clobber(t)
+  do i = 1, 10
+    a(idx(i)) = 0.0
+  end do
+end
+subroutine clobber(v)
+  integer idx(10)
+  common /g/ idx
+  integer v
+  idx(5) = 1000
+  v = 0
+end
+",
+        );
+        let ivs = recovered_for(&p, "s", "a");
+        assert_eq!(ivs.len(), 1);
+        assert!(
+            ivs[0].is_top(),
+            "COMMON idx can be clobbered behind our back: {:?}",
+            ivs[0]
+        );
+    }
+
+    #[test]
+    fn read_before_init_loop_is_not_trusted() {
+        // The gather loop runs before idx is initialized: the values read
+        // are garbage, not the init loop's range.
+        let p = program_f(
+            "\
+subroutine s
+  real a(10)
+  integer idx(10)
+  integer i
+  do i = 1, 10
+    a(idx(i)) = 0.0
+  end do
+  do i = 1, 10
+    idx(i) = i
+  end do
+end
+",
+        );
+        let ivs = recovered_for(&p, "s", "a");
+        assert_eq!(ivs.len(), 1);
+        assert!(ivs[0].is_top(), "read precedes init: {:?}", ivs[0]);
+    }
+
+    #[test]
+    fn read_outside_init_region_is_not_trusted() {
+        // Only idx(1..5) is initialized but the read sweeps idx(1..10):
+        // elements 6..10 hold garbage, so the value range must not apply.
+        let p = program_f(
+            "\
+subroutine s
+  real a(10)
+  integer idx(10)
+  integer i
+  do i = 1, 5
+    idx(i) = i
+  end do
+  do i = 1, 10
+    a(idx(i)) = 0.0
+  end do
+end
+",
+        );
+        let ivs = recovered_for(&p, "s", "a");
+        assert_eq!(ivs.len(), 1);
+        assert!(ivs[0].is_top(), "read escapes the initialized region: {:?}", ivs[0]);
+    }
+
+    #[test]
+    fn escaped_then_reinitialized_index_is_not_trusted() {
+        // idx escapes to a callee before (re)initialization completes:
+        // constant_after_init is false and value_range must not be used.
+        let p = program_f(
+            "\
+subroutine s
+  real a(10)
+  integer idx(10)
+  integer i
+  call fill(idx)
+  do i = 1, 5
+    idx(i) = i
+  end do
+  do i = 1, 10
+    a(idx(i)) = 0.0
+  end do
+end
+subroutine fill(v)
+  integer v(10)
+  integer i
+  do i = 1, 10
+    v(i) = 1000
+  end do
+end
+",
+        );
+        let ivs = recovered_for(&p, "s", "a");
+        assert_eq!(ivs.len(), 1);
+        assert!(ivs[0].is_top(), "escaped idx is not write-once: {:?}", ivs[0]);
     }
 
     #[test]

@@ -711,7 +711,13 @@ impl<'a> Walker<'a> {
             let (a, b) = (i128::from(c) * i128::from(flo), i128::from(c) * i128::from(fhi));
             lo += a.min(b);
             hi += a.max(b);
-            stride = if terms.len() == 1 { (c * f.step).abs().max(1) } else { 1 };
+            // Checked: a pathological coefficient/step pair degrades the
+            // whole domain to "unknown" instead of wrapping or panicking.
+            stride = if terms.len() == 1 {
+                c.checked_mul(f.step).and_then(i64::checked_abs)?.max(1)
+            } else {
+                1
+            };
         }
         let (lo, hi) = (i64::try_from(lo).ok()?, i64::try_from(hi).ok()?);
         Some(TripletRegion::new(vec![Triplet::constant(lo, hi, stride)]))

@@ -135,7 +135,12 @@ pub fn analyze_proc_loops_with_facts(
     global_facts: &BTreeMap<StIdx, IndexArrayFact>,
 ) -> Vec<LoopVerdict> {
     let mut facts = global_facts.clone();
+    // Completion positions for every index array this procedure itself
+    // defines (any storage class): the injective escape must not fire for
+    // a loop that runs before — or inside — the defining nest.
+    let mut local_init_end: BTreeMap<StIdx, u32> = BTreeMap::new();
     for (st, f) in index_facts::derive(program, proc_id) {
+        local_init_end.insert(st, f.init_end_pos);
         if program.symbols.get(st).class == StClass::Local {
             facts.entry(st).or_insert(f);
         }
@@ -144,8 +149,16 @@ pub fn analyze_proc_loops_with_facts(
     let mut out = Vec::new();
     let Some(root) = proc.tree.root() else { return out };
     let Some(&body) = proc.tree.node(root).kids.last() else { return out };
+    let pos = index_facts::preorder_positions(&proc.tree);
     collect_top_loops(&proc.tree, body, &mut |loop_wn| {
-        out.push(analyze_loop_with_facts(program, proc_id, loop_wn, &facts));
+        out.push(analyze_loop_with_facts(
+            program,
+            proc_id,
+            loop_wn,
+            &facts,
+            &local_init_end,
+            pos.get(&loop_wn).copied(),
+        ));
     });
     out
 }
@@ -166,7 +179,7 @@ fn collect_top_loops(tree: &WhirlTree, block: WnId, f: &mut impl FnMut(WnId)) {
 
 /// Analyzes one `DoLoop` node.
 pub fn analyze_loop(program: &Program, proc_id: ProcId, loop_wn: WnId) -> LoopVerdict {
-    analyze_loop_with_facts(program, proc_id, loop_wn, &BTreeMap::new())
+    analyze_loop_with_facts(program, proc_id, loop_wn, &BTreeMap::new(), &BTreeMap::new(), None)
 }
 
 /// Conditions under which the injective-index escape may fire for a loop.
@@ -177,6 +190,11 @@ struct EscapeCtx<'a> {
     /// A call anywhere in the body could mutate a global index array
     /// without appearing in `body_defs`; disable the escape entirely.
     saw_call: bool,
+    /// Per-array position after which a locally-defined index array's
+    /// initialization completes (pre-order, this procedure's tree).
+    local_init_end: &'a BTreeMap<StIdx, u32>,
+    /// Pre-order position of the tested loop; `None` when unknown.
+    loop_pos: Option<u32>,
 }
 
 /// [`analyze_loop`] with index-array facts available.
@@ -185,6 +203,8 @@ fn analyze_loop_with_facts(
     proc_id: ProcId,
     loop_wn: WnId,
     facts: &BTreeMap<StIdx, IndexArrayFact>,
+    local_init_end: &BTreeMap<StIdx, u32>,
+    loop_pos: Option<u32>,
 ) -> LoopVerdict {
     let proc = program.procedure(proc_id);
     let tree = &proc.tree;
@@ -220,6 +240,8 @@ fn analyze_loop_with_facts(
         facts,
         body_defs: refs.iter().filter(|r| r.is_def).map(|r| r.array).collect(),
         saw_call,
+        local_init_end,
+        loop_pos,
     };
 
     // Pairwise array dependence tests.
@@ -503,6 +525,15 @@ fn injective_escape(
     let fact = ctx.facts.get(&ia.array)?;
     if !fact.injective || !fact.constant_after_init {
         return None;
+    }
+    // Flow gate: when this procedure itself defines the index array, the
+    // tested loop must start after the defining nest has completed — a
+    // gather loop placed ahead of the init loop reads values the array
+    // has not been given yet.
+    if let Some(&end) = ctx.local_init_end.get(&ia.array) {
+        if !ctx.loop_pos.is_some_and(|p| p > end) {
+            return None;
+        }
     }
     let init = fact.init_region.as_ref()?;
     let [init_dim] = &init.dims[..] else { return None };
@@ -851,6 +882,30 @@ end
             "s",
         );
         assert!(!v[1].parallelizable, "{v:?}");
+    }
+
+    #[test]
+    fn gather_before_init_loop_stays_conservative() {
+        // The gather loop runs before idx is initialized: the injectivity
+        // fact describes values the array has not been given yet, so the
+        // escape must not fire.
+        let v = verdicts(
+            "\
+subroutine s
+  real a(100)
+  integer idx(100)
+  integer i
+  do i = 1, 100
+    a(idx(i)) = 1.0
+  end do
+  do i = 1, 100
+    idx(i) = 101 - i
+  end do
+end
+",
+            "s",
+        );
+        assert!(!v[0].parallelizable, "idx is uninitialized when the gather runs: {v:?}");
     }
 
     #[test]

@@ -34,6 +34,7 @@ impl Persist for IndexArrayFact {
         w.bool(self.injective);
         self.value_range.save(w);
         self.init_region.save(w);
+        w.u32(self.init_end_pos);
     }
     fn load(r: &mut ByteReader<'_>) -> Result<Self> {
         Ok(IndexArrayFact {
@@ -42,6 +43,7 @@ impl Persist for IndexArrayFact {
             injective: r.bool()?,
             value_range: Option::<(i64, i64)>::load(r)?,
             init_region: Persist::load(r)?,
+            init_end_pos: r.u32()?,
         })
     }
 }
@@ -144,6 +146,7 @@ mod tests {
                 injective: true,
                 value_range: Some((1, 10)),
                 init_region: Some(TripletRegion::new(vec![Triplet::constant(0, 9, 1)])),
+                init_end_pos: 42,
             },
         );
         ProcSummary { accesses: vec![record(10), record(11)], index_facts }

@@ -46,7 +46,9 @@ pub const MAGIC: &[u8; 8] = b"ARAAPRS\0";
 /// Version 2: `RgnRow` entries carry a per-row source-line range.
 /// Version 3: access records carry `precision`/`via_index`, summaries carry
 /// index-array facts.
-pub const FORMAT_VERSION: u32 = 3;
+/// Version 4: index-array facts carry `init_end_pos` (the flow gate for
+/// same-procedure consumers).
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Write-path faultpoints registered inside [`atomic_write`] and the
 /// store layers above it, in the order they fire. CI arms each one in turn
